@@ -1,0 +1,52 @@
+"""Ablation — wake-up rush current and rail IR drop.
+
+The restore happens in parallel across every flip-flop, on a rail that
+is itself stabilising (the 120 ns wake-up the paper cites).  This
+ablation solves the VDD grid (resistive mesh, edge pads) under the
+restore current of a large benchmark and compares two disciplines:
+
+* all-1-bit back-up — every NV latch senses simultaneously,
+* proposed 2-bit cells — merged pairs sense *sequentially*, halving
+  their contribution to the peak (an unadvertised system-level benefit
+  of the shared-sense-amplifier architecture).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.merge import find_mergeable_pairs
+from repro.physd import generate_benchmark, place_design
+from repro.physd.powergrid import restore_rush_currents, solve_ir_drop
+
+
+@pytest.fixture(scope="module")
+def placed_s38584():
+    netlist = generate_benchmark("s38584", seed=1)
+    return place_design(netlist, utilization=0.7, seed=1)
+
+
+def test_wakeup_ir_drop(placed_s38584, benchmark, out_dir):
+    merge = find_mergeable_pairs(placed_s38584)
+    pairs = [pair.members() for pair in merge.pairs]
+
+    def analyse():
+        maps = restore_rush_currents(placed_s38584, merged_pairs=pairs,
+                                     nx=12, ny=12)
+        return (solve_ir_drop(placed_s38584, maps["simultaneous"]),
+                solve_ir_drop(placed_s38584, maps["staggered"]))
+
+    simultaneous, staggered = benchmark.pedantic(analyse, rounds=1,
+                                                 iterations=1)
+    relief = 1 - staggered.worst_drop / simultaneous.worst_drop
+
+    (out_dir / "ablation_irdrop.txt").write_text(
+        "Ablation — wake-up restore rush and VDD IR drop (s38584, 1424 flops)\n"
+        f"  all-1-bit simultaneous restore: {simultaneous.report()}\n"
+        f"  2-bit sequential restore:       {staggered.report()}\n"
+        f"  peak-droop relief from sequential sensing: {100 * relief:.1f} %\n")
+
+    # The rail stays healthy in both cases (the premise of the restore)...
+    assert simultaneous.worst_drop_fraction < 0.10
+    # ...and sequential sensing measurably relieves the rush.
+    assert staggered.worst_drop < simultaneous.worst_drop
+    assert relief > 0.15

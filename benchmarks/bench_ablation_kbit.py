@@ -1,0 +1,57 @@
+"""Ablation — k-bit sharing scalability (the paper's §III outlook).
+
+Extends the 2-bit sharing to k ∈ {1, 2, 4, 8}: transistors, area and
+read energy per bit fall with k while the sequential read delay grows
+linearly — quantifying how far the paper's sharing principle stretches
+before the restore latency approaches the 120 ns wake-up budget.
+"""
+
+import pytest
+
+from repro.core.multibit import KBitCostModel, kbit_transistor_count
+from repro.units import to_femtojoules, to_square_microns
+
+
+@pytest.fixture(scope="module")
+def cost_model(table2_data):
+    std = table2_data.standard["typical"]
+    prop = table2_data.proposed["typical"]
+    return KBitCostModel(
+        energy_1bit=std.read_energy,
+        energy_2bit=prop.read_energy,
+        delay_per_bit=prop.read_delay / 2.0,
+    )
+
+
+def test_kbit_scaling_table(cost_model, benchmark, out_dir):
+    ks = (1, 2, 4, 8)
+
+    def build_rows():
+        return [cost_model.per_bit_summary(k) for k in ks]
+
+    rows = benchmark(build_rows)
+
+    lines = ["Ablation — k-bit sharing scalability",
+             "k | tx/bit | area/bit [um^2] | energy/bit [fJ] | restore [ns]",
+             "--+--------+-----------------+-----------------+-------------"]
+    for row in rows:
+        lines.append(
+            f"{row['k']} | {row['transistors_per_bit']:6.2f} | "
+            f"{to_square_microns(row['area_per_bit']):15.3f} | "
+            f"{to_femtojoules(row['energy_per_bit']):15.3f} | "
+            f"{row['delay_total'] * 1e9:11.3f}")
+    (out_dir / "ablation_kbit.txt").write_text("\n".join(lines) + "\n")
+
+    # Per-bit transistors and area strictly decrease with sharing.
+    tx = [r["transistors_per_bit"] for r in rows]
+    area = [r["area_per_bit"] for r in rows]
+    assert all(a > b for a, b in zip(tx, tx[1:]))
+    assert all(a > b for a, b in zip(area, area[1:]))
+
+    # Even at k = 8 the sequential restore stays far below the paper's
+    # 120 ns wake-up budget.
+    assert rows[-1]["delay_total"] < 120e-9 / 10
+
+    # Sanity anchors.
+    assert kbit_transistor_count(2) == 16
+    assert rows[1]["energy_per_bit"] < rows[0]["energy_per_bit"]

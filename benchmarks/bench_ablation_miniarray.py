@@ -1,0 +1,62 @@
+"""Ablation — proposed sharing vs. the mini-array baseline [17].
+
+The paper dismisses the mini-array checkpointing approach because its
+reference cell, decoder and routing "impose not only extra area but also
+consume more energy", and the serial access complicates control.  This
+ablation quantifies the comparison across back-up sizes: per-bit area,
+restore energy, restore latency, and sensing margin.
+"""
+
+import pytest
+
+from repro.cells.miniarray import MiniArrayCheckpoint
+from repro.layout.cell_layout import plan_proposed_2bit, plan_standard_1bit
+
+
+def test_miniarray_vs_shadow(benchmark, out_dir):
+    shadow_1bit_area = plan_standard_1bit().area
+    shadow_2bit_area_per_bit = plan_proposed_2bit().area / 2
+
+    sizes = (8, 16, 32, 64, 128, 256, 1024)
+
+    def build_rows():
+        return [MiniArrayCheckpoint(num_bits=n) for n in sizes]
+
+    arrays = benchmark(build_rows)
+
+    lines = [
+        "Ablation — mini-array checkpointing [17] vs shadow NV cells",
+        f"(shadow per-bit area: 1-bit {shadow_1bit_area * 1e12:.2f} um^2, "
+        f"proposed 2-bit {shadow_2bit_area_per_bit * 1e12:.2f} um^2; "
+        "shadow restore: parallel, ~1 ns)",
+        "",
+        "bits | array um^2/bit | restore fJ/bit | restore [ns] | margin",
+        "-----+----------------+----------------+--------------+-------",
+    ]
+    for array in arrays:
+        lines.append(
+            f"{array.num_bits:4d} | "
+            f"{array.total_area() / array.num_bits * 1e12:14.3f} | "
+            f"{array.restore_energy() / array.num_bits * 1e15:14.2f} | "
+            f"{array.restore_latency() * 1e9:12.1f} | "
+            f"{array.read_margin_factor():.2f}x")
+    (out_dir / "ablation_miniarray.txt").write_text("\n".join(lines) + "\n")
+
+    # At flip-flop granularity (small N), the shadow 2-bit cell wins on
+    # area — the paper's sharing argument.
+    small = arrays[0]
+    assert small.total_area() / small.num_bits > shadow_2bit_area_per_bit
+
+    # The array's restore is serial: even a 256-bit instance takes tens of
+    # ns, against the shadow cells' single parallel ~1 ns restore.
+    idx_256 = sizes.index(256)
+    assert arrays[idx_256].restore_latency() > 20e-9
+
+    # Single-ended sensing against the manufactured reference halves the
+    # margin — the robustness cost the paper's differential scheme avoids.
+    assert all(a.read_margin_factor() <= 0.5 for a in arrays)
+
+    # Large arrays do win on raw density (fairness check: the paper's
+    # point is about *flip-flop-granularity* back-up, not bulk storage).
+    big = arrays[-1]
+    assert big.total_area() / big.num_bits < shadow_2bit_area_per_bit

@@ -1,0 +1,69 @@
+"""Ablation — power-gating break-even analysis.
+
+The paper's motivation chain quantified: against staying powered (domain
+leakage), against the conventional save-and-restore-to-memory technique
+[4], and against retention flip-flops.  The NV strategies use the
+*measured* store/restore energies from the Table II characterisation, so
+the 2-bit sharing shows up as a shorter break-even standby time.
+"""
+
+import pytest
+
+from repro.core.standby import (
+    MemorySaveRestoreStrategy,
+    RetentionStrategy,
+    StandbyScenario,
+    nv_strategies_from_metrics,
+    standby_report,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    # An or1200-class domain: 2887 bits, ~50 µW of gated leakage.
+    return StandbyScenario(num_bits=2887, domain_leakage=50e-6)
+
+
+def test_standby_break_even(table2_data, scenario, benchmark, out_dir):
+    one_bit, two_bit = nv_strategies_from_metrics(
+        table2_data.standard["typical"], table2_data.proposed["typical"])
+    strategies = [one_bit, two_bit, MemorySaveRestoreStrategy(),
+                  RetentionStrategy()]
+    durations = [1e-6, 10e-6, 100e-6, 1e-3]
+
+    text = benchmark(standby_report, scenario, strategies, durations)
+    (out_dir / "ablation_standby.txt").write_text(
+        f"Ablation — standby break-even ({scenario.num_bits} bits, "
+        f"{scenario.domain_leakage * 1e6:.0f} uW domain leakage)\n"
+        + text + "\n")
+
+    be_1bit = one_bit.break_even_duration(scenario)
+    be_2bit = two_bit.break_even_duration(scenario)
+    # Sharing lowers the restore overhead → the 2-bit design pays off at
+    # least as fast, and both pay off within microseconds.
+    assert be_2bit <= be_1bit
+    assert be_1bit < 1e-3
+
+    # For a long standby the NV approaches beat the SRAM save/restore
+    # (which keeps leaking) and eventually the retention rail (whose
+    # per-flop leakage integrates without bound).
+    long = 0.1
+    nv_cost = two_bit.total_energy(scenario, long)
+    assert nv_cost < MemorySaveRestoreStrategy().total_energy(scenario, long)
+    assert nv_cost < RetentionStrategy().total_energy(scenario, long)
+
+
+def test_standby_wakeup_latencies(table2_data, scenario, benchmark):
+    one_bit, two_bit = nv_strategies_from_metrics(
+        table2_data.standard["typical"], table2_data.proposed["typical"])
+
+    def latencies():
+        return (one_bit.wakeup_latency(scenario),
+                two_bit.wakeup_latency(scenario),
+                MemorySaveRestoreStrategy().wakeup_latency(scenario))
+
+    l1, l2, lmem = benchmark(latencies)
+    # All NV restores run in parallel: wake-up stays near the 120 ns rail
+    # stabilisation the paper cites; the serial memory restore is slower.
+    assert l1 < 150e-9 and l2 < 150e-9
+    assert lmem > l2

@@ -1,0 +1,67 @@
+"""Ablation — merge-distance threshold sweep.
+
+The paper fixes the threshold at twice the NV-component width (3.35 µm)
+"so that there should not be any timing penalties".  This ablation
+quantifies the trade-off the choice sits on: pairing fraction and area
+gain vs. threshold, with the wire-delay guard showing where timing would
+start to bite.
+"""
+
+import pytest
+
+from repro.core.evaluate import PAPER_COSTS, evaluate_system
+from repro.core.merge import MergeConfig, default_merge_threshold, find_mergeable_pairs
+from repro.physd import generate_benchmark, place_design
+from repro.physd.timing import WireDelayModel
+
+
+@pytest.fixture(scope="module")
+def placed_s5378():
+    netlist = generate_benchmark("s5378", seed=1)
+    return place_design(netlist, utilization=0.7, seed=1)
+
+
+def test_threshold_sweep(placed_s5378, benchmark, out_dir):
+    thresholds = [0.5e-6, 1.0e-6, 2.0e-6, 3.36e-6, 5.0e-6, 8.0e-6, 12.0e-6]
+    model = WireDelayModel()
+
+    def sweep():
+        rows = []
+        for threshold in thresholds:
+            merge = find_mergeable_pairs(
+                placed_s5378, MergeConfig(threshold=threshold))
+            result = evaluate_system("s5378", merge.total_flip_flops,
+                                     merge, PAPER_COSTS)
+            rows.append((threshold, len(merge.pairs), merge.merge_fraction,
+                         result.area_improvement,
+                         model.added_delay_for_merge(threshold)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["Ablation — merge threshold sweep (s5378)",
+             "thresh[um] | pairs | frac | area gain | added delay [ps]",
+             "-----------+-------+------+-----------+-----------------"]
+    for threshold, pairs, frac, gain, delay in rows:
+        marker = "  <- paper" if abs(threshold - 3.36e-6) < 1e-8 else ""
+        lines.append(f"{threshold * 1e6:10.2f} | {pairs:5d} | {frac:.2f} | "
+                     f"{100 * gain:8.1f}% | {delay * 1e12:15.1f}{marker}")
+    (out_dir / "ablation_threshold.txt").write_text("\n".join(lines) + "\n")
+
+    pairs_series = [pairs for _, pairs, _, _, _ in rows]
+    assert all(a <= b for a, b in zip(pairs_series, pairs_series[1:]))
+
+    # The paper's operating point already captures most of the gain while
+    # staying timing-safe.
+    paper_idx = thresholds.index(3.36e-6)
+    paper_gain = rows[paper_idx][3]
+    max_gain = rows[-1][3]
+    assert paper_gain > 0.7 * max_gain
+    assert model.merge_is_timing_safe(thresholds[paper_idx], clock_period=1e-9)
+
+
+def test_default_threshold_is_twice_cell_width(benchmark):
+    threshold = benchmark(default_merge_threshold)
+    from repro.layout.cell_layout import plan_standard_1bit
+
+    assert threshold == pytest.approx(2 * plan_standard_1bit().width)

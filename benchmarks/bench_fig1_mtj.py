@@ -1,0 +1,59 @@
+"""Fig 1 — the MTJ storage element.
+
+Regenerates the device-level behaviour behind the paper's Fig 1: the
+bidirectional current-driven P ↔ AP switching, plus the switching-time
+vs. overdrive curve of the compact model.
+"""
+
+import pytest
+
+from repro.mtj.device import MTJDevice, MTJState
+from repro.mtj.dynamics import SwitchingModel, simulate_current_pulse
+from repro.units import to_microamps
+
+
+def test_fig1_switching_curve(benchmark, out_dir):
+    def curve():
+        model = SwitchingModel(device=MTJDevice())
+        rows = []
+        for i_ua in (40, 45, 50, 55, 60, 65, 70, 80, 90, 100, 120):
+            rows.append((i_ua, model.mean_switching_time(i_ua * 1e-6)))
+        return rows
+
+    rows = benchmark(curve)
+    lines = ["Fig 1 — STT switching time vs write current",
+             "I [uA] | t_switch [ns]", "-------+--------------"]
+    for i_ua, t in rows:
+        lines.append(f"{i_ua:6d} | {t * 1e9:10.3f}")
+    (out_dir / "fig1_switching.txt").write_text("\n".join(lines) + "\n")
+
+    times = [t for _, t in rows]
+    assert all(a >= b for a, b in zip(times, times[1:]))  # monotone
+    assert dict(rows)[70] == pytest.approx(2e-9, rel=0.01)
+
+
+def test_fig1_bidirectional_switching(benchmark):
+    """Positive current → AP, negative current → P (the Fig 1 arrows)."""
+    def round_trip():
+        model = SwitchingModel(device=MTJDevice(state=MTJState.PARALLEL))
+        simulate_current_pulse(model, [(0.0, 0.0), (0.1e-9, 80e-6),
+                                       (3e-9, 80e-6), (3.1e-9, 0.0)])
+        first = model.device.state
+        simulate_current_pulse(model, [(4e-9, 0.0), (4.1e-9, -80e-6),
+                                       (7e-9, -80e-6), (7.1e-9, 0.0)])
+        return first, model.device.state
+
+    first, final = benchmark(round_trip)
+    assert first is MTJState.ANTIPARALLEL
+    assert final is MTJState.PARALLEL
+
+
+def test_fig1_resistance_states(benchmark):
+    def resistances():
+        p = MTJDevice(state=MTJState.PARALLEL)
+        ap = MTJDevice(state=MTJState.ANTIPARALLEL)
+        return p.resistance(0.0), ap.resistance(0.0)
+
+    r_p, r_ap = benchmark(resistances)
+    assert to_microamps(1.1 / r_p) > to_microamps(1.1 / r_ap)
+    assert r_ap / r_p == pytest.approx(2.23, rel=1e-6)

@@ -1,0 +1,53 @@
+"""Fig 7 — the simplified single-PC pre-charge controller.
+
+Verifies the paper's control simplification: driving the proposed latch
+from just PC and Ren produces the same restore behaviour as the explicit
+three-signal controller of Fig 6(b), and the GND clamp comes for free
+during writes.
+"""
+
+import pytest
+
+from repro.analysis.figures import render_control_sequence
+from repro.cells.control import proposed_restore_schedule
+from repro.cells.nvlatch_2bit import build_proposed_latch
+from repro.spice.analysis.transient import run_transient
+
+
+def _restore_outputs(simplified: bool, bits=(0, 1)):
+    schedule = proposed_restore_schedule(bits=bits, simplified=simplified)
+    latch = build_proposed_latch(schedule, stored_bits=bits)
+    result = run_transient(latch.circuit, schedule.stop_time, 2e-12,
+                           initial_voltages={"vdd": 1.1})
+    m = schedule.markers
+    return (result.sample(latch.out, m["eval_low_end"]),
+            result.sample(latch.out, m["eval_high_end"]))
+
+
+def test_fig7_diagram(benchmark, out_dir):
+    schedule = benchmark(proposed_restore_schedule, bits=(0, 1),
+                         simplified=True)
+    diagram = render_control_sequence(
+        schedule, signals=("pcv_b", "pcg", "n3", "p3_b", "tg", "eqp_b", "eqn"))
+    (out_dir / "fig7_simplified.txt").write_text(
+        "Fig 7 — simplified pre-charge controller (all signals decoded "
+        "from PC and Ren)\n\n" + diagram + "\n")
+    assert "evaluate-lower0" in diagram
+
+
+def test_fig7_equivalent_to_fig6(benchmark, out_dir):
+    def both():
+        return _restore_outputs(True), _restore_outputs(False)
+
+    (fig7_low, fig7_high), (fig6_low, fig6_high) = benchmark.pedantic(
+        both, rounds=1, iterations=1)
+
+    (out_dir / "fig7_equivalence.txt").write_text(
+        "Fig 7 vs Fig 6 controller equivalence ((D0,D1) = (0,1))\n"
+        f"  Fig 7 (simplified): low={fig7_low:.3f} V  high={fig7_high:.3f} V\n"
+        f"  Fig 6 (explicit):   low={fig6_low:.3f} V  high={fig6_high:.3f} V\n")
+
+    # Same logical outcome, closely matching analog levels.
+    assert fig7_low == pytest.approx(fig6_low, abs=0.1)
+    assert fig7_high == pytest.approx(fig6_high, abs=0.1)
+    assert fig7_low < 0.2 and fig7_high > 0.9  # (D0, D1) = (0, 1)

@@ -1,0 +1,43 @@
+"""Fig 8 — layout of the proposed 2-bit NV latch.
+
+Generates the 12-track cell plan, renders it (ASCII + SVG) and checks
+the Table II area row it feeds: 3.7 µm² vs 5.6 µm² for two standard
+cells (paper: ~34 % smaller).
+"""
+
+import pytest
+
+from repro.layout.cell_layout import (
+    plan_proposed_2bit,
+    plan_standard_1bit,
+    standard_pair_area,
+)
+from repro.units import to_square_microns
+
+
+def test_fig8_layout_generation(benchmark, out_dir):
+    plan = benchmark(plan_proposed_2bit)
+    (out_dir / "fig8_layout.txt").write_text(plan.to_ascii() + "\n")
+    (out_dir / "fig8_layout.svg").write_text(plan.to_svg())
+    (out_dir / "fig8_standard_1bit.svg").write_text(plan_standard_1bit().to_svg())
+
+    assert plan.transistor_count() == 16
+    assert plan.mtj_count() == 4
+    assert plan.rules.tracks == 12
+
+
+def test_fig8_area_comparison(benchmark, out_dir):
+    def areas():
+        return (to_square_microns(plan_proposed_2bit().area),
+                to_square_microns(standard_pair_area()))
+
+    proposed, pair = benchmark(areas)
+    improvement = 1 - proposed / pair
+    (out_dir / "fig8_area.txt").write_text(
+        "Fig 8 / Table II area row\n"
+        f"  two standard 1-bit cells: {pair:.3f} um^2 (paper 5.635)\n"
+        f"  proposed 2-bit cell:      {proposed:.3f} um^2 (paper 3.696)\n"
+        f"  improvement:              {100 * improvement:.1f} % (paper ~34 %)\n")
+    assert proposed == pytest.approx(3.696, rel=0.02)
+    assert pair == pytest.approx(5.635, rel=0.01)
+    assert improvement == pytest.approx(0.34, abs=0.02)

@@ -1,0 +1,52 @@
+"""Fig 9 — floorplan of s344 with mergeable flip-flops encircled.
+
+Places the s344 benchmark, runs the neighbour-pairing script, and
+renders the floorplan with merged pairs marked (ASCII and SVG with
+circles, like the paper's figure).  The DEF file the script consumes is
+also written.
+"""
+
+import pytest
+
+from repro.analysis.figures import floorplan_ascii, floorplan_svg
+from repro.core.merge import find_mergeable_pairs, pairs_from_def
+from repro.physd import generate_benchmark, place_design, write_def, parse_def
+
+
+@pytest.fixture(scope="module")
+def placed():
+    netlist = generate_benchmark("s344", seed=1)
+    return place_design(netlist, utilization=0.7, seed=1)
+
+
+def test_fig9_floorplan_render(placed, benchmark, out_dir):
+    merge = benchmark(find_mergeable_pairs, placed)
+    (out_dir / "fig9_floorplan.txt").write_text(
+        floorplan_ascii(placed, merge) + "\n\n"
+        + f"merged pairs: {len(merge.pairs)} (paper: 5 of 15 flip-flops "
+        + "form 2-bit cells)\n"
+        + "\n".join(f"  {p.ff_a} + {p.ff_b}  (separation "
+                    f"{p.distance * 1e6:.2f} um)" for p in merge.pairs) + "\n")
+    (out_dir / "fig9_floorplan.svg").write_text(floorplan_svg(placed, merge))
+    assert len(merge.pairs) >= 4
+
+
+def test_fig9_def_script_path(placed, benchmark, out_dir):
+    """The paper runs its identification script over the DEF file: write
+    the DEF, parse it back, and pair from the DEF alone — the result must
+    match the in-memory pairing."""
+    def def_roundtrip():
+        text = write_def(placed)
+        design = parse_def(text)
+        sizes = {"DFF_X1": (placed.netlist.library["DFF_X1"].width,
+                            placed.netlist.library["DFF_X1"].height)}
+        return text, pairs_from_def(design, cell_sizes=sizes)
+
+    text, from_def = benchmark.pedantic(def_roundtrip, rounds=1, iterations=1)
+    (out_dir / "fig9_s344.def").write_text(text)
+    in_memory = find_mergeable_pairs(placed)
+    from_def.validate()
+    # Greedy maximal matching is not unique under distance ties (abutted
+    # flop clusters), and DEF quantises coordinates to 1 nm, so the two
+    # paths may differ by a pair — but never by more.
+    assert abs(len(from_def.pairs) - len(in_memory.pairs)) <= 1

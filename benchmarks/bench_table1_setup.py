@@ -1,0 +1,39 @@
+"""Table I — circuit-level setup.
+
+Regenerates the paper's parameter table from the MTJ model and verifies
+the derived quantities the rest of the evaluation depends on
+(R_P ≈ 5 kΩ, R_AP ≈ 11 kΩ, write switching inside the 2 ns pulse).
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table1
+from repro.mtj.device import MTJDevice, MTJState
+from repro.mtj.dynamics import SwitchingModel
+from repro.mtj.parameters import MTJParameters, PAPER_TABLE_I
+
+
+def test_table1_parameters(benchmark, out_dir):
+    table = benchmark(render_table1, PAPER_TABLE_I)
+    (out_dir / "table1.txt").write_text(table + "\n")
+    assert "20 nm" in table
+    assert "123%" in table
+
+
+def test_table1_derived_resistances(benchmark):
+    def derive():
+        params = MTJParameters()
+        return params.resistance_p, params.resistance_ap
+
+    r_p, r_ap = benchmark(derive)
+    assert r_p == pytest.approx(5e3)
+    assert r_ap == pytest.approx(11e3, rel=0.02)
+
+
+def test_table1_write_current_switches_in_pulse(benchmark):
+    def switch_time():
+        model = SwitchingModel(device=MTJDevice(state=MTJState.PARALLEL))
+        return model.mean_switching_time(PAPER_TABLE_I.switching_current)
+
+    t_sw = benchmark(switch_time)
+    assert t_sw == pytest.approx(2e-9, rel=0.01)

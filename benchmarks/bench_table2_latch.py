@@ -1,0 +1,75 @@
+"""Table II — two standard 1-bit latches vs. the proposed 2-bit latch.
+
+The session fixture characterises both designs at all three process
+corners with full transient simulation; the rendered table (with the
+paper's values alongside) lands in ``benchmarks/out/table2.txt``.  The
+benchmarked operation is one standard-latch restore simulation — the
+basic unit of the characterisation.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table2
+from repro.cells.characterize import _standard_read
+from repro.cells.sizing import DEFAULT_SIZING
+from repro.spice.corners import CORNERS
+
+
+def test_table2_render_and_shape(table2_data, out_dir, benchmark):
+    """Render the table and assert the paper's qualitative relations."""
+    table = benchmark(render_table2, table2_data)
+    (out_dir / "table2.txt").write_text(table + "\n")
+
+    assert table2_data.all_reads_ok()
+
+    std_energy = table2_data.column_values("standard", "read_energy")
+    prop_energy = table2_data.column_values("proposed", "read_energy")
+    # Proposed reads 2 bits for less energy than two standard latches
+    # (paper: ~19 % better at typical).
+    for std, prop in zip(std_energy, prop_energy):
+        assert prop < std
+
+    std_delay = table2_data.column_values("standard", "read_delay")
+    prop_delay = table2_data.column_values("proposed", "read_delay")
+    # Sequential 2-bit read ≈ twice the single read (paper: 1.9–2.0x).
+    for std, prop in zip(std_delay, prop_delay):
+        assert 1.4 * std < prop < 3.5 * std
+
+    std_leak = table2_data.column_values("standard", "leakage")
+    prop_leak = table2_data.column_values("proposed", "leakage")
+    # Proposed leaks no more than two standard latches (paper: ~equal).
+    for std, prop in zip(std_leak, prop_leak):
+        assert prop < std
+
+    # Worst/typ/best column ordering per metric.
+    for design in ("standard", "proposed"):
+        for metric in ("read_energy", "read_delay", "leakage"):
+            worst, typical, best = table2_data.column_values(design, metric)
+            assert worst >= typical >= best
+
+    # Transistor counts (exact paper values).
+    assert 2 * table2_data.standard["typical"].transistor_count == 22
+    assert table2_data.proposed["typical"].transistor_count == 16
+
+
+def test_table2_write_metrics(table2_data, benchmark):
+    """Both designs share the write methodology: per-bit write energy and
+    latency must match closely (paper: 'similar write energy and latency,
+    around 104 fJ and 2 ns for the worst case')."""
+    benchmark(lambda: None)  # metrics come from the shared characterisation
+    std = table2_data.standard["typical"]
+    prop = table2_data.proposed["typical"]
+    # Proposed writes 2 bits in parallel: per-bit energy comparable.
+    assert prop.write_energy / 2 == pytest.approx(std.write_energy, rel=0.2)
+    assert prop.write_latency == pytest.approx(std.write_latency, rel=0.3)
+    assert 0.5e-9 < std.write_latency < 3.5e-9
+
+
+def test_benchmark_one_standard_read(benchmark):
+    """Timing reference: one full standard-latch restore simulation."""
+    def one_read():
+        return _standard_read(1, CORNERS["typical"], DEFAULT_SIZING, 1.1, 2e-12)
+
+    energy, delay, ok, _latch, _result = benchmark.pedantic(
+        one_read, rounds=1, iterations=1)
+    assert ok

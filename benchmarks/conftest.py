@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Heavy experiment data (full Table II characterisation, the 13-benchmark
+Table III sweep) is computed once per session and shared; the
+pytest-benchmark timings then measure representative single operations.
+
+Every bench writes its reproduced table/figure into ``benchmarks/out/``
+so the artefacts survive the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def table2_data():
+    """Full Table II characterisation at all three process corners
+    (several minutes of transient simulation)."""
+    from repro.analysis.tables import build_table2
+
+    return build_table2(dt=1e-12, include_write=True)
+
+
+@pytest.fixture(scope="session")
+def table3_results():
+    """The 13-benchmark system sweep (placement + merge per circuit)."""
+    from repro.analysis.tables import build_table3
+
+    return build_table3()

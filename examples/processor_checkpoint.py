@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Processor-style checkpointing with merged NV flip-flops.
+
+Ties the system layers together: the or1200-class benchmark is placed
+and its flip-flops paired (the Table III flow); the pairing then drives
+a *behavioural* model of the machine — merged pairs become 2-bit shadow
+groups, leftovers single shadow flops — and a toy workload runs through
+repeated power cycles, checking that the architectural state survives
+every normally-off period bit-exactly.
+
+Run:  python examples/processor_checkpoint.py
+"""
+
+import numpy as np
+
+from repro.core.flow import run_system_flow
+from repro.core.shadow import (
+    MultiBitShadowGroup,
+    PowerGatingController,
+    ShadowFlipFlop,
+)
+
+
+def main() -> None:
+    print("Placing and pairing the s13207 benchmark (Table III flow)...")
+    outcome = run_system_flow("s13207")
+    merge = outcome.merge
+    print(f"  {merge.total_flip_flops} flip-flops -> "
+          f"{len(merge.pairs)} shared 2-bit groups + "
+          f"{len(merge.unmatched)} singles")
+
+    controller = PowerGatingController(
+        singles=[ShadowFlipFlop() for _ in merge.unmatched],
+        groups=[MultiBitShadowGroup() for _ in merge.pairs],
+    )
+
+    rng = np.random.default_rng(2018)
+    cycles = 25
+    print(f"\nRunning {cycles} compute/standby cycles over "
+          f"{merge.total_flip_flops} architectural bits...")
+    for cycle in range(cycles):
+        # Compute phase: clock random data into the whole state.
+        single_bits = rng.integers(0, 2, size=len(controller.singles))
+        group_bits = rng.integers(0, 2, size=(len(controller.groups), 2))
+        for flop, bit in zip(controller.singles, single_bits):
+            flop.clock(int(bit))
+        for group, (d0, d1) in zip(controller.groups, group_bits):
+            group.clock(int(d0), int(d1))
+
+        # Standby: PD asserts, everything stores and powers down.
+        controller.enter_standby()
+        latency = controller.wake_up()
+
+        # Verify the state survived bit-exactly.
+        for flop, bit in zip(controller.singles, single_bits):
+            assert flop.q == int(bit)
+        for group, (d0, d1) in zip(controller.groups, group_bits):
+            assert (group.flops[0].q, group.flops[1].q) == (int(d0), int(d1))
+
+    total_bits = cycles * merge.total_flip_flops
+    print(f"  {cycles} power cycles, {total_bits} bit-checks: all survived")
+    print(f"  restore latency per wake-up: {latency * 1e9:.2f} ns "
+          f"(sequential 2-bit reads dominate; budget 120 ns)")
+    print(f"\nNV area for this machine: "
+          f"{outcome.result.area_proposed * 1e12:.0f} um^2 "
+          f"({100 * outcome.result.area_improvement:.1f} % below the "
+          f"all-1-bit baseline)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""SoC physical-design flow: replace neighbour flip-flops with 2-bit NV cells.
+
+Reproduces one row of the paper's Table III end to end:
+
+1. generate the benchmark netlist (exact paper flip-flop count),
+2. floorplan + quadratic placement + legalisation,
+3. write the DEF and run the neighbour-identification script over it,
+4. plan the replacement ECO (2-bit NV cells at pair midpoints),
+5. account area and read energy against the all-1-bit baseline.
+
+Artifacts (DEF, floorplan SVG with encircled pairs) land next to this
+script.
+
+Run:  python examples/soc_design_flow.py [benchmark]   (default: s5378)
+"""
+
+import pathlib
+import sys
+
+from repro.analysis.figures import floorplan_svg
+from repro.core.flow import run_system_flow
+from repro.physd.benchmarks import BENCHMARKS
+from repro.physd.def_io import write_def
+from repro.units import to_femtojoules, to_square_microns
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "s5378"
+    spec = BENCHMARKS[benchmark]
+    print(f"Running the system flow on {benchmark} "
+          f"({spec.num_gates} gates, {spec.num_flip_flops} flip-flops)...")
+
+    outcome = run_system_flow(benchmark)
+    placement = outcome.placement
+    merge = outcome.merge
+    result = outcome.result
+
+    die = placement.floorplan.die
+    print(f"  die: {die.width * 1e6:.1f} x {die.height * 1e6:.1f} um, "
+          f"{len(placement.floorplan.rows)} rows, "
+          f"HPWL {placement.hpwl() * 1e3:.2f} mm")
+    print(f"  mergeable pairs: {len(merge.pairs)} "
+          f"(paper found {spec.paper_merged_pairs}); "
+          f"{100 * merge.merge_fraction:.0f} % of flip-flops share a 2-bit cell")
+    print(f"  ECO: {outcome.replacement.num_2bit} x 2-bit NV cells + "
+          f"{outcome.replacement.num_1bit} x 1-bit NV cells")
+
+    print("\nTable III row (ours / paper):")
+    print(f"  NV area    : {to_square_microns(result.area_proposed):9.1f} / "
+          f"{spec.paper_area_2bit:9.1f} um^2 "
+          f"(improvement {100 * result.area_improvement:.1f} % / "
+          f"{100 * (1 - spec.paper_area_2bit / spec.paper_area_1bit):.1f} %)")
+    print(f"  read energy: {to_femtojoules(result.energy_proposed):9.1f} / "
+          f"{spec.paper_energy_2bit:9.1f} fJ "
+          f"(improvement {100 * result.energy_improvement:.1f} % / "
+          f"{100 * (1 - spec.paper_energy_2bit / spec.paper_energy_1bit):.1f} %)")
+
+    out = pathlib.Path(__file__).parent
+    (out / f"{benchmark}.def").write_text(write_def(placement))
+    (out / f"{benchmark}_floorplan.svg").write_text(
+        floorplan_svg(placement, merge))
+    print(f"\nwrote {benchmark}.def and {benchmark}_floorplan.svg")
+
+
+if __name__ == "__main__":
+    main()

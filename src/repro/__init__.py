@@ -1,0 +1,34 @@
+"""repro — reproduction of *Multi-Bit Non-Volatile Spintronic Flip-Flop*
+(Münch, Bishnoi, Tahoori — DATE 2018).
+
+The library builds, from first principles, everything the paper's
+evaluation rests on:
+
+* :mod:`repro.mtj` — MTJ compact device model (Table I parameters,
+  STT switching dynamics, ±3σ variation),
+* :mod:`repro.spice` — a pure-Python analog circuit simulator
+  (MNA, Newton–Raphson DC, transient) with an EKV-class MOSFET model,
+* :mod:`repro.cells` — the standard 1-bit and the proposed 2-bit NV
+  shadow latch netlists, their control sequences, and the Table II
+  characterisation engine,
+* :mod:`repro.layout` — 12-track cell layout generation (Fig 8, cell
+  areas),
+* :mod:`repro.physd` — synthetic benchmark netlists, quadratic
+  placement, legalisation, DEF I/O,
+* :mod:`repro.core` — the paper's contribution: neighbour-flip-flop
+  pairing and 2-bit NV merging, with the Table III accounting,
+* :mod:`repro.analysis` — table/figure renderers and experiment
+  reports.
+
+Quick start::
+
+    from repro.core import run_system_flow
+    outcome = run_system_flow("s344")
+    print(outcome.result.as_row())
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError
+
+__all__ = ["ReproError", "__version__"]

@@ -1,0 +1,44 @@
+"""Reporting: table renderers (paper Tables I–III) and figure generators
+(paper Figs 6–9)."""
+
+from repro.analysis.tables import (
+    render_text_table,
+    table1_rows,
+    render_table1,
+    Table2Data,
+    build_table2,
+    render_table2,
+    build_table3,
+    render_table3,
+)
+from repro.analysis.blockdiagrams import (
+    audit_proposed_latch,
+    audit_standard_latch,
+    render_architecture_comparison,
+)
+from repro.analysis.figures import (
+    render_control_sequence,
+    render_layout_ascii,
+    layout_svg,
+    floorplan_ascii,
+    floorplan_svg,
+)
+
+__all__ = [
+    "render_text_table",
+    "table1_rows",
+    "render_table1",
+    "Table2Data",
+    "build_table2",
+    "render_table2",
+    "build_table3",
+    "render_table3",
+    "render_control_sequence",
+    "render_layout_ascii",
+    "layout_svg",
+    "floorplan_ascii",
+    "floorplan_svg",
+    "audit_proposed_latch",
+    "audit_standard_latch",
+    "render_architecture_comparison",
+]

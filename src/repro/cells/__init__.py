@@ -1,0 +1,52 @@
+"""Non-volatile latch cell designs and their characterisation.
+
+* :mod:`repro.cells.sizing` — transistor sizing shared by both designs,
+* :mod:`repro.cells.primitives` — gate-level builders (inverter, tristate
+  inverter, transmission gate),
+* :mod:`repro.cells.nvlatch_1bit` — the standard single-bit NV shadow
+  latch (paper Fig 2(b)),
+* :mod:`repro.cells.nvlatch_2bit` — the proposed 2-bit shadow latch
+  (paper Fig 5),
+* :mod:`repro.cells.control` — store/restore control sequences (paper
+  Figs 6 and 7, including the simplified single-PC scheme),
+* :mod:`repro.cells.characterize` — transient/DC characterisation engine
+  producing the Table II metrics,
+* :mod:`repro.cells.flipflop` — CMOS master/slave flip-flop bookkeeping,
+* :mod:`repro.cells.library` — the standard-cell library used by
+  placement.
+"""
+
+from repro.cells.sizing import LatchSizing, DEFAULT_SIZING
+from repro.cells.nvlatch_1bit import StandardNVLatch, build_standard_latch
+from repro.cells.nvlatch_2bit import ProposedNVLatch, build_proposed_latch
+from repro.cells.control import (
+    ControlSchedule,
+    standard_restore_schedule,
+    standard_store_schedule,
+    proposed_restore_schedule,
+    proposed_store_schedule,
+)
+from repro.cells.characterize import (
+    LatchMetrics,
+    characterize_standard,
+    characterize_proposed,
+    leakage_power,
+)
+
+__all__ = [
+    "LatchSizing",
+    "DEFAULT_SIZING",
+    "StandardNVLatch",
+    "build_standard_latch",
+    "ProposedNVLatch",
+    "build_proposed_latch",
+    "ControlSchedule",
+    "standard_restore_schedule",
+    "standard_store_schedule",
+    "proposed_restore_schedule",
+    "proposed_store_schedule",
+    "LatchMetrics",
+    "characterize_standard",
+    "characterize_proposed",
+    "leakage_power",
+]

@@ -1,0 +1,523 @@
+"""Store/restore control sequences (paper Figs 6 and 7).
+
+A :class:`ControlSchedule` is a named list of :class:`Phase` intervals
+plus the per-signal waveforms derived from them.  Two restore generators
+exist for the proposed latch:
+
+* ``simplified=True`` (paper Fig 7) — only two primary signals, ``PC``
+  and ``Ren``, exist; every gate-level control is a boolean function of
+  them:
+
+  ====================  =====================================
+  signal                function (active condition)
+  ====================  =====================================
+  ``pcv_b``             NOT(PC AND NOT Ren) — VDD pre-charge (PMOS, active low)
+  ``pcg``               NOR(PC, Ren) — GND pre-charge (NMOS)
+  ``n3``                Ren OR (NOT PC AND NOT WEN) — evaluation foot
+  ``p3_b``              NOT(PC OR Ren) — evaluation head (active low)
+  ``tg`` / ``tg_b``     Ren — transmission gates T1/T2
+  ``eqp_b`` = ``eqn``   NOT PC — P4 on while PC=1, N4 on while PC=0
+  ====================  =====================================
+
+  The pre-charge *polarity* (PC) selects which MTJ pair decides each
+  evaluation; N3 and P3 both conduct during evaluations so the
+  non-selected side carries the sense amplifier's rail current while its
+  equaliser keeps it common-mode (see the reproduction notes below).
+  P3 additionally conducts through the VDD pre-charge (keeping the upper
+  rails charged) and N3 through the GND pre-charge (pre-discharging the
+  lower rails) — both transitions-free side effects of the single-PC
+  encoding that reduce the per-read supply charge, the effect the paper
+  credits for its read-energy advantage ("fewer number of transitions").
+
+* ``simplified=False`` (paper Fig 6(b)) — PC_VDD, PC_GND and SEL are
+  driven as three independent signals; the resulting gate waveforms are
+  equivalent, which the control tests verify.
+
+The restore begins at t = 0 in the pre-charge state: after a power-down,
+every node starts at 0 V, so the initial VDD pre-charge doubles as the
+power-up charge of the output nodes.  Energy windows therefore start at
+t = 0 for *both* designs — the comparison charges each design for its
+full wake-up supply draw.
+
+All times are picked so each evaluation window comfortably contains the
+sense-amplifier resolve time at the worst corner; the total restore fits
+well inside the 120 ns microcontroller wake-up budget the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import AnalysisError
+from repro.spice.waveforms import PWL, Waveform, step_sequence
+
+#: Default supply voltage [V] (paper Table I).
+VDD_NOMINAL = 1.1
+#: Default control-edge slew [s].
+DEFAULT_SLEW = 20e-12
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One control phase: every signal holds a constant logic level."""
+
+    name: str
+    start: float
+    end: float
+    levels: Mapping[str, bool]
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise AnalysisError(f"phase {self.name!r}: end must exceed start")
+
+
+@dataclass
+class ControlSchedule:
+    """A full control sequence: phases, derived waveforms, measurement markers."""
+
+    name: str
+    phases: List[Phase]
+    signals: Dict[str, Waveform]
+    stop_time: float
+    #: Named time markers for measurements (eval starts, windows, ...).
+    markers: Dict[str, float] = field(default_factory=dict)
+    vdd: float = VDD_NOMINAL
+
+    def phase_named(self, name: str) -> Phase:
+        for phase in self.phases:
+            if phase.name == name:
+                return phase
+        raise AnalysisError(f"schedule {self.name!r} has no phase {name!r}")
+
+    def signal(self, name: str) -> Waveform:
+        try:
+            return self.signals[name]
+        except KeyError:
+            raise AnalysisError(f"schedule {self.name!r} has no signal {name!r}")
+
+
+def _waveforms_from_phases(
+    phases: Sequence[Phase],
+    signal_names: Sequence[str],
+    vdd: float,
+    slew: float,
+) -> Dict[str, Waveform]:
+    """Convert per-phase logic levels into PWL voltage waveforms.
+
+    Signals transition at the *start* of the phase in which their level
+    changes; every phase must define every signal.
+    """
+    waveforms: Dict[str, Waveform] = {}
+    for signal in signal_names:
+        transitions: List[Tuple[float, float]] = []
+        current = phases[0].levels[signal]
+        for phase in phases[1:]:
+            level = phase.levels[signal]
+            if level != current:
+                transitions.append((phase.start, vdd if level else 0.0))
+                current = level
+        initial = vdd if phases[0].levels[signal] else 0.0
+        if transitions:
+            waveforms[signal] = step_sequence(transitions, initial, slew)
+        else:
+            waveforms[signal] = PWL(points=((0.0, initial),))
+    return waveforms
+
+
+def _complement(levels: Dict[str, bool], pairs: Mapping[str, str]) -> Dict[str, bool]:
+    """Add complement signals (``name_b``) to a level dictionary."""
+    out = dict(levels)
+    for base, comp in pairs.items():
+        out[comp] = not levels[base]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Standard 1-bit latch (paper Fig 2(b))
+# ---------------------------------------------------------------------------
+
+_STANDARD_SIGNALS = ("pc_b", "ren", "tg", "tg_b", "wen", "wen_b", "d", "d_b")
+
+
+def _standard_levels(pc: bool, ren: bool, wen: bool, d: bool) -> Dict[str, bool]:
+    levels = {
+        "pc_b": not pc,  # pre-charge PMOS gate, active low
+        "ren": ren,
+        "tg": not wen,  # isolation gates off only while writing
+        "wen": wen,
+        "d": d,
+    }
+    return _complement(levels, {"tg": "tg_b", "wen": "wen_b", "d": "d_b"})
+
+
+def standard_restore_schedule(
+    bit: int = 1,
+    precharge_width: float = 0.40e-9,
+    eval_width: float = 0.80e-9,
+    tail: float = 0.20e-9,
+    cycles: int = 1,
+    vdd: float = VDD_NOMINAL,
+    slew: float = DEFAULT_SLEW,
+) -> ControlSchedule:
+    """Restore (read) sequence of the standard 1-bit latch.
+
+    Starts in the pre-charge state at t = 0 (power-up from all-zero
+    nodes), then evaluates through the foot transistor.  The hold phase
+    keeps the evaluation path enabled so the resolved value stays latched
+    while it propagates to the flip-flop.
+
+    ``cycles`` repeats the pre-charge/evaluate pair back-to-back; the
+    measurement markers always describe the *last* cycle, so
+    ``cycles=2`` measures the steady-state read (power-up inrush of the
+    internal nodes excluded) — the methodology used for Table II.
+    """
+    if cycles < 1:
+        raise AnalysisError(f"cycles must be >= 1, got {cycles}")
+    d = bool(bit)
+    cycle_len = precharge_width + eval_width
+    phases = []
+    for k in range(cycles):
+        t0 = k * cycle_len
+        phases.append(Phase(f"precharge{k}", t0, t0 + precharge_width,
+                            _standard_levels(pc=True, ren=False, wen=False, d=d)))
+        phases.append(Phase(f"evaluate{k}", t0 + precharge_width, t0 + cycle_len,
+                            _standard_levels(pc=False, ren=True, wen=False, d=d)))
+    t_last = (cycles - 1) * cycle_len
+    t_eval = t_last + precharge_width
+    t_eval_end = t_last + cycle_len
+    stop = t_eval_end + tail
+    phases.append(Phase("hold", t_eval_end, stop,
+                        _standard_levels(pc=False, ren=True, wen=False, d=d)))
+    signals = _waveforms_from_phases(phases, _STANDARD_SIGNALS, vdd, slew)
+    markers = {
+        "precharge_start": t_last,
+        "eval_start": t_eval,
+        "eval_end": t_eval_end,
+        "energy_window_start": t_last,
+        "energy_window_end": t_eval_end,
+    }
+    return ControlSchedule("standard-restore", phases, signals, stop, markers, vdd)
+
+
+def standard_store_schedule(
+    bit: int,
+    write_start: float = 0.10e-9,
+    write_width: float = 3.0e-9,
+    tail: float = 0.40e-9,
+    vdd: float = VDD_NOMINAL,
+    slew: float = DEFAULT_SLEW,
+) -> ControlSchedule:
+    """Store (write) sequence: the tristate drivers push the write current
+    through the series MTJ pair; isolation gates are off."""
+    t_end = write_start + write_width
+    stop = t_end + tail
+    d = bool(bit)
+    phases = [
+        Phase("idle", 0.0, write_start,
+              _standard_levels(pc=False, ren=False, wen=False, d=d)),
+        Phase("write", write_start, t_end,
+              _standard_levels(pc=False, ren=False, wen=True, d=d)),
+        Phase("post", t_end, stop,
+              _standard_levels(pc=False, ren=False, wen=False, d=d)),
+    ]
+    signals = _waveforms_from_phases(phases, _STANDARD_SIGNALS, vdd, slew)
+    markers = {
+        "write_start": write_start,
+        "write_end": t_end,
+        "energy_window_start": write_start,
+        "energy_window_end": t_end,
+    }
+    return ControlSchedule("standard-store", phases, signals, stop, markers, vdd)
+
+
+# ---------------------------------------------------------------------------
+# Proposed 2-bit latch (paper Fig 5, sequences of Figs 6/7)
+# ---------------------------------------------------------------------------
+
+_PROPOSED_SIGNALS = (
+    "pcv_b", "pcg", "n3", "p3_b", "tg", "tg_b", "eqp_b", "eqn",
+    "wen", "wen_b", "d0", "d0_b", "d1", "d1_b",
+)
+
+
+def _proposed_levels_simplified(pc: bool, ren: bool, wen: bool,
+                                d0: bool, d1: bool) -> Dict[str, bool]:
+    """Gate levels of the simplified (Fig 7) controller as boolean
+    functions of the two primary signals PC and Ren (plus the PD-gated
+    write enable)."""
+    levels = {
+        "pcv_b": not (pc and not ren),
+        "pcg": not pc and not ren,
+        "n3": ren or (not pc and not wen),
+        "p3_b": not (pc or ren),
+        "tg": ren,
+        "eqp_b": not pc,               # P4 (PMOS) on while PC = 1
+        "eqn": (not pc) and (not wen),  # N4 (NMOS) on while PC = 0, reads only
+        "wen": wen,
+        "d0": d0,
+        "d1": d1,
+    }
+    # Reproduction notes on interpretation points of Figs 5–7:
+    #
+    # * Both enable devices (N3 *and* P3) conduct during *every*
+    #   evaluation: the non-selected side supplies the sense amplifier's
+    #   rail current (pull-up during the lower read, pull-down during the
+    #   upper read) while its equaliser (P4 resp. N4) makes that side
+    #   common-mode, so only the selected MTJ pair decides the race.  This
+    #   is what makes P4 "equalize the source terminals of P1 and P2 so
+    #   the upper MTJ states do not affect the lower read" (paper §III-C)
+    #   meaningful — with P3 off there would be no upper-side current to
+    #   equalise, and the winning output would float and droop.
+    # * P3 also conducts during the VDD pre-charge (keeping the upper
+    #   rails at VDD between reads) and N3 during the GND pre-charge
+    #   (pre-discharging the lower rails): both are free consequences of
+    #   decoding from PC/Ren and avoid re-charging internal rails from
+    #   the supply on every evaluation.
+    # * Fig 7 drives P4/N4 by PC̄, which holds throughout the restore
+    #   (wen = 0, so eqn = NOT PC exactly).  During a store, N4 = PC̄
+    #   would short the lower write rails sl1/sl2 — and Fig 6(a) lists N4
+    #   as OFF in the store phase — so the (PD-gated) store controller
+    #   masks N4 (and N3) with the write enable.
+    return _complement(levels, {"tg": "tg_b", "wen": "wen_b",
+                                "d0": "d0_b", "d1": "d1_b"})
+
+
+def _proposed_levels_explicit(pc_vdd: bool, pc_gnd: bool, sel_low: bool,
+                              sel_high: bool, wen: bool,
+                              d0: bool, d1: bool) -> Dict[str, bool]:
+    """Gate levels of the original (Fig 6) controller with independent
+    PC_VDD / PC_GND / SEL signals."""
+    ren = sel_low or sel_high
+    levels = {
+        "pcv_b": not pc_vdd,
+        "pcg": pc_gnd,
+        "n3": ren or pc_gnd,
+        "p3_b": not (ren or pc_vdd),
+        "tg": ren,
+        "eqp_b": not (pc_vdd or sel_low),  # P4 on through the lower half
+        "eqn": pc_gnd or sel_high,         # N4 on through the upper half
+        "wen": wen,
+        "d0": d0,
+        "d1": d1,
+    }
+    return _complement(levels, {"tg": "tg_b", "wen": "wen_b",
+                                "d0": "d0_b", "d1": "d1_b"})
+
+
+def proposed_restore_schedule(
+    bits: Tuple[int, int] = (1, 0),
+    simplified: bool = True,
+    precharge_width: float = 0.40e-9,
+    eval_width: float = 0.80e-9,
+    gnd_precharge_width: float = 0.35e-9,
+    tail: float = 0.20e-9,
+    cycles: int = 1,
+    vdd: float = VDD_NOMINAL,
+    slew: float = DEFAULT_SLEW,
+) -> ControlSchedule:
+    """Restore sequence of the proposed 2-bit latch.
+
+    ``cycles`` repeats the full two-bit read back-to-back with markers on
+    the last repetition (steady-state measurement, see the standard
+    schedule).
+
+    ``bits`` is (D0, D1): D0 lives in the lower MTJ pair (read first, with
+    a VDD pre-charge), D1 in the upper pair (read second, GND pre-charge).
+    With ``simplified=True`` the schedule is expressed through the
+    single-PC controller of Fig 7; otherwise through the independent
+    signals of Fig 6(b).  Both produce equivalent gate-level waveforms.
+
+    Starts at t = 0 in the VDD pre-charge state (power-up), and hands off
+    from the lower evaluation directly into the GND pre-charge (PC and
+    Ren fall together), avoiding a wasteful re-pre-charge to VDD.
+    """
+    if cycles < 1:
+        raise AnalysisError(f"cycles must be >= 1, got {cycles}")
+    d0, d1 = bool(bits[0]), bool(bits[1])
+
+    cycle_len = precharge_width + eval_width + gnd_precharge_width + eval_width
+
+    if simplified:
+        def lv(pc: bool, ren: bool) -> Dict[str, bool]:
+            return _proposed_levels_simplified(pc, ren, wen=False, d0=d0, d1=d1)
+
+        cycle_levels = [lv(True, False), lv(True, True), lv(False, False),
+                        lv(False, True)]
+    else:
+        def lx(pc_vdd: bool, pc_gnd: bool, sel_low: bool, sel_high: bool) -> Dict[str, bool]:
+            return _proposed_levels_explicit(pc_vdd, pc_gnd, sel_low, sel_high,
+                                             wen=False, d0=d0, d1=d1)
+
+        cycle_levels = [lx(True, False, False, False), lx(False, False, True, False),
+                        lx(False, True, False, False), lx(False, False, False, True)]
+
+    sub_names = ("precharge-vdd", "evaluate-lower", "precharge-gnd", "evaluate-upper")
+    sub_widths = (precharge_width, eval_width, gnd_precharge_width, eval_width)
+
+    phases = []
+    for k in range(cycles):
+        t = k * cycle_len
+        for sub_name, width, levels in zip(sub_names, sub_widths, cycle_levels):
+            phases.append(Phase(f"{sub_name}{k}", t, t + width, levels))
+            t += width
+    t_last = (cycles - 1) * cycle_len
+    t_eval0 = t_last + precharge_width
+    t_eval0_end = t_eval0 + eval_width
+    t_eval1 = t_eval0_end + gnd_precharge_width
+    t_eval1_end = t_eval1 + eval_width
+    stop = t_eval1_end + tail
+    phases.append(Phase("hold", t_eval1_end, stop, cycle_levels[3]))
+
+    signals = _waveforms_from_phases(phases, _PROPOSED_SIGNALS, vdd, slew)
+    markers = {
+        "precharge_vdd_start": t_last,
+        "eval_low_start": t_eval0,
+        "eval_low_end": t_eval0_end,
+        "precharge_gnd_start": t_eval0_end,
+        "eval_high_start": t_eval1,
+        "eval_high_end": t_eval1_end,
+        "energy_window_start": t_last,
+        "energy_window_end": t_eval1_end,
+    }
+    name = "proposed-restore-" + ("fig7" if simplified else "fig6")
+    return ControlSchedule(name, phases, signals, stop, markers, vdd)
+
+
+def proposed_store_schedule(
+    bits: Tuple[int, int],
+    write_start: float = 0.10e-9,
+    write_width: float = 3.0e-9,
+    tail: float = 0.40e-9,
+    vdd: float = VDD_NOMINAL,
+    slew: float = DEFAULT_SLEW,
+) -> ControlSchedule:
+    """Store sequence of the proposed latch: both bit pairs are written in
+    parallel (independent write paths), outputs clamped to ground."""
+    d0, d1 = bool(bits[0]), bool(bits[1])
+    t_end = write_start + write_width
+    stop = t_end + tail
+
+    def lv(wen: bool) -> Dict[str, bool]:
+        return _proposed_levels_simplified(pc=False, ren=False, wen=wen, d0=d0, d1=d1)
+
+    phases = [
+        Phase("idle", 0.0, write_start, lv(False)),
+        Phase("write", write_start, t_end, lv(True)),
+        Phase("post", t_end, stop, lv(False)),
+    ]
+    signals = _waveforms_from_phases(phases, _PROPOSED_SIGNALS, vdd, slew)
+    markers = {
+        "write_start": write_start,
+        "write_end": t_end,
+        "energy_window_start": write_start,
+        "energy_window_end": t_end,
+    }
+    return ControlSchedule("proposed-store", phases, signals, stop, markers, vdd)
+
+
+# ---------------------------------------------------------------------------
+# Full power cycles: store → power-off → restore
+# ---------------------------------------------------------------------------
+
+
+def _all_low_levels(signal_names: Sequence[str]) -> Dict[str, bool]:
+    """Every control signal at ground — the power-gated state."""
+    return {name: False for name in signal_names}
+
+
+def _shift_phases(phases: Sequence[Phase], offset: float) -> List[Phase]:
+    return [Phase(p.name, p.start + offset, p.end + offset, p.levels)
+            for p in phases]
+
+
+@dataclass
+class PowerCycle:
+    """A complete normally-off/instant-on cycle: the control schedule and
+    the matching supply waveform (VDD collapses to 0 V between the store
+    and the restore)."""
+
+    schedule: ControlSchedule
+    vdd_waveform: Waveform
+    #: Time the supply reaches 0 V / returns to VDD.
+    power_off_time: float
+    power_on_time: float
+
+
+def proposed_power_cycle(
+    bits: Tuple[int, int],
+    off_duration: float = 1.0e-9,
+    vdd: float = VDD_NOMINAL,
+    slew: float = DEFAULT_SLEW,
+    supply_slew: float = 100e-12,
+) -> PowerCycle:
+    """Store ``bits``, collapse the supply, wake up and restore — the
+    paper's Fig 3 protocol as one transient-simulatable sequence."""
+    store = proposed_store_schedule(bits, vdd=vdd, slew=slew)
+    restore = proposed_restore_schedule(bits=bits, vdd=vdd, slew=slew)
+
+    t_off = store.stop_time + supply_slew
+    t_on = t_off + off_duration
+    restore_start = t_on + supply_slew
+
+    phases = list(store.phases)
+    phases.append(Phase("power-off", store.stop_time, restore_start,
+                        _all_low_levels(_PROPOSED_SIGNALS)))
+    phases.extend(_shift_phases(restore.phases, restore_start))
+
+    signals = _waveforms_from_phases(phases, _PROPOSED_SIGNALS, vdd, slew)
+    markers = {f"store_{k}": v for k, v in store.markers.items()}
+    markers.update({k: v + restore_start for k, v in restore.markers.items()})
+    markers["power_off"] = t_off
+    markers["power_on"] = t_on
+    schedule = ControlSchedule("proposed-power-cycle", phases, signals,
+                               restore_start + restore.stop_time, markers, vdd)
+
+    vdd_wave = PWL(points=(
+        (0.0, vdd),
+        (t_off - supply_slew, vdd),
+        (t_off, 0.0),
+        (t_on, 0.0),
+        (t_on + supply_slew, vdd),
+    ))
+    return PowerCycle(schedule=schedule, vdd_waveform=vdd_wave,
+                      power_off_time=t_off, power_on_time=t_on)
+
+
+def standard_power_cycle(
+    bit: int,
+    off_duration: float = 1.0e-9,
+    vdd: float = VDD_NOMINAL,
+    slew: float = DEFAULT_SLEW,
+    supply_slew: float = 100e-12,
+) -> PowerCycle:
+    """Single-bit variant of :func:`proposed_power_cycle`."""
+    store = standard_store_schedule(bit, vdd=vdd, slew=slew)
+    restore = standard_restore_schedule(bit=bit, vdd=vdd, slew=slew)
+
+    t_off = store.stop_time + supply_slew
+    t_on = t_off + off_duration
+    restore_start = t_on + supply_slew
+
+    phases = list(store.phases)
+    phases.append(Phase("power-off", store.stop_time, restore_start,
+                        _all_low_levels(_STANDARD_SIGNALS)))
+    phases.extend(_shift_phases(restore.phases, restore_start))
+
+    signals = _waveforms_from_phases(phases, _STANDARD_SIGNALS, vdd, slew)
+    markers = {f"store_{k}": v for k, v in store.markers.items()}
+    markers.update({k: v + restore_start for k, v in restore.markers.items()})
+    markers["power_off"] = t_off
+    markers["power_on"] = t_on
+    schedule = ControlSchedule("standard-power-cycle", phases, signals,
+                               restore_start + restore.stop_time, markers, vdd)
+
+    vdd_wave = PWL(points=(
+        (0.0, vdd),
+        (t_off - supply_slew, vdd),
+        (t_off, 0.0),
+        (t_on, 0.0),
+        (t_on + supply_slew, vdd),
+    ))
+    return PowerCycle(schedule=schedule, vdd_waveform=vdd_wave,
+                      power_off_time=t_off, power_on_time=t_on)

@@ -1,0 +1,98 @@
+"""Design-space exploration of the latch sizing.
+
+The Table II numbers sit at one sizing point; this module sweeps a
+sizing knob and re-characterises the latch at each point, exposing the
+delay/energy trade-offs behind the defaults (e.g. the read-enable
+devices trade evaluation speed against MTJ read-disturb margin).
+
+Exploration runs full transient simulations per point — seconds each —
+so sweeps are explicit, coarse and cached by the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+from repro.cells.characterize import (
+    _proposed_read,
+    _standard_read,
+)
+from repro.cells.sizing import DEFAULT_SIZING, LatchSizing
+from repro.errors import AnalysisError
+from repro.spice.corners import CORNERS, SimulationCorner
+
+#: Sizing fields exposed to exploration.
+EXPLORABLE_FIELDS = (
+    "sa_nmos_width", "sa_pmos_width", "precharge_width",
+    "enable_width", "enable_pmos_width", "equalizer_width",
+    "tgate_width", "output_load",
+)
+
+
+@dataclass(frozen=True)
+class ExplorationPoint:
+    """One sweep sample."""
+
+    field: str
+    value: float
+    read_energy: float
+    read_delay: float
+    read_ok: bool
+
+
+def sweep_sizing(
+    field: str,
+    values: Sequence[float],
+    design: str = "proposed",
+    corner: SimulationCorner = CORNERS["typical"],
+    base: LatchSizing = DEFAULT_SIZING,
+    dt: float = 2e-12,
+) -> List[ExplorationPoint]:
+    """Sweep one sizing field; returns the per-point read metrics.
+
+    ``design`` is ``"standard"`` (single-bit read) or ``"proposed"``
+    (2-bit total read).  Points where the read fails are reported with
+    ``read_ok=False`` instead of raising — a failed corner of the design
+    space is a result, not an error.
+    """
+    if field not in EXPLORABLE_FIELDS:
+        raise AnalysisError(
+            f"unknown sizing field {field!r}; choose from {EXPLORABLE_FIELDS}")
+    if not values:
+        raise AnalysisError("sweep needs at least one value")
+    if design not in ("standard", "proposed"):
+        raise AnalysisError(f"unknown design {design!r}")
+
+    points: List[ExplorationPoint] = []
+    for value in values:
+        sizing = replace(base, **{field: value})
+        try:
+            if design == "standard":
+                energy, delay, ok, _latch, _res = _standard_read(
+                    1, corner, sizing, 1.1, dt)
+            else:
+                energy, delays, ok, _latch, _res = _proposed_read(
+                    (1, 0), corner, sizing, 1.1, dt)
+                delay = sum(delays)
+        except Exception:
+            energy, delay, ok = float("nan"), float("nan"), False
+        points.append(ExplorationPoint(field=field, value=value,
+                                       read_energy=energy, read_delay=delay,
+                                       read_ok=ok))
+    return points
+
+
+def render_sweep(points: Sequence[ExplorationPoint]) -> str:
+    """Plain-text sweep table."""
+    if not points:
+        raise AnalysisError("nothing to render")
+    field = points[0].field
+    lines = [f"sizing sweep — {field}",
+             f"{field:>18s} | energy [fJ] | delay [ps] | ok",
+             "-" * 52]
+    for p in points:
+        energy = f"{p.read_energy * 1e15:11.2f}" if p.read_ok else "      --   "
+        delay = f"{p.read_delay * 1e12:10.1f}" if p.read_ok else "     --   "
+        lines.append(f"{p.value:18.3g} | {energy} | {delay} | {p.read_ok}")
+    return "\n".join(lines)

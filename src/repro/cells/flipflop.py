@@ -1,0 +1,80 @@
+"""CMOS master/slave flip-flop bookkeeping.
+
+The conventional flip-flop is common to both compared systems (the paper
+replaces only the NV shadow component), so at system level it enters the
+analysis solely through its physical footprint and its placement
+behaviour.  This module defines the D-flip-flop cell constants used by
+the placement substrate and a small behavioural model used by the
+power-gating examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import DeviceModelError
+from repro.layout.design_rules import DesignRules, RULES_40NM
+from repro.units import MICRO
+
+
+@dataclass(frozen=True)
+class FlipFlopCell:
+    """Physical/electrical summary of a CMOS master/slave DFF cell."""
+
+    name: str = "DFF_X1"
+    #: Cell width [m] (14 poly pitches at 40 nm — a typical 24-transistor DFF).
+    width: float = 14 * 0.14 * MICRO
+    #: Cell height [m].
+    height: float = RULES_40NM.cell_height
+    #: Energy per clock edge [J] (typical 40 nm LP flop, ~1 fJ class).
+    clock_energy: float = 1.0e-15
+    #: Leakage power [W].
+    leakage: float = 15e-12
+    #: Setup time [s].
+    setup_time: float = 45e-12
+    #: Clock-to-Q delay [s].
+    clk_to_q: float = 90e-12
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+
+#: Default DFF used by the benchmark netlists.
+DFF_40LP = FlipFlopCell()
+
+
+@dataclass
+class DFlipFlop:
+    """Behavioural rising-edge D flip-flop (used by the shadow-architecture
+    model and the power-gating examples)."""
+
+    q: int = 0
+    _clock: int = 0
+
+    def apply_clock(self, clock: int, d: int) -> int:
+        """Advance with the given clock level and data input; returns Q.
+
+        Captures ``d`` on a rising clock edge, holds otherwise.  A latched
+        value survives only while the model is "powered"; power loss is
+        modelled by :meth:`invalidate`.
+        """
+        if clock not in (0, 1) or d not in (0, 1):
+            raise DeviceModelError("clock and d must be 0 or 1")
+        if clock == 1 and self._clock == 0:
+            self.q = d
+        self._clock = clock
+        return self.q
+
+    def invalidate(self) -> None:
+        """Model a supply collapse: the stored state becomes undefined
+        (represented as 0 after an explicit scramble marker)."""
+        self.q = 0
+        self._clock = 0
+
+    def force(self, value: int) -> None:
+        """Restore a value into the flop (the NV restore path)."""
+        if value not in (0, 1):
+            raise DeviceModelError("restored value must be 0 or 1")
+        self.q = value

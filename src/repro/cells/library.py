@@ -1,0 +1,99 @@
+"""Standard-cell library used by the physical-design substrate.
+
+Cell widths are expressed in contacted poly pitches of the 40 nm rule
+set (all cells share the 12-track row height).  The two NV components'
+dimensions come from the layout engine so that the system-level area
+accounting (Table III) uses exactly the cell-level areas of Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import LayoutError
+from repro.layout.cell_layout import plan_proposed_2bit, plan_standard_1bit
+from repro.layout.design_rules import DesignRules, RULES_40NM
+
+
+@dataclass(frozen=True)
+class CellType:
+    """One library cell."""
+
+    name: str
+    width: float
+    height: float
+    pin_count: int
+    is_sequential: bool = False
+    leakage: float = 0.0
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise LayoutError(f"cell {self.name!r}: non-positive dimensions")
+
+
+class CellLibrary:
+    """Lookup of :class:`CellType` by name."""
+
+    def __init__(self, cells: List[CellType]):
+        self._cells: Dict[str, CellType] = {}
+        for cell in cells:
+            if cell.name in self._cells:
+                raise LayoutError(f"duplicate cell {cell.name!r}")
+            self._cells[cell.name] = cell
+
+    def __getitem__(self, name: str) -> CellType:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise LayoutError(f"no cell named {name!r} in library")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._cells)
+
+    def combinational(self) -> List[CellType]:
+        return [c for c in self._cells.values() if not c.is_sequential]
+
+    def sequential(self) -> List[CellType]:
+        return [c for c in self._cells.values() if c.is_sequential]
+
+
+def build_default_library(rules: DesignRules = RULES_40NM) -> CellLibrary:
+    """Library with a small combinational set, the DFF, and the two NV
+    shadow components (dimensions from the layout engine)."""
+    pitch = rules.poly_pitch
+    height = rules.cell_height
+    nv1 = plan_standard_1bit(rules)
+    nv2 = plan_proposed_2bit(rules)
+
+    def cell(name: str, pitches: float, pins: int, sequential: bool = False,
+             leakage: float = 0.0) -> CellType:
+        return CellType(name, pitches * pitch, height, pins, sequential, leakage)
+
+    return CellLibrary([
+        cell("INV_X1", 3, 2, leakage=5e-12),
+        cell("BUF_X1", 4, 2, leakage=7e-12),
+        cell("NAND2_X1", 4, 3, leakage=8e-12),
+        cell("NOR2_X1", 4, 3, leakage=8e-12),
+        cell("NAND3_X1", 5, 4, leakage=10e-12),
+        cell("XOR2_X1", 7, 3, leakage=14e-12),
+        cell("AOI21_X1", 6, 4, leakage=11e-12),
+        cell("DFF_X1", 14, 3, sequential=True, leakage=15e-12),
+        CellType("NVL1B", nv1.width, nv1.height, 4, is_sequential=False,
+                 leakage=32e-12),
+        CellType("NVL2B", nv2.width, nv2.height, 6, is_sequential=False,
+                 leakage=33e-12),
+    ])
+
+
+#: Names of the NV shadow components in the default library.
+NV_1BIT_CELL = "NVL1B"
+NV_2BIT_CELL = "NVL2B"

@@ -1,0 +1,86 @@
+"""Gate-level circuit builders used by the latch netlists.
+
+Each helper adds a small sub-circuit to an existing
+:class:`~repro.spice.netlist.Circuit` and name-spaces its devices under a
+prefix, returning nothing circuit-global: the callers keep track of node
+names.
+"""
+
+from __future__ import annotations
+
+from repro.spice.devices.mosfet import MOSFETModel
+from repro.spice.netlist import GROUND, Circuit
+
+
+def add_inverter(
+    circuit: Circuit,
+    prefix: str,
+    input_node: str,
+    output_node: str,
+    vdd: str,
+    nmos: MOSFETModel,
+    pmos: MOSFETModel,
+    nmos_width: float = 120e-9,
+    pmos_width: float = 240e-9,
+    length: float = 40e-9,
+) -> None:
+    """Static CMOS inverter."""
+    circuit.add_mosfet(f"{prefix}.mp", output_node, input_node, vdd, vdd,
+                       pmos, pmos_width, length)
+    circuit.add_mosfet(f"{prefix}.mn", output_node, input_node, GROUND, GROUND,
+                       nmos, nmos_width, length)
+
+
+def add_tristate_inverter(
+    circuit: Circuit,
+    prefix: str,
+    input_node: str,
+    output_node: str,
+    enable: str,
+    enable_b: str,
+    vdd: str,
+    nmos: MOSFETModel,
+    pmos: MOSFETModel,
+    nmos_width: float,
+    pmos_width: float,
+    length: float = 40e-9,
+) -> None:
+    """Tristate inverter: drives ``NOT input`` when ``enable`` is high,
+    high-impedance otherwise.
+
+    Stack order: PMOS data device on the rail (input at the top) with the
+    enable PMOS (gate = ``enable_b``) next to the output; mirrored for the
+    NMOS stack (enable gate = ``enable``).  These are the write drivers
+    I1–I4 of the paper's Figs 2(b)/5.
+    """
+    mid_p = f"{prefix}.pmid"
+    mid_n = f"{prefix}.nmid"
+    circuit.add_mosfet(f"{prefix}.mp_in", mid_p, input_node, vdd, vdd,
+                       pmos, pmos_width, length)
+    circuit.add_mosfet(f"{prefix}.mp_en", output_node, enable_b, mid_p, vdd,
+                       pmos, pmos_width, length)
+    circuit.add_mosfet(f"{prefix}.mn_en", output_node, enable, mid_n, GROUND,
+                       nmos, nmos_width, length)
+    circuit.add_mosfet(f"{prefix}.mn_in", mid_n, input_node, GROUND, GROUND,
+                       nmos, nmos_width, length)
+
+
+def add_transmission_gate(
+    circuit: Circuit,
+    prefix: str,
+    node_a: str,
+    node_b: str,
+    enable: str,
+    enable_b: str,
+    vdd: str,
+    nmos: MOSFETModel,
+    pmos: MOSFETModel,
+    width: float,
+    length: float = 40e-9,
+) -> None:
+    """CMOS transmission gate between ``node_a`` and ``node_b``; conducts
+    when ``enable`` is high (``enable_b`` low)."""
+    circuit.add_mosfet(f"{prefix}.mn", node_a, enable, node_b, GROUND,
+                       nmos, width, length)
+    circuit.add_mosfet(f"{prefix}.mp", node_a, enable_b, node_b, vdd,
+                       pmos, width, length)

@@ -1,0 +1,63 @@
+"""Transistor sizing for the NV latch designs.
+
+Both latches use the same sense-amplifier and write-driver sizes so the
+comparison isolates the architectural difference (shared vs. duplicated
+read circuitry), mirroring the paper's methodology ("for fair comparison
+... both designs employed the same writing methodology").
+
+Two sizing constraints worth calling out:
+
+* **Read-current limiting** — the foot (N3) and head (P3) enable devices
+  are long-channel so the evaluation current stays well below the MTJ
+  critical current (37 µA): the read must be non-destructive.  With
+  W/L = 120 nm/240 nm the saturated foot passes ≈ 15–25 µA.
+* **Write drive** — the tristate inverters must push ≈ 70 µA through two
+  MTJs in series (≈ 16 kΩ), so they are drawn wide (µm-class).  In a real
+  multi-bit flip-flop these devices overlap with the master/slave
+  inverters (paper §III-B); they are excluded from the read-path
+  transistor count exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceModelError
+
+
+@dataclass(frozen=True)
+class LatchSizing:
+    """Widths/lengths [m] of every transistor role in the latch designs."""
+
+    #: Cross-coupled NMOS of the sense amplifier.
+    sa_nmos_width: float = 300e-9
+    #: Cross-coupled PMOS of the sense amplifier.
+    sa_pmos_width: float = 450e-9
+    #: Pre-charge devices (PMOS for VDD pre-charge, NMOS for GND pre-charge).
+    precharge_width: float = 300e-9
+    #: Read-enable foot devices (N3 and the 1-bit design's foot).
+    enable_width: float = 120e-9
+    enable_length: float = 240e-9
+    #: Read-enable head device (P3): wider so its charge current clearly
+    #: exceeds the foot's sink during the upper-pair evaluation.
+    enable_pmos_width: float = 720e-9
+    #: Output-stabiliser equalisers (P4 / N4).
+    equalizer_width: float = 150e-9
+    #: Transmission-gate devices (T1 / T2 and the 1-bit isolation gates).
+    tgate_width: float = 300e-9
+    #: Write tristate-inverter devices.
+    write_nmos_width: float = 500e-9
+    write_pmos_width: float = 1000e-9
+    #: Default channel length for everything except the enable devices.
+    length: float = 40e-9
+    #: Lumped wiring + restore-buffer load on each output node [F].
+    output_load: float = 1.2e-15
+
+    def __post_init__(self) -> None:
+        for name, value in self.__dict__.items():
+            if value <= 0.0:
+                raise DeviceModelError(f"sizing field {name!r} must be positive")
+
+
+#: Sizing used throughout the reproduction.
+DEFAULT_SIZING = LatchSizing()

@@ -1,0 +1,169 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``table1`` — print the circuit-level setup (paper Table I),
+* ``table2`` — characterise both latches across corners (paper Table II;
+  minutes of simulation — ``--corner typical`` for a quick look),
+* ``table3`` — run the system flow over benchmarks (paper Table III),
+* ``flow <benchmark>`` — one benchmark in detail, optional DEF/SVG output,
+* ``layout`` — the NV cell layouts (paper Fig 8),
+* ``standby`` — power-gating break-even comparison,
+* ``wer`` — write-error-rate margins vs pulse width.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import render_table1
+
+    print(render_table1())
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import build_table2, render_table2
+    from repro.spice.corners import CORNER_ORDER
+
+    corners = [args.corner] if args.corner else list(CORNER_ORDER)
+    print(f"Simulating both latch designs at corners {corners} "
+          f"(this runs full transients)...", file=sys.stderr)
+    data = build_table2(corners=corners, dt=args.dt,
+                        include_write=not args.no_write)
+    print(render_table2(data))
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import build_table3, render_table3
+
+    results = build_table3(args.benchmarks or None)
+    print(render_table3(results))
+    return 0
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    from repro.core.flow import run_system_flow
+    from repro.physd.def_io import write_def
+    from repro.analysis.figures import floorplan_svg
+
+    outcome = run_system_flow(args.benchmark)
+    result = outcome.result
+    print(f"{args.benchmark}: {result.total_flip_flops} flip-flops, "
+          f"{result.merged_pairs} merged pairs "
+          f"({100 * outcome.merge.merge_fraction:.0f} % of flops)")
+    print(f"area improvement   {100 * result.area_improvement:.2f} %")
+    print(f"energy improvement {100 * result.energy_improvement:.2f} %")
+    if args.write_def:
+        with open(args.write_def, "w") as handle:
+            handle.write(write_def(outcome.placement))
+        print(f"wrote {args.write_def}")
+    if args.write_svg:
+        with open(args.write_svg, "w") as handle:
+            handle.write(floorplan_svg(outcome.placement, outcome.merge))
+        print(f"wrote {args.write_svg}")
+    return 0
+
+
+def _cmd_layout(args: argparse.Namespace) -> int:
+    from repro.layout.cell_layout import plan_proposed_2bit, plan_standard_1bit
+
+    for plan in (plan_standard_1bit(), plan_proposed_2bit()):
+        print(plan.to_ascii())
+        print()
+    if args.svg:
+        for plan, path in ((plan_standard_1bit(), "nv_1bit.svg"),
+                           (plan_proposed_2bit(), "nv_2bit.svg")):
+            with open(path, "w") as handle:
+                handle.write(plan.to_svg())
+            print(f"wrote {path}")
+    return 0
+
+
+def _cmd_standby(args: argparse.Namespace) -> int:
+    from repro.core.standby import (
+        MemorySaveRestoreStrategy,
+        NVBackupStrategy,
+        RetentionStrategy,
+        StandbyScenario,
+        standby_report,
+    )
+
+    scenario = StandbyScenario(num_bits=args.bits,
+                               domain_leakage=args.leakage)
+    strategies = [NVBackupStrategy(), MemorySaveRestoreStrategy(),
+                  RetentionStrategy()]
+    durations = [1e-6, 10e-6, 100e-6, 1e-3]
+    print(f"{args.bits} bits, {args.leakage * 1e6:g} uW gated-domain leakage")
+    print(standby_report(scenario, strategies, durations))
+    return 0
+
+
+def _cmd_wer(args: argparse.Namespace) -> int:
+    from repro.mtj.write_error import WriteErrorModel
+
+    model = WriteErrorModel()
+    for current in (50e-6, 60e-6, 70e-6, 90e-6):
+        print(model.margin_report(current))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Multi-Bit Non-Volatile Spintronic "
+                    "Flip-Flop' (DATE 2018)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="circuit-level setup").set_defaults(
+        func=_cmd_table1)
+
+    p2 = sub.add_parser("table2", help="latch comparison across corners")
+    p2.add_argument("--corner", choices=["fast", "typical", "slow"],
+                    help="simulate one corner only")
+    p2.add_argument("--dt", type=float, default=1e-12,
+                    help="transient timestep [s]")
+    p2.add_argument("--no-write", action="store_true",
+                    help="skip the store-phase simulations")
+    p2.set_defaults(func=_cmd_table2)
+
+    p3 = sub.add_parser("table3", help="system-level benchmark sweep")
+    p3.add_argument("benchmarks", nargs="*",
+                    help="benchmark names (default: all 13)")
+    p3.set_defaults(func=_cmd_table3)
+
+    pf = sub.add_parser("flow", help="run one benchmark in detail")
+    pf.add_argument("benchmark")
+    pf.add_argument("--write-def", metavar="PATH")
+    pf.add_argument("--write-svg", metavar="PATH")
+    pf.set_defaults(func=_cmd_flow)
+
+    pl = sub.add_parser("layout", help="NV cell layouts (Fig 8)")
+    pl.add_argument("--svg", action="store_true", help="also write SVG files")
+    pl.set_defaults(func=_cmd_layout)
+
+    ps = sub.add_parser("standby", help="power-gating break-even analysis")
+    ps.add_argument("--bits", type=int, default=1000)
+    ps.add_argument("--leakage", type=float, default=10e-6,
+                    help="gated-domain leakage [W]")
+    ps.set_defaults(func=_cmd_standby)
+
+    pw = sub.add_parser("wer", help="write-error-rate margins")
+    pw.set_defaults(func=_cmd_wer)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

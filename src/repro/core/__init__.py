@@ -1,0 +1,72 @@
+"""The paper's contribution: multi-bit NV flip-flop merging.
+
+* :mod:`repro.core.shadow` — shadow flip-flop architecture model
+  (store/restore protocol, power-gating controller),
+* :mod:`repro.core.merge` — neighbour-flip-flop identification over a
+  placement or DEF, and greedy nearest-neighbour maximal matching under
+  the 3.35 µm threshold (the paper's "script executed over the DEF"),
+* :mod:`repro.core.replace` — ECO replacement of paired 1-bit NV
+  components with the 2-bit cell,
+* :mod:`repro.core.evaluate` — area/read-energy accounting producing
+  Table III rows,
+* :mod:`repro.core.flow` — the end-to-end system flow,
+* :mod:`repro.core.multibit` — k-bit scalability cost model.
+"""
+
+from repro.core.merge import (
+    MergeConfig,
+    MergedPair,
+    MergeResult,
+    default_merge_threshold,
+    find_mergeable_pairs,
+    pairs_from_def,
+)
+from repro.core.replace import ReplacementPlan, plan_replacement, apply_replacement
+from repro.core.evaluate import NVCellCosts, SystemResult, evaluate_system, costs_from_layout
+from repro.core.flow import FlowConfig, run_system_flow
+from repro.core.shadow import ShadowFlipFlop, MultiBitShadowGroup, PowerGatingController
+from repro.core.multibit import KBitCostModel
+from repro.core.cluster import (
+    ClusterResult,
+    FlipFlopCluster,
+    cluster_flip_flops,
+    evaluate_kbit_system,
+)
+from repro.core.standby import (
+    StandbyScenario,
+    NVBackupStrategy,
+    MemorySaveRestoreStrategy,
+    RetentionStrategy,
+    standby_report,
+)
+
+__all__ = [
+    "MergeConfig",
+    "MergedPair",
+    "MergeResult",
+    "default_merge_threshold",
+    "find_mergeable_pairs",
+    "pairs_from_def",
+    "ReplacementPlan",
+    "plan_replacement",
+    "apply_replacement",
+    "NVCellCosts",
+    "SystemResult",
+    "evaluate_system",
+    "costs_from_layout",
+    "FlowConfig",
+    "run_system_flow",
+    "ShadowFlipFlop",
+    "MultiBitShadowGroup",
+    "PowerGatingController",
+    "KBitCostModel",
+    "StandbyScenario",
+    "NVBackupStrategy",
+    "MemorySaveRestoreStrategy",
+    "RetentionStrategy",
+    "standby_report",
+    "ClusterResult",
+    "FlipFlopCluster",
+    "cluster_flip_flops",
+    "evaluate_kbit_system",
+]

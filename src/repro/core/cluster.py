@@ -1,0 +1,211 @@
+"""k-bit flip-flop clustering — the system-level side of the paper's
+scalability outlook.
+
+The published flow merges *pairs*; the sharing principle extends to
+groups of up to k flip-flops sharing one k-bit component (see
+:mod:`repro.core.multibit` for the cell-level cost model).  This module
+generalises the pairing pass: greedy agglomerative clustering under the
+same separation threshold — a cluster accepts a new flip-flop only if it
+stays within the threshold of *every* member (complete linkage), keeping
+the paper's no-timing-penalty guarantee for every member of the group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.core.merge import MergeConfig, _rect_distance
+from repro.core.multibit import KBitCostModel, plan_kbit
+from repro.errors import MergeError
+from repro.physd.placement.result import Placement
+
+
+@dataclass
+class FlipFlopCluster:
+    """One group of flip-flops sharing a k-bit NV component."""
+
+    members: Tuple[str, ...]
+    #: Largest pairwise separation within the cluster [m].
+    diameter: float
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of the k-bit clustering pass."""
+
+    clusters: List[FlipFlopCluster]
+    threshold: float
+    max_bits: int
+
+    def size_histogram(self) -> Dict[int, int]:
+        histogram: Dict[int, int] = {}
+        for cluster in self.clusters:
+            histogram[cluster.size] = histogram.get(cluster.size, 0) + 1
+        return histogram
+
+    @property
+    def total_flip_flops(self) -> int:
+        return sum(cluster.size for cluster in self.clusters)
+
+    def validate(self) -> None:
+        seen: set = set()
+        for cluster in self.clusters:
+            if not 1 <= cluster.size <= self.max_bits:
+                raise MergeError(f"cluster size {cluster.size} out of range")
+            for member in cluster.members:
+                if member in seen:
+                    raise MergeError(f"flip-flop {member!r} in two clusters")
+                seen.add(member)
+            if cluster.size > 1 and cluster.diameter > self.threshold * (1 + 1e-9):
+                raise MergeError(
+                    f"cluster {cluster.members} exceeds the threshold")
+
+
+def cluster_flip_flops(
+    placement: Placement,
+    max_bits: int = 4,
+    config: Optional[MergeConfig] = None,
+) -> ClusterResult:
+    """Greedy complete-linkage clustering of placed flip-flops.
+
+    Seeds clusters from the closest pairs (like the published pairing
+    pass), then grows each cluster with the nearest eligible flip-flop
+    until ``max_bits`` or no candidate stays within the threshold of all
+    members.  ``max_bits=2`` reduces to a pairing equivalent in quality
+    to :func:`repro.core.merge.find_mergeable_pairs`.
+    """
+    if max_bits < 1:
+        raise MergeError(f"max_bits must be >= 1, got {max_bits}")
+    config = config or MergeConfig()
+    threshold = config.resolved_threshold()
+
+    names = sorted(inst.name for inst in placement.netlist.sequential_instances())
+    rects = []
+    centers = []
+    for name in names:
+        rect = placement.cell_rect(name)
+        rects.append((rect.x_min, rect.y_min, rect.x_max, rect.y_max))
+        c = rect.center
+        centers.append((c.x, c.y))
+
+    clusters: List[FlipFlopCluster] = []
+    if not names:
+        return ClusterResult(clusters=[], threshold=threshold, max_bits=max_bits)
+
+    points = np.array(centers)
+    tree = cKDTree(points) if len(names) >= 2 else None
+    half_diagonals = [np.hypot(r[2] - r[0], r[3] - r[1]) / 2.0 for r in rects]
+    radius = threshold + 2.0 * max(half_diagonals)
+
+    # Candidate edges by ascending separation (the pairing seeds).
+    edges: List[Tuple[float, int, int]] = []
+    if tree is not None:
+        for i, j in tree.query_pairs(r=radius):
+            distance = _rect_distance(rects[i], rects[j])
+            if distance <= threshold:
+                edges.append((distance, i, j))
+    edges.sort()
+
+    assigned: Dict[int, int] = {}  # ff index -> cluster id
+    members_of: Dict[int, List[int]] = {}
+
+    def can_join(ff: int, cluster_id: int) -> bool:
+        if len(members_of[cluster_id]) >= max_bits:
+            return False
+        return all(_rect_distance(rects[ff], rects[m]) <= threshold
+                   for m in members_of[cluster_id])
+
+    next_id = 0
+    if max_bits < 2:
+        edges = []  # singleton mode: no grouping at all
+    for _distance, i, j in edges:
+        if i in assigned and j in assigned:
+            continue
+        if i not in assigned and j not in assigned:
+            members_of[next_id] = [i, j]
+            assigned[i] = next_id
+            assigned[j] = next_id
+            next_id += 1
+        elif i in assigned and can_join(j, assigned[i]):
+            members_of[assigned[i]].append(j)
+            assigned[j] = assigned[i]
+        elif j in assigned and can_join(i, assigned[j]):
+            members_of[assigned[j]].append(i)
+            assigned[i] = assigned[j]
+
+    for cluster_members in members_of.values():
+        member_names = tuple(sorted(names[m] for m in cluster_members))
+        diameter = max(
+            (_rect_distance(rects[a], rects[b])
+             for ai, a in enumerate(cluster_members)
+             for b in cluster_members[ai + 1:]),
+            default=0.0,
+        )
+        clusters.append(FlipFlopCluster(members=member_names, diameter=diameter))
+    for idx, name in enumerate(names):
+        if idx not in assigned:
+            clusters.append(FlipFlopCluster(members=(name,), diameter=0.0))
+
+    clusters.sort(key=lambda c: c.members)
+    result = ClusterResult(clusters=clusters, threshold=threshold,
+                           max_bits=max_bits)
+    result.validate()
+    return result
+
+
+@dataclass
+class KBitSystemResult:
+    """Area/energy accounting of a clustered design."""
+
+    benchmark: str
+    max_bits: int
+    size_histogram: Dict[int, int]
+    area_baseline: float
+    area_clustered: float
+    energy_baseline: float
+    energy_clustered: float
+
+    @property
+    def area_improvement(self) -> float:
+        return 1.0 - self.area_clustered / self.area_baseline
+
+    @property
+    def energy_improvement(self) -> float:
+        return 1.0 - self.energy_clustered / self.energy_baseline
+
+
+def evaluate_kbit_system(
+    benchmark: str,
+    clusters: ClusterResult,
+    cost_model: KBitCostModel,
+) -> KBitSystemResult:
+    """Account a clustered design against the all-1-bit baseline, using
+    the k-bit cost model's per-size area and energy."""
+    total = clusters.total_flip_flops
+    if total == 0:
+        raise MergeError("no flip-flops to account")
+    area_1 = cost_model.area(1)
+    energy_1 = cost_model.read_energy(1)
+
+    area = 0.0
+    energy = 0.0
+    for size, count in clusters.size_histogram().items():
+        area += count * cost_model.area(size)
+        energy += count * cost_model.read_energy(size)
+    return KBitSystemResult(
+        benchmark=benchmark,
+        max_bits=clusters.max_bits,
+        size_histogram=clusters.size_histogram(),
+        area_baseline=total * area_1,
+        area_clustered=area,
+        energy_baseline=total * energy_1,
+        energy_clustered=energy,
+    )

@@ -1,0 +1,123 @@
+"""k-bit scalability cost model (paper §III, "design scalability").
+
+The paper's sharing idea generalises: one sense amplifier can serve k
+bits by stacking more MTJ pairs behind per-pair select devices, reading
+the k bits sequentially.  This module models the transistor count, the
+layout area (through the column planner) and the read energy/delay of a
+k-bit shadow component, calibrated so k = 1 reproduces the standard
+latch and k = 2 the proposed latch exactly.
+
+Transistor count:  T(k) = 10 + 3k
+  shared: 4 (SA) + 4 (pre-charge) + 2 (enables) = 10;
+  per bit: 1 equaliser + 2 transmission-gate devices = 3.
+  Check: T(2) = 16 (paper's proposed), and the standard 1-bit latch is
+  11 = T(1)+... — the 1-bit design needs no equaliser, so the model
+  treats k = 1 as the conventional latch with its own count of 11.
+
+Energy/delay:  E(k) = E_shared + k·E_bit and  D(k) = k·D_bit, fitted
+from the measured 1-bit and 2-bit characterisations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import MergeError
+from repro.layout.cell_layout import CellPlan, Column, ColumnKind, plan_standard_1bit
+from repro.layout.design_rules import DesignRules, RULES_40NM
+
+
+def kbit_transistor_count(k: int) -> int:
+    """Read-path transistor count of a k-bit shared component."""
+    if k < 1:
+        raise MergeError(f"k must be >= 1, got {k}")
+    if k == 1:
+        return 11  # the conventional single-bit latch
+    return 10 + 3 * k
+
+
+def plan_kbit(k: int, rules: DesignRules = RULES_40NM) -> CellPlan:
+    """Column plan of a k-bit shared component (k ≥ 2; k = 1 is the
+    standard plan)."""
+    if k < 1:
+        raise MergeError(f"k must be >= 1, got {k}")
+    if k == 1:
+        return plan_standard_1bit(rules)
+    cols: List[Column] = [Column(ColumnKind.TAP)]
+    # Shared core: pre-charge + SA + enables (paired into device columns).
+    cols.append(Column(ColumnKind.DEVICE, pmos="pcv1", nmos="pcg1"))
+    cols.append(Column(ColumnKind.DEVICE, pmos="p1", nmos="n1"))
+    cols.append(Column(ColumnKind.DEVICE, pmos="p2", nmos="n2"))
+    cols.append(Column(ColumnKind.DEVICE, pmos="pcv2", nmos="pcg2"))
+    cols.append(Column(ColumnKind.DEVICE, pmos="p_en", nmos="n_en"))
+    # Per-bit: equaliser (alternating row) + transmission-gate column.
+    cols.append(Column(ColumnKind.BREAK))
+    for b in range(k):
+        eq_p = f"eq{b}" if b % 2 == 0 else None
+        eq_n = f"eq{b}" if b % 2 == 1 else None
+        cols.append(Column(ColumnKind.DEVICE, pmos=eq_p, nmos=eq_n))
+        cols.append(Column(ColumnKind.DEVICE, pmos=f"t{b}.mp", nmos=f"t{b}.mn"))
+    cols.append(Column(ColumnKind.BREAK))
+    for b in range(k):
+        cols.append(Column(ColumnKind.MTJ_PAD, label=f"MTJ{2 * b + 1}"))
+        cols.append(Column(ColumnKind.MTJ_PAD, label=f"MTJ{2 * b + 2}"))
+    cols.append(Column(ColumnKind.TAP))
+    return CellPlan(f"proposed-{k}bit-nv", cols, rules)
+
+
+@dataclass(frozen=True)
+class KBitCostModel:
+    """Per-component costs as a function of k, fitted from measurements.
+
+    ``energy_1bit`` is the standard latch's read energy (one bit),
+    ``energy_2bit`` the proposed latch's (two bits, shared core): the
+    fit solves E(k) = E_shared + k·E_bit through those two points with
+    E(1) anchored at the standard latch.
+    """
+
+    energy_1bit: float
+    energy_2bit: float
+    delay_per_bit: float
+    rules: DesignRules = RULES_40NM
+
+    def __post_init__(self) -> None:
+        if self.energy_1bit <= 0 or self.energy_2bit <= 0 or self.delay_per_bit <= 0:
+            raise MergeError("cost-model inputs must be positive")
+
+    @property
+    def _energy_bit(self) -> float:
+        return self.energy_2bit - self.energy_1bit
+
+    @property
+    def _energy_shared(self) -> float:
+        return 2.0 * self.energy_1bit - self.energy_2bit
+
+    def read_energy(self, k: int) -> float:
+        """Read energy of one k-bit component [J]."""
+        if k < 1:
+            raise MergeError(f"k must be >= 1, got {k}")
+        if k == 1:
+            return self.energy_1bit
+        energy = self._energy_shared + k * self._energy_bit
+        return max(energy, k * 0.25 * self.energy_1bit)
+
+    def read_delay(self, k: int) -> float:
+        """Sequential read delay of one k-bit component [s]."""
+        if k < 1:
+            raise MergeError(f"k must be >= 1, got {k}")
+        return k * self.delay_per_bit
+
+    def area(self, k: int) -> float:
+        """Layout area of one k-bit component [m²]."""
+        return plan_kbit(k, self.rules).area
+
+    def per_bit_summary(self, k: int) -> dict:
+        """Normalised per-bit costs, the scalability headline."""
+        return {
+            "k": k,
+            "transistors_per_bit": kbit_transistor_count(k) / k,
+            "area_per_bit": self.area(k) / k,
+            "energy_per_bit": self.read_energy(k) / k,
+            "delay_total": self.read_delay(k),
+        }

@@ -1,0 +1,123 @@
+"""ECO replacement of NV shadow components after pairing.
+
+Given a merge result, this module edits the design: every flip-flop gets
+a 1-bit NV shadow component placed beside it, except merged pairs, which
+share a single 2-bit component placed at the pair midpoint.  The edit is
+expressed as a :class:`ReplacementPlan` (reviewable, like an ECO file)
+and applied to a netlist + placement in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cells.library import NV_1BIT_CELL, NV_2BIT_CELL
+from repro.core.merge import MergeResult
+from repro.errors import MergeError
+from repro.physd.netlist import GateNetlist
+from repro.physd.placement.result import Placement
+
+
+@dataclass(frozen=True)
+class NVAttachment:
+    """One NV component to create."""
+
+    name: str
+    cell: str
+    #: Flip-flops backed by this component (1 or 2).
+    flip_flops: Tuple[str, ...]
+    #: Suggested position (x, y of the lower-left corner) [m].
+    x: float
+    y: float
+
+
+@dataclass
+class ReplacementPlan:
+    """The full ECO: components to add, keyed by backing flip-flops."""
+
+    attachments: List[NVAttachment] = field(default_factory=list)
+
+    @property
+    def num_2bit(self) -> int:
+        return sum(1 for a in self.attachments if a.cell == NV_2BIT_CELL)
+
+    @property
+    def num_1bit(self) -> int:
+        return sum(1 for a in self.attachments if a.cell == NV_1BIT_CELL)
+
+    def covered_flip_flops(self) -> List[str]:
+        names: List[str] = []
+        for attachment in self.attachments:
+            names.extend(attachment.flip_flops)
+        return names
+
+    def validate(self, expected_ffs: List[str]) -> None:
+        covered = self.covered_flip_flops()
+        if sorted(covered) != sorted(expected_ffs):
+            missing = set(expected_ffs) - set(covered)
+            extra = set(covered) - set(expected_ffs)
+            raise MergeError(
+                f"replacement plan coverage mismatch — missing {sorted(missing)[:5]}, "
+                f"extra {sorted(extra)[:5]}"
+            )
+
+
+def plan_replacement(
+    placement: Placement,
+    merge: MergeResult,
+    nv_1bit_cell: str = NV_1BIT_CELL,
+    nv_2bit_cell: str = NV_2BIT_CELL,
+) -> ReplacementPlan:
+    """Build the ECO plan from a merge result.
+
+    2-bit components sit at the midpoint of their pair; 1-bit components
+    abut their flip-flop on the right.
+    """
+    plan = ReplacementPlan()
+    for k, pair in enumerate(merge.pairs):
+        ca = placement.center(pair.ff_a)
+        cb = placement.center(pair.ff_b)
+        plan.attachments.append(NVAttachment(
+            name=f"nv2_{k}", cell=nv_2bit_cell,
+            flip_flops=(pair.ff_a, pair.ff_b),
+            x=(ca.x + cb.x) / 2.0, y=(ca.y + cb.y) / 2.0,
+        ))
+    for k, name in enumerate(merge.unmatched):
+        rect = placement.cell_rect(name)
+        plan.attachments.append(NVAttachment(
+            name=f"nv1_{k}", cell=nv_1bit_cell,
+            flip_flops=(name,),
+            x=rect.x_max, y=rect.y_min,
+        ))
+    ff_names = [inst.name for inst in placement.netlist.sequential_instances()]
+    plan.validate(ff_names)
+    return plan
+
+
+def apply_replacement(
+    netlist: GateNetlist,
+    plan: ReplacementPlan,
+    backup_net_prefix: str = "nvbk",
+) -> List[str]:
+    """Instantiate the planned NV components in the netlist.
+
+    Each NV component connects to its flip-flops' output nets (the data
+    to back up) plus a backup-control net.  Returns the new instance
+    names.  The function is idempotent-unsafe by design: applying a plan
+    twice raises, as a second shadow bank would be a real design error.
+    """
+    created: List[str] = []
+    control_net = f"{backup_net_prefix}_ctl"
+    netlist.add_net(control_net)
+    for attachment in plan.attachments:
+        nets = [control_net]
+        for ff_name in attachment.flip_flops:
+            ff = netlist.instance(ff_name)
+            if not ff.is_sequential:
+                raise MergeError(f"{ff_name!r} is not a flip-flop")
+            # Convention of the generators: last pin is the Q output.
+            nets.append(ff.nets[-1])
+        netlist.add_instance(attachment.name, attachment.cell, nets)
+        created.append(attachment.name)
+    return created

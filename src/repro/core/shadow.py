@@ -1,0 +1,201 @@
+"""Behavioural shadow flip-flop architecture (paper Figs 2(a)/3).
+
+These models capture the *protocol* the circuits implement — the
+store/power-off/restore sequence driven by the global PD pin — at the
+bit level, independent of analog simulation.  They back the system
+examples (a power-gated register file surviving a power cycle) and the
+protocol tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cells.flipflop import DFlipFlop
+from repro.errors import AnalysisError
+from repro.mtj.device import MTJDevice, MTJState
+
+
+class PowerState(enum.Enum):
+    ON = "on"
+    OFF = "off"
+
+
+@dataclass
+class NVBitCell:
+    """One complementary MTJ pair storing a single bit."""
+
+    mtj_true: MTJDevice = field(default_factory=MTJDevice)
+    mtj_comp: MTJDevice = field(default_factory=MTJDevice)
+
+    def store(self, bit: int) -> None:
+        self.mtj_true.write_bit(bit)
+        self.mtj_comp.write_bit(1 - bit)
+
+    def restore(self) -> int:
+        """Differential read; raises on an invalid (equal-state) pair."""
+        if self.mtj_true.state is self.mtj_comp.state:
+            raise AnalysisError(
+                "invalid NV pair state: both junctions "
+                f"{self.mtj_true.state.value} — store was incomplete"
+            )
+        return self.mtj_true.bit
+
+    def is_valid(self) -> bool:
+        return self.mtj_true.state is not self.mtj_comp.state
+
+    def corrupt(self, junction: str = "true") -> None:
+        """Failure injection: flip one junction so the pair becomes
+        invalid or stores the wrong bit."""
+        if junction == "true":
+            self.mtj_true.flip()
+        elif junction == "comp":
+            self.mtj_comp.flip()
+        else:
+            raise AnalysisError(f"unknown junction {junction!r}")
+
+
+@dataclass
+class ShadowFlipFlop:
+    """Single-bit shadow architecture: a CMOS flop plus one NV bit cell."""
+
+    flop: DFlipFlop = field(default_factory=DFlipFlop)
+    nv: NVBitCell = field(default_factory=NVBitCell)
+    power: PowerState = PowerState.ON
+
+    def clock(self, d: int) -> int:
+        """One full clock cycle (low then high) while powered."""
+        if self.power is PowerState.OFF:
+            raise AnalysisError("clocking a powered-down flip-flop")
+        self.flop.apply_clock(0, d)
+        return self.flop.apply_clock(1, d)
+
+    @property
+    def q(self) -> int:
+        if self.power is PowerState.OFF:
+            raise AnalysisError("reading Q of a powered-down flip-flop")
+        return self.flop.q
+
+    def store(self) -> None:
+        """PD assertion: back the live state up into the NV cell."""
+        if self.power is PowerState.OFF:
+            raise AnalysisError("store requested while powered down")
+        self.nv.store(self.flop.q)
+
+    def power_down(self) -> None:
+        self.power = PowerState.OFF
+        self.flop.invalidate()
+
+    def power_up_and_restore(self) -> int:
+        """Wake-up: restore the NV value into the flop."""
+        self.power = PowerState.ON
+        value = self.nv.restore()
+        self.flop.force(value)
+        return value
+
+
+@dataclass
+class MultiBitShadowGroup:
+    """The proposed architecture's behavioural view: two CMOS flip-flops
+    sharing one 2-bit NV component (paper Fig 3).
+
+    The shared component reads its two bits *sequentially* during
+    restore; :attr:`restore_order` records the order (lower pair — bit 0
+    — first), matching the circuit's Fig 6(b)/7(b) sequence.
+    """
+
+    flops: Tuple[DFlipFlop, DFlipFlop] = field(
+        default_factory=lambda: (DFlipFlop(), DFlipFlop()))
+    bits: Tuple[NVBitCell, NVBitCell] = field(
+        default_factory=lambda: (NVBitCell(), NVBitCell()))
+    power: PowerState = PowerState.ON
+    restore_order: List[int] = field(default_factory=list)
+
+    def clock(self, d0: int, d1: int) -> Tuple[int, int]:
+        if self.power is PowerState.OFF:
+            raise AnalysisError("clocking a powered-down group")
+        for flop, d in zip(self.flops, (d0, d1)):
+            flop.apply_clock(0, d)
+            flop.apply_clock(1, d)
+        return (self.flops[0].q, self.flops[1].q)
+
+    def store(self) -> None:
+        """Both bits are written in parallel (independent write paths)."""
+        if self.power is PowerState.OFF:
+            raise AnalysisError("store requested while powered down")
+        for bit_cell, flop in zip(self.bits, self.flops):
+            bit_cell.store(flop.q)
+
+    def power_down(self) -> None:
+        self.power = PowerState.OFF
+        for flop in self.flops:
+            flop.invalidate()
+
+    def power_up_and_restore(self) -> Tuple[int, int]:
+        """Sequential restore: lower pair (bit 0) first, then upper."""
+        self.power = PowerState.ON
+        self.restore_order = []
+        values = []
+        for index in (0, 1):
+            value = self.bits[index].restore()
+            self.flops[index].force(value)
+            self.restore_order.append(index)
+            values.append(value)
+        return (values[0], values[1])
+
+
+@dataclass
+class PowerGatingController:
+    """System-level PD-pin controller over a set of shadow elements.
+
+    Drives the paper's normally-off/instant-on cycle: assert PD → every
+    element stores → power off → (arbitrarily long, zero leakage) →
+    power on → every element restores → deassert PD.
+    """
+
+    singles: List[ShadowFlipFlop] = field(default_factory=list)
+    groups: List[MultiBitShadowGroup] = field(default_factory=list)
+    pd: bool = False
+    #: Wake-up latency budget [s] (the paper cites 120 ns for an STT MCU).
+    wakeup_budget: float = 120e-9
+    #: Per-element restore time [s] (two sequential reads for a group).
+    single_restore_time: float = 0.4e-9
+    group_restore_time: float = 0.8e-9
+
+    def enter_standby(self) -> None:
+        if self.pd:
+            raise AnalysisError("already in standby")
+        self.pd = True
+        for element in self.singles:
+            element.store()
+        for group in self.groups:
+            group.store()
+        for element in self.singles:
+            element.power_down()
+        for group in self.groups:
+            group.power_down()
+
+    def wake_up(self) -> float:
+        """Restore everything; returns the restore latency estimate [s]
+        (restores happen in parallel across elements — the latency is the
+        slowest element, not the sum)."""
+        if not self.pd:
+            raise AnalysisError("wake-up without a preceding standby")
+        for element in self.singles:
+            element.power_up_and_restore()
+        for group in self.groups:
+            group.power_up_and_restore()
+        self.pd = False
+        latency = 0.0
+        if self.singles:
+            latency = max(latency, self.single_restore_time)
+        if self.groups:
+            latency = max(latency, self.group_restore_time)
+        if latency > self.wakeup_budget:
+            raise AnalysisError(
+                f"restore latency {latency:g}s exceeds the wake-up budget "
+                f"{self.wakeup_budget:g}s"
+            )
+        return latency

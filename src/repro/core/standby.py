@@ -1,0 +1,227 @@
+"""Power-gating economics: when does normally-off pay for itself?
+
+The paper's motivation is leakage elimination through complete power
+shut-down.  Whether a standby interval actually saves energy depends on
+the overheads: the store (write) energy on entry, the restore (read)
+energy on exit, and — for the save-and-restore-to-memory alternative
+[4] it argues against — the transfer costs of moving every flip-flop bit
+to a RAM and back.
+
+This module provides the break-even analysis over three back-up
+strategies:
+
+* :class:`NVBackupStrategy` — local NV shadow components (1-bit or the
+  proposed shared 2-bit cells): store/restore energy from the Table II
+  characterisation, zero standby power.
+* :class:`MemorySaveRestoreStrategy` — the conventional technique [4]:
+  serially transfer all bits to an on-chip SRAM over a bus; the SRAM
+  and its periphery keep leaking during standby, and the serial
+  transfer adds wake-up latency (the paper's "severe delay, area and
+  routing overheads").
+* :class:`RetentionStrategy` — keep the flip-flops on a retention rail:
+  no transfer costs, but residual leakage all through the standby.
+
+All strategies expose ``total_energy(duration)``; the break-even time
+against always-on leakage follows analytically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class StandbyScenario:
+    """The design being power-gated."""
+
+    #: Number of flip-flop bits that must survive the standby.
+    num_bits: int
+    #: Active-rail leakage of the whole gated domain [W] (logic + flops).
+    domain_leakage: float
+    #: Leakage of one flip-flop kept on a retention rail [W].
+    retention_leakage_per_bit: float = 15e-12
+
+    def __post_init__(self) -> None:
+        if self.num_bits < 1:
+            raise AnalysisError("scenario needs at least one bit")
+        if self.domain_leakage <= 0:
+            raise AnalysisError("domain leakage must be positive")
+
+
+class BackupStrategy:
+    """Interface: energy cost of surviving a standby of a given length."""
+
+    name: str = "abstract"
+
+    def entry_energy(self, scenario: StandbyScenario) -> float:
+        raise NotImplementedError
+
+    def exit_energy(self, scenario: StandbyScenario) -> float:
+        raise NotImplementedError
+
+    def standby_power(self, scenario: StandbyScenario) -> float:
+        raise NotImplementedError
+
+    def wakeup_latency(self, scenario: StandbyScenario) -> float:
+        raise NotImplementedError
+
+    def total_energy(self, scenario: StandbyScenario, duration: float) -> float:
+        """Energy spent surviving a standby of ``duration`` seconds."""
+        if duration < 0:
+            raise AnalysisError("duration must be non-negative")
+        return (self.entry_energy(scenario) + self.exit_energy(scenario)
+                + self.standby_power(scenario) * duration)
+
+    def break_even_duration(self, scenario: StandbyScenario) -> float:
+        """Shortest standby for which gating with this strategy beats
+        staying on (leaking ``domain_leakage`` throughout).
+
+        Solves  entry + exit + P_standby·t  =  P_domain·t.
+        Returns ``inf`` when the strategy never wins.
+        """
+        saved_power = scenario.domain_leakage - self.standby_power(scenario)
+        if saved_power <= 0:
+            return float("inf")
+        overhead = self.entry_energy(scenario) + self.exit_energy(scenario)
+        return overhead / saved_power
+
+
+@dataclass
+class NVBackupStrategy(BackupStrategy):
+    """Local NV shadow back-up (the paper's approach).
+
+    ``store_energy_per_bit`` / ``restore_energy_per_bit`` come from the
+    Table II characterisation (per bit: the 2-bit cell's numbers halved).
+    All store/restore operations run in parallel across the design, so
+    the wake-up latency is a single restore plus the rail-stabilisation
+    time (the paper cites 120 ns for an STT microcontroller, dominated by
+    the supply, not the latches).
+    """
+
+    name: str = "nv-shadow"
+    store_energy_per_bit: float = 240e-15
+    restore_energy_per_bit: float = 8e-15
+    restore_latency: float = 2.5e-9
+    rail_stabilization: float = 120e-9
+
+    def entry_energy(self, scenario: StandbyScenario) -> float:
+        return scenario.num_bits * self.store_energy_per_bit
+
+    def exit_energy(self, scenario: StandbyScenario) -> float:
+        return scenario.num_bits * self.restore_energy_per_bit
+
+    def standby_power(self, scenario: StandbyScenario) -> float:
+        return 0.0  # fully gated; the MTJs hold the state for free
+
+    def wakeup_latency(self, scenario: StandbyScenario) -> float:
+        return self.rail_stabilization + self.restore_latency
+
+
+@dataclass
+class MemorySaveRestoreStrategy(BackupStrategy):
+    """Conventional save-and-restore to a memory array [4].
+
+    Bits move serially over a ``bus_width``-bit bus at ``bus_frequency``;
+    each transferred bit costs ``transfer_energy_per_bit`` (bus +
+    SRAM access), and the retention SRAM keeps leaking during standby.
+    """
+
+    name: str = "memory-save-restore"
+    transfer_energy_per_bit: float = 150e-15
+    bus_width: int = 32
+    bus_frequency: float = 500e6
+    sram_leakage_per_bit: float = 1e-12
+    rail_stabilization: float = 120e-9
+
+    def _transfer_time(self, scenario: StandbyScenario) -> float:
+        beats = -(-scenario.num_bits // self.bus_width)  # ceil division
+        return beats / self.bus_frequency
+
+    def entry_energy(self, scenario: StandbyScenario) -> float:
+        return scenario.num_bits * self.transfer_energy_per_bit
+
+    def exit_energy(self, scenario: StandbyScenario) -> float:
+        return scenario.num_bits * self.transfer_energy_per_bit
+
+    def standby_power(self, scenario: StandbyScenario) -> float:
+        return scenario.num_bits * self.sram_leakage_per_bit
+
+    def wakeup_latency(self, scenario: StandbyScenario) -> float:
+        return self.rail_stabilization + self._transfer_time(scenario)
+
+
+@dataclass
+class RetentionStrategy(BackupStrategy):
+    """Keep the flip-flops alive on a retention rail (no data movement)."""
+
+    name: str = "retention-rail"
+    wakeup: float = 10e-9
+
+    def entry_energy(self, scenario: StandbyScenario) -> float:
+        return 0.0
+
+    def exit_energy(self, scenario: StandbyScenario) -> float:
+        return 0.0
+
+    def standby_power(self, scenario: StandbyScenario) -> float:
+        return scenario.num_bits * scenario.retention_leakage_per_bit
+
+    def wakeup_latency(self, scenario: StandbyScenario) -> float:
+        return self.wakeup
+
+
+def nv_strategies_from_metrics(
+    standard_metrics, proposed_metrics
+) -> "tuple[NVBackupStrategy, NVBackupStrategy]":
+    """Build (1-bit, 2-bit) NV strategies from two
+    :class:`~repro.cells.characterize.LatchMetrics` objects.
+
+    The 2-bit cell's store runs both bits in parallel and its restore is
+    one shared sequence — per-bit energies are the cell numbers halved.
+    """
+    one_bit = NVBackupStrategy(
+        name="nv-1bit",
+        store_energy_per_bit=standard_metrics.write_energy,
+        restore_energy_per_bit=standard_metrics.read_energy,
+        restore_latency=standard_metrics.read_delay + 1e-9,
+    )
+    two_bit = NVBackupStrategy(
+        name="nv-2bit",
+        store_energy_per_bit=proposed_metrics.write_energy / 2.0,
+        restore_energy_per_bit=proposed_metrics.read_energy / 2.0,
+        restore_latency=proposed_metrics.read_delay + 1e-9,
+    )
+    return one_bit, two_bit
+
+
+def standby_report(
+    scenario: StandbyScenario,
+    strategies: "list[BackupStrategy]",
+    durations: "list[float]",
+) -> str:
+    """Plain-text comparison table: total energy per strategy over a set
+    of standby durations, plus break-even times."""
+    if not strategies or not durations:
+        raise AnalysisError("need at least one strategy and one duration")
+    header = ["strategy".ljust(22)] + [f"{d * 1e6:.0f} us".rjust(12)
+                                       for d in durations]
+    header.append("break-even".rjust(12))
+    lines = ["  ".join(header)]
+    always_on = ["(always on)".ljust(22)]
+    for duration in durations:
+        always_on.append(f"{scenario.domain_leakage * duration * 1e12:10.1f}pJ")
+    always_on.append("-".rjust(12))
+    lines.append("  ".join(always_on))
+    for strategy in strategies:
+        row = [strategy.name.ljust(22)]
+        for duration in durations:
+            energy = strategy.total_energy(scenario, duration)
+            row.append(f"{energy * 1e12:10.1f}pJ")
+        break_even = strategy.break_even_duration(scenario)
+        row.append("never".rjust(12) if break_even == float("inf")
+                   else f"{break_even * 1e6:9.2f} us")
+        lines.append("  ".join(row))
+    return "\n".join(lines)

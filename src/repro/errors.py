@@ -1,0 +1,49 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so
+applications can catch library failures with a single handler while still
+distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class DeviceModelError(ReproError):
+    """Invalid device parameters or an operating point outside model validity."""
+
+
+class NetlistError(ReproError):
+    """Malformed circuit description (unknown node, duplicate element, ...)."""
+
+
+class ConvergenceError(ReproError):
+    """The nonlinear solver failed to converge."""
+
+    def __init__(self, message: str, iterations: int = 0, residual: float = float("nan")):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class AnalysisError(ReproError):
+    """An analysis was configured inconsistently or produced no usable result."""
+
+
+class LayoutError(ReproError):
+    """Design-rule violation or an unrealisable cell plan."""
+
+
+class PlacementError(ReproError):
+    """Placement failure: core overflow, unlegalisable design, ..."""
+
+
+class DefFormatError(ReproError):
+    """Malformed DEF content encountered while parsing."""
+
+
+class MergeError(ReproError):
+    """Invalid multi-bit merge request (unknown cell, conflicting pairs, ...)."""

@@ -1,0 +1,34 @@
+"""Track-based standard-cell layout generation.
+
+Substitutes for the Cadence Virtuoso layouts of the paper (12-track
+cells, metal up to M2): cells are planned as ordered transistor columns
+over a P row and an N row, with diffusion sharing, breaks, well taps and
+MTJ landing pads; the cell width follows from the column count and the
+poly pitch, the height from the track count.  The module reproduces the
+paper's Fig 8 (proposed 2-bit cell layout) and the cell areas of
+Table II.
+"""
+
+from repro.layout.design_rules import DesignRules, RULES_40NM
+from repro.layout.geometry import Point, Rect
+from repro.layout.cell_layout import (
+    CellPlan,
+    Column,
+    ColumnKind,
+    plan_standard_1bit,
+    plan_proposed_2bit,
+    standard_pair_area,
+)
+
+__all__ = [
+    "DesignRules",
+    "RULES_40NM",
+    "Point",
+    "Rect",
+    "CellPlan",
+    "Column",
+    "ColumnKind",
+    "plan_standard_1bit",
+    "plan_proposed_2bit",
+    "standard_pair_area",
+]

@@ -1,0 +1,268 @@
+"""Column-level cell plans for the NV latch layouts (paper Fig 8).
+
+A :class:`CellPlan` is an ordered sequence of columns over a PMOS row
+and an NMOS row — the abstraction level of a standard-cell designer's
+stick diagram.  Column kinds:
+
+* ``DEVICE``  — one poly pitch holding up to one PMOS and one NMOS,
+* ``BREAK``   — diffusion break (half pitch),
+* ``TAP``     — well/substrate tap column,
+* ``MTJ_PAD`` — landing pad for the via stack of one MTJ (the junction
+  itself sits in the BEOL above the cell).
+
+Width = Σ column pitches + edge margins; height = 12 tracks.  With the
+40 nm rule set this reproduces the paper's cell dimensions:
+
+* standard 1-bit NV component: 12 pitches → 1.68 µm wide, 2.82 µm²
+  (paper: 1.675 µm / 2.82 µm² per bit),
+* proposed 2-bit NV component: 16 pitches → 2.24 µm wide, 3.76 µm²
+  (paper: 3.696 µm²), a ≈ 33 % saving over two 1-bit cells — the
+  paper reports ≈ 34 %.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import LayoutError
+from repro.layout.design_rules import DesignRules, RULES_40NM
+from repro.units import to_microns, to_square_microns
+
+
+class ColumnKind(enum.Enum):
+    DEVICE = "device"
+    BREAK = "break"
+    TAP = "tap"
+    MTJ_PAD = "mtj_pad"
+
+
+@dataclass(frozen=True)
+class Column:
+    """One vertical slice of the cell."""
+
+    kind: ColumnKind
+    pmos: Optional[str] = None
+    nmos: Optional[str] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind is not ColumnKind.DEVICE and (self.pmos or self.nmos):
+            raise LayoutError(
+                f"column kind {self.kind.value!r} cannot hold transistors"
+            )
+
+
+@dataclass
+class CellPlan:
+    """A planned cell layout: columns plus the rule set."""
+
+    name: str
+    columns: List[Column]
+    rules: DesignRules = field(default_factory=lambda: RULES_40NM)
+
+    def _column_pitches(self, column: Column) -> float:
+        if column.kind is ColumnKind.DEVICE:
+            return 1.0
+        if column.kind is ColumnKind.BREAK:
+            return self.rules.break_pitch_fraction
+        if column.kind is ColumnKind.TAP:
+            return self.rules.tap_pitch_fraction
+        return self.rules.mtj_pad_pitch_fraction
+
+    @property
+    def width(self) -> float:
+        """Cell width [m]."""
+        pitches = sum(self._column_pitches(c) for c in self.columns)
+        pitches += 2.0 * self.rules.edge_margin_fraction
+        return pitches * self.rules.poly_pitch
+
+    @property
+    def height(self) -> float:
+        """Cell height [m] (track count × track pitch)."""
+        return self.rules.cell_height
+
+    @property
+    def area(self) -> float:
+        """Cell area [m²]."""
+        return self.width * self.height
+
+    def device_names(self, row: str) -> List[str]:
+        """Transistor names placed in the 'p' or 'n' row, in column order."""
+        if row not in ("p", "n"):
+            raise LayoutError(f"row must be 'p' or 'n', got {row!r}")
+        names = []
+        for column in self.columns:
+            name = column.pmos if row == "p" else column.nmos
+            if name:
+                names.append(name)
+        return names
+
+    def transistor_count(self) -> int:
+        return len(self.device_names("p")) + len(self.device_names("n"))
+
+    def mtj_count(self) -> int:
+        return sum(1 for c in self.columns if c.kind is ColumnKind.MTJ_PAD)
+
+    def validate_against(self, expected_pmos: Sequence[str],
+                         expected_nmos: Sequence[str]) -> None:
+        """Check the plan places exactly the given transistors, once each."""
+        placed_p = self.device_names("p")
+        placed_n = self.device_names("n")
+        for label, placed, expected in (("PMOS", placed_p, expected_pmos),
+                                        ("NMOS", placed_n, expected_nmos)):
+            if sorted(placed) != sorted(expected):
+                missing = set(expected) - set(placed)
+                extra = set(placed) - set(expected)
+                raise LayoutError(
+                    f"{self.name}: {label} mismatch — missing {sorted(missing)}, "
+                    f"unexpected {sorted(extra)}"
+                )
+
+    # -- rendering -----------------------------------------------------------
+
+    def to_ascii(self) -> str:
+        """Stick-diagram rendering (one character cell per column)."""
+        def cell_text(column: Column, row: str) -> str:
+            if column.kind is ColumnKind.BREAK:
+                return "|"
+            if column.kind is ColumnKind.TAP:
+                return "T"
+            if column.kind is ColumnKind.MTJ_PAD:
+                return "(M)" if row == "mid" else "   "
+            name = column.pmos if row == "p" else column.nmos if row == "n" else ""
+            return name or "."
+
+        widths = []
+        for column in self.columns:
+            texts = [cell_text(column, r) for r in ("p", "mid", "n")]
+            widths.append(max(len(t) for t in texts) or 1)
+
+        def render_row(row: str) -> str:
+            parts = [cell_text(c, row).center(w) for c, w in zip(self.columns, widths)]
+            return " ".join(parts)
+
+        header = (f"{self.name}: {to_microns(self.width):.2f} x "
+                  f"{to_microns(self.height):.2f} um "
+                  f"({to_square_microns(self.area):.3f} um^2, "
+                  f"{self.rules.tracks} tracks)")
+        return "\n".join([
+            header,
+            "VDD " + "=" * (sum(widths) + len(widths) - 1),
+            "P   " + render_row("p"),
+            "MTJ " + render_row("mid"),
+            "N   " + render_row("n"),
+            "GND " + "=" * (sum(widths) + len(widths) - 1),
+        ])
+
+    def to_svg(self, scale: float = 240e6) -> str:
+        """Simple SVG rendering (colour-coded columns over well bands)."""
+        width_px = self.width * scale
+        height_px = self.height * scale
+        margin = 22.0
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{width_px + 2 * margin:.0f}" '
+            f'height="{height_px + 2 * margin + 18:.0f}">',
+            f'<text x="{margin}" y="14" font-size="12" font-family="monospace">'
+            f'{self.name} — {to_square_microns(self.area):.3f} um^2</text>',
+            f'<g transform="translate({margin},{margin + 4})">',
+            # Well bands.
+            f'<rect x="0" y="0" width="{width_px:.1f}" height="{height_px / 2:.1f}" '
+            f'fill="#fde9c8" stroke="none"/>',
+            f'<rect x="0" y="{height_px / 2:.1f}" width="{width_px:.1f}" '
+            f'height="{height_px / 2:.1f}" fill="#d7e8f7" stroke="none"/>',
+        ]
+        fills = {
+            ColumnKind.DEVICE: "#7f7f7f",
+            ColumnKind.BREAK: "#ffffff",
+            ColumnKind.TAP: "#50b65a",
+            ColumnKind.MTJ_PAD: "#b4543c",
+        }
+        x = self.rules.edge_margin_fraction * self.rules.poly_pitch * scale
+        for column in self.columns:
+            col_w = self._column_pitches(column) * self.rules.poly_pitch * scale
+            fill = fills[column.kind]
+            if column.kind is ColumnKind.DEVICE:
+                for row, name in (("p", column.pmos), ("n", column.nmos)):
+                    if not name:
+                        continue
+                    y0 = 0.12 * height_px if row == "p" else 0.62 * height_px
+                    parts.append(
+                        f'<rect x="{x + 0.2 * col_w:.1f}" y="{y0:.1f}" '
+                        f'width="{0.6 * col_w:.1f}" height="{0.26 * height_px:.1f}" '
+                        f'fill="{fill}" stroke="#333"><title>{name}</title></rect>'
+                    )
+            elif column.kind is ColumnKind.MTJ_PAD:
+                cy = height_px / 2
+                parts.append(
+                    f'<circle cx="{x + col_w / 2:.1f}" cy="{cy:.1f}" '
+                    f'r="{0.3 * col_w:.1f}" fill="{fill}" stroke="#333">'
+                    f'<title>{column.label or "MTJ"}</title></circle>'
+                )
+            else:
+                parts.append(
+                    f'<rect x="{x:.1f}" y="0" width="{col_w:.1f}" '
+                    f'height="{height_px:.1f}" fill="{fill}" opacity="0.5" '
+                    f'stroke="none"/>'
+                )
+            x += col_w
+        parts.append(f'<rect x="0" y="0" width="{width_px:.1f}" '
+                     f'height="{height_px:.1f}" fill="none" stroke="#000"/>')
+        parts.append("</g></svg>")
+        return "\n".join(parts)
+
+
+def plan_standard_1bit(rules: DesignRules = RULES_40NM) -> CellPlan:
+    """Column plan of the standard 1-bit NV component (11 transistors,
+    2 MTJs) — matches the device names of
+    :func:`repro.cells.nvlatch_1bit.build_standard_latch`."""
+    cols = [
+        Column(ColumnKind.TAP),
+        Column(ColumnKind.DEVICE, pmos="pc1", nmos="nfoot"),
+        Column(ColumnKind.DEVICE, pmos="p1", nmos="n1"),
+        Column(ColumnKind.DEVICE, pmos="p2", nmos="n2"),
+        Column(ColumnKind.DEVICE, pmos="pc2"),
+        Column(ColumnKind.BREAK),
+        Column(ColumnKind.DEVICE, pmos="tg1.mp", nmos="tg1.mn"),
+        Column(ColumnKind.DEVICE, pmos="tg2.mp", nmos="tg2.mn"),
+        Column(ColumnKind.BREAK),
+        Column(ColumnKind.MTJ_PAD, label="MTJ1"),
+        Column(ColumnKind.MTJ_PAD, label="MTJ2"),
+        Column(ColumnKind.TAP),
+    ]
+    return CellPlan("standard-1bit-nv", cols, rules)
+
+
+def plan_proposed_2bit(rules: DesignRules = RULES_40NM) -> CellPlan:
+    """Column plan of the proposed 2-bit NV component (16 transistors,
+    4 MTJs) — matches :func:`repro.cells.nvlatch_2bit.build_proposed_latch`."""
+    cols = [
+        Column(ColumnKind.TAP),
+        Column(ColumnKind.DEVICE, pmos="pcv1", nmos="pcg1"),
+        Column(ColumnKind.DEVICE, pmos="p1", nmos="n1"),
+        Column(ColumnKind.DEVICE, pmos="p2", nmos="n2"),
+        Column(ColumnKind.DEVICE, pmos="pcv2", nmos="pcg2"),
+        Column(ColumnKind.DEVICE, pmos="p4", nmos="n4"),
+        Column(ColumnKind.BREAK),
+        Column(ColumnKind.DEVICE, pmos="t1.mp", nmos="t1.mn"),
+        Column(ColumnKind.DEVICE, pmos="t2.mp", nmos="t2.mn"),
+        Column(ColumnKind.DEVICE, pmos="p3", nmos="n3"),
+        Column(ColumnKind.BREAK),
+        Column(ColumnKind.MTJ_PAD, label="MTJ1"),
+        Column(ColumnKind.MTJ_PAD, label="MTJ2"),
+        Column(ColumnKind.MTJ_PAD, label="MTJ3"),
+        Column(ColumnKind.MTJ_PAD, label="MTJ4"),
+        Column(ColumnKind.TAP),
+    ]
+    return CellPlan("proposed-2bit-nv", cols, rules)
+
+
+def standard_pair_area(rules: DesignRules = RULES_40NM) -> float:
+    """Area of *two* standard 1-bit NV components placed side by side,
+    including the minimum inter-cell spacing — the paper's Table II
+    composite ("twice the width of the actual layout block" plus the
+    "minimum spacing margin")."""
+    plan = plan_standard_1bit(rules)
+    return (2.0 * plan.width + rules.cell_spacing) * plan.height

@@ -1,0 +1,61 @@
+"""Simplified 40 nm-class design rules for cell planning.
+
+The numbers are chosen to be representative of a 40 nm low-power process
+with a 12-track standard-cell architecture (M2 routing pitch 140 nm →
+cell height 1.68 µm), and they reproduce the paper's reported cell
+dimensions: the standard 1-bit NV component comes out ≈ 1.68 µm wide
+(the paper's 3.35 µm merge threshold is "twice the width of the NV
+component") and the proposed 2-bit component ≈ 2.2 µm wide
+(area 3.696 µm²).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LayoutError
+from repro.units import MICRO
+
+
+@dataclass(frozen=True)
+class DesignRules:
+    """Geometric rules used by the cell planner (all lengths in metres)."""
+
+    #: Routing-track pitch (M2) defining the cell height grid.
+    track_pitch: float = 0.14 * MICRO
+    #: Standard-cell height in tracks (the paper lays out 12-track cells).
+    tracks: int = 12
+    #: Transistor column pitch (contacted poly pitch).
+    poly_pitch: float = 0.14 * MICRO
+    #: Extra width of a diffusion-break column (fraction of a poly pitch).
+    break_pitch_fraction: float = 0.5
+    #: Width of a well-tap column in poly pitches.
+    tap_pitch_fraction: float = 1.0
+    #: Width of an MTJ landing-pad column in poly pitches (the junction
+    #: itself sits in the BEOL above the cell; the pad carries the via
+    #: stack down to the active area).
+    mtj_pad_pitch_fraction: float = 1.0
+    #: Cell-edge margin on each side (fraction of a poly pitch).
+    edge_margin_fraction: float = 0.5
+    #: Minimum spacing between two abutted NV cells (used for the
+    #: "two standard 1-bit" composite area of Table II).
+    cell_spacing: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.track_pitch <= 0 or self.poly_pitch <= 0:
+            raise LayoutError("pitches must be positive")
+        if self.tracks < 6:
+            raise LayoutError(f"unreasonably short cell: {self.tracks} tracks")
+        for name in ("break_pitch_fraction", "tap_pitch_fraction",
+                     "mtj_pad_pitch_fraction", "edge_margin_fraction"):
+            if getattr(self, name) < 0:
+                raise LayoutError(f"{name} must be non-negative")
+
+    @property
+    def cell_height(self) -> float:
+        """Standard-cell (row) height [m]."""
+        return self.tracks * self.track_pitch
+
+
+#: Rule set used throughout the reproduction.
+RULES_40NM = DesignRules()

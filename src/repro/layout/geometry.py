@@ -1,0 +1,81 @@
+"""Minimal 2-D geometry primitives for layout and floorplan work."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import LayoutError
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point in the layout plane [m]."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance [m]."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        return Point(self.x + dx, self.y + dy)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle (lower-left / upper-right corners) [m]."""
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_max < self.x_min or self.y_max < self.y_min:
+            raise LayoutError(
+                f"degenerate rectangle: ({self.x_min}, {self.y_min}) .. "
+                f"({self.x_max}, {self.y_max})"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        return self.y_max - self.y_min
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.x_min + self.x_max) / 2.0, (self.y_min + self.y_max) / 2.0)
+
+    def contains(self, point: Point, tolerance: float = 0.0) -> bool:
+        return (self.x_min - tolerance <= point.x <= self.x_max + tolerance
+                and self.y_min - tolerance <= point.y <= self.y_max + tolerance)
+
+    def contains_rect(self, other: "Rect", tolerance: float = 1e-12) -> bool:
+        return (self.x_min - tolerance <= other.x_min
+                and other.x_max <= self.x_max + tolerance
+                and self.y_min - tolerance <= other.y_min
+                and other.y_max <= self.y_max + tolerance)
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True when the interiors intersect (shared edges don't count)."""
+        return not (other.x_max <= self.x_min or self.x_max <= other.x_min
+                    or other.y_max <= self.y_min or self.y_max <= other.y_min)
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.x_min + dx, self.y_min + dy,
+                    self.x_max + dx, self.y_max + dy)
+
+    @staticmethod
+    def from_size(x: float, y: float, width: float, height: float) -> "Rect":
+        if width < 0 or height < 0:
+            raise LayoutError(f"negative size: {width} x {height}")
+        return Rect(x, y, x + width, y + height)

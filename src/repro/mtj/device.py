@@ -1,0 +1,124 @@
+"""Static (resistive) MTJ behaviour.
+
+An MTJ stores one bit as its resistance state: parallel ('P', low
+resistance, logical convention here: ``0``) or antiparallel ('AP', high
+resistance, ``1``).  Reading passes a small current through the stack; the
+effective resistance seen depends on the state and — through the
+bias-dependence of the TMR — on the voltage across the junction:
+
+    TMR(V) = TMR0 / (1 + (V / V_h)²)
+
+with ``V_h`` the bias at which TMR halves (a standard empirical roll-off,
+cf. Zhao et al. [28]).  The parallel resistance is, to first order, bias
+independent; the antiparallel resistance is R_P · (1 + TMR(V)).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import DeviceModelError
+from repro.mtj.parameters import MTJParameters, PAPER_TABLE_I
+
+
+class MTJState(enum.Enum):
+    """Magnetisation configuration of the free layer relative to the
+    reference layer."""
+
+    PARALLEL = "P"
+    ANTIPARALLEL = "AP"
+
+    @property
+    def bit(self) -> int:
+        """Logical value stored: P → 0, AP → 1."""
+        return 0 if self is MTJState.PARALLEL else 1
+
+    @classmethod
+    def from_bit(cls, bit: int) -> "MTJState":
+        """Map a logical bit to the state that encodes it."""
+        if bit not in (0, 1):
+            raise DeviceModelError(f"bit must be 0 or 1, got {bit!r}")
+        return cls.PARALLEL if bit == 0 else cls.ANTIPARALLEL
+
+    def flipped(self) -> "MTJState":
+        """The opposite configuration."""
+        return MTJState.ANTIPARALLEL if self is MTJState.PARALLEL else MTJState.PARALLEL
+
+
+@dataclass
+class MTJDevice:
+    """One magnetic tunnel junction with a mutable state.
+
+    The device exposes the resistive view needed by the circuit simulator
+    (:meth:`resistance`, :meth:`conductance`) plus convenience accessors
+    for the stored bit.  Switching *dynamics* live in
+    :mod:`repro.mtj.dynamics`; the circuit-level adapter couples both.
+    """
+
+    params: MTJParameters = field(default_factory=lambda: PAPER_TABLE_I)
+    state: MTJState = MTJState.PARALLEL
+
+    def tmr_at_bias(self, voltage: float) -> float:
+        """Bias-dependent TMR ratio (dimensionless, e.g. 1.23 at V = 0)."""
+        ratio = voltage / self.params.tmr_half_bias_voltage
+        return self.params.tmr_zero_bias / (1.0 + ratio * ratio)
+
+    def resistance(self, voltage: float = 0.0) -> float:
+        """Junction resistance [Ω] in the current state at the given bias.
+
+        ``voltage`` is the magnitude-relevant voltage across the junction;
+        the roll-off is symmetric in bias so only ``|V|`` matters.
+        """
+        if self.state is MTJState.PARALLEL:
+            return self.params.resistance_p
+        return self.params.resistance_p * (1.0 + self.tmr_at_bias(voltage))
+
+    def conductance(self, voltage: float = 0.0) -> float:
+        """Junction conductance [S] in the current state at the given bias."""
+        return 1.0 / self.resistance(voltage)
+
+    def conductance_derivative(self, voltage: float) -> float:
+        """d(conductance)/dV [S/V] at the given bias.
+
+        Needed by the Newton–Raphson stamps of the circuit simulator: the
+        junction current is I = G(V)·V, so dI/dV = G + V·dG/dV.  The
+        parallel state is ohmic (derivative zero).
+        """
+        if self.state is MTJState.PARALLEL:
+            return 0.0
+        v_h = self.params.tmr_half_bias_voltage
+        tmr0 = self.params.tmr_zero_bias
+        r_p = self.params.resistance_p
+        denom = 1.0 + (voltage / v_h) ** 2
+        # R(V) = r_p (1 + tmr0/denom);  G = 1/R;  dG/dV = -(dR/dV)/R^2
+        dr_dv = r_p * tmr0 * (-1.0 / denom**2) * (2.0 * voltage / v_h**2)
+        r = r_p * (1.0 + tmr0 / denom)
+        return -dr_dv / (r * r)
+
+    # -- logical view -------------------------------------------------------
+
+    @property
+    def bit(self) -> int:
+        """Logical value currently stored."""
+        return self.state.bit
+
+    def write_bit(self, bit: int) -> None:
+        """Force the stored bit (ideal write; use dynamics for realism)."""
+        self.state = MTJState.from_bit(bit)
+
+    def flip(self) -> None:
+        """Toggle the magnetisation state."""
+        self.state = self.state.flipped()
+
+    def read_margin(self, read_voltage: float) -> float:
+        """Absolute resistance difference R_AP(V) − R_P [Ω] available to a
+        sense amplifier reading at ``read_voltage`` across the junction.
+
+        The margin shrinks with bias because TMR rolls off — the reason
+        sense amplifiers keep the junction bias small.
+        """
+        tmr = self.params.tmr_zero_bias / (
+            1.0 + (read_voltage / self.params.tmr_half_bias_voltage) ** 2
+        )
+        return self.params.resistance_p * tmr

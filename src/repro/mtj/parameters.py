@@ -1,0 +1,169 @@
+"""MTJ parameter set (paper Table I) and derived quantities.
+
+The paper characterises its MTJ with the following values (Table I):
+
+=============================  =======================
+Parameter                      Value
+=============================  =======================
+MTJ radius                     20 nm
+Free/oxide layer thickness     1.84 / 1.48 nm
+Resistance-area product (RA)   1.26 Ω µm²
+TMR @ 0 V                      123 %
+Critical current               37 µA
+Switching current              70 µA
+'AP'/'P' resistance            11 kΩ / 5 kΩ
+=============================  =======================
+
+Note that the stated RA together with a 20 nm *radius* would give
+R_P = RA / (π r²) ≈ 1.0 kΩ, which is inconsistent with the quoted 5 kΩ
+(a 20 nm *diameter* gives ≈ 4 kΩ, much closer).  We therefore treat the
+explicitly quoted 5 kΩ / 11 kΩ as the calibrated resistances and expose
+the geometric estimate separately via
+:meth:`MTJParameters.geometric_resistance_p`.  The quoted 11 kΩ matches
+5 kΩ · (1 + 1.23) = 11.15 kΩ within rounding, so the TMR relation holds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.errors import DeviceModelError
+from repro.units import MICRO, NANO
+
+
+@dataclass(frozen=True)
+class MTJParameters:
+    """Complete parameter set for one MTJ device.
+
+    All fields use SI units.  Instances are immutable; derived corner or
+    Monte-Carlo devices are produced with :meth:`scaled`.
+    """
+
+    #: Junction radius [m] (Table I: 20 nm).
+    radius: float = 20e-9
+    #: Free layer thickness [m] (Table I: 1.84 nm).
+    free_layer_thickness: float = 1.84e-9
+    #: Barrier oxide thickness [m] (Table I: 1.48 nm).
+    oxide_thickness: float = 1.48e-9
+    #: Resistance-area product [Ω m²] (Table I: 1.26 Ω µm²).
+    resistance_area_product: float = 1.26 * MICRO * MICRO
+    #: Tunnelling magnetoresistance ratio at zero bias (Table I: 123 % → 1.23).
+    tmr_zero_bias: float = 1.23
+    #: Critical (threshold) switching current [A] (Table I: 37 µA).
+    critical_current: float = 37e-6
+    #: Nominal write/switching current [A] (Table I: 70 µA).
+    switching_current: float = 70e-6
+    #: Calibrated parallel-state resistance [Ω] (Table I: 5 kΩ).
+    resistance_p: float = 5e3
+    #: Bias voltage at which TMR drops to half its zero-bias value [V].
+    tmr_half_bias_voltage: float = 0.5
+    #: Thermal stability factor Δ = E_b / kT at 300 K (typical for 40 nm STT).
+    thermal_stability: float = 60.0
+    #: Attempt time τ0 of the thermally-activated regime [s].
+    attempt_time: float = 1e-9
+    #: Nominal write pulse width [s] (paper: ~2 ns worst-case write).
+    write_pulse_width: float = 2e-9
+
+    def __post_init__(self) -> None:
+        positive_fields = {
+            "radius": self.radius,
+            "free_layer_thickness": self.free_layer_thickness,
+            "oxide_thickness": self.oxide_thickness,
+            "resistance_area_product": self.resistance_area_product,
+            "critical_current": self.critical_current,
+            "switching_current": self.switching_current,
+            "resistance_p": self.resistance_p,
+            "tmr_half_bias_voltage": self.tmr_half_bias_voltage,
+            "thermal_stability": self.thermal_stability,
+            "attempt_time": self.attempt_time,
+            "write_pulse_width": self.write_pulse_width,
+        }
+        for name, value in positive_fields.items():
+            if value <= 0.0:
+                raise DeviceModelError(f"MTJ parameter {name!r} must be positive, got {value}")
+        if self.tmr_zero_bias <= 0.0:
+            raise DeviceModelError(
+                f"TMR must be positive for a sensible read margin, got {self.tmr_zero_bias}"
+            )
+        if self.switching_current < self.critical_current:
+            raise DeviceModelError(
+                "switching current must be at least the critical current "
+                f"({self.switching_current} < {self.critical_current})"
+            )
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def junction_area(self) -> float:
+        """Junction area π r² [m²]."""
+        return math.pi * self.radius * self.radius
+
+    def geometric_resistance_p(self) -> float:
+        """Parallel resistance implied by RA / area [Ω].
+
+        Provided for consistency checking against the calibrated
+        :attr:`resistance_p`; see the module docstring.
+        """
+        return self.resistance_area_product / self.junction_area
+
+    # -- resistances --------------------------------------------------------
+
+    @property
+    def resistance_ap(self) -> float:
+        """Antiparallel resistance R_P (1 + TMR) [Ω]."""
+        return self.resistance_p * (1.0 + self.tmr_zero_bias)
+
+    @property
+    def resistance_difference(self) -> float:
+        """R_AP − R_P [Ω]: the quantity the sense amplifier resolves."""
+        return self.resistance_ap - self.resistance_p
+
+    # -- derived write quantities ------------------------------------------
+
+    @property
+    def critical_current_density(self) -> float:
+        """Critical switching current density [A/m²]."""
+        return self.critical_current / self.junction_area
+
+    def scaled(
+        self,
+        ra_scale: float = 1.0,
+        tmr_scale: float = 1.0,
+        ic_scale: float = 1.0,
+    ) -> "MTJParameters":
+        """Return a copy with RA (and hence resistance), TMR and critical
+        current scaled by the given multipliers.
+
+        This is the primitive used by :mod:`repro.mtj.variation`: a +3σ RA
+        corner is ``scaled(ra_scale=1 + 3 * sigma_ra)``.  The calibrated
+        parallel resistance scales with RA (resistance ∝ RA at fixed area);
+        the nominal switching current scales with the critical current so
+        the overdrive ratio is preserved.
+        """
+        for name, scale in (("ra", ra_scale), ("tmr", tmr_scale), ("ic", ic_scale)):
+            if scale <= 0.0:
+                raise DeviceModelError(f"{name}_scale must be positive, got {scale}")
+        return replace(
+            self,
+            resistance_area_product=self.resistance_area_product * ra_scale,
+            resistance_p=self.resistance_p * ra_scale,
+            tmr_zero_bias=self.tmr_zero_bias * tmr_scale,
+            critical_current=self.critical_current * ic_scale,
+            switching_current=self.switching_current * ic_scale,
+        )
+
+    def consistency_report(self) -> str:
+        """Human-readable note on the RA/radius vs. quoted-resistance gap."""
+        geometric = self.geometric_resistance_p()
+        return (
+            f"calibrated R_P = {self.resistance_p:.0f} Ohm; "
+            f"RA/(pi r^2) = {geometric:.0f} Ohm "
+            f"(radius {self.radius / NANO:.1f} nm, "
+            f"RA {self.resistance_area_product / (MICRO * MICRO):.2f} Ohm um^2); "
+            f"R_AP = R_P (1+TMR) = {self.resistance_ap:.0f} Ohm"
+        )
+
+
+#: The paper's Table I parameter set.
+PAPER_TABLE_I = MTJParameters()

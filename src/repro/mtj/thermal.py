@@ -1,0 +1,68 @@
+"""Thermal stability and data-retention estimates.
+
+The non-volatility claim of the paper rests on the MTJ's thermal
+stability factor Δ = E_b / (k_B T): the energy barrier between the two
+magnetisation states in units of the thermal energy.  The mean retention
+time follows the Néel–Arrhenius law
+
+    t_retention = τ₀ · exp(Δ)
+
+and the probability of retaining a bit for a duration ``t`` is
+exp(−t / t_retention).  Δ scales inversely with absolute temperature at
+fixed barrier energy, which lets us evaluate retention across the
+operating range.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import DeviceModelError
+from repro.mtj.parameters import MTJParameters
+from repro.units import BOLTZMANN, celsius_to_kelvin
+
+#: Reference temperature [K] at which MTJParameters.thermal_stability holds.
+REFERENCE_TEMPERATURE_K = 300.0
+
+#: Seconds in a (Julian) year, used for retention reporting.
+SECONDS_PER_YEAR = 365.25 * 24 * 3600
+
+
+@dataclass(frozen=True)
+class ThermalStability:
+    """Thermal-stability view of an MTJ parameter set."""
+
+    params: MTJParameters
+
+    def barrier_energy(self) -> float:
+        """Energy barrier E_b [J] implied by Δ at the reference temperature."""
+        return self.params.thermal_stability * BOLTZMANN * REFERENCE_TEMPERATURE_K
+
+    def delta_at(self, temp_c: float) -> float:
+        """Thermal stability factor at the given temperature [°C]."""
+        temp_k = celsius_to_kelvin(temp_c)
+        if temp_k <= 0.0:
+            raise DeviceModelError(f"temperature below absolute zero: {temp_c} C")
+        return self.barrier_energy() / (BOLTZMANN * temp_k)
+
+    def mean_retention_time(self, temp_c: float = 27.0) -> float:
+        """Mean retention time [s] at the given temperature."""
+        exponent = min(self.delta_at(temp_c), 700.0)
+        return self.params.attempt_time * math.exp(exponent)
+
+    def retention_probability(self, duration: float, temp_c: float = 27.0) -> float:
+        """Probability that a stored bit survives ``duration`` seconds."""
+        if duration < 0.0:
+            raise DeviceModelError(f"duration must be non-negative, got {duration}")
+        return math.exp(-duration / self.mean_retention_time(temp_c))
+
+    def retention_years(self, temp_c: float = 27.0) -> float:
+        """Mean retention expressed in years (for reporting)."""
+        return self.mean_retention_time(temp_c) / SECONDS_PER_YEAR
+
+    def is_nonvolatile_for(self, duration: float, temp_c: float = 27.0,
+                           min_probability: float = 1.0 - 1e-9) -> bool:
+        """Whether the device retains data over ``duration`` with at least
+        the given probability — the check backing a power-down interval."""
+        return self.retention_probability(duration, temp_c) >= min_probability

@@ -1,0 +1,99 @@
+"""Process variation for MTJ devices: ±3σ corners and Monte-Carlo sampling.
+
+The paper's corner analysis considers ±3σ variations of the
+resistance-area product (RA), the TMR ratio, and the switching current.
+We model each as a relative (lognormal-free, plain Gaussian) deviation
+with a configurable per-parameter sigma; the named corners used by
+Table II pin each parameter at its +3σ or −3σ extreme in the direction
+that makes the metric of interest worst/best (see DESIGN.md §5):
+
+* ``worst``  — RA −3σ (low resistance → high read current/energy),
+  TMR −3σ (small sensing margin → slow resolve), I_c +3σ (hard writes).
+* ``typical`` — all nominal.
+* ``best``   — RA +3σ, TMR +3σ, I_c −3σ.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import DeviceModelError
+from repro.mtj.parameters import MTJParameters
+
+
+@dataclass(frozen=True)
+class MTJVariation:
+    """Relative 1σ deviations of the varied MTJ parameters."""
+
+    sigma_ra: float = 0.05
+    sigma_tmr: float = 0.05
+    sigma_ic: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("sigma_ra", self.sigma_ra),
+            ("sigma_tmr", self.sigma_tmr),
+            ("sigma_ic", self.sigma_ic),
+        ):
+            if not 0.0 <= value < 1.0 / 3.0:
+                raise DeviceModelError(
+                    f"{name} must lie in [0, 1/3) so that -3 sigma keeps the "
+                    f"parameter positive, got {value}"
+                )
+
+
+class MTJCorner(enum.Enum):
+    """Named ±3σ corner of the MTJ parameter space."""
+
+    WORST = "worst"
+    TYPICAL = "typical"
+    BEST = "best"
+
+    def apply(
+        self, params: MTJParameters, variation: Optional[MTJVariation] = None
+    ) -> MTJParameters:
+        """Return the parameter set pinned at this corner."""
+        variation = variation or MTJVariation()
+        if self is MTJCorner.TYPICAL:
+            return params
+        sign = -1.0 if self is MTJCorner.WORST else 1.0
+        return params.scaled(
+            ra_scale=1.0 + sign * 3.0 * variation.sigma_ra,
+            tmr_scale=1.0 + sign * 3.0 * variation.sigma_tmr,
+            ic_scale=1.0 - sign * 3.0 * variation.sigma_ic,
+        )
+
+
+def sample_parameters(
+    params: MTJParameters,
+    variation: Optional[MTJVariation] = None,
+    count: int = 1,
+    rng: Optional[np.random.Generator] = None,
+    clip_sigma: float = 3.0,
+) -> List[MTJParameters]:
+    """Draw ``count`` Monte-Carlo parameter sets.
+
+    Each varied parameter gets an independent Gaussian relative deviation,
+    truncated at ``clip_sigma`` standard deviations (matching the paper's
+    ±3σ analysis window).
+    """
+    if count < 1:
+        raise DeviceModelError(f"count must be >= 1, got {count}")
+    if clip_sigma <= 0.0:
+        raise DeviceModelError(f"clip_sigma must be positive, got {clip_sigma}")
+    variation = variation or MTJVariation()
+    rng = rng or np.random.default_rng()
+
+    deviates = rng.standard_normal(size=(count, 3))
+    deviates = np.clip(deviates, -clip_sigma, clip_sigma)
+    sigmas = np.array([variation.sigma_ra, variation.sigma_tmr, variation.sigma_ic])
+    scales = 1.0 + deviates * sigmas
+
+    return [
+        params.scaled(ra_scale=float(row[0]), tmr_scale=float(row[1]), ic_scale=float(row[2]))
+        for row in scales
+    ]

@@ -1,0 +1,89 @@
+"""Write-error-rate (WER) model for STT switching.
+
+The paper stresses that "the MTJ store operation is very sensitive to
+the current value and its duration of flow".  This module quantifies
+that sensitivity: in the precessional regime the switching time is not a
+single number but a distribution, because the free layer starts from a
+thermally distributed initial angle θ₀.  With θ₀² exponentially
+distributed (equipartition, P(θ₀ > x) = exp(−Δ·x²)) and the macrospin
+switching time
+
+    t(θ₀) = B · ln(π / (2 θ₀)),   B = Q_dyn / (I − I_c),
+
+the probability that a pulse of width ``t_p`` fails to switch is the
+classic Sun/Butler closed form
+
+    WER(t_p) = P(t(θ₀) > t_p) = P(θ₀ < (π/2)·e^(−t_p/B))
+             = 1 − exp(−Δ · (π/2)² · e^(−2 t_p / B))
+
+which decays double-exponentially in the pulse width — the reason a
+modest pulse-width margin buys enormous reliability, and the
+quantitative backing for the paper's fixed worst-case 2 ns write.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import DeviceModelError
+from repro.mtj.dynamics import SwitchingModel
+from repro.mtj.parameters import MTJParameters, PAPER_TABLE_I
+
+
+@dataclass(frozen=True)
+class WriteErrorModel:
+    """WER as a function of write current and pulse width."""
+
+    params: MTJParameters = field(default_factory=lambda: PAPER_TABLE_I)
+
+    def _time_constant(self, current: float) -> float:
+        """B = Q_dyn / (|I| − I_c) of the precessional regime [s]."""
+        magnitude = abs(current)
+        if magnitude <= self.params.critical_current:
+            raise DeviceModelError(
+                f"write current {magnitude:g} A is not above the critical "
+                f"current {self.params.critical_current:g} A — the "
+                "precessional WER model does not apply"
+            )
+        q_dyn = SwitchingModel.default_dynamic_charge(self.params)
+        return q_dyn / (magnitude - self.params.critical_current)
+
+    def write_error_rate(self, current: float, pulse_width: float) -> float:
+        """Probability that the pulse fails to switch the junction."""
+        if pulse_width < 0:
+            raise DeviceModelError("pulse width must be non-negative")
+        b = self._time_constant(current)
+        delta = self.params.thermal_stability
+        exponent = -delta * (math.pi / 2.0) ** 2 * math.exp(-2.0 * pulse_width / b)
+        return 1.0 - math.exp(exponent)
+
+    def pulse_width_for_wer(self, current: float, target_wer: float) -> float:
+        """Shortest pulse achieving the target WER at the given current.
+
+        Inverts the closed form:  t_p = (B/2)·ln(Δ·(π/2)² / −ln(1−WER)).
+        """
+        if not 0.0 < target_wer < 1.0:
+            raise DeviceModelError("target WER must lie in (0, 1)")
+        b = self._time_constant(current)
+        delta = self.params.thermal_stability
+        needed = -math.log(1.0 - target_wer)
+        argument = delta * (math.pi / 2.0) ** 2 / needed
+        if argument <= 1.0:
+            return 0.0  # even a zero-length pulse meets the (loose) target
+        return (b / 2.0) * math.log(argument)
+
+    def mean_switching_time(self, current: float) -> float:
+        """Mean of the switching-time distribution [s] — consistent with
+        :class:`~repro.mtj.dynamics.SwitchingModel` by construction."""
+        return self._time_constant(current)
+
+    def margin_report(self, current: float) -> str:
+        """Pulse widths for standard reliability targets at ``current``."""
+        lines = [f"write current {current * 1e6:.0f} uA "
+                 f"(I_c = {self.params.critical_current * 1e6:.0f} uA):"]
+        for target, label in ((1e-3, "1e-3"), (1e-6, "1e-6"), (1e-9, "1e-9"),
+                              (1e-12, "1e-12")):
+            width = self.pulse_width_for_wer(current, target)
+            lines.append(f"  WER {label:>5s}: pulse >= {width * 1e9:.2f} ns")
+        return "\n".join(lines)

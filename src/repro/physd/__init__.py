@@ -1,0 +1,65 @@
+"""Physical-design substrate: netlists, placement, DEF I/O.
+
+Substitutes for the Synopsys DC + Cadence Encounter flow of the paper:
+
+* :mod:`repro.physd.netlist` — gate-level netlist container,
+* :mod:`repro.physd.benchmarks` — seeded synthetic generators for the
+  ISCAS'89 / ITC'99 / or1200 benchmark set with the paper's exact
+  flip-flop counts,
+* :mod:`repro.physd.floorplan` — die/rows from a utilisation target,
+* :mod:`repro.physd.placement` — quadratic (Laplacian) global placement
+  plus Tetris-style row legalisation,
+* :mod:`repro.physd.def_io` — DEF writer/parser (the paper's merge
+  script runs over DEF),
+* :mod:`repro.physd.timing` — Elmore-style wire-delay estimates backing
+  the "no timing penalty" merge constraint.
+"""
+
+from repro.physd.netlist import GateNetlist, Instance, Net
+from repro.physd.benchmarks import BENCHMARKS, BenchmarkSpec, generate_benchmark
+from repro.physd.floorplan import Floorplan, Row, build_floorplan
+from repro.physd.placement import Placement, global_place, legalize, place_design
+from repro.physd.def_io import write_def, parse_def, DefDesign
+from repro.physd.verilog_io import write_verilog, parse_verilog
+from repro.physd.clock import synthesize_clock_tree, clock_tree_for_placement, ClockTree
+from repro.physd.logicsim import LogicSimulator
+from repro.physd.sta import analyze_timing, merge_timing_impact, TimingReport
+from repro.physd.congestion import estimate_congestion, CongestionMap
+from repro.physd.scan import current_scan_order, reorder_scan_chain, ScanChain
+from repro.physd.powergrid import solve_ir_drop, restore_rush_currents, IRDropResult
+
+__all__ = [
+    "GateNetlist",
+    "Instance",
+    "Net",
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "generate_benchmark",
+    "Floorplan",
+    "Row",
+    "build_floorplan",
+    "Placement",
+    "global_place",
+    "legalize",
+    "place_design",
+    "write_def",
+    "parse_def",
+    "DefDesign",
+    "write_verilog",
+    "parse_verilog",
+    "synthesize_clock_tree",
+    "clock_tree_for_placement",
+    "ClockTree",
+    "LogicSimulator",
+    "analyze_timing",
+    "merge_timing_impact",
+    "TimingReport",
+    "estimate_congestion",
+    "CongestionMap",
+    "current_scan_order",
+    "reorder_scan_chain",
+    "ScanChain",
+    "solve_ir_drop",
+    "restore_rush_currents",
+    "IRDropResult",
+]

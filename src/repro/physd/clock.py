@@ -1,0 +1,162 @@
+"""Clock-network substrate: clustering-based clock tree synthesis.
+
+The paper positions its NV sharing next to the established *CMOS*
+multi-bit flip-flop technique, whose win is clock-network power: merging
+flip-flops means fewer clock sinks, shorter clock wiring, fewer local
+buffers.  This module provides the clock-side accounting so the
+combined optimisation (CMOS-MBFF clock sharing + NV-MBFF shadow sharing,
+paper §III: "our proposed multi-bit non-volatile component can easily be
+integrated in such designs") can be evaluated.
+
+The tree is built by recursive nearest-neighbour pairing (a simplified
+method of means-and-medians): sinks merge pairwise bottom-up until one
+root remains.  Wire length, buffer count and switched capacitance per
+cycle follow from the tree.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.errors import PlacementError
+from repro.physd.placement.result import Placement
+
+#: Clock wire capacitance per length [F/m] (≈ 0.2 fF/µm).
+CLOCK_WIRE_CAP_PER_M = 0.2e-9
+#: Input capacitance of one flip-flop clock pin [F].
+CLOCK_PIN_CAP = 0.7e-15
+#: Input capacitance of one clock buffer [F].
+BUFFER_CAP = 1.2e-15
+#: Sinks per leaf buffer before another buffer level is inserted.
+BUFFER_FANOUT = 16
+
+
+@dataclass
+class ClockNode:
+    """One node of the clock tree (leaf = sink, internal = merge point)."""
+
+    x: float
+    y: float
+    children: List["ClockNode"] = field(default_factory=list)
+    sink_name: Optional[str] = None
+
+    @property
+    def is_sink(self) -> bool:
+        return self.sink_name is not None
+
+    def subtree_wirelength(self) -> float:
+        """Total Manhattan wirelength below (and including edges to)
+        this node's children."""
+        total = 0.0
+        for child in self.children:
+            total += abs(child.x - self.x) + abs(child.y - self.y)
+            total += child.subtree_wirelength()
+        return total
+
+    def sink_count(self) -> int:
+        if self.is_sink:
+            return 1
+        return sum(child.sink_count() for child in self.children)
+
+
+@dataclass
+class ClockTree:
+    """A synthesised clock tree with its cost summary."""
+
+    root: ClockNode
+    num_sinks: int
+    wirelength: float
+    num_buffers: int
+
+    def switched_capacitance(self) -> float:
+        """Capacitance toggled per clock edge [F]."""
+        return (self.wirelength * CLOCK_WIRE_CAP_PER_M
+                + self.num_sinks * CLOCK_PIN_CAP
+                + self.num_buffers * BUFFER_CAP)
+
+    def power(self, frequency: float, vdd: float = 1.1) -> float:
+        """Dynamic clock power at the given frequency [W]
+        (two edges per cycle → C·V²·f)."""
+        if frequency <= 0:
+            raise PlacementError("frequency must be positive")
+        return self.switched_capacitance() * vdd * vdd * frequency
+
+
+def _pair_level(nodes: List[ClockNode]) -> List[ClockNode]:
+    """Merge nodes pairwise by nearest neighbour; odd node passes through."""
+    if len(nodes) <= 1:
+        return nodes
+    points = np.array([[n.x, n.y] for n in nodes])
+    tree = cKDTree(points)
+    used = [False] * len(nodes)
+    merged: List[ClockNode] = []
+    # Greedy nearest-available pairing in index order keeps this O(n log n).
+    for i in range(len(nodes)):
+        if used[i]:
+            continue
+        distances, indices = tree.query(points[i], k=min(8, len(nodes)))
+        partner = -1
+        for j in np.atleast_1d(indices):
+            if j != i and not used[int(j)]:
+                partner = int(j)
+                break
+        if partner < 0:
+            # Fall back to a linear scan (all near neighbours were taken).
+            for j in range(len(nodes)):
+                if j != i and not used[j]:
+                    partner = j
+                    break
+        if partner < 0:
+            merged.append(nodes[i])
+            used[i] = True
+            continue
+        used[i] = used[partner] = True
+        a, b = nodes[i], nodes[partner]
+        merged.append(ClockNode(x=(a.x + b.x) / 2.0, y=(a.y + b.y) / 2.0,
+                                children=[a, b]))
+    return merged
+
+
+def synthesize_clock_tree(sinks: Dict[str, Tuple[float, float]]) -> ClockTree:
+    """Build a clock tree over named sink positions [m]."""
+    if not sinks:
+        raise PlacementError("clock tree needs at least one sink")
+    nodes = [ClockNode(x=x, y=y, sink_name=name)
+             for name, (x, y) in sorted(sinks.items())]
+    num_sinks = len(nodes)
+    while len(nodes) > 1:
+        nodes = _pair_level(nodes)
+    root = nodes[0]
+    wirelength = root.subtree_wirelength()
+    num_buffers = max(1, -(-num_sinks // BUFFER_FANOUT))
+    return ClockTree(root=root, num_sinks=num_sinks, wirelength=wirelength,
+                     num_buffers=num_buffers)
+
+
+def clock_tree_for_placement(
+    placement: Placement,
+    merged_pairs: Optional[Sequence[Tuple[str, str]]] = None,
+) -> ClockTree:
+    """Clock tree over a placed design's flip-flops.
+
+    With ``merged_pairs`` given, each pair presents a *single* clock sink
+    at its midpoint — the CMOS multi-bit flip-flop integration the paper
+    points to: the shared cell has one clock pin serving both bits.
+    """
+    centers = placement.flip_flop_centers()
+    sinks: Dict[str, Tuple[float, float]] = {
+        name: (point.x, point.y) for name, point in centers.items()
+    }
+    if merged_pairs:
+        for a, b in merged_pairs:
+            if a not in sinks or b not in sinks:
+                raise PlacementError(f"pair ({a}, {b}) references unknown sinks")
+            ca = sinks.pop(a)
+            cb = sinks.pop(b)
+            sinks[f"{a}+{b}"] = ((ca[0] + cb[0]) / 2.0, (ca[1] + cb[1]) / 2.0)
+    return synthesize_clock_tree(sinks)

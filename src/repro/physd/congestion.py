@@ -1,0 +1,108 @@
+"""Probabilistic routing-congestion estimation.
+
+Routability is the other axis a placement (and an ECO like the NV
+replacement) must respect.  This estimator spreads each net's expected
+horizontal/vertical wiring uniformly over its bounding box — the classic
+probabilistic congestion map (Lou/Westra style, uniform variant) — and
+compares the per-bin demand against the routing capacity of the metal
+stack, yielding a max/average utilisation and an overflow count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import PlacementError
+from repro.physd.placement.result import HIGH_FANOUT_LIMIT, Placement
+
+#: Horizontal routing tracks available per metre of bin height (two
+#: horizontal layers at a 0.14 µm pitch).
+H_TRACKS_PER_M = 2.0 / 0.14e-6
+#: Vertical routing tracks per metre of bin width.
+V_TRACKS_PER_M = 2.0 / 0.14e-6
+
+
+@dataclass
+class CongestionMap:
+    """Per-bin routing demand vs capacity."""
+
+    bins_x: int
+    bins_y: int
+    #: Demand in track-lengths per bin, horizontal and vertical.
+    horizontal: np.ndarray
+    vertical: np.ndarray
+    #: Capacity per bin (same unit).
+    h_capacity: float
+    v_capacity: float
+
+    def utilization(self) -> np.ndarray:
+        """Per-bin worst-direction utilisation."""
+        h = self.horizontal / self.h_capacity
+        v = self.vertical / self.v_capacity
+        return np.maximum(h, v)
+
+    @property
+    def max_utilization(self) -> float:
+        return float(self.utilization().max())
+
+    @property
+    def mean_utilization(self) -> float:
+        return float(self.utilization().mean())
+
+    @property
+    def overflow_bins(self) -> int:
+        return int((self.utilization() > 1.0).sum())
+
+    def report(self) -> str:
+        return (f"congestion: {self.bins_x}x{self.bins_y} bins, "
+                f"max {self.max_utilization:.2f}, "
+                f"mean {self.mean_utilization:.2f}, "
+                f"overflow bins {self.overflow_bins}")
+
+
+def estimate_congestion(
+    placement: Placement,
+    bins_x: int = 16,
+    bins_y: int = 16,
+) -> CongestionMap:
+    """Build the probabilistic congestion map of a placement."""
+    if bins_x < 1 or bins_y < 1:
+        raise PlacementError("bin counts must be positive")
+    die = placement.floorplan.die
+    bin_w = die.width / bins_x
+    bin_h = die.height / bins_y
+
+    horizontal = np.zeros((bins_y, bins_x))
+    vertical = np.zeros((bins_y, bins_x))
+
+    for net in placement.netlist.nets.values():
+        if not 2 <= len(net.instances) <= HIGH_FANOUT_LIMIT:
+            continue
+        xs: List[float] = []
+        ys: List[float] = []
+        for inst_name in net.instances:
+            center = placement.center(inst_name)
+            xs.append(center.x)
+            ys.append(center.y)
+        x0, x1 = min(xs), max(xs)
+        y0, y1 = min(ys), max(ys)
+        # Expected wirelength = HPWL, split by direction, spread uniformly
+        # over the bounding box's bins.
+        bx0 = min(bins_x - 1, max(0, int((x0 - die.x_min) / bin_w)))
+        bx1 = min(bins_x - 1, max(0, int((x1 - die.x_min) / bin_w)))
+        by0 = min(bins_y - 1, max(0, int((y0 - die.y_min) / bin_h)))
+        by1 = min(bins_y - 1, max(0, int((y1 - die.y_min) / bin_h)))
+        span_bins = (bx1 - bx0 + 1) * (by1 - by0 + 1)
+        h_demand = (x1 - x0) / span_bins
+        v_demand = (y1 - y0) / span_bins
+        horizontal[by0:by1 + 1, bx0:bx1 + 1] += h_demand
+        vertical[by0:by1 + 1, bx0:bx1 + 1] += v_demand
+
+    h_capacity = H_TRACKS_PER_M * bin_h * bin_w
+    v_capacity = V_TRACKS_PER_M * bin_w * bin_h
+    return CongestionMap(bins_x=bins_x, bins_y=bins_y,
+                         horizontal=horizontal, vertical=vertical,
+                         h_capacity=h_capacity, v_capacity=v_capacity)

@@ -1,0 +1,89 @@
+"""Floorplanning: die and standard-cell rows from a utilisation target."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import PlacementError
+from repro.layout.design_rules import DesignRules, RULES_40NM
+from repro.layout.geometry import Rect
+from repro.physd.netlist import GateNetlist
+
+
+@dataclass(frozen=True)
+class Row:
+    """One standard-cell row (all cells sit with y = row.y)."""
+
+    index: int
+    y: float
+    x_min: float
+    x_max: float
+    height: float
+
+    @property
+    def width(self) -> float:
+        return self.x_max - self.x_min
+
+
+@dataclass
+class Floorplan:
+    """Die outline plus its placement rows."""
+
+    die: Rect
+    rows: List[Row]
+    utilization: float
+
+    @property
+    def core_area(self) -> float:
+        return self.die.area
+
+    @property
+    def row_capacity(self) -> float:
+        """Total placeable width across rows [m]."""
+        return sum(row.width for row in self.rows)
+
+    def nearest_row(self, y: float) -> int:
+        """Index of the row whose y is closest to the given coordinate."""
+        if not self.rows:
+            raise PlacementError("floorplan has no rows")
+        height = self.rows[0].height
+        idx = int(round((y - self.rows[0].y) / height))
+        return min(max(idx, 0), len(self.rows) - 1)
+
+
+def build_floorplan(
+    netlist: GateNetlist,
+    utilization: float = 0.70,
+    aspect_ratio: float = 1.0,
+    rules: DesignRules = RULES_40NM,
+) -> Floorplan:
+    """Size a square-ish die so the cells fill ``utilization`` of it.
+
+    The die height is snapped to a whole number of rows and the width to
+    the poly-pitch grid, mimicking the default floorplan mode of the
+    commercial flow the paper used.
+    """
+    if not 0.05 <= utilization <= 0.95:
+        raise PlacementError(f"utilization {utilization} out of range [0.05, 0.95]")
+    if aspect_ratio <= 0:
+        raise PlacementError("aspect ratio must be positive")
+
+    cell_area = netlist.total_cell_area()
+    if cell_area <= 0:
+        raise PlacementError("netlist has no cell area")
+    core_area = cell_area / utilization
+    height = math.sqrt(core_area * aspect_ratio)
+    row_height = rules.cell_height
+    num_rows = max(1, int(round(height / row_height)))
+    height = num_rows * row_height
+    width = core_area / height
+    width = max(rules.poly_pitch, math.ceil(width / rules.poly_pitch) * rules.poly_pitch)
+
+    die = Rect(0.0, 0.0, width, height)
+    rows = [
+        Row(index=i, y=i * row_height, x_min=0.0, x_max=width, height=row_height)
+        for i in range(num_rows)
+    ]
+    return Floorplan(die=die, rows=rows, utilization=utilization)

@@ -1,0 +1,184 @@
+"""Event-free gate-level logic simulation with three-valued logic.
+
+Simulates the benchmark netlists functionally: combinational gates
+evaluate in topological order, flip-flops capture on a clock cycle with
+proper master/slave semantics (all D inputs sampled before any Q
+updates).  Values are ``0``, ``1`` or ``None`` (unknown / X), with
+standard controlled-value semantics (``NAND(0, X) = 1``).
+
+The simulator backs the system-level verification that the NV shadow
+replacement actually preserves machine behaviour: run a circuit, lose
+all flip-flop state across a power-down (X-out), restore from the
+backup snapshot, and check the continued run is cycle-accurate against
+an ungated reference.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.errors import NetlistError
+from repro.physd.benchmarks import CLOCK_NET
+from repro.physd.netlist import GateNetlist
+
+Value = Optional[int]  # 0, 1, or None (X)
+
+
+def _inv(a: Value) -> Value:
+    return None if a is None else 1 - a
+
+
+def _and(values: Sequence[Value]) -> Value:
+    if any(v == 0 for v in values):
+        return 0
+    if any(v is None for v in values):
+        return None
+    return 1
+
+
+def _or(values: Sequence[Value]) -> Value:
+    if any(v == 1 for v in values):
+        return 1
+    if any(v is None for v in values):
+        return None
+    return 0
+
+
+def _xor(values: Sequence[Value]) -> Value:
+    if any(v is None for v in values):
+        return None
+    return sum(values) % 2
+
+
+#: Cell name → function of the ordered input values.
+CELL_FUNCTIONS = {
+    "INV_X1": lambda ins: _inv(ins[0]),
+    "BUF_X1": lambda ins: ins[0],
+    "NAND2_X1": lambda ins: _inv(_and(ins)),
+    "NOR2_X1": lambda ins: _inv(_or(ins)),
+    "NAND3_X1": lambda ins: _inv(_and(ins)),
+    "XOR2_X1": lambda ins: _xor(ins),
+    # AOI21: Y = NOT((A0 AND A1) OR A2)
+    "AOI21_X1": lambda ins: _inv(_or([_and(ins[:2]), ins[2]])),
+}
+
+
+@dataclass
+class LogicSimulator:
+    """Functional simulator over a :class:`GateNetlist`."""
+
+    netlist: GateNetlist
+    values: Dict[str, Value] = field(default_factory=dict, init=False)
+    _order: List[str] = field(default_factory=list, init=False)
+    _driver: Dict[str, str] = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        self.netlist.validate()
+        self._build_topology()
+        for net in self.netlist.nets:
+            self.values[net] = None
+        # Flip-flop outputs start unknown; inputs default low.
+        for net in self.netlist.port_nets():
+            self.values[net.name] = 0
+        self.values[CLOCK_NET] = 0
+
+    # -- topology ---------------------------------------------------------------
+
+    def _build_topology(self) -> None:
+        """Levelize the combinational gates (Kahn); FF outputs and ports
+        are the roots.  A combinational cycle is a netlist error."""
+        comb = self.netlist.combinational_instances()
+        for inst in comb:
+            if inst.cell.name not in CELL_FUNCTIONS:
+                raise NetlistError(
+                    f"no logic function for cell {inst.cell.name!r}")
+            self._driver[inst.nets[-1]] = inst.name
+
+        dependents: Dict[str, List[str]] = {}
+        in_degree: Dict[str, int] = {}
+        for inst in comb:
+            count = 0
+            for net in inst.nets[:-1]:
+                driver = self._driver.get(net)
+                if driver is not None:
+                    dependents.setdefault(driver, []).append(inst.name)
+                    count += 1
+            in_degree[inst.name] = count
+
+        ready = deque(sorted(name for name, deg in in_degree.items()
+                             if deg == 0))
+        order: List[str] = []
+        while ready:
+            name = ready.popleft()
+            order.append(name)
+            for dependent in dependents.get(name, ()):
+                in_degree[dependent] -= 1
+                if in_degree[dependent] == 0:
+                    ready.append(dependent)
+        if len(order) != len(comb):
+            stuck = sorted(set(in_degree) - set(order))[:5]
+            raise NetlistError(
+                f"combinational cycle involving (at least) {stuck}")
+        self._order = order
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def set_inputs(self, inputs: Dict[str, Value]) -> None:
+        for net, value in inputs.items():
+            if net not in self.netlist.nets:
+                raise NetlistError(f"unknown input net {net!r}")
+            if value not in (0, 1, None):
+                raise NetlistError(f"value for {net!r} must be 0/1/None")
+            self.values[net] = value
+
+    def propagate(self) -> None:
+        """Evaluate all combinational gates in topological order."""
+        for name in self._order:
+            inst = self.netlist.instances[name]
+            inputs = [self.values.get(net) for net in inst.nets[:-1]]
+            self.values[inst.nets[-1]] = CELL_FUNCTIONS[inst.cell.name](inputs)
+
+    def clock_cycle(self, inputs: Optional[Dict[str, Value]] = None) -> None:
+        """One rising clock edge: sample every D, then update every Q,
+        then re-propagate."""
+        if inputs:
+            self.set_inputs(inputs)
+        self.propagate()
+        captured: Dict[str, Value] = {}
+        for ff in self.netlist.sequential_instances():
+            captured[ff.nets[-1]] = self.values.get(ff.nets[0])
+        self.values.update(captured)
+        self.propagate()
+
+    # -- state access -----------------------------------------------------------------
+
+    def flip_flop_state(self) -> Dict[str, Value]:
+        """Current Q value per flip-flop instance."""
+        return {ff.name: self.values.get(ff.nets[-1])
+                for ff in self.netlist.sequential_instances()}
+
+    def load_flip_flop_state(self, state: Dict[str, Value]) -> None:
+        """Force Q values (the NV restore path) and re-propagate."""
+        for ff in self.netlist.sequential_instances():
+            if ff.name in state:
+                self.values[ff.nets[-1]] = state[ff.name]
+        self.propagate()
+
+    def power_down(self) -> None:
+        """Supply collapse: every stateful and combinational net goes X."""
+        for net in self.netlist.nets:
+            if net != CLOCK_NET and not self.netlist.nets[net].is_port:
+                self.values[net] = None
+
+    def outputs(self) -> Dict[str, Value]:
+        """Values of the primary-output nets (driven port nets)."""
+        return {
+            net.name: self.values.get(net.name)
+            for net in self.netlist.port_nets()
+            if net.name in self._driver
+        }
+
+    def any_unknown_flip_flop(self) -> bool:
+        return any(v is None for v in self.flip_flop_state().values())

@@ -1,0 +1,9 @@
+"""Placement: quadratic global placement + Tetris row legalisation."""
+
+from repro.physd.placement.result import Placement
+from repro.physd.placement.global_place import global_place
+from repro.physd.placement.legalize import legalize
+from repro.physd.placement.driver import place_design
+from repro.physd.placement.refine import refine_placement
+
+__all__ = ["Placement", "global_place", "legalize", "place_design", "refine_placement"]

@@ -1,0 +1,32 @@
+"""End-to-end placement driver: floorplan → global place → legalise."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.layout.design_rules import DesignRules, RULES_40NM
+from repro.physd.floorplan import Floorplan, build_floorplan
+from repro.physd.netlist import GateNetlist
+from repro.physd.placement.global_place import global_place
+from repro.physd.placement.legalize import legalize
+from repro.physd.placement.result import Placement
+
+
+def place_design(
+    netlist: GateNetlist,
+    utilization: float = 0.70,
+    seed: int = 1,
+    aspect_ratio: float = 1.0,
+    floorplan: Optional[Floorplan] = None,
+    rules: DesignRules = RULES_40NM,
+) -> Placement:
+    """Place a netlist with the default flow (the paper's "mostly default
+    mode of option" for the physical-design constraints)."""
+    netlist.validate()
+    if floorplan is None:
+        floorplan = build_floorplan(netlist, utilization=utilization,
+                                    aspect_ratio=aspect_ratio, rules=rules)
+    positions = global_place(netlist, floorplan, seed=seed)
+    placement = legalize(netlist, floorplan, positions,
+                         site_pitch=rules.poly_pitch)
+    return placement

@@ -1,0 +1,98 @@
+"""Detailed-placement refinement: wirelength-driven cell shifting.
+
+After legalisation ~30 % of each row is whitespace.  This pass slides
+each cell toward the median x of its connected pins, bounded by its row
+neighbours — the classic "optimal region" detailed-placement move (rows
+stay sorted, legality is preserved by construction).  A few sweeps
+typically recover several percent of HPWL that the rank-spreading of the
+global placer gave away.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import PlacementError
+from repro.layout.design_rules import RULES_40NM
+from repro.physd.placement.result import HIGH_FANOUT_LIMIT, Placement
+
+
+def _build_pin_map(placement: Placement) -> Dict[str, List[str]]:
+    """instance → list of net names worth optimising over."""
+    pins: Dict[str, List[str]] = {name: [] for name in placement.netlist.instances}
+    for net in placement.netlist.nets.values():
+        if not 2 <= len(net.instances) <= HIGH_FANOUT_LIMIT:
+            continue
+        for inst_name in net.instances:
+            pins[inst_name].append(net.name)
+    return pins
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def refine_placement(
+    placement: Placement,
+    sweeps: int = 2,
+    site_pitch: float = RULES_40NM.poly_pitch,
+) -> int:
+    """Shift cells toward their optimal x in place; returns the number of
+    cells moved.  Legality (row order, bounds) is preserved."""
+    if sweeps < 1:
+        raise PlacementError("sweeps must be >= 1")
+    netlist = placement.netlist
+    pins = _build_pin_map(placement)
+
+    # Row occupancy: ordered cell lists per row y.
+    rows: Dict[float, List[str]] = {}
+    for name, (x, y) in placement.positions.items():
+        rows.setdefault(y, []).append(name)
+    for row_cells in rows.values():
+        row_cells.sort(key=lambda n: placement.positions[n][0])
+
+    die = placement.floorplan.die
+    moved_total = 0
+    for _sweep in range(sweeps):
+        moved = 0
+        for row_y, row_cells in rows.items():
+            for idx, name in enumerate(row_cells):
+                inst = netlist.instance(name)
+                nets = pins[name]
+                if not nets:
+                    continue
+                # Optimal x: median of the other pins' centers.
+                targets: List[float] = []
+                for net_name in nets:
+                    for other in netlist.nets[net_name].instances:
+                        if other != name:
+                            targets.append(placement.center(other).x)
+                if not targets:
+                    continue
+                desired_center = _median(targets)
+                desired_x = desired_center - inst.cell.width / 2.0
+
+                left = (placement.positions[row_cells[idx - 1]][0]
+                        + netlist.instance(row_cells[idx - 1]).cell.width
+                        if idx > 0 else die.x_min)
+                right = (placement.positions[row_cells[idx + 1]][0]
+                         if idx + 1 < len(row_cells) else die.x_max)
+                lo = left
+                hi = right - inst.cell.width
+                if hi < lo - 1e-15:
+                    continue
+                new_x = min(max(desired_x, lo), hi)
+                new_x = round(new_x / site_pitch) * site_pitch
+                new_x = min(max(new_x, lo), hi)
+                old_x = placement.positions[name][0]
+                if abs(new_x - old_x) > site_pitch / 2:
+                    placement.positions[name] = (new_x, row_y)
+                    moved += 1
+        moved_total += moved
+        if moved == 0:
+            break
+    return moved_total

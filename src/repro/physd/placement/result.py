@@ -1,0 +1,84 @@
+"""Placement result container and quality metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import PlacementError
+from repro.layout.geometry import Point, Rect
+from repro.physd.floorplan import Floorplan
+from repro.physd.netlist import GateNetlist
+
+#: Nets with more pins than this are ignored by wirelength metrics and
+#: by the quadratic model (clock and other global nets).
+HIGH_FANOUT_LIMIT = 32
+
+
+@dataclass
+class Placement:
+    """Legal placement: every instance at a row-aligned lower-left corner."""
+
+    netlist: GateNetlist
+    floorplan: Floorplan
+    #: instance name → (x, y) of the cell's lower-left corner [m].
+    positions: Dict[str, Tuple[float, float]]
+
+    def cell_rect(self, name: str) -> Rect:
+        inst = self.netlist.instance(name)
+        try:
+            x, y = self.positions[name]
+        except KeyError:
+            raise PlacementError(f"instance {name!r} has no position")
+        return Rect.from_size(x, y, inst.cell.width, inst.cell.height)
+
+    def center(self, name: str) -> Point:
+        return self.cell_rect(name).center
+
+    def flip_flop_centers(self) -> Dict[str, Point]:
+        """Centers of all sequential instances."""
+        return {
+            inst.name: self.center(inst.name)
+            for inst in self.netlist.sequential_instances()
+        }
+
+    def hpwl(self) -> float:
+        """Half-perimeter wirelength over low-fanout nets [m]."""
+        total = 0.0
+        for net in self.netlist.nets.values():
+            if not 2 <= len(net.instances) <= HIGH_FANOUT_LIMIT:
+                continue
+            xs: List[float] = []
+            ys: List[float] = []
+            for inst_name in net.instances:
+                c = self.center(inst_name)
+                xs.append(c.x)
+                ys.append(c.y)
+            total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+        return total
+
+    def validate(self, tolerance: float = 1e-12) -> None:
+        """Check legality: all cells inside the core, row-aligned, and
+        without overlaps within each row."""
+        by_row: Dict[int, List[Tuple[float, float, str]]] = {}
+        die = self.floorplan.die
+        row_height = self.floorplan.rows[0].height
+        for name in self.netlist.instances:
+            rect = self.cell_rect(name)
+            if not die.contains_rect(rect, tolerance=1e-9):
+                raise PlacementError(f"instance {name!r} outside the core: {rect}")
+            row_index = self.floorplan.nearest_row(rect.y_min)
+            row_y = self.floorplan.rows[row_index].y
+            if abs(rect.y_min - row_y) > row_height * 1e-6 + tolerance:
+                raise PlacementError(
+                    f"instance {name!r} not row-aligned (y={rect.y_min}, row={row_y})"
+                )
+            by_row.setdefault(row_index, []).append((rect.x_min, rect.x_max, name))
+        for row_index, spans in by_row.items():
+            spans.sort()
+            for (x0, x1, a), (x2, _x3, b) in zip(spans, spans[1:]):
+                if x2 < x1 - 1e-9:
+                    raise PlacementError(
+                        f"overlap in row {row_index}: {a!r} [{x0:.3g},{x1:.3g}] "
+                        f"vs {b!r} starting {x2:.3g}"
+                    )

@@ -1,0 +1,157 @@
+"""Post-placement scan-chain reordering.
+
+The benchmark netlists carry a scan chain threaded through the
+flip-flops in creation order (`repro.physd.benchmarks`).  After
+placement, the classic flow step is to *re-stitch* the chain in a
+placement-aware order so the scan wiring shrinks — a travelling-salesman
+tour over the flop positions, here built with the standard
+nearest-neighbour construction plus a 2-opt improvement pass.
+
+Besides being a real flow stage, the reordering interacts with the
+paper's merge: stitching the chain so that merged pairs are *adjacent*
+in scan order keeps the shared 2-bit component's routing local.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.errors import PlacementError
+from repro.physd.placement.result import Placement
+
+
+@dataclass
+class ScanChain:
+    """An ordered scan chain with its wiring cost."""
+
+    order: List[str]
+    wirelength: float
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+
+def _tour_length(points: np.ndarray, order: Sequence[int]) -> float:
+    total = 0.0
+    for a, b in zip(order, order[1:]):
+        total += float(np.abs(points[a] - points[b]).sum())  # Manhattan
+    return total
+
+
+def _nearest_neighbour_tour(points: np.ndarray) -> List[int]:
+    n = len(points)
+    tree = cKDTree(points)
+    visited = np.zeros(n, dtype=bool)
+    tour = [0]
+    visited[0] = True
+    current = 0
+    for _ in range(n - 1):
+        k = 2
+        nxt = -1
+        while nxt < 0:
+            k = min(n, k * 2)
+            _dists, indices = tree.query(points[current], k=k)
+            for j in np.atleast_1d(indices):
+                j = int(j)
+                if not visited[j]:
+                    nxt = j
+                    break
+            if k >= n and nxt < 0:
+                candidates = np.where(~visited)[0]
+                nxt = int(candidates[0])
+        tour.append(nxt)
+        visited[nxt] = True
+        current = nxt
+    return tour
+
+
+def _two_opt(points: np.ndarray, tour: List[int], passes: int = 2) -> List[int]:
+    n = len(tour)
+    for _ in range(passes):
+        improved = False
+        for i in range(n - 2):
+            a, b = tour[i], tour[i + 1]
+            d_ab = np.abs(points[a] - points[b]).sum()
+            for j in range(i + 2, min(n - 1, i + 30)):  # windowed 2-opt
+                c, d = tour[j], tour[j + 1]
+                old = d_ab + np.abs(points[c] - points[d]).sum()
+                new = (np.abs(points[a] - points[c]).sum()
+                       + np.abs(points[b] - points[d]).sum())
+                if new < old - 1e-15:
+                    tour[i + 1:j + 1] = reversed(tour[i + 1:j + 1])
+                    b = tour[i + 1]
+                    d_ab = np.abs(points[a] - points[b]).sum()
+                    improved = True
+        if not improved:
+            break
+    return tour
+
+
+def current_scan_order(placement: Placement) -> ScanChain:
+    """The as-generated chain (creation order ff0, ff1, ...)."""
+    names = sorted(
+        (inst.name for inst in placement.netlist.sequential_instances()),
+        key=lambda n: int(n.replace("ff", "")) if n.startswith("ff") else 0,
+    )
+    points = np.array([[placement.center(n).x, placement.center(n).y]
+                       for n in names])
+    return ScanChain(order=list(names),
+                     wirelength=_tour_length(points, range(len(names))))
+
+
+def reorder_scan_chain(
+    placement: Placement,
+    keep_adjacent: Optional[Sequence[Tuple[str, str]]] = None,
+) -> ScanChain:
+    """Placement-aware scan stitching (nearest neighbour + windowed 2-opt).
+
+    ``keep_adjacent`` forces the given flop pairs (e.g. the NV-merged
+    pairs) to be consecutive in the chain: each pair is collapsed to its
+    midpoint for the tour and expanded afterwards.
+    """
+    names = sorted(inst.name for inst in placement.netlist.sequential_instances())
+    if not names:
+        raise PlacementError("design has no flip-flops to stitch")
+    position: Dict[str, Tuple[float, float]] = {
+        n: (placement.center(n).x, placement.center(n).y) for n in names
+    }
+
+    groups: List[List[str]] = []
+    grouped: set = set()
+    for a, b in (keep_adjacent or ()):
+        if a not in position or b not in position:
+            raise PlacementError(f"unknown flip-flop in pair ({a}, {b})")
+        if a in grouped or b in grouped:
+            raise PlacementError(f"flip-flop appears in two pairs: ({a}, {b})")
+        groups.append([a, b])
+        grouped.update((a, b))
+    for name in names:
+        if name not in grouped:
+            groups.append([name])
+
+    centroids = np.array([
+        [np.mean([position[m][0] for m in group]),
+         np.mean([position[m][1] for m in group])]
+        for group in groups
+    ])
+    tour = _nearest_neighbour_tour(centroids)
+    tour = _two_opt(centroids, tour)
+
+    order: List[str] = []
+    for index in tour:
+        group = groups[index]
+        if len(group) == 2 and order:
+            # Orient the pair so the closer member follows the chain.
+            last = np.array(position[order[-1]])
+            d0 = np.abs(last - np.array(position[group[0]])).sum()
+            d1 = np.abs(last - np.array(position[group[1]])).sum()
+            group = group if d0 <= d1 else list(reversed(group))
+        order.extend(group)
+
+    points = np.array([position[n] for n in order])
+    return ScanChain(order=order,
+                     wirelength=_tour_length(points, range(len(order))))

@@ -1,0 +1,275 @@
+"""Static timing analysis over placed gate netlists.
+
+A lightweight STA with the ingredients that matter for the paper's
+"no timing penalty" merge constraint:
+
+* gate delay = intrinsic + drive resistance × load capacitance,
+* load = fanout pin capacitance + placed-wirelength wire capacitance
+  (HPWL-based when a placement is given, fanout-based otherwise),
+* arrival propagation from flip-flop Q pins / primary inputs in
+  topological order; slack against a clock period at flip-flop D pins.
+
+:func:`merge_timing_impact` then quantifies what adding the NV shadow
+components does to the data paths: every flip-flop's Q net gains the NV
+cell's write-driver pin load, and merged pairs gain wire reaching to the
+shared cell at the pair midpoint — the cost the 2×-cell-width threshold
+is designed to keep negligible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AnalysisError
+from repro.physd.benchmarks import CLOCK_NET
+from repro.physd.logicsim import CELL_FUNCTIONS  # reuse the levelizer set
+from repro.physd.netlist import GateNetlist
+from repro.physd.placement.result import HIGH_FANOUT_LIMIT, Placement
+
+#: Per-cell (intrinsic delay [s], drive resistance [Ω]).
+GATE_TIMING: Dict[str, Tuple[float, float]] = {
+    "INV_X1": (8e-12, 4.0e3),
+    "BUF_X1": (14e-12, 3.0e3),
+    "NAND2_X1": (11e-12, 4.5e3),
+    "NOR2_X1": (13e-12, 5.5e3),
+    "NAND3_X1": (14e-12, 5.0e3),
+    "XOR2_X1": (22e-12, 5.0e3),
+    "AOI21_X1": (16e-12, 5.5e3),
+    "DFF_X1": (90e-12, 4.0e3),  # intrinsic = clk->Q
+}
+
+#: Input pin capacitance per cell input [F].
+INPUT_PIN_CAP = 0.8e-15
+#: NV shadow component input load on a flip-flop's Q net [F]
+#: (the tristate write driver's data input).
+NV_PIN_CAP = 1.4e-15
+#: Wire capacitance per length [F/m].
+WIRE_CAP_PER_M = 0.2e-9
+#: Wire capacitance per fanout when no placement is available [F].
+FANOUT_WIRE_CAP = 0.5e-15
+#: Flip-flop setup time [s].
+SETUP_TIME = 45e-12
+
+
+@dataclass
+class TimingReport:
+    """Arrival/slack summary of one analysis."""
+
+    clock_period: float
+    #: Worst slack over all flip-flop D pins and primary outputs [s].
+    worst_slack: float
+    #: Endpoint (instance or net) with the worst slack.
+    critical_endpoint: str
+    #: Arrival time at every net [s].
+    arrivals: Dict[str, float] = field(repr=False, default_factory=dict)
+    #: Critical path as a list of nets, source to endpoint.
+    critical_path: List[str] = field(default_factory=list)
+
+    @property
+    def max_frequency(self) -> float:
+        """Highest clock frequency the design meets [Hz]."""
+        critical_delay = self.clock_period - self.worst_slack
+        if critical_delay <= 0:
+            raise AnalysisError("degenerate critical delay")
+        return 1.0 / critical_delay
+
+
+def _net_wire_cap(netlist: GateNetlist, net_name: str,
+                  placement: Optional[Placement]) -> float:
+    net = netlist.nets[net_name]
+    if placement is None or len(net.instances) > HIGH_FANOUT_LIMIT:
+        return FANOUT_WIRE_CAP * max(0, len(net.instances) - 1)
+    xs: List[float] = []
+    ys: List[float] = []
+    for inst_name in net.instances:
+        center = placement.center(inst_name)
+        xs.append(center.x)
+        ys.append(center.y)
+    if len(xs) < 2:
+        return 0.0
+    hpwl = (max(xs) - min(xs)) + (max(ys) - min(ys))
+    return hpwl * WIRE_CAP_PER_M
+
+
+def analyze_timing(
+    netlist: GateNetlist,
+    placement: Optional[Placement] = None,
+    clock_period: float = 1e-9,
+    extra_net_load: Optional[Dict[str, float]] = None,
+) -> TimingReport:
+    """Propagate arrivals and report the worst setup slack.
+
+    ``extra_net_load`` adds capacitance to specific nets (used by the
+    merge-impact analysis for the NV pin and wire loads).
+    """
+    if clock_period <= 0:
+        raise AnalysisError("clock period must be positive")
+    extra = extra_net_load or {}
+
+    # Net loads: input pins + wire (+ extras).
+    loads: Dict[str, float] = {}
+    for net_name, net in netlist.nets.items():
+        if net_name == CLOCK_NET:
+            continue
+        pins = 0
+        for inst_name in net.instances:
+            inst = netlist.instances[inst_name]
+            if net_name in inst.nets[:-1]:
+                pins += inst.nets[:-1].count(net_name)
+        loads[net_name] = (pins * INPUT_PIN_CAP
+                           + _net_wire_cap(netlist, net_name, placement)
+                           + extra.get(net_name, 0.0))
+
+    arrivals: Dict[str, float] = {}
+    predecessor: Dict[str, str] = {}
+    for net in netlist.port_nets():
+        arrivals[net.name] = 0.0
+
+    # Flip-flop Q pins launch at clk->Q (+ load delay of the Q net).
+    for ff in netlist.sequential_instances():
+        intrinsic, resistance = GATE_TIMING[ff.cell.name]
+        q_net = ff.nets[-1]
+        arrivals[q_net] = intrinsic + resistance * loads.get(q_net, 0.0)
+
+    # Combinational propagation (reuse the simulator's topological order).
+    from repro.physd.logicsim import LogicSimulator
+
+    order = LogicSimulator(netlist)._order
+    for name in order:
+        inst = netlist.instances[name]
+        if inst.cell.name not in GATE_TIMING:
+            raise AnalysisError(f"no timing data for cell {inst.cell.name!r}")
+        intrinsic, resistance = GATE_TIMING[inst.cell.name]
+        out_net = inst.nets[-1]
+        input_arrivals = [(arrivals.get(net, 0.0), net)
+                          for net in inst.nets[:-1] if net != CLOCK_NET]
+        worst_input, worst_net = max(input_arrivals, default=(0.0, ""))
+        arrivals[out_net] = (worst_input + intrinsic
+                             + resistance * loads.get(out_net, 0.0))
+        if worst_net:
+            predecessor[out_net] = worst_net
+
+    # Slack at flip-flop D pins.
+    worst_slack = float("inf")
+    critical_endpoint = ""
+    critical_net = ""
+    for ff in netlist.sequential_instances():
+        d_net = ff.nets[0]
+        slack = clock_period - SETUP_TIME - arrivals.get(d_net, 0.0)
+        if slack < worst_slack:
+            worst_slack = slack
+            critical_endpoint = ff.name
+            critical_net = d_net
+    if critical_endpoint == "":
+        raise AnalysisError("design has no flip-flops to time")
+
+    path: List[str] = []
+    net = critical_net
+    while net:
+        path.append(net)
+        net = predecessor.get(net, "")
+    path.reverse()
+
+    return TimingReport(clock_period=clock_period, worst_slack=worst_slack,
+                        critical_endpoint=critical_endpoint,
+                        arrivals=arrivals, critical_path=path)
+
+
+def merge_timing_impact(
+    placement: Placement,
+    merge,
+    clock_period: float = 1e-9,
+) -> Tuple[TimingReport, TimingReport]:
+    """Timing before vs after attaching the NV shadow components.
+
+    Every flip-flop's Q net gains the NV write-driver pin load; a merged
+    pair additionally gains wire capacitance spanning the distance from
+    each flop to the shared component at the pair midpoint.  Returns
+    (baseline report, with-NV report); the worst-slack delta is the
+    quantity the paper's distance threshold bounds.
+    """
+    netlist = placement.netlist
+    baseline = analyze_timing(netlist, placement, clock_period)
+
+    extra: Dict[str, float] = {}
+    for ff in netlist.sequential_instances():
+        extra[ff.nets[-1]] = NV_PIN_CAP
+    for pair in merge.pairs:
+        ca = placement.center(pair.ff_a)
+        cb = placement.center(pair.ff_b)
+        half_span = (abs(ca.x - cb.x) + abs(ca.y - cb.y)) / 2.0
+        for name in pair.members():
+            q_net = netlist.instance(name).nets[-1]
+            extra[q_net] = extra.get(q_net, 0.0) + half_span * WIRE_CAP_PER_M
+
+    with_nv = analyze_timing(netlist, placement, clock_period,
+                             extra_net_load=extra)
+    return baseline, with_nv
+
+
+#: Flip-flop hold-time requirement [s].
+HOLD_TIME = 15e-12
+
+
+def analyze_hold(
+    netlist: GateNetlist,
+    placement: Optional[Placement] = None,
+    clock_skew: float = 20e-12,
+) -> Tuple[float, str]:
+    """Min-delay (hold) check: the *shortest* path into any flip-flop's D
+    pin must exceed the hold requirement plus the clock skew.
+
+    Returns ``(worst_hold_slack, endpoint)``; positive slack means no
+    race.  Because the scan chain connects flip-flops Q→D directly (no
+    logic), the shortest paths in these designs are the scan hops — the
+    classic source of hold violations that scan stitching must respect.
+    """
+    loads: Dict[str, float] = {}
+    for net_name, net in netlist.nets.items():
+        if net_name == CLOCK_NET:
+            continue
+        pins = 0
+        for inst_name in net.instances:
+            inst = netlist.instances[inst_name]
+            if net_name in inst.nets[:-1]:
+                pins += inst.nets[:-1].count(net_name)
+        loads[net_name] = (pins * INPUT_PIN_CAP
+                           + _net_wire_cap(netlist, net_name, placement))
+
+    # Earliest arrivals: min over inputs instead of max.
+    arrivals: Dict[str, float] = {}
+    for net in netlist.port_nets():
+        arrivals[net.name] = 0.0
+    for ff in netlist.sequential_instances():
+        intrinsic, resistance = GATE_TIMING[ff.cell.name]
+        q_net = ff.nets[-1]
+        arrivals[q_net] = intrinsic + resistance * loads.get(q_net, 0.0)
+
+    from repro.physd.logicsim import LogicSimulator
+
+    order = LogicSimulator(netlist)._order
+    for name in order:
+        inst = netlist.instances[name]
+        intrinsic, resistance = GATE_TIMING[inst.cell.name]
+        out_net = inst.nets[-1]
+        input_arrivals = [arrivals.get(net, 0.0)
+                          for net in inst.nets[:-1] if net != CLOCK_NET]
+        earliest = min(input_arrivals, default=0.0)
+        arrivals[out_net] = (earliest + intrinsic
+                             + resistance * loads.get(out_net, 0.0))
+
+    worst_slack = float("inf")
+    endpoint = ""
+    for ff in netlist.sequential_instances():
+        # Hold is checked at every D-side pin (data and scan-in).
+        for net in ff.nets[:-1]:
+            if net == CLOCK_NET or net not in arrivals:
+                continue
+            slack = arrivals[net] - HOLD_TIME - clock_skew
+            if slack < worst_slack:
+                worst_slack = slack
+                endpoint = f"{ff.name}:{net}"
+    if not endpoint:
+        raise AnalysisError("design has no checkable hold endpoints")
+    return worst_slack, endpoint

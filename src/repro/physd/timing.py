@@ -1,0 +1,59 @@
+"""Simple wire-delay estimates backing the merge-distance constraint.
+
+The paper limits merging to flip-flop pairs closer than twice the NV
+component width "so that there should not be any timing penalties": the
+extra wire a merged shadow component adds between a flip-flop and its
+(shared) NV cell must stay negligible against the clock period.  This
+module quantifies that with an Elmore model over typical 40 nm
+intermediate-metal parasitics, plus a driver-resistance term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+
+#: Wire resistance per length [Ω/m] (40 nm intermediate metal, ≈ 2 Ω/µm).
+WIRE_RESISTANCE_PER_M = 2.0e6
+#: Wire capacitance per length [F/m] (≈ 0.2 fF/µm).
+WIRE_CAPACITANCE_PER_M = 0.2e-9
+#: Typical driving-gate output resistance [Ω].
+DRIVER_RESISTANCE = 5.0e3
+#: Typical receiver input capacitance [F].
+RECEIVER_CAPACITANCE = 0.8e-15
+
+
+@dataclass(frozen=True)
+class WireDelayModel:
+    """Elmore wire delay with a lumped driver/receiver."""
+
+    resistance_per_m: float = WIRE_RESISTANCE_PER_M
+    capacitance_per_m: float = WIRE_CAPACITANCE_PER_M
+    driver_resistance: float = DRIVER_RESISTANCE
+    receiver_capacitance: float = RECEIVER_CAPACITANCE
+
+    def delay(self, length: float) -> float:
+        """Elmore delay [s] of a wire of the given length [m]."""
+        if length < 0:
+            raise AnalysisError(f"negative wire length {length}")
+        r_wire = self.resistance_per_m * length
+        c_wire = self.capacitance_per_m * length
+        return (self.driver_resistance * (c_wire + self.receiver_capacitance)
+                + r_wire * (c_wire / 2.0 + self.receiver_capacitance))
+
+    def added_delay_for_merge(self, ff_distance: float) -> float:
+        """Extra signal delay introduced by sharing an NV component
+        between two flip-flops separated by ``ff_distance``: the far
+        flip-flop's store/restore path grows by at most that distance."""
+        return self.delay(ff_distance)
+
+    def merge_is_timing_safe(self, ff_distance: float,
+                             clock_period: float = 1e-9,
+                             budget_fraction: float = 0.02) -> bool:
+        """Whether the added delay stays under ``budget_fraction`` of the
+        clock period — the quantified form of the paper's 'no timing
+        penalty' rule."""
+        if clock_period <= 0 or not 0 < budget_fraction < 1:
+            raise AnalysisError("invalid clock period or budget fraction")
+        return self.added_delay_for_merge(ff_distance) <= budget_fraction * clock_period

@@ -1,0 +1,130 @@
+"""Gate-level structural Verilog writer and parser.
+
+Real physical-design flows exchange gate-level netlists as structural
+Verilog; this module provides that surface for :class:`GateNetlist`
+(the DEF side carries placement, the Verilog side connectivity).
+
+Pin-name convention (our netlists carry ordered nets, not named pins):
+
+* combinational cells — inputs ``A0..An``, output ``Y`` (last net),
+* sequential cells — all nets but the last are ``D0..Dn``, output ``Q``.
+
+The writer emits one module with the design's port nets as ports; the
+parser accepts exactly this subset (named port connections, one instance
+per line logically, ``//`` comments) and reconstructs the netlist over a
+given cell library, so write → parse is a lossless round trip.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from repro.cells.library import CellLibrary, build_default_library
+from repro.errors import NetlistError
+from repro.physd.netlist import GateNetlist
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_$]*"
+_INSTANCE_RE = re.compile(
+    rf"^({_IDENT})\s+({_IDENT})\s*\((.*)\)\s*;\s*$", re.DOTALL)
+_PIN_RE = re.compile(rf"\.({_IDENT})\s*\(\s*({_IDENT})\s*\)")
+_MODULE_RE = re.compile(rf"^module\s+({_IDENT})\s*\((.*?)\)\s*;", re.DOTALL)
+
+
+def _escape(net: str) -> str:
+    """Map arbitrary net names onto Verilog identifiers (best effort)."""
+    if re.fullmatch(_IDENT, net):
+        return net
+    return "n_" + re.sub(r"[^A-Za-z0-9_]", "_", net)
+
+
+def _pin_names(count: int, sequential: bool) -> List[str]:
+    if count < 1:
+        raise NetlistError("instance needs at least one pin")
+    if sequential:
+        return [f"D{i}" for i in range(count - 1)] + ["Q"]
+    return [f"A{i}" for i in range(count - 1)] + ["Y"]
+
+
+def write_verilog(netlist: GateNetlist, module_name: Optional[str] = None) -> str:
+    """Serialise the netlist as one structural Verilog module."""
+    netlist.validate()
+    name = module_name or netlist.name
+    ports = sorted(net.name for net in netlist.port_nets())
+    internal = sorted(n for n in netlist.nets if n not in set(ports))
+
+    lines = [f"// structural netlist of {netlist.name} "
+             f"({netlist.num_instances} instances)",
+             f"module {_escape(name)} ({', '.join(_escape(p) for p in ports)});"]
+    for port in ports:
+        lines.append(f"  inout {_escape(port)};")
+    for net in internal:
+        lines.append(f"  wire {_escape(net)};")
+    lines.append("")
+    for inst_name in sorted(netlist.instances):
+        inst = netlist.instances[inst_name]
+        pins = _pin_names(len(inst.nets), inst.is_sequential)
+        conns = ", ".join(f".{pin}({_escape(net)})"
+                          for pin, net in zip(pins, inst.nets))
+        lines.append(f"  {inst.cell.name} {_escape(inst_name)} ({conns});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def parse_verilog(text: str, library: Optional[CellLibrary] = None) -> GateNetlist:
+    """Parse the written subset back into a :class:`GateNetlist`."""
+    library = library or build_default_library()
+    # Strip comments, normalise whitespace.
+    text = re.sub(r"//[^\n]*", "", text)
+    statements = [s.strip() for s in text.split(";")]
+
+    module_name: Optional[str] = None
+    ports: List[str] = []
+    instances: List[tuple] = []
+    wires: List[str] = []
+
+    for statement in statements:
+        if not statement or statement == "endmodule":
+            continue
+        if statement.startswith("module"):
+            match = _MODULE_RE.match(statement + ";")
+            if not match:
+                raise NetlistError(f"unparseable module header: {statement!r}")
+            module_name = match.group(1)
+            ports = [p.strip() for p in match.group(2).split(",") if p.strip()]
+            continue
+        if statement.startswith(("wire", "inout", "input", "output")):
+            parts = statement.split(None, 1)
+            if len(parts) == 2:
+                wires.extend(w.strip() for w in parts[1].split(","))
+            continue
+        match = _INSTANCE_RE.match(statement + ";")
+        if not match:
+            raise NetlistError(f"unparseable statement: {statement!r}")
+        cell_name, inst_name, conn_text = match.groups()
+        pins = _PIN_RE.findall(conn_text)
+        if not pins:
+            raise NetlistError(f"instance {inst_name!r} has no pin connections")
+        instances.append((inst_name, cell_name, pins))
+
+    if module_name is None:
+        raise NetlistError("no module declaration found")
+
+    netlist = GateNetlist(module_name, library)
+    for port in ports:
+        netlist.add_net(port, is_port=True)
+    for inst_name, cell_name, pins in instances:
+        if cell_name not in library:
+            raise NetlistError(f"instance {inst_name!r}: unknown cell {cell_name!r}")
+        cell = library[cell_name]
+        expected = _pin_names(len(pins), cell.is_sequential)
+        by_pin: Dict[str, str] = dict(pins)
+        if sorted(by_pin) != sorted(expected):
+            raise NetlistError(
+                f"instance {inst_name!r}: pins {sorted(by_pin)} do not match "
+                f"the {cell_name} convention {expected}"
+            )
+        nets = [by_pin[pin] for pin in expected]
+        netlist.add_instance(inst_name, cell_name, nets)
+    netlist.validate()
+    return netlist

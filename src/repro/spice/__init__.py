@@ -1,0 +1,57 @@
+"""A compact analog circuit simulator (SPICE-class) in pure Python.
+
+This package substitutes for the Cadence Spectre + TSMC 40 nm flow the
+paper used (see DESIGN.md §2).  It provides:
+
+* :mod:`repro.spice.netlist` — circuit/netlist container with typed
+  element constructors,
+* :mod:`repro.spice.devices` — resistors, capacitors, independent
+  sources, an EKV-style MOSFET compact model, and an MTJ adapter that
+  couples :mod:`repro.mtj` into the solver,
+* :mod:`repro.spice.analysis` — modified nodal analysis (MNA) assembly,
+  Newton–Raphson DC operating point with gmin stepping, fixed-step
+  transient analysis (backward-Euler / trapezoidal), and measurement
+  utilities (delays, crossing times, integrated supply energy),
+* :mod:`repro.spice.waveforms` — DC / pulse / piecewise-linear stimuli,
+* :mod:`repro.spice.corners` — combined CMOS + MTJ simulation corners.
+"""
+
+from repro.spice.netlist import Circuit, GROUND
+from repro.spice.waveforms import DC, Pulse, PWL, Waveform
+from repro.spice.devices.mosfet import MOSFETModel, NMOS_40LP, PMOS_40LP
+from repro.spice.corners import CMOSCorner, SimulationCorner, CORNERS
+from repro.spice.analysis.dc import solve_dc, DCResult
+from repro.spice.analysis.transient import run_transient, TransientResult
+from repro.spice.analysis.measure import (
+    crossing_time,
+    delay_between,
+    integrate_supply_energy,
+    average_power,
+)
+from repro.spice.export import export_spice
+from repro.spice.vcd import export_vcd
+
+__all__ = [
+    "Circuit",
+    "GROUND",
+    "DC",
+    "Pulse",
+    "PWL",
+    "Waveform",
+    "MOSFETModel",
+    "NMOS_40LP",
+    "PMOS_40LP",
+    "CMOSCorner",
+    "SimulationCorner",
+    "CORNERS",
+    "solve_dc",
+    "DCResult",
+    "run_transient",
+    "TransientResult",
+    "crossing_time",
+    "delay_between",
+    "integrate_supply_energy",
+    "average_power",
+    "export_spice",
+    "export_vcd",
+]

@@ -1,0 +1,197 @@
+"""DC operating-point analysis: damped Newton–Raphson with gmin stepping.
+
+The solver assembles the MNA system linearised at the current iterate and
+re-solves until the update is small.  Robustness aids, in escalation
+order:
+
+1. per-iteration voltage-update damping (default 0.4 V clamp),
+2. gmin homotopy: if plain Newton fails, solve a sequence of problems
+   with a large conductance from every node to ground, reducing it one
+   decade at a time and warm-starting each stage.
+
+Both are standard SPICE practice and are exercised by the latch circuits,
+whose cross-coupled sense amplifiers have multiple DC solutions — the
+homotopy reliably lands on the one seeded by the initial guess.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.spice.devices.base import EvalContext
+from repro.spice.devices.sources import VoltageSource
+from repro.spice.analysis.mna import MNAStamper
+from repro.spice.netlist import Circuit
+
+#: Default Newton iteration limit per gmin stage.
+DEFAULT_MAX_ITERATIONS = 150
+#: Default absolute voltage-convergence tolerance [V].
+DEFAULT_VTOL = 1e-7
+#: Default clamp on the per-iteration voltage update [V].
+DEFAULT_DAMPING = 0.4
+#: Residual gmin left in the final solve [S].
+FLOOR_GMIN = 1e-12
+
+
+@dataclass
+class DCResult:
+    """Solved operating point."""
+
+    circuit: Circuit
+    voltages: np.ndarray
+    branch_currents: np.ndarray
+    iterations: int
+    gmin: float
+
+    def voltage(self, node_name: str) -> float:
+        """Node voltage by name [V]."""
+        index = self.circuit.node(node_name)
+        return 0.0 if index < 0 else float(self.voltages[index])
+
+    def source_current(self, source_name: str) -> float:
+        """Branch current of a voltage source [A] (positive flows from the
+        + terminal through the source to the − terminal)."""
+        device = self.circuit.device(source_name)
+        if not isinstance(device, VoltageSource):
+            raise ConvergenceError(f"{source_name!r} is not a voltage source")
+        return float(self.branch_currents[device.branch_index])
+
+    def supply_power(self, source_name: str) -> float:
+        """Power delivered by the named source [W] at this operating point."""
+        device = self.circuit.device(source_name)
+        if not isinstance(device, VoltageSource):
+            raise ConvergenceError(f"{source_name!r} is not a voltage source")
+        v = device.voltage_at(0.0)
+        return -v * float(self.branch_currents[device.branch_index])
+
+
+def _newton(
+    circuit: Circuit,
+    x0: np.ndarray,
+    time: float,
+    gmin: float,
+    max_iterations: int,
+    vtol: float,
+    damping: float,
+    prev_voltages: Optional[np.ndarray] = None,
+    dt: Optional[float] = None,
+    integrator: str = "be",
+) -> tuple:
+    """One Newton solve; returns ``(x, iterations)`` or raises."""
+    num_nodes = circuit.num_nodes
+    x = x0.copy()
+    for iteration in range(1, max_iterations + 1):
+        ctx = EvalContext(
+            voltages=x[:num_nodes],
+            prev_voltages=prev_voltages,
+            time=time,
+            dt=dt,
+            gmin=gmin,
+            integrator=integrator,
+        )
+        stamper = MNAStamper(num_nodes, circuit.num_branches)
+        for device in circuit.devices:
+            device.stamp(stamper, ctx)
+        stamper.apply_gmin(gmin)
+        try:
+            x_new = stamper.solve()
+        except np.linalg.LinAlgError as exc:
+            raise ConvergenceError(
+                f"singular MNA matrix at gmin={gmin:g} (iteration {iteration})",
+                iterations=iteration,
+            ) from exc
+
+        delta = x_new - x
+        dv = delta[:num_nodes]
+        max_dv = float(np.max(np.abs(dv))) if num_nodes else 0.0
+        if max_dv > damping:
+            # Damp the whole update uniformly to preserve the Newton direction.
+            delta *= damping / max_dv
+            x = x + delta
+        else:
+            x = x_new
+            if max_dv < vtol:
+                return x, iteration
+    raise ConvergenceError(
+        f"Newton failed to converge in {max_iterations} iterations "
+        f"(gmin={gmin:g}, last max dV={max_dv:g})",
+        iterations=max_iterations,
+        residual=max_dv,
+    )
+
+
+def newton_step(
+    circuit: Circuit,
+    x0: np.ndarray,
+    time: float,
+    prev_voltages: np.ndarray,
+    dt: float,
+    integrator: str = "be",
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    vtol: float = DEFAULT_VTOL,
+    damping: float = DEFAULT_DAMPING,
+    gmin: float = FLOOR_GMIN,
+) -> np.ndarray:
+    """Newton solve for one transient timepoint (used by the transient driver)."""
+    x, _ = _newton(
+        circuit, x0, time, gmin, max_iterations, vtol, damping,
+        prev_voltages=prev_voltages, dt=dt, integrator=integrator,
+    )
+    return x
+
+
+def solve_dc(
+    circuit: Circuit,
+    time: float = 0.0,
+    initial_guess: Optional[dict] = None,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    vtol: float = DEFAULT_VTOL,
+    damping: float = DEFAULT_DAMPING,
+) -> DCResult:
+    """Find the DC operating point with source values evaluated at ``time``.
+
+    ``initial_guess`` maps node names to seed voltages; unlisted nodes
+    start at 0 V.  For bistable circuits (sense amplifiers, latches) the
+    seed selects the solution branch.
+    """
+    circuit.finalize()
+    size = circuit.num_nodes + circuit.num_branches
+    x0 = np.zeros(size)
+    if initial_guess:
+        for node_name, value in initial_guess.items():
+            index = circuit.node(node_name)
+            if index >= 0:
+                x0[index] = value
+
+    last_error: Optional[ConvergenceError] = None
+    # Plain Newton first, then gmin stepping from strong to weak.
+    try:
+        x, iterations = _newton(
+            circuit, x0, time, FLOOR_GMIN, max_iterations, vtol, damping
+        )
+        return DCResult(circuit, x[: circuit.num_nodes],
+                        x[circuit.num_nodes:], iterations, FLOOR_GMIN)
+    except ConvergenceError as exc:
+        last_error = exc
+
+    x = x0
+    total_iterations = 0
+    gmin = 1e-2
+    while gmin >= FLOOR_GMIN:
+        try:
+            x, iterations = _newton(
+                circuit, x, time, gmin, max_iterations, vtol, damping
+            )
+            total_iterations += iterations
+        except ConvergenceError as exc:
+            raise ConvergenceError(
+                f"gmin stepping stalled at gmin={gmin:g}: {exc}",
+                iterations=total_iterations,
+            ) from last_error
+        gmin /= 10.0
+    return DCResult(circuit, x[: circuit.num_nodes],
+                    x[circuit.num_nodes:], total_iterations, FLOOR_GMIN)

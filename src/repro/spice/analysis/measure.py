@@ -1,0 +1,134 @@
+"""Measurement utilities over transient results.
+
+These mirror the ``.measure`` statements the paper's authors would have
+used in Spectre: threshold-crossing times, delays between signal edges,
+and integrated supply energy over a window.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.spice.analysis.transient import TransientResult
+
+
+def crossing_time(
+    times: np.ndarray,
+    values: np.ndarray,
+    threshold: float,
+    direction: str = "any",
+    start: float = 0.0,
+) -> Optional[float]:
+    """First time ``values`` crosses ``threshold`` after ``start``.
+
+    ``direction`` is ``"rise"``, ``"fall"`` or ``"any"``.  Returns the
+    linearly interpolated crossing time, or ``None`` if no crossing occurs.
+    """
+    if direction not in ("rise", "fall", "any"):
+        raise AnalysisError(f"unknown direction {direction!r}")
+    if len(times) != len(values):
+        raise AnalysisError("times and values must have equal length")
+    above = values >= threshold
+    for i in range(1, len(times)):
+        if times[i] < start:
+            continue
+        if above[i] == above[i - 1]:
+            continue
+        rising = bool(above[i]) and not bool(above[i - 1])
+        if direction == "rise" and not rising:
+            continue
+        if direction == "fall" and rising:
+            continue
+        v0, v1 = values[i - 1], values[i]
+        t0, t1 = times[i - 1], times[i]
+        frac = (threshold - v0) / (v1 - v0)
+        crossing = t0 + frac * (t1 - t0)
+        if crossing >= start:
+            return float(crossing)
+    return None
+
+
+def delay_between(
+    result: TransientResult,
+    from_signal: str,
+    to_signal: str,
+    from_threshold: float,
+    to_threshold: float,
+    from_direction: str = "any",
+    to_direction: str = "any",
+    start: float = 0.0,
+) -> float:
+    """Delay from an edge on ``from_signal`` to the next edge on
+    ``to_signal`` [s].  Raises if either edge is missing."""
+    t_from = crossing_time(
+        result.times, result.voltage(from_signal), from_threshold,
+        direction=from_direction, start=start,
+    )
+    if t_from is None:
+        raise AnalysisError(
+            f"no {from_direction} crossing of {from_signal!r} at {from_threshold} V"
+        )
+    t_to = crossing_time(
+        result.times, result.voltage(to_signal), to_threshold,
+        direction=to_direction, start=t_from,
+    )
+    if t_to is None:
+        raise AnalysisError(
+            f"no {to_direction} crossing of {to_signal!r} at {to_threshold} V "
+            f"after t={t_from:g}"
+        )
+    return t_to - t_from
+
+
+def integrate_supply_energy(
+    result: TransientResult,
+    source_name: str,
+    t0: float = 0.0,
+    t1: Optional[float] = None,
+) -> float:
+    """Energy delivered by a voltage source over [t0, t1] [J].
+
+    Positive values mean the source delivered energy to the circuit (the
+    branch current of a sourcing supply is negative by convention, hence
+    the sign flip).
+    """
+    if t1 is None:
+        t1 = float(result.times[-1])
+    mask = result.window(t0, t1)
+    if mask.sum() < 2:
+        raise AnalysisError(f"window [{t0}, {t1}] contains fewer than 2 samples")
+    times = result.times[mask]
+    current = result.source_current(source_name)[mask]
+    device = result.circuit.device(source_name)
+    volts = np.array([device.voltage_at(t) for t in times])
+    power = -volts * current
+    return float(np.trapezoid(power, times))
+
+
+def average_power(
+    result: TransientResult,
+    source_name: str,
+    t0: float = 0.0,
+    t1: Optional[float] = None,
+) -> float:
+    """Mean power delivered by a source over the window [W]."""
+    if t1 is None:
+        t1 = float(result.times[-1])
+    if t1 <= t0:
+        raise AnalysisError(f"empty window [{t0}, {t1}]")
+    return integrate_supply_energy(result, source_name, t0, t1) / (t1 - t0)
+
+
+def settle_value(
+    result: TransientResult,
+    node_name: str,
+    window: float = 100e-12,
+) -> float:
+    """Mean node voltage over the trailing ``window`` seconds — a
+    noise-tolerant 'final value' readout."""
+    t_end = float(result.times[-1])
+    mask = result.window(max(0.0, t_end - window), t_end)
+    return float(np.mean(result.voltage(node_name)[mask]))

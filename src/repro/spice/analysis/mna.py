@@ -1,0 +1,95 @@
+"""Modified nodal analysis (MNA) matrix assembly.
+
+The unknown vector is ``x = [node_voltages..., branch_currents...]``.
+Devices stamp their linearised companion models through
+:class:`MNAStamper`, which hides the ground bookkeeping: any stamp whose
+row or column refers to ground (index ``-1``) is silently dropped, which
+is exactly the textbook reduction of the grounded MNA system.
+
+Sign conventions (standard):
+
+* ``add_conductance(a, b, g)`` stamps a conductance ``g`` between nodes
+  ``a`` and ``b`` (the usual +g on the diagonals, −g off-diagonal).
+* ``add_current(node, value)`` adds ``value`` amps *into* ``node`` on the
+  right-hand side (a companion-model Norton source).
+* Branch rows carry voltage-source-like constraints; branch columns carry
+  the current contribution of the branch into its nodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MNAStamper:
+    """Dense MNA system under construction for one Newton iteration."""
+
+    def __init__(self, num_nodes: int, num_branches: int):
+        self.num_nodes = num_nodes
+        self.num_branches = num_branches
+        size = num_nodes + num_branches
+        self.matrix = np.zeros((size, size))
+        self.rhs = np.zeros(size)
+
+    # -- nodal stamps --------------------------------------------------------
+
+    def add_conductance(self, node_a: int, node_b: int, g: float) -> None:
+        """Conductance ``g`` between ``node_a`` and ``node_b``."""
+        if node_a >= 0:
+            self.matrix[node_a, node_a] += g
+        if node_b >= 0:
+            self.matrix[node_b, node_b] += g
+        if node_a >= 0 and node_b >= 0:
+            self.matrix[node_a, node_b] -= g
+            self.matrix[node_b, node_a] -= g
+
+    def add_transconductance(
+        self, out_pos: int, out_neg: int, ctrl_pos: int, ctrl_neg: int, gm: float
+    ) -> None:
+        """Current gm·(V(ctrl_pos) − V(ctrl_neg)) flowing out_pos → out_neg."""
+        for out_node, out_sign in ((out_pos, 1.0), (out_neg, -1.0)):
+            if out_node < 0:
+                continue
+            if ctrl_pos >= 0:
+                self.matrix[out_node, ctrl_pos] += out_sign * gm
+            if ctrl_neg >= 0:
+                self.matrix[out_node, ctrl_neg] -= out_sign * gm
+
+    def add_current(self, node: int, value: float) -> None:
+        """Independent/companion current of ``value`` amps into ``node``."""
+        if node >= 0:
+            self.rhs[node] += value
+
+    # -- branch stamps -------------------------------------------------------
+
+    def branch_row(self, branch_index: int) -> int:
+        """Matrix row/column index of a branch unknown."""
+        return self.num_nodes + branch_index
+
+    def add_voltage_source(
+        self, branch_index: int, positive: int, negative: int, voltage: float
+    ) -> None:
+        """Ideal voltage source constraint V(pos) − V(neg) = voltage, with the
+        branch current flowing pos → (through source) → neg."""
+        row = self.branch_row(branch_index)
+        if positive >= 0:
+            self.matrix[positive, row] += 1.0
+            self.matrix[row, positive] += 1.0
+        if negative >= 0:
+            self.matrix[negative, row] -= 1.0
+            self.matrix[row, negative] -= 1.0
+        self.rhs[row] += voltage
+
+    # -- solving ---------------------------------------------------------------
+
+    def apply_gmin(self, gmin: float) -> None:
+        """Add ``gmin`` from every node to ground (Newton homotopy aid)."""
+        if gmin <= 0.0:
+            return
+        for node in range(self.num_nodes):
+            self.matrix[node, node] += gmin
+
+    def solve(self) -> np.ndarray:
+        """Solve the assembled system; raises ``numpy.linalg.LinAlgError`` if
+        singular (the DC driver catches this and escalates gmin)."""
+        return np.linalg.solve(self.matrix, self.rhs)

@@ -1,0 +1,103 @@
+"""Operating-point reports: per-device currents and power at a DC point.
+
+The debugging companion of :func:`~repro.spice.analysis.dc.solve_dc`:
+tabulates every device's terminal voltages, current and dissipated
+power, plus a power-balance check (Σ device dissipation = Σ source
+delivery) — the Tellegen identity that every valid operating point must
+satisfy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import AnalysisError
+from repro.spice.devices.base import EvalContext
+from repro.spice.devices.mosfet import MOSFET
+from repro.spice.devices.mtj_element import MTJElement
+from repro.spice.devices.passive import Resistor
+from repro.spice.devices.sources import VoltageSource
+from repro.spice.analysis.dc import DCResult
+
+
+@dataclass
+class DeviceOperatingPoint:
+    """One device's DC state."""
+
+    name: str
+    kind: str
+    current: float  # through-current [A]
+    power: float    # dissipated (+) or delivered (−) [W]
+    detail: str = ""
+
+
+def operating_point_report(result: DCResult) -> List[DeviceOperatingPoint]:
+    """Per-device operating points of a solved DC result."""
+    circuit = result.circuit
+    ctx = EvalContext(voltages=result.voltages, prev_voltages=None,
+                      time=0.0, dt=None)
+    rows: List[DeviceOperatingPoint] = []
+    for device in circuit.devices:
+        if isinstance(device, Resistor):
+            current = device.current(ctx)
+            power = current * device.branch_voltage(ctx)
+            rows.append(DeviceOperatingPoint(device.name, "R", current, power))
+        elif isinstance(device, MOSFET):
+            current = device.drain_current(ctx)
+            vds = ctx.v(device.drain) - ctx.v(device.source)
+            vgs = ctx.v(device.gate) - ctx.v(device.source)
+            rows.append(DeviceOperatingPoint(
+                device.name, "M", current, current * vds,
+                detail=f"vgs={vgs:.3f} vds={vds:.3f}"))
+        elif isinstance(device, MTJElement):
+            current = device.current(ctx)
+            power = current * device.bias(ctx)
+            rows.append(DeviceOperatingPoint(
+                device.name, "MTJ", current, power,
+                detail=f"state={device.device.state.value}"))
+        elif isinstance(device, VoltageSource):
+            branch = float(result.branch_currents[device.branch_index])
+            voltage = device.voltage_at(0.0)
+            rows.append(DeviceOperatingPoint(
+                device.name, "V", branch, branch * voltage,
+                detail=f"v={voltage:.3f}"))
+    # The solver's residual gmin (one conductance per node to ground) also
+    # dissipates; without it the Tellegen sum would show a spurious
+    # residual of ~nodes × V² × gmin.
+    gmin_power = float(result.gmin * (result.voltages ** 2).sum())
+    if gmin_power > 0.0:
+        rows.append(DeviceOperatingPoint(
+            "(gmin)", "G", 0.0, gmin_power,
+            detail=f"solver homotopy, {result.gmin:g} S/node"))
+    return rows
+
+
+def power_balance(result: DCResult, tolerance: float = 1e-9) -> float:
+    """Tellegen check: total power over all devices must vanish.
+
+    Returns the residual [W]; raises when it exceeds ``tolerance``
+    relative to the total dissipation.
+    """
+    rows = operating_point_report(result)
+    dissipated = sum(r.power for r in rows if r.power > 0)
+    total = sum(r.power for r in rows)
+    scale = max(dissipated, 1e-18)
+    if abs(total) > tolerance * scale + 1e-18:
+        raise AnalysisError(
+            f"power balance violated: residual {total:g} W "
+            f"against {dissipated:g} W dissipated")
+    return total
+
+
+def render_operating_point(result: DCResult, min_current: float = 0.0) -> str:
+    """Plain-text operating-point table (devices above ``min_current``)."""
+    rows = [r for r in operating_point_report(result)
+            if abs(r.current) >= min_current]
+    rows.sort(key=lambda r: -abs(r.power))
+    lines = ["device            | kind |    current |      power | detail",
+             "------------------+------+------------+------------+-------"]
+    for r in rows:
+        lines.append(f"{r.name:17s} | {r.kind:4s} | {r.current:10.3e} | "
+                     f"{r.power:10.3e} | {r.detail}")
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""DC sweep analysis and derived static metrics.
+
+``dc_sweep`` steps one voltage source through a list of values, solving
+the operating point at each step with the previous solution as the warm
+start (continuation), which tracks a consistent branch through bistable
+regions.  On top of it:
+
+* :func:`transfer_curve` — a VTC of any input/output node pair,
+* :func:`static_noise_margin` — the butterfly-curve SNM of a
+  cross-coupled inverter pair, the hold-stability metric of the sense
+  amplifier at the heart of both latch designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.spice.devices.mosfet import MOSFETModel, NMOS_40LP, PMOS_40LP
+from repro.spice.devices.sources import VoltageSource
+from repro.spice.analysis.dc import solve_dc
+from repro.spice.netlist import Circuit
+from repro.spice.waveforms import DC
+
+
+@dataclass
+class SweepResult:
+    """DC sweep samples: one operating point per swept value."""
+
+    circuit: Circuit
+    source_name: str
+    values: np.ndarray
+    #: node voltages per step, shape (steps, num_nodes).
+    node_voltages: np.ndarray
+
+    def voltage(self, node_name: str) -> np.ndarray:
+        index = self.circuit.node(node_name)
+        if index < 0:
+            return np.zeros(len(self.values))
+        return self.node_voltages[:, index]
+
+
+def dc_sweep(
+    circuit: Circuit,
+    source_name: str,
+    values: Sequence[float],
+    initial_guess: Optional[dict] = None,
+) -> SweepResult:
+    """Sweep a voltage source through ``values`` (continuation solve)."""
+    if len(values) < 1:
+        raise AnalysisError("sweep needs at least one value")
+    device = circuit.device(source_name)
+    if not isinstance(device, VoltageSource):
+        raise AnalysisError(f"{source_name!r} is not a voltage source")
+
+    samples = []
+    guess = initial_guess
+    for value in values:
+        device.waveform = DC(float(value))
+        result = solve_dc(circuit, initial_guess=guess)
+        samples.append(result.voltages.copy())
+        # Warm-start the next step from this solution.
+        guess = {circuit.node_name(i): float(v)
+                 for i, v in enumerate(result.voltages)}
+    return SweepResult(circuit=circuit, source_name=source_name,
+                       values=np.asarray(values, dtype=float),
+                       node_voltages=np.vstack(samples))
+
+
+def transfer_curve(
+    build: Callable[[], Circuit],
+    input_source: str,
+    output_node: str,
+    values: Sequence[float],
+) -> SweepResult:
+    """Convenience: build a fresh circuit and sweep its input."""
+    return dc_sweep(build(), input_source, values)
+
+
+def inverter_vtc(
+    nmos: MOSFETModel = NMOS_40LP,
+    pmos: MOSFETModel = PMOS_40LP,
+    vdd: float = 1.1,
+    points: int = 45,
+    nmos_width: float = 300e-9,
+    pmos_width: float = 450e-9,
+) -> SweepResult:
+    """VTC of the latch-style inverter (the SA half-cell)."""
+    c = Circuit("vtc")
+    c.add_vsource("vdd", "vdd", "0", vdd)
+    c.add_vsource("vin", "in", "0", 0.0)
+    c.add_mosfet("mp", "out", "in", "vdd", "vdd", pmos, pmos_width, 40e-9,
+                 with_caps=False)
+    c.add_mosfet("mn", "out", "in", "0", "0", nmos, nmos_width, 40e-9,
+                 with_caps=False)
+    return dc_sweep(c, "vin", np.linspace(0.0, vdd, points),
+                    initial_guess={"out": vdd})
+
+
+def static_noise_margin(
+    nmos: MOSFETModel = NMOS_40LP,
+    pmos: MOSFETModel = PMOS_40LP,
+    vdd: float = 1.1,
+    points: int = 45,
+) -> float:
+    """Hold SNM [V] of the cross-coupled pair (butterfly method).
+
+    The largest square that fits between the two mirrored inverter VTCs;
+    computed on the 45°-rotated curves as is standard.
+    """
+    vtc = inverter_vtc(nmos, pmos, vdd, points)
+    vin = vtc.values
+    vout = vtc.voltage("out")
+
+    # Curve 1: (vin, vout); curve 2 is its mirror (vout, vin).  Work in
+    # the rotated frame u = (x - y)/sqrt(2), v = (x + y)/sqrt(2): the SNM
+    # is sqrt(2) * max vertical gap between the rotated curves on one lobe.
+    u1 = (vin - vout) / np.sqrt(2.0)
+    v1 = (vin + vout) / np.sqrt(2.0)
+    u2 = (vout - vin) / np.sqrt(2.0)
+    v2 = (vout + vin) / np.sqrt(2.0)
+
+    order1 = np.argsort(u1)
+    order2 = np.argsort(u2)
+    u_grid = np.linspace(max(u1.min(), u2.min()), min(u1.max(), u2.max()), 400)
+    curve1 = np.interp(u_grid, u1[order1], v1[order1])
+    curve2 = np.interp(u_grid, u2[order2], v2[order2])
+    gap = curve1 - curve2
+    # One lobe has curve1 above curve2, the other the opposite; the SNM is
+    # the smaller of the two lobes' maximal square sides.
+    lobe_high = gap.max()
+    lobe_low = (-gap).max()
+    if lobe_high <= 0 or lobe_low <= 0:
+        raise AnalysisError("butterfly curves do not form two lobes — "
+                            "the inverter pair is not bistable")
+    return float(min(lobe_high, lobe_low) / np.sqrt(2.0))

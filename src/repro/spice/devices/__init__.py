@@ -1,0 +1,22 @@
+"""Circuit elements for the MNA solver."""
+
+from repro.spice.devices.base import Device, EvalContext, TwoTerminal
+from repro.spice.devices.passive import Resistor, Capacitor
+from repro.spice.devices.sources import VoltageSource, CurrentSource
+from repro.spice.devices.mosfet import MOSFET, MOSFETModel, NMOS_40LP, PMOS_40LP
+from repro.spice.devices.mtj_element import MTJElement
+
+__all__ = [
+    "Device",
+    "EvalContext",
+    "TwoTerminal",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+    "MOSFET",
+    "MOSFETModel",
+    "NMOS_40LP",
+    "PMOS_40LP",
+    "MTJElement",
+]

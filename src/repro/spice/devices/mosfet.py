@@ -1,0 +1,259 @@
+"""EKV-style MOSFET compact model.
+
+A single smooth equation covers weak inversion (subthreshold — the source
+of the leakage numbers in paper Table II), moderate and strong inversion:
+
+    I_D = I_spec · (i_f − i_r) · (1 + λ · h(v_DS))
+
+    i_f = F(v_P − v_SB),   i_r = F(v_P − v_DB),
+    v_P = (v_GB − V_T0) / n,
+    F(u) = ln²(1 + exp(u / (2 V_t)))
+
+with ``I_spec = 2 n β V_t²`` and ``β = KP · W / L`` (KP = µ·C_ox).  The
+interpolation function F gives ``exp(u/V_t)`` in weak inversion and
+``(u/2V_t)²`` in strong inversion — the classic EKV limits.  Channel
+length modulation uses the even, smooth overdrive ``h(v) = √(v²+ε²) − ε``
+so the drain current stays antisymmetric under drain/source exchange
+(the transmission gates in the latches rely on bidirectional conduction).
+
+The model is bulk-referenced and therefore handles stacked devices and
+body effect to first order; PMOS devices are computed as mirrored NMOS
+(all terminal voltages negated).
+
+Two model cards approximate a 40 nm low-power CMOS process
+(:data:`NMOS_40LP`, :data:`PMOS_40LP`); they are calibrated so that
+minimum-size device leakage, drive current and gate capacitance land in
+the range typical of such a process (I_off of a few pA at V_T ≈ 0.45 V,
+I_on of a few hundred µA/µm).  :meth:`MOSFETModel.with_corner` derives
+process-corner variants via threshold shift and mobility scaling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from repro.errors import DeviceModelError
+from repro.spice.devices.base import Device, EvalContext
+from repro.units import thermal_voltage
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.spice.analysis.mna import MNAStamper
+
+#: Smoothing of the channel-length-modulation overdrive [V].
+_CLM_EPSILON = 1e-3
+#: Clamp for exponents inside the interpolation function.
+_EXP_CLAMP = 60.0
+
+
+def _interp(u_over_2vt: float) -> Tuple[float, float]:
+    """EKV interpolation function F and its derivative dF/du · (2 V_t).
+
+    Returns ``(F, dF_dx)`` where ``x = u / (2 V_t)``; the caller rescales
+    the derivative by 1/(2 V_t).
+    """
+    x = u_over_2vt
+    if x > _EXP_CLAMP:
+        log_term = x
+        sigmoid = 1.0
+    elif x < -_EXP_CLAMP:
+        # exp(x) underflows; ln(1+e^x) ≈ e^x.
+        log_term = math.exp(x)
+        sigmoid = log_term
+    else:
+        e = math.exp(x)
+        log_term = math.log1p(e)
+        sigmoid = e / (1.0 + e)
+    return log_term * log_term, 2.0 * log_term * sigmoid
+
+
+@dataclass(frozen=True)
+class MOSFETModel:
+    """Process model card shared by devices of one flavour."""
+
+    #: 'n' or 'p'.
+    polarity: str
+    #: Threshold voltage magnitude [V].
+    vth0: float
+    #: Subthreshold slope factor n (dimensionless, > 1).
+    slope_factor: float
+    #: Transconductance parameter KP = µ·C_ox [A/V²].
+    kp: float
+    #: Channel-length modulation λ [1/V].
+    lambda_clm: float
+    #: Gate oxide capacitance per area [F/m²].
+    cox_per_area: float = 1.7e-2
+    #: Gate overlap capacitance per width [F/m].
+    overlap_cap_per_width: float = 3.0e-10
+    #: Junction (drain/source to bulk) capacitance per width [F/m].
+    junction_cap_per_width: float = 5.0e-10
+    #: Simulation temperature [K].
+    temperature: float = 300.15
+
+    def __post_init__(self) -> None:
+        if self.polarity not in ("n", "p"):
+            raise DeviceModelError(f"polarity must be 'n' or 'p', got {self.polarity!r}")
+        if self.vth0 <= 0.0:
+            raise DeviceModelError("vth0 is a magnitude and must be positive")
+        if self.slope_factor <= 1.0:
+            raise DeviceModelError("slope factor must exceed 1")
+        if self.kp <= 0.0 or self.lambda_clm < 0.0:
+            raise DeviceModelError("kp must be positive and lambda non-negative")
+
+    @property
+    def sign(self) -> float:
+        """+1 for NMOS, −1 for PMOS (terminal-voltage mirror factor)."""
+        return 1.0 if self.polarity == "n" else -1.0
+
+    @property
+    def thermal_volt(self) -> float:
+        return thermal_voltage(self.temperature)
+
+    def specific_current(self, width: float, length: float) -> float:
+        """I_spec = 2 n β V_t² for the given geometry [A]."""
+        beta = self.kp * width / length
+        vt = self.thermal_volt
+        return 2.0 * self.slope_factor * beta * vt * vt
+
+    def with_corner(self, vth_shift: float = 0.0, mobility_scale: float = 1.0,
+                    temperature: float | None = None) -> "MOSFETModel":
+        """Derive a corner variant.
+
+        ``vth_shift`` adds to the threshold magnitude (negative → leakier,
+        faster device), ``mobility_scale`` multiplies KP.
+        """
+        if mobility_scale <= 0.0:
+            raise DeviceModelError("mobility_scale must be positive")
+        new_vth = self.vth0 + vth_shift
+        if new_vth <= 0.0:
+            raise DeviceModelError(
+                f"corner shift {vth_shift} drives vth0 non-positive ({new_vth})"
+            )
+        return replace(
+            self,
+            vth0=new_vth,
+            kp=self.kp * mobility_scale,
+            temperature=self.temperature if temperature is None else temperature,
+        )
+
+
+#: 40 nm-class low-power NMOS / PMOS model cards (see module docstring).
+NMOS_40LP = MOSFETModel(polarity="n", vth0=0.46, slope_factor=1.35, kp=280e-6,
+                        lambda_clm=0.12)
+PMOS_40LP = MOSFETModel(polarity="p", vth0=0.47, slope_factor=1.35, kp=95e-6,
+                        lambda_clm=0.14)
+
+
+@dataclass
+class MOSFET(Device):
+    """One MOS transistor instance (drain, gate, source, bulk node indices)."""
+
+    drain: int = -1
+    gate: int = -1
+    source: int = -1
+    bulk: int = -1
+    model: MOSFETModel = field(default_factory=lambda: NMOS_40LP)
+    width: float = 120e-9
+    length: float = 40e-9
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.width <= 0.0 or self.length <= 0.0:
+            raise DeviceModelError(f"MOSFET {self.name!r}: W and L must be positive")
+
+    def node_indices(self) -> Tuple[int, int, int, int]:
+        return (self.drain, self.gate, self.source, self.bulk)
+
+    # -- core evaluation -----------------------------------------------------
+
+    def evaluate(self, vd: float, vg: float, vs: float, vb: float
+                 ) -> Tuple[float, Dict[str, float]]:
+        """Drain current (into the drain terminal, through the channel, out
+        of the source terminal) and its partial derivatives w.r.t. the four
+        terminal voltages.
+
+        Returns ``(i_drain, {"d": gdd, "g": gm, "s": gss, "b": gbb})``.
+        """
+        sigma = self.model.sign
+        vt = self.model.thermal_volt
+        n = self.model.slope_factor
+        two_vt = 2.0 * vt
+
+        # Mirrored (primed) frame: PMOS becomes an NMOS.
+        vdp, vgp, vsp, vbp = sigma * vd, sigma * vg, sigma * vs, sigma * vb
+        vp_pinch = (vgp - vbp - self.model.vth0) / n
+        u_f = vp_pinch - (vsp - vbp)
+        u_r = vp_pinch - (vdp - vbp)
+
+        f_f, df_f = _interp(u_f / two_vt)
+        f_r, df_r = _interp(u_r / two_vt)
+        df_f /= two_vt  # now dF/du
+        df_r /= two_vt
+
+        i_spec = self.model.specific_current(self.width, self.length)
+        delta_i = f_f - f_r
+
+        vds_p = vdp - vsp
+        h = math.sqrt(vds_p * vds_p + _CLM_EPSILON * _CLM_EPSILON) - _CLM_EPSILON
+        m = 1.0 + self.model.lambda_clm * h
+        dm_dvds = (self.model.lambda_clm * vds_p
+                   / math.sqrt(vds_p * vds_p + _CLM_EPSILON * _CLM_EPSILON))
+
+        i_prime = i_spec * delta_i * m
+
+        # Partials in the primed frame.
+        di_dvg = i_spec * m * (df_f - df_r) / n
+        di_dvd = i_spec * (m * df_r + delta_i * dm_dvds)
+        di_dvs = i_spec * (-m * df_f - delta_i * dm_dvds)
+        di_dvb = i_spec * m * (df_f - df_r) * (1.0 - 1.0 / n)
+
+        # Back to the real frame: i_drain = sigma * i_prime, v' = sigma v,
+        # so d(i_drain)/dv = sigma * d(i')/dv' * sigma = d(i')/dv'.
+        i_drain = sigma * i_prime
+        return i_drain, {"d": di_dvd, "g": di_dvg, "s": di_dvs, "b": di_dvb}
+
+    def drain_current(self, ctx: EvalContext) -> float:
+        """Drain current at the given operating point [A]."""
+        current, _ = self.evaluate(
+            ctx.v(self.drain), ctx.v(self.gate), ctx.v(self.source), ctx.v(self.bulk)
+        )
+        return current
+
+    # -- stamping --------------------------------------------------------------
+
+    def stamp(self, stamper: "MNAStamper", ctx: EvalContext) -> None:
+        vd, vg = ctx.v(self.drain), ctx.v(self.gate)
+        vs, vb = ctx.v(self.source), ctx.v(self.bulk)
+        i0, partials = self.evaluate(vd, vg, vs, vb)
+
+        nodes = {"d": self.drain, "g": self.gate, "s": self.source, "b": self.bulk}
+        voltages = {"d": vd, "g": vg, "s": vs, "b": vb}
+
+        # Linearised current entering the drain node is -i, leaving source +i:
+        # i(v) = i0 + sum_k g_k (v_k - v_k0)
+        const = i0 - sum(partials[k] * voltages[k] for k in partials)
+        for k, g in partials.items():
+            node_k = nodes[k]
+            if node_k < 0:
+                continue
+            if self.drain >= 0:
+                stamper.matrix[self.drain, node_k] += g
+            if self.source >= 0:
+                stamper.matrix[self.source, node_k] -= g
+        stamper.add_current(self.drain, -const)
+        stamper.add_current(self.source, const)
+
+    # -- capacitance helpers (used by Circuit.add_mosfet) ----------------------
+
+    def gate_channel_capacitance(self) -> float:
+        """Total intrinsic gate capacitance C_ox·W·L [F]."""
+        return self.model.cox_per_area * self.width * self.length
+
+    def overlap_capacitance(self) -> float:
+        """Gate-drain / gate-source overlap capacitance each [F]."""
+        return self.model.overlap_cap_per_width * self.width
+
+    def junction_capacitance(self) -> float:
+        """Drain/source junction capacitance each [F]."""
+        return self.model.junction_cap_per_width * self.width

@@ -1,0 +1,83 @@
+"""Linear passive elements: resistor and capacitor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import NetlistError
+from repro.spice.devices.base import EvalContext, TwoTerminal
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.spice.analysis.mna import MNAStamper
+
+
+@dataclass
+class Resistor(TwoTerminal):
+    """Ohmic resistor."""
+
+    resistance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0.0:
+            raise NetlistError(f"resistor {self.name!r}: resistance must be positive")
+
+    def stamp(self, stamper: "MNAStamper", ctx: EvalContext) -> None:
+        stamper.add_conductance(self.positive, self.negative, 1.0 / self.resistance)
+
+    def current(self, ctx: EvalContext) -> float:
+        """Current flowing positive → negative [A]."""
+        return self.branch_voltage(ctx) / self.resistance
+
+
+@dataclass
+class Capacitor(TwoTerminal):
+    """Linear capacitor with backward-Euler or trapezoidal companion model.
+
+    For DC analyses the capacitor stamps nothing (open circuit).  During
+    transient analysis it stamps the Norton companion
+
+    * BE:    g = C/dt,   Ieq = g · v_prev
+    * trap:  g = 2C/dt,  Ieq = g · v_prev + i_prev
+
+    where ``i_prev`` is the capacitor current at the previous accepted
+    timepoint (tracked in :attr:`_prev_current`).
+    """
+
+    capacitance: float = 1e-15
+    _prev_current: float = field(default=0.0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0.0:
+            raise NetlistError(f"capacitor {self.name!r}: capacitance must be positive")
+
+    def reset_state(self) -> None:
+        self._prev_current = 0.0
+
+    def _companion(self, ctx: EvalContext) -> tuple:
+        if ctx.integrator == "trap":
+            g = 2.0 * self.capacitance / ctx.dt
+            v_prev = ctx.v_prev(self.positive) - ctx.v_prev(self.negative)
+            return g, g * v_prev + self._prev_current
+        g = self.capacitance / ctx.dt
+        v_prev = ctx.v_prev(self.positive) - ctx.v_prev(self.negative)
+        return g, g * v_prev
+
+    def stamp(self, stamper: "MNAStamper", ctx: EvalContext) -> None:
+        if not ctx.is_transient:
+            return
+        g, ieq = self._companion(ctx)
+        stamper.add_conductance(self.positive, self.negative, g)
+        stamper.add_current(self.positive, ieq)
+        stamper.add_current(self.negative, -ieq)
+
+    def current(self, ctx: EvalContext) -> float:
+        """Capacitor current positive → negative at the current iterate [A]."""
+        if not ctx.is_transient:
+            return 0.0
+        g, ieq = self._companion(ctx)
+        return g * self.branch_voltage(ctx) - ieq
+
+    def update_state(self, ctx: EvalContext) -> None:
+        if ctx.is_transient:
+            self._prev_current = self.current(ctx)

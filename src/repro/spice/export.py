@@ -1,0 +1,123 @@
+"""SPICE-deck export for :class:`~repro.spice.netlist.Circuit`.
+
+Writes an industry-readable ``.sp`` deck from a circuit: element cards
+for resistors, capacitors, sources (DC/PULSE/PWL), MOSFETs (with
+``.model`` cards carrying our EKV parameters as comments plus a
+level-1-compatible approximation) and MTJs (emitted as state-dependent
+resistors with their magnetisation noted).  The export lets the latch
+netlists built here be inspected or re-simulated in an external
+simulator; it is also used by the documentation benches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import NetlistError
+from repro.spice.devices.mosfet import MOSFET, MOSFETModel
+from repro.spice.devices.mtj_element import MTJElement
+from repro.spice.devices.passive import Capacitor, Resistor
+from repro.spice.devices.sources import CurrentSource, VoltageSource
+from repro.spice.netlist import Circuit
+from repro.spice.waveforms import DC, PWL, Pulse, Waveform
+
+
+def _node(circuit: Circuit, index: int) -> str:
+    return "0" if index < 0 else circuit.node_name(index)
+
+
+def _spice_name(name: str, prefix: str) -> str:
+    clean = name.replace(".", "_")
+    if clean and clean[0].upper() == prefix:
+        return prefix + clean[1:]
+    return f"{prefix}{clean}"
+
+
+def _waveform_card(waveform: Waveform) -> str:
+    if isinstance(waveform, DC):
+        return f"DC {waveform.level:g}"
+    if isinstance(waveform, Pulse):
+        return (f"PULSE({waveform.initial:g} {waveform.pulsed:g} "
+                f"{waveform.delay:g} {waveform.rise:g} {waveform.fall:g} "
+                f"{waveform.width:g} "
+                f"{waveform.period if waveform.period > 0 else 1:g})")
+    if isinstance(waveform, PWL):
+        points = " ".join(f"{t:g} {v:g}" for t, v in waveform.points)
+        return f"PWL({points})"
+    raise NetlistError(f"cannot export waveform type {type(waveform).__name__}")
+
+
+def _model_card(name: str, model: MOSFETModel) -> str:
+    """A level-1 approximation of the EKV card (KP, VTO, LAMBDA)."""
+    mtype = "NMOS" if model.polarity == "n" else "PMOS"
+    vto = model.vth0 if model.polarity == "n" else -model.vth0
+    return (f".model {name} {mtype} (LEVEL=1 VTO={vto:g} KP={model.kp:g} "
+            f"LAMBDA={model.lambda_clm:g})"
+            f"  * EKV: n={model.slope_factor:g} T={model.temperature:g}K")
+
+
+def export_spice(circuit: Circuit, title: str = "") -> str:
+    """Serialise the circuit as a SPICE deck."""
+    lines: List[str] = [f"* {title or circuit.name} — exported by repro"]
+    models: Dict[int, str] = {}
+
+    def model_name(model: MOSFETModel) -> str:
+        key = id(model)
+        if key not in models:
+            models[key] = f"{model.polarity}mos_{len(models)}"
+        return models[key]
+
+    mtj_counter = 0
+    for device in circuit.devices:
+        if isinstance(device, Resistor):
+            lines.append(f"{_spice_name(device.name, 'R')} "
+                         f"{_node(circuit, device.positive)} "
+                         f"{_node(circuit, device.negative)} "
+                         f"{device.resistance:g}")
+        elif isinstance(device, Capacitor):
+            lines.append(f"{_spice_name(device.name, 'C')} "
+                         f"{_node(circuit, device.positive)} "
+                         f"{_node(circuit, device.negative)} "
+                         f"{device.capacitance:g}")
+        elif isinstance(device, VoltageSource):
+            lines.append(f"{_spice_name(device.name, 'V')} "
+                         f"{_node(circuit, device.positive)} "
+                         f"{_node(circuit, device.negative)} "
+                         f"{_waveform_card(device.waveform)}")
+        elif isinstance(device, CurrentSource):
+            lines.append(f"{_spice_name(device.name, 'I')} "
+                         f"{_node(circuit, device.positive)} "
+                         f"{_node(circuit, device.negative)} "
+                         f"{_waveform_card(device.waveform)}")
+        elif isinstance(device, MOSFET):
+            lines.append(f"{_spice_name(device.name, 'M')} "
+                         f"{_node(circuit, device.drain)} "
+                         f"{_node(circuit, device.gate)} "
+                         f"{_node(circuit, device.source)} "
+                         f"{_node(circuit, device.bulk)} "
+                         f"{model_name(device.model)} "
+                         f"W={device.width:g} L={device.length:g}")
+        elif isinstance(device, MTJElement):
+            mtj_counter += 1
+            state = device.device.state.value
+            lines.append(f"R{_spice_name(device.name, 'R')[1:]}_mtj "
+                         f"{_node(circuit, device.free)} "
+                         f"{_node(circuit, device.ref)} "
+                         f"{device.device.resistance(0.0):g}"
+                         f"  * MTJ in state {state} "
+                         f"(R_P={device.device.params.resistance_p:g}, "
+                         f"R_AP={device.device.params.resistance_ap:g})")
+        else:
+            raise NetlistError(
+                f"cannot export device type {type(device).__name__}")
+
+    emitted = set()
+    for device in circuit.devices:
+        if isinstance(device, MOSFET):
+            name = model_name(device.model)
+            if name not in emitted:
+                lines.append(_model_card(name, device.model))
+                emitted.add(name)
+
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

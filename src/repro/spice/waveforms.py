@@ -1,0 +1,128 @@
+"""Stimulus waveforms for independent sources.
+
+All waveforms map a time [s] to a value (volts or amps).  ``PWL`` and
+``Pulse`` mirror their SPICE namesakes; :func:`step_sequence` builds the
+multi-phase control PWLs used by the latch control generators.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.errors import AnalysisError
+
+
+class Waveform:
+    """Base class: a time-dependent scalar."""
+
+    def value(self, time: float) -> float:
+        raise NotImplementedError
+
+    def __call__(self, time: float) -> float:
+        return self.value(time)
+
+
+@dataclass(frozen=True)
+class DC(Waveform):
+    """Constant value."""
+
+    level: float = 0.0
+
+    def value(self, time: float) -> float:
+        return self.level
+
+
+@dataclass(frozen=True)
+class Pulse(Waveform):
+    """SPICE-style periodic pulse.
+
+    Starts at ``initial``, transitions to ``pulsed`` after ``delay`` with
+    ``rise`` seconds of linear ramp, holds for ``width``, returns with
+    ``fall`` ramp; repeats every ``period`` if ``period`` > 0.
+    """
+
+    initial: float = 0.0
+    pulsed: float = 1.0
+    delay: float = 0.0
+    rise: float = 10e-12
+    fall: float = 10e-12
+    width: float = 1e-9
+    period: float = 0.0
+
+    def value(self, time: float) -> float:
+        t = time - self.delay
+        if t < 0.0:
+            return self.initial
+        if self.period > 0.0:
+            t = t % self.period
+        if t < self.rise:
+            return self.initial + (self.pulsed - self.initial) * t / self.rise
+        t -= self.rise
+        if t < self.width:
+            return self.pulsed
+        t -= self.width
+        if t < self.fall:
+            return self.pulsed + (self.initial - self.pulsed) * t / self.fall
+        return self.initial
+
+
+@dataclass(frozen=True)
+class PWL(Waveform):
+    """Piecewise-linear waveform through (time, value) breakpoints.
+
+    Before the first point the first value holds; after the last point the
+    last value holds.  Times must be strictly increasing.
+    """
+
+    points: Tuple[Tuple[float, float], ...] = ()
+    _times: Tuple[float, ...] = field(init=False, repr=False, default=())
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise AnalysisError("PWL needs at least one (time, value) point")
+        times = tuple(t for t, _ in self.points)
+        if any(t1 <= t0 for t0, t1 in zip(times, times[1:])):
+            raise AnalysisError("PWL times must be strictly increasing")
+        object.__setattr__(self, "_times", times)
+
+    def value(self, time: float) -> float:
+        times = self._times
+        if time <= times[0]:
+            return self.points[0][1]
+        if time >= times[-1]:
+            return self.points[-1][1]
+        idx = bisect.bisect_right(times, time)
+        t0, v0 = self.points[idx - 1]
+        t1, v1 = self.points[idx]
+        frac = (time - t0) / (t1 - t0)
+        return v0 + frac * (v1 - v0)
+
+
+def step_sequence(
+    transitions: Sequence[Tuple[float, float]],
+    initial: float,
+    slew: float = 20e-12,
+) -> PWL:
+    """Build a PWL that steps to each target value at each transition time.
+
+    ``transitions`` is a sequence of ``(time, target_level)`` pairs with
+    strictly increasing times; each step ramps linearly over ``slew``
+    seconds starting at its transition time.  This is the primitive the
+    control-sequence generators (paper Figs 6/7) are written in.
+    """
+    if slew <= 0.0:
+        raise AnalysisError(f"slew must be positive, got {slew}")
+    points: List[Tuple[float, float]] = [(0.0, initial)]
+    level = initial
+    for time, target in transitions:
+        if time <= points[-1][0]:
+            raise AnalysisError(
+                f"transition at t={time} overlaps the previous edge "
+                f"(ending at t={points[-1][0]}); space steps at least {slew} apart"
+            )
+        points.append((time, level))
+        points.append((time + slew, target))
+        level = target
+    return PWL(points=tuple(points))

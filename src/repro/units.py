@@ -1,0 +1,129 @@
+"""Unit constants and formatting helpers.
+
+All internal quantities in :mod:`repro` are expressed in SI base units
+(volts, amperes, ohms, seconds, joules, watts, metres).  The paper and the
+generated reports use engineering units (fJ, ps, pW, µm², ...); the helpers
+here convert and format consistently so every table renderer agrees on the
+same conventions.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Scale factors (multiply an SI value to express it in the unit).
+# ---------------------------------------------------------------------------
+
+FEMTO = 1e-15
+PICO = 1e-12
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380649e-23
+#: Elementary charge [C].
+ELEMENTARY_CHARGE = 1.602176634e-19
+#: Reduced Planck constant [J s].
+HBAR = 1.054571817e-34
+#: Bohr magneton [J/T].
+BOHR_MAGNETON = 9.2740100783e-24
+#: Vacuum permeability [T m/A].
+MU_0 = 4e-7 * math.pi
+
+#: Zero Celsius in kelvin.
+ZERO_CELSIUS_K = 273.15
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a temperature from degrees Celsius to kelvin."""
+    return temp_c + ZERO_CELSIUS_K
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert a temperature from kelvin to degrees Celsius."""
+    return temp_k - ZERO_CELSIUS_K
+
+
+def thermal_voltage(temp_k: float) -> float:
+    """Thermal voltage kT/q [V] at the given absolute temperature."""
+    if temp_k <= 0.0:
+        raise ValueError(f"absolute temperature must be positive, got {temp_k}")
+    return BOLTZMANN * temp_k / ELEMENTARY_CHARGE
+
+
+# ---------------------------------------------------------------------------
+# Conversions used by the report/table layer.
+# ---------------------------------------------------------------------------
+
+
+def to_femtojoules(energy_j: float) -> float:
+    """Express an energy given in joules in femtojoules."""
+    return energy_j / FEMTO
+
+
+def to_picoseconds(time_s: float) -> float:
+    """Express a time given in seconds in picoseconds."""
+    return time_s / PICO
+
+
+def to_picowatts(power_w: float) -> float:
+    """Express a power given in watts in picowatts."""
+    return power_w / PICO
+
+
+def to_microns(length_m: float) -> float:
+    """Express a length given in metres in micrometres."""
+    return length_m / MICRO
+
+
+def to_square_microns(area_m2: float) -> float:
+    """Express an area given in square metres in square micrometres."""
+    return area_m2 / (MICRO * MICRO)
+
+
+def to_microamps(current_a: float) -> float:
+    """Express a current given in amperes in microamperes."""
+    return current_a / MICRO
+
+
+def to_kiloohms(resistance_ohm: float) -> float:
+    """Express a resistance given in ohms in kiloohms."""
+    return resistance_ohm / KILO
+
+
+_ENG_PREFIXES = (
+    (1e-18, "a"),
+    (1e-15, "f"),
+    (1e-12, "p"),
+    (1e-9, "n"),
+    (1e-6, "u"),
+    (1e-3, "m"),
+    (1.0, ""),
+    (1e3, "k"),
+    (1e6, "M"),
+    (1e9, "G"),
+)
+
+
+def format_eng(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` with an engineering SI prefix, e.g. ``4.59 fJ``.
+
+    ``digits`` controls the number of significant digits of the mantissa.
+    Zero is rendered without a prefix.
+    """
+    if value == 0.0:
+        return f"0 {unit}".rstrip()
+    magnitude = abs(value)
+    scale, prefix = _ENG_PREFIXES[0]
+    for candidate_scale, candidate_prefix in _ENG_PREFIXES:
+        if magnitude >= candidate_scale:
+            scale, prefix = candidate_scale, candidate_prefix
+        else:
+            break
+    mantissa = value / scale
+    return f"{mantissa:.{digits}g} {prefix}{unit}".rstrip()

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (latch characterisations, placed benchmarks) are
+session-scoped so integration tests across files share one run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cells.sizing import DEFAULT_SIZING
+from repro.mtj.parameters import PAPER_TABLE_I
+from repro.spice.corners import CORNERS
+
+
+@pytest.fixture(scope="session")
+def paper_params():
+    """The paper's Table I MTJ parameter set."""
+    return PAPER_TABLE_I
+
+
+@pytest.fixture(scope="session")
+def typical_corner():
+    return CORNERS["typical"]
+
+
+@pytest.fixture(scope="session")
+def sizing():
+    return DEFAULT_SIZING
+
+
+@pytest.fixture(scope="session")
+def standard_read_metrics(typical_corner, sizing):
+    """One standard-latch restore simulation (bit = 1), shared."""
+    from repro.cells.characterize import _standard_read
+
+    energy, delay, ok, latch, result = _standard_read(
+        1, typical_corner, sizing, 1.1, 2e-12)
+    return {"energy": energy, "delay": delay, "ok": ok,
+            "latch": latch, "result": result}
+
+
+@pytest.fixture(scope="session")
+def proposed_read_metrics(typical_corner, sizing):
+    """One proposed-latch restore simulation (bits = (1, 0)), shared."""
+    from repro.cells.characterize import _proposed_read
+
+    energy, delays, ok, latch, result = _proposed_read(
+        (1, 0), typical_corner, sizing, 1.1, 2e-12)
+    return {"energy": energy, "delays": delays, "ok": ok,
+            "latch": latch, "result": result}
+
+
+@pytest.fixture(scope="session")
+def placed_s344():
+    """A placed s344 benchmark, shared across placement/merge tests."""
+    from repro.physd import generate_benchmark, place_design
+
+    netlist = generate_benchmark("s344", seed=7)
+    placement = place_design(netlist, utilization=0.7, seed=7)
+    return placement
+
+
+@pytest.fixture(scope="session")
+def s344_flow_outcome():
+    """Full system flow on s344, shared."""
+    from repro.core import run_system_flow
+
+    return run_system_flow("s344")

@@ -1,0 +1,200 @@
+"""Tests for the control sequences (paper Figs 6/7)."""
+
+import pytest
+
+from repro.cells.control import (
+    ControlSchedule,
+    Phase,
+    proposed_restore_schedule,
+    proposed_store_schedule,
+    standard_restore_schedule,
+    standard_store_schedule,
+    _proposed_levels_simplified,
+)
+from repro.errors import AnalysisError
+
+
+class TestPhase:
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(AnalysisError):
+            Phase("bad", 1.0, 0.5, {})
+
+
+class TestStandardRestore:
+    def test_markers_ordered(self):
+        s = standard_restore_schedule()
+        m = s.markers
+        assert m["precharge_start"] < m["eval_start"] < m["eval_end"]
+        assert m["eval_end"] <= s.stop_time
+
+    def test_precharge_active_then_released(self):
+        s = standard_restore_schedule()
+        pc_b = s.signal("pc_b")
+        assert pc_b.value(0.1e-9) == pytest.approx(0.0)  # active low
+        assert pc_b.value(s.markers["eval_start"] + 0.1e-9) == pytest.approx(s.vdd)
+
+    def test_ren_pulses_during_eval(self):
+        s = standard_restore_schedule()
+        ren = s.signal("ren")
+        assert ren.value(0.1e-9) == 0.0
+        assert ren.value(s.markers["eval_start"] + 0.1e-9) == pytest.approx(s.vdd)
+
+    def test_write_disabled_throughout(self):
+        s = standard_restore_schedule()
+        for t in (0.0, 0.5e-9, s.stop_time):
+            assert s.signal("wen").value(t) == 0.0
+
+    def test_data_matches_bit(self):
+        s1 = standard_restore_schedule(bit=1)
+        s0 = standard_restore_schedule(bit=0)
+        assert s1.signal("d").value(0.5e-9) == pytest.approx(s1.vdd)
+        assert s0.signal("d").value(0.5e-9) == 0.0
+
+    def test_complement_signals(self):
+        s = standard_restore_schedule()
+        t = s.markers["eval_start"] + 0.2e-9
+        assert s.signal("tg").value(t) + s.signal("tg_b").value(t) == pytest.approx(s.vdd)
+
+    def test_cycles_repeat_and_markers_point_to_last(self):
+        one = standard_restore_schedule(cycles=1)
+        two = standard_restore_schedule(cycles=2)
+        cycle = two.markers["eval_start"] - one.markers["eval_start"]
+        assert cycle > 0
+        assert two.stop_time > one.stop_time
+        # The second cycle's precharge must be active again.
+        assert two.signal("pc_b").value(two.markers["precharge_start"] + 0.1e-9) \
+            == pytest.approx(0.0)
+
+    def test_rejects_zero_cycles(self):
+        with pytest.raises(AnalysisError):
+            standard_restore_schedule(cycles=0)
+
+    def test_phase_lookup(self):
+        s = standard_restore_schedule()
+        assert s.phase_named("evaluate0").start == s.markers["eval_start"]
+        with pytest.raises(AnalysisError):
+            s.phase_named("nonexistent")
+
+    def test_unknown_signal_raises(self):
+        with pytest.raises(AnalysisError):
+            standard_restore_schedule().signal("bogus")
+
+
+class TestStandardStore:
+    def test_wen_pulse_window(self):
+        s = standard_store_schedule(bit=1)
+        wen = s.signal("wen")
+        mid = (s.markers["write_start"] + s.markers["write_end"]) / 2
+        assert wen.value(mid) == pytest.approx(s.vdd)
+        assert wen.value(s.stop_time) == 0.0
+
+    def test_isolation_gates_off_during_write(self):
+        s = standard_store_schedule(bit=0)
+        mid = (s.markers["write_start"] + s.markers["write_end"]) / 2
+        assert s.signal("tg").value(mid) == 0.0
+        assert s.signal("tg").value(0.02e-9) == pytest.approx(s.vdd)
+
+
+class TestSimplifiedDecoder:
+    """The Fig 7 boolean decode of PC/Ren (plus the PD-gated wen mask)."""
+
+    def test_precharge_vdd_only_when_pc_and_not_ren(self):
+        levels = _proposed_levels_simplified(pc=True, ren=False, wen=False,
+                                             d0=False, d1=False)
+        assert levels["pcv_b"] is False  # active low → asserted
+
+        for pc, ren in ((True, True), (False, False), (False, True)):
+            levels = _proposed_levels_simplified(pc, ren, False, False, False)
+            assert levels["pcv_b"] is True
+
+    def test_gnd_clamp_is_nor_of_pc_ren(self):
+        assert _proposed_levels_simplified(False, False, False, 0, 0)["pcg"] is True
+        assert _proposed_levels_simplified(True, False, False, 0, 0)["pcg"] is False
+        assert _proposed_levels_simplified(False, True, False, 0, 0)["pcg"] is False
+
+    def test_enables_track_ren(self):
+        on = _proposed_levels_simplified(True, True, False, 0, 0)
+        assert on["n3"] is True and on["p3_b"] is False and on["tg"] is True
+
+    def test_p3_holds_upper_rails_during_precharge(self):
+        levels = _proposed_levels_simplified(True, False, False, 0, 0)
+        assert levels["p3_b"] is False  # conducting
+
+    def test_n3_predischarges_during_gnd_precharge(self):
+        levels = _proposed_levels_simplified(False, False, False, 0, 0)
+        assert levels["n3"] is True
+
+    def test_equalizers_complementary_in_pc(self):
+        during_low = _proposed_levels_simplified(True, True, False, 0, 0)
+        assert during_low["eqp_b"] is False and during_low["eqn"] is False
+        during_high = _proposed_levels_simplified(False, True, False, 0, 0)
+        assert during_high["eqp_b"] is True and during_high["eqn"] is True
+
+    def test_store_mode_keeps_write_path_clean(self):
+        """During a store: N4 off (would short the lower write rails),
+        N3 off (lc must float as the series bridge), T gates off, GND
+        clamp on (the paper's required output state)."""
+        levels = _proposed_levels_simplified(pc=False, ren=False, wen=True,
+                                             d0=True, d1=False)
+        assert levels["eqn"] is False
+        assert levels["n3"] is False
+        assert levels["p3_b"] is True
+        assert levels["tg"] is False
+        assert levels["pcg"] is True
+
+
+class TestProposedRestore:
+    @pytest.mark.parametrize("simplified", [True, False])
+    def test_marker_ordering(self, simplified):
+        s = proposed_restore_schedule(simplified=simplified)
+        m = s.markers
+        assert (m["precharge_vdd_start"] < m["eval_low_start"]
+                < m["eval_low_end"] <= m["precharge_gnd_start"]
+                < m["eval_high_start"] < m["eval_high_end"] <= s.stop_time)
+
+    @pytest.mark.parametrize("simplified", [True, False])
+    def test_gate_waveforms_equivalent_between_variants(self, simplified):
+        """Fig 6 and Fig 7 controllers drive the same transistor gates."""
+        fig7 = proposed_restore_schedule(simplified=True)
+        fig6 = proposed_restore_schedule(simplified=False)
+        probe_times = [m + 0.05e-9 for m in (
+            fig7.markers["precharge_vdd_start"], fig7.markers["eval_low_start"],
+            fig7.markers["precharge_gnd_start"], fig7.markers["eval_high_start"])]
+        for signal in ("pcv_b", "pcg", "n3", "p3_b", "tg"):
+            for t in probe_times:
+                assert fig7.signal(signal).value(t) == pytest.approx(
+                    fig6.signal(signal).value(t)), (signal, t)
+
+    def test_sequential_read_lower_first(self):
+        s = proposed_restore_schedule()
+        assert s.markers["eval_low_start"] < s.markers["eval_high_start"]
+
+    def test_data_signals_encode_bits(self):
+        s = proposed_restore_schedule(bits=(1, 0))
+        assert s.signal("d0").value(1e-9) == pytest.approx(s.vdd)
+        assert s.signal("d1").value(1e-9) == 0.0
+
+    def test_two_cycles_double_duration(self):
+        one = proposed_restore_schedule(cycles=1)
+        two = proposed_restore_schedule(cycles=2)
+        assert two.markers["eval_high_end"] > one.markers["eval_high_end"]
+        assert two.markers["energy_window_start"] > 0.0
+
+
+class TestProposedStore:
+    def test_outputs_clamped_during_write(self):
+        s = proposed_store_schedule(bits=(1, 1))
+        mid = (s.markers["write_start"] + s.markers["write_end"]) / 2
+        assert s.signal("pcg").value(mid) == pytest.approx(s.vdd)
+
+    def test_equalizer_n4_off_during_write(self):
+        s = proposed_store_schedule(bits=(0, 1))
+        mid = (s.markers["write_start"] + s.markers["write_end"]) / 2
+        assert s.signal("eqn").value(mid) == 0.0
+
+    def test_parallel_write_single_pulse(self):
+        s = proposed_store_schedule(bits=(1, 0))
+        wen = s.signal("wen")
+        mid = (s.markers["write_start"] + s.markers["write_end"]) / 2
+        assert wen.value(mid) == pytest.approx(s.vdd)
+        assert wen.value(s.markers["write_start"] - 0.05e-9) == 0.0

@@ -1,0 +1,75 @@
+"""Tests for the sizing exploration and the energy-breakdown API."""
+
+import math
+
+import pytest
+
+from repro.cells.characterize import proposed_energy_breakdown
+from repro.cells.explore import (
+    EXPLORABLE_FIELDS,
+    render_sweep,
+    sweep_sizing,
+)
+from repro.errors import AnalysisError
+
+
+class TestEnergyBreakdown:
+    @pytest.fixture(scope="class")
+    def breakdown(self):
+        return proposed_energy_breakdown(dt=2e-12)
+
+    def test_phases_present(self, breakdown):
+        assert set(breakdown) == {"precharge_vdd", "evaluate_lower",
+                                  "precharge_gnd", "evaluate_upper", "total"}
+
+    def test_total_is_sum_of_phases(self, breakdown):
+        phases = sum(v for k, v in breakdown.items() if k != "total")
+        assert breakdown["total"] == pytest.approx(phases)
+
+    def test_gnd_precharge_recovers_charge(self, breakdown):
+        """The structural source of the energy win: pre-charging to GND
+        costs nothing — it even returns charge to the supply."""
+        assert breakdown["precharge_gnd"] <= 0.0
+
+    def test_total_matches_characterisation_scale(self, breakdown):
+        assert 5e-15 < breakdown["total"] < 40e-15
+
+
+class TestSizingSweep:
+    def test_unknown_field_rejected(self):
+        with pytest.raises(AnalysisError):
+            sweep_sizing("magic_width", [1e-7])
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(AnalysisError):
+            sweep_sizing("output_load", [])
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(AnalysisError):
+            sweep_sizing("output_load", [1e-15], design="quantum")
+
+    def test_output_load_slows_the_read(self):
+        points = sweep_sizing("output_load", [0.6e-15, 2.4e-15],
+                              design="standard", dt=2e-12)
+        assert all(p.read_ok for p in points)
+        assert points[1].read_delay > points[0].read_delay
+
+    def test_failed_points_reported_not_raised(self):
+        # An absurdly weak enable device cannot resolve in the window.
+        points = sweep_sizing("enable_width", [5e-9], design="standard",
+                              dt=2e-12)
+        assert len(points) == 1
+        if not points[0].read_ok:
+            assert math.isnan(points[0].read_delay)
+
+    def test_render(self):
+        points = sweep_sizing("output_load", [1.2e-15], design="standard",
+                              dt=2e-12)
+        text = render_sweep(points)
+        assert "output_load" in text and "delay" in text
+
+    def test_explorable_fields_are_sizing_fields(self):
+        from repro.cells.sizing import LatchSizing
+
+        for field in EXPLORABLE_FIELDS:
+            assert hasattr(LatchSizing(), field)

@@ -1,0 +1,147 @@
+"""Structural and behavioural tests for both NV latch designs.
+
+The expensive transient runs come from session-scoped fixtures in
+conftest.py; structural checks build the circuits directly (cheap).
+"""
+
+import pytest
+
+from repro.cells.control import proposed_restore_schedule, standard_restore_schedule
+from repro.cells.nvlatch_1bit import build_standard_latch
+from repro.cells.nvlatch_2bit import build_proposed_latch
+from repro.mtj.device import MTJState
+from repro.spice.devices.mosfet import MOSFET
+from repro.spice.devices.mtj_element import MTJElement
+
+
+class TestStandardStructure:
+    @pytest.fixture(scope="class")
+    def latch(self):
+        return build_standard_latch()
+
+    def test_read_path_transistor_count_is_11(self, latch):
+        # Paper Table II: 22 transistors for two 1-bit latches.
+        assert latch.read_transistor_count() == 11
+
+    def test_two_mtjs(self, latch):
+        mtjs = latch.circuit.devices_of_type(MTJElement)
+        assert len(mtjs) == 2
+
+    def test_mtjs_complementary_by_default(self, latch):
+        assert latch.mtj1.device.state is not latch.mtj2.device.state
+
+    def test_total_transistors_include_write_drivers(self, latch):
+        total = len(latch.circuit.devices_of_type(MOSFET))
+        assert total == 11 + 8  # two 4-transistor tristate inverters
+
+    def test_program_and_stored_bit(self, latch):
+        latch.program(0)
+        assert latch.stored_bit() == 0
+        latch.program(1)
+        assert latch.stored_bit() == 1
+
+    def test_invalid_pair_reads_none(self, latch):
+        latch.program(1)
+        latch.mtj2.device.state = latch.mtj1.device.state
+        assert latch.stored_bit() is None
+        latch.program(1)  # restore sanity
+
+    def test_free_layers_face_write_drivers(self, latch):
+        # MTJ1 free terminal on w1, MTJ2 free terminal on w2.
+        assert latch.circuit.node_name(latch.mtj1.free) == "w1"
+        assert latch.circuit.node_name(latch.mtj2.free) == "w2"
+        assert latch.circuit.node_name(latch.mtj1.ref) == "com"
+        assert latch.circuit.node_name(latch.mtj2.ref) == "com"
+
+
+class TestProposedStructure:
+    @pytest.fixture(scope="class")
+    def latch(self):
+        return build_proposed_latch()
+
+    def test_read_path_transistor_count_is_16(self, latch):
+        # Paper Table II: 16 transistors — 5 more than one standard latch,
+        # 6 fewer than two.
+        assert latch.read_transistor_count() == 16
+
+    def test_four_mtjs(self, latch):
+        assert len(latch.circuit.devices_of_type(MTJElement)) == 4
+
+    def test_sharing_arithmetic_vs_standard(self):
+        std = build_standard_latch()
+        prop = build_proposed_latch()
+        assert prop.read_transistor_count() == std.read_transistor_count() + 5
+        assert 2 * std.read_transistor_count() - prop.read_transistor_count() == 6
+
+    def test_program_and_stored_bits(self, latch):
+        for bits in ((0, 0), (0, 1), (1, 0), (1, 1)):
+            latch.program(bits)
+            assert latch.stored_bits() == bits
+
+    def test_lower_pair_encoding(self, latch):
+        # D0 = 1 → MTJ3 antiparallel (high R on the out branch).
+        latch.program((1, 0))
+        assert latch.mtj3.device.state is MTJState.ANTIPARALLEL
+        assert latch.mtj4.device.state is MTJState.PARALLEL
+
+    def test_upper_pair_encoding(self, latch):
+        # D1 = 1 → MTJ1 parallel (fast charge on the out branch).
+        latch.program((0, 1))
+        assert latch.mtj1.device.state is MTJState.PARALLEL
+        assert latch.mtj2.device.state is MTJState.ANTIPARALLEL
+
+    def test_upper_mtjs_bridge_at_uc(self, latch):
+        assert latch.circuit.node_name(latch.mtj1.ref) == "uc"
+        assert latch.circuit.node_name(latch.mtj2.ref) == "uc"
+
+    def test_lower_mtjs_bridge_at_lc(self, latch):
+        assert latch.circuit.node_name(latch.mtj3.ref) == "lc"
+        assert latch.circuit.node_name(latch.mtj4.ref) == "lc"
+
+
+class TestStandardRestoreBehaviour:
+    def test_read_resolves_and_is_correct(self, standard_read_metrics):
+        assert standard_read_metrics["ok"]
+
+    def test_read_delay_in_expected_range(self, standard_read_metrics):
+        # Hundreds of ps, well within the evaluation window.
+        assert 50e-12 < standard_read_metrics["delay"] < 800e-12
+
+    def test_read_energy_is_femtojoule_class(self, standard_read_metrics):
+        assert 0.5e-15 < standard_read_metrics["energy"] < 50e-15
+
+    def test_outputs_complementary_after_read(self, standard_read_metrics):
+        latch = standard_read_metrics["latch"]
+        result = standard_read_metrics["result"]
+        v_out = result.final_voltage(latch.out)
+        v_outb = result.final_voltage(latch.outb)
+        assert abs(v_out - v_outb) > 0.8 * 1.1
+
+    def test_mtj_states_unchanged_by_read(self, standard_read_metrics):
+        # Non-destructive read: the pair still encodes bit 1.
+        assert standard_read_metrics["latch"].stored_bit() == 1
+
+
+class TestProposedRestoreBehaviour:
+    def test_both_bits_read_correctly(self, proposed_read_metrics):
+        assert proposed_read_metrics["ok"]
+
+    def test_sequential_delays_same_order(self, proposed_read_metrics):
+        d_low, d_high = proposed_read_metrics["delays"]
+        assert 50e-12 < d_low < 800e-12
+        assert 50e-12 < d_high < 800e-12
+
+    def test_total_read_roughly_twice_single(self, proposed_read_metrics,
+                                             standard_read_metrics):
+        total = sum(proposed_read_metrics["delays"])
+        single = standard_read_metrics["delay"]
+        assert 1.4 * single < total < 3.5 * single
+
+    def test_read_energy_beats_two_standard(self, proposed_read_metrics,
+                                            standard_read_metrics):
+        # The paper's headline cell-level claim (~19 % better; we accept
+        # any clear improvement at the shared-fixture timestep).
+        assert proposed_read_metrics["energy"] < 2 * standard_read_metrics["energy"]
+
+    def test_mtj_states_preserved(self, proposed_read_metrics):
+        assert proposed_read_metrics["latch"].stored_bits() == (1, 0)

@@ -1,0 +1,129 @@
+"""Tests for the mirrored Fig 4(a) latch — the stepping stone between the
+standard latch and the proposed 2-bit design."""
+
+import pytest
+
+from repro.cells.nvlatch_1bit_mirrored import (
+    build_mirrored_latch,
+    mirrored_restore_schedule,
+)
+from repro.spice.analysis.measure import integrate_supply_energy
+from repro.spice.analysis.transient import run_transient
+from repro.spice.devices.base import EvalContext
+
+
+class TestStructure:
+    def test_read_path_transistor_count(self):
+        latch = build_mirrored_latch()
+        # 4 SA + 2 GND pre-charge + 1 head = 7 (no isolation gates: the
+        # proposed design adds T1/T2 precisely to fix this one's write).
+        assert latch.read_transistor_count() == 7
+
+    def test_mtjs_bridge_at_uc(self):
+        latch = build_mirrored_latch()
+        assert latch.circuit.node_name(latch.mtj1.ref) == "uc"
+        assert latch.circuit.node_name(latch.mtj2.ref) == "uc"
+
+    def test_program_roundtrip(self):
+        latch = build_mirrored_latch()
+        for bit in (0, 1):
+            latch.program(bit)
+            assert latch.stored_bit() == bit
+
+
+class TestRestore:
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_reads_correctly(self, bit):
+        schedule = mirrored_restore_schedule(bit=bit)
+        latch = build_mirrored_latch(schedule, stored_bit=bit)
+        result = run_transient(latch.circuit, schedule.stop_time, 2e-12,
+                               initial_voltages={"vdd": 1.1})
+        value = result.sample(latch.out, schedule.markers["eval_end"])
+        target = 1.1 if bit else 0.0
+        assert value == pytest.approx(target, abs=0.25)
+
+    def test_outputs_precharged_low(self):
+        schedule = mirrored_restore_schedule(bit=1)
+        latch = build_mirrored_latch(schedule, stored_bit=1)
+        result = run_transient(latch.circuit, schedule.stop_time, 2e-12,
+                               initial_voltages={"vdd": 1.1})
+        t_pc = schedule.markers["eval_start"] - 0.05e-9
+        assert abs(result.sample(latch.out, t_pc)) < 0.1
+        assert abs(result.sample(latch.outb, t_pc)) < 0.1
+
+    def test_read_is_nondestructive(self):
+        schedule = mirrored_restore_schedule(bit=1)
+        latch = build_mirrored_latch(schedule, stored_bit=1)
+        run_transient(latch.circuit, schedule.stop_time, 2e-12,
+                      initial_voltages={"vdd": 1.1})
+        assert latch.stored_bit() == 1
+
+
+class TestWriteSneakMotivatesTheTGates:
+    """The design-intent check: the Fig 4(a) write shunts current through
+    the conducting cross-coupled PMOS into the GND-clamped outputs, while
+    the proposed 2-bit design's T1/T2 isolation keeps its (identically
+    driven) upper write path clean — the reason those gates exist."""
+
+    @staticmethod
+    def _mid_write_shunt_mirrored():
+        """Fraction of the driver current lost through P1/P2 at mid-write."""
+        import numpy as np
+
+        from repro.cells.control import (
+            ControlSchedule,
+            DEFAULT_SLEW,
+            Phase,
+            _complement,
+            _waveforms_from_phases,
+        )
+
+        signals = ("pcg", "p3_b", "wen", "wen_b", "d", "d_b")
+
+        def levels(wen: bool) -> dict:
+            base = {"pcg": True, "p3_b": True, "wen": wen, "d": True}
+            return _complement(base, {"wen": "wen_b", "d": "d_b"})
+
+        phases = [Phase("idle", 0.0, 0.1e-9, levels(False)),
+                  Phase("write", 0.1e-9, 3.1e-9, levels(True)),
+                  Phase("post", 3.1e-9, 3.5e-9, levels(False))]
+        waves = _waveforms_from_phases(phases, signals, 1.1, DEFAULT_SLEW)
+        schedule = ControlSchedule("mirrored-store", phases, waves, 3.5e-9,
+                                   {"write_start": 0.1e-9}, 1.1)
+        latch = build_mirrored_latch(schedule, stored_bit=0)
+        result = run_transient(latch.circuit, schedule.stop_time, 2e-12,
+                               initial_voltages={"vdd": 1.1})
+        idx = int(np.searchsorted(result.times, 1.5e-9))
+        ctx = EvalContext(voltages=result.node_voltages[idx],
+                          prev_voltages=None, time=1.5e-9, dt=None)
+        mtj_current = abs(latch.mtj1.current(ctx))
+        p1 = latch.circuit.device("p1")
+        p2 = latch.circuit.device("p2")
+        shunt = abs(p1.drain_current(ctx)) + abs(p2.drain_current(ctx))
+        return mtj_current, shunt
+
+    def test_mirrored_write_has_significant_sneak(self):
+        mtj_current, shunt = self._mid_write_shunt_mirrored()
+        # A visible fraction of the drive bleeds through the SA PMOS.
+        assert shunt > 0.2 * mtj_current
+
+    def test_proposed_upper_write_is_isolated(self, typical_corner, sizing):
+        """Same write, in the 2-bit design: T1/T2 off → negligible sneak."""
+        import numpy as np
+
+        from repro.cells.control import proposed_store_schedule
+        from repro.cells.nvlatch_2bit import build_proposed_latch
+
+        schedule = proposed_store_schedule((0, 1))
+        latch = build_proposed_latch(schedule, typical_corner, sizing,
+                                     stored_bits=(1, 0))
+        result = run_transient(latch.circuit, schedule.stop_time, 2e-12,
+                               initial_voltages={"vdd": 1.1})
+        idx = int(np.searchsorted(result.times, 1.5e-9))
+        ctx = EvalContext(voltages=result.node_voltages[idx],
+                          prev_voltages=None, time=1.5e-9, dt=None)
+        mtj_current = abs(latch.mtj1.current(ctx))
+        t1n = latch.circuit.device("t1.mn")
+        t1p = latch.circuit.device("t1.mp")
+        leak = abs(t1n.drain_current(ctx)) + abs(t1p.drain_current(ctx))
+        assert leak < 0.02 * mtj_current

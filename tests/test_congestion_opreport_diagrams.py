@@ -1,0 +1,121 @@
+"""Tests for congestion estimation, operating-point reports, and the
+architecture block diagrams."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError, PlacementError
+
+
+class TestCongestion:
+    @pytest.fixture(scope="class")
+    def cmap(self, placed_s344):
+        from repro.physd.congestion import estimate_congestion
+
+        return estimate_congestion(placed_s344, bins_x=8, bins_y=8)
+
+    def test_shape(self, cmap):
+        assert cmap.horizontal.shape == (8, 8)
+        assert cmap.vertical.shape == (8, 8)
+
+    def test_demand_nonnegative(self, cmap):
+        assert np.all(cmap.horizontal >= 0)
+        assert np.all(cmap.vertical >= 0)
+
+    def test_placement_is_routable(self, cmap):
+        """A 70 %-utilisation placement must not overflow the stack."""
+        assert cmap.max_utilization < 1.0
+        assert cmap.overflow_bins == 0
+
+    def test_total_demand_matches_hpwl(self, placed_s344, cmap):
+        total_demand = cmap.horizontal.sum() + cmap.vertical.sum()
+        assert total_demand == pytest.approx(placed_s344.hpwl(), rel=1e-6)
+
+    def test_report_string(self, cmap):
+        assert "overflow bins" in cmap.report()
+
+    def test_rejects_bad_bins(self, placed_s344):
+        from repro.physd.congestion import estimate_congestion
+
+        with pytest.raises(PlacementError):
+            estimate_congestion(placed_s344, bins_x=0)
+
+
+class TestOperatingPointReport:
+    @pytest.fixture(scope="class")
+    def dc_result(self):
+        from repro.spice import Circuit, solve_dc
+
+        c = Circuit("op")
+        c.add_vsource("vdd", "vdd", "0", 1.1)
+        c.add_vsource("vin", "in", "0", 0.55)
+        c.add_pmos("mp", "out", "in", "vdd", "vdd")
+        c.add_nmos("mn", "out", "in", "0")
+        c.add_resistor("rl", "out", "0", 100e3)
+        return solve_dc(c)
+
+    def test_report_covers_devices(self, dc_result):
+        from repro.spice.analysis.opreport import operating_point_report
+
+        rows = operating_point_report(dc_result)
+        kinds = {r.kind for r in rows}
+        assert {"R", "M", "V"} <= kinds
+
+    def test_power_balance_holds(self, dc_result):
+        from repro.spice.analysis.opreport import power_balance
+
+        residual = power_balance(dc_result, tolerance=1e-6)
+        assert abs(residual) < 1e-9
+
+    def test_power_balance_on_latch(self, typical_corner, sizing):
+        """Tellegen on the full proposed latch at its idle point."""
+        from repro.cells.nvlatch_2bit import build_proposed_latch
+        from repro.spice.analysis.dc import solve_dc
+        from repro.spice.analysis.opreport import power_balance
+
+        latch = build_proposed_latch(None, typical_corner, sizing)
+        result = solve_dc(latch.circuit, initial_guess={"vdd": 1.1})
+        power_balance(result, tolerance=1e-4)
+
+    def test_render(self, dc_result):
+        from repro.spice.analysis.opreport import render_operating_point
+
+        text = render_operating_point(dc_result)
+        assert "mp" in text and "power" in text
+
+    def test_mosfet_detail_fields(self, dc_result):
+        from repro.spice.analysis.opreport import operating_point_report
+
+        mos = [r for r in operating_point_report(dc_result) if r.kind == "M"]
+        assert all("vgs=" in r.detail for r in mos)
+
+
+class TestBlockDiagrams:
+    def test_fig2a_mentions_blocks(self):
+        from repro.analysis.blockdiagrams import fig2a_shadow_architecture
+
+        text = fig2a_shadow_architecture()
+        assert "master latch" in text and "NV latch" in text
+
+    def test_fig3_mentions_sharing(self):
+        from repro.analysis.blockdiagrams import fig3_multibit_overview
+
+        assert "shared 2-bit" in fig3_multibit_overview()
+
+    def test_audit_counts_match_builders(self):
+        from repro.analysis.blockdiagrams import (
+            audit_proposed_latch,
+            audit_standard_latch,
+        )
+
+        std = audit_standard_latch()
+        prop = audit_proposed_latch()
+        assert std.total_read_transistors() == 11
+        assert prop.total_read_transistors() == 16
+        assert prop.blocks["equalizer"] == 2
+
+    def test_comparison_table_totals(self):
+        from repro.analysis.blockdiagrams import render_architecture_comparison
+
+        text = render_architecture_comparison()
+        assert "11" in text and "16" in text

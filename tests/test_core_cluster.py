@@ -1,0 +1,109 @@
+"""Tests for k-bit flip-flop clustering."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cluster import (
+    ClusterResult,
+    FlipFlopCluster,
+    cluster_flip_flops,
+    evaluate_kbit_system,
+)
+from repro.core.merge import MergeConfig, find_mergeable_pairs
+from repro.core.multibit import KBitCostModel
+from repro.errors import MergeError
+
+
+@pytest.fixture(scope="module")
+def cost_model():
+    return KBitCostModel(energy_1bit=8.5e-15, energy_2bit=15.4e-15,
+                         delay_per_bit=0.4e-9)
+
+
+class TestClustering:
+    def test_clusters_cover_all_flip_flops(self, placed_s344):
+        result = cluster_flip_flops(placed_s344, max_bits=4)
+        result.validate()
+        assert result.total_flip_flops == 15
+
+    def test_max_bits_respected(self, placed_s344):
+        result = cluster_flip_flops(placed_s344, max_bits=3)
+        assert all(c.size <= 3 for c in result.clusters)
+
+    def test_max_bits_2_matches_pairing_quality(self, placed_s344):
+        pairs = find_mergeable_pairs(placed_s344)
+        clusters = cluster_flip_flops(placed_s344, max_bits=2)
+        clustered_pairs = sum(1 for c in clusters.clusters if c.size == 2)
+        assert abs(clustered_pairs - len(pairs.pairs)) <= 1
+
+    def test_larger_k_forms_larger_groups(self, placed_s344):
+        k2 = cluster_flip_flops(placed_s344, max_bits=2)
+        k4 = cluster_flip_flops(placed_s344, max_bits=4)
+        # With registers abutted in rows, some groups must exceed 2.
+        assert max(c.size for c in k4.clusters) > 2
+        assert len(k4.clusters) < len(k2.clusters)
+
+    def test_diameter_bounded(self, placed_s344):
+        result = cluster_flip_flops(placed_s344, max_bits=4)
+        for cluster in result.clusters:
+            assert cluster.diameter <= result.threshold * (1 + 1e-9)
+
+    def test_tight_threshold_only_groups_abutted_flops(self, placed_s344):
+        # Separation of abutting cells is exactly zero, so no positive
+        # threshold can exclude them — but nothing farther may group.
+        result = cluster_flip_flops(placed_s344, max_bits=4,
+                                    config=MergeConfig(threshold=1e-9))
+        assert all(c.diameter <= 1e-9 for c in result.clusters)
+
+    def test_rejects_bad_max_bits(self, placed_s344):
+        with pytest.raises(MergeError):
+            cluster_flip_flops(placed_s344, max_bits=0)
+
+    def test_histogram_sums(self, placed_s344):
+        result = cluster_flip_flops(placed_s344, max_bits=4)
+        histogram = result.size_histogram()
+        assert sum(size * count for size, count in histogram.items()) == 15
+
+
+class TestValidation:
+    def test_duplicate_member_detected(self):
+        result = ClusterResult(
+            clusters=[FlipFlopCluster(("a", "b"), 1e-6),
+                      FlipFlopCluster(("b",), 0.0)],
+            threshold=2e-6, max_bits=4)
+        with pytest.raises(MergeError):
+            result.validate()
+
+    def test_oversize_cluster_detected(self):
+        result = ClusterResult(
+            clusters=[FlipFlopCluster(("a", "b", "c"), 1e-6)],
+            threshold=2e-6, max_bits=2)
+        with pytest.raises(MergeError):
+            result.validate()
+
+    def test_diameter_violation_detected(self):
+        result = ClusterResult(
+            clusters=[FlipFlopCluster(("a", "b"), 5e-6)],
+            threshold=2e-6, max_bits=4)
+        with pytest.raises(MergeError):
+            result.validate()
+
+
+class TestKBitAccounting:
+    def test_k4_beats_k2(self, placed_s344, cost_model):
+        k2 = evaluate_kbit_system(
+            "s344", cluster_flip_flops(placed_s344, max_bits=2), cost_model)
+        k4 = evaluate_kbit_system(
+            "s344", cluster_flip_flops(placed_s344, max_bits=4), cost_model)
+        assert k4.area_improvement > k2.area_improvement
+        assert k4.energy_improvement >= k2.energy_improvement * 0.95
+
+    def test_singleton_only_design_has_no_gain(self, placed_s344, cost_model):
+        clusters = cluster_flip_flops(placed_s344, max_bits=1)
+        result = evaluate_kbit_system("s344", clusters, cost_model)
+        assert result.area_improvement == pytest.approx(0.0)
+
+    def test_rejects_empty(self, cost_model):
+        empty = ClusterResult(clusters=[], threshold=1e-6, max_bits=2)
+        with pytest.raises(MergeError):
+            evaluate_kbit_system("x", empty, cost_model)

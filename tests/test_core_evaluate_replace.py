@@ -1,0 +1,171 @@
+"""Tests for the Table III accounting and the replacement ECO.
+
+The key validation: with the paper's own cell constants and its reported
+pairing counts, our accounting reproduces every Table III row.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cells.library import NV_1BIT_CELL, NV_2BIT_CELL
+from repro.core.evaluate import (
+    NVCellCosts,
+    PAPER_COSTS,
+    costs_from_layout,
+    evaluate_system,
+)
+from repro.core.merge import find_mergeable_pairs
+from repro.core.replace import apply_replacement, plan_replacement
+from repro.errors import MergeError
+from repro.physd.benchmarks import BENCHMARKS
+from repro.units import to_femtojoules, to_square_microns
+
+
+class TestPaperTable3Reproduction:
+    """Every paper row re-derived from (N, M) and the Table II constants."""
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_area_column(self, name):
+        spec = BENCHMARKS[name]
+        result = evaluate_system(name, spec.num_flip_flops,
+                                 spec.paper_merged_pairs, PAPER_COSTS)
+        assert to_square_microns(result.area_proposed) == pytest.approx(
+            spec.paper_area_2bit, rel=2e-4)
+        assert to_square_microns(result.area_baseline) == pytest.approx(
+            spec.paper_area_1bit, rel=5e-4)
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_energy_column(self, name):
+        spec = BENCHMARKS[name]
+        result = evaluate_system(name, spec.num_flip_flops,
+                                 spec.paper_merged_pairs, PAPER_COSTS)
+        assert to_femtojoules(result.energy_proposed) == pytest.approx(
+            spec.paper_energy_2bit, rel=2e-4)
+
+    def test_paper_s344_improvements(self):
+        spec = BENCHMARKS["s344"]
+        result = evaluate_system("s344", spec.num_flip_flops,
+                                 spec.paper_merged_pairs, PAPER_COSTS)
+        assert result.area_improvement == pytest.approx(0.2293, abs=0.001)
+        assert result.energy_improvement == pytest.approx(0.1254, abs=0.001)
+
+    def test_paper_average_improvements(self):
+        areas, energies = [], []
+        for spec in BENCHMARKS.values():
+            result = evaluate_system(spec.name, spec.num_flip_flops,
+                                     spec.paper_merged_pairs, PAPER_COSTS)
+            areas.append(result.area_improvement)
+            energies.append(result.energy_improvement)
+        assert sum(areas) / len(areas) == pytest.approx(0.26, abs=0.01)
+        assert sum(energies) / len(energies) == pytest.approx(0.14, abs=0.01)
+
+
+class TestEvaluateSystem:
+    def test_no_pairs_equals_baseline(self):
+        result = evaluate_system("x", 10, 0, PAPER_COSTS)
+        assert result.area_proposed == result.area_baseline
+        assert result.area_improvement == 0.0
+
+    def test_all_paired_uses_only_2bit(self):
+        result = evaluate_system("x", 10, 5, PAPER_COSTS)
+        assert result.area_proposed == pytest.approx(5 * PAPER_COSTS.area_2bit)
+
+    def test_rejects_too_many_pairs(self):
+        with pytest.raises(MergeError):
+            evaluate_system("x", 3, 2, PAPER_COSTS)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(MergeError):
+            evaluate_system("x", -1, 0, PAPER_COSTS)
+
+    def test_as_row_contains_fields(self):
+        row = evaluate_system("bench", 4, 1, PAPER_COSTS).as_row()
+        assert "bench" in row and "%" in row
+
+    @given(st.integers(min_value=1, max_value=5000),
+           st.integers(min_value=0, max_value=2500))
+    @settings(max_examples=50)
+    def test_improvement_monotone_in_pairs(self, n_ff, pairs):
+        if 2 * pairs > n_ff:
+            return
+        base = evaluate_system("x", n_ff, pairs, PAPER_COSTS)
+        if 2 * (pairs + 1) <= n_ff:
+            more = evaluate_system("x", n_ff, pairs + 1, PAPER_COSTS)
+            assert more.area_improvement > base.area_improvement
+            assert more.energy_improvement > base.energy_improvement
+
+    @given(st.integers(min_value=2, max_value=5000))
+    @settings(max_examples=30)
+    def test_full_merge_improvement_is_cell_level_gain(self, n_ff):
+        if n_ff % 2:
+            n_ff += 1
+        result = evaluate_system("x", n_ff, n_ff // 2, PAPER_COSTS)
+        cell_gain = 1 - PAPER_COSTS.area_2bit / (2 * PAPER_COSTS.area_1bit)
+        assert result.area_improvement == pytest.approx(cell_gain)
+
+
+class TestCosts:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(MergeError):
+            NVCellCosts(area_1bit=0.0, energy_1bit=1.0, area_2bit=1.0,
+                        energy_2bit=1.0)
+
+    def test_costs_from_layout_areas(self):
+        costs = costs_from_layout(energy_1bit=3e-15, energy_2bit=5e-15)
+        assert to_square_microns(costs.area_1bit) == pytest.approx(2.82, rel=0.01)
+        assert to_square_microns(costs.area_2bit) == pytest.approx(3.76, rel=0.01)
+
+    def test_paper_costs_values(self):
+        assert to_square_microns(PAPER_COSTS.area_1bit) == pytest.approx(2.8175)
+        assert to_femtojoules(PAPER_COSTS.energy_2bit) == pytest.approx(4.587)
+
+
+class TestReplacement:
+    def test_plan_covers_every_ff_exactly_once(self, placed_s344):
+        merge = find_mergeable_pairs(placed_s344)
+        plan = plan_replacement(placed_s344, merge)
+        covered = plan.covered_flip_flops()
+        expected = [i.name for i in placed_s344.netlist.sequential_instances()]
+        assert sorted(covered) == sorted(expected)
+
+    def test_plan_counts(self, placed_s344):
+        merge = find_mergeable_pairs(placed_s344)
+        plan = plan_replacement(placed_s344, merge)
+        assert plan.num_2bit == len(merge.pairs)
+        assert plan.num_1bit == len(merge.unmatched)
+
+    def test_2bit_components_at_pair_midpoints(self, placed_s344):
+        merge = find_mergeable_pairs(placed_s344)
+        plan = plan_replacement(placed_s344, merge)
+        for attachment in plan.attachments:
+            if attachment.cell != NV_2BIT_CELL:
+                continue
+            a, b = attachment.flip_flops
+            ca, cb = placed_s344.center(a), placed_s344.center(b)
+            assert attachment.x == pytest.approx((ca.x + cb.x) / 2)
+            assert attachment.y == pytest.approx((ca.y + cb.y) / 2)
+
+    def test_apply_adds_instances(self, placed_s344):
+        import copy
+
+        merge = find_mergeable_pairs(placed_s344)
+        plan = plan_replacement(placed_s344, merge)
+        netlist = copy.deepcopy(placed_s344.netlist)
+        created = apply_replacement(netlist, plan)
+        assert len(created) == len(plan.attachments)
+        for name in created:
+            inst = netlist.instance(name)
+            assert inst.cell.name in (NV_1BIT_CELL, NV_2BIT_CELL)
+
+    def test_apply_connects_backup_to_ff_outputs(self, placed_s344):
+        import copy
+
+        merge = find_mergeable_pairs(placed_s344)
+        plan = plan_replacement(placed_s344, merge)
+        netlist = copy.deepcopy(placed_s344.netlist)
+        apply_replacement(netlist, plan)
+        for attachment in plan.attachments:
+            inst = netlist.instance(attachment.name)
+            for ff_name in attachment.flip_flops:
+                ff = netlist.instance(ff_name)
+                assert ff.nets[-1] in inst.nets

@@ -1,0 +1,185 @@
+"""Tests for the neighbour-pairing pass (the paper's merge script)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.merge import (
+    MergeConfig,
+    MergedPair,
+    MergeResult,
+    default_merge_threshold,
+    find_mergeable_pairs,
+    pairs_from_def,
+)
+from repro.errors import MergeError
+from repro.physd.def_io import DefComponent, DefDesign
+from repro.layout.geometry import Rect
+
+
+class TestThreshold:
+    def test_default_matches_paper(self):
+        # Twice the 1-bit NV component width: 2 × 1.68 = 3.36 µm (paper
+        # quotes 3.35 µm from its 1.675 µm cell).
+        assert default_merge_threshold() == pytest.approx(3.36e-6, rel=0.01)
+
+    def test_config_override(self):
+        config = MergeConfig(threshold=1e-6)
+        assert config.resolved_threshold() == 1e-6
+
+    def test_config_default_resolution(self):
+        assert MergeConfig().resolved_threshold() == default_merge_threshold()
+
+
+def def_with_ffs(positions, cell="DFF_X1", die=100e-6):
+    """Helper: a DEF design holding flip-flops at the given origins."""
+    components = {
+        f"ff{i}": DefComponent(name=f"ff{i}", cell=cell, x=x, y=y)
+        for i, (x, y) in enumerate(positions)
+    }
+    return DefDesign(name="t", die=Rect(0, 0, die, die), components=components)
+
+
+class TestPairsFromDef:
+    def test_two_close_ffs_pair(self):
+        design = def_with_ffs([(0.0, 0.0), (1e-6, 0.0)])
+        result = pairs_from_def(design)
+        assert len(result.pairs) == 1
+        assert result.unmatched == []
+
+    def test_two_far_ffs_do_not_pair(self):
+        design = def_with_ffs([(0.0, 0.0), (50e-6, 0.0)])
+        result = pairs_from_def(design)
+        assert result.pairs == []
+        assert len(result.unmatched) == 2
+
+    def test_three_ffs_closest_pair_wins(self):
+        design = def_with_ffs([(0.0, 0.0), (0.5e-6, 0.0), (2.4e-6, 0.0)])
+        result = pairs_from_def(design)
+        assert len(result.pairs) == 1
+        assert set(result.pairs[0].members()) == {"ff0", "ff1"}
+        assert result.unmatched == ["ff2"]
+
+    def test_chain_of_four_pairs_twice(self):
+        design = def_with_ffs([(i * 2e-6, 0.0) for i in range(4)])
+        result = pairs_from_def(design)
+        assert len(result.pairs) == 2
+        assert result.merge_fraction == 1.0
+
+    def test_non_ff_cells_ignored(self):
+        design = def_with_ffs([(0.0, 0.0), (1e-6, 0.0)])
+        design.components["g0"] = DefComponent("g0", "INV_X1", 0.5e-6, 0.0)
+        result = pairs_from_def(design)
+        assert result.total_flip_flops == 2
+
+    def test_cell_sizes_extend_reach(self):
+        # Origins 4.5 µm apart: centers/origins beyond the ~3.36 µm
+        # threshold, but 2 µm-wide cells leave only a 2.5 µm gap.
+        design = def_with_ffs([(0.0, 0.0), (4.5e-6, 0.0)])
+        no_size = pairs_from_def(design)
+        assert no_size.pairs == []
+        with_size = pairs_from_def(
+            design, cell_sizes={"DFF_X1": (2e-6, 1.68e-6)})
+        assert len(with_size.pairs) == 1
+
+    def test_empty_design(self):
+        result = pairs_from_def(def_with_ffs([]))
+        assert result.pairs == [] and result.unmatched == []
+
+    def test_single_ff_unmatched(self):
+        result = pairs_from_def(def_with_ffs([(0.0, 0.0)]))
+        assert result.unmatched == ["ff0"]
+
+
+class TestMatchingProperties:
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=60e-6),
+                              st.floats(min_value=0, max_value=60e-6)),
+                    min_size=0, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_matching_is_valid(self, positions):
+        result = pairs_from_def(def_with_ffs(positions))
+        result.validate()  # no duplicates, all under threshold
+        assert result.merged_flip_flop_count + len(result.unmatched) \
+            == len(positions)
+
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=30e-6),
+                              st.floats(min_value=0, max_value=30e-6)),
+                    min_size=2, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_matching_is_maximal(self, positions):
+        """No two unmatched flip-flops may remain within the threshold
+        (greedy matching is maximal on the proximity graph)."""
+        result = pairs_from_def(def_with_ffs(positions))
+        names = {f"ff{i}": p for i, p in enumerate(positions)}
+        for i, a in enumerate(result.unmatched):
+            for b in result.unmatched[i + 1:]:
+                ax, ay = names[a]
+                bx, by = names[b]
+                assert np.hypot(ax - bx, ay - by) > result.threshold
+
+    def test_greedy_prefers_closest(self):
+        # ff1 sits between ff0 (0.3 µm) and ff2 (0.6 µm): pairs with ff0.
+        design = def_with_ffs([(0.0, 0.0), (0.3e-6, 0.0), (0.9e-6, 0.0)])
+        result = pairs_from_def(design)
+        assert set(result.pairs[0].members()) == {"ff0", "ff1"}
+
+
+class TestTimingGuard:
+    def test_timing_guard_rejects_slow_pairs(self):
+        design = def_with_ffs([(0.0, 0.0), (3e-6, 0.0)])
+        permissive = pairs_from_def(design, config=MergeConfig())
+        assert len(permissive.pairs) == 1
+        strict = pairs_from_def(design, config=MergeConfig(
+            clock_period=1e-12, timing_budget_fraction=0.01))
+        assert strict.pairs == []
+
+
+class TestMergeResultValidation:
+    def test_duplicate_member_rejected(self):
+        result = MergeResult(
+            pairs=[MergedPair("a", "b", 1e-6), MergedPair("b", "c", 1e-6)],
+            unmatched=[], threshold=2e-6, candidate_count=2)
+        with pytest.raises(MergeError):
+            result.validate()
+
+    def test_over_threshold_pair_rejected(self):
+        result = MergeResult(pairs=[MergedPair("a", "b", 5e-6)],
+                             unmatched=[], threshold=2e-6, candidate_count=1)
+        with pytest.raises(MergeError):
+            result.validate()
+
+    def test_member_also_unmatched_rejected(self):
+        result = MergeResult(pairs=[MergedPair("a", "b", 1e-6)],
+                             unmatched=["a"], threshold=2e-6, candidate_count=1)
+        with pytest.raises(MergeError):
+            result.validate()
+
+    def test_merge_fraction_empty(self):
+        result = MergeResult(pairs=[], unmatched=[], threshold=1e-6,
+                             candidate_count=0)
+        assert result.merge_fraction == 0.0
+
+
+class TestOnPlacement:
+    def test_s344_pairs_found(self, placed_s344):
+        result = find_mergeable_pairs(placed_s344)
+        result.validate()
+        assert result.total_flip_flops == 15
+        # Register-clustered flops: a healthy majority pairs (paper: 5 of
+        # 15 flops' pairs = 10/15 merged).
+        assert len(result.pairs) >= 4
+
+    def test_tighter_threshold_pairs_fewer(self, placed_s344):
+        loose = find_mergeable_pairs(placed_s344)
+        tight = find_mergeable_pairs(
+            placed_s344, MergeConfig(threshold=0.3e-6))
+        assert len(tight.pairs) <= len(loose.pairs)
+
+    def test_pair_distances_are_separations(self, placed_s344):
+        """Distances reported are rectangle separations: zero for abutted
+        flops, never more than the center distance."""
+        result = find_mergeable_pairs(placed_s344)
+        for pair in result.pairs:
+            ca = placed_s344.center(pair.ff_a)
+            cb = placed_s344.center(pair.ff_b)
+            assert pair.distance <= ca.distance_to(cb) + 1e-12

@@ -1,0 +1,142 @@
+"""Tests for the power-gating break-even analysis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.standby import (
+    BackupStrategy,
+    MemorySaveRestoreStrategy,
+    NVBackupStrategy,
+    RetentionStrategy,
+    StandbyScenario,
+    nv_strategies_from_metrics,
+    standby_report,
+)
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def scenario():
+    # A small MCU-class domain: 1000 bits, 10 µW of gated leakage.
+    return StandbyScenario(num_bits=1000, domain_leakage=10e-6)
+
+
+class TestScenario:
+    def test_rejects_zero_bits(self):
+        with pytest.raises(AnalysisError):
+            StandbyScenario(num_bits=0, domain_leakage=1e-6)
+
+    def test_rejects_nonpositive_leakage(self):
+        with pytest.raises(AnalysisError):
+            StandbyScenario(num_bits=10, domain_leakage=0.0)
+
+
+class TestNVStrategy:
+    def test_zero_standby_power(self, scenario):
+        assert NVBackupStrategy().standby_power(scenario) == 0.0
+
+    def test_entry_scales_with_bits(self, scenario):
+        strategy = NVBackupStrategy(store_energy_per_bit=100e-15)
+        assert strategy.entry_energy(scenario) == pytest.approx(1000 * 100e-15)
+
+    def test_break_even_is_overhead_over_leakage(self, scenario):
+        strategy = NVBackupStrategy(store_energy_per_bit=100e-15,
+                                    restore_energy_per_bit=10e-15)
+        expected = 1000 * 110e-15 / 10e-6
+        assert strategy.break_even_duration(scenario) == pytest.approx(expected)
+
+    def test_long_standby_beats_always_on(self, scenario):
+        strategy = NVBackupStrategy()
+        t = 1e-3  # 1 ms standby
+        assert strategy.total_energy(scenario, t) < scenario.domain_leakage * t
+
+    def test_short_standby_loses(self, scenario):
+        strategy = NVBackupStrategy()
+        t = 1e-9
+        assert strategy.total_energy(scenario, t) > scenario.domain_leakage * t
+
+    def test_rejects_negative_duration(self, scenario):
+        with pytest.raises(AnalysisError):
+            NVBackupStrategy().total_energy(scenario, -1.0)
+
+    @given(st.floats(min_value=1e-9, max_value=1.0),
+           st.floats(min_value=1e-9, max_value=1.0))
+    @settings(max_examples=30)
+    def test_total_energy_monotone_in_duration(self, t1, t2):
+        scenario = StandbyScenario(num_bits=64, domain_leakage=1e-6)
+        lo, hi = sorted((t1, t2))
+        strategy = MemorySaveRestoreStrategy()
+        assert strategy.total_energy(scenario, hi) >= strategy.total_energy(scenario, lo)
+
+
+class TestMemoryStrategy:
+    def test_standby_power_from_sram(self, scenario):
+        strategy = MemorySaveRestoreStrategy(sram_leakage_per_bit=2e-12)
+        assert strategy.standby_power(scenario) == pytest.approx(2e-9)
+
+    def test_serial_transfer_latency(self, scenario):
+        strategy = MemorySaveRestoreStrategy(bus_width=32, bus_frequency=500e6)
+        # 1000 bits / 32 = 32 beats (ceil) at 2 ns each = 64 ns + rail.
+        expected = 32 / 500e6 + strategy.rail_stabilization
+        assert strategy.wakeup_latency(scenario) == pytest.approx(expected)
+
+    def test_never_breaks_even_if_sram_leaks_more_than_domain(self):
+        scenario = StandbyScenario(num_bits=1000, domain_leakage=0.5e-9)
+        strategy = MemorySaveRestoreStrategy(sram_leakage_per_bit=1e-12)
+        assert strategy.break_even_duration(scenario) == float("inf")
+
+
+class TestRetentionStrategy:
+    def test_no_transfer_costs(self, scenario):
+        strategy = RetentionStrategy()
+        assert strategy.entry_energy(scenario) == 0.0
+        assert strategy.exit_energy(scenario) == 0.0
+
+    def test_breaks_even_immediately(self, scenario):
+        # No overhead → break-even at t = 0 whenever it leaks less.
+        assert RetentionStrategy().break_even_duration(scenario) == 0.0
+
+    def test_nv_wins_for_long_standby(self, scenario):
+        nv = NVBackupStrategy()
+        retention = RetentionStrategy()
+        t = 60.0  # one minute
+        assert nv.total_energy(scenario, t) < retention.total_energy(scenario, t)
+
+    def test_retention_wins_for_short_standby(self, scenario):
+        nv = NVBackupStrategy()
+        retention = RetentionStrategy()
+        t = 100e-9
+        assert retention.total_energy(scenario, t) < nv.total_energy(scenario, t)
+
+
+class TestFromMetrics:
+    def test_two_bit_strategy_cheaper_restore(self):
+        from repro.cells.characterize import LatchMetrics
+
+        std = LatchMetrics("standard-1bit", "typical", read_energy=8.5e-15,
+                           read_delay=0.33e-9, leakage=32e-12,
+                           write_energy=240e-15, write_latency=2e-9,
+                           transistor_count=11, read_values_ok=True)
+        prop = LatchMetrics("proposed-2bit", "typical", read_energy=15.4e-15,
+                            read_delay=0.80e-9, leakage=33e-12,
+                            write_energy=480e-15, write_latency=2e-9,
+                            transistor_count=16, read_values_ok=True)
+        one_bit, two_bit = nv_strategies_from_metrics(std, prop)
+        assert two_bit.restore_energy_per_bit < one_bit.restore_energy_per_bit
+        scenario = StandbyScenario(num_bits=1000, domain_leakage=10e-6)
+        assert two_bit.break_even_duration(scenario) \
+            <= one_bit.break_even_duration(scenario)
+
+
+class TestReport:
+    def test_report_renders(self, scenario):
+        text = standby_report(scenario,
+                              [NVBackupStrategy(), RetentionStrategy()],
+                              [1e-6, 1e-3])
+        assert "nv-shadow" in text
+        assert "retention-rail" in text
+        assert "break-even" in text
+
+    def test_report_validates_inputs(self, scenario):
+        with pytest.raises(AnalysisError):
+            standby_report(scenario, [], [1e-6])

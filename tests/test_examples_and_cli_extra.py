@@ -1,0 +1,77 @@
+"""Smoke tests for the example scripts and the remaining CLI paths."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+class TestExamplesCompile:
+    @pytest.mark.parametrize("script", sorted(p.name for p in EXAMPLES.glob("*.py")))
+    def test_compiles(self, script):
+        source = (EXAMPLES / script).read_text()
+        compile(source, script, "exec")
+
+    def test_expected_examples_present(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {"quickstart.py", "power_cycle_simulation.py",
+                "soc_design_flow.py", "variation_analysis.py",
+                "processor_checkpoint.py", "export_artifacts.py"} <= names
+
+
+class TestExamplesRun:
+    """Run the fast examples end to end as subprocesses."""
+
+    def _run(self, script, *args):
+        return subprocess.run(
+            [sys.executable, str(EXAMPLES / script), *args],
+            capture_output=True, text=True, timeout=600)
+
+    def test_variation_analysis(self):
+        proc = self._run("variation_analysis.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "retention" in proc.stdout
+
+    def test_processor_checkpoint(self):
+        proc = self._run("processor_checkpoint.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "all survived" in proc.stdout
+
+    def test_soc_design_flow_small(self):
+        proc = self._run("soc_design_flow.py", "s344")
+        assert proc.returncode == 0, proc.stderr
+        assert "Table III row" in proc.stdout
+
+
+class TestCLIExtra:
+    def test_table3_single_benchmark(self, capsys):
+        from repro.cli import main
+
+        assert main(["table3", "s344"]) == 0
+        out = capsys.readouterr().out
+        assert "s344" in out and "AVERAGE" in out
+
+    def test_layout_svg_files(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["layout", "--svg"]) == 0
+        assert (tmp_path / "nv_2bit.svg").exists()
+
+    def test_flow_svg_output(self, tmp_path, capsys):
+        from repro.cli import main
+
+        svg = tmp_path / "fp.svg"
+        assert main(["flow", "s344", "--write-svg", str(svg)]) == 0
+        assert svg.read_text().startswith("<svg")
+
+    def test_quickstart_snippet_from_package_docs(self):
+        """The usage snippet in repro.__doc__ must actually work."""
+        from repro.core import run_system_flow
+
+        outcome = run_system_flow("s344")
+        row = outcome.result.as_row()
+        assert row.startswith("s344")

@@ -1,0 +1,166 @@
+"""Tests for the layout engine (geometry, rules, cell plans — paper Fig 8
+and the Table II area row)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LayoutError
+from repro.layout.cell_layout import (
+    CellPlan,
+    Column,
+    ColumnKind,
+    plan_proposed_2bit,
+    plan_standard_1bit,
+    standard_pair_area,
+)
+from repro.layout.design_rules import DesignRules, RULES_40NM
+from repro.layout.geometry import Point, Rect
+from repro.units import to_microns, to_square_microns
+
+coord = st.floats(min_value=-1e-3, max_value=1e-3)
+
+
+class TestGeometry:
+    def test_point_distance(self):
+        assert Point(0, 0).distance_to(Point(3e-6, 4e-6)) == pytest.approx(5e-6)
+
+    def test_point_translation(self):
+        p = Point(1.0, 2.0).translated(0.5, -0.5)
+        assert (p.x, p.y) == (1.5, 1.5)
+
+    def test_rect_dimensions(self):
+        r = Rect(0, 0, 2e-6, 1e-6)
+        assert r.width == pytest.approx(2e-6)
+        assert r.height == pytest.approx(1e-6)
+        assert r.area == pytest.approx(2e-12)
+        assert r.center == Point(1e-6, 0.5e-6)
+
+    def test_rect_rejects_degenerate(self):
+        with pytest.raises(LayoutError):
+            Rect(1.0, 0.0, 0.0, 1.0)
+
+    def test_contains(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.contains(Point(0.5, 0.5))
+        assert not r.contains(Point(1.5, 0.5))
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(1, 1, 2, 2))
+        assert not outer.contains_rect(Rect(9, 9, 11, 11))
+
+    def test_overlap_excludes_shared_edges(self):
+        a = Rect(0, 0, 1, 1)
+        assert not a.overlaps(Rect(1, 0, 2, 1))  # abutting
+        assert a.overlaps(Rect(0.5, 0.5, 1.5, 1.5))
+
+    def test_from_size_rejects_negative(self):
+        with pytest.raises(LayoutError):
+            Rect.from_size(0, 0, -1, 1)
+
+    @given(coord, coord, coord, coord)
+    def test_translation_preserves_size(self, x, y, dx, dy):
+        r = Rect.from_size(x, y, 1e-6, 2e-6)
+        t = r.translated(dx, dy)
+        assert t.width == pytest.approx(r.width)
+        assert t.height == pytest.approx(r.height)
+
+
+class TestDesignRules:
+    def test_cell_height_is_12_tracks(self):
+        assert RULES_40NM.cell_height == pytest.approx(12 * 0.14e-6)
+
+    def test_rejects_bad_pitch(self):
+        with pytest.raises(LayoutError):
+            DesignRules(track_pitch=0.0)
+
+    def test_rejects_too_few_tracks(self):
+        with pytest.raises(LayoutError):
+            DesignRules(tracks=4)
+
+
+class TestColumn:
+    def test_non_device_column_rejects_transistors(self):
+        with pytest.raises(LayoutError):
+            Column(ColumnKind.BREAK, pmos="p1")
+
+
+class TestStandardPlan:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return plan_standard_1bit()
+
+    def test_transistor_count_matches_netlist(self, plan):
+        assert plan.transistor_count() == 11
+
+    def test_mtj_pads(self, plan):
+        assert plan.mtj_count() == 2
+
+    def test_width_is_paper_nv_component_width(self, plan):
+        # The paper's merge threshold is 3.35 µm = 2 × the 1-bit width.
+        assert to_microns(plan.width) == pytest.approx(1.675, rel=0.01)
+
+    def test_area_matches_paper(self, plan):
+        assert to_square_microns(plan.area) == pytest.approx(2.8175, rel=0.01)
+
+    def test_validates_against_builder_names(self, plan):
+        from repro.cells.nvlatch_1bit import build_standard_latch
+        from repro.spice.devices.mosfet import MOSFET
+
+        latch = build_standard_latch()
+        read_fets = [d for d in latch.circuit.devices
+                     if isinstance(d, MOSFET) and not d.name.startswith("wr")]
+        pmos = [d.name for d in read_fets if d.model.polarity == "p"]
+        nmos = [d.name for d in read_fets if d.model.polarity == "n"]
+        plan.validate_against(pmos, nmos)
+
+    def test_validation_catches_missing_device(self, plan):
+        with pytest.raises(LayoutError):
+            plan.validate_against(["only_one"], [])
+
+    def test_ascii_render_mentions_area(self, plan):
+        text = plan.to_ascii()
+        assert "um^2" in text and "12 tracks" in text
+
+    def test_svg_render_is_svg(self, plan):
+        svg = plan.to_svg()
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert "MTJ1" in svg
+
+
+class TestProposedPlan:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return plan_proposed_2bit()
+
+    def test_transistor_count(self, plan):
+        assert plan.transistor_count() == 16
+
+    def test_four_mtj_pads(self, plan):
+        assert plan.mtj_count() == 4
+
+    def test_area_matches_paper(self, plan):
+        assert to_square_microns(plan.area) == pytest.approx(3.696, rel=0.02)
+
+    def test_validates_against_builder_names(self, plan):
+        from repro.cells.nvlatch_2bit import build_proposed_latch
+        from repro.spice.devices.mosfet import MOSFET
+
+        latch = build_proposed_latch()
+        read_fets = [d for d in latch.circuit.devices
+                     if isinstance(d, MOSFET) and not d.name.startswith("wr")]
+        pmos = [d.name for d in read_fets if d.model.polarity == "p"]
+        nmos = [d.name for d in read_fets if d.model.polarity == "n"]
+        plan.validate_against(pmos, nmos)
+
+
+class TestAreaComparison:
+    def test_pair_area_matches_paper(self):
+        assert to_square_microns(standard_pair_area()) == pytest.approx(5.635, rel=0.01)
+
+    def test_cell_level_improvement_about_34_percent(self):
+        improvement = 1 - plan_proposed_2bit().area / standard_pair_area()
+        assert improvement == pytest.approx(0.34, abs=0.02)
+
+    def test_proposed_wider_but_single(self):
+        assert plan_proposed_2bit().width < 2 * plan_standard_1bit().width

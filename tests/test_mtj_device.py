@@ -1,0 +1,111 @@
+"""Tests for repro.mtj.device (static resistive behaviour)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DeviceModelError
+from repro.mtj.device import MTJDevice, MTJState
+from repro.mtj.parameters import PAPER_TABLE_I
+
+
+class TestMTJState:
+    def test_bit_encoding(self):
+        assert MTJState.PARALLEL.bit == 0
+        assert MTJState.ANTIPARALLEL.bit == 1
+
+    def test_from_bit(self):
+        assert MTJState.from_bit(0) is MTJState.PARALLEL
+        assert MTJState.from_bit(1) is MTJState.ANTIPARALLEL
+
+    def test_from_bit_rejects_other_values(self):
+        with pytest.raises(DeviceModelError):
+            MTJState.from_bit(2)
+
+    def test_flipped_is_involution(self):
+        for state in MTJState:
+            assert state.flipped().flipped() is state
+
+    def test_flipped_changes_state(self):
+        assert MTJState.PARALLEL.flipped() is MTJState.ANTIPARALLEL
+
+
+class TestResistance:
+    def test_parallel_resistance_is_calibrated_value(self):
+        device = MTJDevice(state=MTJState.PARALLEL)
+        assert device.resistance(0.0) == pytest.approx(5e3)
+
+    def test_antiparallel_zero_bias(self):
+        device = MTJDevice(state=MTJState.ANTIPARALLEL)
+        assert device.resistance(0.0) == pytest.approx(5e3 * 2.23)
+
+    def test_parallel_bias_independent(self):
+        device = MTJDevice(state=MTJState.PARALLEL)
+        assert device.resistance(0.5) == device.resistance(0.0)
+
+    def test_ap_resistance_rolls_off_with_bias(self):
+        device = MTJDevice(state=MTJState.ANTIPARALLEL)
+        assert device.resistance(0.5) < device.resistance(0.0)
+
+    def test_tmr_halves_at_half_bias_voltage(self):
+        device = MTJDevice()
+        v_h = device.params.tmr_half_bias_voltage
+        assert device.tmr_at_bias(v_h) == pytest.approx(
+            device.params.tmr_zero_bias / 2.0)
+
+    def test_conductance_is_reciprocal(self):
+        device = MTJDevice(state=MTJState.ANTIPARALLEL)
+        assert device.conductance(0.3) == pytest.approx(1.0 / device.resistance(0.3))
+
+    @given(st.floats(min_value=0.0, max_value=2.0))
+    def test_ap_always_above_p(self, bias):
+        p = MTJDevice(state=MTJState.PARALLEL)
+        ap = MTJDevice(state=MTJState.ANTIPARALLEL)
+        assert ap.resistance(bias) > p.resistance(bias)
+
+    @given(st.floats(min_value=0.0, max_value=1.5),
+           st.floats(min_value=0.0, max_value=1.5))
+    def test_ap_resistance_monotone_decreasing_in_bias(self, v1, v2):
+        lo, hi = sorted((v1, v2))
+        device = MTJDevice(state=MTJState.ANTIPARALLEL)
+        assert device.resistance(hi) <= device.resistance(lo) + 1e-9
+
+
+class TestConductanceDerivative:
+    def test_parallel_derivative_zero(self):
+        device = MTJDevice(state=MTJState.PARALLEL)
+        assert device.conductance_derivative(0.7) == 0.0
+
+    @given(st.floats(min_value=0.01, max_value=1.2))
+    def test_ap_derivative_matches_finite_difference(self, bias):
+        device = MTJDevice(state=MTJState.ANTIPARALLEL)
+        h = 1e-6
+        numeric = (device.conductance(bias + h) - device.conductance(bias - h)) / (2 * h)
+        assert device.conductance_derivative(bias) == pytest.approx(numeric, rel=1e-3)
+
+    def test_ap_derivative_positive_for_positive_bias(self):
+        # Conductance rises as TMR rolls off.
+        device = MTJDevice(state=MTJState.ANTIPARALLEL)
+        assert device.conductance_derivative(0.5) > 0.0
+
+
+class TestLogicalView:
+    def test_write_and_read_bit(self):
+        device = MTJDevice()
+        device.write_bit(1)
+        assert device.bit == 1
+        device.write_bit(0)
+        assert device.bit == 0
+
+    def test_flip(self):
+        device = MTJDevice(state=MTJState.PARALLEL)
+        device.flip()
+        assert device.state is MTJState.ANTIPARALLEL
+
+    def test_read_margin_shrinks_with_bias(self):
+        device = MTJDevice()
+        assert device.read_margin(0.5) < device.read_margin(0.1)
+
+    def test_read_margin_at_zero_bias(self):
+        device = MTJDevice()
+        assert device.read_margin(0.0) == pytest.approx(
+            PAPER_TABLE_I.resistance_p * PAPER_TABLE_I.tmr_zero_bias)

@@ -1,0 +1,193 @@
+"""Tests for repro.mtj.dynamics (STT switching)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DeviceModelError
+from repro.mtj.device import MTJDevice, MTJState
+from repro.mtj.dynamics import SwitchingModel, simulate_current_pulse
+from repro.mtj.parameters import PAPER_TABLE_I
+
+
+def make_model(state=MTJState.PARALLEL):
+    return SwitchingModel(device=MTJDevice(state=state))
+
+
+class TestMeanSwitchingTime:
+    def test_nominal_write_current_switches_within_pulse(self):
+        # Q_dyn is calibrated so 70 µA switches in the 2 ns write pulse.
+        model = make_model()
+        assert model.mean_switching_time(70e-6) == pytest.approx(
+            PAPER_TABLE_I.write_pulse_width)
+
+    def test_subcritical_current_is_astronomically_slow(self):
+        model = make_model()
+        # A 20 µA read-level current: thermal regime with Δ = 60.
+        assert model.mean_switching_time(20e-6) > 1.0  # > 1 second
+
+    def test_zero_current_never_switches(self):
+        model = make_model()
+        assert model.mean_switching_time(0.0) > 1e10
+
+    @given(st.floats(min_value=37.1e-6, max_value=200e-6),
+           st.floats(min_value=37.1e-6, max_value=200e-6))
+    def test_monotone_decreasing_in_precessional_regime(self, i1, i2):
+        lo, hi = sorted((i1, i2))
+        model = make_model()
+        assert model.mean_switching_time(hi) <= model.mean_switching_time(lo) * (1 + 1e-9)
+
+    @given(st.floats(min_value=1e-6, max_value=36.9e-6),
+           st.floats(min_value=1e-6, max_value=36.9e-6))
+    def test_monotone_decreasing_in_thermal_regime(self, i1, i2):
+        lo, hi = sorted((i1, i2))
+        model = make_model()
+        assert model.mean_switching_time(hi) <= model.mean_switching_time(lo) * (1 + 1e-9)
+
+    def test_regime_boundary_discontinuity_is_documented_behaviour(self):
+        # Just below I_c the thermal expression bottoms out at ~τ0 while
+        # just above it the precessional time diverges — a known artifact
+        # of the two-regime macrospin model (see the module docstring).
+        model = make_model()
+        below = model.mean_switching_time(36.99e-6)
+        above = model.mean_switching_time(37.01e-6)
+        assert above > below
+
+    def test_sign_independent(self):
+        model = make_model()
+        assert model.mean_switching_time(60e-6) == pytest.approx(
+            model.mean_switching_time(-60e-6))
+
+
+class TestStep:
+    def test_positive_current_drives_to_antiparallel(self):
+        model = make_model(MTJState.PARALLEL)
+        event = None
+        for k in range(300):
+            event = model.step(70e-6, 10e-12, now=k * 10e-12) or event
+        assert model.device.state is MTJState.ANTIPARALLEL
+        assert event is not None and event.new_state is MTJState.ANTIPARALLEL
+
+    def test_negative_current_drives_to_parallel(self):
+        model = make_model(MTJState.ANTIPARALLEL)
+        for k in range(300):
+            model.step(-70e-6, 10e-12, now=k * 10e-12)
+        assert model.device.state is MTJState.PARALLEL
+
+    def test_current_toward_same_state_does_not_flip(self):
+        model = make_model(MTJState.ANTIPARALLEL)
+        for k in range(300):
+            model.step(70e-6, 10e-12)
+        assert model.device.state is MTJState.ANTIPARALLEL
+
+    def test_switch_time_matches_model(self):
+        model = make_model(MTJState.PARALLEL)
+        t_expected = model.mean_switching_time(80e-6)
+        elapsed = 0.0
+        dt = 5e-12
+        while model.device.state is MTJState.PARALLEL and elapsed < 10e-9:
+            model.step(80e-6, dt, now=elapsed)
+            elapsed += dt
+        assert elapsed == pytest.approx(t_expected, rel=0.02)
+
+    def test_progress_relaxes_without_current(self):
+        model = make_model(MTJState.PARALLEL)
+        model.step(70e-6, 1e-9)  # builds ~50 % progress
+        progress_before = model.progress
+        assert progress_before > 0.3
+        model.step(0.0, 10e-9)  # ten attempt-times of relaxation
+        assert model.progress < progress_before * 1e-3
+
+    def test_rejects_negative_dt(self):
+        with pytest.raises(DeviceModelError):
+            make_model().step(1e-6, -1e-12)
+
+    def test_zero_dt_is_noop(self):
+        model = make_model()
+        assert model.step(70e-6, 0.0) is None
+        assert model.progress == 0.0
+
+    def test_events_recorded(self):
+        model = make_model(MTJState.PARALLEL)
+        for k in range(500):
+            model.step(70e-6, 10e-12, now=k * 10e-12)
+        assert len(model.events) == 1
+        assert model.events[0].current == pytest.approx(70e-6)
+
+
+class TestWouldSwitchAndDisturb:
+    def test_would_switch_true_for_strong_long_pulse(self):
+        model = make_model(MTJState.PARALLEL)
+        assert model.would_switch(70e-6, 3e-9)
+
+    def test_would_switch_false_for_short_pulse(self):
+        model = make_model(MTJState.PARALLEL)
+        assert not model.would_switch(70e-6, 0.5e-9)
+
+    def test_would_switch_false_for_same_direction(self):
+        model = make_model(MTJState.ANTIPARALLEL)
+        assert not model.would_switch(70e-6, 10e-9)
+
+    def test_read_disturb_negligible_at_read_currents(self):
+        # The non-destructive-read claim: ~20 µA for 1 ns.
+        model = make_model(MTJState.PARALLEL)
+        assert model.read_disturb_probability(20e-6, 1e-9) < 1e-11
+        assert model.read_disturb_probability(10e-6, 1e-9) < 1e-18
+
+    def test_read_disturb_zero_for_favourable_direction(self):
+        model = make_model(MTJState.ANTIPARALLEL)
+        assert model.read_disturb_probability(20e-6, 1e-9) == 0.0
+
+    def test_read_disturb_grows_with_duration(self):
+        model = make_model(MTJState.PARALLEL)
+        p_short = model.read_disturb_probability(36e-6, 1e-9)
+        p_long = model.read_disturb_probability(36e-6, 1e-3)
+        assert p_long > p_short
+
+
+class TestSimulateCurrentPulse:
+    def test_trapezoid_pulse_switches(self):
+        model = make_model(MTJState.PARALLEL)
+        waveform = [(0.0, 0.0), (0.2e-9, 70e-6), (3.0e-9, 70e-6), (3.2e-9, 0.0)]
+        events = simulate_current_pulse(model, waveform, dt=10e-12)
+        assert len(events) == 1
+        assert model.device.state is MTJState.ANTIPARALLEL
+
+    def test_weak_pulse_does_not_switch(self):
+        model = make_model(MTJState.PARALLEL)
+        waveform = [(0.0, 0.0), (0.1e-9, 20e-6), (3.0e-9, 20e-6), (3.1e-9, 0.0)]
+        events = simulate_current_pulse(model, waveform, dt=10e-12)
+        assert events == []
+        assert model.device.state is MTJState.PARALLEL
+
+    def test_bipolar_pulse_ends_parallel(self):
+        model = make_model(MTJState.PARALLEL)
+        waveform = [(0.0, 70e-6), (3.0e-9, 70e-6), (3.05e-9, -70e-6),
+                    (6.0e-9, -70e-6)]
+        simulate_current_pulse(model, waveform, dt=10e-12)
+        assert model.device.state is MTJState.PARALLEL
+
+    def test_rejects_nonincreasing_times(self):
+        with pytest.raises(DeviceModelError):
+            simulate_current_pulse(make_model(), [(0.0, 0.0), (0.0, 1e-6)])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(DeviceModelError):
+            simulate_current_pulse(make_model(), [(0.0, 0.0)])
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(DeviceModelError):
+            simulate_current_pulse(make_model(), [(0.0, 0.0), (1e-9, 0.0)], dt=0.0)
+
+
+class TestCalibration:
+    def test_default_dynamic_charge(self):
+        expected = PAPER_TABLE_I.write_pulse_width * (70e-6 - 37e-6)
+        assert SwitchingModel.default_dynamic_charge(PAPER_TABLE_I) == pytest.approx(expected)
+
+    def test_rejects_degenerate_params(self):
+        params = PAPER_TABLE_I.scaled()  # valid
+        bad = type(params)(**{**params.__dict__, "switching_current": params.critical_current})
+        with pytest.raises(DeviceModelError):
+            SwitchingModel.default_dynamic_charge(bad)

@@ -1,0 +1,118 @@
+"""Tests for repro.mtj.parameters (paper Table I)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DeviceModelError
+from repro.mtj.parameters import MTJParameters, PAPER_TABLE_I
+
+
+class TestPaperTableI:
+    """The defaults must encode the paper's Table I exactly."""
+
+    def test_radius(self):
+        assert PAPER_TABLE_I.radius == pytest.approx(20e-9)
+
+    def test_layer_thicknesses(self):
+        assert PAPER_TABLE_I.free_layer_thickness == pytest.approx(1.84e-9)
+        assert PAPER_TABLE_I.oxide_thickness == pytest.approx(1.48e-9)
+
+    def test_ra_product(self):
+        assert PAPER_TABLE_I.resistance_area_product == pytest.approx(1.26e-12)
+
+    def test_tmr(self):
+        assert PAPER_TABLE_I.tmr_zero_bias == pytest.approx(1.23)
+
+    def test_currents(self):
+        assert PAPER_TABLE_I.critical_current == pytest.approx(37e-6)
+        assert PAPER_TABLE_I.switching_current == pytest.approx(70e-6)
+
+    def test_resistance_p_is_5k(self):
+        assert PAPER_TABLE_I.resistance_p == pytest.approx(5e3)
+
+    def test_resistance_ap_matches_paper_11k(self):
+        # 5 kΩ · (1 + 1.23) = 11.15 kΩ — the paper rounds to 11 kΩ.
+        assert PAPER_TABLE_I.resistance_ap == pytest.approx(11.15e3)
+        assert PAPER_TABLE_I.resistance_ap == pytest.approx(11e3, rel=0.02)
+
+    def test_junction_area(self):
+        assert PAPER_TABLE_I.junction_area == pytest.approx(
+            math.pi * (20e-9) ** 2)
+
+    def test_geometric_resistance_documents_inconsistency(self):
+        # RA / (π r²) with the quoted 20 nm radius gives ≈ 1 kΩ, far from
+        # the quoted 5 kΩ — the known Table I inconsistency.
+        geometric = PAPER_TABLE_I.geometric_resistance_p()
+        assert geometric == pytest.approx(1.0e3, rel=0.01)
+
+    def test_consistency_report_mentions_both(self):
+        report = PAPER_TABLE_I.consistency_report()
+        assert "5000" in report and "R_AP" in report
+
+    def test_resistance_difference(self):
+        assert PAPER_TABLE_I.resistance_difference == pytest.approx(
+            PAPER_TABLE_I.resistance_p * PAPER_TABLE_I.tmr_zero_bias)
+
+    def test_critical_current_density_positive(self):
+        assert PAPER_TABLE_I.critical_current_density > 0
+
+
+class TestValidation:
+    def test_rejects_negative_radius(self):
+        with pytest.raises(DeviceModelError):
+            MTJParameters(radius=-1e-9)
+
+    def test_rejects_zero_resistance(self):
+        with pytest.raises(DeviceModelError):
+            MTJParameters(resistance_p=0.0)
+
+    def test_rejects_nonpositive_tmr(self):
+        with pytest.raises(DeviceModelError):
+            MTJParameters(tmr_zero_bias=0.0)
+
+    def test_rejects_switching_below_critical(self):
+        with pytest.raises(DeviceModelError):
+            MTJParameters(critical_current=50e-6, switching_current=40e-6)
+
+
+class TestScaled:
+    def test_identity(self):
+        scaled = PAPER_TABLE_I.scaled()
+        assert scaled == PAPER_TABLE_I
+
+    def test_ra_scale_moves_resistance(self):
+        scaled = PAPER_TABLE_I.scaled(ra_scale=1.15)
+        assert scaled.resistance_p == pytest.approx(5e3 * 1.15)
+        assert scaled.resistance_area_product == pytest.approx(1.26e-12 * 1.15)
+
+    def test_tmr_scale(self):
+        scaled = PAPER_TABLE_I.scaled(tmr_scale=0.85)
+        assert scaled.tmr_zero_bias == pytest.approx(1.23 * 0.85)
+
+    def test_ic_scale_preserves_overdrive_ratio(self):
+        scaled = PAPER_TABLE_I.scaled(ic_scale=1.15)
+        original_ratio = PAPER_TABLE_I.switching_current / PAPER_TABLE_I.critical_current
+        assert scaled.switching_current / scaled.critical_current == pytest.approx(
+            original_ratio)
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(DeviceModelError):
+            PAPER_TABLE_I.scaled(ra_scale=0.0)
+
+    @given(st.floats(min_value=0.5, max_value=2.0),
+           st.floats(min_value=0.5, max_value=2.0),
+           st.floats(min_value=0.5, max_value=2.0))
+    def test_scaling_is_multiplicative(self, ra, tmr, ic):
+        scaled = PAPER_TABLE_I.scaled(ra_scale=ra, tmr_scale=tmr, ic_scale=ic)
+        assert scaled.resistance_p == pytest.approx(PAPER_TABLE_I.resistance_p * ra)
+        assert scaled.tmr_zero_bias == pytest.approx(PAPER_TABLE_I.tmr_zero_bias * tmr)
+        assert scaled.critical_current == pytest.approx(
+            PAPER_TABLE_I.critical_current * ic)
+
+    @given(st.floats(min_value=0.7, max_value=1.4))
+    def test_ap_relation_invariant_under_ra_scaling(self, ra):
+        scaled = PAPER_TABLE_I.scaled(ra_scale=ra)
+        assert scaled.resistance_ap == pytest.approx(
+            scaled.resistance_p * (1 + scaled.tmr_zero_bias))

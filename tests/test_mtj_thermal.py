@@ -1,0 +1,62 @@
+"""Tests for repro.mtj.thermal (retention / non-volatility)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DeviceModelError
+from repro.mtj.parameters import PAPER_TABLE_I
+from repro.mtj.thermal import SECONDS_PER_YEAR, ThermalStability
+
+
+@pytest.fixture
+def stability():
+    return ThermalStability(PAPER_TABLE_I)
+
+
+class TestDelta:
+    def test_delta_at_reference_temperature(self, stability):
+        # Δ is defined at ~300 K ≈ 26.85 °C.
+        assert stability.delta_at(26.85) == pytest.approx(60.0, rel=1e-3)
+
+    def test_delta_drops_when_hot(self, stability):
+        assert stability.delta_at(125.0) < stability.delta_at(27.0)
+
+    def test_rejects_below_absolute_zero(self, stability):
+        with pytest.raises(DeviceModelError):
+            stability.delta_at(-300.0)
+
+    @given(st.floats(min_value=-40.0, max_value=150.0),
+           st.floats(min_value=-40.0, max_value=150.0))
+    def test_delta_monotone_decreasing_in_temperature(self, t1, t2):
+        stability = ThermalStability(PAPER_TABLE_I)
+        lo, hi = sorted((t1, t2))
+        assert stability.delta_at(hi) <= stability.delta_at(lo) + 1e-9
+
+
+class TestRetention:
+    def test_retention_exceeds_ten_years_at_room_temperature(self, stability):
+        # Δ = 60 is the canonical "10-year retention" design point.
+        assert stability.retention_years(27.0) > 10.0
+
+    def test_retention_shrinks_when_hot(self, stability):
+        assert stability.mean_retention_time(125.0) < stability.mean_retention_time(27.0)
+
+    def test_retention_probability_in_unit_interval(self, stability):
+        p = stability.retention_probability(3600.0, 27.0)
+        assert 0.0 < p <= 1.0
+
+    def test_short_duration_retains(self, stability):
+        assert stability.retention_probability(1.0, 27.0) == pytest.approx(1.0)
+
+    def test_rejects_negative_duration(self, stability):
+        with pytest.raises(DeviceModelError):
+            stability.retention_probability(-1.0)
+
+    def test_nonvolatile_for_a_day_of_standby(self, stability):
+        assert stability.is_nonvolatile_for(24 * 3600.0, temp_c=27.0)
+
+    def test_barrier_energy_positive(self, stability):
+        assert stability.barrier_energy() > 0.0
+
+    def test_seconds_per_year_constant(self):
+        assert SECONDS_PER_YEAR == pytest.approx(365.25 * 24 * 3600)

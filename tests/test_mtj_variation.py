@@ -1,0 +1,99 @@
+"""Tests for repro.mtj.variation (corners, Monte Carlo)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DeviceModelError
+from repro.mtj.parameters import PAPER_TABLE_I
+from repro.mtj.variation import MTJCorner, MTJVariation, sample_parameters
+
+
+class TestMTJVariation:
+    def test_defaults_are_5_percent(self):
+        v = MTJVariation()
+        assert v.sigma_ra == v.sigma_tmr == v.sigma_ic == 0.05
+
+    def test_rejects_sigma_that_allows_nonpositive_3sigma(self):
+        with pytest.raises(DeviceModelError):
+            MTJVariation(sigma_ra=0.34)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(DeviceModelError):
+            MTJVariation(sigma_tmr=-0.01)
+
+
+class TestCorners:
+    def test_typical_is_identity(self):
+        assert MTJCorner.TYPICAL.apply(PAPER_TABLE_I) == PAPER_TABLE_I
+
+    def test_worst_lowers_ra_and_tmr(self):
+        worst = MTJCorner.WORST.apply(PAPER_TABLE_I)
+        assert worst.resistance_p < PAPER_TABLE_I.resistance_p
+        assert worst.tmr_zero_bias < PAPER_TABLE_I.tmr_zero_bias
+
+    def test_worst_raises_critical_current(self):
+        worst = MTJCorner.WORST.apply(PAPER_TABLE_I)
+        assert worst.critical_current > PAPER_TABLE_I.critical_current
+
+    def test_best_is_mirror_of_worst(self):
+        variation = MTJVariation()
+        worst = MTJCorner.WORST.apply(PAPER_TABLE_I, variation)
+        best = MTJCorner.BEST.apply(PAPER_TABLE_I, variation)
+        # 3σ = 15 %: worst at 0.85×, best at 1.15×.
+        assert worst.resistance_p == pytest.approx(0.85 * PAPER_TABLE_I.resistance_p)
+        assert best.resistance_p == pytest.approx(1.15 * PAPER_TABLE_I.resistance_p)
+
+    def test_worst_shrinks_absolute_read_margin(self):
+        worst = MTJCorner.WORST.apply(PAPER_TABLE_I)
+        assert worst.resistance_difference < PAPER_TABLE_I.resistance_difference
+
+
+class TestMonteCarlo:
+    def test_count(self):
+        samples = sample_parameters(PAPER_TABLE_I, count=17,
+                                    rng=np.random.default_rng(3))
+        assert len(samples) == 17
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(DeviceModelError):
+            sample_parameters(PAPER_TABLE_I, count=0)
+
+    def test_rejects_bad_clip(self):
+        with pytest.raises(DeviceModelError):
+            sample_parameters(PAPER_TABLE_I, clip_sigma=0.0)
+
+    def test_reproducible_with_seed(self):
+        a = sample_parameters(PAPER_TABLE_I, count=5, rng=np.random.default_rng(11))
+        b = sample_parameters(PAPER_TABLE_I, count=5, rng=np.random.default_rng(11))
+        assert a == b
+
+    def test_samples_stay_within_3_sigma(self):
+        variation = MTJVariation()
+        samples = sample_parameters(PAPER_TABLE_I, variation, count=500,
+                                    rng=np.random.default_rng(1))
+        lo = PAPER_TABLE_I.resistance_p * (1 - 3 * variation.sigma_ra) * (1 - 1e-9)
+        hi = PAPER_TABLE_I.resistance_p * (1 + 3 * variation.sigma_ra) * (1 + 1e-9)
+        assert all(lo <= s.resistance_p <= hi for s in samples)
+
+    def test_sample_mean_near_nominal(self):
+        samples = sample_parameters(PAPER_TABLE_I, count=4000,
+                                    rng=np.random.default_rng(5))
+        mean_rp = np.mean([s.resistance_p for s in samples])
+        assert mean_rp == pytest.approx(PAPER_TABLE_I.resistance_p, rel=0.01)
+
+    def test_sample_spread_matches_sigma(self):
+        variation = MTJVariation()
+        samples = sample_parameters(PAPER_TABLE_I, variation, count=4000,
+                                    rng=np.random.default_rng(9))
+        std = np.std([s.tmr_zero_bias for s in samples])
+        expected = PAPER_TABLE_I.tmr_zero_bias * variation.sigma_tmr
+        assert std == pytest.approx(expected, rel=0.1)
+
+    def test_parameters_independent(self):
+        samples = sample_parameters(PAPER_TABLE_I, count=4000,
+                                    rng=np.random.default_rng(2))
+        ra = np.array([s.resistance_p for s in samples])
+        ic = np.array([s.critical_current for s in samples])
+        corr = np.corrcoef(ra, ic)[0, 1]
+        assert abs(corr) < 0.06

@@ -1,0 +1,274 @@
+"""Tests for Verilog I/O, the SPICE exporter, the write-error model, the
+detailed-placement refinement, and the CLI."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DeviceModelError, NetlistError, PlacementError
+
+
+# ---------------------------------------------------------------------------
+# Verilog I/O
+# ---------------------------------------------------------------------------
+
+
+class TestVerilogRoundTrip:
+    @pytest.fixture(scope="class")
+    def s344(self):
+        from repro.physd.benchmarks import generate_benchmark
+
+        return generate_benchmark("s344", seed=11)
+
+    def test_roundtrip_preserves_structure(self, s344):
+        from repro.physd.verilog_io import parse_verilog, write_verilog
+
+        text = write_verilog(s344)
+        parsed = parse_verilog(text, s344.library)
+        assert parsed.num_instances == s344.num_instances
+        assert parsed.num_flip_flops == s344.num_flip_flops
+        for name, inst in s344.instances.items():
+            assert parsed.instance(name).cell.name == inst.cell.name
+            assert parsed.instance(name).nets == inst.nets
+
+    def test_roundtrip_preserves_ports(self, s344):
+        from repro.physd.verilog_io import parse_verilog, write_verilog
+
+        parsed = parse_verilog(write_verilog(s344), s344.library)
+        assert {n.name for n in parsed.port_nets()} \
+            == {n.name for n in s344.port_nets()}
+
+    def test_module_header(self, s344):
+        from repro.physd.verilog_io import write_verilog
+
+        text = write_verilog(s344, module_name="top")
+        assert text.splitlines()[1].startswith("module top (")
+        assert text.rstrip().endswith("endmodule")
+
+    def test_parse_rejects_unknown_cell(self):
+        from repro.physd.verilog_io import parse_verilog
+
+        text = ("module t (a);\n  inout a;\n"
+                "  MAGIC_X1 g0 (.A0(a), .Y(a));\nendmodule\n")
+        with pytest.raises(NetlistError):
+            parse_verilog(text)
+
+    def test_parse_rejects_bad_pins(self):
+        from repro.physd.verilog_io import parse_verilog
+
+        text = ("module t (a);\n  inout a;\n"
+                "  INV_X1 g0 (.FOO(a), .Y(a));\nendmodule\n")
+        with pytest.raises(NetlistError):
+            parse_verilog(text)
+
+    def test_parse_requires_module(self):
+        from repro.physd.verilog_io import parse_verilog
+
+        with pytest.raises(NetlistError):
+            parse_verilog("INV_X1 g0 (.A0(a), .Y(b));")
+
+    def test_comments_ignored(self):
+        from repro.physd.verilog_io import parse_verilog
+
+        text = ("// header comment\nmodule t (a);\n  inout a;\n  wire b;\n"
+                "  INV_X1 g0 (.A0(a), .Y(b)); // trailing\nendmodule\n")
+        parsed = parse_verilog(text)
+        assert parsed.num_instances == 1
+
+
+# ---------------------------------------------------------------------------
+# SPICE export
+# ---------------------------------------------------------------------------
+
+
+class TestSpiceExport:
+    def test_exports_latch_deck(self):
+        from repro.cells.nvlatch_2bit import build_proposed_latch
+        from repro.spice.export import export_spice
+
+        latch = build_proposed_latch()
+        deck = export_spice(latch.circuit, title="proposed 2-bit NV latch")
+        assert deck.startswith("* proposed 2-bit NV latch")
+        assert deck.rstrip().endswith(".end")
+        assert ".model" in deck
+        assert "MTJ in state" in deck
+
+    def test_element_counts(self):
+        from repro.cells.nvlatch_1bit import build_standard_latch
+        from repro.spice.devices.mosfet import MOSFET
+        from repro.spice.export import export_spice
+
+        latch = build_standard_latch()
+        deck = export_spice(latch.circuit)
+        mos_cards = [l for l in deck.splitlines() if l.startswith("M")]
+        assert len(mos_cards) == len(latch.circuit.devices_of_type(MOSFET))
+
+    def test_waveform_cards(self):
+        from repro.spice.export import export_spice
+        from repro.spice.netlist import Circuit
+        from repro.spice.waveforms import PWL, Pulse
+
+        c = Circuit("wave")
+        c.add_vsource("vdc", "a", "0", 1.1)
+        c.add_vsource("vp", "b", "0", Pulse(0.0, 1.0, delay=1e-9))
+        c.add_vsource("vw", "c", "0", PWL(points=((0.0, 0.0), (1e-9, 1.0))))
+        deck = export_spice(c)
+        assert "DC 1.1" in deck
+        assert "PULSE(" in deck
+        assert "PWL(" in deck
+
+    def test_ground_is_node_zero(self):
+        from repro.spice.export import export_spice
+        from repro.spice.netlist import Circuit
+
+        c = Circuit()
+        c.add_resistor("r1", "a", "gnd", 1e3)
+        deck = export_spice(c)
+        assert "R1 a 0 1000" in deck
+
+
+# ---------------------------------------------------------------------------
+# Write-error model
+# ---------------------------------------------------------------------------
+
+
+class TestWriteErrorModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        from repro.mtj.write_error import WriteErrorModel
+
+        return WriteErrorModel()
+
+    def test_wer_decreases_with_pulse_width(self, model):
+        wers = [model.write_error_rate(70e-6, t * 1e-9) for t in (1, 2, 5, 10)]
+        assert all(a > b for a, b in zip(wers, wers[1:]))
+
+    def test_wer_decreases_with_current(self, model):
+        assert model.write_error_rate(90e-6, 3e-9) \
+            < model.write_error_rate(50e-6, 3e-9)
+
+    def test_zero_pulse_always_fails(self, model):
+        assert model.write_error_rate(70e-6, 0.0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_long_pulse_reliable(self, model):
+        assert model.write_error_rate(70e-6, 30e-9) < 1e-9
+
+    def test_subcritical_current_rejected(self, model):
+        with pytest.raises(DeviceModelError):
+            model.write_error_rate(30e-6, 5e-9)
+
+    def test_negative_pulse_rejected(self, model):
+        with pytest.raises(DeviceModelError):
+            model.write_error_rate(70e-6, -1e-9)
+
+    @given(st.floats(min_value=1e-4, max_value=0.1))
+    @settings(max_examples=30)
+    def test_inverse_is_consistent(self, target):
+        from repro.mtj.write_error import WriteErrorModel
+
+        model = WriteErrorModel()
+        width = model.pulse_width_for_wer(70e-6, target)
+        assert model.write_error_rate(70e-6, width) == pytest.approx(
+            target, rel=1e-6)
+
+    def test_inverse_rejects_bad_target(self, model):
+        with pytest.raises(DeviceModelError):
+            model.pulse_width_for_wer(70e-6, 0.0)
+
+    def test_mean_consistent_with_dynamics(self, model):
+        from repro.mtj.device import MTJDevice
+        from repro.mtj.dynamics import SwitchingModel
+
+        dynamics = SwitchingModel(device=MTJDevice())
+        assert model.mean_switching_time(70e-6) == pytest.approx(
+            dynamics.mean_switching_time(70e-6))
+
+    def test_margin_report(self, model):
+        text = model.margin_report(70e-6)
+        assert "WER" in text and "ns" in text
+
+
+# ---------------------------------------------------------------------------
+# Detailed-placement refinement
+# ---------------------------------------------------------------------------
+
+
+class TestRefinePlacement:
+    def test_refinement_reduces_hpwl_and_stays_legal(self):
+        import copy
+
+        from repro.physd import generate_benchmark, place_design
+        from repro.physd.placement.refine import refine_placement
+
+        netlist = generate_benchmark("s838", seed=3)
+        placement = place_design(netlist, utilization=0.7, seed=3)
+        before = placement.hpwl()
+        moved = refine_placement(placement, sweeps=2)
+        placement.validate()
+        after = placement.hpwl()
+        assert moved > 0
+        assert after < before
+
+    def test_rejects_zero_sweeps(self, placed_s344):
+        from repro.physd.placement.refine import refine_placement
+
+        with pytest.raises(PlacementError):
+            refine_placement(placed_s344, sweeps=0)
+
+    def test_idempotent_at_convergence(self):
+        from repro.physd import generate_benchmark, place_design
+        from repro.physd.placement.refine import refine_placement
+
+        netlist = generate_benchmark("s344", seed=5)
+        placement = place_design(netlist, utilization=0.7, seed=5)
+        refine_placement(placement, sweeps=8)
+        hpwl_converged = placement.hpwl()
+        refine_placement(placement, sweeps=2)
+        assert placement.hpwl() == pytest.approx(hpwl_converged, rel=0.02)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCLI:
+    def test_table1(self, capsys):
+        from repro.cli import main
+
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "MTJ radius" in out
+
+    def test_layout(self, capsys):
+        from repro.cli import main
+
+        assert main(["layout"]) == 0
+        out = capsys.readouterr().out
+        assert "proposed-2bit-nv" in out
+
+    def test_standby(self, capsys):
+        from repro.cli import main
+
+        assert main(["standby", "--bits", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "nv-shadow" in out
+
+    def test_wer(self, capsys):
+        from repro.cli import main
+
+        assert main(["wer"]) == 0
+        assert "WER" in capsys.readouterr().out
+
+    def test_flow(self, capsys, tmp_path):
+        from repro.cli import main
+
+        def_path = tmp_path / "out.def"
+        assert main(["flow", "s344", "--write-def", str(def_path)]) == 0
+        assert def_path.exists()
+        assert "area improvement" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

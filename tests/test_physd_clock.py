@@ -1,0 +1,95 @@
+"""Tests for the clock-network substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PlacementError
+from repro.physd.clock import (
+    BUFFER_FANOUT,
+    CLOCK_PIN_CAP,
+    ClockNode,
+    clock_tree_for_placement,
+    synthesize_clock_tree,
+)
+
+
+def grid_sinks(n, pitch=2e-6):
+    return {f"ff{i}": ((i % 10) * pitch, (i // 10) * pitch) for i in range(n)}
+
+
+class TestSynthesis:
+    def test_single_sink(self):
+        tree = synthesize_clock_tree({"ff0": (1e-6, 1e-6)})
+        assert tree.num_sinks == 1
+        assert tree.wirelength == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(PlacementError):
+            synthesize_clock_tree({})
+
+    def test_all_sinks_reachable(self):
+        tree = synthesize_clock_tree(grid_sinks(37))
+        assert tree.root.sink_count() == 37
+
+    def test_wirelength_positive(self):
+        tree = synthesize_clock_tree(grid_sinks(16))
+        assert tree.wirelength > 0.0
+
+    def test_buffer_count_scales_with_fanout(self):
+        tree = synthesize_clock_tree(grid_sinks(100))
+        assert tree.num_buffers == -(-100 // BUFFER_FANOUT)
+
+    def test_deterministic(self):
+        a = synthesize_clock_tree(grid_sinks(25))
+        b = synthesize_clock_tree(grid_sinks(25))
+        assert a.wirelength == b.wirelength
+
+    @given(st.integers(min_value=2, max_value=60))
+    @settings(max_examples=15, deadline=None)
+    def test_wirelength_at_least_spanning_lower_bound(self, n):
+        # The pairing tree cannot beat half the sum of nearest-neighbour
+        # distances... use a simpler invariant: wirelength grows with n on
+        # a fixed-pitch grid.
+        small = synthesize_clock_tree(grid_sinks(max(2, n // 2)))
+        large = synthesize_clock_tree(grid_sinks(n + 2))
+        assert large.wirelength >= small.wirelength * 0.5
+
+
+class TestPower:
+    def test_switched_cap_includes_pins(self):
+        tree = synthesize_clock_tree(grid_sinks(10))
+        assert tree.switched_capacitance() > 10 * CLOCK_PIN_CAP
+
+    def test_power_scales_with_frequency(self):
+        tree = synthesize_clock_tree(grid_sinks(10))
+        assert tree.power(1e9) == pytest.approx(2 * tree.power(0.5e9))
+
+    def test_power_rejects_bad_frequency(self):
+        tree = synthesize_clock_tree(grid_sinks(4))
+        with pytest.raises(PlacementError):
+            tree.power(0.0)
+
+
+class TestMergedSinks:
+    def test_merging_reduces_sink_count_and_power(self, placed_s344):
+        from repro.core.merge import find_mergeable_pairs
+
+        merge = find_mergeable_pairs(placed_s344)
+        baseline = clock_tree_for_placement(placed_s344)
+        merged = clock_tree_for_placement(
+            placed_s344, [(p.ff_a, p.ff_b) for p in merge.pairs])
+        assert merged.num_sinks == baseline.num_sinks - len(merge.pairs)
+        # One clock pin per merged pair saved: the CMOS-MBFF benefit the
+        # paper's proposal composes with.
+        assert merged.power(1e9) < baseline.power(1e9)
+
+    def test_unknown_pair_rejected(self, placed_s344):
+        with pytest.raises(PlacementError):
+            clock_tree_for_placement(placed_s344, [("nope", "ff0")])
+
+
+class TestClockNode:
+    def test_subtree_wirelength_manhattan(self):
+        child = ClockNode(x=3e-6, y=4e-6, sink_name="a")
+        root = ClockNode(x=0.0, y=0.0, children=[child])
+        assert root.subtree_wirelength() == pytest.approx(7e-6)

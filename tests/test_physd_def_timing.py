@@ -1,0 +1,131 @@
+"""Tests for DEF I/O and the wire-delay (timing) model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AnalysisError, DefFormatError
+from repro.physd.def_io import DefDesign, parse_def, write_def
+from repro.physd.timing import WireDelayModel
+
+
+class TestDefRoundTrip:
+    def test_roundtrip_preserves_components(self, placed_s344):
+        text = write_def(placed_s344)
+        parsed = parse_def(text)
+        assert parsed.name == placed_s344.netlist.name
+        assert len(parsed.components) == placed_s344.netlist.num_instances
+        for name, (x, y) in placed_s344.positions.items():
+            comp = parsed.component(name)
+            # DBU rounding: 1 nm resolution.
+            assert comp.x == pytest.approx(x, abs=1e-9)
+            assert comp.y == pytest.approx(y, abs=1e-9)
+
+    def test_roundtrip_preserves_die(self, placed_s344):
+        parsed = parse_def(write_def(placed_s344))
+        assert parsed.die.width == pytest.approx(
+            placed_s344.floorplan.die.width, abs=1e-9)
+
+    def test_roundtrip_preserves_cells(self, placed_s344):
+        parsed = parse_def(write_def(placed_s344))
+        for name, inst in placed_s344.netlist.instances.items():
+            assert parsed.component(name).cell == inst.cell.name
+
+    def test_rows_written(self, placed_s344):
+        parsed = parse_def(write_def(placed_s344))
+        assert len(parsed.rows) == len(placed_s344.floorplan.rows)
+
+    def test_custom_design_name(self, placed_s344):
+        parsed = parse_def(write_def(placed_s344, design_name="renamed"))
+        assert parsed.name == "renamed"
+
+
+class TestDefParserErrors:
+    def test_missing_design_statement(self):
+        with pytest.raises(DefFormatError):
+            parse_def("DIEAREA ( 0 0 ) ( 100 100 ) ;\n")
+
+    def test_missing_diearea(self):
+        with pytest.raises(DefFormatError):
+            parse_def("DESIGN x ;\n")
+
+    def test_bad_component_line(self):
+        text = ("DESIGN x ;\nUNITS DISTANCE MICRONS 1000 ;\n"
+                "DIEAREA ( 0 0 ) ( 1000 1000 ) ;\n"
+                "COMPONENTS 1 ;\n- broken line here\nEND COMPONENTS\n"
+                "END DESIGN\n")
+        with pytest.raises(DefFormatError):
+            parse_def(text)
+
+    def test_duplicate_component(self):
+        text = ("DESIGN x ;\nUNITS DISTANCE MICRONS 1000 ;\n"
+                "DIEAREA ( 0 0 ) ( 1000 1000 ) ;\n"
+                "COMPONENTS 2 ;\n"
+                "- a INV_X1 + PLACED ( 0 0 ) N ;\n"
+                "- a INV_X1 + PLACED ( 10 0 ) N ;\n"
+                "END COMPONENTS\nEND DESIGN\n")
+        with pytest.raises(DefFormatError):
+            parse_def(text)
+
+    def test_unknown_statement(self):
+        text = ("DESIGN x ;\nDIEAREA ( 0 0 ) ( 10 10 ) ;\n"
+                "SPECIALNETS 1 ;\n")
+        with pytest.raises(DefFormatError):
+            parse_def(text)
+
+    def test_component_lookup_missing(self):
+        text = ("DESIGN x ;\nUNITS DISTANCE MICRONS 1000 ;\n"
+                "DIEAREA ( 0 0 ) ( 1000 1000 ) ;\nEND DESIGN\n")
+        parsed = parse_def(text)
+        with pytest.raises(DefFormatError):
+            parsed.component("ghost")
+
+    def test_comments_and_blanks_skipped(self):
+        text = ("# a comment\n\nDESIGN x ;\n"
+                "UNITS DISTANCE MICRONS 1000 ;\n"
+                "DIEAREA ( 0 0 ) ( 1000 1000 ) ;\nEND DESIGN\n")
+        assert parse_def(text).name == "x"
+
+    def test_fixed_components_accepted(self):
+        text = ("DESIGN x ;\nUNITS DISTANCE MICRONS 1000 ;\n"
+                "DIEAREA ( 0 0 ) ( 1000 1000 ) ;\n"
+                "COMPONENTS 1 ;\n"
+                "- pad0 PAD + FIXED ( 5 7 ) N ;\n"
+                "END COMPONENTS\nEND DESIGN\n")
+        comp = parse_def(text).component("pad0")
+        assert comp.x == pytest.approx(5e-9)  # 5 DBU at 1000 DBU/µm = 5 nm
+
+
+class TestWireDelayModel:
+    def test_zero_length_is_driver_dominated(self):
+        model = WireDelayModel()
+        assert model.delay(0.0) == pytest.approx(
+            model.driver_resistance * model.receiver_capacitance)
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(AnalysisError):
+            WireDelayModel().delay(-1.0)
+
+    @given(st.floats(min_value=0.0, max_value=1e-3),
+           st.floats(min_value=0.0, max_value=1e-3))
+    @settings(max_examples=30)
+    def test_monotone_in_length(self, l1, l2):
+        lo, hi = sorted((l1, l2))
+        model = WireDelayModel()
+        assert model.delay(hi) >= model.delay(lo)
+
+    def test_merge_threshold_distance_is_timing_safe(self):
+        """The paper's premise: a 3.35 µm separation adds negligible
+        delay against a 1 ns clock."""
+        from repro.core.merge import default_merge_threshold
+
+        model = WireDelayModel()
+        assert model.merge_is_timing_safe(default_merge_threshold(),
+                                          clock_period=1e-9)
+
+    def test_millimetre_wire_is_not_safe(self):
+        model = WireDelayModel()
+        assert not model.merge_is_timing_safe(1e-3, clock_period=1e-9)
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(AnalysisError):
+            WireDelayModel().merge_is_timing_safe(1e-6, clock_period=0.0)

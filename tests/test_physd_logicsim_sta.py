@@ -1,0 +1,292 @@
+"""Tests for the logic simulator, STA, and VCD export."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cells.library import build_default_library
+from repro.errors import AnalysisError, NetlistError
+from repro.physd.benchmarks import CLOCK_NET, generate_benchmark
+from repro.physd.logicsim import CELL_FUNCTIONS, LogicSimulator
+from repro.physd.netlist import GateNetlist
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_default_library()
+
+
+def small_design(library):
+    """inv(a) -> n1; nand(n1, b) -> n2; DFF(n2) -> q; inv(q) -> out."""
+    nl = GateNetlist("small", library)
+    nl.add_net("a", is_port=True)
+    nl.add_net("b", is_port=True)
+    nl.add_net(CLOCK_NET, is_port=True)
+    nl.add_instance("g_inv", "INV_X1", ["a", "n1"])
+    nl.add_instance("g_nand", "NAND2_X1", ["n1", "b", "n2"])
+    nl.add_instance("ff0", "DFF_X1", ["n2", CLOCK_NET, "q"])
+    nl.add_instance("g_out", "INV_X1", ["q", "out"])
+    nl.add_net("out", is_port=True)
+    return nl
+
+
+class TestCellFunctions:
+    def test_inv(self):
+        f = CELL_FUNCTIONS["INV_X1"]
+        assert f([0]) == 1 and f([1]) == 0 and f([None]) is None
+
+    def test_nand_controlled_zero(self):
+        f = CELL_FUNCTIONS["NAND2_X1"]
+        assert f([0, None]) == 1  # controlled value beats X
+
+    def test_nor_controlled_one(self):
+        f = CELL_FUNCTIONS["NOR2_X1"]
+        assert f([1, None]) == 0
+
+    def test_xor_propagates_x(self):
+        f = CELL_FUNCTIONS["XOR2_X1"]
+        assert f([1, None]) is None
+        assert f([1, 0]) == 1 and f([1, 1]) == 0
+
+    def test_aoi21(self):
+        f = CELL_FUNCTIONS["AOI21_X1"]
+        assert f([1, 1, 0]) == 0
+        assert f([0, 1, 0]) == 1
+        assert f([0, 0, 1]) == 0
+
+    @given(st.lists(st.sampled_from([0, 1]), min_size=2, max_size=2))
+    def test_nand_truth_table(self, ins):
+        f = CELL_FUNCTIONS["NAND2_X1"]
+        assert f(ins) == (0 if ins == [1, 1] else 1)
+
+
+class TestLogicSimulator:
+    def test_combinational_evaluation(self, library):
+        sim = LogicSimulator(small_design(library))
+        sim.set_inputs({"a": 0, "b": 1})
+        sim.propagate()
+        assert sim.values["n1"] == 1
+        assert sim.values["n2"] == 0  # nand(1, 1)
+
+    def test_clock_captures_d(self, library):
+        sim = LogicSimulator(small_design(library))
+        sim.clock_cycle({"a": 0, "b": 1})
+        assert sim.values["q"] == 0
+        assert sim.values["out"] == 1
+
+    def test_master_slave_semantics(self, library):
+        """The D value sampled is the pre-edge value even when Q feeds
+        logic that feeds D (no shoot-through)."""
+        nl = GateNetlist("toggle", library)
+        nl.add_net(CLOCK_NET, is_port=True)
+        nl.add_instance("g_inv", "INV_X1", ["q", "nq"])
+        nl.add_instance("ff0", "DFF_X1", ["nq", CLOCK_NET, "q"])
+        sim = LogicSimulator(nl)
+        sim.load_flip_flop_state({"ff0": 0})
+        values = []
+        for _ in range(4):
+            sim.clock_cycle()
+            values.append(sim.values["q"])
+        assert values == [1, 0, 1, 0]  # a clean toggle flop
+
+    def test_power_down_sets_x(self, library):
+        sim = LogicSimulator(small_design(library))
+        sim.clock_cycle({"a": 0, "b": 1})
+        sim.power_down()
+        assert sim.any_unknown_flip_flop()
+
+    def test_snapshot_restore_roundtrip(self, library):
+        sim = LogicSimulator(small_design(library))
+        sim.clock_cycle({"a": 0, "b": 1})
+        snapshot = sim.flip_flop_state()
+        sim.power_down()
+        sim.load_flip_flop_state(snapshot)
+        assert sim.flip_flop_state() == snapshot
+        assert sim.values["out"] == 1
+
+    def test_unknown_input_rejected(self, library):
+        sim = LogicSimulator(small_design(library))
+        with pytest.raises(NetlistError):
+            sim.set_inputs({"ghost": 1})
+        with pytest.raises(NetlistError):
+            sim.set_inputs({"a": 7})
+
+    def test_combinational_cycle_detected(self, library):
+        nl = GateNetlist("loop", library)
+        nl.add_instance("g1", "INV_X1", ["x", "y"])
+        nl.add_instance("g2", "INV_X1", ["y", "x"])
+        with pytest.raises(NetlistError):
+            LogicSimulator(nl)
+
+    def test_benchmark_simulates(self):
+        """The generated s344 runs functionally: after enough cycles with
+        fixed inputs, flip-flops hold defined values."""
+        import numpy as np
+
+        nl = generate_benchmark("s344", seed=1)
+        sim = LogicSimulator(nl)
+        rng = np.random.default_rng(0)
+        pis = [n.name for n in nl.port_nets() if n.name.startswith("pi")]
+        sim.load_flip_flop_state(
+            {ff.name: 0 for ff in nl.sequential_instances()})
+        for _ in range(8):
+            sim.clock_cycle({p: int(rng.integers(0, 2)) for p in pis})
+        assert not sim.any_unknown_flip_flop()
+
+    def test_benchmark_power_cycle_equivalence(self):
+        """The NV-protocol guarantee at machine level: snapshot, lose all
+        state, restore, and the continued run matches an ungated twin."""
+        import numpy as np
+
+        nl = generate_benchmark("s344", seed=1)
+        gated = LogicSimulator(nl)
+        reference = LogicSimulator(generate_benchmark("s344", seed=1))
+        pis = [n.name for n in nl.port_nets() if n.name.startswith("pi")]
+        init = {ff.name: 0 for ff in nl.sequential_instances()}
+        gated.load_flip_flop_state(init)
+        reference.load_flip_flop_state(init)
+
+        rng = np.random.default_rng(3)
+        stimulus = [{p: int(rng.integers(0, 2)) for p in pis}
+                    for _ in range(12)]
+        for vector in stimulus[:6]:
+            gated.clock_cycle(vector)
+            reference.clock_cycle(vector)
+
+        snapshot = gated.flip_flop_state()  # NV store
+        gated.power_down()
+        assert gated.any_unknown_flip_flop()
+        gated.load_flip_flop_state(snapshot)  # NV restore
+
+        for vector in stimulus[6:]:
+            gated.clock_cycle(vector)
+            reference.clock_cycle(vector)
+        assert gated.flip_flop_state() == reference.flip_flop_state()
+
+
+class TestSTA:
+    @pytest.fixture(scope="class")
+    def placed(self):
+        from repro.physd import generate_benchmark, place_design
+
+        nl = generate_benchmark("s838", seed=2)
+        return place_design(nl, utilization=0.7, seed=2)
+
+    def test_timing_closes_at_1ns(self, placed):
+        from repro.physd.sta import analyze_timing
+
+        report = analyze_timing(placed.netlist, placed, clock_period=1e-9)
+        assert report.worst_slack > 0
+
+    def test_critical_path_is_connected(self, placed):
+        from repro.physd.sta import analyze_timing
+
+        report = analyze_timing(placed.netlist, placed)
+        assert len(report.critical_path) >= 1
+        # Arrivals increase along the path.
+        arrivals = [report.arrivals[n] for n in report.critical_path]
+        assert all(a <= b for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_tighter_clock_reduces_slack(self, placed):
+        from repro.physd.sta import analyze_timing
+
+        loose = analyze_timing(placed.netlist, placed, clock_period=2e-9)
+        tight = analyze_timing(placed.netlist, placed, clock_period=0.5e-9)
+        assert loose.worst_slack > tight.worst_slack
+        assert loose.max_frequency == pytest.approx(tight.max_frequency,
+                                                    rel=1e-9)
+
+    def test_extra_load_slows(self, placed):
+        from repro.physd.sta import analyze_timing
+
+        base = analyze_timing(placed.netlist, placed)
+        heavy = analyze_timing(placed.netlist, placed,
+                               extra_net_load={n: 5e-15
+                                               for n in placed.netlist.nets
+                                               if n != CLOCK_NET})
+        assert heavy.worst_slack < base.worst_slack
+
+    def test_merge_impact_is_negligible(self, placed):
+        """The paper's claim quantified by STA: attaching the (merged) NV
+        components costs a tiny fraction of the clock period."""
+        from repro.core.merge import find_mergeable_pairs
+        from repro.physd.sta import merge_timing_impact
+
+        merge = find_mergeable_pairs(placed)
+        baseline, with_nv = merge_timing_impact(placed, merge,
+                                                clock_period=1e-9)
+        penalty = baseline.worst_slack - with_nv.worst_slack
+        assert penalty >= 0
+        assert penalty < 0.02 * 1e-9  # under 2 % of the clock period
+
+    def test_rejects_bad_period(self, placed):
+        from repro.physd.sta import analyze_timing
+
+        with pytest.raises(AnalysisError):
+            analyze_timing(placed.netlist, placed, clock_period=0.0)
+
+
+class TestVCD:
+    def test_export_latch_waveforms(self):
+        from repro.spice import Circuit, Pulse, run_transient
+        from repro.spice.vcd import export_vcd
+
+        c = Circuit("rc")
+        c.add_vsource("vin", "a", "0", Pulse(0.0, 1.0, delay=0.1e-9,
+                                             rise=10e-12, width=5e-9))
+        c.add_resistor("r", "a", "b", 1e3)
+        c.add_capacitor("cl", "b", "0", 0.2e-12)
+        result = run_transient(c, 1e-9, 5e-12)
+        vcd = export_vcd(result, signals=["a", "b"])
+        assert "$timescale 1 fs $end" in vcd
+        assert vcd.count("$var real") == 2
+        assert "#0" in vcd
+        # Change-only encoding: far fewer emissions than steps x signals.
+        assert vcd.count("\nr") < 2 * len(result.times)
+
+    def test_unknown_signal_rejected(self):
+        from repro.spice import Circuit, run_transient
+        from repro.spice.vcd import export_vcd
+
+        c = Circuit()
+        c.add_vsource("v", "a", "0", 1.0)
+        c.add_resistor("r", "a", "0", 1e3)
+        result = run_transient(c, 0.1e-9, 1e-12)
+        with pytest.raises(AnalysisError):
+            export_vcd(result, signals=["zz"])
+
+    def test_identifier_uniqueness(self):
+        from repro.spice.vcd import _identifier
+
+        ids = {_identifier(i) for i in range(500)}
+        assert len(ids) == 500
+
+
+class TestHoldAnalysis:
+    @pytest.fixture(scope="class")
+    def placed(self):
+        from repro.physd import generate_benchmark, place_design
+
+        nl = generate_benchmark("s344", seed=6)
+        return place_design(nl, utilization=0.7, seed=6)
+
+    def test_scan_hops_dominate_hold(self, placed):
+        from repro.physd.sta import analyze_hold
+
+        slack, endpoint = analyze_hold(placed.netlist, placed)
+        # The shortest paths are direct Q->SI scan hops.
+        assert ":" in endpoint
+        assert slack > -100e-12  # same order as one flop delay
+
+    def test_more_skew_hurts_hold(self, placed):
+        from repro.physd.sta import analyze_hold
+
+        tight, _ = analyze_hold(placed.netlist, placed, clock_skew=5e-12)
+        loose, _ = analyze_hold(placed.netlist, placed, clock_skew=60e-12)
+        assert loose < tight
+
+    def test_flop_clk_to_q_protects_hold(self, placed):
+        from repro.physd.sta import GATE_TIMING, HOLD_TIME, analyze_hold
+
+        slack, _ = analyze_hold(placed.netlist, placed, clock_skew=0.0)
+        # With zero skew, the 90 ps clk->Q alone clears the 15 ps hold.
+        assert slack > 0

@@ -1,0 +1,78 @@
+"""Tests for the power-grid IR-drop analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.merge import find_mergeable_pairs
+from repro.errors import PlacementError
+from repro.physd.powergrid import (
+    IRDropResult,
+    restore_rush_currents,
+    solve_ir_drop,
+)
+
+
+class TestSolveIRDrop:
+    def test_no_load_no_drop(self, placed_s344):
+        currents = np.zeros((4, 4))
+        result = solve_ir_drop(placed_s344, currents)
+        assert result.worst_drop == pytest.approx(0.0, abs=1e-9)
+
+    def test_center_load_droops_most_at_center(self, placed_s344):
+        currents = np.zeros((5, 5))
+        currents[2, 2] = 5e-3
+        result = solve_ir_drop(placed_s344, currents)
+        assert result.worst_drop > 1e-3
+        worst = np.unravel_index(result.grid_voltages.argmin(),
+                                 result.grid_voltages.shape)
+        assert worst == (2, 2)
+
+    def test_drop_scales_linearly_with_current(self, placed_s344):
+        base = np.zeros((4, 4))
+        base[1, 1] = 1e-3
+        one = solve_ir_drop(placed_s344, base)
+        two = solve_ir_drop(placed_s344, 2 * base)
+        assert two.worst_drop == pytest.approx(2 * one.worst_drop, rel=1e-6)
+
+    def test_rejects_negative_currents(self, placed_s344):
+        currents = np.zeros((4, 4))
+        currents[0, 0] = -1e-3
+        with pytest.raises(PlacementError):
+            solve_ir_drop(placed_s344, currents)
+
+    def test_rejects_tiny_grid(self, placed_s344):
+        with pytest.raises(PlacementError):
+            solve_ir_drop(placed_s344, np.zeros((1, 3)))
+
+    def test_report_string(self, placed_s344):
+        currents = np.zeros((4, 4))
+        currents[1, 2] = 1e-3
+        assert "IR drop" in solve_ir_drop(placed_s344, currents).report()
+
+
+class TestRestoreRush:
+    def test_maps_cover_all_flops(self, placed_s344):
+        maps = restore_rush_currents(placed_s344, nx=6, ny=6)
+        n_ff = placed_s344.netlist.num_flip_flops
+        assert maps["simultaneous"].sum() == pytest.approx(n_ff * 20e-6)
+
+    def test_staggering_halves_merged_flop_current(self, placed_s344):
+        merge = find_mergeable_pairs(placed_s344)
+        pairs = [pair.members() for pair in merge.pairs]
+        maps = restore_rush_currents(placed_s344, merged_pairs=pairs,
+                                     nx=6, ny=6)
+        n_ff = placed_s344.netlist.num_flip_flops
+        n_merged = 2 * len(merge.pairs)
+        expected = (n_ff - n_merged) * 20e-6 + n_merged * 10e-6
+        assert maps["staggered"].sum() == pytest.approx(expected)
+
+    def test_sequential_restore_reduces_ir_drop(self, placed_s344):
+        """The system-level bonus of the shared 2-bit cells: staggered
+        sensing draws less peak current, so the wake-up rail droops less."""
+        merge = find_mergeable_pairs(placed_s344)
+        pairs = [pair.members() for pair in merge.pairs]
+        maps = restore_rush_currents(placed_s344, merged_pairs=pairs,
+                                     nx=6, ny=6)
+        drop_simultaneous = solve_ir_drop(placed_s344, maps["simultaneous"])
+        drop_staggered = solve_ir_drop(placed_s344, maps["staggered"])
+        assert drop_staggered.worst_drop < drop_simultaneous.worst_drop

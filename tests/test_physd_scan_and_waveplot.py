@@ -1,0 +1,100 @@
+"""Tests for scan-chain reordering and the analog waveform renderer."""
+
+import numpy as np
+import pytest
+
+from repro.core.merge import find_mergeable_pairs
+from repro.errors import AnalysisError, PlacementError
+from repro.physd.scan import current_scan_order, reorder_scan_chain
+
+
+class TestScanReorder:
+    def test_reordering_shrinks_wirelength(self, placed_s344):
+        baseline = current_scan_order(placed_s344)
+        stitched = reorder_scan_chain(placed_s344)
+        assert len(stitched) == len(baseline) == 15
+        assert stitched.wirelength < baseline.wirelength
+
+    def test_order_is_a_permutation(self, placed_s344):
+        stitched = reorder_scan_chain(placed_s344)
+        expected = {i.name for i in placed_s344.netlist.sequential_instances()}
+        assert set(stitched.order) == expected
+        assert len(stitched.order) == len(expected)
+
+    def test_keep_adjacent_pairs_are_consecutive(self, placed_s344):
+        merge = find_mergeable_pairs(placed_s344)
+        pairs = [(p.ff_a, p.ff_b) for p in merge.pairs]
+        stitched = reorder_scan_chain(placed_s344, keep_adjacent=pairs)
+        index = {name: k for k, name in enumerate(stitched.order)}
+        for a, b in pairs:
+            assert abs(index[a] - index[b]) == 1
+
+    def test_keep_adjacent_costs_little(self, placed_s344):
+        """Constraining merged pairs to be scan-adjacent should cost only
+        a small wirelength premium (they are physically adjacent)."""
+        merge = find_mergeable_pairs(placed_s344)
+        pairs = [(p.ff_a, p.ff_b) for p in merge.pairs]
+        free = reorder_scan_chain(placed_s344)
+        constrained = reorder_scan_chain(placed_s344, keep_adjacent=pairs)
+        assert constrained.wirelength < 1.5 * free.wirelength
+
+    def test_unknown_pair_rejected(self, placed_s344):
+        with pytest.raises(PlacementError):
+            reorder_scan_chain(placed_s344, keep_adjacent=[("nope", "ff0")])
+
+    def test_duplicate_pair_member_rejected(self, placed_s344):
+        with pytest.raises(PlacementError):
+            reorder_scan_chain(placed_s344,
+                               keep_adjacent=[("ff0", "ff1"), ("ff1", "ff2")])
+
+    def test_larger_design(self):
+        from repro.physd import generate_benchmark, place_design
+
+        placement = place_design(generate_benchmark("s1423", seed=2),
+                                 utilization=0.7, seed=2)
+        baseline = current_scan_order(placement)
+        stitched = reorder_scan_chain(placement)
+        # Placement-aware stitching typically halves scan wiring or better.
+        assert stitched.wirelength < 0.7 * baseline.wirelength
+
+
+class TestTransientWaveformPlot:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.spice import Circuit, Pulse, run_transient
+
+        c = Circuit()
+        c.add_vsource("vin", "a", "0", Pulse(0.0, 1.1, delay=0.2e-9,
+                                             rise=50e-12, width=5e-9))
+        c.add_resistor("r", "a", "b", 1e3)
+        c.add_capacitor("cl", "b", "0", 0.2e-12)
+        return run_transient(c, 1e-9, 2e-12)
+
+    def test_renders_strips_per_signal(self, result):
+        from repro.analysis.figures import render_transient_ascii
+
+        text = render_transient_ascii(result, ["a", "b"], height=6)
+        assert text.count("|") >= 2 * 6 * 2  # two bordered strips
+        assert "a" in text and "b" in text
+        assert "*" in text
+
+    def test_low_then_high_shape(self, result):
+        from repro.analysis.figures import render_transient_ascii
+
+        text = render_transient_ascii(result, ["a"], height=5, width=60)
+        strip = [line for line in text.splitlines() if "|" in line]
+        top, bottom = strip[0], strip[-1]
+        # Signal starts low (stars on the bottom row first) and ends high.
+        assert bottom.index("*") < top.index("*")
+
+    def test_rejects_empty_window(self, result):
+        from repro.analysis.figures import render_transient_ascii
+
+        with pytest.raises(AnalysisError):
+            render_transient_ascii(result, ["a"], t0=1.0, t1=0.5)
+
+    def test_rejects_tiny_plot(self, result):
+        from repro.analysis.figures import render_transient_ascii
+
+        with pytest.raises(AnalysisError):
+            render_transient_ascii(result, ["a"], width=5)

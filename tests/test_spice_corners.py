@@ -1,0 +1,78 @@
+"""Tests for simulation corners."""
+
+import pytest
+
+from repro.mtj.parameters import PAPER_TABLE_I
+from repro.spice.corners import (
+    CORNER_ORDER,
+    CORNERS,
+    CMOSCorner,
+    MOBILITY_3SIGMA,
+    TABLE_COLUMNS,
+    VTH_SIGMA,
+)
+from repro.spice.devices.mosfet import NMOS_40LP, PMOS_40LP
+
+
+class TestCornerSet:
+    def test_three_corners_defined(self):
+        assert set(CORNERS) == {"fast", "typical", "slow"}
+        assert CORNER_ORDER == ("fast", "typical", "slow")
+        assert TABLE_COLUMNS == ("worst", "typical", "best")
+
+    def test_typical_is_nominal(self):
+        corner = CORNERS["typical"]
+        assert corner.nmos_model() == NMOS_40LP
+        assert corner.pmos_model() == PMOS_40LP
+        assert corner.mtj_params(PAPER_TABLE_I) == PAPER_TABLE_I
+
+    def test_fast_corner_lowers_vth(self):
+        fast = CORNERS["fast"]
+        assert fast.nmos_model().vth0 == pytest.approx(
+            NMOS_40LP.vth0 - 3 * VTH_SIGMA)
+        assert fast.pmos_model().vth0 == pytest.approx(
+            PMOS_40LP.vth0 - 3 * VTH_SIGMA)
+
+    def test_fast_corner_boosts_mobility(self):
+        fast = CORNERS["fast"]
+        assert fast.nmos_model().kp == pytest.approx(
+            NMOS_40LP.kp * (1 + MOBILITY_3SIGMA))
+
+    def test_slow_corner_mirrors_fast(self):
+        slow = CORNERS["slow"]
+        assert slow.nmos_model().vth0 == pytest.approx(
+            NMOS_40LP.vth0 + 3 * VTH_SIGMA)
+        assert slow.nmos_model().kp == pytest.approx(
+            NMOS_40LP.kp * (1 - MOBILITY_3SIGMA))
+
+    def test_fast_corner_shrinks_mtj_margin(self):
+        fast_params = CORNERS["fast"].mtj_params(PAPER_TABLE_I)
+        assert fast_params.resistance_difference < PAPER_TABLE_I.resistance_difference
+
+    def test_slow_corner_grows_mtj_resistance(self):
+        slow_params = CORNERS["slow"].mtj_params(PAPER_TABLE_I)
+        assert slow_params.resistance_p > PAPER_TABLE_I.resistance_p
+
+
+class TestLeakageOrdering:
+    def test_off_current_ordering_across_corners(self):
+        """The leakage spread the corner set is calibrated for: the fast
+        corner must leak several times more than typical, typical several
+        times more than slow (paper ratios ≈ 3.2x / 3.7x)."""
+        from repro.spice.devices.mosfet import MOSFET
+
+        leaks = {}
+        for name in CORNER_ORDER:
+            model = CORNERS[name].nmos_model()
+            fet = MOSFET(model=model, width=300e-9, length=40e-9)
+            leaks[name], _ = fet.evaluate(1.1, 0.0, 0.0, 0.0)
+        assert leaks["fast"] > 2.0 * leaks["typical"]
+        assert leaks["typical"] > 2.0 * leaks["slow"]
+        assert leaks["fast"] / leaks["typical"] == pytest.approx(3.6, rel=0.35)
+
+
+class TestCMOSCorner:
+    def test_custom_corner(self):
+        corner = CMOSCorner("test", vth_shift=0.01, mobility_scale=1.05)
+        assert corner.nmos().vth0 == pytest.approx(NMOS_40LP.vth0 + 0.01)
+        assert corner.pmos().kp == pytest.approx(PMOS_40LP.kp * 1.05)

@@ -1,0 +1,175 @@
+"""Tests for passive devices, sources, the MNA stamper, and the MTJ
+circuit element."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetlistError
+from repro.mtj.device import MTJState
+from repro.spice import Circuit, DC, Pulse, solve_dc, run_transient
+from repro.spice.analysis.mna import MNAStamper
+from repro.spice.devices.base import EvalContext
+from repro.spice.devices.passive import Capacitor, Resistor
+
+
+class TestMNAStamper:
+    def test_conductance_stamp_pattern(self):
+        s = MNAStamper(2, 0)
+        s.add_conductance(0, 1, 0.5)
+        assert s.matrix[0, 0] == 0.5
+        assert s.matrix[1, 1] == 0.5
+        assert s.matrix[0, 1] == -0.5
+        assert s.matrix[1, 0] == -0.5
+
+    def test_ground_stamps_dropped(self):
+        s = MNAStamper(1, 0)
+        s.add_conductance(0, -1, 2.0)
+        assert s.matrix[0, 0] == 2.0
+
+    def test_current_into_ground_ignored(self):
+        s = MNAStamper(1, 0)
+        s.add_current(-1, 1.0)
+        assert np.all(s.rhs == 0.0)
+
+    def test_voltage_source_constraint(self):
+        s = MNAStamper(1, 1)
+        s.add_voltage_source(0, 0, -1, 1.5)
+        x = s.solve()
+        assert x[0] == pytest.approx(1.5)
+
+    def test_gmin_adds_to_diagonal_only(self):
+        s = MNAStamper(2, 1)
+        s.apply_gmin(1e-9)
+        assert s.matrix[0, 0] == 1e-9
+        assert s.matrix[1, 1] == 1e-9
+        assert s.matrix[2, 2] == 0.0  # branch rows untouched
+
+    def test_transconductance_stamp(self):
+        s = MNAStamper(3, 0)
+        s.add_transconductance(0, 1, 2, -1, 1e-3)
+        assert s.matrix[0, 2] == 1e-3
+        assert s.matrix[1, 2] == -1e-3
+
+    @given(st.floats(min_value=1e-6, max_value=1.0),
+           st.floats(min_value=1e-6, max_value=1.0))
+    @settings(max_examples=25)
+    def test_solution_satisfies_kcl(self, g1, g2):
+        # One node with two conductances to ground and 1 A injected.
+        s = MNAStamper(1, 0)
+        s.add_conductance(0, -1, g1)
+        s.add_conductance(0, -1, g2)
+        s.add_current(0, 1.0)
+        v = s.solve()[0]
+        assert v * (g1 + g2) == pytest.approx(1.0, rel=1e-9)
+
+
+class TestPassiveValidation:
+    def test_resistor_rejects_nonpositive(self):
+        with pytest.raises(NetlistError):
+            Resistor(positive=0, negative=1, resistance=0.0)
+
+    def test_capacitor_rejects_nonpositive(self):
+        with pytest.raises(NetlistError):
+            Capacitor(positive=0, negative=1, capacitance=-1e-15)
+
+    def test_capacitor_open_at_dc(self):
+        c = Circuit()
+        c.add_vsource("v", "a", "0", 1.0)
+        c.add_resistor("r", "a", "b", 1e3)
+        c.add_capacitor("c", "b", "0", 1e-12)
+        result = solve_dc(c)
+        assert result.voltage("b") == pytest.approx(1.0, rel=1e-3)
+
+    def test_capacitor_reset_state(self):
+        cap = Capacitor(positive=0, negative=-1, capacitance=1e-15)
+        cap._prev_current = 1e-3
+        cap.reset_state()
+        assert cap._prev_current == 0.0
+
+
+class TestSources:
+    def test_time_varying_vsource_tracks_waveform(self):
+        c = Circuit()
+        c.add_vsource("v", "a", "0", Pulse(0.0, 1.0, delay=0.5e-9, rise=1e-12,
+                                           width=10e-9))
+        c.add_resistor("r", "a", "0", 1e3)
+        result = run_transient(c, 1e-9, 1e-12)
+        assert result.sample("a", 0.2e-9) == pytest.approx(0.0, abs=1e-9)
+        assert result.sample("a", 0.9e-9) == pytest.approx(1.0, rel=1e-6)
+
+    def test_isource_polarity(self):
+        # Positive current pushes current into the positive node.
+        c = Circuit()
+        c.add_isource("i", "a", "0", 1e-3)
+        c.add_resistor("r", "a", "0", 1e3)
+        assert solve_dc(c).voltage("a") == pytest.approx(1.0, rel=1e-4)
+
+
+class TestMTJElement:
+    def _divider(self, top_state, bottom_state):
+        c = Circuit()
+        c.add_vsource("v", "top", "0", 1.0)
+        top = c.add_mtj("m1", "top", "mid", state=top_state, dynamic=False)
+        bottom = c.add_mtj("m2", "mid", "0", state=bottom_state, dynamic=False)
+        return c, top, bottom
+
+    def test_equal_states_divide_evenly(self):
+        c, _, _ = self._divider(MTJState.PARALLEL, MTJState.PARALLEL)
+        assert solve_dc(c).voltage("mid") == pytest.approx(0.5, abs=1e-3)
+
+    def test_opposite_states_bias_the_midpoint(self):
+        c, _, _ = self._divider(MTJState.ANTIPARALLEL, MTJState.PARALLEL)
+        assert solve_dc(c).voltage("mid") < 0.4
+
+    def test_current_through_element(self):
+        c, top, _ = self._divider(MTJState.PARALLEL, MTJState.PARALLEL)
+        result = solve_dc(c)
+        ctx = EvalContext(voltages=result.voltages, prev_voltages=None,
+                          time=0.0, dt=None)
+        expected = 1.0 / (2 * 5e3)
+        assert top.current(ctx) == pytest.approx(expected, rel=1e-3)
+
+    def test_write_current_flips_state_in_transient(self):
+        # Series P/AP pair driven hard: both junctions must flip within
+        # the pulse (this is the electrical store operation).
+        c = Circuit()
+        c.add_vsource("v", "a", "0",
+                      Pulse(0.0, 1.35, delay=0.1e-9, rise=20e-12, width=8e-9))
+        m1 = c.add_mtj("m1", "a", "mid", state=MTJState.PARALLEL)
+        m2 = c.add_mtj("m2", "b", "mid", state=MTJState.ANTIPARALLEL)
+        c.add_vsource("vb", "b", "0", DC(0.0))
+        run_transient(c, 6e-9, 5e-12)
+        # Current a→mid: m1 free terminal is 'a': toward AP.
+        assert m1.device.state is MTJState.ANTIPARALLEL
+        # Current mid→b exits m2 at its free terminal: toward P.
+        assert m2.device.state is MTJState.PARALLEL
+
+    def test_read_level_current_does_not_flip(self):
+        c = Circuit()
+        c.add_vsource("v", "a", "0",
+                      Pulse(0.0, 0.1, delay=0.1e-9, rise=20e-12, width=8e-9))
+        m1 = c.add_mtj("m1", "a", "mid", state=MTJState.PARALLEL)
+        c.add_resistor("r", "mid", "0", 5e3)
+        run_transient(c, 4e-9, 5e-12)
+        assert m1.device.state is MTJState.PARALLEL
+
+    def test_reset_state_restores_initial(self):
+        from repro.mtj.device import MTJDevice
+        from repro.spice.devices.mtj_element import MTJElement
+
+        element = MTJElement(free=0, ref=1,
+                             device=MTJDevice(state=MTJState.PARALLEL))
+        element.device.state = MTJState.ANTIPARALLEL
+        element.reset_state()
+        assert element.device.state is MTJState.PARALLEL
+
+    def test_set_initial_state_pins_reset_point(self):
+        from repro.mtj.device import MTJDevice
+        from repro.spice.devices.mtj_element import MTJElement
+
+        element = MTJElement(free=0, ref=1, device=MTJDevice())
+        element.set_initial_state(MTJState.ANTIPARALLEL)
+        element.device.state = MTJState.PARALLEL
+        element.reset_state()
+        assert element.device.state is MTJState.ANTIPARALLEL

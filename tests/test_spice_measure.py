@@ -1,0 +1,92 @@
+"""Tests for measurement utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.spice import Circuit, Pulse, run_transient
+from repro.spice.analysis.measure import (
+    average_power,
+    crossing_time,
+    delay_between,
+    integrate_supply_energy,
+    settle_value,
+)
+
+
+class TestCrossingTime:
+    def setup_method(self):
+        self.times = np.linspace(0.0, 10.0, 11)
+        self.ramp = np.linspace(0.0, 1.0, 11)
+
+    def test_rising_crossing_interpolated(self):
+        assert crossing_time(self.times, self.ramp, 0.55) == pytest.approx(5.5)
+
+    def test_no_crossing_returns_none(self):
+        assert crossing_time(self.times, self.ramp, 2.0) is None
+
+    def test_direction_filter_fall(self):
+        assert crossing_time(self.times, self.ramp, 0.5, direction="fall") is None
+
+    def test_fall_detected_on_descending_signal(self):
+        falling = self.ramp[::-1]
+        t = crossing_time(self.times, falling, 0.5, direction="fall")
+        assert t == pytest.approx(5.0)
+
+    def test_start_skips_earlier_crossings(self):
+        wave = np.array([0.0, 1.0, 0.0, 1.0, 0.0])
+        times = np.arange(5.0)
+        t = crossing_time(times, wave, 0.5, direction="rise", start=1.5)
+        assert t == pytest.approx(2.5)
+
+    def test_rejects_unknown_direction(self):
+        with pytest.raises(AnalysisError):
+            crossing_time(self.times, self.ramp, 0.5, direction="sideways")
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(AnalysisError):
+            crossing_time(self.times, self.ramp[:-1], 0.5)
+
+
+class TestCircuitMeasurements:
+    @pytest.fixture(scope="class")
+    def result(self):
+        c = Circuit()
+        c.add_vsource("vin", "a", "0",
+                      Pulse(0.0, 1.0, delay=0.1e-9, rise=10e-12, width=50e-9))
+        c.add_resistor("r", "a", "b", 1e3)
+        c.add_capacitor("cl", "b", "0", 0.2e-12)
+        return run_transient(c, 2e-9, 1e-12)
+
+    def test_delay_between_edges(self, result):
+        delay = delay_between(result, "a", "b", 0.5, 0.5,
+                              from_direction="rise", to_direction="rise")
+        # RC delay to 50 %: tau·ln 2 = 0.2 ns · 0.693 ≈ 0.139 ns.
+        assert delay == pytest.approx(0.2e-9 * np.log(2), rel=0.05)
+
+    def test_delay_missing_from_edge_raises(self, result):
+        with pytest.raises(AnalysisError):
+            delay_between(result, "a", "b", 2.0, 0.5)
+
+    def test_delay_missing_to_edge_raises(self, result):
+        with pytest.raises(AnalysisError):
+            delay_between(result, "a", "b", 0.5, 2.0)
+
+    def test_integrate_energy_full_charge(self, result):
+        energy = integrate_supply_energy(result, "vin", 0.0, 2e-9)
+        assert energy == pytest.approx(0.2e-12, rel=0.05)  # C·V²
+
+    def test_energy_window_validation(self, result):
+        with pytest.raises(AnalysisError):
+            integrate_supply_energy(result, "vin", 1.0, 1.0 + 1e-15)
+
+    def test_average_power(self, result):
+        power = average_power(result, "vin", 0.0, 2e-9)
+        assert power == pytest.approx(0.2e-12 / 2e-9, rel=0.05)
+
+    def test_average_power_rejects_empty_window(self, result):
+        with pytest.raises(AnalysisError):
+            average_power(result, "vin", 1e-9, 1e-9)
+
+    def test_settle_value_reads_tail(self, result):
+        assert settle_value(result, "b", window=0.2e-9) == pytest.approx(1.0, abs=0.01)

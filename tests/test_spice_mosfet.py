@@ -1,0 +1,192 @@
+"""Tests for the EKV MOSFET model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DeviceModelError
+from repro.spice.devices.mosfet import (
+    MOSFET,
+    MOSFETModel,
+    NMOS_40LP,
+    PMOS_40LP,
+    _interp,
+)
+
+volt = st.floats(min_value=-1.2, max_value=1.2)
+
+
+def nmos(width=1e-6):
+    return MOSFET(model=NMOS_40LP, width=width, length=40e-9)
+
+
+def pmos(width=1e-6):
+    return MOSFET(model=PMOS_40LP, width=width, length=40e-9)
+
+
+class TestInterpolationFunction:
+    def test_strong_inversion_limit(self):
+        # F(u) → (u/2Vt)² for large u (x = u/2Vt here).
+        f, _ = _interp(20.0)
+        assert f == pytest.approx(400.0, rel=1e-6)
+
+    def test_weak_inversion_limit(self):
+        # F → exp(2x) for very negative x (= exp(u/Vt)).
+        f, _ = _interp(-20.0)
+        assert f == pytest.approx(math.exp(-40.0), rel=1e-6)
+
+    @given(st.floats(min_value=-50, max_value=50))
+    def test_positive_and_increasing(self, x):
+        f, df = _interp(x)
+        assert f > 0.0
+        assert df >= 0.0
+
+    @given(st.floats(min_value=-40, max_value=40))
+    def test_derivative_matches_finite_difference(self, x):
+        h = 1e-6
+        f_plus, _ = _interp(x + h)
+        f_minus, _ = _interp(x - h)
+        _, df = _interp(x)
+        assert df == pytest.approx((f_plus - f_minus) / (2 * h), rel=1e-3, abs=1e-12)
+
+
+class TestModelCard:
+    def test_rejects_bad_polarity(self):
+        with pytest.raises(DeviceModelError):
+            MOSFETModel(polarity="x", vth0=0.4, slope_factor=1.3, kp=1e-4,
+                        lambda_clm=0.1)
+
+    def test_rejects_slope_below_one(self):
+        with pytest.raises(DeviceModelError):
+            MOSFETModel(polarity="n", vth0=0.4, slope_factor=1.0, kp=1e-4,
+                        lambda_clm=0.1)
+
+    def test_corner_shifts_vth(self):
+        fast = NMOS_40LP.with_corner(vth_shift=-0.045)
+        assert fast.vth0 == pytest.approx(NMOS_40LP.vth0 - 0.045)
+
+    def test_corner_scales_mobility(self):
+        slow = NMOS_40LP.with_corner(mobility_scale=0.9)
+        assert slow.kp == pytest.approx(NMOS_40LP.kp * 0.9)
+
+    def test_corner_rejects_vth_collapse(self):
+        with pytest.raises(DeviceModelError):
+            NMOS_40LP.with_corner(vth_shift=-1.0)
+
+    def test_specific_current_scales_with_geometry(self):
+        i1 = NMOS_40LP.specific_current(1e-6, 40e-9)
+        i2 = NMOS_40LP.specific_current(2e-6, 40e-9)
+        assert i2 == pytest.approx(2 * i1)
+
+
+class TestNMOSCharacteristics:
+    def test_on_current_magnitude(self):
+        # ~1 mA/µm class drive at full gate/drain bias.
+        i, _ = nmos().evaluate(1.1, 1.1, 0.0, 0.0)
+        assert 0.3e-3 < i < 3e-3
+
+    def test_off_current_magnitude(self):
+        # LP-class leakage: pA–nA per µm.
+        i, _ = nmos().evaluate(1.1, 0.0, 0.0, 0.0)
+        assert 1e-12 < i < 1e-9
+
+    def test_zero_vds_zero_current(self):
+        i, _ = nmos().evaluate(0.0, 1.1, 0.0, 0.0)
+        assert i == pytest.approx(0.0, abs=1e-15)
+
+    def test_drain_source_antisymmetry(self):
+        fet = nmos()
+        forward, _ = fet.evaluate(0.6, 1.1, 0.0, 0.0)
+        reverse, _ = fet.evaluate(0.0, 1.1, 0.6, 0.0)
+        assert forward == pytest.approx(-reverse, rel=1e-9)
+
+    @given(volt, volt)
+    def test_current_sign_follows_vds(self, vd, vs):
+        i, _ = nmos().evaluate(vd, 1.1, vs, 0.0)
+        if vd > vs:
+            assert i >= 0.0
+        elif vd < vs:
+            assert i <= 0.0
+
+    @given(st.floats(min_value=0.0, max_value=1.1),
+           st.floats(min_value=0.0, max_value=1.1))
+    def test_current_monotone_in_vgs(self, vg1, vg2):
+        lo, hi = sorted((vg1, vg2))
+        i_lo, _ = nmos().evaluate(1.1, lo, 0.0, 0.0)
+        i_hi, _ = nmos().evaluate(1.1, hi, 0.0, 0.0)
+        assert i_hi >= i_lo - 1e-15
+
+    @given(st.floats(min_value=0.0, max_value=1.1),
+           st.floats(min_value=0.0, max_value=1.1))
+    def test_current_monotone_in_vds(self, vd1, vd2):
+        lo, hi = sorted((vd1, vd2))
+        i_lo, _ = nmos().evaluate(lo, 0.8, 0.0, 0.0)
+        i_hi, _ = nmos().evaluate(hi, 0.8, 0.0, 0.0)
+        assert i_hi >= i_lo - 1e-15
+
+    def test_body_effect_reduces_current(self):
+        # Raising the source above the bulk raises the effective VT.
+        i_no_body, _ = nmos().evaluate(1.1, 1.1, 0.3, 0.3)
+        i_body, _ = nmos().evaluate(1.1, 1.1, 0.3, 0.0)
+        assert i_body < i_no_body
+
+
+class TestPMOSCharacteristics:
+    def test_on_current_negative(self):
+        # PMOS with source at VDD, gate at 0: current flows source→drain,
+        # i.e. *into* the drain node — evaluate() reports drain→source < 0.
+        i, _ = pmos().evaluate(0.0, 0.0, 1.1, 1.1)
+        assert i < -0.1e-3
+
+    def test_off_when_gate_at_source(self):
+        i, _ = pmos().evaluate(0.0, 1.1, 1.1, 1.1)
+        assert abs(i) < 1e-9
+
+    def test_weaker_than_nmos(self):
+        i_n, _ = nmos().evaluate(1.1, 1.1, 0.0, 0.0)
+        i_p, _ = pmos().evaluate(0.0, 0.0, 1.1, 1.1)
+        assert abs(i_p) < abs(i_n)
+
+
+class TestPartialDerivatives:
+    @given(volt, volt, volt)
+    @settings(max_examples=40)
+    def test_partials_match_finite_differences(self, vd, vg, vs):
+        fet = nmos()
+        vb = 0.0
+        _, partials = fet.evaluate(vd, vg, vs, vb)
+        h = 1e-7
+        for key, idx in (("d", 0), ("g", 1), ("s", 2), ("b", 3)):
+            args = [vd, vg, vs, vb]
+            args[idx] += h
+            i_plus, _ = fet.evaluate(*args)
+            args[idx] -= 2 * h
+            i_minus, _ = fet.evaluate(*args)
+            numeric = (i_plus - i_minus) / (2 * h)
+            assert partials[key] == pytest.approx(numeric, rel=2e-3, abs=1e-9)
+
+    @given(volt, volt, volt)
+    @settings(max_examples=40)
+    def test_translation_invariance(self, vd, vg, vs):
+        # Shifting all terminals by the same amount changes nothing.
+        fet = nmos()
+        i0, _ = fet.evaluate(vd, vg, vs, 0.0)
+        i1, _ = fet.evaluate(vd + 0.2, vg + 0.2, vs + 0.2, 0.2)
+        assert i1 == pytest.approx(i0, rel=1e-9, abs=1e-18)
+
+    def test_partials_sum_to_zero(self):
+        _, partials = nmos().evaluate(0.7, 0.9, 0.1, 0.0)
+        assert sum(partials.values()) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestGeometryValidation:
+    def test_rejects_zero_width(self):
+        with pytest.raises(DeviceModelError):
+            MOSFET(model=NMOS_40LP, width=0.0)
+
+    def test_capacitance_helpers_positive(self):
+        fet = nmos()
+        assert fet.gate_channel_capacitance() > 0
+        assert fet.overlap_capacitance() > 0
+        assert fet.junction_capacitance() > 0

@@ -1,0 +1,146 @@
+"""Tests for repro.spice.netlist (Circuit container)."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.spice.devices.mosfet import MOSFET, NMOS_40LP
+from repro.spice.devices.passive import Capacitor, Resistor
+from repro.spice.netlist import GROUND, Circuit
+
+
+class TestNodes:
+    def test_ground_aliases(self):
+        c = Circuit()
+        for alias in ("0", "gnd", "GND", "vss", "VSS"):
+            assert c.node(alias) == -1
+
+    def test_nodes_created_on_first_use(self):
+        c = Circuit()
+        assert c.node("a") == 0
+        assert c.node("b") == 1
+        assert c.node("a") == 0  # idempotent
+
+    def test_node_name_roundtrip(self):
+        c = Circuit()
+        c.node("x")
+        assert c.node_name(c.node("x")) == "x"
+        assert c.node_name(-1) == GROUND
+
+    def test_has_node(self):
+        c = Circuit()
+        c.node("alpha")
+        assert c.has_node("alpha")
+        assert c.has_node("gnd")
+        assert not c.has_node("beta")
+
+    def test_num_nodes_excludes_ground(self):
+        c = Circuit()
+        c.add_resistor("r", "a", "0", 1.0)
+        assert c.num_nodes == 1
+
+
+class TestDeviceRegistry:
+    def test_duplicate_name_rejected(self):
+        c = Circuit()
+        c.add_resistor("r1", "a", "b", 1.0)
+        with pytest.raises(NetlistError):
+            c.add_resistor("r1", "b", "c", 1.0)
+
+    def test_device_lookup(self):
+        c = Circuit()
+        r = c.add_resistor("r1", "a", "b", 50.0)
+        assert c.device("r1") is r
+
+    def test_missing_device_raises(self):
+        with pytest.raises(NetlistError):
+            Circuit().device("nope")
+
+    def test_devices_of_type(self):
+        c = Circuit()
+        c.add_resistor("r", "a", "b", 1.0)
+        c.add_capacitor("c", "b", "0", 1e-15)
+        assert len(c.devices_of_type(Resistor)) == 1
+        assert len(c.devices_of_type(Capacitor)) == 1
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(NetlistError):
+            Circuit().add_resistor("", "a", "b", 1.0)
+
+
+class TestMOSFETHelper:
+    def test_adds_parasitic_caps(self):
+        c = Circuit()
+        c.add_nmos("m1", "d", "g", "s")
+        names = {dev.name for dev in c.devices}
+        assert {"m1", "m1.cgs", "m1.cgd", "m1.cdb", "m1.csb"} <= names
+
+    def test_caps_can_be_suppressed(self):
+        c = Circuit()
+        c.add_mosfet("m1", "d", "g", "s", "0", NMOS_40LP, with_caps=False)
+        assert len(c.devices) == 1
+
+    def test_nmos_bulk_defaults_to_ground(self):
+        c = Circuit()
+        m = c.add_nmos("m1", "d", "g", "s")
+        assert m.bulk == -1
+
+    def test_pmos_bulk_explicit(self):
+        c = Circuit()
+        m = c.add_pmos("m1", "d", "g", "s", "vdd")
+        assert m.bulk == c.node("vdd")
+
+
+class TestLifecycle:
+    def test_finalize_assigns_branches(self):
+        c = Circuit()
+        v1 = c.add_vsource("v1", "a", "0", 1.0)
+        v2 = c.add_vsource("v2", "b", "0", 2.0)
+        c.finalize()
+        assert {v1.branch_index, v2.branch_index} == {0, 1}
+        assert c.num_branches == 2
+
+    def test_finalize_is_idempotent(self):
+        c = Circuit()
+        c.add_vsource("v1", "a", "0", 1.0)
+        c.finalize()
+        c.finalize()
+        assert c.num_branches == 1
+
+    def test_no_devices_after_finalize(self):
+        c = Circuit()
+        c.add_resistor("r", "a", "0", 1.0)
+        c.finalize()
+        with pytest.raises(NetlistError):
+            c.add_resistor("r2", "a", "0", 1.0)
+
+    def test_no_new_nodes_after_finalize(self):
+        c = Circuit()
+        c.add_resistor("r", "a", "0", 1.0)
+        c.finalize()
+        with pytest.raises(NetlistError):
+            c.node("newnode")
+
+    def test_summary_mentions_counts(self):
+        c = Circuit("test")
+        c.add_resistor("r", "a", "0", 1.0)
+        text = c.summary()
+        assert "test" in text and "Resistor" in text
+
+
+class TestMTJHelper:
+    def test_add_mtj_dynamic(self):
+        c = Circuit()
+        element = c.add_mtj("m", "a", "b")
+        assert element.switching is not None
+
+    def test_add_mtj_static(self):
+        c = Circuit()
+        element = c.add_mtj("m", "a", "b", dynamic=False)
+        assert element.switching is None
+
+    def test_initial_state(self):
+        from repro.mtj.device import MTJState
+
+        c = Circuit()
+        element = c.add_mtj("m", "a", "b", state=MTJState.ANTIPARALLEL)
+        assert element.device.state is MTJState.ANTIPARALLEL

@@ -1,0 +1,87 @@
+"""Tests for DC sweep analysis and the sense-amplifier SNM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.spice.analysis.sweep import (
+    dc_sweep,
+    inverter_vtc,
+    static_noise_margin,
+)
+from repro.spice.corners import CORNERS
+from repro.spice.netlist import Circuit
+
+
+class TestDCSweep:
+    def test_linear_circuit_tracks_source(self):
+        c = Circuit()
+        c.add_vsource("vin", "a", "0", 0.0)
+        c.add_resistor("r1", "a", "mid", 1e3)
+        c.add_resistor("r2", "mid", "0", 1e3)
+        sweep = dc_sweep(c, "vin", [0.0, 0.5, 1.0])
+        assert sweep.voltage("mid") == pytest.approx([0.0, 0.25, 0.5], abs=1e-6)
+
+    def test_rejects_empty_values(self):
+        c = Circuit()
+        c.add_vsource("vin", "a", "0", 0.0)
+        c.add_resistor("r", "a", "0", 1e3)
+        with pytest.raises(AnalysisError):
+            dc_sweep(c, "vin", [])
+
+    def test_rejects_non_source(self):
+        c = Circuit()
+        c.add_vsource("vin", "a", "0", 0.0)
+        c.add_resistor("r", "a", "0", 1e3)
+        with pytest.raises(AnalysisError):
+            dc_sweep(c, "r", [0.0])
+
+    def test_values_recorded(self):
+        c = Circuit()
+        c.add_vsource("vin", "a", "0", 0.0)
+        c.add_resistor("r", "a", "0", 1e3)
+        sweep = dc_sweep(c, "vin", [0.1, 0.2])
+        assert sweep.values.tolist() == [0.1, 0.2]
+
+
+class TestInverterVTC:
+    @pytest.fixture(scope="class")
+    def vtc(self):
+        return inverter_vtc()
+
+    def test_rail_to_rail(self, vtc):
+        out = vtc.voltage("out")
+        assert out[0] == pytest.approx(1.1, abs=0.01)
+        assert out[-1] == pytest.approx(0.0, abs=0.01)
+
+    def test_monotone_decreasing(self, vtc):
+        out = vtc.voltage("out")
+        assert all(a >= b - 1e-6 for a, b in zip(out, out[1:]))
+
+    def test_switching_threshold_near_midrail(self, vtc):
+        out = vtc.voltage("out")
+        crossing = vtc.values[np.argmin(np.abs(out - vtc.values))]
+        assert 0.35 < crossing < 0.75
+
+    def test_high_gain_region_exists(self, vtc):
+        gain = np.abs(np.gradient(vtc.voltage("out"), vtc.values))
+        assert gain.max() > 4.0
+
+
+class TestStaticNoiseMargin:
+    def test_snm_is_healthy_fraction_of_vdd(self):
+        snm = static_noise_margin()
+        assert 0.25 * 1.1 < snm < 0.5 * 1.1
+
+    def test_snm_across_corners(self):
+        """The SA hold cell stays robust at every corner — the stability
+        behind the latches' hold phase."""
+        margins = {name: static_noise_margin(CORNERS[name].nmos_model(),
+                                             CORNERS[name].pmos_model())
+                   for name in ("fast", "typical", "slow")}
+        assert all(m > 0.3 for m in margins.values())
+        # Lower-VT (fast) inverters have slightly weaker margins.
+        assert margins["fast"] < margins["slow"]
+
+    def test_snm_shrinks_with_supply(self):
+        assert static_noise_margin(vdd=0.8) < static_noise_margin(vdd=1.1)

@@ -1,0 +1,176 @@
+"""Tests for transient analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.spice import Circuit, DC, Pulse, PWL, run_transient
+from repro.spice.analysis.measure import crossing_time
+
+
+def rc_circuit(tau_r=1e3, tau_c=1e-12, delay=0.1e-9):
+    c = Circuit()
+    c.add_vsource("vin", "a", "0",
+                  Pulse(0.0, 1.0, delay=delay, rise=1e-12, width=50e-9))
+    c.add_resistor("r", "a", "b", tau_r)
+    c.add_capacitor("cl", "b", "0", tau_c)
+    return c
+
+
+class TestRCAccuracy:
+    def test_be_one_tau(self):
+        c = rc_circuit()
+        result = run_transient(c, 3e-9, 1e-12, integrator="be")
+        assert result.sample("b", 0.1e-9 + 1e-9) == pytest.approx(
+            1 - math.exp(-1), rel=5e-3)
+
+    def test_trap_one_tau_tighter(self):
+        c = rc_circuit()
+        result = run_transient(c, 3e-9, 1e-12, integrator="trap")
+        assert result.sample("b", 0.1e-9 + 1e-9) == pytest.approx(
+            1 - math.exp(-1), rel=1e-3)
+
+    def test_trap_beats_be_at_coarse_step(self):
+        # With the input ramp resolved by the coarse grid, the
+        # second-order trapezoidal rule must beat backward Euler.  The
+        # reference is a fine-step run.
+        def build():
+            c = Circuit()
+            c.add_vsource("vin", "a", "0",
+                          Pulse(0.0, 1.0, delay=0.1e-9, rise=100e-12,
+                                width=50e-9))
+            c.add_resistor("r", "a", "b", 1e3)
+            c.add_capacitor("cl", "b", "0", 1e-12)
+            return c
+
+        reference = run_transient(build(), 3e-9, 1e-12, integrator="trap")
+        errors = {}
+        for integ in ("be", "trap"):
+            result = run_transient(build(), 3e-9, 25e-12, integrator=integ)
+            ref_samples = np.interp(result.times, reference.times,
+                                    reference.voltage("b"))
+            errors[integ] = float(np.sqrt(np.mean(
+                (result.voltage("b") - ref_samples) ** 2)))
+        assert errors["trap"] < errors["be"]
+
+    def test_final_value_settles_to_input(self):
+        c = rc_circuit()
+        result = run_transient(c, 8e-9, 2e-12)
+        assert result.final_voltage("b") == pytest.approx(1.0, abs=1e-3)
+
+    def test_capacitor_divider_charge_sharing(self):
+        # Two series caps divide a step by the capacitance ratio.
+        c = Circuit()
+        c.add_vsource("vin", "a", "0", Pulse(0.0, 1.0, delay=0.05e-9, rise=1e-12))
+        c.add_capacitor("c1", "a", "mid", 2e-15)
+        c.add_capacitor("c2", "mid", "0", 2e-15)
+        result = run_transient(c, 0.5e-9, 1e-12)
+        assert result.final_voltage("mid") == pytest.approx(0.5, abs=0.02)
+
+
+class TestInitialConditions:
+    def test_dc_start_by_default(self):
+        # With a constant source, the transient must start at the DC point.
+        c = Circuit()
+        c.add_vsource("v", "a", "0", DC(1.0))
+        c.add_resistor("r", "a", "b", 1e3)
+        c.add_capacitor("cl", "b", "0", 1e-15)
+        result = run_transient(c, 0.2e-9, 1e-12)
+        assert result.voltage("b")[0] == pytest.approx(1.0, rel=1e-3)
+
+    def test_cold_start_with_initial_voltages(self):
+        c = Circuit()
+        c.add_vsource("v", "a", "0", DC(1.0))
+        c.add_resistor("r", "a", "b", 1e3)
+        c.add_capacitor("cl", "b", "0", 1e-12)
+        result = run_transient(c, 0.1e-9, 1e-12, initial_voltages={})
+        assert result.voltage("b")[0] == pytest.approx(0.0, abs=1e-6)
+        assert result.final_voltage("b") > 0.05
+
+    def test_dc_seed_selects_latch_branch(self):
+        c = Circuit()
+        c.add_vsource("vdd", "vdd", "0", 1.1)
+        c.add_pmos("p1", "a", "b", "vdd", "vdd")
+        c.add_nmos("n1", "a", "b", "0")
+        c.add_pmos("p2", "b", "a", "vdd", "vdd")
+        c.add_nmos("n2", "b", "a", "0")
+        result = run_transient(c, 0.1e-9, 1e-12, dc_seed={"a": 1.1, "b": 0.0})
+        assert result.final_voltage("a") > 1.0
+
+
+class TestResultAccessors:
+    @pytest.fixture
+    def result(self):
+        return run_transient(rc_circuit(), 1e-9, 1e-12)
+
+    def test_times_shape(self, result):
+        assert len(result.times) == 1001
+        assert result.times[0] == 0.0
+        assert result.times[-1] == pytest.approx(1e-9)
+
+    def test_voltage_of_ground_is_zero(self, result):
+        assert np.all(result.voltage("0") == 0.0)
+
+    def test_source_current_waveform(self, result):
+        current = result.source_current("vin")
+        assert len(current) == len(result.times)
+        # After the edge the source drives the charging current (negative).
+        idx = np.searchsorted(result.times, 0.12e-9)
+        assert current[idx] < 0.0
+
+    def test_sample_interpolates(self, result):
+        v1 = result.sample("b", 0.5e-9)
+        v2 = result.sample("b", 0.5001e-9)
+        assert abs(v1 - v2) < 0.01
+
+    def test_window_mask(self, result):
+        mask = result.window(0.2e-9, 0.4e-9)
+        assert mask.sum() == pytest.approx(201, abs=2)
+
+    def test_window_rejects_inverted(self, result):
+        with pytest.raises(AnalysisError):
+            result.window(0.4e-9, 0.2e-9)
+
+    def test_source_current_requires_vsource(self, result):
+        with pytest.raises(AnalysisError):
+            result.source_current("r")
+
+
+class TestValidation:
+    def test_rejects_nonpositive_times(self):
+        with pytest.raises(AnalysisError):
+            run_transient(rc_circuit(), -1e-9, 1e-12)
+        with pytest.raises(AnalysisError):
+            run_transient(rc_circuit(), 1e-9, 0.0)
+
+    def test_rejects_dt_longer_than_stop(self):
+        with pytest.raises(AnalysisError):
+            run_transient(rc_circuit(), 1e-12, 1e-9)
+
+    def test_rejects_unknown_integrator(self):
+        with pytest.raises(AnalysisError):
+            run_transient(rc_circuit(), 1e-9, 1e-12, integrator="euler")
+
+    def test_on_step_callback_invoked(self):
+        calls = []
+        run_transient(rc_circuit(), 0.05e-9, 1e-12,
+                      on_step=lambda t, v: calls.append(t))
+        assert len(calls) == 50
+
+
+class TestEnergyConservation:
+    def test_supply_energy_equals_dissipation_plus_storage(self):
+        # Charge a capacitor through a resistor to completion: the source
+        # delivers C·V², half stored, half dissipated.
+        from repro.spice.analysis.measure import integrate_supply_energy
+
+        c = Circuit()
+        c.add_vsource("v", "a", "0", Pulse(0.0, 1.0, delay=0.01e-9, rise=1e-12))
+        c.add_resistor("r", "a", "b", 1e3)
+        c.add_capacitor("cl", "b", "0", 1e-15)
+        result = run_transient(c, 0.05e-9 + 10e-12 * 1000, 1e-12,
+                               integrator="trap")
+        energy = integrate_supply_energy(result, "v")
+        assert energy == pytest.approx(1e-15, rel=0.02)  # C·V²

@@ -1,0 +1,121 @@
+"""Tests for repro.spice.waveforms."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AnalysisError
+from repro.spice.waveforms import DC, PWL, Pulse, step_sequence
+
+
+class TestDC:
+    def test_constant(self):
+        wave = DC(1.1)
+        assert wave.value(0.0) == 1.1
+        assert wave.value(1e9) == 1.1
+
+    def test_callable(self):
+        assert DC(0.5)(123.0) == 0.5
+
+
+class TestPulse:
+    def test_initial_before_delay(self):
+        wave = Pulse(initial=0.0, pulsed=1.0, delay=1e-9)
+        assert wave.value(0.5e-9) == 0.0
+
+    def test_plateau(self):
+        wave = Pulse(0.0, 1.0, delay=0.0, rise=10e-12, width=1e-9)
+        assert wave.value(0.5e-9) == 1.0
+
+    def test_linear_rise(self):
+        wave = Pulse(0.0, 1.0, delay=0.0, rise=100e-12, width=1e-9)
+        assert wave.value(50e-12) == pytest.approx(0.5)
+
+    def test_linear_fall(self):
+        wave = Pulse(0.0, 1.0, delay=0.0, rise=10e-12, fall=100e-12, width=1e-9)
+        assert wave.value(10e-12 + 1e-9 + 50e-12) == pytest.approx(0.5)
+
+    def test_returns_to_initial(self):
+        wave = Pulse(0.2, 1.0, delay=0.0, rise=10e-12, fall=10e-12, width=1e-9)
+        assert wave.value(5e-9) == pytest.approx(0.2)
+
+    def test_periodic_repeats(self):
+        wave = Pulse(0.0, 1.0, delay=0.0, rise=10e-12, fall=10e-12,
+                     width=0.4e-9, period=1e-9)
+        assert wave.value(0.2e-9) == wave.value(1.2e-9)
+
+    @given(st.floats(min_value=0.0, max_value=10e-9))
+    def test_value_bounded_by_levels(self, t):
+        wave = Pulse(0.0, 1.1, delay=0.3e-9, rise=20e-12, fall=20e-12,
+                     width=1e-9, period=2e-9)
+        assert 0.0 <= wave.value(t) <= 1.1
+
+
+class TestPWL:
+    def test_holds_first_value_before_start(self):
+        wave = PWL(points=((1e-9, 0.5), (2e-9, 1.0)))
+        assert wave.value(0.0) == 0.5
+
+    def test_holds_last_value_after_end(self):
+        wave = PWL(points=((0.0, 0.0), (1e-9, 1.0)))
+        assert wave.value(5e-9) == 1.0
+
+    def test_interpolates(self):
+        wave = PWL(points=((0.0, 0.0), (1e-9, 1.0)))
+        assert wave.value(0.25e-9) == pytest.approx(0.25)
+
+    def test_exact_breakpoints(self):
+        wave = PWL(points=((0.0, 0.2), (1e-9, 0.8), (2e-9, 0.4)))
+        assert wave.value(1e-9) == pytest.approx(0.8)
+
+    def test_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            PWL(points=())
+
+    def test_rejects_non_increasing_times(self):
+        with pytest.raises(AnalysisError):
+            PWL(points=((0.0, 0.0), (0.0, 1.0)))
+
+    def test_single_point_is_constant(self):
+        wave = PWL(points=((1e-9, 0.7),))
+        assert wave.value(0.0) == 0.7
+        assert wave.value(2e-9) == 0.7
+
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=1e-6),
+                              st.floats(min_value=-2, max_value=2)),
+                    min_size=2, max_size=8,
+                    unique_by=lambda p: round(p[0] * 1e9, 3)))
+    def test_values_within_hull(self, points):
+        points = sorted(points)
+        times = [t for t, _ in points]
+        if any(t1 <= t0 for t0, t1 in zip(times, times[1:])):
+            return
+        wave = PWL(points=tuple(points))
+        lo = min(v for _, v in points)
+        hi = max(v for _, v in points)
+        for t in times + [sum(times) / len(times)]:
+            assert lo - 1e-12 <= wave.value(t) <= hi + 1e-12
+
+
+class TestStepSequence:
+    def test_steps_through_levels(self):
+        wave = step_sequence([(1e-9, 1.1), (2e-9, 0.0)], initial=0.0, slew=20e-12)
+        assert wave.value(0.5e-9) == 0.0
+        assert wave.value(1.5e-9) == pytest.approx(1.1)
+        assert wave.value(3e-9) == pytest.approx(0.0)
+
+    def test_mid_slew_value(self):
+        wave = step_sequence([(1e-9, 1.0)], initial=0.0, slew=20e-12)
+        assert wave.value(1e-9 + 10e-12) == pytest.approx(0.5)
+
+    def test_rejects_overlapping_transitions(self):
+        with pytest.raises(AnalysisError):
+            step_sequence([(1e-9, 1.0), (1e-9 + 5e-12, 0.0)],
+                          initial=0.0, slew=20e-12)
+
+    def test_rejects_nonpositive_slew(self):
+        with pytest.raises(AnalysisError):
+            step_sequence([(1e-9, 1.0)], initial=0.0, slew=0.0)
+
+    def test_no_transition_before_first(self):
+        wave = step_sequence([(2e-9, 1.0)], initial=0.3)
+        assert wave.value(1.9e-9) == pytest.approx(0.3)

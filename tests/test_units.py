@@ -1,0 +1,79 @@
+"""Tests for repro.units."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestTemperature:
+    def test_celsius_to_kelvin_roundtrip(self):
+        assert units.kelvin_to_celsius(units.celsius_to_kelvin(27.0)) == pytest.approx(27.0)
+
+    def test_zero_celsius(self):
+        assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+
+    def test_thermal_voltage_room_temperature(self):
+        # kT/q at 300 K is the canonical 25.85 mV.
+        assert units.thermal_voltage(300.0) == pytest.approx(0.025852, rel=1e-3)
+
+    def test_thermal_voltage_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.thermal_voltage(0.0)
+        with pytest.raises(ValueError):
+            units.thermal_voltage(-10.0)
+
+    @given(st.floats(min_value=1.0, max_value=2000.0))
+    def test_thermal_voltage_monotone_in_temperature(self, temp):
+        assert units.thermal_voltage(temp + 1.0) > units.thermal_voltage(temp)
+
+
+class TestConversions:
+    def test_femtojoules(self):
+        assert units.to_femtojoules(4.587e-15) == pytest.approx(4.587)
+
+    def test_picoseconds(self):
+        assert units.to_picoseconds(187e-12) == pytest.approx(187.0)
+
+    def test_picowatts(self):
+        assert units.to_picowatts(1565e-12) == pytest.approx(1565.0)
+
+    def test_square_microns(self):
+        assert units.to_square_microns(3.696e-12) == pytest.approx(3.696)
+
+    def test_microamps(self):
+        assert units.to_microamps(37e-6) == pytest.approx(37.0)
+
+    def test_kiloohms(self):
+        assert units.to_kiloohms(11e3) == pytest.approx(11.0)
+
+    def test_microns(self):
+        assert units.to_microns(3.35e-6) == pytest.approx(3.35)
+
+
+class TestFormatEng:
+    def test_zero(self):
+        assert units.format_eng(0.0, "J") == "0 J"
+
+    def test_femto_range(self):
+        assert units.format_eng(4.59e-15, "J") == "4.59 fJ"
+
+    def test_pico_range(self):
+        assert units.format_eng(187e-12, "s") == "187 ps"
+
+    def test_kilo_range(self):
+        assert units.format_eng(11e3, "Ohm") == "11 kOhm"
+
+    def test_unit_less(self):
+        assert units.format_eng(1.23) == "1.23"
+
+    def test_negative_value(self):
+        assert units.format_eng(-2.5e-12, "A") == "-2.5 pA"
+
+    @given(st.floats(min_value=1e-17, max_value=1e10))
+    def test_mantissa_in_readable_range(self, value):
+        text = units.format_eng(value, "X")
+        mantissa = float(text.split()[0])
+        assert 0.99 <= abs(mantissa) < 1000.001
