@@ -9,6 +9,7 @@ EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cells.characterize import (
@@ -17,12 +18,22 @@ from repro.cells.characterize import (
     characterize_standard,
 )
 from repro.cells.sizing import DEFAULT_SIZING, LatchSizing
-from repro.core.evaluate import NVCellCosts, PAPER_COSTS, SystemResult
-from repro.core.flow import FlowConfig, run_system_flow
+from repro.core.evaluate import (
+    NVCellCosts,
+    PAPER_COSTS,
+    SystemResult,
+    evaluate_benchmarks,
+)
+from repro.core.flow import FlowConfig
 from repro.errors import AnalysisError
 from repro.mtj.parameters import MTJParameters, PAPER_TABLE_I
 from repro.physd.benchmarks import BENCHMARKS
-from repro.spice.corners import CORNER_ORDER, CORNERS
+from repro.spice.corners import (
+    CORNER_ORDER,
+    CORNERS,
+    SimulationCorner,
+    sweep_corners,
+)
 from repro.units import (
     MICRO,
     to_femtojoules,
@@ -132,21 +143,38 @@ class Table2Data:
                    for m in list(self.standard.values()) + list(self.proposed.values()))
 
 
+def _characterize_both(
+    corner: SimulationCorner,
+    sizing: LatchSizing,
+    dt: float,
+    include_write: bool,
+) -> Tuple[LatchMetrics, LatchMetrics]:
+    """Worker: (standard, proposed) metrics at one corner (picklable)."""
+    return (
+        characterize_standard(corner, sizing, dt=dt, include_write=include_write),
+        characterize_proposed(corner, sizing, dt=dt, include_write=include_write),
+    )
+
+
 def build_table2(
     sizing: LatchSizing = DEFAULT_SIZING,
     corners: Sequence[str] = CORNER_ORDER,
     dt: float = 1e-12,
     include_write: bool = True,
+    workers: Optional[int] = None,
 ) -> Table2Data:
     """Characterise both designs at every process corner (runs the full
-    transient simulations — minutes, not seconds)."""
+    transient simulations — the corners run in parallel through
+    :func:`repro.spice.corners.sweep_corners`)."""
+    both = sweep_corners(
+        partial(_characterize_both, sizing=sizing, dt=dt,
+                include_write=include_write),
+        corners=corners, workers=workers,
+    )
     data = Table2Data()
-    for corner_name in corners:
-        corner = CORNERS[corner_name]
-        data.standard[corner_name] = characterize_standard(
-            corner, sizing, dt=dt, include_write=include_write)
-        data.proposed[corner_name] = characterize_proposed(
-            corner, sizing, dt=dt, include_write=include_write)
+    for corner_name, (standard, proposed) in both.items():
+        data.standard[corner_name] = standard
+        data.proposed[corner_name] = proposed
     return data
 
 
@@ -196,15 +224,15 @@ def render_table2(data: Table2Data) -> str:
 def build_table3(
     benchmarks: Optional[Sequence[str]] = None,
     config: Optional[FlowConfig] = None,
+    workers: Optional[int] = None,
 ) -> List[Tuple[SystemResult, int]]:
-    """Run the system flow per benchmark; returns (our result, paper pair
-    count) tuples in benchmark order."""
+    """Run the system flow per benchmark (benchmarks in parallel through
+    :func:`repro.core.evaluate.evaluate_benchmarks`); returns (our result,
+    paper pair count) tuples in benchmark order."""
     names = list(benchmarks) if benchmarks else list(BENCHMARKS)
-    results = []
-    for name in names:
-        outcome = run_system_flow(name, config)
-        results.append((outcome.result, BENCHMARKS[name].paper_merged_pairs))
-    return results
+    results = evaluate_benchmarks(names, config=config, workers=workers)
+    return [(result, BENCHMARKS[name].paper_merged_pairs)
+            for name, result in zip(names, results)]
 
 
 def render_table3(results: Sequence[Tuple[SystemResult, int]]) -> str:

@@ -16,12 +16,14 @@ numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from functools import partial
+from typing import Any, List, Optional, Sequence, Union
 
 from repro.core.merge import MergeResult
 from repro.errors import MergeError
 from repro.layout.cell_layout import plan_proposed_2bit, standard_pair_area
 from repro.layout.design_rules import DesignRules, RULES_40NM
+from repro.parallel import parallel_map
 from repro.units import MICRO, to_femtojoules, to_square_microns
 
 
@@ -130,3 +132,36 @@ def evaluate_system(
         area_proposed=pairs * costs.area_2bit + singles * costs.area_1bit,
         energy_proposed=pairs * costs.energy_2bit + singles * costs.energy_1bit,
     )
+
+
+def _flow_result(benchmark: str, config: Any = None) -> SystemResult:
+    """Worker: one full system flow → its Table III row.
+
+    Module-level (hence picklable) and returning only the compact
+    :class:`SystemResult`, not the placement-heavy flow artefacts, so the
+    process-pool path ships kilobytes instead of megabytes.  The flow
+    import is deferred: :mod:`repro.core.flow` imports this module.
+    """
+    from repro.core.flow import run_system_flow
+
+    return run_system_flow(benchmark, config).result
+
+
+def evaluate_benchmarks(
+    benchmarks: Optional[Sequence[str]] = None,
+    config: Any = None,
+    workers: Optional[int] = None,
+) -> List[SystemResult]:
+    """Table III rows for the given benchmarks, benchmarks in parallel.
+
+    ``benchmarks=None`` runs the paper's full benchmark list; results are
+    returned in benchmark order and are identical for any ``workers``
+    setting.  This is the engine behind
+    :func:`repro.analysis.tables.build_table3`.
+    """
+    if benchmarks is None:
+        from repro.physd.benchmarks import BENCHMARKS
+
+        benchmarks = list(BENCHMARKS)
+    return parallel_map(partial(_flow_result, config=config),
+                        list(benchmarks), workers=workers)

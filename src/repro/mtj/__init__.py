@@ -16,7 +16,14 @@ non-volatile latches:
 from repro.mtj.parameters import MTJParameters, PAPER_TABLE_I
 from repro.mtj.device import MTJDevice, MTJState
 from repro.mtj.dynamics import SwitchingModel, SwitchingEvent, simulate_current_pulse
-from repro.mtj.variation import MTJCorner, MTJVariation, sample_parameters
+from repro.mtj.variation import (
+    DEFAULT_SEED,
+    MTJCorner,
+    MTJVariation,
+    monte_carlo_map,
+    monte_carlo_parameters,
+    sample_parameters,
+)
 from repro.mtj.thermal import ThermalStability
 from repro.mtj.write_error import WriteErrorModel
 
@@ -30,7 +37,10 @@ __all__ = [
     "simulate_current_pulse",
     "MTJCorner",
     "MTJVariation",
+    "DEFAULT_SEED",
     "sample_parameters",
+    "monte_carlo_parameters",
+    "monte_carlo_map",
     "ThermalStability",
     "WriteErrorModel",
 ]

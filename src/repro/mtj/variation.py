@@ -17,12 +17,19 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional, TypeVar
 
 import numpy as np
 
 from repro.errors import DeviceModelError
 from repro.mtj.parameters import MTJParameters
+from repro.parallel import parallel_map, spawn_rngs
+
+#: Root seed used whenever a caller does not pass one: Monte-Carlo results
+#: are reproducible *by default* (the DATE year of the paper, for flavour).
+DEFAULT_SEED = 2018
+
+_R = TypeVar("_R")
 
 
 @dataclass(frozen=True)
@@ -80,13 +87,17 @@ def sample_parameters(
     Each varied parameter gets an independent Gaussian relative deviation,
     truncated at ``clip_sigma`` standard deviations (matching the paper's
     ±3σ analysis window).
+
+    ``rng=None`` draws from a generator seeded with :data:`DEFAULT_SEED`
+    (it used to mean an *unseeded* generator, which made default runs
+    irreproducible — see ``tests/test_parallel.py``).
     """
     if count < 1:
         raise DeviceModelError(f"count must be >= 1, got {count}")
     if clip_sigma <= 0.0:
         raise DeviceModelError(f"clip_sigma must be positive, got {clip_sigma}")
     variation = variation or MTJVariation()
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng(DEFAULT_SEED)
 
     deviates = rng.standard_normal(size=(count, 3))
     deviates = np.clip(deviates, -clip_sigma, clip_sigma)
@@ -97,3 +108,49 @@ def sample_parameters(
         params.scaled(ra_scale=float(row[0]), tmr_scale=float(row[1]), ic_scale=float(row[2]))
         for row in scales
     ]
+
+
+def monte_carlo_parameters(
+    params: MTJParameters,
+    variation: Optional[MTJVariation] = None,
+    count: int = 1,
+    seed: int = DEFAULT_SEED,
+    clip_sigma: float = 3.0,
+) -> List[MTJParameters]:
+    """``count`` Monte-Carlo parameter sets with per-sample spawned streams.
+
+    Sample *i* is drawn from its own generator, spawned as child ``i`` of
+    ``SeedSequence(seed)`` — a pure function of ``(seed, i)``.  A parallel
+    evaluation of these samples is therefore bit-identical to the serial
+    one regardless of worker count or scheduling (unlike slicing one
+    shared stream, where the draw an index sees depends on the partition).
+    """
+    if count < 1:
+        raise DeviceModelError(f"count must be >= 1, got {count}")
+    return [
+        sample_parameters(params, variation, count=1, rng=rng,
+                          clip_sigma=clip_sigma)[0]
+        for rng in spawn_rngs(seed, count)
+    ]
+
+
+def monte_carlo_map(
+    fn: Callable[[MTJParameters], _R],
+    params: MTJParameters,
+    variation: Optional[MTJVariation] = None,
+    count: int = 1,
+    seed: int = DEFAULT_SEED,
+    clip_sigma: float = 3.0,
+    workers: Optional[int] = None,
+) -> List[_R]:
+    """Evaluate ``fn`` over a Monte-Carlo parameter population.
+
+    Samples are drawn deterministically (:func:`monte_carlo_parameters`)
+    and evaluated through :func:`repro.parallel.parallel_map`; ``fn`` must
+    be picklable (a module-level function or ``functools.partial``) for
+    the pool path to engage, and the returned list is bit-identical for
+    every ``workers`` setting.
+    """
+    samples = monte_carlo_parameters(params, variation, count=count,
+                                     seed=seed, clip_sigma=clip_sigma)
+    return parallel_map(fn, samples, workers=workers)

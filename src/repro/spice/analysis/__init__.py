@@ -1,8 +1,14 @@
 """Analyses over a :class:`~repro.spice.netlist.Circuit`."""
 
 from repro.spice.analysis.mna import MNAStamper
+from repro.spice.analysis.engine import FastNewtonSolver, MNAWorkspace
 from repro.spice.analysis.dc import solve_dc, DCResult
-from repro.spice.analysis.transient import run_transient, TransientResult
+from repro.spice.analysis.transient import (
+    run_transient,
+    TransientResult,
+    get_default_engine,
+    set_default_engine,
+)
 from repro.spice.analysis.sweep import dc_sweep, inverter_vtc, static_noise_margin
 from repro.spice.analysis.opreport import (
     operating_point_report,
@@ -19,10 +25,14 @@ from repro.spice.analysis.measure import (
 
 __all__ = [
     "MNAStamper",
+    "MNAWorkspace",
+    "FastNewtonSolver",
     "solve_dc",
     "DCResult",
     "run_transient",
     "TransientResult",
+    "get_default_engine",
+    "set_default_engine",
     "crossing_time",
     "delay_between",
     "integrate_supply_energy",

@@ -1,0 +1,479 @@
+"""Fast-path simulation engine: cached MNA assembly + Jacobian reuse.
+
+The naive transient path re-allocates a dense MNA system and re-stamps
+*every* device on *every* Newton iteration.  For the latch circuits the
+device population is dominated by linear elements (resistors, the
+capacitors' companion conductances, source incidence rows) whose matrix
+stamps never change within a run — only the MOSFETs and MTJs genuinely
+need re-linearisation.  This module exploits that:
+
+* :class:`MNAWorkspace` preallocates the matrix/RHS once, caches the
+  static stamps of linear devices (``Device.stamp_static``) and the
+  per-timepoint RHS of sources/capacitor companions
+  (``Device.stamp_step``), and re-stamps only nonlinear devices per
+  Newton iteration.  MOSFETs are evaluated *vectorised* across all
+  transistors of the circuit (one EKV evaluation over numpy arrays
+  instead of N Python calls) when the circuit has enough of them.
+* :class:`FastNewtonSolver` implements damped modified Newton: the LU
+  factorisation of the Jacobian is reused across iterations (only the
+  residual is refreshed), with automatic fallback to a full
+  refactorisation when convergence slows down or stalls.
+* :func:`fast_transient_step` mirrors :func:`~repro.spice.analysis.dc.newton_step`
+  for the fast path; :func:`~repro.spice.analysis.transient.run_transient`
+  selects it with ``engine="fast"`` (the default) and keeps the legacy
+  path under ``engine="naive"`` so tests can compare the two.
+
+Equivalence contract, enforced by ``tests/test_engine_equivalence.py``:
+the workspace assembly matches the naive :class:`MNAStamper` assembly to
+≤ 1e-12 and fast waveforms match naive waveforms to ≤ 1 µV.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+try:  # LU reuse via LAPACK getrf/getrs; graceful degradation without scipy.
+    from scipy.linalg import get_lapack_funcs
+
+    _getrf, _getrs = get_lapack_funcs(("getrf", "getrs"),
+                                      (np.empty((1, 1)), np.empty(1)))
+    _HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - scipy is a declared dependency
+    _HAVE_SCIPY = False
+
+from repro.errors import ConvergenceError
+from repro.spice.devices.base import Device, EvalContext
+from repro.spice.devices.mosfet import MOSFET
+from repro.spice.devices.passive import Capacitor
+from repro.spice.analysis.mna import MNAStamper
+from repro.spice.netlist import Circuit
+
+#: Minimum transistor count before the vectorised MOSFET group pays off;
+#: below this the per-device scalar stamp (identical to the naive path)
+#: is cheaper than numpy call overhead.
+VECTORIZE_MOSFET_THRESHOLD = 4
+#: Refactorise the Jacobian at least every this many iterations.
+JACOBIAN_MAX_AGE = 6
+#: Smoothing of the channel-length-modulation overdrive (mirrors mosfet.py).
+_CLM_EPSILON = 1e-3
+
+
+def _gather(voltages: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Node voltages for an index array, ground (−1) reading as 0 V."""
+    if voltages.size == 0:
+        return np.zeros(indices.shape)
+    return np.where(indices >= 0, voltages[np.clip(indices, 0, None)], 0.0)
+
+
+class _Gather:
+    """Precompiled ground-masked gather: clipped indices + 0/1 mask, so the
+    per-iteration work is one ``take`` and one multiply."""
+
+    def __init__(self, indices: np.ndarray):
+        self.clipped = np.clip(indices, 0, None)
+        self.mask = (indices >= 0).astype(float)
+
+    def __call__(self, voltages: np.ndarray) -> np.ndarray:
+        if voltages.size == 0:
+            return np.zeros(self.clipped.shape)
+        return voltages.take(self.clipped) * self.mask
+
+
+class _MOSFETGroup:
+    """All MOSFETs of a circuit, evaluated and stamped as numpy arrays.
+
+    Reproduces :meth:`MOSFET.evaluate` / :meth:`MOSFET.stamp` exactly
+    (same formulas, vectorised); the equivalence property tests compare
+    the two to 1e-12.
+    """
+
+    def __init__(self, fets: List[MOSFET], size: int):
+        self.fets = fets
+        count = len(fets)
+        self.size = size
+        self.drain = np.array([f.drain for f in fets], dtype=np.intp)
+        self.gate = np.array([f.gate for f in fets], dtype=np.intp)
+        self.source = np.array([f.source for f in fets], dtype=np.intp)
+        self.bulk = np.array([f.bulk for f in fets], dtype=np.intp)
+        self.sign = np.array([f.model.sign for f in fets])
+        self.vth0 = np.array([f.model.vth0 for f in fets])
+        self.slope = np.array([f.model.slope_factor for f in fets])
+        self.lam = np.array([f.model.lambda_clm for f in fets])
+        self.two_vt = np.array([2.0 * f.model.thermal_volt for f in fets])
+        self.i_spec = np.array(
+            [f.model.specific_current(f.width, f.length) for f in fets]
+        )
+
+        # Precomputed scatter patterns.  Matrix contributions: for every
+        # partial k ∈ (d, g, s, b), +g_k lands on (drain, node_k) and −g_k
+        # on (source, node_k) — ground rows/columns dropped.
+        terminals = (self.drain, self.gate, self.source, self.bulk)
+        flat_parts: List[np.ndarray] = []
+        sign_parts: List[np.ndarray] = []
+        k_parts: List[np.ndarray] = []
+        fet_parts: List[np.ndarray] = []
+        for row_nodes, row_sign in ((self.drain, 1.0), (self.source, -1.0)):
+            for k, col_nodes in enumerate(terminals):
+                mask = (row_nodes >= 0) & (col_nodes >= 0)
+                sel = np.nonzero(mask)[0]
+                flat_parts.append(row_nodes[sel] * size + col_nodes[sel])
+                sign_parts.append(np.full(sel.shape, row_sign))
+                k_parts.append(np.full(sel.shape, k, dtype=np.intp))
+                fet_parts.append(sel)
+        self.flat_index = np.concatenate(flat_parts)
+        self.scatter_sign = np.concatenate(sign_parts)
+        self.scatter_k = np.concatenate(k_parts)
+        self.scatter_fet = np.concatenate(fet_parts)
+        self.drain_sel = np.nonzero(self.drain >= 0)[0]
+        self.source_sel = np.nonzero(self.source >= 0)[0]
+        self._count = count
+        self._gather_d = _Gather(self.drain)
+        self._gather_g = _Gather(self.gate)
+        self._gather_s = _Gather(self.source)
+        self._gather_b = _Gather(self.bulk)
+
+    @staticmethod
+    def _interp(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised EKV interpolation F(x) = ln²(1+eˣ) and 2·ln(1+eˣ)·σ(x)."""
+        log_term = np.logaddexp(0.0, x)
+        # σ(x) = eˣ/(1+eˣ) = exp(x − ln(1+eˣ)), stable for both signs.
+        sigmoid = np.exp(x - log_term)
+        return log_term * log_term, 2.0 * log_term * sigmoid
+
+    def evaluate(self, voltages: np.ndarray
+                 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Drain currents and the (4, N) partial-derivative matrix.
+
+        Returns ``(i_drain, partials, const)`` where ``partials`` rows
+        follow the (d, g, s, b) terminal order and ``const`` is the Norton
+        offset current of the linearisation.
+        """
+        vd = self._gather_d(voltages)
+        vg = self._gather_g(voltages)
+        vs = self._gather_s(voltages)
+        vb = self._gather_b(voltages)
+
+        sigma = self.sign
+        vdp, vgp = sigma * vd, sigma * vg
+        vsp, vbp = sigma * vs, sigma * vb
+        vp_pinch = (vgp - vbp - self.vth0) / self.slope
+        u_f = vp_pinch - (vsp - vbp)
+        u_r = vp_pinch - (vdp - vbp)
+
+        f_f, df_f = self._interp(u_f / self.two_vt)
+        f_r, df_r = self._interp(u_r / self.two_vt)
+        df_f = df_f / self.two_vt
+        df_r = df_r / self.two_vt
+
+        delta_i = f_f - f_r
+        vds_p = vdp - vsp
+        root = np.sqrt(vds_p * vds_p + _CLM_EPSILON * _CLM_EPSILON)
+        h = root - _CLM_EPSILON
+        m = 1.0 + self.lam * h
+        dm_dvds = self.lam * vds_p / root
+
+        i_drain = sigma * (self.i_spec * delta_i * m)
+        partials = np.empty((4, self._count))
+        gate_term = self.i_spec * m * (df_f - df_r)
+        partials[0] = self.i_spec * (m * df_r + delta_i * dm_dvds)   # d
+        partials[1] = gate_term / self.slope                         # g
+        partials[2] = self.i_spec * (-m * df_f - delta_i * dm_dvds)  # s
+        partials[3] = gate_term * (1.0 - 1.0 / self.slope)           # b
+        const = i_drain - (partials[0] * vd + partials[1] * vg
+                           + partials[2] * vs + partials[3] * vb)
+        return i_drain, partials, const
+
+    def stamp(self, matrix_flat: np.ndarray, rhs: np.ndarray,
+              voltages: np.ndarray) -> None:
+        """Scatter the linearised stamps of all transistors at once."""
+        _i_drain, partials, const = self.evaluate(voltages)
+        values = (self.scatter_sign
+                  * partials[self.scatter_k, self.scatter_fet])
+        np.add.at(matrix_flat, self.flat_index, values)
+        np.add.at(rhs, self.drain[self.drain_sel], -const[self.drain_sel])
+        np.add.at(rhs, self.source[self.source_sel], const[self.source_sel])
+
+
+class _CapacitorGroup:
+    """All capacitors of a circuit: static companion conductances plus a
+    vectorised per-step RHS and state update."""
+
+    def __init__(self, caps: List[Capacitor], dt: Optional[float],
+                 integrator: str):
+        self.caps = caps
+        self.transient = dt is not None
+        self.integrator = integrator
+        self.pos = np.array([c.positive for c in caps], dtype=np.intp)
+        self.neg = np.array([c.negative for c in caps], dtype=np.intp)
+        capacitance = np.array([c.capacitance for c in caps])
+        if self.transient:
+            scale = 2.0 if integrator == "trap" else 1.0
+            self.g = scale * capacitance / dt
+        else:
+            self.g = np.zeros(len(caps))
+        self.i_prev = np.array([c._prev_current for c in caps])
+        self._ieq = np.zeros(len(caps))
+        self.pos_sel = np.nonzero(self.pos >= 0)[0]
+        self.neg_sel = np.nonzero(self.neg >= 0)[0]
+        self._gather_pos = _Gather(self.pos)
+        self._gather_neg = _Gather(self.neg)
+
+    def stamp_static(self, stamper: MNAStamper) -> None:
+        if not self.transient:
+            return
+        for cap, g in zip(self.caps, self.g):
+            stamper.add_conductance(cap.positive, cap.negative, float(g))
+
+    def step_rhs(self, rhs: np.ndarray, prev_voltages: np.ndarray) -> None:
+        """Norton companion currents for the timepoint (iterate-free)."""
+        if not self.transient:
+            return
+        v_prev = self._gather_pos(prev_voltages) - self._gather_neg(prev_voltages)
+        ieq = self.g * v_prev
+        if self.integrator == "trap":
+            ieq = ieq + self.i_prev
+        self._ieq = ieq
+        np.add.at(rhs, self.pos[self.pos_sel], ieq[self.pos_sel])
+        np.add.at(rhs, self.neg[self.neg_sel], -ieq[self.neg_sel])
+
+    def update_state(self, voltages: np.ndarray) -> None:
+        """Advance the stored capacitor currents after an accepted step."""
+        if not self.transient:
+            return
+        v_now = self._gather_pos(voltages) - self._gather_neg(voltages)
+        self.i_prev = self.g * v_now - self._ieq
+
+
+class _RHSView(MNAStamper):
+    """Stamper view that only exposes the RHS — used for ``stamp_step`` so
+    a linear device violating the matrix-free contract fails loudly."""
+
+    def __init__(self, num_nodes: int, num_branches: int, rhs: np.ndarray):
+        self.num_nodes = num_nodes
+        self.num_branches = num_branches
+        self.matrix = None  # any matrix write raises immediately
+        self.rhs = rhs
+
+
+class MNAWorkspace:
+    """Preallocated MNA system with cached static stamps for one run.
+
+    The workspace is bound to a finalised circuit and one (dt, integrator)
+    pair.  Assembly proceeds in three tiers:
+
+    1. **static** — built once: linear-device matrix stamps
+       (``stamp_static``); invariant across the whole analysis;
+    2. **step**   — rebuilt once per timepoint: RHS of sources and
+       capacitor companions (``stamp_step``), which depend on time and the
+       previous accepted solution but not on the Newton iterate;
+    3. **iterate** — rebuilt every Newton iteration: nonlinear device
+       stamps (MOSFETs vectorised, MTJs and any other ``nonlinear``
+       device through their ordinary ``stamp``).
+    """
+
+    def __init__(self, circuit: Circuit, dt: Optional[float] = None,
+                 integrator: str = "be"):
+        circuit.finalize()
+        self.circuit = circuit
+        self.dt = dt
+        self.integrator = integrator
+        self.num_nodes = circuit.num_nodes
+        self.num_branches = circuit.num_branches
+        self.size = self.num_nodes + self.num_branches
+
+        self.matrix = np.zeros((self.size, self.size))
+        self.rhs = np.zeros(self.size)
+        self._matrix_flat = self.matrix.ravel()
+        self._step_rhs = np.zeros(self.size)
+        self._static_matrix = np.zeros((self.size, self.size))
+
+        fets: List[MOSFET] = []
+        caps: List[Capacitor] = []
+        self._linear_devices: List[Device] = []
+        self._iterate_devices: List[Device] = []
+        for device in circuit.devices:
+            if isinstance(device, MOSFET):
+                fets.append(device)
+            elif isinstance(device, Capacitor):
+                caps.append(device)
+            elif device.nonlinear:
+                self._iterate_devices.append(device)
+            else:
+                self._linear_devices.append(device)
+
+        self.cap_group = _CapacitorGroup(caps, dt, integrator)
+        if len(fets) >= VECTORIZE_MOSFET_THRESHOLD:
+            self.fet_group: Optional[_MOSFETGroup] = _MOSFETGroup(fets, self.size)
+        else:
+            self.fet_group = None
+            self._iterate_devices = fets + self._iterate_devices
+
+        self._build_static()
+        # Reusable EvalContext scaffolding.
+        self._time = 0.0
+        self._prev_voltages: Optional[np.ndarray] = None
+
+    # -- assembly tiers --------------------------------------------------------
+
+    def _static_ctx(self) -> EvalContext:
+        return EvalContext(voltages=np.zeros(self.num_nodes),
+                           prev_voltages=None, time=0.0, dt=self.dt,
+                           integrator=self.integrator)
+
+    def _build_static(self) -> None:
+        self._static_matrix[:, :] = 0.0
+        stamper = MNAStamper(self.num_nodes, self.num_branches,
+                             matrix=self._static_matrix,
+                             rhs=np.zeros(self.size))
+        ctx = self._static_ctx()
+        for device in self._linear_devices:
+            device.stamp_static(stamper, ctx)
+        self.cap_group.stamp_static(stamper)
+
+    def begin_step(self, time: float,
+                   prev_voltages: Optional[np.ndarray]) -> None:
+        """Rebuild the iterate-free RHS for a new timepoint."""
+        self._time = time
+        self._prev_voltages = prev_voltages
+        self._step_rhs[:] = 0.0
+        view = _RHSView(self.num_nodes, self.num_branches, self._step_rhs)
+        ctx = EvalContext(voltages=np.zeros(0), prev_voltages=prev_voltages,
+                          time=time, dt=self.dt, integrator=self.integrator)
+        for device in self._linear_devices:
+            device.stamp_step(view, ctx)
+        self.cap_group.step_rhs(self._step_rhs, prev_voltages)
+
+    def assemble(self, x: np.ndarray, gmin: float = 0.0) -> EvalContext:
+        """Assemble matrix+RHS at the iterate ``x`` into the workspace
+        buffers; returns the evaluation context used for the nonlinear
+        stamps (handy for state updates)."""
+        np.copyto(self.matrix, self._static_matrix)
+        np.copyto(self.rhs, self._step_rhs)
+        if gmin > 0.0 and self.num_nodes:
+            self._matrix_flat[: self.num_nodes * self.size + self.num_nodes
+                              : self.size + 1] += gmin
+        voltages = x[: self.num_nodes]
+        ctx = EvalContext(voltages=voltages, prev_voltages=self._prev_voltages,
+                          time=self._time, dt=self.dt, gmin=gmin,
+                          integrator=self.integrator)
+        if self.fet_group is not None:
+            self.fet_group.stamp(self._matrix_flat, self.rhs, voltages)
+        if self._iterate_devices:
+            view = MNAStamper(self.num_nodes, self.num_branches,
+                              matrix=self.matrix, rhs=self.rhs)
+            for device in self._iterate_devices:
+                device.stamp(view, ctx)
+        return ctx
+
+    def update_state(self, x: np.ndarray) -> None:
+        """Advance stateful devices after an accepted timepoint."""
+        voltages = x[: self.num_nodes]
+        self.cap_group.update_state(voltages)
+        ctx = EvalContext(voltages=voltages, prev_voltages=self._prev_voltages,
+                          time=self._time, dt=self.dt,
+                          integrator=self.integrator)
+        for device in self._iterate_devices:
+            device.update_state(ctx)
+        if self.fet_group is not None:
+            for device in self.fet_group.fets:
+                device.update_state(ctx)
+        for device in self._linear_devices:
+            device.update_state(ctx)
+
+
+class FastNewtonSolver:
+    """Damped modified Newton over an :class:`MNAWorkspace`.
+
+    The Jacobian LU factorisation is reused across iterations: only the
+    residual ``F(x) = A(x)·x − b(x)`` is refreshed, and the update solves
+    ``A₀·δ = −F(x)`` against the frozen factorisation.  The factorisation
+    is renewed automatically when the update stops shrinking (slow
+    convergence) or after :data:`JACOBIAN_MAX_AGE` iterations.
+    """
+
+    def __init__(self, workspace: MNAWorkspace, jacobian_reuse: bool = True):
+        self.workspace = workspace
+        self.jacobian_reuse = jacobian_reuse and _HAVE_SCIPY
+        self._lu = None
+
+    def _factorize(self) -> None:
+        # Raw LAPACK getrf: skips the scipy wrapper overhead (asarray +
+        # finiteness checks) that showed up in per-iteration profiles.
+        lu, piv, info = _getrf(self.workspace.matrix)
+        if info != 0:
+            raise np.linalg.LinAlgError(
+                f"LU factorisation failed (getrf info={info})")
+        self._lu = (lu, piv)
+
+    def _delta(self, x: np.ndarray, fresh: bool) -> np.ndarray:
+        """Newton update −A₀⁻¹·F(x) from the workspace's assembled system."""
+        ws = self.workspace
+        if not self.jacobian_reuse:
+            return np.linalg.solve(ws.matrix, ws.rhs) - x
+        if fresh or self._lu is None:
+            self._factorize()
+        residual = ws.matrix @ x - ws.rhs
+        lu, piv = self._lu
+        delta, info = _getrs(lu, piv, residual)
+        if info != 0:
+            raise np.linalg.LinAlgError(
+                f"LU solve failed (getrs info={info})")
+        return -delta
+
+    def solve(self, x0: np.ndarray, time: float,
+              prev_voltages: Optional[np.ndarray], gmin: float,
+              max_iterations: int, vtol: float, damping: float) -> np.ndarray:
+        """One converged Newton solve at a timepoint (same contract as the
+        naive ``_newton``: raises :class:`ConvergenceError` on failure)."""
+        ws = self.workspace
+        ws.begin_step(time, prev_voltages)
+        num_nodes = ws.num_nodes
+        x = x0.copy()
+        last_factor = 0
+        prev_max_dv = np.inf
+        max_dv = np.inf
+        for iteration in range(1, max_iterations + 1):
+            ws.assemble(x, gmin=gmin)
+            stale = iteration - last_factor
+            refresh = (stale >= JACOBIAN_MAX_AGE
+                       or (stale >= 1 and max_dv > 0.5 * prev_max_dv))
+            try:
+                delta = self._delta(x, fresh=refresh or iteration == 1)
+            except np.linalg.LinAlgError as exc:
+                raise ConvergenceError(
+                    f"singular MNA matrix at gmin={gmin:g} "
+                    f"(iteration {iteration})",
+                    iterations=iteration,
+                ) from exc
+            if refresh or iteration == 1:
+                last_factor = iteration
+            if not np.all(np.isfinite(delta)):
+                if iteration - last_factor > 0:
+                    # Stale factorisation went bad: refactor and retry once.
+                    self._factorize()
+                    last_factor = iteration
+                    delta = self._delta(x, fresh=False)
+                if not np.all(np.isfinite(delta)):
+                    raise ConvergenceError(
+                        f"singular MNA matrix at gmin={gmin:g} "
+                        f"(iteration {iteration})",
+                        iterations=iteration,
+                    )
+
+            prev_max_dv = max_dv
+            dv = delta[:num_nodes]
+            max_dv = float(np.max(np.abs(dv))) if num_nodes else 0.0
+            if max_dv > damping:
+                x = x + delta * (damping / max_dv)
+            else:
+                x = x + delta
+                if max_dv < vtol:
+                    return x
+        raise ConvergenceError(
+            f"Newton failed to converge in {max_iterations} iterations "
+            f"(gmin={gmin:g}, last max dV={max_dv:g})",
+            iterations=max_iterations,
+            residual=max_dv,
+        )

@@ -22,14 +22,20 @@ import numpy as np
 
 
 class MNAStamper:
-    """Dense MNA system under construction for one Newton iteration."""
+    """Dense MNA system under construction for one Newton iteration.
 
-    def __init__(self, num_nodes: int, num_branches: int):
+    By default it owns freshly zeroed arrays; the fast engine passes
+    preallocated ``matrix``/``rhs`` buffers to stamp into without
+    reallocating (see :mod:`repro.spice.analysis.engine`).
+    """
+
+    def __init__(self, num_nodes: int, num_branches: int,
+                 matrix: np.ndarray = None, rhs: np.ndarray = None):
         self.num_nodes = num_nodes
         self.num_branches = num_branches
         size = num_nodes + num_branches
-        self.matrix = np.zeros((size, size))
-        self.rhs = np.zeros(size)
+        self.matrix = np.zeros((size, size)) if matrix is None else matrix
+        self.rhs = np.zeros(size) if rhs is None else rhs
 
     # -- nodal stamps --------------------------------------------------------
 

@@ -37,6 +37,12 @@ class SweepResult:
     node_voltages: np.ndarray
 
     def voltage(self, node_name: str) -> np.ndarray:
+        """Per-step waveform of a node voltage; ground reads as zeros, an
+        unknown (misspelled) node name raises :class:`AnalysisError`."""
+        if not self.circuit.has_node(node_name):
+            raise AnalysisError(
+                f"no node named {node_name!r} in circuit {self.circuit.name!r}"
+            )
         index = self.circuit.node(node_name)
         if index < 0:
             return np.zeros(len(self.values))

@@ -27,11 +27,14 @@ the paper's numbers imply.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Callable, Dict, Optional, Sequence, TypeVar
 
 from repro.mtj.parameters import MTJParameters
 from repro.mtj.variation import MTJCorner, MTJVariation
+from repro.parallel import parallel_map
 from repro.spice.devices.mosfet import MOSFETModel, NMOS_40LP, PMOS_40LP
+
+_R = TypeVar("_R")
 
 #: 1σ of the threshold voltage [V].
 VTH_SIGMA = 0.015
@@ -98,3 +101,21 @@ CORNER_ORDER = ("fast", "typical", "slow")
 
 #: Table II column order (per-metric extremes derived from the corners).
 TABLE_COLUMNS = ("worst", "typical", "best")
+
+
+def sweep_corners(
+    fn: Callable[[SimulationCorner], _R],
+    corners: Sequence[str] = CORNER_ORDER,
+    workers: Optional[int] = None,
+) -> Dict[str, _R]:
+    """Evaluate ``fn`` at every named corner, corners in parallel.
+
+    Returns ``{corner_name: fn(CORNERS[name])}`` preserving the order of
+    ``corners``.  ``fn`` must be picklable (module-level function or
+    ``functools.partial``) for the process-pool path; the result is
+    identical for any ``workers`` setting (see :mod:`repro.parallel`).
+    """
+    names = list(corners)
+    results = parallel_map(fn, [CORNERS[name] for name in names],
+                           workers=workers)
+    return dict(zip(names, results))

@@ -60,10 +60,33 @@ class EvalContext:
 
 
 class Device:
-    """Base class of all circuit elements."""
+    """Base class of all circuit elements.
+
+    Stamping contract (used by both solver paths):
+
+    * ``stamp(stamper, ctx)`` — the full linearised companion model.  The
+      naive engine calls this on every device, every Newton iteration.
+    * ``nonlinear`` — class attribute.  ``True`` (the safe default) means
+      the stamp depends on the Newton iterate and must be re-applied every
+      iteration.  ``False`` declares the *linear-device split* below, which
+      the fast engine (:mod:`repro.spice.analysis.engine`) exploits:
+
+      - ``stamp_static(stamper, ctx)`` writes only **matrix** entries and
+        may depend on ``ctx.dt`` / ``ctx.integrator`` but on neither the
+        iterate, the time, nor the previous timepoint.  It is applied once
+        per analysis and cached.
+      - ``stamp_step(stamper, ctx)`` writes only **RHS** entries and may
+        depend on ``ctx.time`` and ``ctx.prev_voltages`` but not on the
+        iterate.  It is applied once per timepoint.
+
+      For a linear device ``stamp`` must equal ``stamp_static`` followed by
+      ``stamp_step`` — the equivalence tests enforce this to 1e-12.
+    """
 
     #: Unique name within the circuit (assigned by :class:`Circuit`).
     name: str = ""
+    #: Whether the stamp depends on the Newton iterate (see class docstring).
+    nonlinear: bool = True
 
     def node_indices(self) -> Sequence[int]:
         """Indices of all nodes this device touches (for connectivity checks)."""
@@ -79,6 +102,12 @@ class Device:
     def stamp(self, stamper: "MNAStamper", ctx: EvalContext) -> None:
         """Stamp the linearised model at the given iterate."""
         raise NotImplementedError
+
+    def stamp_static(self, stamper: "MNAStamper", ctx: EvalContext) -> None:
+        """Iterate/time-invariant matrix stamps (linear devices only)."""
+
+    def stamp_step(self, stamper: "MNAStamper", ctx: EvalContext) -> None:
+        """Per-timepoint RHS stamps (linear devices only)."""
 
     def update_state(self, ctx: EvalContext) -> None:
         """Advance internal state after an accepted timestep (default: none)."""

@@ -149,6 +149,8 @@ PMOS_40LP = MOSFETModel(polarity="p", vth0=0.47, slope_factor=1.35, kp=95e-6,
 class MOSFET(Device):
     """One MOS transistor instance (drain, gate, source, bulk node indices)."""
 
+    nonlinear = True  # re-linearised every Newton iteration
+
     drain: int = -1
     gate: int = -1
     source: int = -1

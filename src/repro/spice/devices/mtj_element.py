@@ -31,6 +31,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class MTJElement(Device):
     """One MTJ between two circuit nodes."""
 
+    nonlinear = True  # conductance depends on the bias iterate
+
     free: int = -1
     ref: int = -1
     device: MTJDevice = field(default_factory=MTJDevice)

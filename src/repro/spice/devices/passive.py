@@ -17,13 +17,17 @@ class Resistor(TwoTerminal):
     """Ohmic resistor."""
 
     resistance: float = 1.0
+    nonlinear = False
 
     def __post_init__(self) -> None:
         if self.resistance <= 0.0:
             raise NetlistError(f"resistor {self.name!r}: resistance must be positive")
 
-    def stamp(self, stamper: "MNAStamper", ctx: EvalContext) -> None:
+    def stamp_static(self, stamper: "MNAStamper", ctx: EvalContext) -> None:
         stamper.add_conductance(self.positive, self.negative, 1.0 / self.resistance)
+
+    def stamp(self, stamper: "MNAStamper", ctx: EvalContext) -> None:
+        self.stamp_static(stamper, ctx)
 
     def current(self, ctx: EvalContext) -> float:
         """Current flowing positive → negative [A]."""
@@ -45,6 +49,7 @@ class Capacitor(TwoTerminal):
     """
 
     capacitance: float = 1e-15
+    nonlinear = False
     _prev_current: float = field(default=0.0, init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -54,22 +59,35 @@ class Capacitor(TwoTerminal):
     def reset_state(self) -> None:
         self._prev_current = 0.0
 
-    def _companion(self, ctx: EvalContext) -> tuple:
+    def companion_conductance(self, ctx: EvalContext) -> float:
+        """Companion conductance [S] for the active integrator/timestep."""
         if ctx.integrator == "trap":
-            g = 2.0 * self.capacitance / ctx.dt
-            v_prev = ctx.v_prev(self.positive) - ctx.v_prev(self.negative)
-            return g, g * v_prev + self._prev_current
-        g = self.capacitance / ctx.dt
+            return 2.0 * self.capacitance / ctx.dt
+        return self.capacitance / ctx.dt
+
+    def _companion(self, ctx: EvalContext) -> tuple:
+        g = self.companion_conductance(ctx)
         v_prev = ctx.v_prev(self.positive) - ctx.v_prev(self.negative)
+        if ctx.integrator == "trap":
+            return g, g * v_prev + self._prev_current
         return g, g * v_prev
 
-    def stamp(self, stamper: "MNAStamper", ctx: EvalContext) -> None:
+    def stamp_static(self, stamper: "MNAStamper", ctx: EvalContext) -> None:
         if not ctx.is_transient:
             return
-        g, ieq = self._companion(ctx)
-        stamper.add_conductance(self.positive, self.negative, g)
+        stamper.add_conductance(self.positive, self.negative,
+                                self.companion_conductance(ctx))
+
+    def stamp_step(self, stamper: "MNAStamper", ctx: EvalContext) -> None:
+        if not ctx.is_transient:
+            return
+        _g, ieq = self._companion(ctx)
         stamper.add_current(self.positive, ieq)
         stamper.add_current(self.negative, -ieq)
+
+    def stamp(self, stamper: "MNAStamper", ctx: EvalContext) -> None:
+        self.stamp_static(stamper, ctx)
+        self.stamp_step(stamper, ctx)
 
     def current(self, ctx: EvalContext) -> float:
         """Capacitor current positive → negative at the current iterate [A]."""

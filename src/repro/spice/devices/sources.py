@@ -23,6 +23,7 @@ class VoltageSource(TwoTerminal):
     """
 
     waveform: Waveform = field(default_factory=DC)
+    nonlinear = False
     branch_index: int = field(default=-1, init=False)
 
     def num_branches(self) -> int:
@@ -34,10 +35,19 @@ class VoltageSource(TwoTerminal):
     def voltage_at(self, time: float) -> float:
         return self.waveform.value(time)
 
-    def stamp(self, stamper: "MNAStamper", ctx: EvalContext) -> None:
+    def stamp_static(self, stamper: "MNAStamper", ctx: EvalContext) -> None:
+        # Branch incidence only; the time-dependent source value goes on
+        # the RHS in stamp_step.
         stamper.add_voltage_source(
-            self.branch_index, self.positive, self.negative, self.voltage_at(ctx.time)
+            self.branch_index, self.positive, self.negative, 0.0
         )
+
+    def stamp_step(self, stamper: "MNAStamper", ctx: EvalContext) -> None:
+        stamper.rhs[stamper.branch_row(self.branch_index)] += self.voltage_at(ctx.time)
+
+    def stamp(self, stamper: "MNAStamper", ctx: EvalContext) -> None:
+        self.stamp_static(stamper, ctx)
+        self.stamp_step(stamper, ctx)
 
 
 @dataclass
@@ -51,11 +61,15 @@ class CurrentSource(TwoTerminal):
     current)."""
 
     waveform: Waveform = field(default_factory=DC)
+    nonlinear = False
 
     def current_at(self, time: float) -> float:
         return self.waveform.value(time)
 
-    def stamp(self, stamper: "MNAStamper", ctx: EvalContext) -> None:
+    def stamp_step(self, stamper: "MNAStamper", ctx: EvalContext) -> None:
         value = self.current_at(ctx.time)
         stamper.add_current(self.positive, value)
         stamper.add_current(self.negative, -value)
+
+    def stamp(self, stamper: "MNAStamper", ctx: EvalContext) -> None:
+        self.stamp_step(stamper, ctx)

@@ -1,0 +1,208 @@
+"""Fast engine ↔ naive path equivalence.
+
+The fast engine (:mod:`repro.spice.analysis.engine`) must be a pure
+optimisation: for any circuit the cached three-tier assembly produces the
+same MNA system as re-stamping every device through the naive
+:class:`MNAStamper` (≤ 1e-12 element-wise), and ``engine="fast"``
+transients match ``engine="naive"`` waveforms to ≤ 1 µV.  The circuits
+below are randomised (seeded) RC ladders, MOSFET chains/latches, and
+MTJ read structures so the contract is checked well beyond the shapes the
+characterisation code happens to build.
+"""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, Pulse
+from repro.spice.analysis.engine import (
+    MNAWorkspace,
+    VECTORIZE_MOSFET_THRESHOLD,
+)
+from repro.spice.analysis.mna import MNAStamper
+from repro.spice.analysis.transient import run_transient
+from repro.spice.devices.base import EvalContext
+from repro.mtj.device import MTJState
+
+ASSEMBLY_TOL = 1e-12
+WAVEFORM_TOL = 1e-6  # 1 µV
+
+
+# ---------------------------------------------------------------------------
+# Randomised circuit builders (all seeded)
+# ---------------------------------------------------------------------------
+
+
+def random_rc_ladder(rng: np.random.Generator) -> Circuit:
+    """Pulse-driven RC ladder with random section values and random
+    cross-coupling caps (some floating node-to-node, some to ground)."""
+    c = Circuit("rc-ladder")
+    sections = int(rng.integers(2, 6))
+    c.add_vsource("vin", "n0", "0",
+                  Pulse(0.0, 1.0, delay=0.05e-9,
+                        rise=float(rng.uniform(1e-12, 20e-12)), width=50e-9))
+    for i in range(sections):
+        c.add_resistor(f"r{i}", f"n{i}", f"n{i + 1}",
+                       float(rng.uniform(0.5e3, 20e3)))
+        c.add_capacitor(f"c{i}", f"n{i + 1}", "0",
+                        float(rng.uniform(0.1e-15, 5e-15)))
+    if sections >= 3:
+        c.add_capacitor("cx", "n1", f"n{sections}",
+                        float(rng.uniform(0.1e-15, 1e-15)))
+    return c
+
+
+def random_mosfet_chain(rng: np.random.Generator) -> Circuit:
+    """Inverter chain (enough transistors to trigger the vectorised
+    group) with randomised widths, driven by a pulse."""
+    c = Circuit("inv-chain")
+    stages = int(rng.integers(3, 6))  # ≥ 6 fets ≥ threshold
+    assert 2 * stages >= VECTORIZE_MOSFET_THRESHOLD
+    c.add_vsource("vdd", "vdd", "0", 1.1)
+    c.add_vsource("vin", "in", "0",
+                  Pulse(0.0, 1.1, delay=0.05e-9, rise=10e-12, width=5e-9))
+    prev = "in"
+    for i in range(stages):
+        out = f"s{i}"
+        c.add_pmos(f"p{i}", out, prev, "vdd", "vdd",
+                   width=float(rng.uniform(200e-9, 600e-9)))
+        c.add_nmos(f"n{i}", out, prev, "0",
+                   width=float(rng.uniform(120e-9, 400e-9)))
+        c.add_capacitor(f"cl{i}", out, "0", float(rng.uniform(0.05e-15, 0.5e-15)))
+        prev = out
+    return c
+
+
+def random_mtj_read(rng: np.random.Generator) -> Circuit:
+    """Access-transistor + MTJ divider pair — the core of the latch read
+    path — with a random MTJ state assignment."""
+    c = Circuit("mtj-read")
+    c.add_vsource("vdd", "vdd", "0", 1.1)
+    c.add_vsource("ren", "ren", "0",
+                  Pulse(0.0, 1.1, delay=0.1e-9, rise=20e-12, width=5e-9))
+    states = [MTJState.PARALLEL, MTJState.ANTIPARALLEL]
+    rng.shuffle(states)
+    for i, state in enumerate(states):
+        c.add_resistor(f"rl{i}", "vdd", f"bl{i}", float(rng.uniform(2e3, 8e3)))
+        c.add_mtj(f"mtj{i}", f"bl{i}", f"sn{i}", state=state)
+        c.add_nmos(f"acc{i}", f"sn{i}", "ren", "0",
+                   width=float(rng.uniform(150e-9, 500e-9)))
+        c.add_capacitor(f"cb{i}", f"bl{i}", "0", float(rng.uniform(0.1e-15, 1e-15)))
+    return c
+
+
+BUILDERS = (random_rc_ladder, random_mosfet_chain, random_mtj_read)
+
+
+# ---------------------------------------------------------------------------
+# Assembly equivalence: workspace vs full naive restamp
+# ---------------------------------------------------------------------------
+
+
+def naive_assembly(circuit, x, time, prev_voltages, dt, integrator, gmin):
+    """The system the naive Newton iteration would solve at iterate x."""
+    stamper = MNAStamper(circuit.num_nodes, circuit.num_branches)
+    ctx = EvalContext(voltages=x[: circuit.num_nodes],
+                      prev_voltages=prev_voltages, time=time, dt=dt,
+                      gmin=gmin, integrator=integrator)
+    for device in circuit.devices:
+        device.stamp(stamper, ctx)
+    stamper.apply_gmin(gmin)
+    return stamper.matrix, stamper.rhs
+
+
+@pytest.mark.parametrize("builder", BUILDERS, ids=lambda b: b.__name__)
+@pytest.mark.parametrize("integrator", ["be", "trap"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_workspace_assembly_matches_naive(builder, integrator, seed):
+    rng = np.random.default_rng(1000 * seed + sum(map(ord, builder.__name__)))
+    circuit = builder(rng)
+    circuit.finalize()
+    dt = 1e-12
+    size = circuit.num_nodes + circuit.num_branches
+
+    workspace = MNAWorkspace(circuit, dt=dt, integrator=integrator)
+    for trial in range(3):
+        time = float(rng.uniform(0.0, 1e-9))
+        prev = rng.uniform(-0.2, 1.3, size=circuit.num_nodes)
+        x = rng.uniform(-0.2, 1.3, size=size)
+        gmin = float(rng.choice([0.0, 1e-12, 1e-9]))
+
+        workspace.begin_step(time, prev)
+        workspace.assemble(x, gmin=gmin)
+        matrix, rhs = naive_assembly(circuit, x, time, prev, dt, integrator,
+                                     gmin)
+        assert np.max(np.abs(workspace.matrix - matrix)) <= ASSEMBLY_TOL
+        assert np.max(np.abs(workspace.rhs - rhs)) <= ASSEMBLY_TOL
+
+
+def test_workspace_assembly_matches_naive_dc():
+    # dt=None workspace: capacitors must stamp nothing, like the naive DC.
+    rng = np.random.default_rng(7)
+    circuit = random_mosfet_chain(rng)
+    circuit.finalize()
+    size = circuit.num_nodes + circuit.num_branches
+    workspace = MNAWorkspace(circuit, dt=None)
+    x = rng.uniform(0.0, 1.1, size=size)
+    workspace.begin_step(0.0, None)
+    workspace.assemble(x, gmin=1e-12)
+    matrix, rhs = naive_assembly(circuit, x, 0.0, None, None, "be", 1e-12)
+    assert np.max(np.abs(workspace.matrix - matrix)) <= ASSEMBLY_TOL
+    assert np.max(np.abs(workspace.rhs - rhs)) <= ASSEMBLY_TOL
+
+
+# ---------------------------------------------------------------------------
+# Waveform equivalence: engine="fast" vs engine="naive"
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("builder", BUILDERS, ids=lambda b: b.__name__)
+@pytest.mark.parametrize("integrator", ["be", "trap"])
+@pytest.mark.parametrize("seed", [3, 4])
+def test_fast_waveforms_match_naive(builder, integrator, seed):
+    rng = np.random.default_rng(seed)
+    circuit = builder(rng)
+    naive = run_transient(circuit, 1e-9, 2e-12, integrator=integrator,
+                          engine="naive")
+    circuit.reset_state()
+    fast = run_transient(circuit, 1e-9, 2e-12, integrator=integrator,
+                         engine="fast")
+    diff = float(np.max(np.abs(naive.node_voltages - fast.node_voltages)))
+    assert diff <= WAVEFORM_TOL, f"waveforms diverge by {diff:g} V"
+
+
+def test_fast_is_the_default_engine():
+    from repro.spice.analysis.transient import get_default_engine
+
+    assert get_default_engine() == "fast"
+
+
+def test_unknown_engine_rejected():
+    from repro.errors import AnalysisError
+
+    rng = np.random.default_rng(0)
+    with pytest.raises(AnalysisError):
+        run_transient(random_rc_ladder(rng), 1e-9, 1e-12, engine="blazing")
+
+
+def test_jacobian_reuse_matches_full_newton():
+    # Same workspace, solver with and without LU reuse: identical converged
+    # points (both satisfy the same tolerance on the same residual).
+    from repro.spice.analysis.engine import FastNewtonSolver
+
+    rng = np.random.default_rng(11)
+    circuit = random_mosfet_chain(rng)
+    naive = run_transient(circuit, 0.5e-9, 2e-12, engine="naive")
+    circuit.reset_state()
+
+    ws = MNAWorkspace(circuit, dt=2e-12, integrator="be")
+    solver = FastNewtonSolver(ws, jacobian_reuse=False)
+    assert not solver.jacobian_reuse
+    size = circuit.num_nodes + circuit.num_branches
+    x = np.concatenate([naive.node_voltages[0], naive.branch_currents[0]])
+    prev = naive.node_voltages[0].copy()
+    for step in range(1, 26):
+        x = solver.solve(x, step * 2e-12, prev, 1e-12, 150, 1e-7, 0.4)
+        ws.update_state(x)
+        prev = x[: circuit.num_nodes].copy()
+        ref = naive.node_voltages[step]
+        assert np.max(np.abs(prev - ref)) <= WAVEFORM_TOL

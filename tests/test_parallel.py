@@ -1,0 +1,148 @@
+"""Determinism of the parallel runner and the Monte-Carlo plumbing.
+
+The contract under test: for any ``workers`` setting, the parallel map
+returns *bit-identical* results to the serial loop — parallelism is an
+execution detail, never a source of nondeterminism.  This requires both
+order-preserving result collection (``parallel_map``) and per-task RNG
+spawning (``spawn_rngs`` / ``monte_carlo_parameters``) instead of slicing
+one shared stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceModelError
+from repro.mtj.parameters import PAPER_TABLE_I
+from repro.mtj.variation import (
+    DEFAULT_SEED,
+    MTJVariation,
+    monte_carlo_map,
+    monte_carlo_parameters,
+    sample_parameters,
+)
+from repro.parallel import default_workers, parallel_map, spawn_rngs
+
+
+def square(x):
+    """Module-level (hence picklable) worker for the pool path."""
+    return x * x
+
+
+def resistance_pair(params):
+    """Picklable Monte-Carlo payload: the two junction resistances."""
+    return (params.resistance_p, params.resistance_ap)
+
+
+class TestParallelMap:
+    def test_matches_serial_map(self):
+        items = list(range(23))
+        expected = [square(x) for x in items]
+        assert parallel_map(square, items, workers=1) == expected
+        assert parallel_map(square, items, workers=4) == expected
+
+    def test_preserves_item_order(self):
+        items = [5, 3, 9, 1, 1, 7]
+        assert parallel_map(square, items, workers=3) == [25, 9, 81, 1, 1, 49]
+
+    def test_empty_and_single_item(self):
+        assert parallel_map(square, [], workers=4) == []
+        assert parallel_map(square, [6], workers=4) == [36]
+
+    def test_default_workers_at_least_one(self):
+        assert default_workers() >= 1
+
+    def test_serial_path_accepts_lambdas(self):
+        # workers<=1 never pickles, so closures are fine there.
+        assert parallel_map(lambda x: x + 1, [1, 2], workers=1) == [2, 3]
+
+
+class TestSpawnRngs:
+    def test_streams_are_reproducible(self):
+        a = [rng.standard_normal(4) for rng in spawn_rngs(123, 5)]
+        b = [rng.standard_normal(4) for rng in spawn_rngs(123, 5)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_stream_i_independent_of_count(self):
+        # Task i's stream is a function of (seed, i) only: growing the
+        # population must not reshuffle existing samples.
+        short = [rng.standard_normal() for rng in spawn_rngs(9, 3)]
+        long = [rng.standard_normal() for rng in spawn_rngs(9, 8)]
+        assert short == long[:3]
+
+    def test_streams_differ_between_tasks_and_seeds(self):
+        draws = [rng.standard_normal() for rng in spawn_rngs(1, 4)]
+        assert len(set(draws)) == 4
+        other = [rng.standard_normal() for rng in spawn_rngs(2, 4)]
+        assert draws != other
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestMonteCarloDeterminism:
+    def test_default_rng_is_seeded(self):
+        # Regression: rng=None used to mean an *unseeded* generator, so two
+        # "identical" default runs disagreed.
+        first = sample_parameters(PAPER_TABLE_I, count=4)
+        second = sample_parameters(PAPER_TABLE_I, count=4)
+        assert first == second
+
+    def test_explicit_rng_still_honoured(self):
+        rng = np.random.default_rng(77)
+        with_rng = sample_parameters(PAPER_TABLE_I, count=2, rng=rng)
+        default = sample_parameters(PAPER_TABLE_I, count=2)
+        assert with_rng != default
+
+    def test_population_reproducible(self):
+        a = monte_carlo_parameters(PAPER_TABLE_I, count=8, seed=5)
+        b = monte_carlo_parameters(PAPER_TABLE_I, count=8, seed=5)
+        assert a == b
+        assert a != monte_carlo_parameters(PAPER_TABLE_I, count=8, seed=6)
+
+    def test_sample_i_stable_under_population_growth(self):
+        small = monte_carlo_parameters(PAPER_TABLE_I, count=3, seed=5)
+        large = monte_carlo_parameters(PAPER_TABLE_I, count=12, seed=5)
+        assert small == large[:3]
+
+    def test_parallel_mc_bit_identical_to_serial(self):
+        serial = monte_carlo_map(resistance_pair, PAPER_TABLE_I,
+                                 count=16, seed=DEFAULT_SEED, workers=1)
+        for workers in (2, 5):
+            parallel = monte_carlo_map(resistance_pair, PAPER_TABLE_I,
+                                       count=16, seed=DEFAULT_SEED,
+                                       workers=workers)
+            assert parallel == serial  # bit-identical, not approx
+
+    def test_variation_and_clip_respected(self):
+        tight = MTJVariation(sigma_ra=0.0, sigma_tmr=0.0, sigma_ic=0.0)
+        for params in monte_carlo_parameters(PAPER_TABLE_I, tight,
+                                             count=5, seed=1):
+            assert params.resistance_p == PAPER_TABLE_I.resistance_p
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(DeviceModelError):
+            monte_carlo_parameters(PAPER_TABLE_I, count=0)
+
+
+class TestSweepAndBenchmarkRunners:
+    def test_sweep_corners_order_and_content(self):
+        from repro.spice.corners import CORNER_ORDER, sweep_corners
+
+        out = sweep_corners(corner_name, workers=2)
+        assert list(out) == list(CORNER_ORDER)
+        assert all(out[name] == name for name in out)
+
+    def test_evaluate_benchmarks_matches_direct_flow(self):
+        from repro.core.evaluate import evaluate_benchmarks
+        from repro.core.flow import run_system_flow
+
+        direct = run_system_flow("s344").result
+        (via_runner,) = evaluate_benchmarks(["s344"], workers=2)
+        assert via_runner == direct
+
+
+def corner_name(corner):
+    """Picklable corner payload."""
+    return corner.name

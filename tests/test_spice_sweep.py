@@ -22,6 +22,23 @@ class TestDCSweep:
         sweep = dc_sweep(c, "vin", [0.0, 0.5, 1.0])
         assert sweep.voltage("mid") == pytest.approx([0.0, 0.25, 0.5], abs=1e-6)
 
+    def test_ground_reads_as_zeros(self):
+        c = Circuit()
+        c.add_vsource("vin", "a", "0", 0.0)
+        c.add_resistor("r", "a", "0", 1e3)
+        sweep = dc_sweep(c, "vin", [0.0, 1.0])
+        assert np.all(sweep.voltage("gnd") == 0.0)
+
+    def test_misspelled_node_raises(self):
+        # Used to silently return zeros, hiding probe typos.
+        c = Circuit()
+        c.add_vsource("vin", "a", "0", 0.0)
+        c.add_resistor("r1", "a", "mid", 1e3)
+        c.add_resistor("r2", "mid", "0", 1e3)
+        sweep = dc_sweep(c, "vin", [0.0, 1.0])
+        with pytest.raises(AnalysisError, match="no node named 'mdi'"):
+            sweep.voltage("mdi")
+
     def test_rejects_empty_values(self):
         c = Circuit()
         c.add_vsource("vin", "a", "0", 0.0)

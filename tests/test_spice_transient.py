@@ -70,6 +70,55 @@ class TestRCAccuracy:
         assert result.final_voltage("mid") == pytest.approx(0.5, abs=0.02)
 
 
+class TestIntegratorOrder:
+    """Convergence-order check: halving dt must halve the backward-Euler
+    error (first order) and quarter the trapezoidal error (second order).
+
+    The stimulus edges land exactly on every tested grid (delay and rise
+    are multiples of the coarsest dt) so the measured ratios reflect the
+    integrator truncation error, not stimulus aliasing.  Errors are RMS
+    against a 32×-finer reference run of the same integrator; Newton
+    tolerance is tightened well below the truncation errors compared.
+    """
+
+    DTS = (16e-12, 8e-12, 4e-12)
+    STOP = 512e-12
+
+    def _errors(self, integrator):
+        def build():
+            c = Circuit()
+            c.add_vsource("vin", "a", "0",
+                          Pulse(0.0, 1.0, delay=32e-12, rise=32e-12,
+                                width=10e-9))
+            c.add_resistor("r", "a", "b", 1e3)
+            c.add_capacitor("cl", "b", "0", 0.1e-12)
+            return c
+
+        reference = run_transient(build(), self.STOP, 0.5e-12,
+                                  integrator=integrator, vtol=1e-10)
+        errors = []
+        for dt in self.DTS:
+            result = run_transient(build(), self.STOP, dt,
+                                   integrator=integrator, vtol=1e-10)
+            ref = np.interp(result.times, reference.times,
+                            reference.voltage("b"))
+            errors.append(float(np.sqrt(np.mean(
+                (result.voltage("b") - ref) ** 2))))
+        return errors
+
+    def test_backward_euler_is_first_order(self):
+        errors = self._errors("be")
+        for coarse, fine in zip(errors, errors[1:]):
+            assert 1.6 < coarse / fine < 2.6, (
+                f"BE error ratio {coarse / fine:.2f} not ~2: {errors}")
+
+    def test_trapezoidal_is_second_order(self):
+        errors = self._errors("trap")
+        for coarse, fine in zip(errors, errors[1:]):
+            assert 3.2 < coarse / fine < 5.0, (
+                f"trap error ratio {coarse / fine:.2f} not ~4: {errors}")
+
+
 class TestInitialConditions:
     def test_dc_start_by_default(self):
         # With a constant source, the transient must start at the DC point.
@@ -112,6 +161,17 @@ class TestResultAccessors:
 
     def test_voltage_of_ground_is_zero(self, result):
         assert np.all(result.voltage("0") == 0.0)
+
+    def test_voltage_of_ground_alias_is_zero(self, result):
+        assert np.all(result.voltage("gnd") == 0.0)
+
+    def test_misspelled_node_raises(self, result):
+        # A typo used to silently read as a zero waveform, making broken
+        # measurements look like a stuck node.
+        with pytest.raises(AnalysisError, match="no node named 'bb'"):
+            result.voltage("bb")
+        with pytest.raises(AnalysisError):
+            result.sample("out_typo", 0.5e-9)
 
     def test_source_current_waveform(self, result):
         current = result.source_current("vin")
