@@ -153,6 +153,12 @@ def build_standard_latch(
     c.add_capacitor("cload_out", "out", GROUND, sizing.output_load)
     c.add_capacitor("cload_outb", "outb", GROUND, sizing.output_load)
 
+    # The builders guarantee ERC-clean netlists: any future rewiring that
+    # floats a node or couples the write paths fails here, not in a
+    # transient run minutes later.
+    from repro.lint import assert_lint_clean
+
+    assert_lint_clean(c)
     return StandardNVLatch(
         circuit=c, vdd_source="vdd", out="out", outb="outb",
         mtj1=mtj1, mtj2=mtj2, schedule=schedule,

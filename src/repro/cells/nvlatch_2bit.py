@@ -191,6 +191,11 @@ def build_proposed_latch(
     c.add_capacitor("cload_out", "out", GROUND, sizing.output_load)
     c.add_capacitor("cload_outb", "outb", GROUND, sizing.output_load)
 
+    # Lint-clean guarantee — in particular spice.store-path-shared, the
+    # paper's invariant that the two bits' write paths stay disjoint.
+    from repro.lint import assert_lint_clean
+
+    assert_lint_clean(c)
     return ProposedNVLatch(
         circuit=c, vdd_source="vdd", out="out", outb="outb",
         mtj1=mtj1, mtj2=mtj2, mtj3=mtj3, mtj4=mtj4, schedule=schedule,

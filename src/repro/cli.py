@@ -9,7 +9,8 @@ Commands:
 * ``flow <benchmark>`` — one benchmark in detail, optional DEF/SVG output,
 * ``layout`` — the NV cell layouts (paper Fig 8),
 * ``standby`` — power-gating break-even comparison,
-* ``wer`` — write-error-rate margins vs pulse width.
+* ``wer`` — write-error-rate margins vs pulse width,
+* ``lint`` — static ERC/lint diagnostics over cells and benchmarks.
 """
 
 from __future__ import annotations
@@ -114,6 +115,74 @@ def _cmd_wer(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Lintable shipped cells: name -> zero-argument circuit builder.
+def _lint_cell_builders():
+    from repro.cells.nvlatch_1bit import build_standard_latch
+    from repro.cells.nvlatch_1bit_mirrored import build_mirrored_latch
+    from repro.cells.nvlatch_2bit import build_proposed_latch
+
+    return {
+        "std1b": lambda: build_standard_latch().circuit,
+        "mir1b": lambda: build_mirrored_latch().circuit,
+        "prop2b": lambda: build_proposed_latch().circuit,
+    }
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import lint_circuit, lint_gate_netlist
+    from repro.lint.corpus import run_self_test
+    from repro.lint.diagnostics import Severity, render_reports_json
+    from repro.lint.registry import all_rules
+    from repro.physd.benchmarks import BENCHMARKS, generate_benchmark
+
+    if args.self_test:
+        ok, lines = run_self_test()
+        print("\n".join(lines))
+        return 0 if ok else 1
+
+    if args.list_rules:
+        for lint_rule in all_rules():
+            print(f"{lint_rule.rule_id:28s} [{lint_rule.kind}] "
+                  f"{lint_rule.severity}: {lint_rule.description}")
+        return 0
+
+    cells = _lint_cell_builders()
+    selected = list(args.targets)
+    if not selected:
+        selected = ["cells", "benchmarks"]
+    names: List[str] = []
+    for target in selected:
+        if target == "cells":
+            names.extend(cells)
+        elif target == "benchmarks":
+            names.extend(BENCHMARKS)
+        elif target in cells or target in BENCHMARKS:
+            names.append(target)
+        else:
+            from repro.errors import suggest_names
+
+            known = [*cells, *BENCHMARKS, "cells", "benchmarks"]
+            parser_error = (f"unknown lint target {target!r}"
+                            f"{suggest_names(target, known)}")
+            print(parser_error, file=sys.stderr)
+            return 2
+
+    min_severity = Severity.parse(args.min_severity)
+    reports = []
+    for name in names:
+        if name in cells:
+            reports.append(lint_circuit(cells[name]()))
+        else:
+            reports.append(lint_gate_netlist(generate_benchmark(name)))
+
+    if args.json:
+        print(render_reports_json(reports))
+    else:
+        for report in reports:
+            print(report.render_text(min_severity=min_severity))
+    return 1 if any(report.has_errors for report in reports) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -156,6 +225,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     pw = sub.add_parser("wer", help="write-error-rate margins")
     pw.set_defaults(func=_cmd_wer)
+
+    pn = sub.add_parser(
+        "lint",
+        help="static ERC/lint diagnostics over cells and benchmarks")
+    pn.add_argument(
+        "targets", nargs="*",
+        help="cell names (std1b, mir1b, prop2b), benchmark names, or the "
+             "groups 'cells'/'benchmarks' (default: both groups)")
+    pn.add_argument("--json", action="store_true",
+                    help="machine-readable JSON output")
+    pn.add_argument("--min-severity", default="warn",
+                    choices=["info", "warn", "error"],
+                    help="lowest severity shown in text output")
+    pn.add_argument("--self-test", action="store_true",
+                    help="run every rule against the built-in corpus of "
+                         "broken circuits and verify the shipped cells "
+                         "stay clean")
+    pn.add_argument("--list-rules", action="store_true",
+                    help="list the registered rules and exit")
+    pn.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -3,13 +3,41 @@
 Every error raised by the library derives from :class:`ReproError` so
 applications can catch library failures with a single handler while still
 distinguishing the subsystem that failed.
+
+Errors may carry structured lint findings: when a failure was predicted
+or explained by the static-analysis subsystem (:mod:`repro.lint`), the
+raiser attaches the relevant :class:`~repro.lint.diagnostics.Diagnostic`
+records via the ``diagnostics`` keyword, so tooling can show the
+root-cause ERC report instead of a bare solver message.
 """
 
 from __future__ import annotations
 
+import difflib
+from typing import Iterable, Sequence, Tuple
+
+
+def suggest_names(name: str, candidates: Iterable[str], limit: int = 3) -> str:
+    """A '; did you mean ...?' suffix naming close matches of ``name``
+    among ``candidates`` (empty string when nothing is close) — appended
+    to lookup-failure messages so typos are one glance to fix."""
+    matches = difflib.get_close_matches(name, list(candidates), n=limit)
+    if not matches:
+        return ""
+    return "; did you mean " + ", ".join(repr(m) for m in matches) + "?"
+
 
 class ReproError(Exception):
-    """Base class for all library errors."""
+    """Base class for all library errors.
+
+    ``diagnostics`` optionally carries the lint findings that explain or
+    predicted the failure (a tuple of
+    :class:`~repro.lint.diagnostics.Diagnostic`).
+    """
+
+    def __init__(self, *args, diagnostics: Sequence = ()):
+        super().__init__(*args)
+        self.diagnostics: Tuple = tuple(diagnostics)
 
 
 class DeviceModelError(ReproError):

@@ -1,0 +1,154 @@
+"""Structured diagnostic records and reports for the lint subsystem."""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; ordering is meaningful (INFO < WARN < ERROR)."""
+
+    INFO = 10
+    WARN = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, name: str) -> "Severity":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            valid = ", ".join(s.name.lower() for s in cls)
+            raise ValueError(f"unknown severity {name!r}; expected one of {valid}")
+
+    def __str__(self) -> str:  # "error" rather than "Severity.ERROR"
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding.
+
+    ``rule`` is the registry id (e.g. ``"spice.floating-node"``);
+    ``target`` names the linted design; ``location`` pins the finding to
+    a node, device, net or instance within it; ``hint`` suggests a fix.
+    """
+
+    rule: str
+    severity: Severity
+    target: str
+    location: str
+    message: str
+    hint: str = ""
+
+    def one_line(self) -> str:
+        text = (f"{self.severity.name:5s} {self.rule:26s} "
+                f"{self.target}:{self.location} — {self.message}")
+        if self.hint:
+            text += f" (fix: {self.hint})"
+        return text
+
+    def as_dict(self) -> Dict[str, str]:
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "target": self.target,
+            "location": self.location,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass
+class LintReport:
+    """All diagnostics produced by one lint run over one subject."""
+
+    target: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Rule ids that ran (including clean ones) — used by the self-test.
+    rules_run: List[str] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, other: "LintReport") -> None:
+        self.diagnostics.extend(other.diagnostics)
+        for rule_id in other.rules_run:
+            if rule_id not in self.rules_run:
+                self.rules_run.append(rule_id)
+
+    # -- queries -----------------------------------------------------------
+
+    def at_least(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.at_least(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.WARN]
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.INFO]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity >= Severity.ERROR for d in self.diagnostics)
+
+    def rule_ids(self, min_severity: Severity = Severity.INFO) -> List[str]:
+        """Distinct rule ids that fired at or above ``min_severity``."""
+        seen: List[str] = []
+        for d in self.diagnostics:
+            if d.severity >= min_severity and d.rule not in seen:
+                seen.append(d.rule)
+        return seen
+
+    def by_rule(self) -> Dict[str, List[Diagnostic]]:
+        grouped: Dict[str, List[Diagnostic]] = {}
+        for d in self.diagnostics:
+            grouped.setdefault(d.rule, []).append(d)
+        return grouped
+
+    # -- rendering ---------------------------------------------------------
+
+    def summary(self) -> str:
+        return (f"{self.target}: {len(self.errors)} error(s), "
+                f"{len(self.warnings)} warning(s), {len(self.infos)} info(s)")
+
+    def render_text(self, min_severity: Severity = Severity.WARN) -> str:
+        shown = self.at_least(min_severity)
+        lines = [d.one_line() for d in sorted(
+            shown, key=lambda d: (-int(d.severity), d.rule, d.location))]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def as_json_obj(self) -> Dict[str, object]:
+        return {
+            "target": self.target,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "infos": len(self.infos),
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
+
+    def render_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.as_json_obj(), indent=indent)
+
+    @staticmethod
+    def merge(reports: Iterable["LintReport"],
+              target: str = "all") -> "LintReport":
+        merged = LintReport(target)
+        for report in reports:
+            merged.extend(report)
+        return merged
+
+
+def render_reports_json(reports: Sequence[LintReport],
+                        indent: Optional[int] = 2) -> str:
+    """JSON array of per-target report objects (CLI ``--json`` output)."""
+    return json.dumps([r.as_json_obj() for r in reports], indent=indent)

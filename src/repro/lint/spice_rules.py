@@ -1,0 +1,313 @@
+"""SPICE ERC rule pack over :class:`~repro.spice.netlist.Circuit`.
+
+The connectivity rules reason about the *DC-conducting* graph: edges are
+resistors, voltage-source branches, MTJ junctions and MOSFET channels
+(drain-source).  Capacitors block DC; current sources are infinite
+impedance; MOSFET gates and bulks are insulating terminals.  A node with
+no DC path to ground leaves the MNA matrix singular up to the gmin
+floor — the classic source of "Newton failed to converge" reports on
+structurally broken circuits, which these rules surface by name instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.lint.diagnostics import Severity
+from repro.lint.registry import rule
+from repro.spice.devices.mosfet import MOSFET
+from repro.spice.devices.mtj_element import MTJElement
+from repro.spice.devices.passive import Capacitor, Resistor
+from repro.spice.devices.sources import VoltageSource
+from repro.spice.netlist import Circuit
+
+
+class _UnionFind:
+    """Union-find over node indices; ground (-1) maps to slot ``size``."""
+
+    def __init__(self, num_nodes: int):
+        self._ground = num_nodes
+        self.parent = list(range(num_nodes + 1))
+
+    def _slot(self, node: int) -> int:
+        return self._ground if node < 0 else node
+
+    def find(self, node: int) -> int:
+        slot = self._slot(node)
+        root = slot
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[slot] != root:  # path compression
+            self.parent[slot], slot = root, self.parent[slot]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the components of ``a`` and ``b``; False if already one."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self.parent[ra] = rb
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+
+def _dc_edges(circuit: Circuit) -> Iterable[Tuple[int, int]]:
+    """DC-conducting (node, node) edges of the circuit."""
+    for device in circuit.devices:
+        if isinstance(device, (Resistor, VoltageSource, MTJElement)):
+            a, b = device.node_indices()
+            yield a, b
+        elif isinstance(device, MOSFET):
+            yield device.drain, device.source
+
+
+def _dc_components(circuit: Circuit) -> _UnionFind:
+    uf = _UnionFind(circuit.num_nodes)
+    for a, b in _dc_edges(circuit):
+        uf.union(a, b)
+    return uf
+
+
+def _transient_components(circuit: Circuit) -> _UnionFind:
+    """Connectivity including capacitors, whose ``C/dt`` stamps make the
+    transient system non-singular even across DC-blocking elements."""
+    uf = _UnionFind(circuit.num_nodes)
+    for a, b in _dc_edges(circuit):
+        uf.union(a, b)
+    for device in circuit.devices:
+        if isinstance(device, Capacitor):
+            a, b = device.node_indices()
+            uf.union(a, b)
+    return uf
+
+
+def _gate_only_nodes(circuit: Circuit) -> Set[int]:
+    """Nodes touched *only* by MOSFET gate terminals and capacitors."""
+    conductive: Set[int] = set()
+    gate_nodes: Set[int] = set()
+    for device in circuit.devices:
+        if isinstance(device, MOSFET):
+            gate_nodes.add(device.gate)
+            conductive.update((device.drain, device.source, device.bulk))
+        elif isinstance(device, Capacitor):
+            pass  # blocks DC — does not drive its terminals
+        else:
+            conductive.update(device.node_indices())
+    return {n for n in gate_nodes if n >= 0 and n not in conductive}
+
+
+def _source_driven_nodes(circuit: Circuit) -> Set[int]:
+    driven: Set[int] = set()
+    for device in circuit.devices:
+        if isinstance(device, VoltageSource):
+            driven.update(device.node_indices())
+    return driven
+
+
+@rule("spice.no-ground", kind="spice", severity=Severity.ERROR,
+      description="The circuit has nodes but no DC connection to ground "
+                  "anywhere — every node potential is undefined.")
+def check_no_ground(circuit: Circuit, emit) -> None:
+    if circuit.num_nodes == 0:
+        return
+    uf = _dc_components(circuit)
+    if not any(uf.connected(n, -1) for n in range(circuit.num_nodes)):
+        emit("circuit", "no node has a DC path to ground",
+             hint="reference the netlist to node '0'/'gnd' (e.g. the "
+                  "supply's negative terminal)")
+
+
+@rule("spice.floating-node", kind="spice", severity=Severity.ERROR,
+      description="A node with no path to ground through any element, "
+                  "capacitors included: the MNA matrix is singular up to "
+                  "gmin in every analysis and Newton solves converge to "
+                  "garbage or not at all.")
+def check_floating_nodes(circuit: Circuit, emit) -> None:
+    uf = _dc_components(circuit)
+    if not any(uf.connected(n, -1) for n in range(circuit.num_nodes)):
+        return  # fully unreferenced — spice.no-ground reports it once
+    tran = _transient_components(circuit)
+    gate_only = _gate_only_nodes(circuit)  # spice.undriven-gate reports these
+    for index in range(circuit.num_nodes):
+        if uf.connected(index, -1) or index in gate_only:
+            continue
+        if tran.connected(index, -1):
+            continue  # capacitive path only — spice.dc-floating reports it
+        emit(f"node:{circuit.node_name(index)}",
+             "no path to ground through any element",
+             hint="add the missing channel/resistor path or tie the node "
+                  "to a rail")
+
+
+@rule("spice.dc-floating", kind="spice", severity=Severity.WARN,
+      description="A node reachable from ground only through capacitors: "
+                  "transient dynamics are well-defined, but the DC "
+                  "operating point rests on the gmin floor alone (series "
+                  "capacitor dividers, bootstrapped nodes).")
+def check_dc_floating_nodes(circuit: Circuit, emit) -> None:
+    uf = _dc_components(circuit)
+    if not any(uf.connected(n, -1) for n in range(circuit.num_nodes)):
+        return
+    tran = _transient_components(circuit)
+    gate_only = _gate_only_nodes(circuit)
+    for index in range(circuit.num_nodes):
+        if uf.connected(index, -1) or index in gate_only:
+            continue
+        if tran.connected(index, -1):
+            emit(f"node:{circuit.node_name(index)}",
+                 "only a capacitive path to ground — the DC operating "
+                 "point is set by gmin, not the circuit",
+                 hint="add a DC leakage path or accept the gmin-defined "
+                      "bias (fine for pure transient runs)")
+
+
+@rule("spice.undriven-gate", kind="spice", severity=Severity.ERROR,
+      description="A MOSFET gate node connected only to gates and "
+                  "capacitors — its potential, and hence the channel "
+                  "state, is undefined.")
+def check_undriven_gates(circuit: Circuit, emit) -> None:
+    gate_only = _gate_only_nodes(circuit)
+    for device in circuit.devices:
+        if isinstance(device, MOSFET) and device.gate in gate_only:
+            emit(f"device:{device.name}",
+                 f"gate node {circuit.node_name(device.gate)!r} has no "
+                 f"driver (only gate/capacitor connections)",
+                 hint="drive the gate from a source or logic output")
+
+
+@rule("spice.bulk-orientation", kind="spice", severity=Severity.WARN,
+      description="MOSFET bulk terminal tied against polarity: NMOS bulk "
+                  "belongs on the lowest rail (ground), PMOS bulk on the "
+                  "highest (the n-well at VDD); anything else forward-"
+                  "biases the junction diodes.")
+def check_bulk_orientation(circuit: Circuit, emit) -> None:
+    driven = _source_driven_nodes(circuit)
+    for device in circuit.devices:
+        if not isinstance(device, MOSFET):
+            continue
+        if device.model.polarity == "n":
+            if device.bulk >= 0 and device.bulk != device.source:
+                emit(f"device:{device.name}",
+                     f"NMOS bulk on {circuit.node_name(device.bulk)!r} "
+                     f"instead of ground (or its own source)",
+                     hint="tie the p-substrate to the lowest rail")
+        else:
+            if device.bulk < 0:
+                emit(f"device:{device.name}",
+                     "PMOS bulk tied to ground — the n-well must sit at "
+                     "the highest rail",
+                     hint="tie the n-well to VDD")
+            elif device.bulk not in driven and device.bulk != device.source:
+                emit(f"device:{device.name}",
+                     f"PMOS bulk on undriven node "
+                     f"{circuit.node_name(device.bulk)!r}",
+                     hint="tie the n-well to a supply-driven rail")
+
+
+@rule("spice.supply-loop", kind="spice", severity=Severity.ERROR,
+      description="A loop of voltage sources (including two sources in "
+                  "parallel or a source shorted onto one node) over-"
+                  "determines the MNA system.")
+def check_supply_loops(circuit: Circuit, emit) -> None:
+    uf = _UnionFind(circuit.num_nodes)
+    for device in circuit.devices:
+        if not isinstance(device, VoltageSource):
+            continue
+        if device.positive == device.negative:
+            emit(f"device:{device.name}",
+                 "both terminals on the same node — the source is shorted",
+                 hint="wire the source across two distinct nodes")
+            continue
+        if not uf.union(device.positive, device.negative):
+            emit(f"device:{device.name}",
+                 "closes a loop of voltage sources (supply-to-supply "
+                 "short through always-on branches)",
+                 hint="remove the redundant source or break the loop with "
+                      "an impedance")
+
+
+@rule("spice.nonpositive-passive", kind="spice", severity=Severity.ERROR,
+      description="A resistor or capacitor with a zero, negative or "
+                  "non-finite value.")
+def check_passive_values(circuit: Circuit, emit) -> None:
+    for device in circuit.devices:
+        if isinstance(device, Resistor):
+            value, what = device.resistance, "resistance"
+        elif isinstance(device, Capacitor):
+            value, what = device.capacitance, "capacitance"
+        else:
+            continue
+        if not (value > 0.0) or value != value or value == float("inf"):
+            emit(f"device:{device.name}", f"{what} is {value!r}",
+                 hint="use a positive finite value")
+
+
+@rule("spice.self-loop", kind="spice", severity=Severity.WARN,
+      description="A two-terminal element with both terminals on one "
+                  "node stamps nothing and is dead weight.  Capacitors "
+                  "are only noted at info level: MOSFET junction "
+                  "parasitics legitimately degenerate to self-loops when "
+                  "source and bulk share a rail.")
+def check_self_loops(circuit: Circuit, emit) -> None:
+    for device in circuit.devices:
+        if isinstance(device, (Resistor, Capacitor, MTJElement)):
+            a, b = device.node_indices()
+            if a == b:
+                severity = (Severity.INFO if isinstance(device, Capacitor)
+                            else None)
+                emit(f"device:{device.name}",
+                     f"both terminals on {circuit.node_name(a)!r}",
+                     hint="delete the element or rewire one terminal",
+                     severity=severity)
+
+
+def _mtj_pairs(circuit: Circuit) -> List[Tuple[MTJElement, MTJElement, int]]:
+    """Complementary MTJ pairs: two junctions sharing exactly one node
+    (their common/center node).  Returns (mtj_a, mtj_b, common_node)."""
+    mtjs = [d for d in circuit.devices if isinstance(d, MTJElement)]
+    pairs = []
+    for i, a in enumerate(mtjs):
+        for b in mtjs[i + 1:]:
+            shared = set(a.node_indices()) & set(b.node_indices())
+            if len(shared) == 1:
+                pairs.append((a, b, shared.pop()))
+    return pairs
+
+
+@rule("spice.store-path-shared", kind="spice", severity=Severity.ERROR,
+      description="The store paths of two MTJ bit-pairs share a device "
+                  "or node — the paper's per-bit write-path separation "
+                  "(its reliability invariant) is violated.")
+def check_store_path_isolation(circuit: Circuit, emit) -> None:
+    pairs = _mtj_pairs(circuit)
+    if len(pairs) < 2:
+        return
+    # Per pair: the node set of its store path (both free terminals plus
+    # the common node) and every device touching any of those nodes.
+    described = []
+    for a, b, common in pairs:
+        nodes = set(a.node_indices()) | set(b.node_indices())
+        nodes.discard(-1)
+        devices = {
+            d.name for d in circuit.devices
+            if any(n in nodes for n in d.node_indices())
+        }
+        described.append((f"{a.name}/{b.name}", nodes, devices))
+    for i, (name_a, nodes_a, devs_a) in enumerate(described):
+        for name_b, nodes_b, devs_b in described[i + 1:]:
+            shared_nodes = nodes_a & nodes_b
+            if shared_nodes:
+                names = sorted(circuit.node_name(n) for n in shared_nodes)
+                emit(f"pairs:{name_a}+{name_b}",
+                     f"store paths share node(s) {names}",
+                     hint="give each bit its own write rails and "
+                          "center node")
+                continue
+            shared = sorted(devs_a & devs_b)
+            if shared:
+                emit(f"pairs:{name_a}+{name_b}",
+                     f"store paths share device(s) {shared}",
+                     hint="separate the per-bit write paths (dedicated "
+                          "drivers and enables per pair)")

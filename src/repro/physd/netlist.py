@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from repro.cells.library import CellLibrary, CellType
-from repro.errors import NetlistError
+from repro.errors import NetlistError, suggest_names
 
 
 @dataclass
@@ -87,7 +87,10 @@ class GateNetlist:
         try:
             return self.instances[name]
         except KeyError:
-            raise NetlistError(f"no instance {name!r} in {self.name!r}")
+            raise NetlistError(
+                f"no instance {name!r} in {self.name!r}"
+                + suggest_names(name, self.instances)
+            )
 
     def sequential_instances(self) -> List[Instance]:
         """All flip-flop (sequential-cell) instances, in name order."""
@@ -117,16 +120,35 @@ class GateNetlist:
     def port_nets(self) -> List[Net]:
         return [net for net in self.nets.values() if net.is_port]
 
-    def validate(self) -> None:
-        """Structural sanity: every net endpoint exists, no empty design."""
+    def validate(self, lint: bool = False) -> None:
+        """Structural sanity: every net endpoint exists, no empty design.
+
+        All offending nets are collected and reported in *one* exception
+        message (not just the first), so a botched netlist edit shows
+        its full blast radius at once.  ``lint=True`` additionally runs
+        the gate-netlist lint pack (:mod:`repro.lint`) and raises with
+        the structured diagnostics attached on any error-severity
+        finding.
+        """
         if not self.instances:
             raise NetlistError(f"netlist {self.name!r} has no instances")
+        problems: List[str] = []
         for net in self.nets.values():
-            for inst_name in net.instances:
-                if inst_name not in self.instances:
-                    raise NetlistError(
-                        f"net {net.name!r} references missing instance {inst_name!r}"
-                    )
+            missing = sorted({inst_name for inst_name in net.instances
+                              if inst_name not in self.instances})
+            if missing:
+                names = ", ".join(repr(m) for m in missing)
+                problems.append(
+                    f"net {net.name!r} references missing instance(s) {names}")
+        if problems:
+            raise NetlistError(
+                f"netlist {self.name!r} has {len(problems)} broken net(s):\n  "
+                + "\n  ".join(problems)
+            )
+        if lint:
+            from repro.lint import assert_lint_clean
+
+            assert_lint_clean(self)
 
     def summary(self) -> str:
         return (f"{self.name}: {self.num_instances} instances "

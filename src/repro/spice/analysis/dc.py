@@ -151,13 +151,24 @@ def solve_dc(
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
     vtol: float = DEFAULT_VTOL,
     damping: float = DEFAULT_DAMPING,
+    lint: str = "error",
 ) -> DCResult:
     """Find the DC operating point with source values evaluated at ``time``.
 
     ``initial_guess`` maps node names to seed voltages; unlisted nodes
     start at 0 V.  For bistable circuits (sense amplifiers, latches) the
     seed selects the solution branch.
+
+    ``lint`` selects the ERC pre-flight mode (``"error"``/``"warn"``/
+    ``"off"``, see :func:`repro.lint.preflight`): circuits whose MNA
+    system is structurally singular (floating nodes, voltage-source
+    loops) are reported by name up front instead of as a gmin-stepping
+    stall.
     """
+    from repro.lint import preflight
+
+    preflight(circuit, lint)
+
     circuit.finalize()
     size = circuit.num_nodes + circuit.num_branches
     x0 = np.zeros(size)

@@ -18,7 +18,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, suggest_names
 from repro.spice.devices.mosfet import MOSFETModel, NMOS_40LP, PMOS_40LP
 from repro.spice.devices.sources import VoltageSource
 from repro.spice.analysis.dc import solve_dc
@@ -42,6 +42,7 @@ class SweepResult:
         if not self.circuit.has_node(node_name):
             raise AnalysisError(
                 f"no node named {node_name!r} in circuit {self.circuit.name!r}"
+                + suggest_names(node_name, self.circuit.node_names)
             )
         index = self.circuit.node(node_name)
         if index < 0:

@@ -32,7 +32,7 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
-from repro.errors import AnalysisError, ConvergenceError
+from repro.errors import AnalysisError, ConvergenceError, suggest_names
 from repro.spice.devices.base import EvalContext
 from repro.spice.devices.sources import VoltageSource
 from repro.spice.analysis.dc import (
@@ -87,6 +87,7 @@ class TransientResult:
         if not self.circuit.has_node(node_name):
             raise AnalysisError(
                 f"no node named {node_name!r} in circuit {self.circuit.name!r}"
+                + suggest_names(node_name, self.circuit.node_names)
             )
         index = self.circuit.node(node_name)
         if index < 0:
@@ -127,6 +128,7 @@ def run_transient(
     damping: float = DEFAULT_DAMPING,
     on_step: Optional[Callable[[float, np.ndarray], None]] = None,
     engine: Optional[str] = None,
+    lint: str = "error",
 ) -> TransientResult:
     """Simulate from 0 to ``stop_time`` with step ``dt``.
 
@@ -137,6 +139,10 @@ def run_transient(
     * ``on_step(time, node_voltages)`` — observer hook.
     * ``engine`` — ``"fast"`` or ``"naive"``; ``None`` uses the session
       default (see :func:`set_default_engine`).
+    * ``lint`` — ERC pre-flight mode (``"error"``/``"warn"``/``"off"``):
+      structurally broken circuits (floating nodes, supply loops, ...)
+      raise a :class:`~repro.errors.NetlistError` naming the root-cause
+      diagnostic instead of failing later as a Newton non-convergence.
     """
     if stop_time <= 0.0 or dt <= 0.0:
         raise AnalysisError("stop_time and dt must be positive")
@@ -148,6 +154,10 @@ def run_transient(
         engine = _default_engine
     if engine not in ENGINES:
         raise AnalysisError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+
+    from repro.lint import preflight
+
+    preflight(circuit, lint)
 
     circuit.finalize()
     circuit.reset_state()
@@ -162,7 +172,8 @@ def run_transient(
                 x[index] = value
     else:
         dc = solve_dc(circuit, time=0.0, initial_guess=dc_seed,
-                      max_iterations=max_iterations, vtol=vtol, damping=damping)
+                      max_iterations=max_iterations, vtol=vtol,
+                      damping=damping, lint="off")  # already pre-flighted
         x = np.concatenate([dc.voltages, dc.branch_currents])
 
     steps = int(round(stop_time / dt))

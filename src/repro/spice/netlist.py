@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Union
 
-from repro.errors import NetlistError
+from repro.errors import NetlistError, suggest_names
 from repro.mtj.device import MTJDevice, MTJState
 from repro.mtj.dynamics import SwitchingModel
 from repro.mtj.parameters import MTJParameters, PAPER_TABLE_I
@@ -61,7 +61,9 @@ class Circuit:
         if index is None:
             if self._finalized:
                 raise NetlistError(
-                    f"cannot create node {name!r} after the circuit was finalized"
+                    f"cannot create node {name!r} after the circuit was "
+                    f"finalized"
+                    + suggest_names(name, self._node_index)
                 )
             index = len(self._node_names)
             self._node_index[name] = index
@@ -104,7 +106,10 @@ class Circuit:
         try:
             return self._device_index[name]
         except KeyError:
-            raise NetlistError(f"no device named {name!r} in circuit {self.name!r}")
+            raise NetlistError(
+                f"no device named {name!r} in circuit {self.name!r}"
+                + suggest_names(name, self._device_index)
+            )
 
     def devices_of_type(self, cls: type) -> List[Device]:
         """All devices that are instances of ``cls``."""
@@ -213,19 +218,29 @@ class Circuit:
 
     # -- lifecycle ---------------------------------------------------------------
 
-    def finalize(self) -> None:
+    def finalize(self, lint: bool = False) -> None:
         """Assign branch-current indices.  Called automatically by analyses;
-        idempotent.  After finalisation the topology is frozen."""
-        if self._finalized:
-            return
-        branch = 0
-        for device in self.devices:
-            count = device.num_branches()
-            if count:
-                device.assign_branches(branch)
-                branch += count
-        self._num_branches = branch
-        self._finalized = True
+        idempotent.  After finalisation the topology is frozen.
+
+        ``lint=True`` additionally runs the SPICE ERC rule pack
+        (:mod:`repro.lint`) and raises :class:`NetlistError` — with the
+        structured diagnostics attached — if any error-severity finding
+        exists.  Lint runs even when the circuit was already finalized,
+        so the opt-in check can be added after the fact.
+        """
+        if not self._finalized:
+            branch = 0
+            for device in self.devices:
+                count = device.num_branches()
+                if count:
+                    device.assign_branches(branch)
+                    branch += count
+            self._num_branches = branch
+            self._finalized = True
+        if lint:
+            from repro.lint import assert_lint_clean
+
+            assert_lint_clean(self)
 
     @property
     def num_branches(self) -> int:

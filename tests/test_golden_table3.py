@@ -1,0 +1,90 @@
+"""Golden-metric regression suite for the Table III system flow.
+
+``tests/golden/table3.json`` freezes the seed-state flow metrics of a
+three-benchmark subset (small enough to run in the test suite, spanning
+small/medium netlist sizes).  The flow is deterministic — placement,
+pairing and accounting are all seeded — so these numbers are exact
+except for float round-off; any drift means a placement, merge or
+accounting change altered the paper's system-level results.  Regenerate
+only for an *intentional* flow change, with a note in the commit
+message:
+
+    PYTHONPATH=src python -c "import tests.test_golden_table3 as t; t.regenerate()"
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.tables import build_table3
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "table3.json"
+#: Maximum relative drift tolerated on any frozen float metric.
+RELATIVE_TOL = 1e-6
+
+GOLDEN_BENCHMARKS = ("s344", "s838", "s1423")
+INT_METRICS = ("total_flip_flops", "merged_pairs")
+FLOAT_METRICS = ("area_baseline", "energy_baseline",
+                 "area_proposed", "energy_proposed")
+
+
+def load_golden() -> dict:
+    with GOLDEN_PATH.open() as f:
+        return json.load(f)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return load_golden()
+
+
+@pytest.fixture(scope="module")
+def measured(golden):
+    results = build_table3(golden["benchmarks"])
+    return {result.benchmark: result for result, _pairs in results}
+
+
+@pytest.mark.parametrize("name", GOLDEN_BENCHMARKS)
+def test_structural_metrics_exact(golden, measured, name):
+    for metric in INT_METRICS:
+        assert getattr(measured[name], metric) == golden[name][metric], (
+            f"{name}.{metric} changed"
+        )
+
+
+@pytest.mark.parametrize("name", GOLDEN_BENCHMARKS)
+@pytest.mark.parametrize("metric", FLOAT_METRICS)
+def test_metric_within_golden_tolerance(golden, measured, name, metric):
+    reference = golden[name][metric]
+    value = getattr(measured[name], metric)
+    assert math.isfinite(value), f"{name}.{metric} is not finite"
+    assert value == pytest.approx(reference, rel=RELATIVE_TOL), (
+        f"{name}.{metric} drifted {abs(value / reference - 1):.2e} "
+        f"from the golden value (allowed {RELATIVE_TOL:.0e})"
+    )
+
+
+@pytest.mark.parametrize("name", GOLDEN_BENCHMARKS)
+def test_improvements_positive(measured, name):
+    assert measured[name].area_improvement > 0
+    assert measured[name].energy_improvement > 0
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance helper
+    """Rewrite the golden file from a fresh flow run (see module docs)."""
+    golden = {
+        "benchmarks": list(GOLDEN_BENCHMARKS),
+        "note": "Seed-state Table III flow metrics; see "
+                "tests/test_golden_table3.py.",
+    }
+    for result, paper_pairs in build_table3(list(GOLDEN_BENCHMARKS)):
+        golden[result.benchmark] = {
+            metric: getattr(result, metric)
+            for metric in INT_METRICS + FLOAT_METRICS
+        }
+        golden[result.benchmark]["paper_merged_pairs"] = paper_pairs
+    with GOLDEN_PATH.open("w") as f:
+        json.dump(golden, f, indent=2)
+        f.write("\n")

@@ -1,0 +1,103 @@
+"""Tests for the gate-netlist lint pack and GateNetlist.validate."""
+
+import pytest
+
+from repro.cells.library import build_default_library
+from repro.errors import NetlistError
+from repro.lint import assert_lint_clean, lint_gate_netlist
+from repro.lint.corpus import GATE_CORPUS
+from repro.lint.diagnostics import Severity
+from repro.lint.gate_rules import pin_roles
+from repro.physd.benchmarks import BENCHMARKS, generate_benchmark
+from repro.physd.netlist import GateNetlist
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_default_library()
+
+
+class TestCorpus:
+    @pytest.mark.parametrize("entry", GATE_CORPUS, ids=lambda e: e.name)
+    def test_entry_fires_expected_rules(self, entry):
+        report = entry.lint()
+        assert entry.expected_rules <= set(report.rule_ids()), (
+            f"{entry.name} fired {sorted(report.rule_ids())}"
+        )
+
+
+class TestBenchmarksClean:
+    """The generated benchmark netlists must produce zero error/warn
+    findings — undriven enable nets, unused primary inputs and dead
+    logic cones are all legal there and classified info."""
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_benchmark_clean_at_warn_level(self, name):
+        report = lint_gate_netlist(generate_benchmark(name))
+        noisy = report.at_least(Severity.WARN)
+        assert not noisy, "\n".join(d.one_line() for d in noisy)
+
+
+class TestPinRoles:
+    def test_combinational_drives_last_net(self, library):
+        nl = GateNetlist("t", library)
+        inst = nl.add_instance("g0", "NAND2_X1", ["a", "b", "y"])
+        driven, data, control = pin_roles(inst)
+        assert driven == ["y"]
+        assert data == ["a", "b"]
+        assert control == []
+
+    def test_dff_control_pins_not_data(self, library):
+        nl = GateNetlist("t", library)
+        inst = nl.add_instance("ff0", "DFF_X1", ["d", "clk", "q"])
+        driven, data, control = pin_roles(inst)
+        assert driven == ["q"]
+        assert data == ["d"]
+        assert "clk" in control
+
+    def test_undriven_clock_net_is_not_an_error(self, library):
+        """Control nets read only by sequential pins (the benchmark
+        'reg_en' pattern) must not fire gates.undriven-net."""
+        nl = GateNetlist("t", library)
+        nl.add_net("d", is_port=True)
+        nl.add_net("q", is_port=True)
+        nl.add_instance("ff0", "DFF_X1", ["d", "clk", "q"])
+        report = lint_gate_netlist(nl)
+        assert not any(d.rule == "gates.undriven-net"
+                       for d in report.at_least(Severity.ERROR))
+
+
+class TestValidateCollectsAll:
+    def test_all_broken_nets_in_one_message(self, library):
+        nl = GateNetlist("t", library)
+        nl.add_instance("g0", "INV_X1", ["a", "y"])
+        nl.nets["a"].instances.append("ghost1")
+        nl.nets["y"].instances.append("ghost2")
+        with pytest.raises(NetlistError) as excinfo:
+            nl.validate()
+        message = str(excinfo.value)
+        assert "ghost1" in message and "ghost2" in message
+        assert "2 broken net(s)" in message
+
+    def test_validate_lint_hook(self, library):
+        nl = GateNetlist("t", library)
+        nl.add_instance("u1", "INV_X1", ["a", "b"])
+        nl.add_instance("u2", "INV_X1", ["b", "a"])  # combinational loop
+        nl.validate()  # structurally fine
+        with pytest.raises(NetlistError) as excinfo:
+            nl.validate(lint=True)
+        assert any(d.rule == "gates.comb-loop"
+                   for d in excinfo.value.diagnostics)
+
+    def test_assert_lint_clean_dispatches_on_netlist(self, library):
+        nl = GateNetlist("t", library)
+        nl.add_net("a", is_port=True)
+        nl.add_net("y", is_port=True)
+        nl.add_instance("g0", "INV_X1", ["a", "y"])
+        assert_lint_clean(nl)
+
+    def test_instance_lookup_suggests(self, library):
+        nl = GateNetlist("t", library)
+        nl.add_instance("ff_main", "DFF_X1", ["d", "clk", "q"])
+        with pytest.raises(NetlistError, match="did you mean.*'ff_main'"):
+            nl.instance("ff_man")

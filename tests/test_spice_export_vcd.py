@@ -1,0 +1,98 @@
+"""Round-trip tests for the SPICE-deck and VCD exporters, driven from a
+lint-clean circuit so the serialisers and the ERC see the same designs."""
+
+import pytest
+
+from repro.cells.nvlatch_1bit import build_standard_latch
+from repro.errors import AnalysisError
+from repro.lint import lint_circuit
+from repro.spice.analysis.transient import run_transient
+from repro.spice.export import export_spice
+from repro.spice.netlist import GROUND, Circuit
+from repro.spice.vcd import export_vcd
+from repro.spice.waveforms import Pulse
+
+
+@pytest.fixture(scope="module")
+def latch_circuit():
+    return build_standard_latch().circuit
+
+
+@pytest.fixture(scope="module")
+def rc_result():
+    c = Circuit("rc")
+    c.add_vsource("v", "in", GROUND,
+                  Pulse(0.0, 1.0, delay=10e-12, rise=1e-12, width=1.0))
+    c.add_resistor("r", "in", "out", 1e3)
+    c.add_capacitor("cl", "out", GROUND, 10e-15)
+    assert not lint_circuit(c).has_errors
+    return run_transient(c, 200e-12, 1e-12)
+
+
+class TestSpiceExport:
+    def test_latch_deck_structure(self, latch_circuit):
+        deck = export_spice(latch_circuit)
+        lines = deck.splitlines()
+        assert lines[0].startswith("*")
+        assert lines[-1] == ".end"
+        # Every device class of the latch appears with its SPICE prefix.
+        assert any(line.startswith("M") for line in lines)   # MOSFETs
+        assert any(line.startswith("V") for line in lines)   # sources
+        assert any(line.startswith("C") for line in lines)   # load caps
+        assert any("_mtj" in line for line in lines)         # MTJ resistors
+        assert sum(line.startswith(".model") for line in lines) == 2
+
+    def test_deck_card_counts_match_circuit(self, latch_circuit):
+        deck = export_spice(latch_circuit)
+        cards = [line for line in deck.splitlines()
+                 if line and line[0] not in "*."]
+        assert len(cards) == len(latch_circuit.devices)
+
+    def test_linted_circuit_exports_every_node(self, rc_result):
+        deck = export_spice(rc_result.circuit, title="rc bench")
+        assert "rc bench" in deck
+        for node in rc_result.circuit.node_names:
+            assert f" {node} " in deck or deck.count(node)
+
+    def test_ground_rendered_as_zero(self, rc_result):
+        deck = export_spice(rc_result.circuit)
+        assert " 0" in deck
+
+
+class TestVCDExport:
+    def test_header_and_signals(self, rc_result):
+        vcd = export_vcd(rc_result)
+        assert "$timescale 1 fs $end" in vcd
+        assert "$var real 64" in vcd
+        for node in rc_result.circuit.node_names:
+            assert f" {node} $end" in vcd
+
+    def test_signal_subset_and_change_compression(self, rc_result):
+        vcd = export_vcd(rc_result, signals=["out"])
+        assert " in $end" not in vcd
+        changes = [line for line in vcd.splitlines()
+                   if line.startswith("r")]
+        # Far fewer value changes than timepoints: constant tails collapse.
+        assert 1 < len(changes) < len(rc_result.times)
+
+    def test_final_value_round_trips(self, rc_result):
+        vcd = export_vcd(rc_result, signals=["out"], significant_digits=6)
+        last = [line for line in vcd.splitlines()
+                if line.startswith("r")][-1]
+        value = float(last.split()[0][1:])
+        assert value == pytest.approx(rc_result.final_voltage("out"),
+                                      abs=1e-3)
+
+    def test_unknown_signal_suggests(self, rc_result):
+        with pytest.raises(AnalysisError, match="unknown node"):
+            export_vcd(rc_result, signals=["ot"])
+
+    def test_empty_selection_rejected(self, rc_result):
+        with pytest.raises(AnalysisError):
+            export_vcd(rc_result, signals=[])
+
+    def test_latch_transient_exports(self, latch_circuit):
+        result = run_transient(latch_circuit, 20e-12, 2e-12)
+        vcd = export_vcd(result, signals=["out", "outb"])
+        assert vcd.count("$var real 64") == 2
+        assert vcd.strip().splitlines()[-1].startswith(("r", "#"))
