@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Fault-injected reliability campaign on the NV latches.
+
+Demonstrates the `repro.faults` subsystem end to end:
+
+* restore-failure campaign under an injected sense-amp offset, run
+  through the resilient campaign runner with a JSONL checkpoint,
+* an interrupted-and-resumed rerun whose aggregates are bit-identical
+  to the uninterrupted campaign,
+* the write-path isolation report behind the paper's claim that the
+  2-bit cell's separate tristate write paths keep each bit's store WER
+  independent.
+
+Run:  python examples/reliability_campaign.py
+"""
+
+import os
+import tempfile
+
+from repro.faults import (
+    FaultSpec,
+    restore_failure_rate,
+    sense_margin_degradation,
+    margin_slopes,
+    write_path_isolation,
+)
+
+
+def main() -> None:
+    offset = FaultSpec("sa.offset", 0.04)  # 40 mV input-referred offset
+
+    print("=== Restore-failure campaign (checkpointed) ===")
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint = os.path.join(tmp, "campaign.jsonl")
+        outcome = restore_failure_rate("proposed", [offset], samples=4,
+                                       checkpoint=checkpoint, retries=1)
+        print(outcome.summary())
+
+        # Emulate a kill after two tasks, then resume from the file.
+        lines = open(checkpoint).read().splitlines()
+        with open(checkpoint, "w") as handle:
+            handle.write("\n".join(lines[:3]) + "\n")
+        resumed = restore_failure_rate("proposed", [offset], samples=4,
+                                       checkpoint=checkpoint, retries=1)
+        same = resumed.failure_rate == outcome.failure_rate
+        print(f"resumed: {resumed.report.skipped} task(s) from checkpoint, "
+              f"aggregates bit-identical: {same}")
+        assert same, "resume must reproduce the uninterrupted campaign"
+
+    print("\n=== Sense-margin degradation under SA offset ===")
+    curves = sense_margin_degradation(offsets=(0.0, 0.04, 0.06))
+    for design, points in curves.items():
+        row = "  ".join(f"{p['offset'] * 1e3:3.0f} mV: {p['margin']:+.3f}"
+                        for p in points)
+        print(f"  {design:9s} {row}")
+    slopes = margin_slopes(curves)
+    print(f"  slopes: standard {slopes['standard']:+.2f}/V, "
+          f"proposed {slopes['proposed']:+.2f}/V "
+          f"(shared SA: 2-bit cell degrades faster)")
+
+    print("\n=== Write-path isolation (3 sigma outlier on D0 drivers) ===")
+    iso = write_path_isolation(dt=20e-12)
+    print(f"  standard bit WER      {iso['standard_bit']:.3e}")
+    print(f"  2-bit baseline        d0 {iso['baseline']['d0']:.3e}   "
+          f"d1 {iso['baseline']['d1']:.3e}")
+    print(f"  2-bit with D0 outlier d0 {iso['faulty']['d0']:.3e}   "
+          f"d1 {iso['faulty']['d1']:.3e}")
+    print(f"  d1 shift {iso['d1_shift']:.1e}  (separate write paths)")
+
+
+if __name__ == "__main__":
+    main()

@@ -114,20 +114,25 @@ def leakage_power(
     corner: SimulationCorner = CORNERS["typical"],
     sizing: LatchSizing = DEFAULT_SIZING,
     vdd: float = 1.1,
+    build=None,
 ) -> float:
     """Idle DC supply power [W] of one latch (controls at idle levels).
 
     The idle state matches the post-restore hold: outputs parked high for
     the standard design (the pre-charged rail state), clamped low for the
     proposed design (its idle GND clamp is active when PC = Ren = 0).
+
+    ``build`` substitutes the cell builder (same signature as the stock
+    one for ``design``) — the hook used by fault injection
+    (:func:`repro.faults.inject.faulty_builder`).
     """
     if design == "standard":
-        latch = build_standard_latch(None, corner, sizing, vdd=vdd)
+        latch = (build or build_standard_latch)(None, corner, sizing, vdd=vdd)
         seed = {"vdd": vdd, latch.out: vdd, latch.outb: vdd}
         dc = solve_dc(latch.circuit, initial_guess=seed)
         return dc.supply_power(latch.vdd_source)
     if design == "proposed":
-        latch2 = build_proposed_latch(None, corner, sizing, vdd=vdd)
+        latch2 = (build or build_proposed_latch)(None, corner, sizing, vdd=vdd)
         dc = solve_dc(latch2.circuit, initial_guess={"vdd": vdd})
         return dc.supply_power(latch2.vdd_source)
     raise AnalysisError(f"unknown design {design!r}")
@@ -139,10 +144,11 @@ def leakage_power(
 
 
 def _standard_read(
-    bit: int, corner: SimulationCorner, sizing: LatchSizing, vdd: float, dt: float
+    bit: int, corner: SimulationCorner, sizing: LatchSizing, vdd: float,
+    dt: float, build=build_standard_latch,
 ) -> Tuple[float, float, bool, StandardNVLatch, TransientResult]:
     schedule = standard_restore_schedule(bit=bit, vdd=vdd, cycles=READ_CYCLES)
-    latch = build_standard_latch(schedule, corner, sizing, stored_bit=bit, vdd=vdd)
+    latch = build(schedule, corner, sizing, stored_bit=bit, vdd=vdd)
     result = run_transient(latch.circuit, schedule.stop_time, dt,
                            initial_voltages=_cold_start_voltages(vdd))
     delay = _resolve_delay(result, latch.out, latch.outb, vdd,
@@ -157,12 +163,12 @@ def _standard_read(
 
 
 def _standard_write(
-    bit: int, corner: SimulationCorner, sizing: LatchSizing, vdd: float, dt: float
+    bit: int, corner: SimulationCorner, sizing: LatchSizing, vdd: float,
+    dt: float, build=build_standard_latch,
 ) -> Tuple[float, float, bool]:
     schedule = standard_store_schedule(bit=bit, vdd=vdd)
     # Start from the opposite data so both junctions must actually switch.
-    latch = build_standard_latch(schedule, corner, sizing,
-                                 stored_bit=1 - bit, vdd=vdd)
+    latch = build(schedule, corner, sizing, stored_bit=1 - bit, vdd=vdd)
     result = run_transient(latch.circuit, schedule.stop_time, dt,
                            initial_voltages=_cold_start_voltages(vdd))
     energy = integrate_supply_energy(result, latch.vdd_source,
@@ -186,26 +192,34 @@ def characterize_standard(
     dt: float = DEFAULT_DT,
     bits: Sequence[int] = (0, 1),
     include_write: bool = True,
+    build=build_standard_latch,
 ) -> LatchMetrics:
-    """Characterise one standard 1-bit latch (both data polarities)."""
+    """Characterise one standard 1-bit latch (both data polarities).
+
+    ``build`` substitutes the cell builder (same signature as
+    :func:`~repro.cells.nvlatch_1bit.build_standard_latch`) — the hook
+    fault injection uses to characterise a faulty cell with the exact
+    same measurement flow as the nominal one.
+    """
     energies: List[float] = []
     delays: List[float] = []
     all_ok = True
     for bit in bits:
-        energy, delay, ok, _latch, _res = _standard_read(bit, corner, sizing, vdd, dt)
+        energy, delay, ok, _latch, _res = _standard_read(
+            bit, corner, sizing, vdd, dt, build=build)
         energies.append(energy)
         delays.append(delay)
         all_ok = all_ok and ok
 
     if include_write:
         write_energy, write_latency, write_ok = _standard_write(
-            1, corner, sizing, vdd, dt)
+            1, corner, sizing, vdd, dt, build=build)
         all_ok = all_ok and write_ok
     else:
         write_energy, write_latency = float("nan"), float("nan")
 
-    leak = leakage_power("standard", corner, sizing, vdd)
-    probe = build_standard_latch(None, corner, sizing, vdd=vdd)
+    leak = leakage_power("standard", corner, sizing, vdd, build=build)
+    probe = build(None, corner, sizing, vdd=vdd)
     return LatchMetrics(
         design="standard-1bit",
         corner=corner.name,
@@ -228,11 +242,11 @@ def characterize_standard(
 def _proposed_read(
     bits: Tuple[int, int], corner: SimulationCorner, sizing: LatchSizing,
     vdd: float, dt: float, simplified: bool = True,
+    build=build_proposed_latch,
 ) -> Tuple[float, Tuple[float, float], bool, ProposedNVLatch, TransientResult]:
     schedule = proposed_restore_schedule(bits=bits, simplified=simplified,
                                          vdd=vdd, cycles=READ_CYCLES)
-    latch = build_proposed_latch(schedule, corner, sizing,
-                                 stored_bits=bits, vdd=vdd)
+    latch = build(schedule, corner, sizing, stored_bits=bits, vdd=vdd)
     result = run_transient(latch.circuit, schedule.stop_time, dt,
                            initial_voltages=_cold_start_voltages(vdd))
     delay_low = _resolve_delay(result, latch.out, latch.outb, vdd,
@@ -252,12 +266,11 @@ def _proposed_read(
 
 def _proposed_write(
     bits: Tuple[int, int], corner: SimulationCorner, sizing: LatchSizing,
-    vdd: float, dt: float,
+    vdd: float, dt: float, build=build_proposed_latch,
 ) -> Tuple[float, float, bool]:
     schedule = proposed_store_schedule(bits=bits, vdd=vdd)
     opposite = (1 - bits[0], 1 - bits[1])
-    latch = build_proposed_latch(schedule, corner, sizing,
-                                 stored_bits=opposite, vdd=vdd)
+    latch = build(schedule, corner, sizing, stored_bits=opposite, vdd=vdd)
     result = run_transient(latch.circuit, schedule.stop_time, dt,
                            initial_voltages=_cold_start_voltages(vdd))
     energy = integrate_supply_energy(result, latch.vdd_source,
@@ -281,15 +294,21 @@ def characterize_proposed(
     bit_patterns: Sequence[Tuple[int, int]] = ((1, 0), (0, 1)),
     include_write: bool = True,
     simplified_control: bool = True,
+    build=build_proposed_latch,
 ) -> LatchMetrics:
-    """Characterise the proposed 2-bit latch over the given bit patterns."""
+    """Characterise the proposed 2-bit latch over the given bit patterns.
+
+    ``build`` substitutes the cell builder (same signature as
+    :func:`~repro.cells.nvlatch_2bit.build_proposed_latch`) — the fault
+    -injection hook.
+    """
     energies: List[float] = []
     totals: List[float] = []
     per_bit: List[float] = []
     all_ok = True
     for bits in bit_patterns:
         energy, (d_low, d_high), ok, _latch, _res = _proposed_read(
-            bits, corner, sizing, vdd, dt, simplified_control)
+            bits, corner, sizing, vdd, dt, simplified_control, build=build)
         energies.append(energy)
         totals.append(d_low + d_high)
         per_bit.extend((d_low, d_high))
@@ -297,13 +316,13 @@ def characterize_proposed(
 
     if include_write:
         write_energy, write_latency, write_ok = _proposed_write(
-            (1, 0), corner, sizing, vdd, dt)
+            (1, 0), corner, sizing, vdd, dt, build=build)
         all_ok = all_ok and write_ok
     else:
         write_energy, write_latency = float("nan"), float("nan")
 
-    leak = leakage_power("proposed", corner, sizing, vdd)
-    probe = build_proposed_latch(None, corner, sizing, vdd=vdd)
+    leak = leakage_power("proposed", corner, sizing, vdd, build=build)
+    probe = build(None, corner, sizing, vdd=vdd)
     return LatchMetrics(
         design="proposed-2bit",
         corner=corner.name,

@@ -10,7 +10,9 @@ Commands:
 * ``layout`` — the NV cell layouts (paper Fig 8),
 * ``standby`` — power-gating break-even comparison,
 * ``wer`` — write-error-rate margins vs pulse width,
-* ``lint`` — static ERC/lint diagnostics over cells and benchmarks.
+* ``lint`` — static ERC/lint diagnostics over cells and benchmarks,
+* ``faults`` — fault injection: list models, run a resilient
+  restore-failure campaign, or report write-path isolation.
 """
 
 from __future__ import annotations
@@ -183,6 +185,76 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if any(report.has_errors for report in reports) else 0
 
 
+def _faults_specs(args: argparse.Namespace):
+    """Parse the repeated ``--fault MODEL:MAGNITUDE[:TARGET]`` options."""
+    from repro.errors import FaultInjectionError
+    from repro.faults import FaultSpec
+
+    specs = []
+    for text in args.fault or []:
+        parts = text.split(":")
+        if len(parts) < 2:
+            raise FaultInjectionError(
+                f"--fault wants MODEL:MAGNITUDE[:TARGET], got {text!r}")
+        try:
+            magnitude = float(parts[1])
+        except ValueError as exc:
+            raise FaultInjectionError(
+                f"--fault magnitude {parts[1]!r} is not a number") from exc
+        target = parts[2] if len(parts) > 2 else ""
+        specs.append(FaultSpec(parts[0], magnitude, target=target))
+    return specs
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.errors import FaultInjectionError
+
+    try:
+        if args.action == "list":
+            from repro.faults import render_model_list
+
+            print(render_model_list())
+            return 0
+
+        if args.action == "isolation":
+            from repro.faults import write_path_isolation
+
+            print(f"Injecting a {args.magnitude:g} sigma outlier into the "
+                  f"D0 write drivers of the 2-bit cell "
+                  f"(this runs store transients)...", file=sys.stderr)
+            iso = write_path_isolation(magnitude=args.magnitude, dt=args.dt)
+            print("store write-error rates with a D0 write-path outlier:")
+            print(f"  standard 1-bit cell     {iso['standard_bit']:.3e}")
+            print(f"  2-bit baseline  d0={iso['baseline']['d0']:.3e}  "
+                  f"d1={iso['baseline']['d1']:.3e}")
+            print(f"  2-bit faulty    d0={iso['faulty']['d0']:.3e}  "
+                  f"d1={iso['faulty']['d1']:.3e}")
+            print(f"  d0 degradation  {iso['d0_degradation']:.3e}")
+            print(f"  d1 shift        {iso['d1_shift']:.3e}   "
+                  f"(separate write paths: should be ~0)")
+            return 0
+
+        # action == "run": a resilient restore-failure campaign.
+        from repro.faults import restore_failure_rate
+
+        specs = _faults_specs(args)
+        if not specs:
+            print("note: no --fault given; running a zero-fault baseline "
+                  "campaign", file=sys.stderr)
+        print(f"Running {args.samples} restore trials on the "
+              f"{args.design} cell "
+              f"({len(specs)} fault spec(s))...", file=sys.stderr)
+        outcome = restore_failure_rate(
+            args.design, specs, samples=args.samples, seed=args.seed,
+            dt=args.dt, workers=args.workers, timeout=args.timeout,
+            retries=args.retries, checkpoint=args.checkpoint)
+        print(outcome.summary())
+        return 1 if outcome.report.failed else 0
+    except FaultInjectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -245,6 +317,37 @@ def build_parser() -> argparse.ArgumentParser:
     pn.add_argument("--list-rules", action="store_true",
                     help="list the registered rules and exit")
     pn.set_defaults(func=_cmd_lint)
+
+    pq = sub.add_parser(
+        "faults",
+        help="fault injection: list models, run a campaign, isolation report")
+    pq.add_argument("action", choices=["list", "run", "isolation"],
+                    help="'list' registered fault models, 'run' a resilient "
+                         "restore-failure campaign, or report 'isolation' of "
+                         "the 2-bit cell's write paths")
+    pq.add_argument("--design", choices=["standard", "proposed"],
+                    default="standard", help="cell under test (run)")
+    pq.add_argument("--fault", action="append", metavar="MODEL:MAG[:TARGET]",
+                    help="fault spec, repeatable (run); e.g. "
+                         "mtj.stuck:1.0:mtj1 or sa.offset:0.1")
+    pq.add_argument("--samples", type=int, default=20,
+                    help="number of restore trials (run)")
+    pq.add_argument("--seed", type=int, default=2018,
+                    help="campaign root seed (run)")
+    pq.add_argument("--magnitude", type=float, default=3.0,
+                    help="outlier magnitude in sigma (isolation)")
+    pq.add_argument("--dt", type=float, default=4e-12,
+                    help="transient timestep [s]")
+    pq.add_argument("--workers", type=int, default=None,
+                    help="worker processes (default: auto)")
+    pq.add_argument("--timeout", type=float, default=None,
+                    help="per-trial wall-clock timeout [s]")
+    pq.add_argument("--retries", type=int, default=1,
+                    help="retries per failed trial (run)")
+    pq.add_argument("--checkpoint", metavar="PATH",
+                    help="JSONL checkpoint file; rerun with the same path "
+                         "to resume an interrupted campaign (run)")
+    pq.set_defaults(func=_cmd_faults)
     return parser
 
 

@@ -92,6 +92,35 @@ class SystemResult:
     def energy_improvement(self) -> float:
         return 1.0 - self.energy_proposed / self.energy_baseline
 
+    def to_json(self) -> dict:
+        """Plain-dict form for campaign checkpoints (floats round-trip
+        exactly through JSON's repr-based serialisation)."""
+        return {
+            "benchmark": self.benchmark,
+            "total_flip_flops": self.total_flip_flops,
+            "merged_pairs": self.merged_pairs,
+            "area_baseline": self.area_baseline,
+            "energy_baseline": self.energy_baseline,
+            "area_proposed": self.area_proposed,
+            "energy_proposed": self.energy_proposed,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SystemResult":
+        try:
+            return cls(
+                benchmark=str(data["benchmark"]),
+                total_flip_flops=int(data["total_flip_flops"]),
+                merged_pairs=int(data["merged_pairs"]),
+                area_baseline=float(data["area_baseline"]),
+                energy_baseline=float(data["energy_baseline"]),
+                area_proposed=float(data["area_proposed"]),
+                energy_proposed=float(data["energy_proposed"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise MergeError(f"malformed SystemResult record {data!r}: "
+                             f"{exc}") from exc
+
     def as_row(self) -> str:
         """Tab-separated row in the paper's Table III units (µm², fJ, %)."""
         return "\t".join([
@@ -165,3 +194,45 @@ def evaluate_benchmarks(
         benchmarks = list(BENCHMARKS)
     return parallel_map(partial(_flow_result, config=config),
                         list(benchmarks), workers=workers)
+
+
+def _flow_result_record(item: Any, rng: Any = None) -> dict:
+    """Campaign worker: one benchmark flow → a JSON-able Table III row.
+
+    ``item`` is ``(benchmark, config)``; ``rng`` is the campaign's
+    per-attempt stream, unused because the flow is deterministic.
+    """
+    benchmark, config = item
+    return _flow_result(benchmark, config=config).to_json()
+
+
+def evaluate_benchmarks_resilient(
+    benchmarks: Optional[Sequence[str]] = None,
+    config: Any = None,
+    workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    checkpoint: Optional[str] = None,
+):
+    """:func:`evaluate_benchmarks` through the resilient campaign runner.
+
+    A benchmark whose flow crashes its worker, times out, or keeps
+    failing after ``retries`` reseeded attempts yields ``None`` in its
+    slot instead of sinking the whole Table III sweep; with
+    ``checkpoint`` set, an interrupted sweep resumes without re-running
+    finished benchmarks.  Returns ``(rows, report)`` where ``rows`` is a
+    list of :class:`SystemResult` or ``None`` in benchmark order.
+    """
+    from repro.faults.campaign import run_campaign
+
+    if benchmarks is None:
+        from repro.physd.benchmarks import BENCHMARKS
+
+        benchmarks = list(BENCHMARKS)
+    items = [(name, config) for name in benchmarks]
+    report = run_campaign(_flow_result_record, items, name="table3-sweep",
+                          workers=workers, timeout=timeout, retries=retries,
+                          checkpoint=checkpoint)
+    rows = [SystemResult.from_json(r) if r is not None else None
+            for r in report.results()]
+    return rows, report

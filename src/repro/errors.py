@@ -49,12 +49,19 @@ class NetlistError(ReproError):
 
 
 class ConvergenceError(ReproError):
-    """The nonlinear solver failed to converge."""
+    """The nonlinear solver failed to converge.
 
-    def __init__(self, message: str, iterations: int = 0, residual: float = float("nan")):
+    ``state`` optionally carries the last Newton iterate (the full MNA
+    solution vector) so wall-clock-timeout aborts hand the caller the
+    point the solver was stuck at instead of discarding it.
+    """
+
+    def __init__(self, message: str, iterations: int = 0,
+                 residual: float = float("nan"), state=None):
         super().__init__(message)
         self.iterations = iterations
         self.residual = residual
+        self.state = state
 
 
 class AnalysisError(ReproError):
@@ -75,3 +82,12 @@ class DefFormatError(ReproError):
 
 class MergeError(ReproError):
     """Invalid multi-bit merge request (unknown cell, conflicting pairs, ...)."""
+
+
+class FaultInjectionError(ReproError):
+    """Invalid fault specification (unknown model, unreachable target, ...)."""
+
+
+class CampaignError(ReproError):
+    """A reliability campaign could not be set up or resumed (bad
+    checkpoint, mismatched configuration, ...)."""

@@ -1,0 +1,78 @@
+"""Fault injection and reliability campaigns for the NV latch designs.
+
+Three layers:
+
+* :mod:`repro.faults.models` — the :class:`FaultSpec` registry of
+  physical fault models (MTJ stuck-at, parameter drift, read disturb,
+  sense-amp offset, transistor outliers, supply droop), each a provable
+  no-op at magnitude 0;
+* :mod:`repro.faults.inject` — applying spec lists to built circuits or
+  cell-builder kwargs, composing with both latch variants through the
+  ``build=`` hooks of :mod:`repro.cells.characterize`;
+* :mod:`repro.faults.campaign` — the resilient Monte-Carlo runner
+  (per-task timeouts, reseeded bounded retry, crashed-worker isolation,
+  JSONL checkpoint/resume) and :mod:`repro.faults.analyses`, the
+  reliability studies built on it.
+
+CLI: ``repro faults list|run|isolation`` (see :mod:`repro.cli`).
+"""
+
+from repro.faults.analyses import (
+    RestoreFailureResult,
+    restore_failure_rate,
+    sense_margin_degradation,
+    margin_slopes,
+    store_write_error_rates,
+    write_path_isolation,
+)
+from repro.faults.campaign import (
+    CampaignReport,
+    TaskRecord,
+    load_checkpoint,
+    run_campaign,
+    task_rng,
+)
+from repro.faults.inject import (
+    InjectionPlan,
+    apply_kwarg_faults,
+    build_faulty_proposed,
+    build_faulty_standard,
+    faulty_builder,
+    inject,
+    split_specs,
+)
+from repro.faults.models import (
+    FaultModel,
+    FaultSpec,
+    fault_model,
+    list_fault_models,
+    register_fault_model,
+    render_model_list,
+)
+
+__all__ = [
+    "CampaignReport",
+    "FaultModel",
+    "FaultSpec",
+    "InjectionPlan",
+    "RestoreFailureResult",
+    "TaskRecord",
+    "apply_kwarg_faults",
+    "build_faulty_proposed",
+    "build_faulty_standard",
+    "fault_model",
+    "faulty_builder",
+    "inject",
+    "list_fault_models",
+    "load_checkpoint",
+    "margin_slopes",
+    "register_fault_model",
+    "render_model_list",
+    "restore_failure_rate",
+    "run_campaign",
+    "sense_margin_degradation",
+    "split_specs",
+    "store_write_error_rates",
+    "task_rng",
+    "write_path_isolation",
+]

@@ -1,0 +1,442 @@
+"""Reliability analyses of the NV latches under fault injection.
+
+Three analyses, all running *injected* restore/store transients through
+the same full-circuit simulation flow as the Table II characterisation
+(via the ``build=`` hooks of :mod:`repro.cells.characterize` idiom —
+nominal and faulty cells share every line of measurement code):
+
+* :func:`restore_failure_rate` — Monte-Carlo probability that a restore
+  read returns the wrong data under a fault-spec list, executed as a
+  resilient :func:`~repro.faults.campaign.run_campaign`;
+* :func:`sense_margin_degradation` — sense margin of both cell variants
+  versus injected sense-amp offset, quantifying the paper's architectural
+  trade-off: the proposed 2-bit cell shares one sense amplifier between
+  two MTJ pairs (and reads the upper pair through the transmission
+  gates), so its worst-bit margin degrades *faster* with SA offset than
+  the standard 1-bit cell's;
+* :func:`store_write_error_rates` / :func:`write_path_isolation` — store
+  WER per bit from the simulated write currents fed into the
+  :class:`~repro.mtj.write_error.WriteErrorModel` closed form; because
+  the 2-bit cell keeps a *separate* tristate write path per bit, a
+  process outlier injected into one bit's driver leaves the other bit's
+  WER untouched (while its own degrades) — the second half of the
+  trade-off.
+
+Trial functions are module level (picklable) so campaigns can fan out
+over process pools; items are plain dicts with the fault specs embedded
+as JSON (:meth:`~repro.faults.models.FaultSpec.to_json`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError, DeviceModelError
+from repro.faults.campaign import CampaignReport, run_campaign
+from repro.faults.inject import (
+    build_faulty_proposed,
+    build_faulty_standard,
+)
+from repro.faults.models import FaultSpec, fault_model
+from repro.mtj.device import MTJDevice
+from repro.mtj.variation import DEFAULT_SEED
+from repro.mtj.write_error import WriteErrorModel
+from repro.spice.analysis.transient import TransientResult, run_transient
+
+#: Default transient timestep for fault analyses [s] — coarser than the
+#: Table II characterisation (1 ps) because campaigns run hundreds of
+#: transients; 4 ps resolves the latch dynamics to well under the 20 %
+#: read-level tolerance.
+FAULTS_DT = 4e-12
+#: Restore reads run a single cycle (campaigns measure correctness, not
+#: steady-state energy, so the power-up inrush cycle is irrelevant).
+FAULTS_READ_CYCLES = 1
+
+
+def _signed_margin(v_out: float, v_outb: float, bit: int, vdd: float) -> float:
+    """Output-pair separation toward the *correct* value, as a fraction of
+    VDD: positive = read correct, magnitude = how decisively."""
+    sign = 1.0 if bit else -1.0
+    return sign * (v_out - v_outb) / vdd
+
+
+def _level_ok(value: float, bit: int, vdd: float) -> bool:
+    from repro.cells.characterize import READ_LEVEL_TOLERANCE
+
+    target = vdd if bit else 0.0
+    return abs(value - target) <= READ_LEVEL_TOLERANCE * vdd
+
+
+# ---------------------------------------------------------------------------
+# Restore trials (module level — campaign workers pickle these)
+# ---------------------------------------------------------------------------
+
+
+def standard_restore_trial(item: Mapping[str, Any],
+                           rng: np.random.Generator) -> Dict[str, Any]:
+    """One injected restore of the standard 1-bit latch.
+
+    ``item``: ``{"specs": [spec dicts], "vdd": float, "dt": float,
+    "sim_timeout": float|None}``.  The stored bit is drawn from ``rng``
+    (so a campaign samples both polarities) before the fault coin flips.
+    """
+    from repro.cells.control import standard_restore_schedule
+
+    specs = [FaultSpec.from_json(s) for s in item["specs"]]
+    vdd = float(item.get("vdd", 1.1))
+    dt = float(item.get("dt", FAULTS_DT))
+    bit = int(rng.integers(0, 2))
+    schedule = standard_restore_schedule(bit=bit, vdd=vdd,
+                                         cycles=FAULTS_READ_CYCLES)
+    latch = build_faulty_standard(specs, rng, schedule=schedule,
+                                  stored_bit=bit, vdd=vdd)
+    result = run_transient(latch.circuit, schedule.stop_time, dt,
+                           initial_voltages={"vdd": vdd},
+                           timeout=item.get("sim_timeout"))
+    t_eval = schedule.markers["eval_end"]
+    v_out = result.sample(latch.out, t_eval)
+    v_outb = result.sample(latch.outb, t_eval)
+    return {
+        "bit": bit,
+        "ok": bool(_level_ok(v_out, bit, vdd)),
+        "margin": _signed_margin(v_out, v_outb, bit, vdd),
+    }
+
+
+def proposed_restore_trial(item: Mapping[str, Any],
+                           rng: np.random.Generator) -> Dict[str, Any]:
+    """One injected restore of the proposed 2-bit latch (both sequential
+    bit reads are checked; the trial fails if either bit reads wrong)."""
+    from repro.cells.control import proposed_restore_schedule
+
+    specs = [FaultSpec.from_json(s) for s in item["specs"]]
+    vdd = float(item.get("vdd", 1.1))
+    dt = float(item.get("dt", FAULTS_DT))
+    bits = (int(rng.integers(0, 2)), int(rng.integers(0, 2)))
+    schedule = proposed_restore_schedule(bits=bits, vdd=vdd,
+                                         cycles=FAULTS_READ_CYCLES)
+    latch = build_faulty_proposed(specs, rng, schedule=schedule,
+                                  stored_bits=bits, vdd=vdd)
+    result = run_transient(latch.circuit, schedule.stop_time, dt,
+                           initial_voltages={"vdd": vdd},
+                           timeout=item.get("sim_timeout"))
+    margins = []
+    oks = []
+    for bit, marker in ((bits[0], "eval_low_end"), (bits[1], "eval_high_end")):
+        t_eval = schedule.markers[marker]
+        v_out = result.sample(latch.out, t_eval)
+        v_outb = result.sample(latch.outb, t_eval)
+        margins.append(_signed_margin(v_out, v_outb, bit, vdd))
+        oks.append(_level_ok(v_out, bit, vdd))
+    return {
+        "bits": list(bits),
+        "ok": bool(all(oks)),
+        "margin": min(margins),
+    }
+
+
+_TRIALS = {"standard": standard_restore_trial,
+           "proposed": proposed_restore_trial}
+
+
+@dataclass
+class RestoreFailureResult:
+    """Outcome of one restore-failure campaign."""
+
+    design: str
+    samples: int
+    #: Wrong-read fraction among samples that simulated successfully.
+    failure_rate: float
+    #: Mean signed margin of the successful-simulation samples.
+    mean_margin: float
+    report: CampaignReport
+
+    def summary(self) -> str:
+        return (f"{self.design}: failure rate "
+                f"{self.failure_rate:.3f} over {self.samples} sample(s) "
+                f"(mean margin {self.mean_margin:+.3f} VDD); "
+                f"{self.report.failed} simulation(s) failed")
+
+
+def restore_failure_rate(
+    design: str,
+    specs: Sequence[FaultSpec],
+    samples: int = 50,
+    seed: int = DEFAULT_SEED,
+    vdd: float = 1.1,
+    dt: float = FAULTS_DT,
+    workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    checkpoint: Optional[str] = None,
+) -> RestoreFailureResult:
+    """Monte-Carlo restore-failure probability under ``specs``.
+
+    Runs ``samples`` injected restore transients of the chosen cell as a
+    resilient campaign (checkpointable, crash-isolated, per-task
+    ``timeout`` forwarded to both the worker alarm and the simulator's
+    wall-clock guard).  The failure rate counts wrong reads among the
+    samples whose simulation *completed*; samples whose simulation failed
+    outright are reported separately in ``report`` — conflating "the
+    injected circuit read wrong data" with "the solver gave up" would
+    bias the estimate.
+    """
+    if design not in _TRIALS:
+        raise AnalysisError(
+            f"unknown design {design!r}; expected one of {sorted(_TRIALS)}")
+    if samples <= 0:
+        raise AnalysisError(f"samples must be positive, got {samples}")
+    for spec in specs:
+        fault_model(spec.model)  # fail fast on a typo, not per worker
+    item = {
+        "specs": [spec.to_json() for spec in specs],
+        "vdd": vdd, "dt": dt,
+        # Leave the simulator a margin below the worker alarm so the
+        # ConvergenceError (with its diagnostic state) wins the race.
+        "sim_timeout": None if timeout is None else 0.9 * timeout,
+    }
+    report = run_campaign(
+        _TRIALS[design], [item] * samples,
+        name=f"restore-failure-{design}", seed=seed, workers=workers,
+        timeout=timeout, retries=retries, checkpoint=checkpoint,
+    )
+    outcomes = [r for r in report.results() if r is not None]
+    failures = sum(1 for r in outcomes if not r["ok"])
+    rate = failures / len(outcomes) if outcomes else float("nan")
+    mean_margin = (sum(r["margin"] for r in outcomes) / len(outcomes)
+                   if outcomes else float("nan"))
+    return RestoreFailureResult(design=design, samples=samples,
+                                failure_rate=rate, mean_margin=mean_margin,
+                                report=report)
+
+
+# ---------------------------------------------------------------------------
+# Sense-margin degradation under SA offset
+# ---------------------------------------------------------------------------
+
+
+def _margin_at_offset(design: str, offset: float, vdd: float,
+                      dt: float) -> float:
+    """Worst-bit sense margin of one cell at one injected SA offset.
+
+    Deterministic (``sa.offset`` needs no RNG), read with the data
+    polarity the offset fights hardest: polarity +1 weakens the ``out``
+    pull-down ``n1``, so a stored 0 (out must fall) is the worst case.
+    """
+    specs = ([] if offset == 0.0
+             else [FaultSpec("sa.offset", offset)])
+    if design == "standard":
+        from repro.cells.control import standard_restore_schedule
+
+        bit = 0
+        schedule = standard_restore_schedule(bit=bit, vdd=vdd,
+                                             cycles=FAULTS_READ_CYCLES)
+        latch = build_faulty_standard(specs, None, schedule=schedule,
+                                      stored_bit=bit, vdd=vdd)
+        result = run_transient(latch.circuit, schedule.stop_time, dt,
+                               initial_voltages={"vdd": vdd})
+        t_eval = schedule.markers["eval_end"]
+        return _signed_margin(result.sample(latch.out, t_eval),
+                              result.sample(latch.outb, t_eval), bit, vdd)
+    if design == "proposed":
+        from repro.cells.control import proposed_restore_schedule
+
+        bits = (0, 0)
+        schedule = proposed_restore_schedule(bits=bits, vdd=vdd,
+                                             cycles=FAULTS_READ_CYCLES)
+        latch = build_faulty_proposed(specs, None, schedule=schedule,
+                                      stored_bits=bits, vdd=vdd)
+        result = run_transient(latch.circuit, schedule.stop_time, dt,
+                               initial_voltages={"vdd": vdd})
+        margins = []
+        for bit, marker in ((bits[0], "eval_low_end"),
+                            (bits[1], "eval_high_end")):
+            t_eval = schedule.markers[marker]
+            margins.append(_signed_margin(result.sample(latch.out, t_eval),
+                                          result.sample(latch.outb, t_eval),
+                                          bit, vdd))
+        return min(margins)
+    raise AnalysisError(f"unknown design {design!r}")
+
+
+def sense_margin_degradation(
+    offsets: Sequence[float] = (0.0, 0.02, 0.04, 0.06, 0.08),
+    designs: Sequence[str] = ("standard", "proposed"),
+    vdd: float = 1.1,
+    dt: float = FAULTS_DT,
+) -> Dict[str, List[Dict[str, float]]]:
+    """Worst-bit sense margin versus injected SA input offset.
+
+    Returns ``{design: [{"offset": V, "margin": fraction-of-VDD}, ...]}``
+    with margins measured from full restore transients.  The expected
+    (and test-pinned) architecture signature: both curves fall with
+    offset, and the proposed 2-bit cell — one shared sense amplifier
+    serving two MTJ pairs, the upper pair read through the transmission
+    gates — loses margin *faster* than the standard cell, the sense-path
+    cost of its transistor sharing.  The default offsets span the
+    discriminating region: at ~50 mV the 2-bit cell's worst bit already
+    restores wrong while the 1-bit cell still holds ≥ 0.96 VDD at 80 mV.
+    """
+    curves: Dict[str, List[Dict[str, float]]] = {}
+    for design in designs:
+        curves[design] = [
+            {"offset": float(offset),
+             "margin": _margin_at_offset(design, float(offset), vdd, dt)}
+            for offset in offsets
+        ]
+    return curves
+
+
+def margin_slopes(curves: Mapping[str, Sequence[Mapping[str, float]]]
+                  ) -> Dict[str, float]:
+    """Mean margin loss per volt of offset for each design's curve
+    (least-squares slope; more negative = degrades faster)."""
+    slopes: Dict[str, float] = {}
+    for design, points in curves.items():
+        x = np.array([p["offset"] for p in points])
+        y = np.array([p["margin"] for p in points])
+        if len(x) < 2:
+            raise AnalysisError(f"need >= 2 offsets to fit a slope for "
+                                f"{design!r}")
+        slopes[design] = float(np.polyfit(x, y, 1)[0])
+    return slopes
+
+
+# ---------------------------------------------------------------------------
+# Store write-error rates
+# ---------------------------------------------------------------------------
+
+
+def _pair_wer(result: TransientResult, mtj, t0: float, t1: float) -> float:
+    """WER of one junction during the store window.
+
+    The write current is reconstructed from the simulated voltage across
+    the junction and its *pre-switch* conductance (initial state, bias
+    -dependent), averaged up to the switching event when one occurred;
+    the average current and the pulse width then enter the
+    :class:`~repro.mtj.write_error.WriteErrorModel` closed form.  A
+    current that never clears the critical current cannot switch the
+    junction thermally within a nanosecond pulse — WER 1.
+    """
+    times = result.times
+    v_free = (result.node_voltages[:, mtj.free] if mtj.free >= 0
+              else np.zeros_like(times))
+    v_ref = (result.node_voltages[:, mtj.ref] if mtj.ref >= 0
+             else np.zeros_like(times))
+    t_end = t1
+    if mtj.switching is not None:
+        switch_times = [e.time for e in mtj.switching.events
+                        if t0 <= e.time <= t1]
+        if switch_times:
+            t_end = min(switch_times)
+    mask = (times >= t0) & (times <= t_end)
+    if not np.any(mask):
+        raise AnalysisError(
+            f"store window [{t0:g}, {t1:g}] contains no samples")
+    bias = (v_free - v_ref)[mask]
+    probe = MTJDevice(params=mtj.device.params, state=mtj._initial_state)
+    current = np.array([probe.conductance(abs(v)) * v for v in bias])
+    average = float(np.mean(np.abs(current)))
+    try:
+        return WriteErrorModel(mtj.device.params).write_error_rate(
+            average, t1 - t0)
+    except DeviceModelError:
+        return 1.0  # sub-critical drive: the write cannot complete
+
+
+#: Default store-pulse width for WER analyses [s].  Deliberately longer
+#: than the Table II store window (3 ns): at the cell's simulated ~70 µA
+#: write current the closed-form WER only leaves its saturated-near-1
+#: region beyond ≈ 10 ns (see ``WriteErrorModel.margin_report``), and the
+#: isolation analysis needs WERs in a regime where a degraded driver
+#: shows up as orders of magnitude, not as 1 − 1.
+WER_PULSE_WIDTH = 20e-9
+
+
+def store_write_error_rates(
+    design: str,
+    specs: Sequence[FaultSpec] = (),
+    vdd: float = 1.1,
+    dt: float = FAULTS_DT,
+    write_width: float = WER_PULSE_WIDTH,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, float]:
+    """Per-bit store WER of one cell, optionally fault-injected.
+
+    Runs the same store transient as the Table II write characterisation
+    (all junctions start opposite, so every one must actually switch) and
+    converts each junction's simulated write current into a write-error
+    rate; a bit fails if *either* junction of its pair fails, so
+    ``WER_bit = 1 − (1 − w_a)(1 − w_b)``.
+
+    Returns ``{"bit": ...}`` for the standard cell and ``{"d0": ...,
+    "d1": ...}`` for the proposed cell.
+    """
+    specs = list(specs)
+    if design == "standard":
+        from repro.cells.control import standard_store_schedule
+
+        schedule = standard_store_schedule(bit=1, vdd=vdd,
+                                           write_width=write_width)
+        latch = build_faulty_standard(specs, rng, schedule=schedule,
+                                      stored_bit=0, vdd=vdd)
+        pairs = {"bit": (latch.mtj1, latch.mtj2)}
+    elif design == "proposed":
+        from repro.cells.control import proposed_store_schedule
+
+        schedule = proposed_store_schedule(bits=(1, 0), vdd=vdd,
+                                           write_width=write_width)
+        latch = build_faulty_proposed(specs, rng, schedule=schedule,
+                                      stored_bits=(0, 1), vdd=vdd)
+        pairs = {"d0": (latch.mtj3, latch.mtj4),
+                 "d1": (latch.mtj1, latch.mtj2)}
+    else:
+        raise AnalysisError(f"unknown design {design!r}")
+
+    result = run_transient(latch.circuit, schedule.stop_time, dt,
+                           initial_voltages={"vdd": vdd})
+    t0 = schedule.markers["write_start"]
+    t1 = schedule.markers["write_end"]
+    rates: Dict[str, float] = {}
+    for label, (mtj_a, mtj_b) in pairs.items():
+        w_a = _pair_wer(result, mtj_a, t0, t1)
+        w_b = _pair_wer(result, mtj_b, t0, t1)
+        rates[label] = 1.0 - (1.0 - w_a) * (1.0 - w_b)
+    return rates
+
+
+def write_path_isolation(
+    magnitude: float = 3.0,
+    target: str = "wr.i3*,wr.i4*",
+    vdd: float = 1.1,
+    dt: float = FAULTS_DT,
+    write_width: float = WER_PULSE_WIDTH,
+) -> Dict[str, Any]:
+    """The separate-write-path claim, quantified.
+
+    Injects a ``mos.outlier`` of ``magnitude`` σ (weakening polarity)
+    into the D0 write drivers of the proposed cell and compares the
+    per-bit store WERs against the fault-free cell and the standard cell.
+    Because each bit owns its tristate write path, the D1 WER must stay
+    (numerically) where it was while D0's degrades — and the fault-free
+    per-bit WERs must match the standard cell's, since the write paths
+    are circuit-identical.
+    """
+    spec = FaultSpec("mos.outlier", magnitude, target=target,
+                     params={"polarity": 1.0})
+    baseline = store_write_error_rates("proposed", vdd=vdd, dt=dt,
+                                       write_width=write_width)
+    faulty = store_write_error_rates("proposed", [spec], vdd=vdd, dt=dt,
+                                     write_width=write_width)
+    standard = store_write_error_rates("standard", vdd=vdd, dt=dt,
+                                       write_width=write_width)
+    return {
+        "standard_bit": standard["bit"],
+        "baseline": baseline,
+        "faulty": faulty,
+        "d0_degradation": faulty["d0"] - baseline["d0"],
+        "d1_shift": abs(faulty["d1"] - baseline["d1"]),
+    }

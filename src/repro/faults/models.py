@@ -1,0 +1,498 @@
+"""Fault models and the :class:`FaultSpec` registry.
+
+A *fault model* describes one physical failure mechanism of the NV latch
+designs and knows how to impose it on a design, at one of two levels:
+
+* **circuit level** — mutate a built :class:`~repro.spice.netlist.Circuit`
+  in place (pin an MTJ state, shift a transistor threshold, ...); this is
+  how device-specific faults are injected, addressing devices by name
+  (``fnmatch`` patterns allowed, e.g. ``"mtj*"``).
+* **kwargs level** — transform the keyword arguments of a cell builder
+  (``build_standard_latch`` / ``build_proposed_latch``) before the cell
+  is built; this is how cell-wide faults (parameter drift of every MTJ,
+  supply droop) compose with both the 1-bit and the 2-bit cell without
+  knowing their internals.
+
+Every model obeys the **zero-magnitude invariant**: a spec with
+``magnitude == 0`` is a provable no-op — the transformed circuit/kwargs
+are indistinguishable from the untouched ones.  The golden test
+``tests/test_golden_faults_baseline.py`` pins this (zero-magnitude
+injection reproduces the Table II metrics bit-exactly), which is what
+makes fault sweeps trustworthy: the ``magnitude → 0`` limit of every
+reliability curve is the nominal design.
+
+Shipped models (see :func:`list_fault_models`):
+
+====================  =======  ==============================================
+name                  level    magnitude semantics
+====================  =======  ==============================================
+``mtj.stuck``         circuit  probability the target MTJ is stuck (pinned
+                               state, dynamics removed); 1.0 = deterministic
+``mtj.drift``         both     relative parameter drift; scales RA/TMR/I_c
+                               along the per-unit directions in ``params``
+``mtj.read-disturb``  circuit  number of read exposures; the per-exposure
+                               flip probability comes from the
+                               :class:`~repro.mtj.write_error.WriteErrorModel`
+                               current/pulse-width math (super-critical
+                               currents) or the thermally-activated rate
+``sa.offset``         circuit  input-referred sense-amp offset [V], applied
+                               as a ±magnitude/2 threshold split across the
+                               cross-coupled NMOS pair
+``mos.outlier``       circuit  process outlier in σ beyond the corner model;
+                               shifts V_th and scales W/L of the target
+                               transistor(s)
+``cell.vdd-droop``    kwargs   relative supply droop (vdd ← vdd·(1 − m))
+====================  =======  ==============================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import FaultInjectionError
+from repro.mtj.device import MTJState
+from repro.mtj.dynamics import SwitchingModel
+from repro.mtj.write_error import WriteErrorModel
+from repro.spice.devices.mosfet import MOSFET
+from repro.spice.devices.mtj_element import MTJElement
+from repro.spice.netlist import Circuit
+
+#: Injection levels a model can operate at.
+LEVELS = ("circuit", "kwargs")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One concrete fault to inject.
+
+    ``model`` names a registered fault model; ``magnitude`` scales the
+    fault (0 = provable no-op); ``target`` selects circuit devices by
+    name (exact or ``fnmatch`` pattern; empty string = the model's
+    default target); ``params`` carries model-specific knobs.
+    """
+
+    model: str
+    magnitude: float
+    target: str = ""
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.magnitude < 0.0:
+            raise FaultInjectionError(
+                f"fault magnitude must be non-negative, got {self.magnitude}"
+            )
+
+    def describe(self) -> str:
+        target = self.target or fault_model(self.model).default_target or "<cell>"
+        return f"{self.model}(magnitude={self.magnitude:g}, target={target!r})"
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-serialisable form (campaign items travel through pickle
+        *and* JSONL checkpoints, so specs ship as plain dicts)."""
+        return {"model": self.model, "magnitude": self.magnitude,
+                "target": self.target, "params": dict(self.params)}
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        try:
+            return cls(model=str(data["model"]),
+                       magnitude=float(data["magnitude"]),
+                       target=str(data.get("target", "")),
+                       params=dict(data.get("params", {})))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FaultInjectionError(
+                f"malformed fault spec {data!r}: {exc}") from exc
+
+
+class FaultModel:
+    """Base class: one failure mechanism and its injection transform."""
+
+    #: Registry name, e.g. ``"mtj.stuck"``.
+    name: str = ""
+    #: One-line description for ``repro faults list``.
+    description: str = ""
+    #: ``"circuit"`` or ``"kwargs"``.
+    level: str = "circuit"
+    #: Device class circuit-level targets must be instances of.
+    device_type: type = object
+    #: Target pattern used when the spec leaves ``target`` empty.
+    default_target: str = ""
+
+    def resolve_targets(self, circuit: Circuit, spec: FaultSpec) -> List[Any]:
+        """Devices of ``circuit`` addressed by ``spec`` (circuit level).
+
+        Raises :class:`FaultInjectionError` when the pattern matches no
+        device of the required type — the dynamic twin of the
+        ``faults.unreachable-injection`` lint rule.
+        """
+        pattern = spec.target or self.default_target
+        matched = [dev for dev in circuit.devices
+                   if isinstance(dev, self.device_type)
+                   and any(fnmatchcase(dev.name, p.strip())
+                           for p in pattern.split(","))]
+        if not matched:
+            from repro.errors import suggest_names
+
+            candidates = [d.name for d in circuit.devices
+                          if isinstance(d, self.device_type)]
+            raise FaultInjectionError(
+                f"fault {spec.describe()} targets no "
+                f"{self.device_type.__name__} of circuit {circuit.name!r}"
+                + suggest_names(pattern, candidates)
+            )
+        return matched
+
+    def apply(self, circuit: Circuit, spec: FaultSpec,
+              rng: Optional[np.random.Generator] = None) -> None:
+        """Inject the fault into a built circuit (circuit-level models)."""
+        raise FaultInjectionError(
+            f"fault model {self.name!r} transforms builder kwargs, not "
+            f"built circuits — use repro.faults.inject.apply_kwarg_faults"
+        )
+
+    def transform_kwargs(self, kwargs: Dict[str, Any],
+                         spec: FaultSpec) -> Dict[str, Any]:
+        """Transform cell-builder kwargs (kwargs-level models)."""
+        raise FaultInjectionError(
+            f"fault model {self.name!r} operates on built circuits, not "
+            f"builder kwargs — use repro.faults.inject.inject"
+        )
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _bernoulli(probability: float, rng: Optional[np.random.Generator],
+                   what: str) -> bool:
+        """Draw the fault-occurrence coin; deterministic at p ∈ {0, 1}."""
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        if rng is None:
+            raise FaultInjectionError(
+                f"{what} with probability {probability:g} needs an rng "
+                f"(pass one to inject()) — only magnitudes 0 and >= 1 are "
+                f"deterministic"
+            )
+        return bool(rng.random() < probability)
+
+
+_REGISTRY: Dict[str, FaultModel] = {}
+
+
+def register_fault_model(model: FaultModel) -> FaultModel:
+    """Register a model instance under its ``name`` (import-time hook)."""
+    if not model.name:
+        raise FaultInjectionError("fault model must define a name")
+    if model.level not in LEVELS:
+        raise FaultInjectionError(
+            f"fault model {model.name!r} has unknown level {model.level!r}; "
+            f"expected one of {LEVELS}")
+    if model.name in _REGISTRY:
+        raise FaultInjectionError(f"duplicate fault model {model.name!r}")
+    _REGISTRY[model.name] = model
+    return model
+
+
+def fault_model(name: str) -> FaultModel:
+    """Look up a registered model by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        from repro.errors import suggest_names
+
+        raise FaultInjectionError(
+            f"no fault model named {name!r}"
+            + suggest_names(name, _REGISTRY)
+        )
+
+
+def list_fault_models() -> List[FaultModel]:
+    """All registered models, in registration order."""
+    return list(_REGISTRY.values())
+
+
+# ---------------------------------------------------------------------------
+# MTJ stuck-at
+# ---------------------------------------------------------------------------
+
+
+class MTJStuckFault(FaultModel):
+    """MTJ permanently pinned at P or AP (shorted/failed free layer).
+
+    ``magnitude`` is the probability the target device is stuck;
+    ``params["state"]`` selects ``"P"`` or ``"AP"`` (default ``"AP"``,
+    the high-resistance open-like failure).  A stuck junction loses its
+    switching dynamics entirely — stores cannot recover it.
+    """
+
+    name = "mtj.stuck"
+    description = "MTJ pinned at P/AP with switching dynamics removed"
+    level = "circuit"
+    device_type = MTJElement
+    default_target = "mtj*"
+
+    def apply(self, circuit: Circuit, spec: FaultSpec,
+              rng: Optional[np.random.Generator] = None) -> None:
+        if spec.magnitude == 0.0:
+            return
+        state = MTJState(spec.params.get("state", "AP"))
+        for element in self.resolve_targets(circuit, spec):
+            if self._bernoulli(spec.magnitude, rng,
+                               f"stuck-at on {element.name!r}"):
+                element.switching = None
+                element.set_initial_state(state)
+
+
+# ---------------------------------------------------------------------------
+# MTJ parameter drift
+# ---------------------------------------------------------------------------
+
+
+class MTJDriftFault(FaultModel):
+    """Resistance/TMR/I_c drift of an MTJ (aging, process outlier).
+
+    ``magnitude`` is the relative drift; ``params`` gives per-unit
+    directions ``ra``/``tmr``/``ic`` (default RA −1, TMR −1, I_c 0: low
+    resistance and collapsed read margin, the sense-hostile direction).
+    Applied per device at circuit level, or to the cell-wide
+    ``mtj_params`` at kwargs level.
+    """
+
+    name = "mtj.drift"
+    description = "per-device or cell-wide RA/TMR/Ic drift"
+    level = "circuit"  # also supports kwargs, see transform_kwargs
+    device_type = MTJElement
+    default_target = "mtj*"
+
+    @staticmethod
+    def _scales(spec: FaultSpec):
+        d_ra = float(spec.params.get("ra", -1.0))
+        d_tmr = float(spec.params.get("tmr", -1.0))
+        d_ic = float(spec.params.get("ic", 0.0))
+        return (1.0 + spec.magnitude * d_ra,
+                1.0 + spec.magnitude * d_tmr,
+                1.0 + spec.magnitude * d_ic)
+
+    def apply(self, circuit: Circuit, spec: FaultSpec,
+              rng: Optional[np.random.Generator] = None) -> None:
+        if spec.magnitude == 0.0:
+            return
+        ra, tmr, ic = self._scales(spec)
+        for element in self.resolve_targets(circuit, spec):
+            element.device.params = element.device.params.scaled(
+                ra_scale=ra, tmr_scale=tmr, ic_scale=ic)
+            if element.switching is not None:
+                # Q_dyn derives from the parameters; keep them consistent.
+                element.switching.dynamic_charge = (
+                    SwitchingModel.default_dynamic_charge(element.device.params))
+
+    def transform_kwargs(self, kwargs: Dict[str, Any],
+                         spec: FaultSpec) -> Dict[str, Any]:
+        if spec.magnitude == 0.0:
+            return kwargs
+        from repro.mtj.parameters import PAPER_TABLE_I
+
+        ra, tmr, ic = self._scales(spec)
+        out = dict(kwargs)
+        base = out.get("mtj_params") or PAPER_TABLE_I
+        out["mtj_params"] = base.scaled(ra_scale=ra, tmr_scale=tmr,
+                                        ic_scale=ic)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Read disturb
+# ---------------------------------------------------------------------------
+
+
+class ReadDisturbFault(FaultModel):
+    """Accumulated read-disturb flips of an MTJ.
+
+    ``magnitude`` counts read exposures; the per-exposure flip
+    probability is derived from the same current/pulse-width physics as
+    :class:`~repro.mtj.write_error.WriteErrorModel`:
+
+    * ``read_current`` above the critical current (an over-biased read
+      path): disturb probability = 1 − WER(I, t) — the probability the
+      read pulse *does* switch the junction;
+    * sub-critical currents: the Poisson thermally-activated rate of
+      :meth:`~repro.mtj.dynamics.SwitchingModel.read_disturb_probability`.
+
+    ``params``: ``read_current`` [A] (default 20 µA), ``read_pulse`` [s]
+    (default 0.8 ns — one evaluation window).
+    """
+
+    name = "mtj.read-disturb"
+    description = "state flips from repeated read exposure (WER math)"
+    level = "circuit"
+    device_type = MTJElement
+    default_target = "mtj*"
+
+    @staticmethod
+    def flip_probability(params, read_current: float, read_pulse: float,
+                         exposures: float) -> float:
+        """Probability that ``exposures`` reads flip a junction biased the
+        wrong way (pure function — used by tests and the CLI report)."""
+        if exposures <= 0.0:
+            return 0.0
+        magnitude = abs(read_current)
+        if magnitude > params.critical_current:
+            wer = WriteErrorModel(params).write_error_rate(magnitude,
+                                                           read_pulse)
+            per_read = 1.0 - wer
+        else:
+            exponent = params.thermal_stability * (
+                1.0 - magnitude / params.critical_current)
+            t_sw = params.attempt_time * math.exp(min(exponent, 700.0))
+            per_read = 1.0 - math.exp(-read_pulse / t_sw)
+        return 1.0 - (1.0 - per_read) ** exposures
+
+    def apply(self, circuit: Circuit, spec: FaultSpec,
+              rng: Optional[np.random.Generator] = None) -> None:
+        if spec.magnitude == 0.0:
+            return
+        read_current = float(spec.params.get("read_current", 20e-6))
+        read_pulse = float(spec.params.get("read_pulse", 0.8e-9))
+        for element in self.resolve_targets(circuit, spec):
+            p = self.flip_probability(element.device.params, read_current,
+                                      read_pulse, spec.magnitude)
+            if self._bernoulli(p, rng, f"read disturb on {element.name!r}"):
+                element.set_initial_state(element.device.state.flipped())
+
+
+# ---------------------------------------------------------------------------
+# Sense-amplifier input offset
+# ---------------------------------------------------------------------------
+
+
+class SenseAmpOffsetFault(FaultModel):
+    """Input-referred offset of the cross-coupled sense amplifier.
+
+    ``magnitude`` is the offset voltage [V], realised as a ±magnitude/2
+    threshold split across the NMOS pair (the dominant mismatch
+    contributor in a StrongARM-style SA).  ``params["polarity"]`` (±1,
+    default +1) picks which side is weakened: +1 raises the threshold of
+    the first matched device (alphabetically — ``n1``, the ``out`` pull
+    -down), biasing the race toward ``out`` staying high.
+
+    Both latch designs name their SA pair ``n1``/``n2``, so the default
+    target composes with either cell.
+    """
+
+    name = "sa.offset"
+    description = "input-referred SA offset as a Vth split of the NMOS pair"
+    level = "circuit"
+    device_type = MOSFET
+    default_target = "n1,n2"
+
+    def apply(self, circuit: Circuit, spec: FaultSpec,
+              rng: Optional[np.random.Generator] = None) -> None:
+        if spec.magnitude == 0.0:
+            return
+        polarity = float(spec.params.get("polarity", 1.0))
+        if polarity not in (-1.0, 1.0):
+            raise FaultInjectionError(
+                f"sa.offset polarity must be +1 or -1, got {polarity}")
+        pair = sorted(self.resolve_targets(circuit, spec),
+                      key=lambda dev: dev.name)
+        if len(pair) != 2:
+            raise FaultInjectionError(
+                f"sa.offset needs exactly 2 target transistors, matched "
+                f"{[d.name for d in pair]} in {circuit.name!r}")
+        half = 0.5 * spec.magnitude
+        pair[0].model = pair[0].model.with_corner(vth_shift=polarity * half)
+        pair[1].model = pair[1].model.with_corner(vth_shift=-polarity * half)
+
+
+# ---------------------------------------------------------------------------
+# Transistor outlier
+# ---------------------------------------------------------------------------
+
+
+class TransistorOutlierFault(FaultModel):
+    """Per-transistor process outlier beyond the ±3σ corner models.
+
+    ``magnitude`` is the deviation in σ; ``params`` supplies the 1σ
+    deltas — ``vth_sigma`` [V] (default 15 mV, matching
+    :data:`repro.spice.corners.VTH_SIGMA`), ``w_sigma`` / ``l_sigma``
+    (relative, defaults 0.03 / 0.0) — and ``polarity`` (±1) the
+    direction: +1 is the *slow/weak* outlier (higher V_th, narrower W,
+    longer L), −1 the fast/leaky one.  Geometry scaling affects the
+    drive strength; the parasitic capacitances attached at build time
+    keep their nominal values (a first-order, drive-dominated outlier
+    model).
+    """
+
+    name = "mos.outlier"
+    description = "per-transistor Vth/W/L outlier beyond the corner"
+    level = "circuit"
+    device_type = MOSFET
+    default_target = ""  # no sensible default: outliers are device-specific
+
+    def apply(self, circuit: Circuit, spec: FaultSpec,
+              rng: Optional[np.random.Generator] = None) -> None:
+        if spec.magnitude == 0.0:
+            return
+        if not spec.target:
+            raise FaultInjectionError(
+                "mos.outlier needs an explicit target transistor name")
+        polarity = float(spec.params.get("polarity", 1.0))
+        vth_sigma = float(spec.params.get("vth_sigma", 0.015))
+        w_sigma = float(spec.params.get("w_sigma", 0.03))
+        l_sigma = float(spec.params.get("l_sigma", 0.0))
+        shift = polarity * spec.magnitude
+        for dev in self.resolve_targets(circuit, spec):
+            if vth_sigma:
+                dev.model = dev.model.with_corner(vth_shift=shift * vth_sigma)
+            dev.width *= max(1.0 - shift * w_sigma, 1e-3)
+            dev.length *= max(1.0 + shift * l_sigma, 1e-3)
+
+
+# ---------------------------------------------------------------------------
+# Supply droop (kwargs level)
+# ---------------------------------------------------------------------------
+
+
+class VddDroopFault(FaultModel):
+    """Static supply droop: the cell is built at ``vdd·(1 − magnitude)``.
+
+    A kwargs-level model — it composes with any cell builder that takes a
+    ``vdd`` keyword, without touching the built netlist.
+    """
+
+    name = "cell.vdd-droop"
+    description = "relative static supply droop (builder kwargs)"
+    level = "kwargs"
+
+    def transform_kwargs(self, kwargs: Dict[str, Any],
+                         spec: FaultSpec) -> Dict[str, Any]:
+        if spec.magnitude == 0.0:
+            return kwargs
+        if spec.magnitude >= 1.0:
+            raise FaultInjectionError(
+                f"cell.vdd-droop magnitude must be < 1, got {spec.magnitude}")
+        out = dict(kwargs)
+        out["vdd"] = out.get("vdd", 1.1) * (1.0 - spec.magnitude)
+        return out
+
+
+for _model in (MTJStuckFault(), MTJDriftFault(), ReadDisturbFault(),
+               SenseAmpOffsetFault(), TransistorOutlierFault(),
+               VddDroopFault()):
+    register_fault_model(_model)
+
+
+def render_model_list() -> str:
+    """Human-readable table of registered models (``repro faults list``)."""
+    lines = []
+    for model in list_fault_models():
+        lines.append(f"{model.name:18s} [{model.level:7s}] {model.description}")
+        if model.default_target:
+            lines.append(f"{'':18s}  default target: {model.default_target!r}")
+    return "\n".join(lines)

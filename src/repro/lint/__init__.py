@@ -49,6 +49,7 @@ from repro.lint.registry import (
 # Importing the rule packs registers their rules.
 from repro.lint import spice_rules as _spice_rules  # noqa: F401
 from repro.lint import gate_rules as _gate_rules  # noqa: F401
+from repro.lint import fault_rules as _fault_rules  # noqa: F401
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.physd.netlist import GateNetlist

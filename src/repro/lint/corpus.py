@@ -26,7 +26,7 @@ class CorpusEntry:
     """One deliberately broken design and the rules it must trip."""
 
     name: str
-    kind: str  # "spice" | "gates"
+    kind: str  # "spice" | "gates" | "faults"
     build: Callable
     expected_rules: FrozenSet[str]
 
@@ -242,7 +242,33 @@ GATE_CORPUS: Tuple[CorpusEntry, ...] = (
                 frozenset({"gates.empty-netlist"})),
 )
 
-CORPUS: Tuple[CorpusEntry, ...] = SPICE_CORPUS + GATE_CORPUS
+# -- fault-injection-plan entries -------------------------------------------
+
+
+def _unreachable_injection():
+    """A fault plan aimed at MTJs the circuit does not have: the 2-bit
+    lower-pair names (mtj3/mtj4) applied to the 1-bit cell, plus one
+    model typo — both silent-no-op hazards ``faults.unreachable-injection``
+    exists to catch before a campaign wastes hours on healthy cells."""
+    from repro.cells.nvlatch_1bit import build_standard_latch
+    from repro.faults.inject import InjectionPlan
+    from repro.faults.models import FaultSpec
+
+    latch = build_standard_latch()
+    return InjectionPlan(
+        circuit=latch.circuit,
+        specs=(FaultSpec("mtj.stuck", 1.0, target="mtj3,mtj4"),
+               FaultSpec("mos.outlier", 3.0)),  # no target, no default
+        name="bad-unreachable-injection",
+    )
+
+
+FAULT_CORPUS: Tuple[CorpusEntry, ...] = (
+    CorpusEntry("unreachable-injection", "faults", _unreachable_injection,
+                frozenset({"faults.unreachable-injection"})),
+)
+
+CORPUS: Tuple[CorpusEntry, ...] = SPICE_CORPUS + GATE_CORPUS + FAULT_CORPUS
 
 
 def run_self_test() -> Tuple[bool, List[str]]:

@@ -1,0 +1,67 @@
+"""Lint rules over fault-injection plans (kind ``"faults"``).
+
+Subject type: :class:`repro.faults.inject.InjectionPlan` — a built
+circuit paired with the :class:`~repro.faults.models.FaultSpec` list
+aimed at it.  The pack catches plan/circuit mismatches *statically*,
+before a 10k-sample campaign spends hours simulating cells whose
+injections silently miss (a renamed transistor, a 1-bit spec applied to
+the 2-bit cell, ...).
+
+The dynamic twin of ``faults.unreachable-injection`` is the
+:class:`~repro.errors.FaultInjectionError` raised at apply time; the lint
+rule exists so ``repro faults`` (and tests) can vet a whole plan in
+microseconds without building RNGs or running models.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatchcase
+
+from repro.lint.diagnostics import Severity
+from repro.lint.registry import rule
+
+
+@rule(
+    "faults.unreachable-injection",
+    "faults",
+    Severity.ERROR,
+    "fault spec targets no device of the circuit it is aimed at",
+)
+def check_unreachable_injection(plan, emit) -> None:
+    """Every circuit-level spec must match >= 1 device of the right type.
+
+    A spec whose target pattern (or default target) matches nothing would
+    be injected as a no-op — the campaign would happily measure an
+    entirely healthy circuit and report a zero failure rate.
+    """
+    from repro.errors import suggest_names
+    from repro.faults.models import fault_model
+    from repro.errors import FaultInjectionError
+
+    for position, spec in enumerate(plan.specs):
+        try:
+            model = fault_model(spec.model)
+        except FaultInjectionError as exc:
+            emit(f"spec[{position}]", str(exc))
+            continue
+        if model.level != "circuit":
+            continue  # kwargs-level specs have no circuit target
+        pattern = spec.target or model.default_target
+        location = f"spec[{position}] {spec.model}"
+        if not pattern:
+            emit(location,
+                 f"model {spec.model!r} has no default target; the spec "
+                 f"must name one explicitly")
+            continue
+        candidates = [dev.name for dev in plan.circuit.devices
+                      if isinstance(dev, model.device_type)]
+        matched = [name for name in candidates
+                   if any(fnmatchcase(name, p.strip())
+                          for p in pattern.split(","))]
+        if not matched:
+            emit(location,
+                 f"target {pattern!r} matches no "
+                 f"{model.device_type.__name__} of circuit "
+                 f"{plan.circuit.name!r}",
+                 hint=f"devices of that type: {sorted(candidates)[:8]}"
+                      + suggest_names(pattern, candidates))

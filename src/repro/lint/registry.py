@@ -1,10 +1,12 @@
 """Rule registry for the lint subsystem.
 
 Rules self-register at import time via the :func:`rule` decorator; the
-two shipped packs live in :mod:`repro.lint.spice_rules` ("spice" kind,
-subject :class:`~repro.spice.netlist.Circuit`) and
+shipped packs live in :mod:`repro.lint.spice_rules` ("spice" kind,
+subject :class:`~repro.spice.netlist.Circuit`),
 :mod:`repro.lint.gate_rules` ("gates" kind, subject
-:class:`~repro.physd.netlist.GateNetlist`).
+:class:`~repro.physd.netlist.GateNetlist`) and
+:mod:`repro.lint.fault_rules` ("faults" kind, subject
+:class:`~repro.faults.inject.InjectionPlan`).
 
 A rule is a callable ``check(subject, emit)`` where ``emit(location,
 message, hint="", severity=None)`` records one finding; the registry
@@ -20,7 +22,7 @@ from repro.errors import AnalysisError
 from repro.lint.diagnostics import Diagnostic, LintReport, Severity
 
 #: Valid rule kinds and the subject type each pack lints.
-KINDS = ("spice", "gates")
+KINDS = ("spice", "gates", "faults")
 
 
 @dataclass(frozen=True)

@@ -154,3 +154,37 @@ def monte_carlo_map(
     samples = monte_carlo_parameters(params, variation, count=count,
                                      seed=seed, clip_sigma=clip_sigma)
     return parallel_map(fn, samples, workers=workers)
+
+
+def monte_carlo_campaign(
+    fn: Callable[[MTJParameters, np.random.Generator], _R],
+    params: MTJParameters,
+    variation: Optional[MTJVariation] = None,
+    count: int = 1,
+    seed: int = DEFAULT_SEED,
+    clip_sigma: float = 3.0,
+    workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    checkpoint: Optional[str] = None,
+    name: str = "mtj-mc",
+):
+    """:func:`monte_carlo_map`, resiliently.
+
+    Same deterministic parameter population, but evaluated through
+    :func:`repro.faults.campaign.run_campaign`: per-task ``timeout``,
+    bounded ``retries`` with reseeded per-attempt RNG streams, crashed
+    -worker isolation, and JSONL ``checkpoint``/resume — the runner for
+    10k-sample studies where a handful of pathological samples must not
+    cost the campaign.  ``fn(sample_params, rng)`` must be a picklable
+    module-level callable returning a JSON-serialisable value; returns
+    the :class:`~repro.faults.campaign.CampaignReport` (per-sample
+    results via ``report.results()``, in sample order).
+    """
+    from repro.faults.campaign import run_campaign
+
+    samples = monte_carlo_parameters(params, variation, count=count,
+                                     seed=seed, clip_sigma=clip_sigma)
+    return run_campaign(fn, samples, name=name, seed=seed, workers=workers,
+                        timeout=timeout, retries=retries,
+                        checkpoint=checkpoint)

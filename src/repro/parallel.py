@@ -25,6 +25,7 @@ and :func:`repro.core.evaluate.evaluate_benchmarks`).
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
 
@@ -70,9 +71,12 @@ def parallel_map(
       forces the serial path (no pool, no pickling requirements).
     * Results are returned in item order regardless of completion order.
     * If the pool cannot be created or a worker dies on startup (common in
-      sandboxed environments), the computation transparently re-runs
-      serially — the answer is the same either way, which is the whole
-      point of the per-item partitioning.
+      sandboxed environments), the computation re-runs serially — the
+      answer is the same either way, which is the whole point of the
+      per-item partitioning.  The degradation is *not* silent: a
+      :class:`RuntimeWarning` names the pool failure so slow runs can be
+      traced to the fallback (and campaign runners can record it — see
+      :func:`repro.faults.campaign.run_campaign`).
     """
     items = list(items)
     if workers is None:
@@ -82,7 +86,11 @@ def parallel_map(
     try:
         with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
             return list(pool.map(fn, items, chunksize=max(1, chunksize)))
-    except (OSError, BrokenExecutor, ImportError):
+    except (OSError, BrokenExecutor, ImportError) as exc:
         # No usable process pool here (restricted sandbox, missing
-        # semaphores, ...): fall back to the serial path.
+        # semaphores, ...): fall back to the serial path — loudly.
+        warnings.warn(
+            f"process pool unavailable ({type(exc).__name__}: {exc}); "
+            f"re-running {len(items)} task(s) serially",
+            RuntimeWarning, stacklevel=2)
         return [fn(item) for item in items]

@@ -16,6 +16,7 @@ homotopy reliably lands on the one seeded by the initial guess.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -80,11 +81,25 @@ def _newton(
     prev_voltages: Optional[np.ndarray] = None,
     dt: Optional[float] = None,
     integrator: str = "be",
+    deadline: Optional[float] = None,
 ) -> tuple:
-    """One Newton solve; returns ``(x, iterations)`` or raises."""
+    """One Newton solve; returns ``(x, iterations)`` or raises.
+
+    ``deadline`` is an absolute :func:`time.monotonic` instant; when the
+    iteration loop crosses it, a :class:`ConvergenceError` is raised with
+    the last iterate attached as ``state`` — pathological (e.g.
+    fault-injected) circuits abort on the wall clock instead of grinding
+    through every remaining iteration and gmin stage.
+    """
     num_nodes = circuit.num_nodes
     x = x0.copy()
     for iteration in range(1, max_iterations + 1):
+        if deadline is not None and _time.monotonic() > deadline:
+            raise ConvergenceError(
+                f"Newton solve exceeded its wall-clock timeout at "
+                f"iteration {iteration} (gmin={gmin:g})",
+                iterations=iteration, state=x.copy(),
+            )
         ctx = EvalContext(
             voltages=x[:num_nodes],
             prev_voltages=prev_voltages,
@@ -152,6 +167,7 @@ def solve_dc(
     vtol: float = DEFAULT_VTOL,
     damping: float = DEFAULT_DAMPING,
     lint: str = "error",
+    timeout: Optional[float] = None,
 ) -> DCResult:
     """Find the DC operating point with source values evaluated at ``time``.
 
@@ -164,10 +180,20 @@ def solve_dc(
     system is structurally singular (floating nodes, voltage-source
     loops) are reported by name up front instead of as a gmin-stepping
     stall.
+
+    ``timeout`` bounds the *wall-clock* seconds spent across all Newton
+    iterations and gmin stages; crossing it raises
+    :class:`~repro.errors.ConvergenceError` with the last Newton iterate
+    attached as ``state``.  Fault-injection campaigns rely on this so one
+    pathological injected circuit cannot stall a whole sweep.
     """
     from repro.lint import preflight
 
     preflight(circuit, lint)
+
+    if timeout is not None and timeout <= 0.0:
+        raise ConvergenceError(f"timeout must be positive, got {timeout}")
+    deadline = None if timeout is None else _time.monotonic() + timeout
 
     circuit.finalize()
     size = circuit.num_nodes + circuit.num_branches
@@ -182,12 +208,20 @@ def solve_dc(
     # Plain Newton first, then gmin stepping from strong to weak.
     try:
         x, iterations = _newton(
-            circuit, x0, time, FLOOR_GMIN, max_iterations, vtol, damping
+            circuit, x0, time, FLOOR_GMIN, max_iterations, vtol, damping,
+            deadline=deadline,
         )
         return DCResult(circuit, x[: circuit.num_nodes],
                         x[circuit.num_nodes:], iterations, FLOOR_GMIN)
     except ConvergenceError as exc:
         last_error = exc
+        if deadline is not None and _time.monotonic() > deadline:
+            raise ConvergenceError(
+                f"DC solve of {circuit.name!r} exceeded its {timeout:g} s "
+                f"wall-clock timeout: {exc}",
+                iterations=exc.iterations, residual=exc.residual,
+                state=exc.state,
+            ) from exc
 
     x = x0
     total_iterations = 0
@@ -195,13 +229,18 @@ def solve_dc(
     while gmin >= FLOOR_GMIN:
         try:
             x, iterations = _newton(
-                circuit, x, time, gmin, max_iterations, vtol, damping
+                circuit, x, time, gmin, max_iterations, vtol, damping,
+                deadline=deadline,
             )
             total_iterations += iterations
         except ConvergenceError as exc:
+            timed_out = deadline is not None and _time.monotonic() > deadline
+            reason = ("exceeded its wall-clock timeout during gmin stepping"
+                      if timed_out else "gmin stepping stalled")
             raise ConvergenceError(
-                f"gmin stepping stalled at gmin={gmin:g}: {exc}",
-                iterations=total_iterations,
+                f"{reason} at gmin={gmin:g}: {exc}",
+                iterations=total_iterations + exc.iterations,
+                residual=exc.residual, state=exc.state,
             ) from last_error
         gmin /= 10.0
     return DCResult(circuit, x[: circuit.num_nodes],

@@ -27,6 +27,7 @@ code that does not thread the ``engine`` argument).
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
@@ -129,6 +130,7 @@ def run_transient(
     on_step: Optional[Callable[[float, np.ndarray], None]] = None,
     engine: Optional[str] = None,
     lint: str = "error",
+    timeout: Optional[float] = None,
 ) -> TransientResult:
     """Simulate from 0 to ``stop_time`` with step ``dt``.
 
@@ -143,9 +145,17 @@ def run_transient(
       structurally broken circuits (floating nodes, supply loops, ...)
       raise a :class:`~repro.errors.NetlistError` naming the root-cause
       diagnostic instead of failing later as a Newton non-convergence.
+    * ``timeout`` — wall-clock budget [s] for the whole run; crossing it
+      raises :class:`~repro.errors.ConvergenceError` carrying the last
+      accepted solution vector as ``state`` and the simulated time
+      reached, so fault-injected pathological circuits abort promptly
+      instead of grinding through every remaining Newton iteration.
     """
     if stop_time <= 0.0 or dt <= 0.0:
         raise AnalysisError("stop_time and dt must be positive")
+    if timeout is not None and timeout <= 0.0:
+        raise AnalysisError(f"timeout must be positive, got {timeout}")
+    deadline = None if timeout is None else _time.monotonic() + timeout
     if dt > stop_time:
         raise AnalysisError(f"dt={dt} exceeds stop_time={stop_time}")
     if integrator not in ("be", "trap"):
@@ -171,9 +181,13 @@ def run_transient(
             if index >= 0:
                 x[index] = value
     else:
+        remaining = None
+        if deadline is not None:
+            remaining = max(deadline - _time.monotonic(), 1e-3)
         dc = solve_dc(circuit, time=0.0, initial_guess=dc_seed,
                       max_iterations=max_iterations, vtol=vtol,
-                      damping=damping, lint="off")  # already pre-flighted
+                      damping=damping, lint="off",  # already pre-flighted
+                      timeout=remaining)
         x = np.concatenate([dc.voltages, dc.branch_currents])
 
     steps = int(round(stop_time / dt))
@@ -233,6 +247,13 @@ def run_transient(
     prev_nodes = x[:num_nodes].copy()
     for step in range(1, steps + 1):
         time = step * dt
+        if deadline is not None and _time.monotonic() > deadline:
+            raise ConvergenceError(
+                f"transient of {circuit.name!r} exceeded its {timeout:g} s "
+                f"wall-clock timeout at t={time - dt:g} s "
+                f"(step {step - 1}/{steps})",
+                iterations=step - 1, state=x.copy(),
+            )
         x = advance(x, time, prev_nodes)
         settle(x, time, prev_nodes)
 

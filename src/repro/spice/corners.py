@@ -119,3 +119,30 @@ def sweep_corners(
     results = parallel_map(fn, [CORNERS[name] for name in names],
                            workers=workers)
     return dict(zip(names, results))
+
+
+def sweep_corners_resilient(
+    fn: Callable,
+    corners: Sequence[str] = CORNER_ORDER,
+    workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    checkpoint: Optional[str] = None,
+):
+    """:func:`sweep_corners` through the resilient campaign runner.
+
+    ``fn(corner, rng)`` must be picklable and return a JSON-serialisable
+    value; a corner whose evaluation times out, crashes its worker, or
+    exhausts its retries comes back as ``None`` instead of sinking the
+    sweep.  Returns ``({corner_name: result_or_None},
+    CampaignReport)`` — check ``report.failures()`` before trusting a
+    partially-populated dict.
+    """
+    from repro.faults.campaign import run_campaign
+
+    names = list(corners)
+    report = run_campaign(fn, [CORNERS[name] for name in names],
+                          name="corner-sweep", workers=workers,
+                          timeout=timeout, retries=retries,
+                          checkpoint=checkpoint)
+    return dict(zip(names, report.results())), report

@@ -68,6 +68,21 @@ class TestCLIExtra:
         assert main(["flow", "s344", "--write-svg", str(svg)]) == 0
         assert svg.read_text().startswith("<svg")
 
+    def test_faults_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["faults", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mtj.stuck", "mtj.drift", "mtj.read-disturb",
+                     "sa.offset", "mos.outlier", "cell.vdd-droop"):
+            assert name in out
+
+    def test_faults_bad_spec_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["faults", "run", "--fault", "sa.offset"]) == 2
+        assert "MODEL:MAGNITUDE" in capsys.readouterr().err
+
     def test_quickstart_snippet_from_package_docs(self):
         """The usage snippet in repro.__doc__ must actually work."""
         from repro.core import run_system_flow

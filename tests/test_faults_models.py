@@ -1,0 +1,263 @@
+"""Unit tests for the fault-model registry and injection primitives.
+
+Everything here runs on built (but unsimulated) circuits, so the whole
+file is fast; the transient-level behaviour of injected cells lives in
+``tests/test_faults_analyses.py`` and the zero-magnitude golden pin in
+``tests/test_golden_faults_baseline.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cells.nvlatch_1bit import build_standard_latch
+from repro.cells.nvlatch_2bit import build_proposed_latch
+from repro.errors import FaultInjectionError
+from repro.faults import (
+    FaultSpec,
+    apply_kwarg_faults,
+    build_faulty_proposed,
+    build_faulty_standard,
+    fault_model,
+    faulty_builder,
+    inject,
+    list_fault_models,
+    split_specs,
+)
+from repro.mtj.device import MTJState
+from repro.mtj.parameters import PAPER_TABLE_I
+
+EXPECTED_MODELS = {"mtj.stuck", "mtj.drift", "mtj.read-disturb",
+                   "sa.offset", "mos.outlier", "cell.vdd-droop"}
+
+
+class TestRegistry:
+    def test_shipped_models_registered(self):
+        assert EXPECTED_MODELS <= {m.name for m in list_fault_models()}
+
+    def test_unknown_model_suggests(self):
+        with pytest.raises(FaultInjectionError, match="mtj.stuck"):
+            fault_model("mtj.stuk")
+
+    def test_split_specs_by_level(self):
+        kwargs_level, circuit_level = split_specs([
+            FaultSpec("cell.vdd-droop", 0.1),
+            FaultSpec("mtj.stuck", 1.0),
+        ])
+        assert [s.model for s in kwargs_level] == ["cell.vdd-droop"]
+        assert [s.model for s in circuit_level] == ["mtj.stuck"]
+
+
+class TestFaultSpec:
+    def test_negative_magnitude_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSpec("mtj.stuck", -0.5)
+
+    def test_json_round_trip(self):
+        spec = FaultSpec("mos.outlier", 3.0, target="n1",
+                         params={"polarity": -1.0})
+        assert FaultSpec.from_json(spec.to_json()) == spec
+
+    def test_from_json_malformed(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSpec.from_json({"model": "mtj.stuck"})  # no magnitude
+
+    def test_describe_names_default_target(self):
+        assert "mtj*" in FaultSpec("mtj.stuck", 1.0).describe()
+
+
+class TestZeroMagnitudeInvariant:
+    """magnitude == 0 must be a provable no-op for every model."""
+
+    ZERO_SPECS = [
+        FaultSpec("mtj.stuck", 0.0),
+        FaultSpec("mtj.drift", 0.0),
+        FaultSpec("mtj.read-disturb", 0.0),
+        FaultSpec("sa.offset", 0.0),
+        FaultSpec("mos.outlier", 0.0, target="n1"),
+        FaultSpec("cell.vdd-droop", 0.0),
+    ]
+
+    def test_kwargs_untouched(self):
+        kwargs = {"vdd": 1.1}
+        assert apply_kwarg_faults(kwargs, self.ZERO_SPECS) == {"vdd": 1.1}
+
+    @pytest.mark.parametrize("build, nominal", [
+        (build_faulty_standard, build_standard_latch),
+        (build_faulty_proposed, build_proposed_latch),
+    ])
+    def test_injected_cell_matches_nominal(self, build, nominal):
+        faulty = build(self.ZERO_SPECS)
+        clean = nominal()
+        f_devs = {d.name: d for d in faulty.circuit.devices}
+        for dev in clean.circuit.devices:
+            twin = f_devs[dev.name]
+            if hasattr(dev, "model"):  # MOSFET
+                assert twin.model == dev.model
+                assert twin.width == dev.width
+                assert twin.length == dev.length
+            if hasattr(dev, "device"):  # MTJElement
+                assert twin.device.params == dev.device.params
+                assert twin.device.state == dev.device.state
+                assert twin.switching is not None
+
+
+class TestMTJStuck:
+    def test_pins_state_and_freezes_dynamics(self):
+        latch = build_standard_latch()
+        inject(latch, [FaultSpec("mtj.stuck", 1.0, target="mtj1",
+                                 params={"state": "P"})])
+        mtj1 = next(d for d in latch.circuit.devices if d.name == "mtj1")
+        mtj2 = next(d for d in latch.circuit.devices if d.name == "mtj2")
+        assert mtj1.switching is None
+        assert mtj1.device.state is MTJState.PARALLEL
+        assert mtj2.switching is not None  # untargeted sibling untouched
+
+    def test_probabilistic_needs_rng(self):
+        latch = build_standard_latch()
+        with pytest.raises(FaultInjectionError, match="rng"):
+            inject(latch, [FaultSpec("mtj.stuck", 0.5, target="mtj1")])
+
+    def test_probabilistic_with_rng_is_reproducible(self):
+        outcomes = []
+        for _ in range(2):
+            latch = build_standard_latch()
+            inject(latch, [FaultSpec("mtj.stuck", 0.5)],
+                   rng=np.random.default_rng(7))
+            outcomes.append(tuple(
+                d.switching is None for d in latch.circuit.devices
+                if d.name.startswith("mtj")))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestMTJDrift:
+    def test_circuit_level_scales_params(self):
+        latch = build_standard_latch()
+        before = next(d for d in latch.circuit.devices
+                      if d.name == "mtj1").device.params
+        inject(latch, [FaultSpec("mtj.drift", 0.1, target="mtj1")])
+        mtj1 = next(d for d in latch.circuit.devices if d.name == "mtj1")
+        expected = before.scaled(ra_scale=0.9, tmr_scale=0.9, ic_scale=1.0)
+        assert mtj1.device.params == expected
+
+    def test_kwargs_transform_scales_cell_params(self):
+        spec = FaultSpec("mtj.drift", 0.2,
+                         params={"ra": -1.0, "tmr": 0.0, "ic": 1.0})
+        out = fault_model("mtj.drift").transform_kwargs({}, spec)
+        assert out["mtj_params"] == PAPER_TABLE_I.scaled(
+            ra_scale=0.8, tmr_scale=1.0, ic_scale=1.2)
+
+
+class TestReadDisturb:
+    def test_flip_probability_monotone_in_exposures(self):
+        from repro.faults.models import ReadDisturbFault
+
+        p1 = ReadDisturbFault.flip_probability(PAPER_TABLE_I, 20e-6,
+                                               0.8e-9, 1)
+        p100 = ReadDisturbFault.flip_probability(PAPER_TABLE_I, 20e-6,
+                                                 0.8e-9, 100)
+        assert 0.0 <= p1 <= p100 <= 1.0
+
+    def test_super_critical_current_disturbs_strongly(self):
+        from repro.faults.models import ReadDisturbFault
+
+        p = ReadDisturbFault.flip_probability(PAPER_TABLE_I, 90e-6, 20e-9, 1)
+        assert p > 0.5  # a long over-critical pulse is basically a write
+
+    def test_zero_exposures_never_flip(self):
+        from repro.faults.models import ReadDisturbFault
+
+        assert ReadDisturbFault.flip_probability(PAPER_TABLE_I, 20e-6,
+                                                 0.8e-9, 0) == 0.0
+
+
+class TestSenseAmpOffset:
+    def test_splits_threshold_across_pair(self):
+        latch = build_standard_latch()
+        models = {d.name: d.model for d in latch.circuit.devices
+                  if d.name in ("n1", "n2")}
+        inject(latch, [FaultSpec("sa.offset", 0.04)])
+        after = {d.name: d.model for d in latch.circuit.devices
+                 if d.name in ("n1", "n2")}
+        shift_n1 = abs(after["n1"].vth0) - abs(models["n1"].vth0)
+        shift_n2 = abs(after["n2"].vth0) - abs(models["n2"].vth0)
+        assert shift_n1 == pytest.approx(0.02)
+        assert shift_n2 == pytest.approx(-0.02)
+
+    def test_composes_with_both_cells(self):
+        for latch in (build_standard_latch(), build_proposed_latch()):
+            inject(latch, [FaultSpec("sa.offset", 0.04)])
+
+    def test_bad_polarity_rejected(self):
+        latch = build_standard_latch()
+        with pytest.raises(FaultInjectionError, match="polarity"):
+            inject(latch, [FaultSpec("sa.offset", 0.04,
+                                     params={"polarity": 0.5})])
+
+    def test_wrong_pair_size_rejected(self):
+        latch = build_standard_latch()
+        with pytest.raises(FaultInjectionError, match="exactly 2"):
+            inject(latch, [FaultSpec("sa.offset", 0.04, target="n1")])
+
+
+class TestTransistorOutlier:
+    def test_requires_explicit_target(self):
+        latch = build_standard_latch()
+        with pytest.raises(FaultInjectionError, match="explicit target"):
+            inject(latch, [FaultSpec("mos.outlier", 3.0)])
+
+    def test_weak_polarity_raises_vth_and_narrows(self):
+        latch = build_standard_latch()
+        before = next(d for d in latch.circuit.devices if d.name == "n1")
+        vth, width = abs(before.model.vth0), before.width
+        inject(latch, [FaultSpec("mos.outlier", 3.0, target="n1",
+                                 params={"polarity": 1.0})])
+        after = next(d for d in latch.circuit.devices if d.name == "n1")
+        assert abs(after.model.vth0) > vth
+        assert after.width < width
+
+    def test_typo_target_suggests_candidates(self):
+        latch = build_standard_latch()
+        with pytest.raises(FaultInjectionError, match="MOSFET"):
+            inject(latch, [FaultSpec("mos.outlier", 3.0, target="m1")])
+
+
+class TestVddDroop:
+    def test_scales_vdd_kwarg(self):
+        out = apply_kwarg_faults({"vdd": 1.0},
+                                 [FaultSpec("cell.vdd-droop", 0.1)])
+        assert out["vdd"] == pytest.approx(0.9)
+
+    def test_circuit_level_injection_rejected(self):
+        latch = build_standard_latch()
+        with pytest.raises(FaultInjectionError, match="faulty_builder"):
+            inject(latch, [FaultSpec("cell.vdd-droop", 0.1)])
+
+    def test_full_droop_rejected(self):
+        with pytest.raises(FaultInjectionError, match="< 1"):
+            apply_kwarg_faults({}, [FaultSpec("cell.vdd-droop", 1.0)])
+
+
+class TestInjectAndBuilder:
+    def test_inject_rejects_non_circuit(self):
+        with pytest.raises(FaultInjectionError, match="Circuit"):
+            inject(42, [FaultSpec("mtj.stuck", 1.0)])
+
+    def test_faulty_builder_applies_both_levels(self):
+        build = faulty_builder(build_standard_latch, [
+            FaultSpec("cell.vdd-droop", 0.1),
+            FaultSpec("mtj.stuck", 1.0, target="mtj1"),
+        ])
+        latch = build(vdd=1.0)
+        supply = next(d for d in latch.circuit.devices if d.name == "vdd")
+        assert supply.waveform.value(0.0) == pytest.approx(0.9)
+        mtj1 = next(d for d in latch.circuit.devices if d.name == "mtj1")
+        assert mtj1.switching is None
+        assert build.fault_specs == (
+            FaultSpec("cell.vdd-droop", 0.1),
+            FaultSpec("mtj.stuck", 1.0, target="mtj1"),
+        )
+
+    def test_unknown_model_fails_at_plan_time(self):
+        with pytest.raises(FaultInjectionError):
+            faulty_builder(build_standard_latch,
+                           [FaultSpec("no.such.model", 1.0)])

@@ -1,0 +1,124 @@
+"""Golden pin of the zero-magnitude fault-injection invariant.
+
+Every fault model promises that ``magnitude == 0`` is a provable no-op
+(see :mod:`repro.faults.models`).  This suite enforces the promise at
+the metric level, twice over:
+
+* **bit-exact against the nominal path** — characterising a cell built
+  through ``faulty_builder`` with a zero-magnitude spec for *every*
+  registered model must produce float-identical metrics to the plain
+  builder, in the same session (``==``, no tolerance);
+* **bit-exact against the golden file** — the metrics must equal
+  ``tests/golden/faults_baseline.json`` exactly (JSON's repr-based float
+  serialisation round-trips, so equality is meaningful), pinning the
+  magnitude → 0 limit of every reliability curve to the seed-state
+  Table II physics.
+
+Regenerate only for an intentional model change:
+
+    PYTHONPATH=src python -c "import tests.test_golden_faults_baseline as t; t.regenerate()"
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cells.characterize import characterize_proposed, characterize_standard
+from repro.cells.nvlatch_1bit import build_standard_latch
+from repro.cells.nvlatch_2bit import build_proposed_latch
+from repro.faults import FaultSpec, faulty_builder
+from repro.faults.analyses import FAULTS_DT
+from repro.spice.corners import CORNERS
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "faults_baseline.json"
+
+#: One zero-magnitude spec per registered model (kwargs- and
+#: circuit-level both represented).
+ZERO_SPECS = (
+    FaultSpec("mtj.stuck", 0.0),
+    FaultSpec("mtj.drift", 0.0),
+    FaultSpec("mtj.read-disturb", 0.0),
+    FaultSpec("sa.offset", 0.0),
+    FaultSpec("mos.outlier", 0.0, target="n1"),
+    FaultSpec("cell.vdd-droop", 0.0),
+)
+
+FLOAT_METRICS = ("read_energy", "read_delay", "leakage",
+                 "write_energy", "write_latency")
+
+
+def _measure(build_nominal, characterize, **kwargs):
+    injected = faulty_builder(build_nominal, ZERO_SPECS)
+    return (characterize(CORNERS["typical"], dt=FAULTS_DT,
+                         build=build_nominal, **kwargs),
+            characterize(CORNERS["typical"], dt=FAULTS_DT,
+                         build=injected, **kwargs))
+
+
+@pytest.fixture(scope="module")
+def measured():
+    nominal_std, injected_std = _measure(
+        build_standard_latch, characterize_standard, bits=(1,))
+    nominal_prop, injected_prop = _measure(
+        build_proposed_latch, characterize_proposed, bit_patterns=((1, 0),))
+    return {
+        "standard": {"nominal": nominal_std, "injected": injected_std},
+        "proposed": {"nominal": nominal_prop, "injected": injected_prop},
+    }
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with GOLDEN_PATH.open() as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize("design", ["standard", "proposed"])
+@pytest.mark.parametrize("metric", FLOAT_METRICS)
+def test_zero_magnitude_injection_is_bit_exact(measured, design, metric):
+    nominal = getattr(measured[design]["nominal"], metric)
+    injected = getattr(measured[design]["injected"], metric)
+    assert injected == nominal, (
+        f"{design}.{metric}: zero-magnitude injection drifted the metric "
+        f"by {injected - nominal:g} — a fault model is not a no-op at 0"
+    )
+
+
+@pytest.mark.parametrize("design", ["standard", "proposed"])
+@pytest.mark.parametrize("metric", FLOAT_METRICS)
+def test_injected_metrics_match_golden_exactly(measured, golden, design,
+                                               metric):
+    value = getattr(measured[design]["injected"], metric)
+    assert value == golden[design][metric], (
+        f"{design}.{metric} = {value!r} differs from the golden "
+        f"{golden[design][metric]!r} (bit-exact contract; regenerate only "
+        f"for an intentional physics change)"
+    )
+
+
+@pytest.mark.parametrize("design", ["standard", "proposed"])
+def test_read_restores_correct_data(measured, golden, design):
+    assert measured[design]["injected"].read_values_ok
+    assert golden[design]["read_values_ok"] is True
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance helper
+    """Rewrite the golden file from a zero-magnitude-injected run."""
+    _, injected_std = _measure(build_standard_latch, characterize_standard,
+                               bits=(1,))
+    _, injected_prop = _measure(build_proposed_latch, characterize_proposed,
+                                bit_patterns=((1, 0),))
+    golden = {"dt": FAULTS_DT, "corner": "typical",
+              "specs": [spec.to_json() for spec in ZERO_SPECS],
+              "note": "Zero-magnitude fault injection vs Table II physics "
+                      "(typical corner, dt=4ps, one data pattern); see "
+                      "tests/test_golden_faults_baseline.py."}
+    for key, metrics in (("standard", injected_std),
+                         ("proposed", injected_prop)):
+        golden[key] = {name: getattr(metrics, name)
+                       for name in FLOAT_METRICS}
+        golden[key]["read_values_ok"] = metrics.read_values_ok
+    with GOLDEN_PATH.open("w") as handle:
+        json.dump(golden, handle, indent=2)
+        handle.write("\n")

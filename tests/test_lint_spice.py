@@ -149,7 +149,7 @@ class TestDiagnosticsPlumbing:
     def test_every_rule_has_description_and_kind(self):
         for lint_rule in all_rules():
             assert lint_rule.description
-            assert lint_rule.kind in ("spice", "gates")
+            assert lint_rule.kind in ("spice", "gates", "faults")
 
     def test_severity_parse_and_order(self):
         assert Severity.parse("warn") is Severity.WARN

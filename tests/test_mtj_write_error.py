@@ -1,0 +1,81 @@
+"""Edge cases of the write-error-rate model.
+
+The bread-and-butter behaviour (monotonicity, inverse consistency) is
+covered in ``tests/test_new_io_and_models.py``; this file pins the
+boundaries the fault analyses lean on — zero/negative drive, the exact
+critical current, and the numerical floor of ``pulse_width_for_wer``.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import DeviceModelError
+from repro.mtj.parameters import MTJParameters
+from repro.mtj.write_error import WriteErrorModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return WriteErrorModel()
+
+
+class TestDegenerateCurrents:
+    def test_zero_current_rejected(self, model):
+        with pytest.raises(DeviceModelError, match="critical"):
+            model.write_error_rate(0.0, 3e-9)
+
+    def test_current_exactly_critical_rejected(self, model):
+        with pytest.raises(DeviceModelError, match="critical"):
+            model.write_error_rate(model.params.critical_current, 3e-9)
+
+    def test_negative_current_uses_magnitude(self, model):
+        assert model.write_error_rate(-70e-6, 3e-9) == \
+            model.write_error_rate(70e-6, 3e-9)
+
+    def test_zero_current_rejected_by_inverse_too(self, model):
+        with pytest.raises(DeviceModelError, match="critical"):
+            model.pulse_width_for_wer(0.0, 1e-6)
+
+    def test_barely_super_critical_demands_long_pulses(self, model):
+        current = model.params.critical_current * (1.0 + 1e-6)
+        # B = Q_dyn / (I - I_c) explodes: any sane WER needs microseconds.
+        assert model.pulse_width_for_wer(current, 1e-6) > 1e-6
+
+
+class TestPulseWidthFloor:
+    def test_loose_target_hits_the_zero_floor(self):
+        # With a tiny thermal-stability factor, Δ·(π/2)² < −ln(1 − WER)
+        # for loose targets and the inversion clamps at exactly 0.0.
+        soft = WriteErrorModel(MTJParameters(thermal_stability=0.1))
+        assert soft.pulse_width_for_wer(70e-6, 0.5) == 0.0
+
+    def test_floor_is_consistent_with_the_forward_model(self):
+        soft = WriteErrorModel(MTJParameters(thermal_stability=0.1))
+        # A zero-length pulse already beats the target it was floored for.
+        assert soft.write_error_rate(70e-6, 0.0) <= 0.5
+
+    def test_target_just_above_floor_is_positive(self):
+        soft = WriteErrorModel(MTJParameters(thermal_stability=0.1))
+        floor_wer = soft.write_error_rate(70e-6, 0.0)
+        width = soft.pulse_width_for_wer(70e-6, 0.5 * floor_wer)
+        assert width > 0.0
+
+    def test_near_one_target_is_finite(self, model):
+        target = math.nextafter(1.0, 0.0)
+        assert model.pulse_width_for_wer(70e-6, target) >= 0.0
+
+    def test_target_of_exactly_one_rejected(self, model):
+        with pytest.raises(DeviceModelError):
+            model.pulse_width_for_wer(70e-6, 1.0)
+
+
+class TestNumericalExtremes:
+    def test_huge_pulse_width_underflows_to_zero_wer(self, model):
+        assert model.write_error_rate(90e-6, 1e-3) == 0.0
+
+    def test_wer_is_monotone_across_the_floor_region(self):
+        soft = WriteErrorModel(MTJParameters(thermal_stability=0.1))
+        widths = [0.0, 1e-10, 1e-9, 1e-8]
+        wers = [soft.write_error_rate(70e-6, w) for w in widths]
+        assert all(a >= b for a, b in zip(wers, wers[1:]))

@@ -146,3 +146,17 @@ class TestSweepAndBenchmarkRunners:
 def corner_name(corner):
     """Picklable corner payload."""
     return corner.name
+
+
+class TestSerialFallbackWarning:
+    def test_pool_failure_warns_but_answers(self, monkeypatch):
+        import repro.parallel as parallel_module
+
+        def broken_pool(*args, **kwargs):
+            raise OSError("no process pools in this sandbox")
+
+        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor",
+                            broken_pool)
+        with pytest.warns(RuntimeWarning, match="process pool unavailable"):
+            out = parallel_module.parallel_map(square, [1, 2, 3], workers=4)
+        assert out == [1, 4, 9]

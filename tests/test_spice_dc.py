@@ -152,3 +152,26 @@ class TestDiagnostics:
         result = solve_dc(c)
         with pytest.raises(ConvergenceError):
             result.source_current("r")
+
+
+class TestWallClockTimeout:
+    def _divider(self):
+        c = Circuit()
+        c.add_vsource("v", "in", "0", 1.0)
+        c.add_resistor("r1", "in", "mid", 1e3)
+        c.add_resistor("r2", "mid", "0", 3e3)
+        return c
+
+    def test_timeout_raises_with_last_newton_state(self):
+        with pytest.raises(ConvergenceError, match="timeout") as ei:
+            solve_dc(self._divider(), timeout=1e-12)
+        assert ei.value.state is not None
+
+    def test_generous_timeout_is_invisible(self):
+        limited = solve_dc(self._divider(), timeout=60.0)
+        free = solve_dc(self._divider())
+        assert limited.voltage("mid") == free.voltage("mid")
+
+    def test_non_positive_timeout_rejected(self):
+        with pytest.raises(ConvergenceError, match="positive"):
+            solve_dc(self._divider(), timeout=-1.0)

@@ -234,3 +234,22 @@ class TestEnergyConservation:
                                integrator="trap")
         energy = integrate_supply_energy(result, "v")
         assert energy == pytest.approx(1e-15, rel=0.02)  # C·V²
+
+
+class TestWallClockTimeout:
+    def test_timeout_raises_with_last_state(self):
+        from repro.errors import ConvergenceError
+
+        with pytest.raises(ConvergenceError, match="wall-clock timeout") as ei:
+            run_transient(rc_circuit(), 1e-6, 1e-12, timeout=1e-9)
+        assert ei.value.state is not None
+        assert np.isfinite(ei.value.state).all()
+
+    def test_generous_timeout_is_invisible(self):
+        with_limit = run_transient(rc_circuit(), 0.1e-9, 1e-12, timeout=60.0)
+        without = run_transient(rc_circuit(), 0.1e-9, 1e-12)
+        assert (with_limit.node_voltages == without.node_voltages).all()
+
+    def test_non_positive_timeout_rejected(self):
+        with pytest.raises(AnalysisError, match="timeout"):
+            run_transient(rc_circuit(), 1e-9, 1e-12, timeout=0.0)
