@@ -10,11 +10,9 @@ Times the two workloads the fast engine was built for and writes
   per sampled MTJ parameter set, driven through the deterministic
   Monte-Carlo runner (:func:`repro.mtj.variation.monte_carlo_map`).
 
-Both workloads run twice — ``engine="naive"`` then ``engine="fast"`` —
-through :func:`repro.spice.analysis.transient.set_default_engine`, so the
-timed code path is exactly what users of the characterisation API get.
-The acceptance bar (asserted here) is a ≥ 2× wall-clock speedup on the
-Monte-Carlo workload with identical results.
+The benchmark logic lives in :mod:`repro.bench` (shared with the
+``repro bench engine`` CLI command); this file pins the output to the
+repository root and keeps the pytest acceptance gate.
 
 Runnable standalone: ``PYTHONPATH=src python benchmarks/bench_engine.py``.
 """
@@ -22,112 +20,24 @@ Runnable standalone: ``PYTHONPATH=src python benchmarks/bench_engine.py``.
 from __future__ import annotations
 
 import json
-import os
 import pathlib
-import platform
-import time
 
-from repro.cells.characterize import characterize_proposed, characterize_standard
-from repro.cells.control import standard_restore_schedule
-from repro.cells.nvlatch_1bit import build_standard_latch
-from repro.cells.sizing import DEFAULT_SIZING
-from repro.mtj.parameters import PAPER_TABLE_I
-from repro.mtj.variation import DEFAULT_SEED, monte_carlo_map
-from repro.spice.analysis.transient import run_transient, set_default_engine
-from repro.spice.corners import CORNERS
+from repro.bench import (  # noqa: F401 — re-exported for existing importers
+    AGREEMENT_TOL,
+    CHAR_DT,
+    MC_DT,
+    MC_SAMPLES,
+    MC_VDD,
+    REQUIRED_SPEEDUP,
+    run_engine_bench,
+)
 
 OUTPUT = pathlib.Path(__file__).resolve().parents[1] / "BENCH_engine.json"
-
-MC_SAMPLES = 200
-MC_DT = 4e-12
-MC_VDD = 1.1
-#: Characterisation timestep (2 ps matches the integration-test fixtures).
-CHAR_DT = 2e-12
-#: Required fast/naive speedup on the Monte-Carlo workload.
-REQUIRED_SPEEDUP = 2.0
-#: Result agreement bound between engines [V].
-AGREEMENT_TOL = 1e-6
-
-
-def _mc_read_task(params):
-    """One Monte-Carlo sample: restore bit 1 through a standard latch
-    built around the sampled MTJ parameters; returns the output pair."""
-    schedule = standard_restore_schedule(bit=1, vdd=MC_VDD, cycles=1)
-    latch = build_standard_latch(schedule, CORNERS["typical"], DEFAULT_SIZING,
-                                 mtj_params=params, stored_bit=1, vdd=MC_VDD)
-    result = run_transient(latch.circuit, schedule.stop_time, MC_DT,
-                           initial_voltages={"vdd": MC_VDD})
-    return (result.final_voltage(latch.out), result.final_voltage(latch.outb))
-
-
-def _run_monte_carlo():
-    return monte_carlo_map(_mc_read_task, PAPER_TABLE_I,
-                           count=MC_SAMPLES, seed=DEFAULT_SEED)
-
-
-def _run_table2():
-    corner = CORNERS["typical"]
-    standard = characterize_standard(corner, dt=CHAR_DT, include_write=False)
-    proposed = characterize_proposed(corner, dt=CHAR_DT, include_write=False)
-    return standard, proposed
-
-
-def _timed(engine: str, workload):
-    previous = set_default_engine(engine)
-    try:
-        start = time.perf_counter()
-        result = workload()
-        return time.perf_counter() - start, result
-    finally:
-        set_default_engine(previous)
 
 
 def run_bench() -> dict:
     """Run both workloads under both engines; returns the report dict."""
-    t2_naive_s, (std_naive, prop_naive) = _timed("naive", _run_table2)
-    t2_fast_s, (std_fast, prop_fast) = _timed("fast", _run_table2)
-
-    mc_naive_s, mc_naive = _timed("naive", _run_monte_carlo)
-    mc_fast_s, mc_fast = _timed("fast", _run_monte_carlo)
-
-    mc_max_diff = max(
-        abs(a - b)
-        for pair_n, pair_f in zip(mc_naive, mc_fast)
-        for a, b in zip(pair_n, pair_f)
-    )
-
-    report = {
-        "machine": {
-            "cpu_count": os.cpu_count(),
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-        },
-        "table2_characterization": {
-            "description": "characterize_standard + characterize_proposed, "
-                           "typical corner, dt=2ps, reads+leakage",
-            "naive_s": round(t2_naive_s, 3),
-            "fast_s": round(t2_fast_s, 3),
-            "speedup": round(t2_naive_s / t2_fast_s, 3),
-            "metrics_agree": (
-                abs(std_naive.read_energy - std_fast.read_energy)
-                <= 1e-3 * abs(std_naive.read_energy)
-                and abs(prop_naive.read_energy - prop_fast.read_energy)
-                <= 1e-3 * abs(prop_naive.read_energy)
-            ),
-        },
-        "monte_carlo_200": {
-            "description": f"{MC_SAMPLES}-sample MTJ Monte-Carlo, one "
-                           f"standard-latch restore per sample, dt=4ps",
-            "samples": MC_SAMPLES,
-            "seed": DEFAULT_SEED,
-            "naive_s": round(mc_naive_s, 3),
-            "fast_s": round(mc_fast_s, 3),
-            "speedup": round(mc_naive_s / mc_fast_s, 3),
-            "max_result_diff_v": mc_max_diff,
-        },
-    }
-    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
-    return report
+    return run_engine_bench(OUTPUT)
 
 
 def test_engine_speedup(benchmark):

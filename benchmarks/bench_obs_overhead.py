@@ -1,0 +1,48 @@
+"""Observability overhead benchmark.
+
+Measures what the tracing/metrics instrumentation costs and writes
+``BENCH_obs_overhead.json`` at the repository root:
+
+* the per-call price of a disabled :func:`repro.obs.span` (the
+  null-object fast path),
+* an upper-bound estimate of the disabled-mode overhead on a real
+  standard-latch restore transient (the ``< 5 %`` acceptance bound),
+* the directly measured enabled-vs-disabled slowdown.
+
+The logic lives in :func:`repro.bench.run_obs_overhead_bench` (shared
+with the ``repro bench obs`` CLI command); this file pins the output to
+the repository root and keeps a pytest acceptance gate.
+
+Runnable standalone:
+``PYTHONPATH=src python benchmarks/bench_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.bench import OBS_OVERHEAD_BOUND_PCT, run_obs_overhead_bench
+
+OUTPUT = (pathlib.Path(__file__).resolve().parents[1]
+          / "BENCH_obs_overhead.json")
+
+
+def run_bench() -> dict:
+    """Run the overhead benchmark; returns the report dict."""
+    return run_obs_overhead_bench(OUTPUT)
+
+
+def test_obs_overhead(benchmark):
+    report = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    assert report["within_bound"], (
+        f"disabled-mode observability overhead "
+        f"{report['disabled_overhead_pct']:.3f}% exceeds "
+        f"{OBS_OVERHEAD_BOUND_PCT}%"
+    )
+
+
+if __name__ == "__main__":
+    result = run_bench()
+    print(json.dumps(result, indent=2))
+    print(f"\nwrote {OUTPUT}")

@@ -35,6 +35,7 @@ from repro.cells.nvlatch_1bit import StandardNVLatch, build_standard_latch
 from repro.cells.nvlatch_2bit import ProposedNVLatch, build_proposed_latch
 from repro.cells.sizing import DEFAULT_SIZING, LatchSizing
 from repro.errors import AnalysisError
+from repro.obs import span as _obs_span
 from repro.spice.analysis.dc import solve_dc
 from repro.spice.analysis.measure import crossing_time, integrate_supply_energy
 from repro.spice.analysis.transient import TransientResult, run_transient
@@ -126,16 +127,20 @@ def leakage_power(
     one for ``design``) — the hook used by fault injection
     (:func:`repro.faults.inject.faulty_builder`).
     """
-    if design == "standard":
-        latch = (build or build_standard_latch)(None, corner, sizing, vdd=vdd)
-        seed = {"vdd": vdd, latch.out: vdd, latch.outb: vdd}
-        dc = solve_dc(latch.circuit, initial_guess=seed)
-        return dc.supply_power(latch.vdd_source)
-    if design == "proposed":
-        latch2 = (build or build_proposed_latch)(None, corner, sizing, vdd=vdd)
-        dc = solve_dc(latch2.circuit, initial_guess={"vdd": vdd})
-        return dc.supply_power(latch2.vdd_source)
-    raise AnalysisError(f"unknown design {design!r}")
+    with _obs_span("characterize.leakage", category="characterize",
+                   attrs={"design": design, "corner": corner.name}):
+        if design == "standard":
+            latch = (build or build_standard_latch)(None, corner, sizing,
+                                                    vdd=vdd)
+            seed = {"vdd": vdd, latch.out: vdd, latch.outb: vdd}
+            dc = solve_dc(latch.circuit, initial_guess=seed)
+            return dc.supply_power(latch.vdd_source)
+        if design == "proposed":
+            latch2 = (build or build_proposed_latch)(None, corner, sizing,
+                                                     vdd=vdd)
+            dc = solve_dc(latch2.circuit, initial_guess={"vdd": vdd})
+            return dc.supply_power(latch2.vdd_source)
+        raise AnalysisError(f"unknown design {design!r}")
 
 
 # ---------------------------------------------------------------------------
@@ -149,8 +154,11 @@ def _standard_read(
 ) -> Tuple[float, float, bool, StandardNVLatch, TransientResult]:
     schedule = standard_restore_schedule(bit=bit, vdd=vdd, cycles=READ_CYCLES)
     latch = build(schedule, corner, sizing, stored_bit=bit, vdd=vdd)
-    result = run_transient(latch.circuit, schedule.stop_time, dt,
-                           initial_voltages=_cold_start_voltages(vdd))
+    with _obs_span("characterize.read", category="characterize",
+                   attrs={"design": "standard", "bit": bit,
+                          "corner": corner.name}):
+        result = run_transient(latch.circuit, schedule.stop_time, dt,
+                               initial_voltages=_cold_start_voltages(vdd))
     delay = _resolve_delay(result, latch.out, latch.outb, vdd,
                            schedule.markers["eval_start"],
                            schedule.markers["eval_end"])
@@ -169,8 +177,11 @@ def _standard_write(
     schedule = standard_store_schedule(bit=bit, vdd=vdd)
     # Start from the opposite data so both junctions must actually switch.
     latch = build(schedule, corner, sizing, stored_bit=1 - bit, vdd=vdd)
-    result = run_transient(latch.circuit, schedule.stop_time, dt,
-                           initial_voltages=_cold_start_voltages(vdd))
+    with _obs_span("characterize.write", category="characterize",
+                   attrs={"design": "standard", "bit": bit,
+                          "corner": corner.name}):
+        result = run_transient(latch.circuit, schedule.stop_time, dt,
+                               initial_voltages=_cold_start_voltages(vdd))
     energy = integrate_supply_energy(result, latch.vdd_source,
                                      schedule.markers["energy_window_start"],
                                      schedule.markers["energy_window_end"])
@@ -201,37 +212,40 @@ def characterize_standard(
     fault injection uses to characterise a faulty cell with the exact
     same measurement flow as the nominal one.
     """
-    energies: List[float] = []
-    delays: List[float] = []
-    all_ok = True
-    for bit in bits:
-        energy, delay, ok, _latch, _res = _standard_read(
-            bit, corner, sizing, vdd, dt, build=build)
-        energies.append(energy)
-        delays.append(delay)
-        all_ok = all_ok and ok
+    with _obs_span("characterize.standard", category="characterize",
+                   attrs={"corner": corner.name,
+                          "include_write": include_write}):
+        energies: List[float] = []
+        delays: List[float] = []
+        all_ok = True
+        for bit in bits:
+            energy, delay, ok, _latch, _res = _standard_read(
+                bit, corner, sizing, vdd, dt, build=build)
+            energies.append(energy)
+            delays.append(delay)
+            all_ok = all_ok and ok
 
-    if include_write:
-        write_energy, write_latency, write_ok = _standard_write(
-            1, corner, sizing, vdd, dt, build=build)
-        all_ok = all_ok and write_ok
-    else:
-        write_energy, write_latency = float("nan"), float("nan")
+        if include_write:
+            write_energy, write_latency, write_ok = _standard_write(
+                1, corner, sizing, vdd, dt, build=build)
+            all_ok = all_ok and write_ok
+        else:
+            write_energy, write_latency = float("nan"), float("nan")
 
-    leak = leakage_power("standard", corner, sizing, vdd, build=build)
-    probe = build(None, corner, sizing, vdd=vdd)
-    return LatchMetrics(
-        design="standard-1bit",
-        corner=corner.name,
-        read_energy=sum(energies) / len(energies),
-        read_delay=sum(delays) / len(delays),
-        leakage=leak,
-        write_energy=write_energy,
-        write_latency=write_latency,
-        transistor_count=probe.read_transistor_count(),
-        read_values_ok=all_ok,
-        per_bit_delays=tuple(delays),
-    )
+        leak = leakage_power("standard", corner, sizing, vdd, build=build)
+        probe = build(None, corner, sizing, vdd=vdd)
+        return LatchMetrics(
+            design="standard-1bit",
+            corner=corner.name,
+            read_energy=sum(energies) / len(energies),
+            read_delay=sum(delays) / len(delays),
+            leakage=leak,
+            write_energy=write_energy,
+            write_latency=write_latency,
+            transistor_count=probe.read_transistor_count(),
+            read_values_ok=all_ok,
+            per_bit_delays=tuple(delays),
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -247,8 +261,11 @@ def _proposed_read(
     schedule = proposed_restore_schedule(bits=bits, simplified=simplified,
                                          vdd=vdd, cycles=READ_CYCLES)
     latch = build(schedule, corner, sizing, stored_bits=bits, vdd=vdd)
-    result = run_transient(latch.circuit, schedule.stop_time, dt,
-                           initial_voltages=_cold_start_voltages(vdd))
+    with _obs_span("characterize.read", category="characterize",
+                   attrs={"design": "proposed", "bits": list(bits),
+                          "corner": corner.name}):
+        result = run_transient(latch.circuit, schedule.stop_time, dt,
+                               initial_voltages=_cold_start_voltages(vdd))
     delay_low = _resolve_delay(result, latch.out, latch.outb, vdd,
                                schedule.markers["eval_low_start"],
                                schedule.markers["eval_low_end"])
@@ -271,8 +288,11 @@ def _proposed_write(
     schedule = proposed_store_schedule(bits=bits, vdd=vdd)
     opposite = (1 - bits[0], 1 - bits[1])
     latch = build(schedule, corner, sizing, stored_bits=opposite, vdd=vdd)
-    result = run_transient(latch.circuit, schedule.stop_time, dt,
-                           initial_voltages=_cold_start_voltages(vdd))
+    with _obs_span("characterize.write", category="characterize",
+                   attrs={"design": "proposed", "bits": list(bits),
+                          "corner": corner.name}):
+        result = run_transient(latch.circuit, schedule.stop_time, dt,
+                               initial_voltages=_cold_start_voltages(vdd))
     energy = integrate_supply_energy(result, latch.vdd_source,
                                      schedule.markers["energy_window_start"],
                                      schedule.markers["energy_window_end"])
@@ -302,39 +322,42 @@ def characterize_proposed(
     :func:`~repro.cells.nvlatch_2bit.build_proposed_latch`) — the fault
     -injection hook.
     """
-    energies: List[float] = []
-    totals: List[float] = []
-    per_bit: List[float] = []
-    all_ok = True
-    for bits in bit_patterns:
-        energy, (d_low, d_high), ok, _latch, _res = _proposed_read(
-            bits, corner, sizing, vdd, dt, simplified_control, build=build)
-        energies.append(energy)
-        totals.append(d_low + d_high)
-        per_bit.extend((d_low, d_high))
-        all_ok = all_ok and ok
+    with _obs_span("characterize.proposed", category="characterize",
+                   attrs={"corner": corner.name,
+                          "include_write": include_write}):
+        energies: List[float] = []
+        totals: List[float] = []
+        per_bit: List[float] = []
+        all_ok = True
+        for bits in bit_patterns:
+            energy, (d_low, d_high), ok, _latch, _res = _proposed_read(
+                bits, corner, sizing, vdd, dt, simplified_control, build=build)
+            energies.append(energy)
+            totals.append(d_low + d_high)
+            per_bit.extend((d_low, d_high))
+            all_ok = all_ok and ok
 
-    if include_write:
-        write_energy, write_latency, write_ok = _proposed_write(
-            (1, 0), corner, sizing, vdd, dt, build=build)
-        all_ok = all_ok and write_ok
-    else:
-        write_energy, write_latency = float("nan"), float("nan")
+        if include_write:
+            write_energy, write_latency, write_ok = _proposed_write(
+                (1, 0), corner, sizing, vdd, dt, build=build)
+            all_ok = all_ok and write_ok
+        else:
+            write_energy, write_latency = float("nan"), float("nan")
 
-    leak = leakage_power("proposed", corner, sizing, vdd, build=build)
-    probe = build(None, corner, sizing, vdd=vdd)
-    return LatchMetrics(
-        design="proposed-2bit",
-        corner=corner.name,
-        read_energy=sum(energies) / len(energies),
-        read_delay=sum(totals) / len(totals),
-        leakage=leak,
-        write_energy=write_energy,
-        write_latency=write_latency,
-        transistor_count=probe.read_transistor_count(),
-        read_values_ok=all_ok,
-        per_bit_delays=tuple(per_bit),
-    )
+        leak = leakage_power("proposed", corner, sizing, vdd, build=build)
+        probe = build(None, corner, sizing, vdd=vdd)
+        return LatchMetrics(
+            design="proposed-2bit",
+            corner=corner.name,
+            read_energy=sum(energies) / len(energies),
+            read_delay=sum(totals) / len(totals),
+            leakage=leak,
+            write_energy=write_energy,
+            write_latency=write_latency,
+            transistor_count=probe.read_transistor_count(),
+            read_values_ok=all_ok,
+            per_bit_delays=tuple(per_bit),
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -12,7 +12,11 @@ Commands:
 * ``wer`` — write-error-rate margins vs pulse width,
 * ``lint`` — static ERC/lint diagnostics over cells and benchmarks,
 * ``faults`` — fault injection: list models, run a resilient
-  restore-failure campaign, or report write-path isolation.
+  restore-failure campaign, or report write-path isolation,
+* ``profile`` — run a named flow under the tracer and emit a breakdown
+  table plus ``profile.json``/``trace.json`` (Chrome-loadable),
+* ``bench`` — regenerate the benchmark reports (``BENCH_engine.json``,
+  ``BENCH_obs_overhead.json``).
 """
 
 from __future__ import annotations
@@ -255,6 +259,47 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         return 2
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import run_profile
+
+    print(f"Profiling the {args.flow!r} flow "
+          f"({'fast' if args.fast else 'full'} mode)...", file=sys.stderr)
+    result = run_profile(args.flow, fast=args.fast, out_dir=args.out_dir,
+                         workers=args.workers)
+    print(result.breakdown)
+    print()
+    print(f"span categories: {', '.join(result.categories)}")
+    check = result.self_check
+    print(f"solver self-check: "
+          f"{'ok' if check['ok'] else 'COUNTER MISMATCH'}")
+    print(f"wrote {result.profile_path} and {result.trace_path} "
+          f"(load the trace in about://tracing or ui.perfetto.dev)")
+    return 0 if check["ok"] else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro import bench
+
+    reports = {}
+    if args.which in ("engine", "all"):
+        print("Benchmarking naive vs fast engine "
+              "(several minutes)...", file=sys.stderr)
+        reports["engine"] = bench.run_engine_bench(args.engine_output)
+    if args.which in ("obs", "all"):
+        print("Benchmarking observability overhead...", file=sys.stderr)
+        reports["obs"] = bench.run_obs_overhead_bench(args.obs_output)
+    print(_json.dumps(reports, indent=2))
+    obs_report = reports.get("obs")
+    if obs_report is not None and not obs_report["within_bound"]:
+        print(f"error: disabled-mode observability overhead "
+              f"{obs_report['disabled_overhead_pct']:.3f}% exceeds "
+              f"{obs_report['bound_pct']:g}%", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -348,6 +393,32 @@ def build_parser() -> argparse.ArgumentParser:
                     help="JSONL checkpoint file; rerun with the same path "
                          "to resume an interrupted campaign (run)")
     pq.set_defaults(func=_cmd_faults)
+
+    pp = sub.add_parser(
+        "profile",
+        help="trace a named flow; emit breakdown + profile.json/trace.json")
+    pp.add_argument("flow", choices=["table2", "table3", "campaign"],
+                    help="flow to run under the tracer")
+    pp.add_argument("--fast", action="store_true",
+                    help="seconds-scale smoke (typical corner, coarse dt, "
+                         "fewer benchmarks/samples) — what CI runs")
+    pp.add_argument("--out-dir", default=".", metavar="DIR",
+                    help="where profile.json and trace.json land")
+    pp.add_argument("--workers", type=int, default=None,
+                    help="worker processes for the flow (default: auto)")
+    pp.set_defaults(func=_cmd_profile)
+
+    pb = sub.add_parser(
+        "bench",
+        help="regenerate BENCH_engine.json / BENCH_obs_overhead.json")
+    pb.add_argument("which", choices=["engine", "obs", "all"],
+                    help="'engine' (naive vs fast, minutes), 'obs' "
+                         "(observability overhead, seconds), or 'all'")
+    pb.add_argument("--engine-output", default="BENCH_engine.json",
+                    metavar="PATH")
+    pb.add_argument("--obs-output", default="BENCH_obs_overhead.json",
+                    metavar="PATH")
+    pb.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -21,6 +21,7 @@ from typing import Any, List, Optional, Sequence, Union
 
 from repro.core.merge import MergeResult
 from repro.errors import MergeError
+from repro.obs import span as _obs_span
 from repro.layout.cell_layout import plan_proposed_2bit, standard_pair_area
 from repro.layout.design_rules import DesignRules, RULES_40NM
 from repro.parallel import parallel_map
@@ -63,12 +64,13 @@ def costs_from_layout(
     rules: DesignRules = RULES_40NM,
 ) -> NVCellCosts:
     """Combine our layout-engine areas with measured read energies."""
-    return NVCellCosts(
-        area_1bit=standard_pair_area(rules) / 2.0,
-        energy_1bit=energy_1bit,
-        area_2bit=plan_proposed_2bit(rules).area,
-        energy_2bit=energy_2bit,
-    )
+    with _obs_span("evaluate.costs_from_layout", category="evaluate"):
+        return NVCellCosts(
+            area_1bit=standard_pair_area(rules) / 2.0,
+            energy_1bit=energy_1bit,
+            area_2bit=plan_proposed_2bit(rules).area,
+            energy_2bit=energy_2bit,
+        )
 
 
 @dataclass
@@ -151,16 +153,22 @@ def evaluate_system(
         raise MergeError(
             f"{pairs} pairs cannot fit in {total_flip_flops} flip-flops"
         )
-    singles = total_flip_flops - 2 * pairs
-    return SystemResult(
-        benchmark=benchmark,
-        total_flip_flops=total_flip_flops,
-        merged_pairs=pairs,
-        area_baseline=total_flip_flops * costs.area_1bit,
-        energy_baseline=total_flip_flops * costs.energy_1bit,
-        area_proposed=pairs * costs.area_2bit + singles * costs.area_1bit,
-        energy_proposed=pairs * costs.energy_2bit + singles * costs.energy_1bit,
-    )
+    with _obs_span("evaluate.system", category="evaluate",
+                   attrs={"benchmark": benchmark,
+                          "flip_flops": total_flip_flops,
+                          "merged_pairs": pairs}):
+        singles = total_flip_flops - 2 * pairs
+        return SystemResult(
+            benchmark=benchmark,
+            total_flip_flops=total_flip_flops,
+            merged_pairs=pairs,
+            area_baseline=total_flip_flops * costs.area_1bit,
+            energy_baseline=total_flip_flops * costs.energy_1bit,
+            area_proposed=pairs * costs.area_2bit
+            + singles * costs.area_1bit,
+            energy_proposed=pairs * costs.energy_2bit
+            + singles * costs.energy_1bit,
+        )
 
 
 def _flow_result(benchmark: str, config: Any = None) -> SystemResult:
@@ -173,7 +181,9 @@ def _flow_result(benchmark: str, config: Any = None) -> SystemResult:
     """
     from repro.core.flow import run_system_flow
 
-    return run_system_flow(benchmark, config).result
+    with _obs_span("evaluate.flow", category="evaluate",
+                   attrs={"benchmark": benchmark}):
+        return run_system_flow(benchmark, config).result
 
 
 def evaluate_benchmarks(
@@ -192,8 +202,10 @@ def evaluate_benchmarks(
         from repro.physd.benchmarks import BENCHMARKS
 
         benchmarks = list(BENCHMARKS)
-    return parallel_map(partial(_flow_result, config=config),
-                        list(benchmarks), workers=workers)
+    with _obs_span("evaluate.benchmarks", category="evaluate",
+                   attrs={"count": len(benchmarks)}):
+        return parallel_map(partial(_flow_result, config=config),
+                            list(benchmarks), workers=workers)
 
 
 def _flow_result_record(item: Any, rng: Any = None) -> dict:

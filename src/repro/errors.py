@@ -9,12 +9,31 @@ or explained by the static-analysis subsystem (:mod:`repro.lint`), the
 raiser attaches the relevant :class:`~repro.lint.diagnostics.Diagnostic`
 records via the ``diagnostics`` keyword, so tooling can show the
 root-cause ERC report instead of a bare solver message.
+
+Errors also carry observability context: while a tracing session is
+active (:mod:`repro.obs`), every :class:`ReproError` captures the span
+stack open at construction time (``span_stack``) and a snapshot of the
+metrics registry (``metrics_snapshot``) — a Newton non-convergence deep
+inside a Table II characterisation then reports *which* phase of *which*
+flow it died in, with the last solver counters attached.  With
+observability off (the default), both fields are empty and the capture
+costs one cached import plus one boolean test.
 """
 
 from __future__ import annotations
 
 import difflib
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
+
+
+def _observability_context() -> Tuple[Tuple[str, ...], Optional[dict]]:
+    """Active span stack + metrics snapshot, or ``((), None)`` when
+    observability is off or not importable (partial installs)."""
+    try:
+        from repro.obs import error_context
+    except ImportError:  # pragma: no cover - obs is part of the package
+        return (), None
+    return error_context()
 
 
 def suggest_names(name: str, candidates: Iterable[str], limit: int = 3) -> str:
@@ -33,11 +52,32 @@ class ReproError(Exception):
     ``diagnostics`` optionally carries the lint findings that explain or
     predicted the failure (a tuple of
     :class:`~repro.lint.diagnostics.Diagnostic`).
+
+    ``span_stack`` / ``metrics_snapshot`` are captured automatically at
+    construction while an observability session is active: the names of
+    the spans the raiser was inside (outermost first) and the metrics
+    registry at the moment of failure.
     """
 
     def __init__(self, *args, diagnostics: Sequence = ()):
         super().__init__(*args)
         self.diagnostics: Tuple = tuple(diagnostics)
+        self.span_stack, self.metrics_snapshot = _observability_context()
+
+    def context_report(self) -> str:
+        """Human-readable 'where did this die' summary from the captured
+        observability context; empty string when none was captured."""
+        if not self.span_stack and self.metrics_snapshot is None:
+            return ""
+        lines = []
+        if self.span_stack:
+            lines.append("span stack: " + " > ".join(self.span_stack))
+        if self.metrics_snapshot:
+            counters = self.metrics_snapshot.get("counters", {})
+            if counters:
+                lines.append("counters at failure: " + ", ".join(
+                    f"{name}={value:g}" for name, value in counters.items()))
+        return "\n".join(lines)
 
 
 class DeviceModelError(ReproError):

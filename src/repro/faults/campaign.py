@@ -49,6 +49,9 @@ import numpy as np
 
 from repro.errors import CampaignError
 from repro.mtj.variation import DEFAULT_SEED
+from repro.obs import is_active as _obs_active
+from repro.obs import metrics as _obs_metrics
+from repro.obs import span as _obs_span
 
 #: Checkpoint format version (header field; bumped on incompatible change).
 CHECKPOINT_VERSION = 1
@@ -112,23 +115,31 @@ def _execute_task(payload: Tuple) -> Dict[str, Any]:
     """
     fn, item, seed, index, attempt, timeout = payload
     start = time.monotonic()
-    try:
-        with _alarm(timeout):
-            result = fn(item, task_rng(seed, index, attempt))
-        result = json.loads(json.dumps(result))
-    except _TaskTimeout:
-        return {"status": "timeout", "result": None,
-                "error": f"task {index} exceeded its {timeout:g} s timeout "
-                         f"(attempt {attempt})",
+    # Real span on the serial/in-process path; NULL_SPAN (free) inside a
+    # campaign worker process, where tracing is not initialised.
+    span = _obs_span("campaign.attempt", category="campaign",
+                     attrs={"task": index, "attempt": attempt})
+    with span:
+        try:
+            with _alarm(timeout):
+                result = fn(item, task_rng(seed, index, attempt))
+            result = json.loads(json.dumps(result))
+        except _TaskTimeout:
+            span.annotate(status="timeout")
+            return {"status": "timeout", "result": None,
+                    "error": f"task {index} exceeded its {timeout:g} s "
+                             f"timeout (attempt {attempt})",
+                    "elapsed": time.monotonic() - start}
+        except BaseException as exc:  # noqa: BLE001 — the pool must survive
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            span.annotate(status="error")
+            return {"status": "error", "result": None,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "elapsed": time.monotonic() - start}
+        span.annotate(status="ok")
+        return {"status": "ok", "result": result, "error": "",
                 "elapsed": time.monotonic() - start}
-    except BaseException as exc:  # noqa: BLE001 — the pool must survive
-        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
-            raise
-        return {"status": "error", "result": None,
-                "error": f"{type(exc).__name__}: {exc}",
-                "elapsed": time.monotonic() - start}
-    return {"status": "ok", "result": result, "error": "",
-            "elapsed": time.monotonic() - start}
 
 
 @dataclass
@@ -179,6 +190,25 @@ class CampaignReport:
         """Tasks that needed more than one attempt (whatever the outcome)."""
         return sum(1 for r in self.records if r.attempts > 1)
 
+    @property
+    def elapsed_total(self) -> float:
+        """Summed per-task wall-clock [s] of the final attempts (skipped
+        tasks contribute the time recorded in the checkpoint they were
+        loaded from; records from pre-timing checkpoints contribute 0)."""
+        return sum(r.elapsed for r in self.records)
+
+    @property
+    def attempts_total(self) -> int:
+        """Attempts consumed across all tasks (skipped tasks count the
+        attempts recorded when they originally completed)."""
+        return sum(r.attempts for r in self.records)
+
+    def slowest(self, n: int = 3) -> List[TaskRecord]:
+        """The ``n`` tasks with the longest final-attempt wall-clock,
+        slowest first (ties broken by task index for determinism)."""
+        timed = sorted(self.records, key=lambda r: (-r.elapsed, r.index))
+        return [r for r in timed[:n] if r.elapsed > 0.0]
+
     def results(self) -> List[Any]:
         """Per-task results in item order (``None`` for failed tasks).
 
@@ -197,7 +227,13 @@ class CampaignReport:
             f"campaign {self.name!r}: {self.total} task(s), seed {self.seed}",
             f"  completed {self.completed}  skipped {self.skipped}  "
             f"retried {self.retried}  failed {self.failed}",
+            f"  task wall-clock {self.elapsed_total:.3f} s over "
+            f"{self.attempts_total} attempt(s)",
         ]
+        slow = self.slowest()
+        if slow:
+            lines.append("  slowest: " + ", ".join(
+                f"task {r.index} ({r.elapsed:.3f} s)" for r in slow))
         for record in self.failures():
             lines.append(f"  task {record.index} FAILED after "
                          f"{record.attempts} attempt(s): {record.error}")
@@ -212,6 +248,8 @@ class CampaignReport:
             "name": self.name, "seed": self.seed, "total": self.total,
             "completed": self.completed, "skipped": self.skipped,
             "retried": self.retried, "failed": self.failed,
+            "elapsed_total": self.elapsed_total,
+            "attempts_total": self.attempts_total,
             "notes": list(self.notes),
             "records": [r.to_json() for r in self.records],
         }
@@ -384,6 +422,11 @@ def run_campaign(
     todo = [i for i in range(total) if i not in records]
     attempts: Dict[int, int] = {i: 0 for i in todo}
 
+    run_span = _obs_span("campaign.run", category="campaign",
+                         attrs={"name": name, "total": total,
+                                "workers": workers})
+    run_span.__enter__()
+
     def finish(index: int, status: str, outcome: Dict[str, Any]) -> None:
         record = TaskRecord(
             index=index, status=status, attempts=attempts[index],
@@ -490,11 +533,33 @@ def run_campaign(
                     attempts[index] += 1
                     settle(index, _execute_task(payload(index)))
             todo = []
+
+        ordered = tuple(records[i] for i in sorted(records))
+        assert len(ordered) == total, "campaign bookkeeping lost a task"
+        report = CampaignReport(name=name, seed=seed, total=total,
+                                records=ordered, notes=tuple(notes),
+                                checkpoint=checkpoint)
+        if _obs_active():
+            run_span.annotate(completed=report.completed,
+                              failed=report.failed, skipped=report.skipped,
+                              retried=report.retried)
+            registry = _obs_metrics()
+            registry.inc("campaign.runs", 1)
+            registry.inc("campaign.tasks", total)
+            registry.inc("campaign.attempts", report.attempts_total)
+            registry.inc("campaign.completed", report.completed)
+            if report.failed:
+                registry.inc("campaign.failures", report.failed)
+            if report.retried:
+                registry.inc("campaign.retries", report.retried)
+            timeouts = sum(1 for r in report.records
+                           if r.status == "failed" and "timeout" in r.error)
+            if timeouts:
+                registry.inc("campaign.timeouts", timeouts)
+            registry.observe("campaign.task_seconds", report.elapsed_total)
     finally:
         if writer is not None:
             writer.close()
+        run_span.__exit__(None, None, None)
 
-    ordered = tuple(records[i] for i in sorted(records))
-    assert len(ordered) == total, "campaign bookkeeping lost a task"
-    return CampaignReport(name=name, seed=seed, total=total, records=ordered,
-                          notes=tuple(notes), checkpoint=checkpoint)
+    return report

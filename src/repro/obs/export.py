@@ -1,0 +1,146 @@
+"""Trace post-processing: schema validation and breakdown aggregation.
+
+Two consumers need to read traces back:
+
+* the ``obs-smoke`` CI job and the tests validate that an emitted
+  ``trace.json`` is genuinely Chrome-loadable
+  (:func:`validate_chrome_trace`);
+* ``repro profile`` turns the span list into a self-time breakdown table
+  (:func:`aggregate_spans`, :func:`render_breakdown`) — the flame graph
+  flattened to "which phase actually burns the wall-clock".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from repro.obs.tracer import SpanRecord
+
+__all__ = [
+    "validate_chrome_trace",
+    "SpanAggregate",
+    "aggregate_spans",
+    "render_breakdown",
+]
+
+#: Fields every complete event must carry, with their accepted types.
+_EVENT_FIELDS = {
+    "name": str,
+    "cat": str,
+    "ph": str,
+    "ts": (int, float),
+    "dur": (int, float),
+    "pid": int,
+    "tid": int,
+}
+
+
+def validate_chrome_trace(trace: Any) -> int:
+    """Validate a Chrome ``trace_event`` JSON object; returns the event
+    count.  Raises :class:`ValueError` naming the first problem — used by
+    the CI schema gate, so messages are specific enough to act on."""
+    if not isinstance(trace, dict):
+        raise ValueError(f"trace must be a JSON object, got {type(trace).__name__}")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace lacks a 'traceEvents' list")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        for fieldname, types in _EVENT_FIELDS.items():
+            if fieldname not in event:
+                raise ValueError(f"traceEvents[{i}] lacks {fieldname!r}")
+            if not isinstance(event[fieldname], types):
+                raise ValueError(
+                    f"traceEvents[{i}].{fieldname} has type "
+                    f"{type(event[fieldname]).__name__}, expected {types}")
+        if event["ph"] != "X":
+            raise ValueError(
+                f"traceEvents[{i}].ph is {event['ph']!r}; the repro tracer "
+                f"only emits complete events ('X')")
+        if event["ts"] < 0 or event["dur"] < 0:
+            raise ValueError(f"traceEvents[{i}] has negative ts/dur")
+    return len(events)
+
+
+@dataclass
+class SpanAggregate:
+    """All spans sharing one (category, name), flattened."""
+
+    category: str
+    name: str
+    count: int = 0
+    total_us: float = 0.0
+    self_us: float = 0.0
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"category": self.category, "name": self.name,
+                "count": self.count,
+                "total_s": self.total_us / 1e6,
+                "self_s": self.self_us / 1e6}
+
+
+def _self_times(records: Sequence[SpanRecord]) -> List[float]:
+    """Self time (dur minus directly-nested children) per record.
+
+    Containment is resolved per (pid, tid) track with a depth-indexed
+    stack over the time-sorted spans: a span's parent is the innermost
+    enclosing span one depth level up on the same track.
+    """
+    self_us = [r.dur_us for r in records]
+    by_track: Dict[Tuple[int, int], List[int]] = {}
+    for i, r in enumerate(records):
+        by_track.setdefault((r.pid, r.tid), []).append(i)
+    for indices in by_track.values():
+        indices.sort(key=lambda i: (records[i].ts_us, -records[i].dur_us))
+        open_by_depth: Dict[int, int] = {}
+        for i in indices:
+            r = records[i]
+            parent = open_by_depth.get(r.depth - 1)
+            if parent is not None:
+                p = records[parent]
+                if p.ts_us <= r.ts_us and r.ts_us + r.dur_us <= p.ts_us + p.dur_us + 1e-3:
+                    self_us[parent] -= r.dur_us
+            open_by_depth[r.depth] = i
+            # Deeper levels from an earlier sibling are stale now.
+            for depth in [d for d in open_by_depth if d > r.depth]:
+                del open_by_depth[depth]
+    return self_us
+
+
+def aggregate_spans(records: Sequence[SpanRecord]) -> List[SpanAggregate]:
+    """Collapse spans to per-(category, name) totals with self time,
+    sorted by descending self time."""
+    self_us = _self_times(records)
+    table: Dict[Tuple[str, str], SpanAggregate] = {}
+    for r, own in zip(records, self_us):
+        key = (r.category, r.name)
+        agg = table.get(key)
+        if agg is None:
+            agg = table[key] = SpanAggregate(r.category, r.name)
+        agg.count += 1
+        agg.total_us += r.dur_us
+        agg.self_us += own
+    return sorted(table.values(),
+                  key=lambda a: (-a.self_us, a.category, a.name))
+
+
+def render_breakdown(aggregates: Iterable[SpanAggregate],
+                     title: str = "profile breakdown") -> str:
+    """Fixed-width self-time table (the ``repro profile`` terminal view)."""
+    from repro.analysis.tables import render_text_table
+
+    aggregates = list(aggregates)
+    wall = sum(a.self_us for a in aggregates)
+    rows = []
+    for a in aggregates:
+        share = 100.0 * a.self_us / wall if wall > 0 else 0.0
+        rows.append((
+            a.category or "-", a.name, str(a.count),
+            f"{a.total_us / 1e6:.3f}", f"{a.self_us / 1e6:.3f}",
+            f"{share:.1f}%",
+        ))
+    return render_text_table(
+        ("category", "span", "count", "total [s]", "self [s]", "share"),
+        rows, title=title)

@@ -1,0 +1,226 @@
+"""Self-profiled named flows: ``repro profile <flow>``.
+
+:func:`run_profile` enables a fresh tracing session, runs one of the
+named flows under it, and packages the outcome three ways:
+
+* a **breakdown table** (per-span self/total time, printed by the CLI),
+* ``profile.json`` — counters, histograms, aggregated spans, and a
+  solver self-check (engine counters re-derived from a reference
+  transient and compared against the registry),
+* ``trace.json`` — the Chrome ``trace_event`` export, loadable in
+  ``about://tracing`` / Perfetto.
+
+Flows:
+
+* ``table2`` — latch characterisation (paper Table II) followed by a
+  system-accounting preview, so the trace covers the engine, analysis,
+  characterize and evaluate layers end to end;
+* ``table3`` — the benchmark system-flow sweep (paper Table III);
+* ``campaign`` — a small zero-fault restore campaign through the
+  resilient runner (covers the campaign layer).
+
+``fast=True`` shrinks each flow to a seconds-scale smoke (typical
+corner only, coarser timestep, fewer benchmarks/samples) — the mode CI
+runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import AnalysisError
+from repro.obs.export import SpanAggregate, aggregate_spans, render_breakdown
+from repro.obs.metrics import metrics
+from repro.obs.tracer import Tracer, disable_tracing, enable_tracing, span
+
+#: Flow names accepted by :func:`run_profile`.
+FLOWS = ("table2", "table3", "campaign")
+
+#: Coarse timestep for the fast profile modes [s].
+FAST_DT = 4e-12
+
+
+@dataclass
+class ProfileResult:
+    """Everything :func:`run_profile` measured."""
+
+    flow: str
+    fast: bool
+    wall_s: float
+    counters: Dict[str, float]
+    histograms: Dict[str, dict]
+    aggregates: List[SpanAggregate]
+    #: Span categories present in the trace (sorted).
+    categories: List[str]
+    self_check: Dict[str, object]
+    trace_path: str
+    profile_path: str
+    breakdown: str = field(repr=False, default="")
+
+    def to_json(self) -> dict:
+        return {
+            "flow": self.flow,
+            "fast": self.fast,
+            "wall_s": self.wall_s,
+            "counters": self.counters,
+            "histograms": self.histograms,
+            "categories": self.categories,
+            "self_check": self.self_check,
+            "spans": [agg.to_json() for agg in self.aggregates],
+            "trace": os.path.basename(self.trace_path),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Flow bodies (run under an active tracing session)
+# ---------------------------------------------------------------------------
+
+
+def _flow_table2(fast: bool, workers: Optional[int]) -> None:
+    from repro.analysis.tables import build_table2, render_table2
+    from repro.core.evaluate import costs_from_layout, evaluate_system
+
+    corners = ["typical"] if fast else None
+    kwargs = {"workers": workers}
+    if corners is not None:
+        kwargs["corners"] = corners
+    data = build_table2(dt=FAST_DT if fast else 1e-12,
+                        include_write=not fast, **kwargs)
+    render_table2(data)
+    # System-accounting preview from the measured cell energies, so the
+    # trace also exercises the evaluate layer.
+    costs = costs_from_layout(
+        energy_1bit=data.standard["typical"].read_energy,
+        energy_2bit=data.proposed["typical"].read_energy)
+    evaluate_system("profile-preview", total_flip_flops=100, merged=30,
+                    costs=costs)
+
+
+def _flow_table3(fast: bool, workers: Optional[int]) -> None:
+    from repro.analysis.tables import build_table3, render_table3
+    from repro.physd.benchmarks import BENCHMARKS
+
+    names = list(BENCHMARKS)[:2] if fast else None
+    render_table3(build_table3(names, workers=workers))
+
+
+def _flow_campaign(fast: bool, workers: Optional[int]) -> None:
+    from repro.faults import restore_failure_rate
+
+    restore_failure_rate(
+        "standard", [], samples=4 if fast else 20, dt=FAST_DT,
+        workers=1 if workers is None else workers)
+
+
+_FLOW_BODIES: Dict[str, Callable[[bool, Optional[int]], None]] = {
+    "table2": _flow_table2,
+    "table3": _flow_table3,
+    "campaign": _flow_campaign,
+}
+
+
+# ---------------------------------------------------------------------------
+# Solver self-check
+# ---------------------------------------------------------------------------
+
+
+def _solver_self_check() -> Dict[str, object]:
+    """Run a reference transient and compare the registry's counter deltas
+    against the engine's own :class:`SolverStats` totals.
+
+    The acceptance contract of the observability subsystem: what the
+    metrics registry reports is exactly what the solver did, not an
+    approximation layered on top.
+    """
+    from repro.spice.analysis.transient import run_transient
+    from repro.spice.netlist import Circuit
+
+    circuit = Circuit("obs-self-check")
+    circuit.add_vsource("vs", "in", "0", 1.0)
+    circuit.add_resistor("r1", "in", "out", 1e3)
+    circuit.add_capacitor("c1", "out", "0", 1e-12)
+
+    before = metrics().snapshot()["counters"]
+    with span("profile.self_check", category="profile"):
+        result = run_transient(circuit, stop_time=50e-12, dt=1e-12,
+                               initial_voltages={"in": 1.0})
+    after = metrics().snapshot()["counters"]
+
+    def delta(name: str) -> float:
+        return after.get(name, 0.0) - before.get(name, 0.0)
+
+    stats = result.stats
+    checks = {
+        "newton_iterations": (delta("engine.newton_iterations"),
+                              stats.iterations),
+        "jacobian_factorizations": (delta("engine.jacobian_factorizations"),
+                                    stats.factorizations),
+        "jacobian_reuses": (delta("engine.jacobian_reuses"), stats.reuses),
+        "timesteps": (delta("engine.timesteps"), stats.timesteps),
+    }
+    return {
+        "ok": all(registry == engine for registry, engine in checks.values()),
+        "counters": {name: {"registry": registry, "engine": engine}
+                     for name, (registry, engine) in checks.items()},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def run_profile(
+    flow: str,
+    fast: bool = False,
+    out_dir: str = ".",
+    workers: Optional[int] = None,
+) -> ProfileResult:
+    """Run the named flow under a fresh tracing session and write
+    ``profile.json`` + ``trace.json`` into ``out_dir``."""
+    if flow not in FLOWS:
+        raise AnalysisError(
+            f"unknown profile flow {flow!r}; expected one of {FLOWS}")
+    body = _FLOW_BODIES[flow]
+
+    os.makedirs(out_dir, exist_ok=True)
+    tracer: Tracer = enable_tracing(fresh=True)
+    try:
+        start = time.perf_counter()
+        with span(f"profile.{flow}", category="profile",
+                  attrs={"fast": fast}):
+            body(fast, workers)
+        self_check = _solver_self_check()
+        wall_s = time.perf_counter() - start
+        snapshot = metrics().snapshot()
+        records = list(tracer.records)
+        chrome = tracer.to_chrome()
+    finally:
+        disable_tracing()
+
+    aggregates = aggregate_spans(records)
+    categories = sorted({r.category or "repro" for r in records})
+    trace_path = os.path.join(out_dir, "trace.json")
+    profile_path = os.path.join(out_dir, "profile.json")
+    with open(trace_path, "w", encoding="utf-8") as handle:
+        json.dump(chrome, handle, indent=1)
+        handle.write("\n")
+
+    result = ProfileResult(
+        flow=flow, fast=fast, wall_s=round(wall_s, 3),
+        counters=snapshot["counters"], histograms=snapshot["histograms"],
+        aggregates=aggregates, categories=categories,
+        self_check=self_check, trace_path=trace_path,
+        profile_path=profile_path,
+        breakdown=render_breakdown(aggregates, title=f"profile: {flow} "
+                                   f"({'fast' if fast else 'full'}, "
+                                   f"{wall_s:.2f} s wall)"),
+    )
+    with open(profile_path, "w", encoding="utf-8") as handle:
+        json.dump(result.to_json(), handle, indent=2)
+        handle.write("\n")
+    return result

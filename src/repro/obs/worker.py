@@ -1,0 +1,75 @@
+"""Worker-side observability collection for process pools.
+
+When tracing is active in the parent, :func:`repro.parallel.parallel_map`
+wraps the task function in :class:`ObsTask` and installs
+:func:`worker_init` as the pool initializer.  Each worker then runs its
+own tracer/registry session; every task ships its span and metric deltas
+back piggy-backed on the result, and the parent folds them in **in item
+order** — so the merged trace and metrics are deterministic regardless of
+pool scheduling, worker count or chunking (the same invariant
+``parallel_map`` already guarantees for results).
+
+The machinery is invisible to task functions: they call
+:func:`repro.obs.span` / :func:`repro.obs.metrics` exactly as in-process
+code does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+from repro.obs.metrics import metrics as _registry
+from repro.obs import tracer as _tracer_mod
+
+__all__ = ["ObsTask", "WorkerPayload", "worker_init", "merge_payload"]
+
+
+@dataclass
+class WorkerPayload:
+    """One task's result plus the observability deltas it produced."""
+
+    result: Any
+    spans: List[Dict[str, Any]]
+    metrics: Dict[str, Any]
+
+
+def worker_init() -> None:
+    """Pool initializer: start a fresh tracer session in the worker.
+
+    ``fresh=True`` matters under the ``fork`` start method — the child
+    inherits the parent's tracer *including its records*, which must not
+    be exported a second time.
+    """
+    _tracer_mod.enable_tracing(fresh=True)
+    _registry().reset()
+
+
+class ObsTask:
+    """Picklable wrapper running ``fn`` with per-task delta collection."""
+
+    def __init__(self, fn: Callable[[Any], Any]):
+        self.fn = fn
+
+    def __call__(self, item: Any) -> WorkerPayload:
+        tracer = _tracer_mod.get_tracer()
+        if tracer is None:  # initializer skipped (unusual pool impl)
+            tracer = _tracer_mod.enable_tracing(fresh=True)
+        registry = _registry()
+        registry.reset()
+        tracer.drain()  # stray spans from a previous task's teardown
+        result = self.fn(item)
+        spans = [r.to_json() for r in tracer.drain()]
+        return WorkerPayload(result=result, spans=spans,
+                             metrics=registry.snapshot())
+
+
+def merge_payload(payload: WorkerPayload) -> Any:
+    """Fold one worker payload into the parent session; returns the bare
+    task result.  Called in item order by ``parallel_map``."""
+    tracer = _tracer_mod.get_tracer()
+    if tracer is not None and payload.spans:
+        tracer.add_records([_tracer_mod.SpanRecord.from_json(s)
+                            for s in payload.spans])
+    _registry().merge(payload.metrics)
+    return payload.result

@@ -77,13 +77,30 @@ def parallel_map(
       :class:`RuntimeWarning` names the pool failure so slow runs can be
       traced to the fallback (and campaign runners can record it — see
       :func:`repro.faults.campaign.run_campaign`).
+    * While an observability session is active
+      (:func:`repro.obs.is_active`), workers run their own tracer/metrics
+      session and every task ships its span and metric deltas back with
+      its result; the parent merges them **in item order**, so traces and
+      aggregates are deterministic for any worker count — and identical
+      in shape to the serial path, where spans land in the parent tracer
+      directly.
     """
+    from repro import obs
+
     items = list(items)
     if workers is None:
         workers = default_workers()
     if workers <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
     try:
+        if obs.is_active():
+            from repro.obs.worker import ObsTask, merge_payload, worker_init
+
+            with ProcessPoolExecutor(max_workers=min(workers, len(items)),
+                                     initializer=worker_init) as pool:
+                payloads = list(pool.map(ObsTask(fn), items,
+                                         chunksize=max(1, chunksize)))
+            return [merge_payload(p) for p in payloads]
         with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
             return list(pool.map(fn, items, chunksize=max(1, chunksize)))
     except (OSError, BrokenExecutor, ImportError) as exc:

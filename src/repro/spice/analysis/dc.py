@@ -23,6 +23,9 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import ConvergenceError
+from repro.obs import is_active as _obs_active
+from repro.obs import metrics as _obs_metrics
+from repro.obs import span as _obs_span
 from repro.spice.devices.base import EvalContext
 from repro.spice.devices.sources import VoltageSource
 from repro.spice.analysis.mna import MNAStamper
@@ -150,12 +153,20 @@ def newton_step(
     vtol: float = DEFAULT_VTOL,
     damping: float = DEFAULT_DAMPING,
     gmin: float = FLOOR_GMIN,
+    stats=None,
 ) -> np.ndarray:
-    """Newton solve for one transient timepoint (used by the transient driver)."""
-    x, _ = _newton(
+    """Newton solve for one transient timepoint (used by the transient
+    driver).  ``stats`` — optional
+    :class:`~repro.spice.analysis.engine.SolverStats` accumulating the
+    naive engine's iteration counts for observability."""
+    x, iterations = _newton(
         circuit, x0, time, gmin, max_iterations, vtol, damping,
         prev_voltages=prev_voltages, dt=dt, integrator=integrator,
     )
+    if stats is not None:
+        stats.iterations += iterations
+        stats.solves += 1
+        stats.factorizations += iterations  # one dense solve per iteration
     return x
 
 
@@ -204,44 +215,64 @@ def solve_dc(
             if index >= 0:
                 x0[index] = value
 
-    last_error: Optional[ConvergenceError] = None
-    # Plain Newton first, then gmin stepping from strong to weak.
-    try:
-        x, iterations = _newton(
-            circuit, x0, time, FLOOR_GMIN, max_iterations, vtol, damping,
-            deadline=deadline,
-        )
-        return DCResult(circuit, x[: circuit.num_nodes],
-                        x[circuit.num_nodes:], iterations, FLOOR_GMIN)
-    except ConvergenceError as exc:
-        last_error = exc
-        if deadline is not None and _time.monotonic() > deadline:
-            raise ConvergenceError(
-                f"DC solve of {circuit.name!r} exceeded its {timeout:g} s "
-                f"wall-clock timeout: {exc}",
-                iterations=exc.iterations, residual=exc.residual,
-                state=exc.state,
-            ) from exc
-
-    x = x0
-    total_iterations = 0
-    gmin = 1e-2
-    while gmin >= FLOOR_GMIN:
+    with _obs_span("analysis.dc", category="analysis",
+                   attrs={"circuit": circuit.name}) as sp:
+        last_error: Optional[ConvergenceError] = None
+        # Plain Newton first, then gmin stepping from strong to weak.
         try:
             x, iterations = _newton(
-                circuit, x, time, gmin, max_iterations, vtol, damping,
+                circuit, x0, time, FLOOR_GMIN, max_iterations, vtol, damping,
                 deadline=deadline,
             )
-            total_iterations += iterations
+            _flush_dc_metrics(sp, iterations, gmin_stages=0)
+            return DCResult(circuit, x[: circuit.num_nodes],
+                            x[circuit.num_nodes:], iterations, FLOOR_GMIN)
         except ConvergenceError as exc:
-            timed_out = deadline is not None and _time.monotonic() > deadline
-            reason = ("exceeded its wall-clock timeout during gmin stepping"
-                      if timed_out else "gmin stepping stalled")
-            raise ConvergenceError(
-                f"{reason} at gmin={gmin:g}: {exc}",
-                iterations=total_iterations + exc.iterations,
-                residual=exc.residual, state=exc.state,
-            ) from last_error
-        gmin /= 10.0
-    return DCResult(circuit, x[: circuit.num_nodes],
-                    x[circuit.num_nodes:], total_iterations, FLOOR_GMIN)
+            last_error = exc
+            if deadline is not None and _time.monotonic() > deadline:
+                raise ConvergenceError(
+                    f"DC solve of {circuit.name!r} exceeded its {timeout:g} s "
+                    f"wall-clock timeout: {exc}",
+                    iterations=exc.iterations, residual=exc.residual,
+                    state=exc.state,
+                ) from exc
+
+        x = x0
+        total_iterations = 0
+        gmin_stages = 0
+        gmin = 1e-2
+        while gmin >= FLOOR_GMIN:
+            try:
+                x, iterations = _newton(
+                    circuit, x, time, gmin, max_iterations, vtol, damping,
+                    deadline=deadline,
+                )
+                total_iterations += iterations
+                gmin_stages += 1
+            except ConvergenceError as exc:
+                timed_out = (deadline is not None
+                             and _time.monotonic() > deadline)
+                reason = ("exceeded its wall-clock timeout during gmin "
+                          "stepping" if timed_out else "gmin stepping stalled")
+                raise ConvergenceError(
+                    f"{reason} at gmin={gmin:g}: {exc}",
+                    iterations=total_iterations + exc.iterations,
+                    residual=exc.residual, state=exc.state,
+                ) from last_error
+            gmin /= 10.0
+        _flush_dc_metrics(sp, total_iterations, gmin_stages)
+        return DCResult(circuit, x[: circuit.num_nodes],
+                        x[circuit.num_nodes:], total_iterations, FLOOR_GMIN)
+
+
+def _flush_dc_metrics(sp, iterations: int, gmin_stages: int) -> None:
+    """Record a finished DC solve in the metrics registry (no-op while
+    observability is off) and annotate the enclosing span."""
+    if not _obs_active():
+        return
+    sp.annotate(newton_iterations=iterations, gmin_stages=gmin_stages)
+    registry = _obs_metrics()
+    registry.inc("engine.dc_solves", 1)
+    registry.inc("engine.newton_iterations", iterations)
+    if gmin_stages:
+        registry.inc("engine.gmin_stepping_stages", gmin_stages)

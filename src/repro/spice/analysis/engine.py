@@ -30,7 +30,9 @@ the workspace assembly matches the naive :class:`MNAStamper` assembly to
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -44,6 +46,7 @@ except ImportError:  # pragma: no cover - scipy is a declared dependency
     _HAVE_SCIPY = False
 
 from repro.errors import ConvergenceError
+from repro.obs import is_active as _obs_active
 from repro.spice.devices.base import Device, EvalContext
 from repro.spice.devices.mosfet import MOSFET
 from repro.spice.devices.passive import Capacitor
@@ -58,6 +61,55 @@ VECTORIZE_MOSFET_THRESHOLD = 4
 JACOBIAN_MAX_AGE = 6
 #: Smoothing of the channel-length-modulation overdrive (mirrors mosfet.py).
 _CLM_EPSILON = 1e-3
+
+
+@dataclass
+class SolverStats:
+    """Counters the engine maintains about its own work.
+
+    Kept as plain attribute increments so the untraced hot path pays
+    integer adds only; :meth:`flush_to` moves the totals into the
+    observability metrics registry once per analysis when a session is
+    active.  ``stamp_seconds`` holds per-device-class assembly time and
+    is only populated while tracing is on (it needs clock reads).
+    """
+
+    solves: int = 0
+    iterations: int = 0
+    factorizations: int = 0
+    reuses: int = 0
+    singular_retries: int = 0
+    gmin_retries: int = 0
+    timesteps: int = 0
+    stamp_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def flush_to(self, registry) -> None:
+        """Add these totals to an :class:`repro.obs.MetricsRegistry`."""
+        registry.inc("engine.solves", self.solves)
+        registry.inc("engine.newton_iterations", self.iterations)
+        registry.inc("engine.jacobian_factorizations", self.factorizations)
+        registry.inc("engine.jacobian_reuses", self.reuses)
+        if self.singular_retries:
+            registry.inc("engine.singular_retries", self.singular_retries)
+        if self.gmin_retries:
+            registry.inc("engine.gmin_retries", self.gmin_retries)
+        if self.timesteps:
+            registry.inc("engine.timesteps", self.timesteps)
+        for device_class in sorted(self.stamp_seconds):
+            registry.inc(f"engine.stamp_seconds.{device_class}",
+                         self.stamp_seconds[device_class])
+
+    def as_attrs(self) -> Dict[str, int]:
+        """Span-attribute form (the trace viewer's tooltip payload)."""
+        return {
+            "solves": self.solves,
+            "newton_iterations": self.iterations,
+            "jacobian_factorizations": self.factorizations,
+            "jacobian_reuses": self.reuses,
+            "singular_retries": self.singular_retries,
+            "gmin_retries": self.gmin_retries,
+            "timesteps": self.timesteps,
+        }
 
 
 def _gather(voltages: np.ndarray, indices: np.ndarray) -> np.ndarray:
@@ -345,10 +397,18 @@ class MNAWorkspace:
             device.stamp_step(view, ctx)
         self.cap_group.step_rhs(self._step_rhs, prev_voltages)
 
-    def assemble(self, x: np.ndarray, gmin: float = 0.0) -> EvalContext:
+    def assemble(self, x: np.ndarray, gmin: float = 0.0,
+                 timing: Optional[Dict[str, float]] = None) -> EvalContext:
         """Assemble matrix+RHS at the iterate ``x`` into the workspace
         buffers; returns the evaluation context used for the nonlinear
-        stamps (handy for state updates)."""
+        stamps (handy for state updates).
+
+        ``timing`` — optional dict accumulating per-device-class stamp
+        seconds (observability detail; the solver passes
+        ``stats.stamp_seconds`` while a tracing session is active and
+        ``None`` otherwise, so the untraced path takes no clock reads).
+        """
+        t0 = _time.perf_counter() if timing is not None else 0.0
         np.copyto(self.matrix, self._static_matrix)
         np.copyto(self.rhs, self._step_rhs)
         if gmin > 0.0 and self.num_nodes:
@@ -358,13 +418,30 @@ class MNAWorkspace:
         ctx = EvalContext(voltages=voltages, prev_voltages=self._prev_voltages,
                           time=self._time, dt=self.dt, gmin=gmin,
                           integrator=self.integrator)
+        if timing is not None:
+            t1 = _time.perf_counter()
+            timing["static_copy"] = timing.get("static_copy", 0.0) + (t1 - t0)
+            t0 = t1
         if self.fet_group is not None:
             self.fet_group.stamp(self._matrix_flat, self.rhs, voltages)
+            if timing is not None:
+                t1 = _time.perf_counter()
+                timing["MOSFETGroup"] = (timing.get("MOSFETGroup", 0.0)
+                                         + (t1 - t0))
+                t0 = t1
         if self._iterate_devices:
             view = MNAStamper(self.num_nodes, self.num_branches,
                               matrix=self.matrix, rhs=self.rhs)
-            for device in self._iterate_devices:
-                device.stamp(view, ctx)
+            if timing is None:
+                for device in self._iterate_devices:
+                    device.stamp(view, ctx)
+            else:
+                for device in self._iterate_devices:
+                    device.stamp(view, ctx)
+                    t1 = _time.perf_counter()
+                    key = type(device).__name__
+                    timing[key] = timing.get(key, 0.0) + (t1 - t0)
+                    t0 = t1
         return ctx
 
     def update_state(self, x: np.ndarray) -> None:
@@ -393,14 +470,19 @@ class FastNewtonSolver:
     convergence) or after :data:`JACOBIAN_MAX_AGE` iterations.
     """
 
-    def __init__(self, workspace: MNAWorkspace, jacobian_reuse: bool = True):
+    def __init__(self, workspace: MNAWorkspace, jacobian_reuse: bool = True,
+                 stats: Optional[SolverStats] = None):
         self.workspace = workspace
         self.jacobian_reuse = jacobian_reuse and _HAVE_SCIPY
         self._lu = None
+        #: Work counters, shared with the caller when one is passed in
+        #: (``run_transient`` aggregates them across every timestep).
+        self.stats = stats if stats is not None else SolverStats()
 
     def _factorize(self) -> None:
         # Raw LAPACK getrf: skips the scipy wrapper overhead (asarray +
         # finiteness checks) that showed up in per-iteration profiles.
+        self.stats.factorizations += 1
         lu, piv, info = _getrf(self.workspace.matrix)
         if info != 0:
             raise np.linalg.LinAlgError(
@@ -411,9 +493,12 @@ class FastNewtonSolver:
         """Newton update −A₀⁻¹·F(x) from the workspace's assembled system."""
         ws = self.workspace
         if not self.jacobian_reuse:
+            self.stats.factorizations += 1  # full dense solve, no reuse
             return np.linalg.solve(ws.matrix, ws.rhs) - x
         if fresh or self._lu is None:
             self._factorize()
+        else:
+            self.stats.reuses += 1
         residual = ws.matrix @ x - ws.rhs
         lu, piv = self._lu
         delta, info = _getrs(lu, piv, residual)
@@ -430,12 +515,15 @@ class FastNewtonSolver:
         ws = self.workspace
         ws.begin_step(time, prev_voltages)
         num_nodes = ws.num_nodes
+        stats = self.stats
+        timing = stats.stamp_seconds if _obs_active() else None
         x = x0.copy()
         last_factor = 0
         prev_max_dv = np.inf
         max_dv = np.inf
         for iteration in range(1, max_iterations + 1):
-            ws.assemble(x, gmin=gmin)
+            stats.iterations += 1
+            ws.assemble(x, gmin=gmin, timing=timing)
             stale = iteration - last_factor
             refresh = (stale >= JACOBIAN_MAX_AGE
                        or (stale >= 1 and max_dv > 0.5 * prev_max_dv))
@@ -452,6 +540,7 @@ class FastNewtonSolver:
             if not np.all(np.isfinite(delta)):
                 if iteration - last_factor > 0:
                     # Stale factorisation went bad: refactor and retry once.
+                    stats.singular_retries += 1
                     self._factorize()
                     last_factor = iteration
                     delta = self._delta(x, fresh=False)
@@ -470,6 +559,7 @@ class FastNewtonSolver:
             else:
                 x = x + delta
                 if max_dv < vtol:
+                    stats.solves += 1
                     return x
         raise ConvergenceError(
             f"Newton failed to converge in {max_iterations} iterations "

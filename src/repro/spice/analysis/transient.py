@@ -29,11 +29,14 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 import numpy as np
 
 from repro.errors import AnalysisError, ConvergenceError, suggest_names
+from repro.obs import is_active as _obs_active
+from repro.obs import metrics as _obs_metrics
+from repro.obs import span as _obs_span
 from repro.spice.devices.base import EvalContext
 from repro.spice.devices.sources import VoltageSource
 from repro.spice.analysis.dc import (
@@ -45,6 +48,9 @@ from repro.spice.analysis.dc import (
     solve_dc,
 )
 from repro.spice.netlist import Circuit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.spice.analysis.engine import SolverStats
 
 #: Engines accepted by :func:`run_transient`.
 ENGINES = ("fast", "naive")
@@ -77,6 +83,11 @@ class TransientResult:
     times: np.ndarray
     node_voltages: np.ndarray  # shape (steps, num_nodes)
     branch_currents: np.ndarray  # shape (steps, num_branches)
+    #: Engine work counters for this run (Newton iterations, Jacobian
+    #: factorisations vs reuses, ...) — the same totals the
+    #: observability registry receives, so traced campaigns can check
+    #: one against the other.
+    stats: Optional["SolverStats"] = None
 
     def voltage(self, node_name: str) -> np.ndarray:
         """Waveform of a node voltage [V].
@@ -169,99 +180,130 @@ def run_transient(
 
     preflight(circuit, lint)
 
-    circuit.finalize()
-    circuit.reset_state()
-    num_nodes = circuit.num_nodes
-    size = num_nodes + circuit.num_branches
+    from repro.spice.analysis.engine import SolverStats
 
-    if initial_voltages is not None:
-        x = np.zeros(size)
-        for node_name, value in initial_voltages.items():
-            index = circuit.node(node_name)
-            if index >= 0:
-                x[index] = value
-    else:
-        remaining = None
-        if deadline is not None:
-            remaining = max(deadline - _time.monotonic(), 1e-3)
-        dc = solve_dc(circuit, time=0.0, initial_guess=dc_seed,
-                      max_iterations=max_iterations, vtol=vtol,
-                      damping=damping, lint="off",  # already pre-flighted
-                      timeout=remaining)
-        x = np.concatenate([dc.voltages, dc.branch_currents])
+    run_span = _obs_span(
+        "analysis.transient", category="analysis",
+        attrs={"circuit": circuit.name, "engine": engine, "dt": dt,
+               "stop_time": stop_time})
+    stats = SolverStats()
 
-    steps = int(round(stop_time / dt))
-    times = np.empty(steps + 1)
-    voltages = np.empty((steps + 1, num_nodes))
-    currents = np.empty((steps + 1, circuit.num_branches))
+    with run_span:
+        circuit.finalize()
+        circuit.reset_state()
+        num_nodes = circuit.num_nodes
+        size = num_nodes + circuit.num_branches
 
-    times[0] = 0.0
-    voltages[0] = x[:num_nodes]
-    currents[0] = x[num_nodes:]
+        if initial_voltages is not None:
+            x = np.zeros(size)
+            for node_name, value in initial_voltages.items():
+                index = circuit.node(node_name)
+                if index >= 0:
+                    x[index] = value
+        else:
+            remaining = None
+            if deadline is not None:
+                remaining = max(deadline - _time.monotonic(), 1e-3)
+            dc = solve_dc(circuit, time=0.0, initial_guess=dc_seed,
+                          max_iterations=max_iterations, vtol=vtol,
+                          damping=damping, lint="off",  # already pre-flighted
+                          timeout=remaining)
+            x = np.concatenate([dc.voltages, dc.branch_currents])
 
-    if engine == "fast":
-        from repro.spice.analysis.engine import FastNewtonSolver, MNAWorkspace
+        steps = int(round(stop_time / dt))
+        times = np.empty(steps + 1)
+        voltages = np.empty((steps + 1, num_nodes))
+        currents = np.empty((steps + 1, circuit.num_branches))
 
-        workspace = MNAWorkspace(circuit, dt=dt, integrator=integrator)
-        solver = FastNewtonSolver(workspace)
+        times[0] = 0.0
+        voltages[0] = x[:num_nodes]
+        currents[0] = x[num_nodes:]
 
-        def advance(x: np.ndarray, time: float,
-                    prev_nodes: np.ndarray) -> np.ndarray:
-            try:
-                return solver.solve(x, time, prev_nodes, FLOOR_GMIN,
-                                    max_iterations, vtol, damping)
-            except ConvergenceError:
-                # One retry with a strong gmin: tides over razor-edge
-                # metastable points of the regenerative sense amplifier.
-                return solver.solve(x, time, prev_nodes, 1e-9,
-                                    max_iterations, vtol, damping)
-
-        def settle(x: np.ndarray, time: float,
-                   prev_nodes: np.ndarray) -> None:
-            workspace.update_state(x)
-    else:
-        def advance(x: np.ndarray, time: float,
-                    prev_nodes: np.ndarray) -> np.ndarray:
-            try:
-                return newton_step(
-                    circuit, x, time, prev_nodes, dt,
-                    integrator=integrator, max_iterations=max_iterations,
-                    vtol=vtol, damping=damping, gmin=FLOOR_GMIN,
-                )
-            except ConvergenceError:
-                return newton_step(
-                    circuit, x, time, prev_nodes, dt,
-                    integrator=integrator, max_iterations=max_iterations,
-                    vtol=vtol, damping=damping, gmin=1e-9,
-                )
-
-        def settle(x: np.ndarray, time: float,
-                   prev_nodes: np.ndarray) -> None:
-            ctx = EvalContext(
-                voltages=x[:num_nodes], prev_voltages=prev_nodes,
-                time=time, dt=dt, integrator=integrator,
+        if engine == "fast":
+            from repro.spice.analysis.engine import (
+                FastNewtonSolver,
+                MNAWorkspace,
             )
-            for device in circuit.devices:
-                device.update_state(ctx)
 
-    prev_nodes = x[:num_nodes].copy()
-    for step in range(1, steps + 1):
-        time = step * dt
-        if deadline is not None and _time.monotonic() > deadline:
-            raise ConvergenceError(
-                f"transient of {circuit.name!r} exceeded its {timeout:g} s "
-                f"wall-clock timeout at t={time - dt:g} s "
-                f"(step {step - 1}/{steps})",
-                iterations=step - 1, state=x.copy(),
-            )
-        x = advance(x, time, prev_nodes)
-        settle(x, time, prev_nodes)
+            with _obs_span("engine.workspace_build", category="engine",
+                           attrs={"circuit": circuit.name}):
+                workspace = MNAWorkspace(circuit, dt=dt,
+                                         integrator=integrator)
+                solver = FastNewtonSolver(workspace, stats=stats)
 
-        times[step] = time
-        voltages[step] = x[:num_nodes]
-        currents[step] = x[num_nodes:]
-        prev_nodes = x[:num_nodes].copy()
-        if on_step is not None:
-            on_step(time, voltages[step])
+            def advance(x: np.ndarray, time: float,
+                        prev_nodes: np.ndarray) -> np.ndarray:
+                try:
+                    return solver.solve(x, time, prev_nodes, FLOOR_GMIN,
+                                        max_iterations, vtol, damping)
+                except ConvergenceError:
+                    # One retry with a strong gmin: tides over razor-edge
+                    # metastable points of the regenerative sense amplifier.
+                    stats.gmin_retries += 1
+                    return solver.solve(x, time, prev_nodes, 1e-9,
+                                        max_iterations, vtol, damping)
 
-    return TransientResult(circuit, times, voltages, currents)
+            def settle(x: np.ndarray, time: float,
+                       prev_nodes: np.ndarray) -> None:
+                workspace.update_state(x)
+        else:
+            def advance(x: np.ndarray, time: float,
+                        prev_nodes: np.ndarray) -> np.ndarray:
+                try:
+                    return newton_step(
+                        circuit, x, time, prev_nodes, dt,
+                        integrator=integrator, max_iterations=max_iterations,
+                        vtol=vtol, damping=damping, gmin=FLOOR_GMIN,
+                        stats=stats,
+                    )
+                except ConvergenceError:
+                    stats.gmin_retries += 1
+                    return newton_step(
+                        circuit, x, time, prev_nodes, dt,
+                        integrator=integrator, max_iterations=max_iterations,
+                        vtol=vtol, damping=damping, gmin=1e-9,
+                        stats=stats,
+                    )
+
+            def settle(x: np.ndarray, time: float,
+                       prev_nodes: np.ndarray) -> None:
+                ctx = EvalContext(
+                    voltages=x[:num_nodes], prev_voltages=prev_nodes,
+                    time=time, dt=dt, integrator=integrator,
+                )
+                for device in circuit.devices:
+                    device.update_state(ctx)
+
+        loop_span = _obs_span("engine.timestep_loop", category="engine",
+                              attrs={"engine": engine, "steps": steps})
+        with loop_span:
+            prev_nodes = x[:num_nodes].copy()
+            for step in range(1, steps + 1):
+                time = step * dt
+                if deadline is not None and _time.monotonic() > deadline:
+                    raise ConvergenceError(
+                        f"transient of {circuit.name!r} exceeded its "
+                        f"{timeout:g} s wall-clock timeout at t={time - dt:g} "
+                        f"s (step {step - 1}/{steps})",
+                        iterations=step - 1, state=x.copy(),
+                    )
+                x = advance(x, time, prev_nodes)
+                settle(x, time, prev_nodes)
+                stats.timesteps += 1
+
+                times[step] = time
+                voltages[step] = x[:num_nodes]
+                currents[step] = x[num_nodes:]
+                prev_nodes = x[:num_nodes].copy()
+                if on_step is not None:
+                    on_step(time, voltages[step])
+            if _obs_active():
+                loop_span.annotate(**stats.as_attrs())
+
+        if _obs_active():
+            stats.flush_to(_obs_metrics())
+            _obs_metrics().inc("analysis.transients", 1)
+            run_span.annotate(**stats.as_attrs())
+
+        return TransientResult(circuit, times, voltages, currents,
+                               stats=stats)
