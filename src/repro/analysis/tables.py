@@ -32,7 +32,7 @@ from repro.spice.corners import (
     CORNER_ORDER,
     CORNERS,
     SimulationCorner,
-    sweep_corners,
+    _sweep_corners,
 )
 from repro.units import (
     MICRO,
@@ -156,7 +156,7 @@ def _characterize_both(
     )
 
 
-def build_table2(
+def _build_table2(
     sizing: LatchSizing = DEFAULT_SIZING,
     corners: Sequence[str] = CORNER_ORDER,
     dt: float = 1e-12,
@@ -165,8 +165,8 @@ def build_table2(
 ) -> Table2Data:
     """Characterise both designs at every process corner (runs the full
     transient simulations — the corners run in parallel through
-    :func:`repro.spice.corners.sweep_corners`)."""
-    both = sweep_corners(
+    :func:`repro.spice.corners._sweep_corners`)."""
+    both = _sweep_corners(
         partial(_characterize_both, sizing=sizing, dt=dt,
                 include_write=include_write),
         corners=corners, workers=workers,
@@ -176,6 +176,24 @@ def build_table2(
         data.standard[corner_name] = standard
         data.proposed[corner_name] = proposed
     return data
+
+
+def build_table2(
+    sizing: LatchSizing = DEFAULT_SIZING,
+    corners: Sequence[str] = CORNER_ORDER,
+    dt: float = 1e-12,
+    include_write: bool = True,
+    workers: Optional[int] = None,
+) -> Table2Data:
+    """Deprecated free-function entry point; use
+    ``repro.api.Session(...).table2(...)`` instead."""
+    import warnings
+
+    warnings.warn(
+        "build_table2() is deprecated; use repro.api.Session(...).table2()",
+        DeprecationWarning, stacklevel=2)
+    return _build_table2(sizing=sizing, corners=corners, dt=dt,
+                         include_write=include_write, workers=workers)
 
 
 def render_table2(data: Table2Data) -> str:
@@ -221,7 +239,7 @@ def render_table2(data: Table2Data) -> str:
 # ---------------------------------------------------------------------------
 
 
-def build_table3(
+def _build_table3(
     benchmarks: Optional[Sequence[str]] = None,
     config: Optional[FlowConfig] = None,
     workers: Optional[int] = None,
@@ -233,6 +251,22 @@ def build_table3(
     results = evaluate_benchmarks(names, config=config, workers=workers)
     return [(result, BENCHMARKS[name].paper_merged_pairs)
             for name, result in zip(names, results)]
+
+
+def build_table3(
+    benchmarks: Optional[Sequence[str]] = None,
+    config: Optional[FlowConfig] = None,
+    workers: Optional[int] = None,
+) -> List[Tuple[SystemResult, int]]:
+    """Deprecated free-function entry point; use
+    ``repro.api.Session(...).table3(...)`` instead."""
+    import warnings
+
+    warnings.warn(
+        "build_table3() is deprecated; use repro.api.Session(...).table3()",
+        DeprecationWarning, stacklevel=2)
+    return _build_table3(benchmarks=benchmarks, config=config,
+                         workers=workers)
 
 
 def render_table3(results: Sequence[Tuple[SystemResult, int]]) -> str:

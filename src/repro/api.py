@@ -1,0 +1,180 @@
+"""Unified session facade: one object that owns the cross-cutting
+configuration every flow used to thread by hand.
+
+Before::
+
+    set_default_engine("fast")
+    data = build_table2(workers=4)                       # deprecated
+    rows = build_table3(["s344"], workers=4)             # deprecated
+    outcome = restore_failure_rate("standard", [], workers=4)  # deprecated
+
+After::
+
+    from repro.api import Session
+
+    with Session(cache="~/.cache/repro", workers=4) as session:
+        data = session.table2()
+        rows = session.table3(["s344"])
+        outcome = session.campaign("standard", [])
+
+A :class:`Session` binds, once:
+
+* ``cache`` — a result-cache directory (:mod:`repro.cache`); analyses
+  run inside the session hit the persistent store automatically.
+* ``engine`` — the solver engine (``"fast"``/``"naive"``), applied via
+  :func:`~repro.spice.analysis.transient.set_default_engine` so it
+  reaches every transient without threading ``engine=`` through five
+  layers.
+* ``workers`` — the default parallelism of every flow method (an
+  explicit ``workers=`` on a call still wins).
+* ``obs`` — when true, a fresh tracing session for the lifetime of the
+  Session (:func:`repro.obs.enable_tracing`).
+
+Settings apply on construction and are restored by :meth:`close` (or
+leaving the ``with`` block): the previous default engine comes back, the
+cache is deactivated if this session activated it, tracing is stopped if
+this session started it.  The old free functions keep working as thin
+wrappers that emit :class:`DeprecationWarning` naming the replacement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from repro.errors import AnalysisError
+
+__all__ = ["Session"]
+
+
+class Session:
+    """Configured entry point for the high-level reproduction flows."""
+
+    def __init__(
+        self,
+        cache: Optional[str] = None,
+        engine: Optional[str] = None,
+        workers: Optional[int] = None,
+        obs: bool = False,
+    ) -> None:
+        from repro.cache import store as cache_store
+
+        self.workers = workers
+        self._closed = False
+
+        self._cache = None
+        self._owns_cache = False
+        if cache is not None:
+            import os
+
+            already = cache_store.get_active_cache()
+            self._cache = cache_store.enable(os.path.expanduser(str(cache)))
+            # Only deactivate on close if caching was off before us (or
+            # pointed elsewhere) — an outer session keeps its cache.
+            self._owns_cache = (already is None
+                                or already.root != self._cache.root)
+        else:
+            self._cache = cache_store.get_active_cache()
+
+        self._previous_engine: Optional[str] = None
+        if engine is not None:
+            from repro.spice.analysis.transient import set_default_engine
+
+            self._previous_engine = set_default_engine(engine)
+
+        self._tracer = None
+        if obs:
+            from repro.obs import enable_tracing, is_active
+
+            if is_active():
+                raise AnalysisError(
+                    "a tracing session is already active; "
+                    "Session(obs=True) cannot own a second one")
+            self._tracer = enable_tracing(fresh=True)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Restore every setting this session applied (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._tracer is not None:
+            from repro.obs import disable_tracing
+
+            disable_tracing()
+            self._tracer = None
+        if self._previous_engine is not None:
+            from repro.spice.analysis.transient import set_default_engine
+
+            set_default_engine(self._previous_engine)
+            self._previous_engine = None
+        if self._owns_cache:
+            from repro.cache import store as cache_store
+
+            cache_store.disable()
+            self._owns_cache = False
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise AnalysisError("this Session is closed")
+
+    def _workers(self, workers: Optional[int]) -> Optional[int]:
+        return self.workers if workers is None else workers
+
+    # -- flows -------------------------------------------------------------
+
+    def table2(self, workers: Optional[int] = None, **kwargs: Any):
+        """Paper Table II: characterise both latch designs across process
+        corners.  Accepts the keyword arguments of the underlying builder
+        (``sizing=``, ``corners=``, ``dt=``, ``include_write=``)."""
+        from repro.analysis.tables import _build_table2
+
+        self._check_open()
+        return _build_table2(workers=self._workers(workers), **kwargs)
+
+    def table3(self, benchmarks: Optional[Sequence[str]] = None,
+               workers: Optional[int] = None, **kwargs: Any):
+        """Paper Table III: the per-benchmark system flow
+        (``config=`` forwarded to the underlying builder)."""
+        from repro.analysis.tables import _build_table3
+
+        self._check_open()
+        return _build_table3(benchmarks=benchmarks,
+                             workers=self._workers(workers), **kwargs)
+
+    def campaign(self, design: str, specs: Sequence[Any] = (),
+                 workers: Optional[int] = None, **kwargs: Any):
+        """Monte-Carlo restore-failure campaign of one latch design under
+        a fault-spec list (``samples=``, ``seed=``, ``vdd=``, ``dt=``,
+        ``timeout=``, ``retries=``, ``checkpoint=`` forwarded)."""
+        from repro.faults.analyses import _restore_failure_rate
+
+        self._check_open()
+        return _restore_failure_rate(design, specs,
+                                     workers=self._workers(workers),
+                                     **kwargs)
+
+    def sweep(self, fn: Any, corners: Optional[Sequence[str]] = None,
+              workers: Optional[int] = None) -> Dict[str, Any]:
+        """Evaluate a picklable ``fn(corner)`` at every named process
+        corner (defaults to the canonical three), deduplicating repeated
+        corners."""
+        from repro.spice.corners import CORNER_ORDER, _sweep_corners
+
+        self._check_open()
+        return _sweep_corners(
+            fn, corners=CORNER_ORDER if corners is None else corners,
+            workers=self._workers(workers))
+
+    # -- cache -------------------------------------------------------------
+
+    def cache_stats(self) -> Optional[Dict[str, Any]]:
+        """Entry count / byte total of this session's result cache, or
+        ``None`` when the session runs uncached."""
+        return None if self._cache is None else self._cache.stats()

@@ -13,7 +13,11 @@ caller-chosen path):
   :func:`repro.obs.span`, the estimated disabled-mode overhead on a real
   characterisation workload (the ``< 5 %`` acceptance bound — in
   practice orders of magnitude below it), and the measured
-  enabled-vs-disabled slowdown.
+  enabled-vs-disabled slowdown;
+* :func:`run_cache_bench` — the content-addressed result cache
+  (``BENCH_cache.json``): the fast Table II characterisation run cold
+  then warm against a throwaway cache, gating on a ``>= 90 %``
+  solver-call reduction and bit-identical metrics on the warm run.
 """
 
 from __future__ import annotations
@@ -43,6 +47,7 @@ PathLike = Union[str, pathlib.Path]
 #: Default report locations (current working directory).
 ENGINE_OUTPUT = "BENCH_engine.json"
 OBS_OUTPUT = "BENCH_obs_overhead.json"
+CACHE_OUTPUT = "BENCH_cache.json"
 
 MC_SAMPLES = 200
 MC_DT = 4e-12
@@ -55,6 +60,10 @@ REQUIRED_SPEEDUP = 2.0
 AGREEMENT_TOL = 1e-6
 #: Acceptance bound on disabled-mode observability overhead [%].
 OBS_OVERHEAD_BOUND_PCT = 5.0
+#: Required warm-cache solver-call reduction (fraction of cold solves).
+CACHE_SOLVER_REDUCTION_TARGET = 0.90
+#: Cache-bench characterisation timestep (matches ``repro profile --fast``).
+CACHE_DT = 4e-12
 
 
 def _machine() -> dict:
@@ -143,6 +152,116 @@ def run_engine_bench(output: Optional[PathLike] = ENGINE_OUTPUT) -> dict:
             "speedup": round(mc_naive_s / mc_fast_s, 3),
             "max_result_diff_v": mc_max_diff,
         },
+    }
+    if output is not None:
+        pathlib.Path(output).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Result-cache benchmark (cold vs warm)
+# ---------------------------------------------------------------------------
+
+
+def _table2_metrics(data) -> dict:
+    """Every measured field of every corner as one nested dict, so the
+    cold/warm comparison covers the full Table II surface, not a sample."""
+    import dataclasses
+
+    return {f"{design}/{corner}": dataclasses.asdict(latch_metrics)
+            for design in ("standard", "proposed")
+            for corner, latch_metrics in sorted(getattr(data, design).items())}
+
+
+def _bit_identical(a, b) -> bool:
+    """Recursive exact equality where float NaN equals NaN (skipped write
+    metrics are NaN in fast mode; two NaNs of the same provenance count
+    as identical)."""
+    import math
+
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (math.isnan(a) and math.isnan(b))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return (a.keys() == b.keys()
+                and all(_bit_identical(a[k], b[k]) for k in a))
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return (len(a) == len(b)
+                and all(_bit_identical(x, y) for x, y in zip(a, b)))
+    return type(a) is type(b) and a == b
+
+
+def run_cache_bench(output: Optional[PathLike] = CACHE_OUTPUT) -> dict:
+    """Run the fast Table II flow cold then warm against a throwaway
+    cache; returns (and optionally writes) the report dict.
+
+    ``solver_call_reduction`` is computed from the metrics registry's
+    ``engine.solves``/``engine.dc_solves`` deltas (``workers=1`` keeps
+    every solve in-process where the registry can see it); the
+    ``meets_target`` gate requires the warm run to skip at least
+    :data:`CACHE_SOLVER_REDUCTION_TARGET` of the cold run's solver calls
+    *and* to reproduce every Table II metric bit-identically.
+    """
+    import shutil
+    import tempfile
+
+    from repro.analysis.tables import _build_table2
+    from repro.cache import store as cache_store
+    from repro.obs.metrics import metrics as _registry
+
+    _COUNTERS = ("engine.solves", "engine.dc_solves",
+                 "cache.hit", "cache.miss", "cache.store")
+
+    def _measured():
+        before = {name: _registry().counter(name) for name in _COUNTERS}
+        start = time.perf_counter()
+        data = _build_table2(corners=["typical"], dt=CACHE_DT,
+                             include_write=False, workers=1)
+        wall_s = time.perf_counter() - start
+        deltas = {name: _registry().counter(name) - before[name]
+                  for name in _COUNTERS}
+        return wall_s, deltas, _table2_metrics(data)
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    previous = cache_store.get_active_cache()
+    # Engine counters only flush to the registry while tracing is active,
+    # so the measurement runs under its own tracing session (same idiom
+    # as the observability bench).
+    was_active = disable_tracing() is not None
+    enable_tracing(fresh=True)
+    try:
+        cache_store.enable(cache_dir)
+        cold_s, cold_counts, cold_metrics = _measured()
+        warm_s, warm_counts, warm_metrics = _measured()
+    finally:
+        disable_tracing()
+        if was_active:
+            enable_tracing(fresh=True)
+        if previous is not None:
+            cache_store.enable(previous.root)
+        else:
+            cache_store.disable()
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    cold_solves = cold_counts["engine.solves"] + cold_counts["engine.dc_solves"]
+    warm_solves = warm_counts["engine.solves"] + warm_counts["engine.dc_solves"]
+    reduction = (1.0 - warm_solves / cold_solves) if cold_solves else 0.0
+    bit_identical = _bit_identical(cold_metrics, warm_metrics)
+
+    report = {
+        "machine": _machine(),
+        "description": "Table II fast flow (typical corner, dt=4ps, "
+                       "reads+leakage) cold then warm against a "
+                       "throwaway cache, workers=1",
+        "cold_s": round(cold_s, 3),
+        "warm_s": round(warm_s, 3),
+        "speedup": round(cold_s / warm_s, 3) if warm_s > 0 else None,
+        "cold_counters": cold_counts,
+        "warm_counters": warm_counts,
+        "solver_call_reduction": round(reduction, 4),
+        "target_reduction": CACHE_SOLVER_REDUCTION_TARGET,
+        "bit_identical_metrics": bit_identical,
+        "meets_target": (reduction >= CACHE_SOLVER_REDUCTION_TARGET
+                         and bit_identical),
     }
     if output is not None:
         pathlib.Path(output).write_text(json.dumps(report, indent=2) + "\n")

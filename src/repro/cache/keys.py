@@ -1,0 +1,288 @@
+"""Content-addressed cache keys for circuit analyses.
+
+A cache key is the SHA-256 digest of a **canonical serialization** of
+everything the analysis result depends on:
+
+* the circuit fingerprint — node names plus, per device and in netlist
+  order, the device type, terminal indices and every constructor
+  parameter (waveform breakpoints, MOSFET model card, MTJ parameter set,
+  the MTJ's *initial* magnetisation state and switching-model charge);
+* the analysis options (stop time, timestep, integrator, tolerances,
+  initial conditions / DC seed);
+* the engine configuration (selected engine plus the fast-engine
+  constants and whether the LAPACK LU path is available — a scipy-less
+  host must not share entries with a scipy host);
+* a code-version salt (:data:`CACHE_SALT`), so upgrading the package
+  invalidates every prior entry at once.
+
+Fingerprints are *constructive*: they carry enough to rebuild the exact
+circuit (see :func:`rebuild_circuit`), which is what lets ``repro cache
+verify`` re-run any stored entry from its own request record and assert
+bit-exact agreement.
+
+Anything the fingerprint cannot describe — an unknown device or
+waveform class — raises :class:`~repro.errors.CacheError`; callers treat
+that as "uncacheable, run normally" rather than guessing at a key.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import repro
+from repro.errors import CacheError
+from repro.mtj.device import MTJDevice, MTJState
+from repro.mtj.dynamics import SwitchingModel
+from repro.mtj.parameters import MTJParameters
+from repro.serialize import stable_digest
+from repro.spice.devices.mosfet import MOSFET, MOSFETModel
+from repro.spice.devices.mtj_element import MTJElement
+from repro.spice.devices.passive import Capacitor, Resistor
+from repro.spice.devices.sources import CurrentSource, VoltageSource
+from repro.spice.netlist import Circuit
+from repro.spice.waveforms import DC, PWL, Pulse, Waveform
+
+#: Cache format generation; bump to orphan every existing entry.
+CACHE_FORMAT = 1
+
+#: Code-version salt mixed into every key: entries written by a
+#: different package version or cache format never collide with ours.
+CACHE_SALT = f"repro/{repro.__version__}/cache-v{CACHE_FORMAT}"
+
+_MOSFET_MODEL_FIELDS = (
+    "polarity", "vth0", "slope_factor", "kp", "lambda_clm",
+    "cox_per_area", "overlap_cap_per_width", "junction_cap_per_width",
+    "temperature",
+)
+
+_MTJ_PARAM_FIELDS = (
+    "radius", "free_layer_thickness", "oxide_thickness",
+    "resistance_area_product", "tmr_zero_bias", "critical_current",
+    "switching_current", "resistance_p", "tmr_half_bias_voltage",
+    "thermal_stability", "attempt_time", "write_pulse_width",
+)
+
+
+def _waveform_fingerprint(waveform: Waveform) -> Dict[str, Any]:
+    if type(waveform) is DC:
+        return {"kind": "dc", "level": waveform.level}
+    if type(waveform) is Pulse:
+        return {"kind": "pulse", "initial": waveform.initial,
+                "pulsed": waveform.pulsed, "delay": waveform.delay,
+                "rise": waveform.rise, "fall": waveform.fall,
+                "width": waveform.width, "period": waveform.period}
+    if type(waveform) is PWL:
+        return {"kind": "pwl",
+                "points": [[t, v] for t, v in waveform.points]}
+    raise CacheError(
+        f"waveform type {type(waveform).__name__} has no cache fingerprint")
+
+
+def _rebuild_waveform(data: Dict[str, Any]) -> Waveform:
+    kind = data["kind"]
+    if kind == "dc":
+        return DC(level=float(data["level"]))
+    if kind == "pulse":
+        return Pulse(initial=float(data["initial"]),
+                     pulsed=float(data["pulsed"]), delay=float(data["delay"]),
+                     rise=float(data["rise"]), fall=float(data["fall"]),
+                     width=float(data["width"]), period=float(data["period"]))
+    if kind == "pwl":
+        return PWL(points=tuple((float(t), float(v))
+                                for t, v in data["points"]))
+    raise CacheError(f"unknown waveform kind {kind!r} in cache request")
+
+
+def _device_fingerprint(device: Any) -> Dict[str, Any]:
+    if type(device) is Resistor:
+        return {"type": "resistor", "name": device.name,
+                "nodes": [device.positive, device.negative],
+                "resistance": device.resistance}
+    if type(device) is Capacitor:
+        return {"type": "capacitor", "name": device.name,
+                "nodes": [device.positive, device.negative],
+                "capacitance": device.capacitance}
+    if type(device) is VoltageSource:
+        return {"type": "vsource", "name": device.name,
+                "nodes": [device.positive, device.negative],
+                "waveform": _waveform_fingerprint(device.waveform)}
+    if type(device) is CurrentSource:
+        return {"type": "isource", "name": device.name,
+                "nodes": [device.positive, device.negative],
+                "waveform": _waveform_fingerprint(device.waveform)}
+    if type(device) is MOSFET:
+        return {"type": "mosfet", "name": device.name,
+                "nodes": [device.drain, device.gate, device.source,
+                          device.bulk],
+                "width": device.width, "length": device.length,
+                "model": {f: getattr(device.model, f)
+                          for f in _MOSFET_MODEL_FIELDS}}
+    if type(device) is MTJElement:
+        fp: Dict[str, Any] = {
+            "type": "mtj", "name": device.name,
+            "nodes": [device.free, device.ref],
+            # The run begins with reset_state(), so only the *initial*
+            # magnetisation matters — not whatever the live state is.
+            "initial_state": device._initial_state.value,
+            "params": {f: getattr(device.device.params, f)
+                       for f in _MTJ_PARAM_FIELDS},
+        }
+        if device.switching is None:
+            fp["switching"] = None
+        else:
+            fp["switching"] = {
+                "dynamic_charge": device.switching.dynamic_charge}
+        return fp
+    raise CacheError(
+        f"device type {type(device).__name__} has no cache fingerprint")
+
+
+def circuit_fingerprint(circuit: Circuit) -> Dict[str, Any]:
+    """Constructive fingerprint of a circuit: node names + per-device
+    parameter records, in netlist order.
+
+    Raises :class:`~repro.errors.CacheError` when the circuit contains a
+    device the fingerprint cannot describe (treat as uncacheable).
+    """
+    return {
+        "name": circuit.name,
+        "nodes": circuit.node_names,
+        "devices": [_device_fingerprint(d) for d in circuit.devices],
+    }
+
+
+def rebuild_circuit(fingerprint: Dict[str, Any]) -> Circuit:
+    """Reconstruct the exact circuit a fingerprint describes.
+
+    Devices are registered directly (not through the ``add_*`` sugar, so
+    a MOSFET's already-fingerprinted parasitic capacitors are not added a
+    second time) in the original order; :meth:`Circuit.finalize` then
+    assigns identical branch indices.  Used by cache verification to
+    re-run a stored entry from nothing but its request record.
+    """
+    try:
+        circuit = Circuit(str(fingerprint["name"]))
+        for node_name in fingerprint["nodes"]:
+            circuit.node(node_name)
+        for fp in fingerprint["devices"]:
+            kind = fp["type"]
+            name = fp["name"]
+            nodes = [int(n) for n in fp["nodes"]]
+            if kind == "resistor":
+                device: Any = Resistor(positive=nodes[0], negative=nodes[1],
+                                       name=name,
+                                       resistance=float(fp["resistance"]))
+            elif kind == "capacitor":
+                device = Capacitor(positive=nodes[0], negative=nodes[1],
+                                   name=name,
+                                   capacitance=float(fp["capacitance"]))
+            elif kind == "vsource":
+                device = VoltageSource(positive=nodes[0], negative=nodes[1],
+                                       name=name,
+                                       waveform=_rebuild_waveform(
+                                           fp["waveform"]))
+            elif kind == "isource":
+                device = CurrentSource(positive=nodes[0], negative=nodes[1],
+                                       name=name,
+                                       waveform=_rebuild_waveform(
+                                           fp["waveform"]))
+            elif kind == "mosfet":
+                model = MOSFETModel(**{f: fp["model"][f]
+                                       for f in _MOSFET_MODEL_FIELDS})
+                device = MOSFET(drain=nodes[0], gate=nodes[1],
+                                source=nodes[2], bulk=nodes[3],
+                                model=model, width=float(fp["width"]),
+                                length=float(fp["length"]), name=name)
+            elif kind == "mtj":
+                params = MTJParameters(**{f: fp["params"][f]
+                                          for f in _MTJ_PARAM_FIELDS})
+                mtj_device = MTJDevice(
+                    params=params,
+                    state=MTJState(fp["initial_state"]))
+                element = MTJElement(free=nodes[0], ref=nodes[1],
+                                     device=mtj_device, name=name)
+                if fp["switching"] is not None:
+                    element.switching = SwitchingModel(
+                        device=mtj_device,
+                        dynamic_charge=float(
+                            fp["switching"]["dynamic_charge"]))
+                device = element
+            else:
+                raise CacheError(f"unknown device kind {kind!r} in cache "
+                                 f"request")
+            circuit._register(device, name)
+        circuit.finalize()
+        return circuit
+    except CacheError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CacheError(
+            f"malformed circuit fingerprint: {exc}") from exc
+
+
+def _voltages_fingerprint(
+    voltages: Optional[Dict[str, float]]
+) -> Optional[List[List[Any]]]:
+    """Order-independent form of an ``initial_voltages``/``dc_seed`` map."""
+    if voltages is None:
+        return None
+    return [[name, float(value)] for name, value in sorted(voltages.items())]
+
+
+def transient_request(
+    circuit: Circuit,
+    stop_time: float,
+    dt: float,
+    integrator: str,
+    initial_voltages: Optional[Dict[str, float]],
+    dc_seed: Optional[Dict[str, float]],
+    max_iterations: int,
+    vtol: float,
+    damping: float,
+    engine: str,
+) -> Dict[str, Any]:
+    """The full request record a transient key digests (also stored in
+    the cache entry, so verification can replay it)."""
+    from repro.spice.analysis.engine import engine_config_fingerprint
+
+    return {
+        "kind": "transient",
+        "salt": CACHE_SALT,
+        "circuit": circuit_fingerprint(circuit),
+        "stop_time": stop_time,
+        "dt": dt,
+        "integrator": integrator,
+        "initial_voltages": _voltages_fingerprint(initial_voltages),
+        "dc_seed": _voltages_fingerprint(dc_seed),
+        "max_iterations": max_iterations,
+        "vtol": vtol,
+        "damping": damping,
+        "engine": engine,
+        "engine_config": engine_config_fingerprint(),
+    }
+
+
+def dc_request(
+    circuit: Circuit,
+    time: float,
+    initial_guess: Optional[Dict[str, float]],
+    max_iterations: int,
+    vtol: float,
+    damping: float,
+) -> Dict[str, Any]:
+    """Request record for a DC operating-point solve."""
+    return {
+        "kind": "dc",
+        "salt": CACHE_SALT,
+        "circuit": circuit_fingerprint(circuit),
+        "time": time,
+        "initial_guess": _voltages_fingerprint(initial_guess),
+        "max_iterations": max_iterations,
+        "vtol": vtol,
+        "damping": damping,
+    }
+
+
+def request_key(request: Dict[str, Any]) -> str:
+    """SHA-256 digest of a request record's canonical serialization."""
+    return stable_digest(request)

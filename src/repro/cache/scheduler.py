@@ -1,0 +1,86 @@
+"""Dedup-aware batch scheduler for analysis fan-out.
+
+The high-level flows fan identical work out more often than is obvious:
+a corner sweep characterises the *typical* corner that Table III's flow
+also needs; every zero-magnitude fault baseline re-runs the same nominal
+restore; Monte-Carlo draws can collide on the same parameter set.  The
+on-disk cache (:mod:`repro.cache.store`) already makes the *second
+process* cheap — this module makes the *same batch* cheap: group the
+items of one ``map`` call by a content key, dispatch only unique work to
+:func:`repro.parallel.parallel_map`, and fan each result back out to
+every requester of that key (single-flight semantics — parallel workers
+never compute the same key twice, because duplicates never reach the
+pool at all).
+
+Correctness restriction: single-flight is only sound when the function
+is a pure function of the item *value*.  Campaign tasks are not — their
+RNG streams are seeded per item *index* — so :mod:`repro.faults.campaign`
+deliberately does not route through here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
+
+from repro.parallel import parallel_map
+
+
+def _default_key(item: Any) -> Hashable:
+    """A grouping key for ``item``: the item itself when hashable
+    (frozen dataclasses like ``SimulationCorner``/``MTJParameters``
+    hash by value), else its ``repr``."""
+    try:
+        hash(item)
+    except TypeError:
+        return repr(item)
+    return item
+
+
+def dedup_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    workers: Optional[int] = None,
+    chunksize: int = 1,
+    key: Optional[Callable[[Any], Hashable]] = None,
+) -> List[Any]:
+    """``parallel_map`` that computes each distinct item only once.
+
+    Items are grouped by ``key(item)`` (default: value identity, see
+    :func:`_default_key`); one representative per group is dispatched to
+    :func:`repro.parallel.parallel_map` and its result is shared by every
+    duplicate.  Result order matches ``items``.  Only sound for ``fn``
+    that depends on the item value alone — not on call index, call count,
+    or ambient RNG state.
+
+    Emits ``scheduler.requests`` / ``scheduler.unique`` /
+    ``scheduler.deduped`` counters so tests (and ``repro cache stats``)
+    can observe the collapse.
+    """
+    from repro.obs import metrics
+
+    items = list(items)
+    key_fn = key or _default_key
+    order: List[Hashable] = []          # first-seen order of unique keys
+    slots: Dict[Hashable, List[int]] = {}
+    representatives: List[Any] = []
+    for index, item in enumerate(items):
+        item_key = key_fn(item)
+        if item_key not in slots:
+            slots[item_key] = []
+            order.append(item_key)
+            representatives.append(item)
+        slots[item_key].append(index)
+
+    registry = metrics()
+    registry.inc("scheduler.requests", len(items))
+    registry.inc("scheduler.unique", len(representatives))
+    registry.inc("scheduler.deduped", len(items) - len(representatives))
+
+    unique_results = parallel_map(fn, representatives, workers=workers,
+                                  chunksize=chunksize)
+
+    results: List[Any] = [None] * len(items)
+    for item_key, result in zip(order, unique_results):
+        for index in slots[item_key]:
+            results[index] = result
+    return results

@@ -16,7 +16,10 @@ Commands:
 * ``profile`` — run a named flow under the tracer and emit a breakdown
   table plus ``profile.json``/``trace.json`` (Chrome-loadable),
 * ``bench`` — regenerate the benchmark reports (``BENCH_engine.json``,
-  ``BENCH_obs_overhead.json``).
+  ``BENCH_obs_overhead.json``, ``BENCH_cache.json``),
+* ``cache`` — inspect and maintain the content-addressed result cache:
+  ``stats``, size-bounded ``gc``, ``clear``, and ``verify`` (re-runs
+  sampled entries and asserts bit-exact agreement).
 """
 
 from __future__ import annotations
@@ -290,6 +293,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.which in ("obs", "all"):
         print("Benchmarking observability overhead...", file=sys.stderr)
         reports["obs"] = bench.run_obs_overhead_bench(args.obs_output)
+    if args.which in ("cache", "all"):
+        print("Benchmarking result-cache cold vs warm "
+              "(Table II fast flow twice)...", file=sys.stderr)
+        reports["cache"] = bench.run_cache_bench(args.cache_output)
     print(_json.dumps(reports, indent=2))
     obs_report = reports.get("obs")
     if obs_report is not None and not obs_report["within_bound"]:
@@ -297,6 +304,79 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f"{obs_report['disabled_overhead_pct']:.3f}% exceeds "
               f"{obs_report['bound_pct']:g}%", file=sys.stderr)
         return 1
+    cache_report = reports.get("cache")
+    if cache_report is not None and not cache_report["meets_target"]:
+        print(f"error: warm-cache solver-call reduction "
+              f"{100 * cache_report['solver_call_reduction']:.1f}% below "
+              f"{100 * cache_report['target_reduction']:g}% or metrics "
+              f"not bit-identical", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cache_root(args: argparse.Namespace) -> Optional[str]:
+    import os
+
+    from repro.cache.store import CACHE_ENV_VAR
+
+    return args.dir or os.environ.get(CACHE_ENV_VAR)
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.cache import ResultCache
+
+    root = _cache_root(args)
+    if not root:
+        print("error: no cache directory; pass --dir or set "
+              "REPRO_CACHE_DIR", file=sys.stderr)
+        return 2
+    cache = ResultCache(root)
+
+    if args.action == "stats":
+        print(_json.dumps(cache.stats(), indent=2))
+        return 0
+
+    if args.action == "gc":
+        report = cache.gc(args.max_bytes)
+        report["root"] = cache.root
+        print(_json.dumps(report, indent=2))
+        return 0
+
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.root}")
+        return 0
+
+    # action == "verify": recompute sampled entries, assert bit-exactness.
+    import random
+
+    from repro.cache.analysis import verify_entry
+
+    keys = [entry.key for entry in cache.entries()]
+    if not keys:
+        print(f"{cache.root}: no entries to verify")
+        return 0
+    count = min(args.samples, len(keys))
+    sampled = random.Random(args.seed).sample(sorted(keys), count)
+    print(f"Re-running {count} of {len(keys)} entries "
+          f"(seed {args.seed})...", file=sys.stderr)
+    failures = 0
+    for key in sampled:
+        entry = cache.load(key)
+        if entry is None:  # evicted or corrupted between listing and load
+            print(f"  {key[:12]}  skipped (unreadable)")
+            continue
+        verdict = verify_entry(entry)
+        status = "ok" if verdict["ok"] else f"MISMATCH ({verdict['detail']})"
+        print(f"  {key[:12]}  {entry.kind:9s} {status}")
+        failures += 0 if verdict["ok"] else 1
+    if failures:
+        print(f"error: {failures}/{count} sampled entries are not "
+              f"bit-exact", file=sys.stderr)
+        return 1
+    print(f"{count}/{count} sampled entries replay bit-exactly")
     return 0
 
 
@@ -410,15 +490,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     pb = sub.add_parser(
         "bench",
-        help="regenerate BENCH_engine.json / BENCH_obs_overhead.json")
-    pb.add_argument("which", choices=["engine", "obs", "all"],
+        help="regenerate BENCH_engine.json / BENCH_obs_overhead.json / "
+             "BENCH_cache.json")
+    pb.add_argument("which", choices=["engine", "obs", "cache", "all"],
                     help="'engine' (naive vs fast, minutes), 'obs' "
-                         "(observability overhead, seconds), or 'all'")
+                         "(observability overhead, seconds), 'cache' "
+                         "(cold vs warm result cache, seconds), or 'all'")
     pb.add_argument("--engine-output", default="BENCH_engine.json",
                     metavar="PATH")
     pb.add_argument("--obs-output", default="BENCH_obs_overhead.json",
                     metavar="PATH")
+    pb.add_argument("--cache-output", default="BENCH_cache.json",
+                    metavar="PATH")
     pb.set_defaults(func=_cmd_bench)
+
+    pc = sub.add_parser(
+        "cache",
+        help="inspect/maintain the content-addressed result cache")
+    pc.add_argument("action", choices=["stats", "gc", "clear", "verify"],
+                    help="'stats' (entry count and bytes), 'gc' (LRU "
+                         "eviction down to --max-bytes), 'clear' (drop "
+                         "every entry), or 'verify' (re-run sampled "
+                         "entries and assert bit-exact agreement)")
+    pc.add_argument("--dir", metavar="PATH",
+                    help="cache root (default: $REPRO_CACHE_DIR)")
+    pc.add_argument("--max-bytes", type=int, default=256 * 1024 * 1024,
+                    help="gc: size bound the store is evicted down to")
+    pc.add_argument("--samples", type=int, default=3,
+                    help="verify: number of entries to re-run")
+    pc.add_argument("--seed", type=int, default=2018,
+                    help="verify: sampling seed")
+    pc.set_defaults(func=_cmd_cache)
     return parser
 
 

@@ -22,9 +22,9 @@ from typing import Any, List, Optional, Sequence, Union
 from repro.core.merge import MergeResult
 from repro.errors import MergeError
 from repro.obs import span as _obs_span
+from repro.serialize import Serializable
 from repro.layout.cell_layout import plan_proposed_2bit, standard_pair_area
 from repro.layout.design_rules import DesignRules, RULES_40NM
-from repro.parallel import parallel_map
 from repro.units import MICRO, to_femtojoules, to_square_microns
 
 
@@ -74,8 +74,18 @@ def costs_from_layout(
 
 
 @dataclass
-class SystemResult:
-    """One Table III row."""
+class SystemResult(Serializable):
+    """One Table III row.
+
+    Serialisation follows the shared :class:`~repro.serialize.Serializable`
+    protocol — ``to_json()`` carries a versioned ``"schema"`` field and
+    ``from_json()`` tolerates its absence (campaign checkpoints written
+    before the protocol existed).  Floats round-trip exactly through
+    JSON's repr-based serialisation.
+    """
+
+    SCHEMA_NAME = "SystemResult"
+    SCHEMA_VERSION = 1
 
     benchmark: str
     total_flip_flops: int
@@ -94,9 +104,7 @@ class SystemResult:
     def energy_improvement(self) -> float:
         return 1.0 - self.energy_proposed / self.energy_baseline
 
-    def to_json(self) -> dict:
-        """Plain-dict form for campaign checkpoints (floats round-trip
-        exactly through JSON's repr-based serialisation)."""
+    def payload(self) -> dict:
         return {
             "benchmark": self.benchmark,
             "total_flip_flops": self.total_flip_flops,
@@ -108,7 +116,7 @@ class SystemResult:
         }
 
     @classmethod
-    def from_json(cls, data: dict) -> "SystemResult":
+    def from_payload(cls, data: dict) -> "SystemResult":
         try:
             return cls(
                 benchmark=str(data["benchmark"]),
@@ -195,17 +203,21 @@ def evaluate_benchmarks(
 
     ``benchmarks=None`` runs the paper's full benchmark list; results are
     returned in benchmark order and are identical for any ``workers``
-    setting.  This is the engine behind
-    :func:`repro.analysis.tables.build_table3`.
+    setting.  A benchmark listed twice is evaluated once and its row
+    shared (:func:`repro.cache.scheduler.dedup_map` — the flow is a pure
+    function of the benchmark name and config).  This is the engine
+    behind :func:`repro.analysis.tables.build_table3`.
     """
+    from repro.cache.scheduler import dedup_map
+
     if benchmarks is None:
         from repro.physd.benchmarks import BENCHMARKS
 
         benchmarks = list(BENCHMARKS)
     with _obs_span("evaluate.benchmarks", category="evaluate",
                    attrs={"count": len(benchmarks)}):
-        return parallel_map(partial(_flow_result, config=config),
-                            list(benchmarks), workers=workers)
+        return dedup_map(partial(_flow_result, config=config),
+                         list(benchmarks), workers=workers)
 
 
 def _flow_result_record(item: Any, rng: Any = None) -> dict:

@@ -131,3 +131,13 @@ class FaultInjectionError(ReproError):
 class CampaignError(ReproError):
     """A reliability campaign could not be set up or resumed (bad
     checkpoint, mismatched configuration, ...)."""
+
+
+class SerializationError(ReproError):
+    """A result object could not be serialised or rebuilt (schema
+    mismatch, malformed payload, non-canonical value, ...)."""
+
+
+class CacheError(ReproError):
+    """The simulation result cache could not derive a key or service a
+    request (uncacheable device, unusable cache directory, ...)."""

@@ -161,7 +161,7 @@ class RestoreFailureResult:
                 f"{self.report.failed} simulation(s) failed")
 
 
-def restore_failure_rate(
+def _restore_failure_rate(
     design: str,
     specs: Sequence[FaultSpec],
     samples: int = 50,
@@ -211,6 +211,32 @@ def restore_failure_rate(
     return RestoreFailureResult(design=design, samples=samples,
                                 failure_rate=rate, mean_margin=mean_margin,
                                 report=report)
+
+
+def restore_failure_rate(
+    design: str,
+    specs: Sequence[FaultSpec],
+    samples: int = 50,
+    seed: int = DEFAULT_SEED,
+    vdd: float = 1.1,
+    dt: float = FAULTS_DT,
+    workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    checkpoint: Optional[str] = None,
+) -> RestoreFailureResult:
+    """Deprecated free-function entry point; use
+    ``repro.api.Session(...).campaign(design, specs, ...)`` instead."""
+    import warnings
+
+    warnings.warn(
+        "restore_failure_rate() is deprecated; use "
+        "repro.api.Session(...).campaign(design, specs, ...)",
+        DeprecationWarning, stacklevel=2)
+    return _restore_failure_rate(
+        design, specs, samples=samples, seed=seed, vdd=vdd, dt=dt,
+        workers=workers, timeout=timeout, retries=retries,
+        checkpoint=checkpoint)
 
 
 # ---------------------------------------------------------------------------

@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.errors import CampaignError
 from repro.mtj.variation import DEFAULT_SEED
+from repro.serialize import Serializable
 from repro.obs import is_active as _obs_active
 from repro.obs import metrics as _obs_metrics
 from repro.obs import span as _obs_span
@@ -159,10 +160,28 @@ class TaskRecord:
                 "attempts": self.attempts, "result": self.result,
                 "error": self.error, "elapsed": self.elapsed}
 
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "TaskRecord":
+        return cls(index=int(data["index"]), status=str(data["status"]),
+                   attempts=int(data["attempts"]),
+                   result=data.get("result"),
+                   error=str(data.get("error", "")),
+                   elapsed=float(data.get("elapsed", 0.0)))
+
 
 @dataclass
-class CampaignReport:
-    """Structured outcome of one :func:`run_campaign` invocation."""
+class CampaignReport(Serializable):
+    """Structured outcome of one :func:`run_campaign` invocation.
+
+    ``to_json``/``from_json`` follow the shared
+    :class:`~repro.serialize.Serializable` protocol (versioned
+    ``"schema"`` field, tolerated when absent); the derived counters
+    (``completed``, ``failed``, ...) appear in the payload for human
+    consumption but are recomputed from the records on load.
+    """
+
+    SCHEMA_NAME = "CampaignReport"
+    SCHEMA_VERSION = 1
 
     name: str
     seed: int
@@ -243,7 +262,7 @@ class CampaignReport:
             lines.append(f"  checkpoint: {self.checkpoint}")
         return "\n".join(lines)
 
-    def to_json(self) -> Dict[str, Any]:
+    def payload(self) -> Dict[str, Any]:
         return {
             "name": self.name, "seed": self.seed, "total": self.total,
             "completed": self.completed, "skipped": self.skipped,
@@ -251,8 +270,24 @@ class CampaignReport:
             "elapsed_total": self.elapsed_total,
             "attempts_total": self.attempts_total,
             "notes": list(self.notes),
+            "checkpoint": self.checkpoint,
             "records": [r.to_json() for r in self.records],
         }
+
+    @classmethod
+    def from_payload(cls, data: Dict[str, Any]) -> "CampaignReport":
+        try:
+            return cls(
+                name=str(data["name"]), seed=int(data["seed"]),
+                total=int(data["total"]),
+                records=tuple(TaskRecord.from_json(r)
+                              for r in data["records"]),
+                notes=tuple(str(n) for n in data.get("notes", ())),
+                checkpoint=data.get("checkpoint"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CampaignError(
+                f"malformed CampaignReport record: {exc}") from exc
 
 
 # ---------------------------------------------------------------------------

@@ -7,6 +7,9 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.errors import SerializationError
+from repro.serialize import Serializable
+
 
 class Severity(enum.IntEnum):
     """Diagnostic severity; ordering is meaningful (INFO < WARN < ERROR)."""
@@ -62,13 +65,52 @@ class Diagnostic:
 
 
 @dataclass
-class LintReport:
-    """All diagnostics produced by one lint run over one subject."""
+class LintReport(Serializable):
+    """All diagnostics produced by one lint run over one subject.
+
+    ``to_json``/``from_json`` follow the shared
+    :class:`~repro.serialize.Serializable` protocol; the legacy
+    ``as_json_obj``/``render_json`` pair (CLI output shape, with derived
+    severity counts but no rule list) is kept for the ``repro lint
+    --json`` consumers.
+    """
+
+    SCHEMA_NAME = "LintReport"
+    SCHEMA_VERSION = 1
 
     target: str
     diagnostics: List[Diagnostic] = field(default_factory=list)
     #: Rule ids that ran (including clean ones) — used by the self-test.
     rules_run: List[str] = field(default_factory=list)
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "target": self.target,
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+            "rules_run": list(self.rules_run),
+        }
+
+    @classmethod
+    def from_payload(cls, data: Dict[str, object]) -> "LintReport":
+        try:
+            return cls(
+                target=str(data["target"]),
+                diagnostics=[
+                    Diagnostic(
+                        rule=str(d["rule"]),
+                        severity=Severity.parse(str(d["severity"])),
+                        target=str(d["target"]),
+                        location=str(d["location"]),
+                        message=str(d["message"]),
+                        hint=str(d.get("hint", "")),
+                    )
+                    for d in data["diagnostics"]
+                ],
+                rules_run=[str(r) for r in data.get("rules_run", [])],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(
+                f"malformed LintReport record: {exc}") from exc
 
     def add(self, diagnostic: Diagnostic) -> None:
         self.diagnostics.append(diagnostic)

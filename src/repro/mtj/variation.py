@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.errors import DeviceModelError
 from repro.mtj.parameters import MTJParameters
-from repro.parallel import parallel_map, spawn_rngs
+from repro.parallel import spawn_rngs
 
 #: Root seed used whenever a caller does not pass one: Monte-Carlo results
 #: are reproducible *by default* (the DATE year of the paper, for flavour).
@@ -146,14 +146,18 @@ def monte_carlo_map(
     """Evaluate ``fn`` over a Monte-Carlo parameter population.
 
     Samples are drawn deterministically (:func:`monte_carlo_parameters`)
-    and evaluated through :func:`repro.parallel.parallel_map`; ``fn`` must
-    be picklable (a module-level function or ``functools.partial``) for
-    the pool path to engage, and the returned list is bit-identical for
-    every ``workers`` setting.
+    and evaluated through :func:`repro.cache.scheduler.dedup_map`; ``fn``
+    must be picklable (a module-level function or ``functools.partial``)
+    for the pool path to engage, and the returned list is bit-identical
+    for every ``workers`` setting.  Draws that collide on the exact same
+    parameter set (``MTJParameters`` is frozen, hence value-hashable) are
+    evaluated once — sound because ``fn`` receives only the sample.
     """
+    from repro.cache.scheduler import dedup_map
+
     samples = monte_carlo_parameters(params, variation, count=count,
                                      seed=seed, clip_sigma=clip_sigma)
-    return parallel_map(fn, samples, workers=workers)
+    return dedup_map(fn, samples, workers=workers)
 
 
 def monte_carlo_campaign(

@@ -81,15 +81,15 @@ class ProfileResult:
 
 
 def _flow_table2(fast: bool, workers: Optional[int]) -> None:
-    from repro.analysis.tables import build_table2, render_table2
+    from repro.analysis.tables import _build_table2, render_table2
     from repro.core.evaluate import costs_from_layout, evaluate_system
 
     corners = ["typical"] if fast else None
     kwargs = {"workers": workers}
     if corners is not None:
         kwargs["corners"] = corners
-    data = build_table2(dt=FAST_DT if fast else 1e-12,
-                        include_write=not fast, **kwargs)
+    data = _build_table2(dt=FAST_DT if fast else 1e-12,
+                         include_write=not fast, **kwargs)
     render_table2(data)
     # System-accounting preview from the measured cell energies, so the
     # trace also exercises the evaluate layer.
@@ -101,17 +101,17 @@ def _flow_table2(fast: bool, workers: Optional[int]) -> None:
 
 
 def _flow_table3(fast: bool, workers: Optional[int]) -> None:
-    from repro.analysis.tables import build_table3, render_table3
+    from repro.analysis.tables import _build_table3, render_table3
     from repro.physd.benchmarks import BENCHMARKS
 
     names = list(BENCHMARKS)[:2] if fast else None
-    render_table3(build_table3(names, workers=workers))
+    render_table3(_build_table3(names, workers=workers))
 
 
 def _flow_campaign(fast: bool, workers: Optional[int]) -> None:
-    from repro.faults import restore_failure_rate
+    from repro.faults.analyses import _restore_failure_rate
 
-    restore_failure_rate(
+    _restore_failure_rate(
         "standard", [], samples=4 if fast else 20, dt=FAST_DT,
         workers=1 if workers is None else workers)
 
@@ -136,6 +136,7 @@ def _solver_self_check() -> Dict[str, object]:
     metrics registry reports is exactly what the solver did, not an
     approximation layered on top.
     """
+    from repro.cache.store import bypassed
     from repro.spice.analysis.transient import run_transient
     from repro.spice.netlist import Circuit
 
@@ -145,7 +146,9 @@ def _solver_self_check() -> Dict[str, object]:
     circuit.add_capacitor("c1", "out", "0", 1e-12)
 
     before = metrics().snapshot()["counters"]
-    with span("profile.self_check", category="profile"):
+    # The check compares registry deltas against a *fresh* solve's stats,
+    # so the result cache (if active) must not intercept this transient.
+    with span("profile.self_check", category="profile"), bypassed():
         result = run_transient(circuit, stop_time=50e-12, dt=1e-12,
                                initial_voltages={"in": 1.0})
     after = metrics().snapshot()["counters"]

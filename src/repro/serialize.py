@@ -1,0 +1,133 @@
+"""One serialization protocol for every result object.
+
+Before the cache subsystem landed, three result classes each carried a
+slightly different hand-rolled ``to_json``/``from_json`` pair
+(:class:`~repro.core.evaluate.SystemResult`,
+:class:`~repro.faults.campaign.CampaignReport`,
+:class:`~repro.lint.diagnostics.LintReport`).  This module unifies them:
+
+* :class:`Serializable` — a mixin giving every result class the same
+  round-trip contract: ``to_json()`` returns a plain dict carrying a
+  versioned ``"schema"`` field (``"<Name>/v<version>"``), and
+  ``from_json()`` validates that field (tolerating its absence, for
+  payloads written before the protocol existed) before rebuilding the
+  object.  Subclasses implement only ``payload()`` and
+  ``from_payload()``; the schema bookkeeping lives here once.
+* :func:`canonical_json` / :func:`stable_digest` — the canonical byte
+  serialization under every cache key: sorted keys, no whitespace, and
+  Python's repr-based float formatting (which round-trips ``float``
+  exactly), so the same value always hashes to the same digest across
+  processes and sessions.
+
+Versioning policy: bump a class's ``SCHEMA_VERSION`` when its payload
+shape changes incompatibly; ``from_json`` rejects payloads from a
+*newer* schema (an old reader cannot know what a future writer meant)
+and accepts same-or-older versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, ClassVar, Dict, Tuple, Type, TypeVar
+
+from repro.errors import SerializationError
+
+_S = TypeVar("_S", bound="Serializable")
+
+#: Name of the version field every ``to_json`` payload carries.
+SCHEMA_FIELD = "schema"
+
+
+def _parse_schema(tag: str) -> Tuple[str, int]:
+    """Split ``"Name/v3"`` into ``("Name", 3)``."""
+    name, sep, version = tag.rpartition("/v")
+    if not sep or not name or not version.isdigit():
+        raise SerializationError(
+            f"malformed schema tag {tag!r}; expected '<Name>/v<version>'")
+    return name, int(version)
+
+
+class Serializable:
+    """Mixin: versioned ``to_json``/``from_json`` round-trip.
+
+    Subclasses set :attr:`SCHEMA_NAME` (defaults to the class name) and
+    :attr:`SCHEMA_VERSION`, and implement
+
+    * ``payload() -> dict`` — the JSON-serialisable body (no schema
+      field), and
+    * ``from_payload(data) -> cls`` — rebuild from such a body; raise
+      :class:`~repro.errors.SerializationError` (or a subsystem error)
+      on malformed input.
+    """
+
+    SCHEMA_NAME: ClassVar[str] = ""
+    SCHEMA_VERSION: ClassVar[int] = 1
+
+    # -- subclass hooks ----------------------------------------------------
+
+    def payload(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    @classmethod
+    def from_payload(cls: Type[_S], data: Dict[str, Any]) -> _S:
+        raise NotImplementedError
+
+    # -- the shared protocol ----------------------------------------------
+
+    @classmethod
+    def schema_tag(cls) -> str:
+        name = cls.SCHEMA_NAME or cls.__name__
+        return f"{name}/v{cls.SCHEMA_VERSION}"
+
+    def to_json(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {SCHEMA_FIELD: self.schema_tag()}
+        out.update(self.payload())
+        return out
+
+    @classmethod
+    def from_json(cls: Type[_S], data: Any) -> _S:
+        if not isinstance(data, dict):
+            raise SerializationError(
+                f"{cls.__name__}.from_json wants a dict, got "
+                f"{type(data).__name__}")
+        tag = data.get(SCHEMA_FIELD)
+        if tag is not None:
+            name, version = _parse_schema(str(tag))
+            expected = cls.SCHEMA_NAME or cls.__name__
+            if name != expected:
+                raise SerializationError(
+                    f"schema mismatch: payload is {name!r}, expected "
+                    f"{expected!r}")
+            if version > cls.SCHEMA_VERSION:
+                raise SerializationError(
+                    f"{expected} payload has schema v{version}, newer than "
+                    f"this reader's v{cls.SCHEMA_VERSION}")
+        body = {k: v for k, v in data.items() if k != SCHEMA_FIELD}
+        return cls.from_payload(body)
+
+
+# ---------------------------------------------------------------------------
+# Canonical serialization + digests (the cache-key foundation)
+# ---------------------------------------------------------------------------
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON text of a plain-data object.
+
+    Sorted keys, minimal separators, repr-based floats (exact for every
+    finite ``float``).  Non-JSON types raise
+    :class:`~repro.errors.SerializationError` — silently coercing them
+    (``default=str``) would make unequal objects hash equal.
+    """
+    try:
+        return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                          allow_nan=True)
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"object is not canonically serialisable: {exc}") from exc
+
+
+def stable_digest(obj: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical_json` of ``obj``."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()

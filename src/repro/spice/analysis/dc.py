@@ -206,6 +206,18 @@ def solve_dc(
         raise ConvergenceError(f"timeout must be positive, got {timeout}")
     deadline = None if timeout is None else _time.monotonic() + timeout
 
+    # Content-addressed result cache: the timeout is a wall-clock budget,
+    # not part of the solution, so it is deliberately absent from the key.
+    from repro.cache.analysis import dc_handle
+
+    cache_handle = dc_handle(circuit, time=time, initial_guess=initial_guess,
+                             max_iterations=max_iterations, vtol=vtol,
+                             damping=damping)
+    if cache_handle is not None:
+        cached = cache_handle.lookup()
+        if cached is not None:
+            return cached
+
     circuit.finalize()
     size = circuit.num_nodes + circuit.num_branches
     x0 = np.zeros(size)
@@ -225,8 +237,11 @@ def solve_dc(
                 deadline=deadline,
             )
             _flush_dc_metrics(sp, iterations, gmin_stages=0)
-            return DCResult(circuit, x[: circuit.num_nodes],
-                            x[circuit.num_nodes:], iterations, FLOOR_GMIN)
+            result = DCResult(circuit, x[: circuit.num_nodes],
+                              x[circuit.num_nodes:], iterations, FLOOR_GMIN)
+            if cache_handle is not None:
+                cache_handle.store(result)
+            return result
         except ConvergenceError as exc:
             last_error = exc
             if deadline is not None and _time.monotonic() > deadline:
@@ -261,8 +276,11 @@ def solve_dc(
                 ) from last_error
             gmin /= 10.0
         _flush_dc_metrics(sp, total_iterations, gmin_stages)
-        return DCResult(circuit, x[: circuit.num_nodes],
-                        x[circuit.num_nodes:], total_iterations, FLOOR_GMIN)
+        result = DCResult(circuit, x[: circuit.num_nodes],
+                          x[circuit.num_nodes:], total_iterations, FLOOR_GMIN)
+        if cache_handle is not None:
+            cache_handle.store(result)
+        return result
 
 
 def _flush_dc_metrics(sp, iterations: int, gmin_stages: int) -> None:

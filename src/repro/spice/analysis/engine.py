@@ -111,6 +111,48 @@ class SolverStats:
             "timesteps": self.timesteps,
         }
 
+    def to_json(self) -> Dict[str, object]:
+        """Plain-dict form for cache entries: what the original solve
+        cost, replayed verbatim on a hit."""
+        return {
+            "solves": self.solves,
+            "iterations": self.iterations,
+            "factorizations": self.factorizations,
+            "reuses": self.reuses,
+            "singular_retries": self.singular_retries,
+            "gmin_retries": self.gmin_retries,
+            "timesteps": self.timesteps,
+            "stamp_seconds": dict(self.stamp_seconds),
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "SolverStats":
+        return cls(
+            solves=int(data.get("solves", 0)),
+            iterations=int(data.get("iterations", 0)),
+            factorizations=int(data.get("factorizations", 0)),
+            reuses=int(data.get("reuses", 0)),
+            singular_retries=int(data.get("singular_retries", 0)),
+            gmin_retries=int(data.get("gmin_retries", 0)),
+            timesteps=int(data.get("timesteps", 0)),
+            stamp_seconds={str(k): float(v)
+                           for k, v in dict(
+                               data.get("stamp_seconds", {})).items()},
+        )
+
+
+def engine_config_fingerprint() -> Dict[str, object]:
+    """The engine configuration a cache key must capture: anything that
+    could change the bit pattern of a solution between two hosts or two
+    builds.  The LAPACK-LU availability flag matters because the fast
+    engine's Jacobian-reuse path only runs with scipy present, and a
+    different factorisation route can differ in final bits."""
+    return {
+        "vectorize_mosfet_threshold": VECTORIZE_MOSFET_THRESHOLD,
+        "jacobian_max_age": JACOBIAN_MAX_AGE,
+        "scipy_lu": _HAVE_SCIPY,
+    }
+
 
 def _gather(voltages: np.ndarray, indices: np.ndarray) -> np.ndarray:
     """Node voltages for an index array, ground (−1) reading as 0 V."""

@@ -180,6 +180,24 @@ def run_transient(
 
     preflight(circuit, lint)
 
+    # Content-addressed result cache (repro.cache): when active, a
+    # byte-identical prior run is returned directly — waveforms, stats
+    # and MTJ end state — without entering the Newton loop.  An on_step
+    # observer makes the run side-effecting, so it always computes.
+    cache_handle = None
+    if on_step is None:
+        from repro.cache.analysis import transient_handle
+
+        cache_handle = transient_handle(
+            circuit, stop_time=stop_time, dt=dt, integrator=integrator,
+            initial_voltages=initial_voltages, dc_seed=dc_seed,
+            max_iterations=max_iterations, vtol=vtol, damping=damping,
+            engine=engine)
+        if cache_handle is not None:
+            cached = cache_handle.lookup()
+            if cached is not None:
+                return cached
+
     from repro.spice.analysis.engine import SolverStats
 
     run_span = _obs_span(
@@ -305,5 +323,8 @@ def run_transient(
             _obs_metrics().inc("analysis.transients", 1)
             run_span.annotate(**stats.as_attrs())
 
-        return TransientResult(circuit, times, voltages, currents,
-                               stats=stats)
+        result = TransientResult(circuit, times, voltages, currents,
+                                 stats=stats)
+        if cache_handle is not None:
+            cache_handle.store(result)
+        return result

@@ -31,7 +31,6 @@ from typing import Callable, Dict, Optional, Sequence, TypeVar
 
 from repro.mtj.parameters import MTJParameters
 from repro.mtj.variation import MTJCorner, MTJVariation
-from repro.parallel import parallel_map
 from repro.spice.devices.mosfet import MOSFETModel, NMOS_40LP, PMOS_40LP
 
 _R = TypeVar("_R")
@@ -103,7 +102,7 @@ CORNER_ORDER = ("fast", "typical", "slow")
 TABLE_COLUMNS = ("worst", "typical", "best")
 
 
-def sweep_corners(
+def _sweep_corners(
     fn: Callable[[SimulationCorner], _R],
     corners: Sequence[str] = CORNER_ORDER,
     workers: Optional[int] = None,
@@ -114,11 +113,32 @@ def sweep_corners(
     ``corners``.  ``fn`` must be picklable (module-level function or
     ``functools.partial``) for the process-pool path; the result is
     identical for any ``workers`` setting (see :mod:`repro.parallel`).
+    A corner named more than once is evaluated once and its result
+    shared (:func:`repro.cache.scheduler.dedup_map` — sound because
+    ``fn`` sees only the corner value, never an index or RNG).
     """
+    from repro.cache.scheduler import dedup_map
+
     names = list(corners)
-    results = parallel_map(fn, [CORNERS[name] for name in names],
-                           workers=workers)
+    results = dedup_map(fn, [CORNERS[name] for name in names],
+                        workers=workers)
     return dict(zip(names, results))
+
+
+def sweep_corners(
+    fn: Callable[[SimulationCorner], _R],
+    corners: Sequence[str] = CORNER_ORDER,
+    workers: Optional[int] = None,
+) -> Dict[str, _R]:
+    """Deprecated free-function entry point; use
+    ``repro.api.Session(...).sweep(fn, corners=...)`` instead."""
+    import warnings
+
+    warnings.warn(
+        "sweep_corners() is deprecated; use "
+        "repro.api.Session(...).sweep(fn, corners=...)",
+        DeprecationWarning, stacklevel=2)
+    return _sweep_corners(fn, corners=corners, workers=workers)
 
 
 def sweep_corners_resilient(

@@ -1,0 +1,152 @@
+"""The ``repro.api.Session`` facade and the deprecated free functions.
+
+A Session binds cache/engine/workers/obs once, drives every high-level
+flow, and restores whatever it changed on close.  The old free functions
+keep returning the same results but must announce their replacement via
+``DeprecationWarning``.
+"""
+
+import warnings
+
+import pytest
+
+from repro.api import Session
+from repro.cache import store as cache_store
+from repro.errors import AnalysisError
+from repro.spice.analysis.transient import get_default_engine
+
+
+#: Coarse, typical-corner-only settings that keep the flows seconds-scale.
+FAST_TABLE2 = dict(corners=["typical"], dt=4e-12, include_write=False)
+
+
+def corner_name(corner):
+    """Module-level (hence picklable) sweep payload."""
+    return corner.name
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_cache():
+    yield
+    cache_store.disable()
+
+
+class TestSessionLifecycle:
+    def test_close_restores_engine_and_cache(self, tmp_path):
+        previous = get_default_engine()
+        session = Session(cache=str(tmp_path / "c"), engine="naive")
+        assert get_default_engine() == "naive"
+        assert cache_store.get_active_cache() is not None
+        session.close()
+        assert get_default_engine() == previous
+        assert cache_store.get_active_cache() is None
+        session.close()  # idempotent
+
+    def test_context_manager_closes(self, tmp_path):
+        with Session(cache=str(tmp_path / "c")) as session:
+            assert session.cache_stats()["entries"] == 0
+        assert cache_store.get_active_cache() is None
+
+    def test_nested_session_does_not_steal_the_outer_cache(self, tmp_path):
+        with Session(cache=str(tmp_path / "c")) as outer:
+            with Session(cache=str(tmp_path / "c")):
+                pass
+            # Inner session shared the root, so it must not deactivate it.
+            assert cache_store.get_active_cache() is not None
+            assert outer.cache_stats() is not None
+
+    def test_closed_session_rejects_flow_calls(self):
+        session = Session()
+        session.close()
+        with pytest.raises(AnalysisError, match="closed"):
+            session.table2(**FAST_TABLE2)
+
+    def test_obs_session_owns_tracing(self):
+        from repro.obs import is_active
+
+        with Session(obs=True):
+            assert is_active()
+            with pytest.raises(AnalysisError, match="already active"):
+                Session(obs=True)
+        assert not is_active()
+
+    def test_uncached_session_reports_no_stats(self):
+        with Session() as session:
+            assert session.cache_stats() is None
+
+
+class TestSessionFlows:
+    def test_sweep_binds_workers_and_dedupes(self, tmp_path):
+        with Session(workers=1) as session:
+            result = session.sweep(corner_name,
+                                   corners=["typical", "typical"])
+        assert result == {"typical": "typical"}
+
+    def test_table2_populates_the_session_cache(self, tmp_path):
+        with Session(cache=str(tmp_path / "c"), workers=1) as session:
+            data = session.table2(**FAST_TABLE2)
+            stats = session.cache_stats()
+        assert set(data.standard) == {"typical"}
+        assert stats["entries"] > 0
+
+    def test_table2_warm_run_matches_cold_bit_for_bit(self, tmp_path):
+        from repro.bench import _bit_identical, _table2_metrics
+
+        with Session(cache=str(tmp_path / "c"), workers=1) as session:
+            cold = session.table2(**FAST_TABLE2)
+            warm = session.table2(**FAST_TABLE2)
+        assert _bit_identical(_table2_metrics(cold), _table2_metrics(warm))
+
+    def test_table3_and_campaign_run_end_to_end(self, tmp_path):
+        from repro.physd.benchmarks import BENCHMARKS
+
+        name = list(BENCHMARKS)[0]
+        with Session(cache=str(tmp_path / "c"), workers=1) as session:
+            rows = session.table3([name])
+            outcome = session.campaign("standard", [], samples=2, dt=4e-12)
+        assert len(rows) == 1
+        assert rows[0][0].benchmark == name
+        assert outcome.report.completed == 2
+
+
+class TestDeprecatedWrappers:
+    def test_sweep_corners_warns_and_still_works(self):
+        from repro.spice.corners import sweep_corners
+
+        with pytest.warns(DeprecationWarning, match=r"Session\(.*\)\.sweep"):
+            result = sweep_corners(corner_name, corners=["typical"],
+                                   workers=1)
+        assert result == {"typical": "typical"}
+
+    def test_build_table2_warns(self):
+        from repro.analysis.tables import build_table2
+
+        with pytest.warns(DeprecationWarning, match=r"Session\(.*\)\.table2"):
+            data = build_table2(corners=[], workers=1)
+        assert data.standard == {}
+
+    def test_build_table3_warns_and_matches_session(self, tmp_path):
+        from repro.analysis.tables import build_table3
+        from repro.physd.benchmarks import BENCHMARKS
+
+        name = list(BENCHMARKS)[0]
+        with pytest.warns(DeprecationWarning, match=r"Session\(.*\)\.table3"):
+            legacy = build_table3([name], workers=1)
+        with Session(workers=1) as session:
+            rows = session.table3([name])
+        assert legacy[0][0] == rows[0][0]
+
+    def test_restore_failure_rate_warns(self):
+        from repro.faults import restore_failure_rate
+
+        with pytest.warns(DeprecationWarning,
+                          match=r"Session\(.*\)\.campaign"):
+            outcome = restore_failure_rate("standard", [], samples=1,
+                                           dt=4e-12, workers=1)
+        assert outcome.report.total == 1
+
+    def test_session_methods_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with Session(workers=1) as session:
+                session.sweep(corner_name, corners=["typical"])

@@ -1,0 +1,268 @@
+"""End-to-end result caching through the analysis entry points.
+
+The headline contract: with a cache active, running the *same* analysis
+twice returns bit-identical arrays the second time without entering the
+Newton loop (observed through the unconditional ``cache.*`` registry
+counters); any change to the circuit or the options misses; a corrupted
+entry silently recomputes; and MTJ end state — which characterisation
+flows read off the circuit, not the waveforms — survives the round trip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import store as cache_store
+from repro.cache.scheduler import dedup_map
+from repro.obs import metrics
+from repro.spice.analysis.dc import solve_dc
+from repro.spice.analysis.transient import run_transient
+from repro.spice.netlist import Circuit
+
+
+def _rc_circuit(resistance=1e3):
+    circuit = Circuit("cache-integration")
+    circuit.add_vsource("vs", "in", "0", 1.0)
+    circuit.add_resistor("r1", "in", "out", resistance)
+    circuit.add_capacitor("c1", "out", "0", 1e-12)
+    return circuit
+
+
+def _counters():
+    snapshot = metrics().snapshot()["counters"]
+    return {name: snapshot.get(name, 0.0)
+            for name in ("cache.hit", "cache.miss", "cache.store",
+                         "cache.uncacheable", "scheduler.requests",
+                         "scheduler.unique", "scheduler.deduped")}
+
+
+def _delta(before, after):
+    return {name: after[name] - before[name] for name in before
+            if after[name] != before[name]}
+
+
+@pytest.fixture
+def active_cache(tmp_path):
+    cache = cache_store.enable(str(tmp_path / "cache"))
+    yield cache
+    cache_store.disable()
+
+
+def _run(circuit=None, **overrides):
+    # No ``initial_voltages`` → the transient performs (and caches) its
+    # internal t=0 DC solve as a second entry.
+    options = dict(stop_time=5e-11, dt=1e-12, lint="off")
+    options.update(overrides)
+    return run_transient(circuit if circuit is not None else _rc_circuit(),
+                         **options)
+
+
+class TestColdWarmTransient:
+    def test_warm_run_is_bit_identical_and_skips_the_solver(self, active_cache):
+        before = _counters()
+        cold = _run()
+        mid = _counters()
+        warm = _run()
+        after = _counters()
+
+        # Cold: one transient miss+store plus its internal DC solve.
+        assert _delta(before, mid) == {"cache.miss": 2, "cache.store": 2}
+        # Warm: the transient hit short-circuits before the DC solve.
+        assert _delta(mid, after) == {"cache.hit": 1}
+
+        for attr in ("times", "node_voltages", "branch_currents"):
+            assert (np.asarray(getattr(warm, attr)).tobytes()
+                    == np.asarray(getattr(cold, attr)).tobytes()), attr
+        # Replayed stats describe the original solve exactly.
+        assert warm.stats.iterations == cold.stats.iterations
+        assert warm.stats.timesteps == cold.stats.timesteps
+
+    def test_results_survive_across_processes_via_disk(self, active_cache,
+                                                       tmp_path):
+        cold = _run()
+        # A "new process": fresh module globals, same directory.
+        cache_store.disable()
+        cache_store.enable(str(tmp_path / "cache"))
+        before = _counters()
+        warm = _run()
+        assert _delta(before, _counters()) == {"cache.hit": 1}
+        assert (np.asarray(warm.node_voltages).tobytes()
+                == np.asarray(cold.node_voltages).tobytes())
+
+    def test_no_cache_activity_when_disabled(self):
+        before = _counters()
+        _run()
+        assert _delta(before, _counters()) == {}
+
+    def test_on_step_callback_disables_caching(self, active_cache):
+        # initial_voltages also skips the (independently cached) DC solve,
+        # so an observed on_step transient must produce no cache activity.
+        before = _counters()
+        _run(on_step=lambda t, v: None, initial_voltages={"in": 1.0})
+        _run(on_step=lambda t, v: None, initial_voltages={"in": 1.0})
+        assert _delta(before, _counters()) == {}
+
+
+class TestInvalidation:
+    def test_device_parameter_change_misses(self, active_cache):
+        _run(_rc_circuit(resistance=1e3))
+        before = _counters()
+        _run(_rc_circuit(resistance=2e3))
+        assert _delta(before, _counters())["cache.miss"] == 2
+
+    def test_engine_option_change_misses(self, active_cache):
+        _run(engine="fast")
+        before = _counters()
+        _run(engine="naive")
+        delta = _delta(before, _counters())
+        # The transient (engine in its key) misses and re-stores; the
+        # internal DC solve is engine-independent and legitimately hits.
+        assert delta["cache.miss"] == 1
+        assert delta["cache.store"] == 1
+        assert delta["cache.hit"] == 1
+
+    def test_timestep_change_misses(self, active_cache):
+        _run(dt=1e-12)
+        before = _counters()
+        _run(dt=2e-12)
+        delta = _delta(before, _counters())
+        assert delta["cache.miss"] == 1, "the transient must miss on dt"
+        assert delta["cache.hit"] == 1, "the dt-independent DC solve hits"
+
+
+class TestCorruptionTolerance:
+    def test_corrupted_entry_recomputes_and_heals(self, active_cache):
+        cold = _run()
+        for path in active_cache._entry_paths():
+            with open(path, "w") as handle:
+                handle.write('{"torn":')
+        before = _counters()
+        recomputed = _run()
+        delta = _delta(before, _counters())
+        assert delta["cache.miss"] == 2, "corrupt entries must read as misses"
+        assert delta["cache.store"] == 2, "the store must heal itself"
+        assert (np.asarray(recomputed.node_voltages).tobytes()
+                == np.asarray(cold.node_voltages).tobytes())
+        before = _counters()
+        _run()
+        assert _delta(before, _counters()) == {"cache.hit": 1}
+
+    def test_truncated_entry_never_crashes(self, active_cache):
+        _run()
+        for path in active_cache._entry_paths():
+            with open(path, "r+b") as handle:
+                handle.truncate(64)
+        _run()  # must not raise
+
+
+class TestDCCaching:
+    def test_dc_cold_warm_bit_identical(self, active_cache):
+        cold = solve_dc(_rc_circuit(), lint="off")
+        before = _counters()
+        warm = solve_dc(_rc_circuit(), lint="off")
+        assert _delta(before, _counters()) == {"cache.hit": 1}
+        assert (np.asarray(warm.voltages).tobytes()
+                == np.asarray(cold.voltages).tobytes())
+        assert (np.asarray(warm.branch_currents).tobytes()
+                == np.asarray(cold.branch_currents).tobytes())
+        assert warm.iterations == cold.iterations
+        assert warm.gmin == cold.gmin
+
+
+class TestMTJStateHydration:
+    def _restore_run(self):
+        from repro.cells.control import standard_restore_schedule
+        from repro.cells.nvlatch_1bit import build_standard_latch
+
+        schedule = standard_restore_schedule(bit=1, vdd=1.1, cycles=1)
+        latch = build_standard_latch(schedule, stored_bit=1, vdd=1.1)
+        result = run_transient(latch.circuit, schedule.stop_time, 4e-12,
+                               initial_voltages={"vdd": 1.1})
+        return latch, result
+
+    def _mtj_state(self, circuit):
+        from repro.spice.devices.mtj_element import MTJElement
+
+        state = {}
+        for device in circuit.devices:
+            if isinstance(device, MTJElement):
+                state[device.name] = (
+                    device.device.state,
+                    device.switching.progress
+                    if device.switching is not None else None,
+                    tuple(device.switching.events)
+                    if device.switching is not None else None,
+                )
+        return state
+
+    def test_warm_hit_restores_mtj_end_state(self, active_cache):
+        latch_cold, cold = self._restore_run()
+        before = _counters()
+        latch_warm, warm = self._restore_run()
+        assert _delta(before, _counters()) == {"cache.hit": 1}
+        assert (self._mtj_state(latch_warm.circuit)
+                == self._mtj_state(latch_cold.circuit))
+        assert (np.asarray(warm.node_voltages).tobytes()
+                == np.asarray(cold.node_voltages).tobytes())
+
+
+def _double(x):
+    """Module-level (hence picklable) worker for the pool path."""
+    return 2 * x
+
+
+class TestDedupScheduler:
+    def test_identical_items_run_once(self):
+        before = _counters()
+        results = dedup_map(_double, [3, 5, 3, 3, 5, 8], workers=1)
+        assert results == [6, 10, 6, 6, 10, 16]
+        delta = _delta(before, _counters())
+        assert delta["scheduler.requests"] == 6
+        assert delta["scheduler.unique"] == 3
+        assert delta["scheduler.deduped"] == 3
+
+    def test_single_flight_under_process_pool(self):
+        before = _counters()
+        results = dedup_map(_double, [7, 7, 7, 9], workers=2)
+        assert results == [14, 14, 14, 18]
+        delta = _delta(before, _counters())
+        assert delta["scheduler.unique"] == 2
+        assert delta["scheduler.deduped"] == 2
+
+    def test_unhashable_items_fall_back_to_repr(self):
+        before = _counters()
+        results = dedup_map(sum, [[1, 2], [1, 2], [3]], workers=1)
+        assert results == [3, 3, 3]
+        assert _delta(before, _counters())["scheduler.deduped"] == 1
+
+    def test_custom_key(self):
+        results = dedup_map(_double, [1.0, 1, 2], workers=1,
+                            key=lambda x: ("int", int(x)))
+        assert results == [2.0, 2.0, 4]
+
+    def test_empty(self):
+        assert dedup_map(_double, [], workers=2) == []
+
+
+class TestVerifyEntry:
+    def test_stored_entries_replay_bit_exactly(self, active_cache):
+        from repro.cache.analysis import verify_entry
+
+        _run()
+        verdicts = [verify_entry(entry) for entry in active_cache.entries()]
+        assert {v["kind"] for v in verdicts} == {"transient", "dc"}
+        assert all(v["ok"] for v in verdicts), verdicts
+
+    def test_tampered_entry_fails_verification(self, active_cache):
+        from repro.cache.analysis import verify_entry
+        from repro.cache.store import _decode_array, _encode_array
+
+        _run()
+        for entry in active_cache.entries():
+            if entry.kind != "transient":
+                continue
+            voltages = _decode_array(entry.result["node_voltages"])
+            voltages[0, 0] += 1e-9
+            entry.result["node_voltages"] = _encode_array(voltages)
+            verdict = verify_entry(entry)
+            assert not verdict["ok"]
+            assert "node_voltages" in verdict["detail"]

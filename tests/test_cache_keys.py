@@ -1,0 +1,149 @@
+"""Cache-key derivation: constructive fingerprints and invalidation.
+
+The contract: the same circuit and analysis options always digest to the
+same key (across separately built circuits — content addressing, not
+identity); any change to a device parameter, an analysis option, or the
+engine selection changes the key; and a fingerprint carries enough to
+rebuild the *exact* circuit, which is what lets ``repro cache verify``
+replay entries from their own request records.
+"""
+
+import pytest
+
+from repro.errors import CacheError
+from repro.cache.keys import (
+    CACHE_SALT,
+    circuit_fingerprint,
+    dc_request,
+    rebuild_circuit,
+    request_key,
+    transient_request,
+)
+from repro.spice.devices.passive import Resistor
+from repro.spice.netlist import Circuit
+from repro.spice.waveforms import PWL, Pulse
+
+
+def _rc_circuit(resistance=1e3, with_mtj=False):
+    circuit = Circuit("keys-under-test")
+    circuit.add_vsource("vs", "in", "0",
+                        Pulse(initial=0.0, pulsed=1.1, delay=10e-12,
+                              rise=5e-12, fall=5e-12, width=80e-12,
+                              period=200e-12))
+    circuit.add_resistor("r1", "in", "out", resistance)
+    circuit.add_capacitor("c1", "out", "0", 1e-15)
+    circuit.add_isource("ib", "out", "0",
+                        PWL(points=((0.0, 0.0), (1e-10, 1e-6))))
+    circuit.add_nmos("mn", "out", "in", "0")
+    if with_mtj:
+        circuit.add_mtj("mtj1", "out", "0")
+    return circuit
+
+
+def _transient_key(circuit, **overrides):
+    options = dict(stop_time=1e-10, dt=1e-12, integrator="be",
+                   initial_voltages={"in": 0.0}, dc_seed=None,
+                   max_iterations=60, vtol=1e-6, damping=1.0, engine="fast")
+    options.update(overrides)
+    return request_key(transient_request(circuit, **options))
+
+
+class TestFingerprint:
+    def test_identical_builds_digest_identically(self):
+        assert (request_key(transient_request(
+                    _rc_circuit(), stop_time=1e-10, dt=1e-12, integrator="be",
+                    initial_voltages=None, dc_seed=None, max_iterations=60,
+                    vtol=1e-6, damping=1.0, engine="fast"))
+                == _transient_key(_rc_circuit(), initial_voltages=None))
+
+    def test_salt_is_mixed_in(self):
+        request = dc_request(_rc_circuit(), time=0.0, initial_guess=None,
+                             max_iterations=150, vtol=1e-7, damping=0.4)
+        assert request["salt"] == CACHE_SALT
+        tampered = dict(request, salt=CACHE_SALT + "-next")
+        assert request_key(tampered) != request_key(request)
+
+    def test_initial_voltages_are_order_independent(self):
+        a = _transient_key(_rc_circuit(),
+                           initial_voltages={"in": 0.0, "out": 1.0})
+        b = _transient_key(_rc_circuit(),
+                           initial_voltages={"out": 1.0, "in": 0.0})
+        assert a == b
+
+    def test_unknown_device_is_uncacheable(self):
+        class OddResistor(Resistor):
+            pass
+
+        circuit = Circuit("odd")
+        circuit._register(OddResistor(positive=circuit.node("a"),
+                                      negative=circuit.node("0"),
+                                      resistance=1.0), "odd1")
+        with pytest.raises(CacheError, match="no cache fingerprint"):
+            circuit_fingerprint(circuit)
+
+
+class TestInvalidation:
+    def test_device_parameter_change_changes_key(self):
+        assert (_transient_key(_rc_circuit(resistance=1e3))
+                != _transient_key(_rc_circuit(resistance=2e3)))
+
+    def test_mtj_initial_state_changes_key(self):
+        from repro.mtj.device import MTJState
+
+        flipped = _rc_circuit(with_mtj=True)
+        flipped.device("mtj1").device.state = MTJState.ANTIPARALLEL
+        flipped.device("mtj1")._initial_state = MTJState.ANTIPARALLEL
+        assert (_transient_key(_rc_circuit(with_mtj=True))
+                != _transient_key(flipped))
+
+    @pytest.mark.parametrize("option, value", [
+        ("stop_time", 2e-10),
+        ("dt", 2e-12),
+        ("vtol", 1e-9),
+        ("damping", 0.5),
+        ("max_iterations", 61),
+        ("engine", "naive"),
+        ("initial_voltages", {"in": 0.5}),
+        ("dc_seed", {"out": 0.1}),
+    ])
+    def test_analysis_option_change_changes_key(self, option, value):
+        base = _transient_key(_rc_circuit())
+        assert _transient_key(_rc_circuit(), **{option: value}) != base
+
+    def test_transient_and_dc_requests_never_collide(self):
+        circuit = _rc_circuit()
+        assert (_transient_key(circuit)
+                != request_key(dc_request(circuit, time=0.0,
+                                          initial_guess=None,
+                                          max_iterations=60, vtol=1e-6,
+                                          damping=1.0)))
+
+
+class TestRebuild:
+    def test_round_trip_fingerprint_is_a_fixed_point(self):
+        original = _rc_circuit(with_mtj=True)
+        fingerprint = circuit_fingerprint(original)
+        rebuilt = rebuild_circuit(fingerprint)
+        assert circuit_fingerprint(rebuilt) == fingerprint
+
+    def test_rebuilt_circuit_solves_identically(self):
+        import numpy as np
+
+        from repro.spice.analysis.transient import run_transient
+
+        original = _rc_circuit()
+        rebuilt = rebuild_circuit(circuit_fingerprint(original))
+        res_a = run_transient(original, stop_time=5e-11, dt=1e-12, lint="off")
+        res_b = run_transient(rebuilt, stop_time=5e-11, dt=1e-12, lint="off")
+        assert np.asarray(res_a.node_voltages).tobytes() == \
+            np.asarray(res_b.node_voltages).tobytes()
+        assert np.asarray(res_a.branch_currents).tobytes() == \
+            np.asarray(res_b.branch_currents).tobytes()
+
+    def test_malformed_fingerprint_raises_cache_error(self):
+        with pytest.raises(CacheError, match="malformed circuit fingerprint"):
+            rebuild_circuit({"name": "x", "nodes": ["0"]})
+        with pytest.raises(CacheError, match="unknown device kind"):
+            rebuild_circuit({"name": "x", "nodes": ["0", "a"],
+                             "devices": [{"type": "memristor", "name": "m1",
+                                          "nodes": [0, 1]}]})

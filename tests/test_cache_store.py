@@ -1,0 +1,186 @@
+"""The on-disk result store: durability, tolerance, and maintenance.
+
+The load-side contract is absolute: *any* unreadable entry — truncated
+write, corrupt bytes, foreign schema, key mismatch — reads as a miss and
+the broken file is removed; the cache must never turn into an error
+source.  Maintenance: ``stats`` reports on-disk truth, ``gc`` evicts
+least-recently-*used* first (loads refresh mtimes), ``clear`` empties
+the store.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import CacheError
+from repro.cache.store import (
+    CACHE_ENV_VAR,
+    CacheEntry,
+    ResultCache,
+    bypassed,
+    disable,
+    enable,
+    get_active_cache,
+    wipe,
+)
+
+
+def _entry(key, payload=0.0):
+    return CacheEntry(key=key, kind="dc",
+                      request={"kind": "dc", "x": payload},
+                      result={"value": payload})
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(str(tmp_path / "cache"))
+
+
+class TestStoreLoad:
+    def test_round_trip(self, cache):
+        key = "ab" + "0" * 62
+        cache.store(_entry(key, 1.5))
+        loaded = cache.load(key)
+        assert loaded is not None
+        assert loaded.key == key
+        assert loaded.result == {"value": 1.5}
+
+    def test_miss_on_absent_key(self, cache):
+        assert cache.load("ff" + "0" * 62) is None
+
+    def test_entries_are_sharded_by_key_prefix(self, cache):
+        key = "cd" + "1" * 62
+        path = cache.store(_entry(key))
+        assert os.path.dirname(path).endswith(os.sep + "cd")
+
+    def test_store_leaves_no_temp_files(self, cache):
+        key = "ee" + "2" * 62
+        cache.store(_entry(key))
+        shard = os.path.dirname(cache.path_for(key))
+        assert os.listdir(shard) == [f"{key}.json"]
+
+
+class TestBrokenEntriesReadAsMisses:
+    @pytest.mark.parametrize("content", [
+        "",                                # truncated to nothing
+        '{"key": "a", "kind": "dc"',       # torn mid-write
+        "not json at all",
+        '{"schema": "CacheEntry/v1"}',     # missing required fields
+        '{"schema": "CacheEntry/v99", "key": "k", "kind": "dc", '
+        '"request": {}, "result": {}}',    # newer schema
+        '{"schema": "CacheEntry/v1", "key": "k", "kind": "warp", '
+        '"request": {}, "result": {}}',    # unknown kind
+    ])
+    def test_unreadable_file_is_a_miss_and_removed(self, cache, content):
+        key = "aa" + "3" * 62
+        path = cache.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write(content)
+        assert cache.load(key) is None
+        assert not os.path.exists(path), "broken entry must be removed"
+
+    def test_key_mismatch_is_a_miss(self, cache):
+        key_a = "aa" + "4" * 62
+        key_b = "aa" + "5" * 62
+        cache.store(_entry(key_a))
+        # Simulate a renamed/copied entry claiming the wrong address.
+        os.replace(cache.path_for(key_a), cache.path_for(key_b))
+        assert cache.load(key_b) is None
+
+    def test_entries_iterator_skips_broken_files(self, cache):
+        cache.store(_entry("aa" + "6" * 62))
+        bad = cache.path_for("aa" + "7" * 62)
+        with open(bad, "w") as handle:
+            handle.write("garbage")
+        assert [e.key for e in cache.entries()] == ["aa" + "6" * 62]
+
+
+class TestMaintenance:
+    def test_stats_counts_entries_and_bytes(self, cache):
+        assert cache.stats()["entries"] == 0
+        cache.store(_entry("ab" + "0" * 62))
+        cache.store(_entry("cd" + "0" * 62))
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["bytes"] > 0
+        assert stats["root"] == cache.root
+
+    def test_gc_evicts_least_recently_used_first(self, cache):
+        keys = [f"{i:02d}" + "8" * 62 for i in range(3)]
+        for age, key in enumerate(keys):
+            path = cache.store(_entry(key))
+            os.utime(path, (1000.0 + age, 1000.0 + age))
+        # A load refreshes recency: the oldest-stored entry becomes newest.
+        cache.load(keys[0])
+        one_entry = os.path.getsize(cache.path_for(keys[0]))
+        report = cache.gc(max_bytes=one_entry)
+        assert report["removed"] == 2
+        assert cache.load(keys[0]) is not None
+        assert cache.load(keys[1]) is None
+        assert cache.load(keys[2]) is None
+
+    def test_gc_zero_empties_and_negative_raises(self, cache):
+        cache.store(_entry("ab" + "9" * 62))
+        with pytest.raises(CacheError, match="max_bytes"):
+            cache.gc(-1)
+        report = cache.gc(0)
+        assert report["removed"] == 1
+        assert report["remaining"] == 0
+
+    def test_clear_removes_everything(self, cache):
+        for i in range(4):
+            cache.store(_entry(f"{i:02d}" + "a" * 62))
+        assert cache.clear() == 4
+        assert cache.stats() == {"root": cache.root, "entries": 0, "bytes": 0}
+
+    def test_wipe_removes_the_tree(self, tmp_path):
+        root = str(tmp_path / "w")
+        ResultCache(root).store(_entry("ab" + "b" * 62))
+        wipe(root)
+        assert not os.path.exists(root)
+
+
+class TestActivation:
+    @pytest.fixture(autouse=True)
+    def _pristine_activation(self):
+        previous = os.environ.get(CACHE_ENV_VAR)
+        disable()
+        yield
+        disable()
+        if previous is not None:
+            os.environ[CACHE_ENV_VAR] = previous
+
+    def test_off_by_default(self):
+        assert get_active_cache() is None
+
+    def test_enable_disable(self, tmp_path):
+        cache = enable(str(tmp_path / "on"))
+        assert get_active_cache() is cache
+        assert os.environ[CACHE_ENV_VAR] == cache.root
+        disable()
+        assert get_active_cache() is None
+        assert CACHE_ENV_VAR not in os.environ
+
+    def test_workers_inherit_through_environment(self, tmp_path):
+        # A pool worker sees only the env var, not the parent's global.
+        os.environ[CACHE_ENV_VAR] = str(tmp_path / "inherited")
+        cache = get_active_cache()
+        assert cache is not None
+        assert cache.root == os.path.abspath(str(tmp_path / "inherited"))
+
+    def test_bypassed_scope_hides_the_cache(self, tmp_path):
+        enable(str(tmp_path / "on"))
+        with bypassed():
+            assert get_active_cache() is None
+            with bypassed():  # reentrant
+                assert get_active_cache() is None
+            assert get_active_cache() is None
+        assert get_active_cache() is not None
+
+    def test_entry_json_is_schema_tagged(self, tmp_path):
+        cache = enable(str(tmp_path / "on"))
+        path = cache.store(_entry("ab" + "c" * 62))
+        with open(path) as handle:
+            assert json.load(handle)["schema"] == "CacheEntry/v1"
