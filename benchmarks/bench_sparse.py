@@ -1,0 +1,63 @@
+"""Sparse-engine benchmark — batched ensembles and large-array solves.
+
+Times the two workloads the third-generation sparse core was built for
+and writes ``BENCH_sparse.json`` at the repository root:
+
+* **Ensemble Monte-Carlo** — N MTJ parameter samples of one 4x4 read
+  access advanced as a single block-diagonal batched solve, against the
+  per-sample scalar loops under the naive and fast engines;
+* **Mini-array transient** — a transistor-level 1T-1MTJ array large
+  enough that sparse factorisation beats the dense fast path outright,
+  at fixed step so the comparison is solver-for-solver.
+
+The benchmark logic lives in :mod:`repro.bench` (shared with the
+``repro bench sparse`` CLI command); this file pins the output to the
+repository root and keeps the pytest acceptance gate.
+
+Runnable standalone: ``PYTHONPATH=src python benchmarks/bench_sparse.py``
+(pass ``--quick`` for the CI-sized variant).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+from repro.bench import (  # noqa: F401 — re-exported for existing importers
+    AGREEMENT_TOL,
+    ARRAY_SPEEDUP_VS_FAST,
+    ENSEMBLE_SPEEDUP_VS_FAST,
+    ENSEMBLE_SPEEDUP_VS_NAIVE,
+    QUICK_SPEEDUP,
+    run_sparse_bench,
+)
+
+OUTPUT = pathlib.Path(__file__).resolve().parents[1] / "BENCH_sparse.json"
+
+
+def run_bench(quick: bool = False) -> dict:
+    """Run both workloads; returns the report dict."""
+    return run_sparse_bench(OUTPUT, quick=quick)
+
+
+def test_sparse_speedup(benchmark):
+    report = benchmark.pedantic(run_bench, args=(True,), rounds=1,
+                                iterations=1)
+    ensemble = report["ensemble_monte_carlo"]
+    array = report["mini_array_transient"]
+    assert ensemble["max_waveform_diff_v"] <= AGREEMENT_TOL
+    assert array["max_waveform_diff_v"] <= AGREEMENT_TOL
+    assert ensemble["speedup_vs_fast"] >= ensemble["required_vs_fast"], (
+        f"batched ensemble only {ensemble['speedup_vs_fast']:.2f}x "
+        f"over the fast scalar loop")
+    assert array["speedup_vs_fast"] >= array["required_vs_fast"], (
+        f"sparse array solve only {array['speedup_vs_fast']:.2f}x "
+        f"over the fast engine")
+    assert report["meets_target"]
+
+
+if __name__ == "__main__":
+    result = run_bench(quick="--quick" in sys.argv[1:])
+    print(json.dumps(result, indent=2))
+    print(f"\nwrote {OUTPUT}")

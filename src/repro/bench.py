@@ -17,7 +17,13 @@ caller-chosen path):
 * :func:`run_cache_bench` — the content-addressed result cache
   (``BENCH_cache.json``): the fast Table II characterisation run cold
   then warm against a throwaway cache, gating on a ``>= 90 %``
-  solver-call reduction and bit-identical metrics on the warm run.
+  solver-call reduction and bit-identical metrics on the warm run;
+* :func:`run_sparse_bench` — the sparse engine generation
+  (``BENCH_sparse.json``): a Monte-Carlo ensemble advanced as one
+  block-diagonal batched solve against per-sample naive/fast loops,
+  and the transistor-level 1T-1MTJ mini-array under ``engine="sparse"``
+  against ``engine="fast"``; gates on the ISSUE speedup floors with the
+  cross-engine waveform agreement bound recorded alongside.
 """
 
 from __future__ import annotations
@@ -64,6 +70,24 @@ OBS_OVERHEAD_BOUND_PCT = 5.0
 CACHE_SOLVER_REDUCTION_TARGET = 0.90
 #: Cache-bench characterisation timestep (matches ``repro profile --fast``).
 CACHE_DT = 4e-12
+SPARSE_OUTPUT = "BENCH_sparse.json"
+#: Monte-Carlo ensemble leg: sample count and transient grid.
+ENSEMBLE_COUNT = 32
+ENSEMBLE_QUICK_COUNT = 8
+ENSEMBLE_STOP = 1.2e-9
+ENSEMBLE_DT = 4e-12
+#: Required batched-ensemble speedups on the Monte-Carlo workload.
+ENSEMBLE_SPEEDUP_VS_NAIVE = 8.0
+ENSEMBLE_SPEEDUP_VS_FAST = 3.0
+#: Mini-array leg: grid and required sparse/fast speedup.
+ARRAY_ROWS = 24
+ARRAY_STOP = 2.5e-9
+ARRAY_DT = 2.5e-12
+ARRAY_SPEEDUP_VS_FAST = 5.0
+#: Quick mode (CI smoke): smaller workloads, one relaxed gate of >= 2x.
+QUICK_ARRAY_ROWS = 16
+QUICK_ARRAY_STOP = 1.0e-9
+QUICK_SPEEDUP = 2.0
 
 
 def _machine() -> dict:
@@ -262,6 +286,157 @@ def run_cache_bench(output: Optional[PathLike] = CACHE_OUTPUT) -> dict:
         "bit_identical_metrics": bit_identical,
         "meets_target": (reduction >= CACHE_SOLVER_REDUCTION_TARGET
                          and bit_identical),
+    }
+    if output is not None:
+        pathlib.Path(output).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Sparse engine benchmark (batched ensemble + mini-array)
+# ---------------------------------------------------------------------------
+
+
+def _ensemble_sample_circuit(params):
+    """One Monte-Carlo sample of the ensemble workload: a 4x4 1T-1MTJ
+    read access around the sampled junction parameters."""
+    from repro.cells.miniarray import build_mini_array
+
+    return build_mini_array(rows=4, cols=4, active_rows=2,
+                            access_time=0.5e-9, params=params)
+
+
+def _ensemble_probe_nodes():
+    return [f"bl{c}" for c in range(4)]
+
+
+def run_sparse_bench(output: Optional[PathLike] = SPARSE_OUTPUT,
+                     quick: bool = False) -> dict:
+    """Benchmark the sparse-generation engine; returns (and optionally
+    writes) the report dict.
+
+    Two legs:
+
+    * **ensemble** — ``ENSEMBLE_COUNT`` Monte-Carlo draws of the 4x4
+      read-access array advanced as one block-diagonal batched solve
+      (:func:`repro.spice.analysis.run_ensemble_transient`) against
+      per-sample scalar loops under the naive and fast engines.  Gates:
+      batched >= :data:`ENSEMBLE_SPEEDUP_VS_NAIVE` x naive and
+      >= :data:`ENSEMBLE_SPEEDUP_VS_FAST` x fast, with the
+      per-bit-line waveform deviation against the naive reference
+      recorded and bounded by :data:`AGREEMENT_TOL`.
+    * **mini-array** — the ``ARRAY_ROWS`` x ``ARRAY_ROWS``
+      transistor-level array transient under ``engine="sparse"``
+      (fixed step, bit-faithful contract) against ``engine="fast"``.
+      Gate: >= :data:`ARRAY_SPEEDUP_VS_FAST` x.
+
+    ``quick=True`` is the CI smoke shape: fewer samples, a smaller
+    array, the naive reference skipped (waveform agreement is then
+    measured against fast, which the differential suite already pins to
+    naive), and a single relaxed gate of >= :data:`QUICK_SPEEDUP` x on
+    both legs.
+    """
+    import numpy as np
+
+    from repro.cells.miniarray import build_mini_array
+    from repro.mtj.variation import monte_carlo_parameters
+    from repro.spice.analysis import run_ensemble_transient
+
+    count = ENSEMBLE_QUICK_COUNT if quick else ENSEMBLE_COUNT
+    samples = monte_carlo_parameters(PAPER_TABLE_I, count=count,
+                                     seed=DEFAULT_SEED)
+    probes = _ensemble_probe_nodes()
+
+    def scalar_loop(engine):
+        circuits = [_ensemble_sample_circuit(p) for p in samples]
+        start = time.perf_counter()
+        results = [run_transient(c, ENSEMBLE_STOP, ENSEMBLE_DT, engine=engine)
+                   for c in circuits]
+        return time.perf_counter() - start, results
+
+    def batched():
+        circuits = [_ensemble_sample_circuit(p) for p in samples]
+        start = time.perf_counter()
+        results = run_ensemble_transient(circuits, ENSEMBLE_STOP, ENSEMBLE_DT)
+        return time.perf_counter() - start, results
+
+    naive_s = None
+    if not quick:
+        naive_s, ref_results = scalar_loop("naive")
+    fast_s, fast_results = scalar_loop("fast")
+    if quick:
+        ref_results = fast_results
+    ens_s, ens_results = batched()
+
+    ens_max_diff = max(
+        float(np.max(np.abs(ens.voltage(node) - ref.voltage(node))))
+        for ens, ref in zip(ens_results, ref_results)
+        for node in probes)
+
+    rows = QUICK_ARRAY_ROWS if quick else ARRAY_ROWS
+    stop = QUICK_ARRAY_STOP if quick else ARRAY_STOP
+
+    def array_run(engine):
+        circuit = build_mini_array(rows=rows, cols=rows)
+        start = time.perf_counter()
+        result = run_transient(circuit, stop, ARRAY_DT, engine=engine)
+        return time.perf_counter() - start, result
+
+    arr_fast_s, arr_fast = array_run("fast")
+    arr_sparse_s, arr_sparse = array_run("sparse")
+    arr_probes = [f"bl{c}" for c in range(rows)]
+    arr_max_diff = max(
+        float(np.max(np.abs(arr_fast.voltage(n) - arr_sparse.voltage(n))))
+        for n in arr_probes)
+
+    ens_vs_fast = fast_s / ens_s
+    arr_speedup = arr_fast_s / arr_sparse_s
+    if quick:
+        meets = (ens_vs_fast >= QUICK_SPEEDUP
+                 and arr_speedup >= QUICK_SPEEDUP)
+    else:
+        meets = (naive_s / ens_s >= ENSEMBLE_SPEEDUP_VS_NAIVE
+                 and ens_vs_fast >= ENSEMBLE_SPEEDUP_VS_FAST
+                 and arr_speedup >= ARRAY_SPEEDUP_VS_FAST)
+    meets = meets and ens_max_diff <= AGREEMENT_TOL \
+        and arr_max_diff <= AGREEMENT_TOL
+
+    report = {
+        "machine": _machine(),
+        "quick": quick,
+        "ensemble_monte_carlo": {
+            "description": f"{count}-sample MTJ Monte-Carlo over a 4x4 "
+                           f"1T-1MTJ read access, dt=4ps: per-sample "
+                           f"scalar loops vs one block-diagonal batched "
+                           f"solve",
+            "samples": count,
+            "seed": DEFAULT_SEED,
+            "naive_s": round(naive_s, 3) if naive_s is not None else None,
+            "fast_s": round(fast_s, 3),
+            "ensemble_s": round(ens_s, 3),
+            "speedup_vs_naive": (round(naive_s / ens_s, 3)
+                                 if naive_s is not None else None),
+            "speedup_vs_fast": round(ens_vs_fast, 3),
+            "required_vs_naive": None if quick else ENSEMBLE_SPEEDUP_VS_NAIVE,
+            "required_vs_fast": (QUICK_SPEEDUP if quick
+                                 else ENSEMBLE_SPEEDUP_VS_FAST),
+            "max_waveform_diff_v": ens_max_diff,
+            "reference_engine": "fast" if quick else "naive",
+        },
+        "mini_array_transient": {
+            "description": f"{rows}x{rows} transistor-level 1T-1MTJ array "
+                           f"transient, dt=2.5ps, fixed-step sparse vs "
+                           f"fast",
+            "rows": rows,
+            "fast_s": round(arr_fast_s, 3),
+            "sparse_s": round(arr_sparse_s, 3),
+            "speedup_vs_fast": round(arr_speedup, 3),
+            "required_vs_fast": (QUICK_SPEEDUP if quick
+                                 else ARRAY_SPEEDUP_VS_FAST),
+            "max_waveform_diff_v": arr_max_diff,
+        },
+        "agreement_tol_v": AGREEMENT_TOL,
+        "meets_target": bool(meets),
     }
     if output is not None:
         pathlib.Path(output).write_text(json.dumps(report, indent=2) + "\n")

@@ -155,6 +155,9 @@ class TransientHandle(_Handle):
                 voltages = _decode_array(payload["node_voltages"])
                 currents = _decode_array(payload["branch_currents"])
                 stats = SolverStats.from_json(payload["stats"])
+                raw_trace = payload.get("dt_trace")
+                dt_trace = (_decode_array(raw_trace)
+                            if raw_trace is not None else None)
                 self.circuit.finalize()
                 _restore_mtj_state(self.circuit, payload["mtj_state"])
             except Exception:  # noqa: BLE001 — broken entry reads as a miss
@@ -164,7 +167,7 @@ class TransientHandle(_Handle):
             _metrics().inc("cache.hit", 1)
             sp.annotate(outcome="hit")
             return TransientResult(self.circuit, times, voltages, currents,
-                                   stats=stats)
+                                   stats=stats, dt_trace=dt_trace)
 
     def store(self, result) -> None:
         """Persist a freshly computed transient (with MTJ end state)."""
@@ -175,6 +178,8 @@ class TransientHandle(_Handle):
             "stats": result.stats.to_json() if result.stats is not None
             else None,
             "mtj_state": _capture_mtj_state(self.circuit),
+            "dt_trace": (_encode_array(result.dt_trace)
+                         if result.dt_trace is not None else None),
         })
 
 
@@ -219,10 +224,11 @@ class DCHandle(_Handle):
 
 
 def transient_handle(circuit, *, stop_time, dt, integrator, initial_voltages,
-                     dc_seed, max_iterations, vtol, damping,
-                     engine) -> Optional[TransientHandle]:
+                     dc_seed, max_iterations, vtol, damping, engine,
+                     adaptive=None) -> Optional[TransientHandle]:
     """A handle for this transient request, or ``None`` when caching is
-    off / bypassed / the circuit is uncacheable."""
+    off / bypassed / the circuit is uncacheable.  ``adaptive`` is the
+    sparse engine's timestep-control config dict (or ``None``)."""
     cache = get_active_cache()
     if cache is None:
         return None
@@ -231,7 +237,7 @@ def transient_handle(circuit, *, stop_time, dt, integrator, initial_voltages,
             circuit, stop_time=stop_time, dt=dt, integrator=integrator,
             initial_voltages=initial_voltages, dc_seed=dc_seed,
             max_iterations=max_iterations, vtol=vtol, damping=damping,
-            engine=engine)
+            engine=engine, adaptive=adaptive)
         key = request_key(request)
     except CacheError:
         _metrics().inc("cache.uncacheable", 1)
@@ -240,7 +246,7 @@ def transient_handle(circuit, *, stop_time, dt, integrator, initial_voltages,
 
 
 def dc_handle(circuit, *, time, initial_guess, max_iterations, vtol,
-              damping) -> Optional[DCHandle]:
+              damping, engine=None) -> Optional[DCHandle]:
     """A handle for this DC request, or ``None`` when uncacheable."""
     cache = get_active_cache()
     if cache is None:
@@ -248,7 +254,7 @@ def dc_handle(circuit, *, time, initial_guess, max_iterations, vtol,
     try:
         request = dc_request(circuit, time=time, initial_guess=initial_guess,
                              max_iterations=max_iterations, vtol=vtol,
-                             damping=damping)
+                             damping=damping, engine=engine)
         key = request_key(request)
     except CacheError:
         _metrics().inc("cache.uncacheable", 1)
@@ -280,6 +286,7 @@ def verify_entry(entry: CacheEntry) -> Dict[str, Any]:
 
     with bypassed():
         if entry.kind == "transient":
+            adaptive_cfg = request.get("adaptive") or {}
             result = run_transient(
                 circuit, stop_time=request["stop_time"], dt=request["dt"],
                 integrator=request["integrator"],
@@ -290,7 +297,10 @@ def verify_entry(entry: CacheEntry) -> Dict[str, Any]:
                          if request["dc_seed"] is not None else None),
                 max_iterations=request["max_iterations"],
                 vtol=request["vtol"], damping=request["damping"],
-                engine=request["engine"], lint="off")
+                engine=request["engine"], lint="off",
+                adaptive=bool(adaptive_cfg.get("adaptive", False)),
+                lte_tol=adaptive_cfg.get("lte_tol"),
+                max_dt_factor=adaptive_cfg.get("max_dt_factor"))
             checks = [
                 ("times", result.times, entry.result["times"]),
                 ("node_voltages", result.node_voltages,
@@ -305,7 +315,8 @@ def verify_entry(entry: CacheEntry) -> Dict[str, Any]:
                                if request["initial_guess"] is not None
                                else None),
                 max_iterations=request["max_iterations"],
-                vtol=request["vtol"], damping=request["damping"], lint="off")
+                vtol=request["vtol"], damping=request["damping"], lint="off",
+                engine=request.get("engine"))
             checks = [
                 ("voltages", result.voltages, entry.result["voltages"]),
                 ("branch_currents", result.branch_currents,

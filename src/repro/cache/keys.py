@@ -240,9 +240,16 @@ def transient_request(
     vtol: float,
     damping: float,
     engine: str,
+    adaptive: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """The full request record a transient key digests (also stored in
-    the cache entry, so verification can replay it)."""
+    the cache entry, so verification can replay it).
+
+    ``adaptive`` is the sparse engine's timestep-control configuration
+    (``{"adaptive": bool, "lte_tol": float, "max_dt_factor": int}``) or
+    ``None`` for the fixed-step engines; it is part of the digest so a
+    fixed-step entry can never replay as an adaptive result or vice
+    versa."""
     from repro.spice.analysis.engine import engine_config_fingerprint
 
     return {
@@ -258,6 +265,7 @@ def transient_request(
         "vtol": vtol,
         "damping": damping,
         "engine": engine,
+        "adaptive": adaptive,
         "engine_config": engine_config_fingerprint(),
     }
 
@@ -269,8 +277,14 @@ def dc_request(
     max_iterations: int,
     vtol: float,
     damping: float,
+    engine: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """Request record for a DC operating-point solve."""
+    """Request record for a DC operating-point solve.
+
+    ``engine`` is the linear-solve backend (``None``/``"dense"`` vs
+    ``"sparse"``); the two can differ in final bits, so they must not
+    share entries.  ``None`` is normalised to ``"dense"`` so the
+    historical default keeps its digests."""
     return {
         "kind": "dc",
         "salt": CACHE_SALT,
@@ -280,6 +294,7 @@ def dc_request(
         "max_iterations": max_iterations,
         "vtol": vtol,
         "damping": damping,
+        "engine": "dense" if engine is None else engine,
     }
 
 

@@ -32,6 +32,7 @@ from repro.cells.characterize import (
     characterize_proposed,
     leakage_power,
 )
+from repro.cells.miniarray import MiniArrayCheckpoint, build_mini_array
 
 __all__ = [
     "LatchSizing",
@@ -49,4 +50,6 @@ __all__ = [
     "characterize_standard",
     "characterize_proposed",
     "leakage_power",
+    "MiniArrayCheckpoint",
+    "build_mini_array",
 ]

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import AnalysisError
 from repro.layout.design_rules import DesignRules, RULES_40NM
@@ -130,3 +131,93 @@ class MiniArrayCheckpoint:
                 f"{self.word_width}]: area {self.total_area() * 1e12:.2f} um^2, "
                 f"restore {self.restore_energy() * 1e15:.1f} fJ in "
                 f"{self.restore_latency() * 1e9:.1f} ns")
+
+
+# ---------------------------------------------------------------------------
+# Transistor-level mini-array netlist
+# ---------------------------------------------------------------------------
+
+#: Bit-line driver resistance [Ω] (read-path series resistance).
+BITLINE_DRIVER_RESISTANCE = 2e3
+#: Lumped bit-line wire capacitance per attached row [F].
+BITLINE_WIRE_CAP_PER_ROW = 0.25e-15
+
+
+def build_mini_array(
+    rows: int = 8,
+    cols: int = 8,
+    read_voltage: float = 0.3,
+    wl_voltage: float = 1.1,
+    active_rows: int = 2,
+    access_time: float = 1.0e-9,
+    params: Optional["MTJParameters"] = None,
+    dynamic: bool = False,
+    access_width: float = 480e-9,
+):
+    """Transistor-level netlist of a ``rows x cols`` 1T-1MTJ mini-array.
+
+    This is the *simulatable* counterpart of the
+    :class:`MiniArrayCheckpoint` cost model — the array-scale workload
+    that motivates the sparse engine (every bit cell adds a node, so the
+    dense engines cube in ``rows*cols``).  Topology per cell ``(r, c)``:
+    bit line ``bl{c}`` — access NMOS gated by word line ``wl{r}`` —
+    internal node ``n{r}_{c}`` — MTJ to ground (the shared source
+    line).  Every bit line hangs off one read supply through a driver
+    resistor plus a lumped wire capacitance; every internal node reaches
+    ground through its MTJ, so the netlist is lint-clean (no floating
+    nodes) by construction.
+
+    The first ``active_rows`` word lines fire one after another
+    (word-serial access, pulse ``r`` delayed by ``r * access_time``);
+    the remaining rows stay at 0 V and contribute only leakage and
+    loading — exactly the half-selected cells that make the array
+    matrix large but *sparse*.  Stored data is a checkerboard of P/AP
+    states so both resistance branches appear on every bit line.
+
+    ``dynamic=False`` (default) models a read access — switching
+    dynamics are left off so the stored pattern cannot be disturbed;
+    pass ``dynamic=True`` to study write currents.  A transient of
+    ``active_rows * access_time`` plus settling covers the access
+    sequence (see :func:`repro.core.bench.run_sparse_bench`).
+    """
+    from repro.mtj.device import MTJState
+    from repro.spice.netlist import Circuit
+    from repro.spice.waveforms import Pulse
+
+    if rows < 1 or cols < 1:
+        raise AnalysisError(
+            f"mini-array needs at least one row and column, got "
+            f"{rows}x{cols}")
+    if not 0 <= active_rows <= rows:
+        raise AnalysisError(
+            f"active_rows must lie in [0, {rows}], got {active_rows}")
+
+    circuit = Circuit(f"mini_array_{rows}x{cols}")
+    circuit.add_vsource("VREAD", "vread", "0", read_voltage)
+    for r in range(rows):
+        if r < active_rows:
+            circuit.add_vsource(
+                f"VWL{r}", f"wl{r}", "0",
+                Pulse(initial=0.0, pulsed=wl_voltage,
+                      delay=r * access_time + 0.1e-9,
+                      rise=0.05e-9, fall=0.05e-9,
+                      width=0.7 * access_time,
+                      period=max(rows, 1) * 10.0 * access_time))
+        else:
+            circuit.add_vsource(f"VWL{r}", f"wl{r}", "0", 0.0)
+    for c in range(cols):
+        circuit.add_resistor(f"RBL{c}", "vread", f"bl{c}",
+                             BITLINE_DRIVER_RESISTANCE)
+        circuit.add_capacitor(f"CBL{c}", f"bl{c}", "0",
+                              BITLINE_WIRE_CAP_PER_ROW * rows)
+    for r in range(rows):
+        for c in range(cols):
+            cell = f"n{r}_{c}"
+            circuit.add_nmos(f"M{r}_{c}", f"bl{c}", f"wl{r}", cell,
+                             width=access_width)
+            circuit.add_mtj(
+                f"X{r}_{c}", cell, "0", params=params,
+                state=(MTJState.PARALLEL if (r + c) % 2 == 0
+                       else MTJState.ANTIPARALLEL),
+                dynamic=dynamic)
+    return circuit

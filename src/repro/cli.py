@@ -297,6 +297,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print("Benchmarking result-cache cold vs warm "
               "(Table II fast flow twice)...", file=sys.stderr)
         reports["cache"] = bench.run_cache_bench(args.cache_output)
+    if args.which in ("sparse", "all"):
+        print("Benchmarking sparse engine (batched MC ensemble + "
+              "mini-array transient)...", file=sys.stderr)
+        reports["sparse"] = bench.run_sparse_bench(args.sparse_output,
+                                                   quick=args.quick)
     print(_json.dumps(reports, indent=2))
     obs_report = reports.get("obs")
     if obs_report is not None and not obs_report["within_bound"]:
@@ -310,6 +315,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f"{100 * cache_report['solver_call_reduction']:.1f}% below "
               f"{100 * cache_report['target_reduction']:g}% or metrics "
               f"not bit-identical", file=sys.stderr)
+        return 1
+    sparse_report = reports.get("sparse")
+    if sparse_report is not None and not sparse_report["meets_target"]:
+        ens = sparse_report["ensemble_monte_carlo"]
+        arr = sparse_report["mini_array_transient"]
+        print(f"error: sparse bench below target — ensemble "
+              f"{ens['speedup_vs_fast']:g}x vs fast "
+              f"(need {ens['required_vs_fast']:g}x), mini-array "
+              f"{arr['speedup_vs_fast']:g}x vs fast "
+              f"(need {arr['required_vs_fast']:g}x), or waveform "
+              f"disagreement above "
+              f"{sparse_report['agreement_tol_v']:g} V", file=sys.stderr)
         return 1
     return 0
 
@@ -491,17 +508,25 @@ def build_parser() -> argparse.ArgumentParser:
     pb = sub.add_parser(
         "bench",
         help="regenerate BENCH_engine.json / BENCH_obs_overhead.json / "
-             "BENCH_cache.json")
-    pb.add_argument("which", choices=["engine", "obs", "cache", "all"],
+             "BENCH_cache.json / BENCH_sparse.json")
+    pb.add_argument("which", choices=["engine", "obs", "cache", "sparse",
+                                      "all"],
                     help="'engine' (naive vs fast, minutes), 'obs' "
                          "(observability overhead, seconds), 'cache' "
-                         "(cold vs warm result cache, seconds), or 'all'")
+                         "(cold vs warm result cache, seconds), 'sparse' "
+                         "(batched MC ensemble + mini-array, minutes), "
+                         "or 'all'")
     pb.add_argument("--engine-output", default="BENCH_engine.json",
                     metavar="PATH")
     pb.add_argument("--obs-output", default="BENCH_obs_overhead.json",
                     metavar="PATH")
     pb.add_argument("--cache-output", default="BENCH_cache.json",
                     metavar="PATH")
+    pb.add_argument("--sparse-output", default="BENCH_sparse.json",
+                    metavar="PATH")
+    pb.add_argument("--quick", action="store_true",
+                    help="CI smoke shape for the sparse bench: fewer "
+                         "samples, smaller array, >=2x gates")
     pb.set_defaults(func=_cmd_bench)
 
     pc = sub.add_parser(

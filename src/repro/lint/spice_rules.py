@@ -264,15 +264,35 @@ def check_self_loops(circuit: Circuit, emit) -> None:
 
 
 def _mtj_pairs(circuit: Circuit) -> List[Tuple[MTJElement, MTJElement, int]]:
-    """Complementary MTJ pairs: two junctions sharing exactly one node
-    (their common/center node).  Returns (mtj_a, mtj_b, common_node)."""
+    """Complementary MTJ pairs: two junctions sharing exactly one
+    *non-ground* node (their common/center node).  Ground is excluded —
+    a 1T-1MTJ array ties every junction to the shared source line, and
+    treating those as complementary pairs would flag every array as a
+    store-path violation.  Returns (mtj_a, mtj_b, common_node)."""
     mtjs = [d for d in circuit.devices if isinstance(d, MTJElement)]
+    # Bucket junctions by non-ground node so candidate pairs are only
+    # compared within a bucket — array-scale netlists have thousands of
+    # MTJs but tiny per-node fan-in, and the quadratic all-pairs scan
+    # dominated preflight there.  Pair ordering stays that of the
+    # original scan: (i, j) by device position, ascending.
+    by_node: Dict[int, List[int]] = {}
+    for i, m in enumerate(mtjs):
+        for n in set(m.node_indices()):
+            if n != -1:
+                by_node.setdefault(n, []).append(i)
+    candidates = sorted({
+        (bucket[i], bucket[j])
+        for bucket in by_node.values()
+        for i in range(len(bucket))
+        for j in range(i + 1, len(bucket))
+    })
     pairs = []
-    for i, a in enumerate(mtjs):
-        for b in mtjs[i + 1:]:
-            shared = set(a.node_indices()) & set(b.node_indices())
-            if len(shared) == 1:
-                pairs.append((a, b, shared.pop()))
+    for i, j in candidates:
+        a, b = mtjs[i], mtjs[j]
+        shared = set(a.node_indices()) & set(b.node_indices())
+        shared.discard(-1)
+        if len(shared) == 1:
+            pairs.append((a, b, shared.pop()))
     return pairs
 
 

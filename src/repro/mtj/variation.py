@@ -160,6 +160,90 @@ def monte_carlo_map(
     return dedup_map(fn, samples, workers=workers)
 
 
+def _ensemble_chunk_task(build, extract, stop_time, dt, integrator,
+                         initial_voltages, max_iterations, vtol, damping,
+                         chunk):
+    """Evaluate one fixed chunk of Monte-Carlo samples batched.
+
+    Module-level so :func:`repro.parallel.parallel_map` can pickle it;
+    the chunk is the unit of batching *and* of parallel distribution."""
+    from repro.spice.analysis.ensemble import run_ensemble_transient
+
+    circuits = [build(sample) for sample in chunk]
+    results = run_ensemble_transient(
+        circuits, stop_time, dt, integrator=integrator,
+        initial_voltages=initial_voltages, max_iterations=max_iterations,
+        vtol=vtol, damping=damping)
+    return [extract(result) for result in results]
+
+
+def monte_carlo_ensemble(
+    build,
+    extract,
+    params: MTJParameters,
+    *,
+    stop_time: float,
+    dt: float,
+    variation: Optional[MTJVariation] = None,
+    count: int = 1,
+    seed: int = DEFAULT_SEED,
+    clip_sigma: float = 3.0,
+    integrator: str = "be",
+    initial_voltages=None,
+    max_iterations: Optional[int] = None,
+    vtol: Optional[float] = None,
+    damping: Optional[float] = None,
+    workers: Optional[int] = None,
+    chunk: Optional[int] = None,
+) -> List:
+    """Monte-Carlo transient study through the batched ensemble engine.
+
+    ``build(sample_params) -> Circuit`` constructs one sample's circuit
+    (every sample must share the topology — only parameter values may
+    differ); ``extract(TransientResult) -> R`` reduces each sample's
+    waveforms to the quantity under study.  Both must be picklable
+    (module-level callables or ``functools.partial``) for the worker-pool
+    path to engage.
+
+    Samples are drawn with :func:`monte_carlo_parameters` (per-sample
+    spawned streams — a pure function of ``(seed, i)``) and partitioned
+    into **fixed-size chunks** that depend only on ``count`` and
+    ``chunk`` — never on ``workers`` — then each chunk is advanced as one
+    block-diagonal batched solve
+    (:func:`repro.spice.analysis.ensemble.run_ensemble_transient`).
+    Because the chunking and the per-chunk math are both independent of
+    the pool, the returned list is bit-identical for every ``workers``
+    setting (``tests/test_parallel.py`` pins ``workers=1`` against
+    ``workers=4``).
+    """
+    import functools
+
+    from repro.parallel import parallel_map
+    from repro.spice.analysis.dc import (
+        DEFAULT_DAMPING,
+        DEFAULT_MAX_ITERATIONS,
+        DEFAULT_VTOL,
+    )
+    from repro.spice.analysis.ensemble import ENSEMBLE_CHUNK
+
+    if chunk is None:
+        chunk = ENSEMBLE_CHUNK
+    if chunk < 1:
+        raise DeviceModelError(f"chunk must be >= 1, got {chunk}")
+    samples = monte_carlo_parameters(params, variation, count=count,
+                                     seed=seed, clip_sigma=clip_sigma)
+    chunks = [samples[i:i + chunk] for i in range(0, len(samples), chunk)]
+    task = functools.partial(
+        _ensemble_chunk_task, build, extract, stop_time, dt, integrator,
+        initial_voltages,
+        DEFAULT_MAX_ITERATIONS if max_iterations is None else max_iterations,
+        DEFAULT_VTOL if vtol is None else vtol,
+        DEFAULT_DAMPING if damping is None else damping)
+    chunk_results = parallel_map(task, chunks, workers=workers)
+    return [value for chunk_result in chunk_results
+            for value in chunk_result]
+
+
 def monte_carlo_campaign(
     fn: Callable[[MTJParameters, np.random.Generator], _R],
     params: MTJParameters,

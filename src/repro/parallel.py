@@ -106,6 +106,11 @@ def parallel_map(
     except (OSError, BrokenExecutor, ImportError) as exc:
         # No usable process pool here (restricted sandbox, missing
         # semaphores, ...): fall back to the serial path — loudly.
+        # The fallback performs no seeding of its own: any randomness
+        # must already be bound into the items (spawn_rngs per-item
+        # streams), so serial re-execution is bit-identical to the pool
+        # path.  tests/test_parallel.py pins this for the batched
+        # Monte-Carlo ensemble (workers=1 vs workers=4).
         warnings.warn(
             f"process pool unavailable ({type(exc).__name__}: {exc}); "
             f"re-running {len(items)} task(s) serially",

@@ -2,6 +2,16 @@
 
 from repro.spice.analysis.mna import MNAStamper
 from repro.spice.analysis.engine import FastNewtonSolver, MNAWorkspace
+from repro.spice.analysis.sparse import (
+    SparseNewtonSolver,
+    SparsePattern,
+    run_adaptive_transient,
+    sparse_linear_solve,
+)
+from repro.spice.analysis.ensemble import (
+    EnsembleWorkspace,
+    run_ensemble_transient,
+)
 from repro.spice.analysis.dc import solve_dc, DCResult
 from repro.spice.analysis.transient import (
     run_transient,
@@ -27,6 +37,12 @@ __all__ = [
     "MNAStamper",
     "MNAWorkspace",
     "FastNewtonSolver",
+    "SparseNewtonSolver",
+    "SparsePattern",
+    "sparse_linear_solve",
+    "run_adaptive_transient",
+    "EnsembleWorkspace",
+    "run_ensemble_transient",
     "solve_dc",
     "DCResult",
     "run_transient",

@@ -85,6 +85,7 @@ def _newton(
     dt: Optional[float] = None,
     integrator: str = "be",
     deadline: Optional[float] = None,
+    linear_solve=None,
 ) -> tuple:
     """One Newton solve; returns ``(x, iterations)`` or raises.
 
@@ -116,7 +117,10 @@ def _newton(
             device.stamp(stamper, ctx)
         stamper.apply_gmin(gmin)
         try:
-            x_new = stamper.solve()
+            if linear_solve is None:
+                x_new = stamper.solve()
+            else:
+                x_new = linear_solve(stamper.matrix, stamper.rhs)
         except np.linalg.LinAlgError as exc:
             raise ConvergenceError(
                 f"singular MNA matrix at gmin={gmin:g} (iteration {iteration})",
@@ -179,8 +183,15 @@ def solve_dc(
     damping: float = DEFAULT_DAMPING,
     lint: str = "error",
     timeout: Optional[float] = None,
+    engine: Optional[str] = None,
 ) -> DCResult:
     """Find the DC operating point with source values evaluated at ``time``.
+
+    ``engine`` — ``None``/``"dense"`` solves each Newton iteration's
+    linear system densely (the historical path); ``"sparse"`` routes it
+    through the SuperLU backend of :mod:`repro.spice.analysis.sparse`
+    (worthwhile for array-scale circuits).  Both obey the same gmin
+    ladder; the choice is part of the cache key.
 
     ``initial_guess`` maps node names to seed voltages; unlisted nodes
     start at 0 V.  For bistable circuits (sense amplifiers, latches) the
@@ -206,13 +217,23 @@ def solve_dc(
         raise ConvergenceError(f"timeout must be positive, got {timeout}")
     deadline = None if timeout is None else _time.monotonic() + timeout
 
+    if engine in (None, "dense"):
+        linear_solve = None
+    elif engine == "sparse":
+        from repro.spice.analysis.sparse import sparse_linear_solve
+
+        linear_solve = sparse_linear_solve
+    else:
+        raise ConvergenceError(
+            f"unknown DC engine {engine!r}; expected 'dense' or 'sparse'")
+
     # Content-addressed result cache: the timeout is a wall-clock budget,
     # not part of the solution, so it is deliberately absent from the key.
     from repro.cache.analysis import dc_handle
 
     cache_handle = dc_handle(circuit, time=time, initial_guess=initial_guess,
                              max_iterations=max_iterations, vtol=vtol,
-                             damping=damping)
+                             damping=damping, engine=engine)
     if cache_handle is not None:
         cached = cache_handle.lookup()
         if cached is not None:
@@ -234,7 +255,7 @@ def solve_dc(
         try:
             x, iterations = _newton(
                 circuit, x0, time, FLOOR_GMIN, max_iterations, vtol, damping,
-                deadline=deadline,
+                deadline=deadline, linear_solve=linear_solve,
             )
             _flush_dc_metrics(sp, iterations, gmin_stages=0)
             result = DCResult(circuit, x[: circuit.num_nodes],
@@ -260,7 +281,7 @@ def solve_dc(
             try:
                 x, iterations = _newton(
                     circuit, x, time, gmin, max_iterations, vtol, damping,
-                    deadline=deadline,
+                    deadline=deadline, linear_solve=linear_solve,
                 )
                 total_iterations += iterations
                 gmin_stages += 1

@@ -46,9 +46,11 @@ except ImportError:  # pragma: no cover - scipy is a declared dependency
     _HAVE_SCIPY = False
 
 from repro.errors import ConvergenceError
+from repro.mtj.device import MTJState
 from repro.obs import is_active as _obs_active
 from repro.spice.devices.base import Device, EvalContext
 from repro.spice.devices.mosfet import MOSFET
+from repro.spice.devices.mtj_element import MTJElement
 from repro.spice.devices.passive import Capacitor
 from repro.spice.analysis.mna import MNAStamper
 from repro.spice.netlist import Circuit
@@ -57,6 +59,14 @@ from repro.spice.netlist import Circuit
 #: below this the per-device scalar stamp (identical to the naive path)
 #: is cheaper than numpy call overhead.
 VECTORIZE_MOSFET_THRESHOLD = 4
+#: Minimum MTJ count before the vectorised MTJ group pays off — array
+#: workloads (1T-1MTJ grids) have hundreds of junctions whose scalar
+#: Python stamps would otherwise dominate the Newton iteration.  Set
+#: *above* 4 so the shipped cells (1-bit: 2 MTJs, 2-bit: 4 MTJs) keep
+#: the scalar per-element stamps: vectorised accumulation reorders the
+#: floating-point sums at the ulp level, and the golden baselines
+#: (tests/test_golden_faults_baseline.py) pin those cells bit-exactly.
+VECTORIZE_MTJ_THRESHOLD = 5
 #: Refactorise the Jacobian at least every this many iterations.
 JACOBIAN_MAX_AGE = 6
 #: Smoothing of the channel-length-modulation overdrive (mirrors mosfet.py).
@@ -81,6 +91,12 @@ class SolverStats:
     singular_retries: int = 0
     gmin_retries: int = 0
     timesteps: int = 0
+    #: Sparse engine: symbolic pattern analyses performed vs served from
+    #: the topology-keyed registry (see repro.spice.analysis.sparse).
+    pattern_builds: int = 0
+    pattern_reuses: int = 0
+    #: Adaptive timestep control: steps rejected by the LTE estimator.
+    lte_rejects: int = 0
     stamp_seconds: Dict[str, float] = field(default_factory=dict)
 
     def flush_to(self, registry) -> None:
@@ -95,6 +111,12 @@ class SolverStats:
             registry.inc("engine.gmin_retries", self.gmin_retries)
         if self.timesteps:
             registry.inc("engine.timesteps", self.timesteps)
+        if self.pattern_builds:
+            registry.inc("engine.sparse_pattern_builds", self.pattern_builds)
+        if self.pattern_reuses:
+            registry.inc("engine.sparse_pattern_reuses", self.pattern_reuses)
+        if self.lte_rejects:
+            registry.inc("engine.lte_rejects", self.lte_rejects)
         for device_class in sorted(self.stamp_seconds):
             registry.inc(f"engine.stamp_seconds.{device_class}",
                          self.stamp_seconds[device_class])
@@ -109,6 +131,9 @@ class SolverStats:
             "singular_retries": self.singular_retries,
             "gmin_retries": self.gmin_retries,
             "timesteps": self.timesteps,
+            "pattern_builds": self.pattern_builds,
+            "pattern_reuses": self.pattern_reuses,
+            "lte_rejects": self.lte_rejects,
         }
 
     def to_json(self) -> Dict[str, object]:
@@ -122,6 +147,9 @@ class SolverStats:
             "singular_retries": self.singular_retries,
             "gmin_retries": self.gmin_retries,
             "timesteps": self.timesteps,
+            "pattern_builds": self.pattern_builds,
+            "pattern_reuses": self.pattern_reuses,
+            "lte_rejects": self.lte_rejects,
             "stamp_seconds": dict(self.stamp_seconds),
         }
 
@@ -135,6 +163,9 @@ class SolverStats:
             singular_retries=int(data.get("singular_retries", 0)),
             gmin_retries=int(data.get("gmin_retries", 0)),
             timesteps=int(data.get("timesteps", 0)),
+            pattern_builds=int(data.get("pattern_builds", 0)),
+            pattern_reuses=int(data.get("pattern_reuses", 0)),
+            lte_rejects=int(data.get("lte_rejects", 0)),
             stamp_seconds={str(k): float(v)
                            for k, v in dict(
                                data.get("stamp_seconds", {})).items()},
@@ -147,10 +178,14 @@ def engine_config_fingerprint() -> Dict[str, object]:
     builds.  The LAPACK-LU availability flag matters because the fast
     engine's Jacobian-reuse path only runs with scipy present, and a
     different factorisation route can differ in final bits."""
+    from repro.spice.analysis.sparse import sparse_config_fingerprint
+
     return {
         "vectorize_mosfet_threshold": VECTORIZE_MOSFET_THRESHOLD,
+        "vectorize_mtj_threshold": VECTORIZE_MTJ_THRESHOLD,
         "jacobian_max_age": JACOBIAN_MAX_AGE,
         "scipy_lu": _HAVE_SCIPY,
+        "sparse": sparse_config_fingerprint(),
     }
 
 
@@ -282,12 +317,114 @@ class _MOSFETGroup:
     def stamp(self, matrix_flat: np.ndarray, rhs: np.ndarray,
               voltages: np.ndarray) -> None:
         """Scatter the linearised stamps of all transistors at once."""
+        self.stamp_into(matrix_flat, self.flat_index, rhs, voltages)
+
+    def stamp_into(self, target: np.ndarray, index: np.ndarray,
+                   rhs: np.ndarray, voltages: np.ndarray) -> None:
+        """Stamp with a caller-supplied slot mapping: ``target[index]``
+        must alias the same matrix slots as ``matrix_flat[flat_index]``
+        (the sparse engine passes CSC data positions)."""
         _i_drain, partials, const = self.evaluate(voltages)
         values = (self.scatter_sign
                   * partials[self.scatter_k, self.scatter_fet])
-        np.add.at(matrix_flat, self.flat_index, values)
+        np.add.at(target, index, values)
         np.add.at(rhs, self.drain[self.drain_sel], -const[self.drain_sel])
         np.add.at(rhs, self.source[self.source_sel], const[self.source_sel])
+
+
+class _MTJGroup:
+    """All MTJ elements of a circuit, evaluated and stamped as arrays.
+
+    Replicates :meth:`MTJElement.stamp` element-wise (same conductance
+    and roll-off expressions, vectorised).  State stays owned by the
+    elements so :meth:`MNAWorkspace.update_state` keeps driving the
+    scalar :class:`~repro.mtj.dynamics.SwitchingModel` exactly as
+    before.  Because ``device.state`` only ever flips inside
+    ``update_state`` — between accepted timepoints, never during Newton
+    iterations — the per-junction P/AP mask is cached for the duration
+    of a timepoint (:meth:`refresh_states` from ``begin_step``,
+    invalidated by ``MNAWorkspace.update_state``) instead of being
+    re-read from Python objects on every stamp call.
+    """
+
+    def __init__(self, mtjs: List[MTJElement], size: int):
+        self.mtjs = mtjs
+        self.free = np.array([m.free for m in mtjs], dtype=np.intp)
+        self.ref = np.array([m.ref for m in mtjs], dtype=np.intp)
+        self.r_p = np.array([m.device.params.resistance_p for m in mtjs])
+        self.tmr0 = np.array([m.device.params.tmr_zero_bias for m in mtjs])
+        self.v_h = np.array(
+            [m.device.params.tmr_half_bias_voltage for m in mtjs])
+        self._gather_free = _Gather(self.free)
+        self._gather_ref = _Gather(self.ref)
+        # Conductance scatter: +g on the diagonals, −g on the couplings,
+        # ground rows/columns dropped (mirrors MNAStamper.add_conductance).
+        flat_parts: List[np.ndarray] = []
+        sign_parts: List[np.ndarray] = []
+        sel_parts: List[np.ndarray] = []
+        for row, col, sign in ((self.free, self.free, 1.0),
+                               (self.ref, self.ref, 1.0),
+                               (self.free, self.ref, -1.0),
+                               (self.ref, self.free, -1.0)):
+            sel = np.nonzero((row >= 0) & (col >= 0))[0]
+            flat_parts.append(row[sel] * size + col[sel])
+            sign_parts.append(np.full(sel.shape, sign))
+            sel_parts.append(sel)
+        self.flat_index = np.concatenate(flat_parts)
+        self.scatter_sign = np.concatenate(sign_parts)
+        self.scatter_mtj = np.concatenate(sel_parts)
+        self.free_sel = np.nonzero(self.free >= 0)[0]
+        self.ref_sel = np.nonzero(self.ref >= 0)[0]
+        self._ap_cache: Optional[np.ndarray] = None
+
+    def _read_states(self) -> np.ndarray:
+        return np.fromiter(
+            (m.device.state is not MTJState.PARALLEL for m in self.mtjs),
+            dtype=bool, count=len(self.mtjs))
+
+    def refresh_states(self) -> None:
+        """Snapshot the P/AP mask for the coming timepoint."""
+        self._ap_cache = self._read_states()
+
+    def invalidate_states(self) -> None:
+        """Drop the snapshot (a switching event may have flipped state)."""
+        self._ap_cache = None
+
+    def _is_ap(self) -> np.ndarray:
+        if self._ap_cache is not None:
+            return self._ap_cache
+        return self._read_states()
+
+    def electrical(self, voltages: np.ndarray
+                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Bias, conductance and conductance derivative per junction."""
+        v = self._gather_free(voltages) - self._gather_ref(voltages)
+        av = np.abs(v)
+        is_ap = self._is_ap()
+        ratio = av / self.v_h
+        denom = 1.0 + ratio * ratio
+        r_ap = self.r_p * (1.0 + self.tmr0 / denom)
+        g = np.where(is_ap, 1.0 / r_ap, 1.0 / self.r_p)
+        dr_dv = (self.r_p * self.tmr0 * (-1.0 / (denom * denom))
+                 * (2.0 * av / (self.v_h * self.v_h)))
+        dg = np.where(is_ap, -dr_dv / (r_ap * r_ap), 0.0)
+        return v, g, dg
+
+    def stamp(self, matrix_flat: np.ndarray, rhs: np.ndarray,
+              voltages: np.ndarray) -> None:
+        """Scatter the linearised stamps of all junctions at once."""
+        self.stamp_into(matrix_flat, self.flat_index, rhs, voltages)
+
+    def stamp_into(self, target: np.ndarray, index: np.ndarray,
+                   rhs: np.ndarray, voltages: np.ndarray) -> None:
+        """Stamp with a caller-supplied slot mapping (see
+        :meth:`_MOSFETGroup.stamp_into`)."""
+        v, g, dg = self.electrical(voltages)
+        g_eff = np.maximum(g + np.abs(v) * dg, 0.1 * g)
+        const = g * v - g_eff * v
+        np.add.at(target, index, self.scatter_sign * g_eff[self.scatter_mtj])
+        np.add.at(rhs, self.free[self.free_sel], -const[self.free_sel])
+        np.add.at(rhs, self.ref[self.ref_sel], const[self.ref_sel])
 
 
 class _CapacitorGroup:
@@ -383,13 +520,19 @@ class MNAWorkspace:
         self._step_rhs = np.zeros(self.size)
         self._static_matrix = np.zeros((self.size, self.size))
 
+        mtj_count = sum(1 for d in circuit.devices
+                        if isinstance(d, MTJElement))
+        vectorize_mtjs = mtj_count >= VECTORIZE_MTJ_THRESHOLD
         fets: List[MOSFET] = []
+        mtjs: List[MTJElement] = []
         caps: List[Capacitor] = []
         self._linear_devices: List[Device] = []
         self._iterate_devices: List[Device] = []
         for device in circuit.devices:
             if isinstance(device, MOSFET):
                 fets.append(device)
+            elif vectorize_mtjs and isinstance(device, MTJElement):
+                mtjs.append(device)
             elif isinstance(device, Capacitor):
                 caps.append(device)
             elif device.nonlinear:
@@ -403,6 +546,8 @@ class MNAWorkspace:
         else:
             self.fet_group = None
             self._iterate_devices = fets + self._iterate_devices
+        self.mtj_group: Optional[_MTJGroup] = (
+            _MTJGroup(mtjs, self.size) if mtjs else None)
 
         self._build_static()
         # Reusable EvalContext scaffolding.
@@ -438,6 +583,8 @@ class MNAWorkspace:
         for device in self._linear_devices:
             device.stamp_step(view, ctx)
         self.cap_group.step_rhs(self._step_rhs, prev_voltages)
+        if self.mtj_group is not None:
+            self.mtj_group.refresh_states()
 
     def assemble(self, x: np.ndarray, gmin: float = 0.0,
                  timing: Optional[Dict[str, float]] = None) -> EvalContext:
@@ -471,6 +618,13 @@ class MNAWorkspace:
                 timing["MOSFETGroup"] = (timing.get("MOSFETGroup", 0.0)
                                          + (t1 - t0))
                 t0 = t1
+        if self.mtj_group is not None:
+            self.mtj_group.stamp(self._matrix_flat, self.rhs, voltages)
+            if timing is not None:
+                t1 = _time.perf_counter()
+                timing["MTJGroup"] = (timing.get("MTJGroup", 0.0)
+                                      + (t1 - t0))
+                t0 = t1
         if self._iterate_devices:
             view = MNAStamper(self.num_nodes, self.num_branches,
                               matrix=self.matrix, rhs=self.rhs)
@@ -498,6 +652,10 @@ class MNAWorkspace:
         if self.fet_group is not None:
             for device in self.fet_group.fets:
                 device.update_state(ctx)
+        if self.mtj_group is not None:
+            for device in self.mtj_group.mtjs:
+                device.update_state(ctx)
+            self.mtj_group.invalidate_states()
         for device in self._linear_devices:
             device.update_state(ctx)
 

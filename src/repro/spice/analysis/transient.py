@@ -17,12 +17,17 @@ starts (everything at 0 V) are modelled.
 
 Engine selection: ``engine="fast"`` (the default) runs the cached-assembly
 modified-Newton engine of :mod:`repro.spice.analysis.engine`;
-``engine="naive"`` keeps the legacy re-stamp-everything path.  The two are
+``engine="naive"`` keeps the legacy re-stamp-everything path;
+``engine="sparse"`` runs the CSC/SuperLU core of
+:mod:`repro.spice.analysis.sparse` (symbolic-pattern reuse, optional
+LTE-adaptive timestep via ``adaptive=True``).  All engines are
 equivalent to ≤ 1 µV on every node waveform (enforced by
-``tests/test_engine_equivalence.py``); the fast path is typically 2–4×
-faster on the latch circuits.  ``set_default_engine`` switches the
-session-wide default (used by benchmarks to time both paths through
-code that does not thread the ``engine`` argument).
+``tests/test_engine_equivalence.py`` and
+``tests/test_engine_differential.py``); the fast path is typically 2–4×
+faster than naive on the latch circuits, and sparse wins further with
+node count.  ``set_default_engine`` switches the session-wide default
+(used by benchmarks to time the paths through code that does not thread
+the ``engine`` argument).
 """
 
 from __future__ import annotations
@@ -53,7 +58,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.spice.analysis.engine import SolverStats
 
 #: Engines accepted by :func:`run_transient`.
-ENGINES = ("fast", "naive")
+ENGINES = ("fast", "naive", "sparse")
 
 #: Session-wide default engine (see :func:`set_default_engine`).
 _default_engine = "fast"
@@ -88,6 +93,10 @@ class TransientResult:
     #: observability registry receives, so traced campaigns can check
     #: one against the other.
     stats: Optional["SolverStats"] = None
+    #: Adaptive runs only: the sequence of accepted internal step sizes
+    #: [s] (``None`` for fixed-step runs).  Pinned by the dt-trace golden
+    #: file so step-selection changes are visible in review.
+    dt_trace: Optional[np.ndarray] = None
 
     def voltage(self, node_name: str) -> np.ndarray:
         """Waveform of a node voltage [V].
@@ -142,6 +151,9 @@ def run_transient(
     engine: Optional[str] = None,
     lint: str = "error",
     timeout: Optional[float] = None,
+    adaptive: bool = False,
+    lte_tol: Optional[float] = None,
+    max_dt_factor: Optional[int] = None,
 ) -> TransientResult:
     """Simulate from 0 to ``stop_time`` with step ``dt``.
 
@@ -150,8 +162,13 @@ def run_transient(
     * ``dc_seed`` — initial guess handed to the t=0 DC solve (selects the
       branch of bistable circuits).
     * ``on_step(time, node_voltages)`` — observer hook.
-    * ``engine`` — ``"fast"`` or ``"naive"``; ``None`` uses the session
-      default (see :func:`set_default_engine`).
+    * ``engine`` — ``"fast"``, ``"naive"`` or ``"sparse"``; ``None`` uses
+      the session default (see :func:`set_default_engine`).
+    * ``adaptive`` — LTE-controlled internal timestep (``engine="sparse"``
+      with the ``be`` integrator only); ``dt`` becomes the base step of
+      the dt ladder and the output stays sampled on the fixed ``k·dt``
+      grid.  ``lte_tol``/``max_dt_factor`` tune the controller (defaults
+      from :mod:`repro.spice.analysis.sparse`).
     * ``lint`` — ERC pre-flight mode (``"error"``/``"warn"``/``"off"``):
       structurally broken circuits (floating nodes, supply loops, ...)
       raise a :class:`~repro.errors.NetlistError` naming the root-cause
@@ -176,6 +193,25 @@ def run_transient(
     if engine not in ENGINES:
         raise AnalysisError(f"unknown engine {engine!r}; expected one of {ENGINES}")
 
+    from repro.spice.analysis.sparse import (
+        DEFAULT_LTE_TOL,
+        DEFAULT_MAX_DT_FACTOR,
+    )
+
+    if adaptive:
+        if engine != "sparse":
+            raise AnalysisError(
+                f"adaptive timestep control requires engine='sparse' "
+                f"(got engine={engine!r})")
+        if integrator != "be":
+            raise AnalysisError(
+                "adaptive timestep control supports the 'be' integrator "
+                f"only (got {integrator!r})")
+    if lte_tol is None:
+        lte_tol = DEFAULT_LTE_TOL
+    if max_dt_factor is None:
+        max_dt_factor = DEFAULT_MAX_DT_FACTOR
+
     from repro.lint import preflight
 
     preflight(circuit, lint)
@@ -192,7 +228,10 @@ def run_transient(
             circuit, stop_time=stop_time, dt=dt, integrator=integrator,
             initial_voltages=initial_voltages, dc_seed=dc_seed,
             max_iterations=max_iterations, vtol=vtol, damping=damping,
-            engine=engine)
+            engine=engine,
+            adaptive={"adaptive": adaptive, "lte_tol": lte_tol,
+                      "max_dt_factor": max_dt_factor}
+            if engine == "sparse" else None)
         if cache_handle is not None:
             cached = cache_handle.lookup()
             if cached is not None:
@@ -228,6 +267,24 @@ def run_transient(
                           timeout=remaining)
             x = np.concatenate([dc.voltages, dc.branch_currents])
 
+        if adaptive:
+            from repro.spice.analysis.sparse import run_adaptive_transient
+
+            times, voltages, currents, dt_trace = run_adaptive_transient(
+                circuit, x, stop_time, dt, integrator, max_iterations,
+                vtol, damping, FLOOR_GMIN, stats, lte_tol=lte_tol,
+                max_dt_factor=max_dt_factor, deadline=deadline,
+                timeout=timeout, on_step=on_step)
+            if _obs_active():
+                stats.flush_to(_obs_metrics())
+                _obs_metrics().inc("analysis.transients", 1)
+                run_span.annotate(**stats.as_attrs())
+            result = TransientResult(circuit, times, voltages, currents,
+                                     stats=stats, dt_trace=dt_trace)
+            if cache_handle is not None:
+                cache_handle.store(result)
+            return result
+
         steps = int(round(stop_time / dt))
         times = np.empty(steps + 1)
         voltages = np.empty((steps + 1, num_nodes))
@@ -237,17 +294,25 @@ def run_transient(
         voltages[0] = x[:num_nodes]
         currents[0] = x[num_nodes:]
 
-        if engine == "fast":
+        if engine in ("fast", "sparse"):
             from repro.spice.analysis.engine import (
                 FastNewtonSolver,
                 MNAWorkspace,
             )
 
             with _obs_span("engine.workspace_build", category="engine",
-                           attrs={"circuit": circuit.name}):
+                           attrs={"circuit": circuit.name,
+                                  "engine": engine}):
                 workspace = MNAWorkspace(circuit, dt=dt,
                                          integrator=integrator)
-                solver = FastNewtonSolver(workspace, stats=stats)
+                if engine == "sparse":
+                    from repro.spice.analysis.sparse import (
+                        SparseNewtonSolver,
+                    )
+
+                    solver = SparseNewtonSolver(workspace, stats=stats)
+                else:
+                    solver = FastNewtonSolver(workspace, stats=stats)
 
             def advance(x: np.ndarray, time: float,
                         prev_nodes: np.ndarray) -> np.ndarray:

@@ -23,6 +23,13 @@ class Waveform:
     def __call__(self, time: float) -> float:
         return self.value(time)
 
+    def breakpoints(self, stop_time: float) -> Tuple[float, ...]:
+        """Times in ``[0, stop_time]`` where the waveform has a corner
+        (slope discontinuity).  Adaptive integrators clamp their step so
+        a corner is landed on, never strided over; a smooth/constant
+        waveform reports none."""
+        return ()
+
 
 @dataclass(frozen=True)
 class DC(Waveform):
@@ -67,6 +74,22 @@ class Pulse(Waveform):
             return self.pulsed + (self.initial - self.pulsed) * t / self.fall
         return self.initial
 
+    def breakpoints(self, stop_time: float) -> Tuple[float, ...]:
+        corners = (0.0, self.rise, self.rise + self.width,
+                   self.rise + self.width + self.fall)
+        times: List[float] = []
+        cycle = 0
+        while True:
+            base = self.delay + cycle * self.period
+            if base > stop_time:
+                break
+            times.extend(base + c for c in corners
+                         if base + c <= stop_time)
+            if self.period <= 0.0:
+                break
+            cycle += 1
+        return tuple(times)
+
 
 @dataclass(frozen=True)
 class PWL(Waveform):
@@ -98,6 +121,9 @@ class PWL(Waveform):
         t1, v1 = self.points[idx]
         frac = (time - t0) / (t1 - t0)
         return v0 + frac * (v1 - v0)
+
+    def breakpoints(self, stop_time: float) -> Tuple[float, ...]:
+        return tuple(t for t in self._times if t <= stop_time)
 
 
 def step_sequence(

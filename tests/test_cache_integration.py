@@ -128,6 +128,49 @@ class TestInvalidation:
         assert delta["cache.miss"] == 1, "the transient must miss on dt"
         assert delta["cache.hit"] == 1, "the dt-independent DC solve hits"
 
+    def test_adaptive_toggle_misses(self, active_cache):
+        # A fixed-step sparse entry must never replay as an adaptive
+        # result: the controller configuration is part of the key.
+        _run(engine="sparse")
+        before = _counters()
+        _run(engine="sparse", adaptive=True)
+        delta = _delta(before, _counters())
+        assert delta["cache.miss"] == 1
+        assert delta["cache.hit"] == 1  # the t=0 DC solve is shared
+
+
+class TestSparseWarmHits:
+    def test_sparse_fixed_warm_hit_is_bit_identical(self, active_cache):
+        cold = _run(engine="sparse")
+        before = _counters()
+        warm = _run(engine="sparse")
+        delta = _delta(before, _counters())
+        # One hit: the transient returns from cache, so the internal DC
+        # solve (the second cold entry) never even runs.
+        assert delta["cache.hit"] == 1 and "cache.miss" not in delta
+        assert np.array_equal(cold.node_voltages, warm.node_voltages)
+        assert np.array_equal(cold.branch_currents, warm.branch_currents)
+        assert warm.dt_trace is None
+
+    def test_sparse_adaptive_warm_hit_round_trips_dt_trace(self,
+                                                           active_cache):
+        cold = _run(engine="sparse", adaptive=True)
+        before = _counters()
+        warm = _run(engine="sparse", adaptive=True)
+        delta = _delta(before, _counters())
+        assert delta["cache.hit"] == 1 and "cache.miss" not in delta
+        assert np.array_equal(cold.node_voltages, warm.node_voltages)
+        assert cold.dt_trace is not None
+        assert warm.dt_trace is not None
+        assert np.array_equal(cold.dt_trace, warm.dt_trace)
+
+    def test_controller_tuning_misses(self, active_cache):
+        _run(engine="sparse", adaptive=True)
+        before = _counters()
+        _run(engine="sparse", adaptive=True, lte_tol=1e-5)
+        delta = _delta(before, _counters())
+        assert delta["cache.miss"] == 1
+
 
 class TestCorruptionTolerance:
     def test_corrupted_entry_recomputes_and_heals(self, active_cache):

@@ -119,6 +119,65 @@ class TestInvalidation:
                                           damping=1.0)))
 
 
+class TestSparseInvalidation:
+    """The sparse-generation options must all be key-bearing: a cached
+    fixed-step entry must never replay as adaptive (or vice versa), nor
+    an entry cross between solver backends."""
+
+    ADAPTIVE = {"adaptive": True, "lte_tol": 2e-5, "max_dt_factor": 8}
+    FIXED = {"adaptive": False, "lte_tol": 2e-5, "max_dt_factor": 8}
+
+    def test_every_engine_selection_digests_distinctly(self):
+        keys = {engine: _transient_key(_rc_circuit(), engine=engine)
+                for engine in ("naive", "fast", "sparse")}
+        assert len(set(keys.values())) == 3
+
+    def test_adaptive_toggle_changes_key(self):
+        fixed = _transient_key(_rc_circuit(), engine="sparse",
+                               adaptive=self.FIXED)
+        adaptive = _transient_key(_rc_circuit(), engine="sparse",
+                                  adaptive=self.ADAPTIVE)
+        assert fixed != adaptive
+
+    @pytest.mark.parametrize("option, value", [
+        ("lte_tol", 1e-5),
+        ("max_dt_factor", 4),
+    ])
+    def test_controller_option_change_changes_key(self, option, value):
+        base = _transient_key(_rc_circuit(), engine="sparse",
+                              adaptive=self.ADAPTIVE)
+        tuned = _transient_key(
+            _rc_circuit(), engine="sparse",
+            adaptive=dict(self.ADAPTIVE, **{option: value}))
+        assert tuned != base
+
+    def test_sparse_controller_constants_are_key_bearing(self):
+        # The engine fingerprint embeds the controller constants, so a
+        # constant change (an algorithm revision) retires old entries.
+        request = transient_request(
+            _rc_circuit(), stop_time=1e-10, dt=1e-12, integrator="be",
+            initial_voltages=None, dc_seed=None, max_iterations=60,
+            vtol=1e-6, damping=1.0, engine="sparse")
+        sparse_cfg = request["engine_config"]["sparse"]
+        assert sparse_cfg["source_breakpoints"] is True
+        assert "permc_spec" in sparse_cfg
+        tampered = dict(request, engine_config={
+            **request["engine_config"],
+            "sparse": {**sparse_cfg, "permc_spec": "COLAMD"}})
+        assert request_key(tampered) != request_key(request)
+
+    def test_dc_backend_selection_is_key_bearing(self):
+        circuit = _rc_circuit()
+
+        def key(engine):
+            return request_key(dc_request(
+                circuit, time=0.0, initial_guess=None, max_iterations=60,
+                vtol=1e-6, damping=1.0, engine=engine))
+
+        assert key("dense") != key("sparse")
+        assert key(None) == key("dense")  # historical default preserved
+
+
 class TestRebuild:
     def test_round_trip_fingerprint_is_a_fixed_point(self):
         original = _rc_circuit(with_mtj=True)

@@ -1,0 +1,156 @@
+"""Table II under the sparse engine, pinned to the naive-engine golden.
+
+Two contracts:
+
+* **Metrics** — ``engine="sparse"`` (fixed step) must reproduce the
+  frozen ``tests/golden/table2.json`` read/leakage metrics to 0.1 %,
+  exactly like the fast engine: the sparse backend is a linear-algebra
+  substitution, not a physics change.  The *adaptive* variant must stay
+  inside the same band — the LTE controller plus source-corner landing
+  and MTJ-window clamping may move waveform samples at LTE level, but
+  the paper-visible Table II numbers must not drift.
+* **Step selection** — ``tests/golden/dt_trace_sparse.json`` freezes the
+  adaptive controller's accepted step sequence on a canonical
+  standard-latch restore.  A drift here means the controller (LTE
+  estimate, growth policy, corner landing, MTJ window) changed; commit a
+  regenerated trace only for an intentional controller change:
+
+      PYTHONPATH=src python -c "import tests.test_golden_table2_sparse as t; t.regenerate()"
+"""
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cells.characterize import characterize_standard
+from repro.cells.control import standard_restore_schedule
+from repro.cells.nvlatch_1bit import build_standard_latch
+from repro.cells.sizing import DEFAULT_SIZING
+from repro.spice.analysis.transient import run_transient, set_default_engine
+from repro.spice.corners import CORNERS
+
+GOLDEN_TABLE2 = Path(__file__).parent / "golden" / "table2.json"
+GOLDEN_DT_TRACE = Path(__file__).parent / "golden" / "dt_trace_sparse.json"
+RELATIVE_TOL = 1e-3
+#: Read-path metrics checked under sparse (write metrics need the
+#: switching study the fast/sparse characterisation skips).
+READ_METRICS = ("read_energy", "read_delay", "leakage")
+
+VDD = 1.1
+DT = 2e-12
+
+
+def canonical_restore():
+    """The canonical adaptive workload: one standard-latch restore."""
+    schedule = standard_restore_schedule(bit=1, vdd=VDD, cycles=1)
+    latch = build_standard_latch(schedule, CORNERS["typical"],
+                                 DEFAULT_SIZING, stored_bit=1, vdd=VDD)
+    return schedule, latch
+
+
+def run_canonical_adaptive():
+    schedule, latch = canonical_restore()
+    result = run_transient(latch.circuit, schedule.stop_time, DT,
+                           engine="sparse", adaptive=True,
+                           initial_voltages={"vdd": VDD})
+    return latch, result
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with GOLDEN_TABLE2.open() as f:
+        return json.load(f)
+
+
+@pytest.fixture(scope="module", params=[False, True],
+                ids=["fixed", "adaptive"])
+def sparse_metrics(request, golden):
+    previous = set_default_engine("sparse")
+    try:
+        if request.param:
+            # Route every characterisation transient through the LTE
+            # controller by substituting the latch builder's engine
+            # options at the run_transient layer.
+            import repro.cells.characterize as characterize
+            import functools
+
+            original = characterize.run_transient
+            characterize.run_transient = functools.partial(
+                original, adaptive=True)
+            try:
+                metrics = characterize_standard(
+                    CORNERS[golden["corner"]], dt=golden["dt"],
+                    include_write=False)
+            finally:
+                characterize.run_transient = original
+        else:
+            metrics = characterize_standard(
+                CORNERS[golden["corner"]], dt=golden["dt"],
+                include_write=False)
+    finally:
+        set_default_engine(previous)
+    return metrics
+
+
+@pytest.mark.parametrize("metric", READ_METRICS)
+def test_sparse_metrics_within_golden_band(golden, sparse_metrics, metric):
+    reference = golden["standard"][metric]
+    value = getattr(sparse_metrics, metric)
+    assert math.isfinite(value)
+    assert value == pytest.approx(reference, rel=RELATIVE_TOL), (
+        f"standard.{metric} drifted {abs(value / reference - 1):.2%} "
+        f"under the sparse engine (allowed {RELATIVE_TOL:.1%})")
+
+
+def test_sparse_read_values_still_ok(sparse_metrics):
+    assert sparse_metrics.read_values_ok
+
+
+class TestDtTraceRegression:
+    @pytest.fixture(scope="class")
+    def canonical(self):
+        return run_canonical_adaptive()
+
+    def test_restore_succeeds_under_adaptive(self, canonical):
+        latch, result = canonical
+        assert result.final_voltage(latch.out) > 0.9 * VDD
+        assert result.final_voltage(latch.outb) < 0.1 * VDD
+
+    def test_dt_trace_matches_golden(self, canonical):
+        _, result = canonical
+        with GOLDEN_DT_TRACE.open() as f:
+            golden = json.load(f)
+        trace = [float(v) for v in result.dt_trace]
+        assert len(trace) == len(golden["dt_trace"]), (
+            f"accepted-step count changed: {len(trace)} vs golden "
+            f"{len(golden['dt_trace'])} — controller behaviour drifted")
+        assert trace == pytest.approx(golden["dt_trace"], rel=1e-12)
+
+    def test_dt_trace_spans_end_to_end(self, canonical):
+        _, result = canonical
+        schedule, _ = canonical_restore()
+        steps = int(round(schedule.stop_time / DT))
+        assert float(np.sum(result.dt_trace)) \
+            == pytest.approx(steps * DT, rel=1e-9)
+
+
+def regenerate() -> None:
+    """Rewrite the golden dt-trace from the current controller."""
+    _, result = run_canonical_adaptive()
+    schedule, _ = canonical_restore()
+    payload = {
+        "note": "Adaptive accepted-step sequence of one standard-latch "
+                "restore (bit=1, typical, dt_base=2ps); see "
+                "tests/test_golden_table2_sparse.py.",
+        "dt_base": DT,
+        "stop_time": schedule.stop_time,
+        "accepted_steps": len(result.dt_trace),
+        "dt_trace": [float(v) for v in result.dt_trace],
+    }
+    with GOLDEN_DT_TRACE.open("w") as f:
+        json.dump(payload, f, indent=1)
+        f.write("\n")
+    print(f"wrote {GOLDEN_DT_TRACE} ({len(result.dt_trace)} steps)")

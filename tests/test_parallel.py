@@ -148,6 +148,62 @@ def corner_name(corner):
     return corner.name
 
 
+def mc_bitline(params):
+    """Picklable ensemble builder: one MTJ read bit line per sample."""
+    from repro.spice import Circuit, Pulse
+
+    circuit = Circuit("mc-bitline")
+    circuit.add_vsource("vrd", "rd", "0",
+                        Pulse(0.0, 0.3, delay=20e-12, rise=10e-12,
+                              width=5e-9))
+    circuit.add_resistor("rs", "rd", "bl", 2e3)
+    circuit.add_mtj("x0", "bl", "0", params=params)
+    circuit.add_capacitor("cb", "bl", "0", 1e-15)
+    return circuit
+
+
+def bitline_waveform(result):
+    """Picklable ensemble extractor: the raw bit-line samples."""
+    return result.voltage("bl").tobytes()
+
+
+class TestEnsembleWorkerIndependence:
+    def test_ensemble_mc_bit_identical_across_worker_counts(self):
+        # Regression for the serial-fallback contract: the pool performs
+        # no seeding of its own, chunking depends only on (count, chunk),
+        # so workers=1 (the serial path — also what the pool falls back
+        # to) and workers=4 must return *bit-identical* waveforms.
+        from repro.mtj.variation import monte_carlo_ensemble
+
+        kwargs = dict(params=PAPER_TABLE_I, stop_time=0.2e-9, dt=4e-12,
+                      count=6, seed=DEFAULT_SEED, chunk=2)
+        serial = monte_carlo_ensemble(mc_bitline, bitline_waveform,
+                                      workers=1, **kwargs)
+        pooled = monte_carlo_ensemble(mc_bitline, bitline_waveform,
+                                      workers=4, **kwargs)
+        assert len(serial) == 6
+        assert pooled == serial  # bytes-level equality, not approx
+
+    def test_ensemble_mc_chunking_stays_inside_accuracy_contract(self):
+        # Chunk *size* is not a bit-level invariant (samples in a batch
+        # share one Newton convergence check), but it must stay inside
+        # the 1 µV engine-accuracy contract — batching is a performance
+        # detail, never a physics change.  Only the worker count is
+        # pinned bit-exactly (the chunking is fixed by count/chunk).
+        from repro.mtj.variation import monte_carlo_ensemble
+
+        kwargs = dict(params=PAPER_TABLE_I, stop_time=0.2e-9, dt=4e-12,
+                      count=5, seed=DEFAULT_SEED, workers=1)
+        singles = monte_carlo_ensemble(mc_bitline, bitline_waveform,
+                                       chunk=1, **kwargs)
+        batched = monte_carlo_ensemble(mc_bitline, bitline_waveform,
+                                       chunk=5, **kwargs)
+        for a, b in zip(singles, batched):
+            wave_a = np.frombuffer(a, dtype=np.float64)
+            wave_b = np.frombuffer(b, dtype=np.float64)
+            assert float(np.max(np.abs(wave_a - wave_b))) <= 1e-6
+
+
 class TestSerialFallbackWarning:
     def test_pool_failure_warns_but_answers(self, monkeypatch):
         import repro.parallel as parallel_module

@@ -1,0 +1,332 @@
+"""Unit suite for the sparse solver generation.
+
+Covers the pieces of :mod:`repro.spice.analysis.sparse` and
+:mod:`repro.spice.analysis.ensemble` individually — structural pattern
+discovery and reuse, the pure-CSC assembly path, the LTE-controlled
+adaptive driver, the block-diagonal ensemble — while
+``tests/test_engine_differential.py`` pins the end-to-end cross-engine
+waveform contract on randomized circuits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.mtj.device import MTJState
+from repro.mtj.parameters import PAPER_TABLE_I
+from repro.mtj.variation import monte_carlo_parameters
+from repro.spice import Circuit, Pulse
+from repro.spice.analysis import run_ensemble_transient, run_transient
+from repro.spice.analysis.engine import MNAWorkspace, SolverStats
+from repro.spice.analysis.sparse import (
+    SparseNewtonSolver,
+    SparsePattern,
+    clear_pattern_cache,
+    get_pattern,
+    sparse_config_fingerprint,
+    sparse_linear_solve,
+    structure_signature,
+)
+
+WAVEFORM_TOL = 1e-6  # 1 µV
+
+
+def mtj_read_circuit(params=None, widths=(300e-9, 300e-9),
+                     dynamic=True) -> Circuit:
+    """Two-bit-line MTJ read structure: enough FETs/MTJs to stay small
+    but exercise sources, passives, transistors and junctions."""
+    c = Circuit("sparse-read")
+    c.add_vsource("vdd", "vdd", "0", 1.1)
+    c.add_vsource("ren", "ren", "0",
+                  Pulse(0.0, 1.1, delay=0.1e-9, rise=20e-12, width=5e-9))
+    for i, state in enumerate((MTJState.PARALLEL, MTJState.ANTIPARALLEL)):
+        c.add_resistor(f"rl{i}", "vdd", f"bl{i}", 4e3)
+        c.add_mtj(f"mtj{i}", f"bl{i}", f"sn{i}", params=params, state=state,
+                  dynamic=dynamic)
+        c.add_nmos(f"acc{i}", f"sn{i}", "ren", "0", width=widths[i])
+        c.add_capacitor(f"cb{i}", f"bl{i}", "0", 0.4e-15)
+    return c
+
+
+def grouped_array_circuit(rows=3, cols=3) -> Circuit:
+    """A small 1T-1MTJ array: ≥4 FETs and ≥4 MTJs with no other
+    nonlinear devices, so both vectorised groups engage and the sparse
+    solver takes the pure-CSC assembly path."""
+    from repro.cells.miniarray import build_mini_array
+
+    return build_mini_array(rows=rows, cols=cols, active_rows=1,
+                            access_time=0.5e-9)
+
+
+# ---------------------------------------------------------------------------
+# Structural pattern
+# ---------------------------------------------------------------------------
+
+
+class TestSparsePattern:
+    def test_pattern_covers_every_assembled_nonzero(self):
+        circuit = mtj_read_circuit()
+        circuit.finalize()
+        ws = MNAWorkspace(circuit, dt=1e-12)
+        pattern = SparsePattern(ws)
+        rng = np.random.default_rng(3)
+        ws.begin_step(0.2e-9, rng.uniform(0.0, 1.1, ws.num_nodes))
+        ws.assemble(rng.uniform(0.0, 1.1, ws.size), gmin=1e-12)
+        structural = np.zeros(ws.size * ws.size, dtype=bool)
+        structural[pattern.take_flat] = True
+        leaked = np.abs(ws.matrix.ravel()[~structural])
+        assert pattern.nnz < ws.size * ws.size
+        assert not leaked.size or float(np.max(leaked)) == 0.0
+
+    def test_gather_reproduces_dense_values(self):
+        circuit = mtj_read_circuit()
+        circuit.finalize()
+        ws = MNAWorkspace(circuit, dt=1e-12)
+        pattern = SparsePattern(ws)
+        ws.begin_step(0.2e-9, np.zeros(ws.num_nodes))
+        ws.assemble(np.full(ws.size, 0.4), gmin=0.0)
+        data = np.empty(pattern.nnz)
+        pattern.gather(ws.matrix, data)
+        assert np.array_equal(data, ws.matrix.ravel()[pattern.take_flat])
+
+    def test_csc_positions_roundtrip_and_rejects_nonstructural(self):
+        circuit = grouped_array_circuit()
+        circuit.finalize()
+        ws = MNAWorkspace(circuit, dt=1e-12)
+        pattern = SparsePattern(ws)
+        some = pattern.take_flat[:: max(1, pattern.nnz // 7)]
+        pos = pattern.csc_positions(some)
+        assert np.array_equal(pattern.take_flat[pos], some)
+        missing = np.setdiff1d(
+            np.arange(ws.size * ws.size, dtype=np.intp), pattern.take_flat)
+        assert missing.size  # pattern really is sparse
+        with pytest.raises(AnalysisError):
+            pattern.csc_positions(missing[:1])
+
+    def test_signature_ignores_parameter_values(self):
+        samples = monte_carlo_parameters(PAPER_TABLE_I, count=2, seed=5)
+        a = mtj_read_circuit(params=samples[0])
+        b = mtj_read_circuit(params=samples[1])
+        wider = mtj_read_circuit(widths=(300e-9, 500e-9))
+        assert structure_signature(a) == structure_signature(b)
+        assert structure_signature(a) == structure_signature(wider)
+
+    def test_pattern_registry_reuses_per_topology(self):
+        clear_pattern_cache()
+        try:
+            stats = SolverStats()
+            circuit = mtj_read_circuit()
+            circuit.finalize()
+            ws = MNAWorkspace(circuit, dt=1e-12)
+            first = get_pattern(circuit, ws, stats)
+            second = get_pattern(circuit, ws, stats)
+            assert first is second
+            assert stats.pattern_builds == 1
+            assert stats.pattern_reuses == 1
+        finally:
+            clear_pattern_cache()
+
+    def test_fingerprint_names_the_controller_constants(self):
+        fp = sparse_config_fingerprint()
+        assert fp["scipy_splu"] is True
+        assert {"permc_spec", "lte_tol_default", "max_dt_factor_default",
+                "mtj_window_fraction"} <= fp.keys()
+
+
+# ---------------------------------------------------------------------------
+# Sparse Newton solver
+# ---------------------------------------------------------------------------
+
+
+class TestSparseSolver:
+    def test_pure_csc_mode_engages_on_grouped_circuits(self):
+        circuit = grouped_array_circuit()
+        circuit.finalize()
+        ws = MNAWorkspace(circuit, dt=2e-12)
+        solver = SparseNewtonSolver(ws)
+        assert solver._pure
+        assert ws.fet_group is not None and ws.mtj_group is not None
+
+    def test_mixed_circuits_keep_dense_assembly(self):
+        # Below both vectorisation thresholds every nonlinear device is
+        # iterated individually — the solver must use the dense route.
+        circuit = mtj_read_circuit()
+        circuit.finalize()
+        ws = MNAWorkspace(circuit, dt=2e-12)
+        assert ws._iterate_devices
+        assert not SparseNewtonSolver(ws)._pure
+
+    @pytest.mark.parametrize("builder", [mtj_read_circuit,
+                                         grouped_array_circuit],
+                             ids=["dense-route", "pure-csc"])
+    def test_sparse_waveforms_match_fast(self, builder):
+        fast = run_transient(builder(), 0.6e-9, 2e-12, engine="fast")
+        sparse = run_transient(builder(), 0.6e-9, 2e-12, engine="sparse")
+        diff = float(np.max(np.abs(fast.node_voltages
+                                   - sparse.node_voltages)))
+        assert diff <= WAVEFORM_TOL
+
+    def test_sparse_linear_solve_matches_dense(self):
+        rng = np.random.default_rng(9)
+        matrix = rng.normal(size=(12, 12)) + 12.0 * np.eye(12)
+        rhs = rng.normal(size=12)
+        assert np.allclose(sparse_linear_solve(matrix, rhs),
+                           np.linalg.solve(matrix, rhs),
+                           rtol=0, atol=1e-12)
+
+    def test_sparse_linear_solve_raises_linalgerror_on_singular(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            sparse_linear_solve(np.zeros((3, 3)), np.ones(3))
+
+    def test_dc_sparse_matches_dense(self):
+        from repro.spice.analysis.dc import solve_dc
+
+        dense = solve_dc(mtj_read_circuit(), engine="dense")
+        sparse = solve_dc(mtj_read_circuit(), engine="sparse")
+        assert np.max(np.abs(dense.voltages - sparse.voltages)) \
+            <= WAVEFORM_TOL
+
+
+# ---------------------------------------------------------------------------
+# Adaptive timestep (LTE control)
+# ---------------------------------------------------------------------------
+
+
+class TestAdaptiveTransient:
+    def test_adaptive_requires_sparse_engine_and_be(self):
+        with pytest.raises(AnalysisError):
+            run_transient(mtj_read_circuit(), 0.5e-9, 2e-12, engine="fast",
+                          adaptive=True)
+        with pytest.raises(AnalysisError):
+            run_transient(mtj_read_circuit(), 0.5e-9, 2e-12,
+                          engine="sparse", integrator="trap", adaptive=True)
+
+    def test_adaptive_stays_on_output_grid_and_traces_dt(self):
+        from repro.spice.analysis.sparse import (
+            DEFAULT_MAX_DT_FACTOR,
+            MIN_DT_DIVISOR,
+        )
+
+        dt = 2e-12
+        circuit = mtj_read_circuit(dynamic=False)
+        result = run_transient(circuit, 0.6e-9, dt,
+                               engine="sparse", adaptive=True)
+        steps = int(round(0.6e-9 / dt))
+        assert np.allclose(result.times, np.arange(steps + 1) * dt)
+        assert result.dt_trace is not None and len(result.dt_trace) >= 1
+        assert float(np.min(result.dt_trace)) >= dt / MIN_DT_DIVISOR * 0.999
+        assert float(np.max(result.dt_trace)) \
+            <= dt * DEFAULT_MAX_DT_FACTOR * 1.001
+        # The controller must actually save work on this smooth circuit.
+        assert len(result.dt_trace) < steps
+
+    def test_switching_window_refines_instead_of_coarsening(self):
+        # Same topology, switching-capable junctions: the read current
+        # keeps the MTJs inside the guarded window, so the controller
+        # must refine below the base step rather than stride over the
+        # bit-fidelity-critical region.
+        dt = 2e-12
+        smooth = run_transient(mtj_read_circuit(dynamic=False), 0.6e-9, dt,
+                               engine="sparse", adaptive=True)
+        guarded = run_transient(mtj_read_circuit(dynamic=True), 0.6e-9, dt,
+                                engine="sparse", adaptive=True)
+        assert float(np.max(smooth.dt_trace)) > dt
+        assert float(np.min(guarded.dt_trace)) < dt
+        assert len(guarded.dt_trace) > len(smooth.dt_trace)
+
+    def test_adaptive_tracks_fixed_step_waveforms(self):
+        # Mid-edge the two runs sample the stiff turn-on with different
+        # internal steps, so each carries its *own* truncation error
+        # there; away from the source corners both have settled and the
+        # bit-level 1 µV contract applies.
+        fixed = run_transient(mtj_read_circuit(dynamic=False), 0.6e-9,
+                              2e-12, engine="sparse")
+        adaptive = run_transient(mtj_read_circuit(dynamic=False), 0.6e-9,
+                                 2e-12, engine="sparse", adaptive=True)
+        settled = (fixed.times < 0.09e-9) | (fixed.times > 0.2e-9)
+        diff = float(np.max(np.abs(fixed.node_voltages[settled]
+                                   - adaptive.node_voltages[settled])))
+        assert diff <= WAVEFORM_TOL
+
+    def test_pulse_and_pwl_report_their_corners(self):
+        from repro.spice.waveforms import PWL, DC
+
+        pulse = Pulse(0.0, 1.0, delay=1e-9, rise=0.1e-9, fall=0.2e-9,
+                      width=1e-9, period=4e-9)
+        assert np.allclose(pulse.breakpoints(3e-9),
+                           (1e-9, 1.1e-9, 2.1e-9, 2.3e-9), rtol=1e-12)
+        # Periodic: the second cycle's corners appear once in range.
+        assert 5e-9 in Pulse(0.0, 1.0, delay=1e-9, rise=0.1e-9,
+                             width=1e-9, period=4e-9).breakpoints(6e-9)
+        pwl = PWL(points=((0.0, 0.0), (1e-9, 1.0), (2e-9, 0.5)))
+        assert pwl.breakpoints(1.5e-9) == (0.0, 1e-9)
+        assert DC(1.1).breakpoints(1e-9) == ()
+
+    def test_fixed_step_runs_carry_no_dt_trace(self):
+        result = run_transient(mtj_read_circuit(), 0.4e-9, 2e-12,
+                               engine="sparse")
+        assert result.dt_trace is None
+
+
+# ---------------------------------------------------------------------------
+# Batched ensemble
+# ---------------------------------------------------------------------------
+
+
+def _sample_circuits(count, seed=11):
+    samples = monte_carlo_parameters(PAPER_TABLE_I, count=count, seed=seed)
+    return [mtj_read_circuit(params=p) for p in samples]
+
+
+class TestEnsemble:
+    def test_matches_per_sample_scalar_runs(self):
+        n = 5
+        ensemble = run_ensemble_transient(_sample_circuits(n), 0.6e-9, 2e-12)
+        scalars = [run_transient(c, 0.6e-9, 2e-12, engine="fast")
+                   for c in _sample_circuits(n)]
+        assert len(ensemble) == n
+        for batch, scalar in zip(ensemble, scalars):
+            diff = float(np.max(np.abs(batch.node_voltages
+                                       - scalar.node_voltages)))
+            assert diff <= WAVEFORM_TOL
+
+    def test_single_sample_delegates_to_scalar_engine(self):
+        [only] = run_ensemble_transient(_sample_circuits(1), 0.4e-9, 2e-12)
+        scalar = run_transient(_sample_circuits(1)[0], 0.4e-9, 2e-12,
+                               engine="fast")
+        assert np.array_equal(only.node_voltages, scalar.node_voltages)
+
+    def test_empty_input_returns_empty(self):
+        assert run_ensemble_transient([], 0.4e-9, 2e-12) == []
+
+    def test_rejects_mismatched_topologies(self):
+        circuits = _sample_circuits(2)
+        circuits.append(grouped_array_circuit())
+        with pytest.raises(AnalysisError):
+            run_ensemble_transient(circuits, 0.4e-9, 2e-12)
+
+    def test_mtj_state_written_back_per_sample(self):
+        # A deliberately overdriven write cell: free layer pulled hard
+        # enough that the pulse switches the junction, so the ensemble
+        # must hand each sample's switching event back to its devices.
+        def write_cell(params):
+            c = Circuit("write")
+            c.add_vsource("vw", "drv", "0",
+                          Pulse(0.0, 1.1, delay=0.05e-9, rise=10e-12,
+                                width=8e-9))
+            c.add_resistor("rs", "drv", "top", 1.5e3)
+            c.add_mtj("bit", "top", "0", params=params,
+                      state=MTJState.PARALLEL, dynamic=True)
+            c.add_capacitor("cl", "top", "0", 0.2e-15)
+            return c
+
+        samples = monte_carlo_parameters(PAPER_TABLE_I, count=4, seed=23)
+        circuits = [write_cell(p) for p in samples]
+        results = run_ensemble_transient(circuits, 6e-9, 5e-12)
+        reference = [run_transient(write_cell(p), 6e-9, 5e-12,
+                                   engine="fast")
+                     for p in samples]
+        for circuit, batch, scalar in zip(circuits, results, reference):
+            expected = scalar.circuit.device("bit").device.state
+            assert circuit.device("bit").device.state is expected
+            assert batch.circuit is circuit
