@@ -11,7 +11,6 @@ restore current of a large benchmark and compares two disciplines:
   of the shared-sense-amplifier architecture).
 """
 
-import numpy as np
 import pytest
 
 from repro.core.merge import find_mergeable_pairs

@@ -7,7 +7,6 @@ ablation quantifies the comparison across back-up sizes: per-bit area,
 restore energy, restore latency, and sensing margin.
 """
 
-import pytest
 
 from repro.cells.miniarray import MiniArrayCheckpoint
 from repro.layout.cell_layout import plan_proposed_2bit, plan_standard_1bit

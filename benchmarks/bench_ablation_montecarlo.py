@@ -14,7 +14,7 @@ from repro.cells.characterize import _proposed_read
 from repro.cells.sizing import DEFAULT_SIZING
 from repro.mtj.parameters import PAPER_TABLE_I
 from repro.mtj.variation import MTJVariation, sample_parameters
-from repro.spice.corners import CORNERS, SimulationCorner, CMOSCorner
+from repro.spice.corners import SimulationCorner, CMOSCorner
 from repro.mtj.variation import MTJCorner
 
 

@@ -13,7 +13,7 @@ import pytest
 
 from repro.core.merge import find_mergeable_pairs
 from repro.physd import LogicSimulator, generate_benchmark, place_design
-from repro.physd.sta import analyze_timing, merge_timing_impact
+from repro.physd.sta import merge_timing_impact
 
 
 @pytest.fixture(scope="module")

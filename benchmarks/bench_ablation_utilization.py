@@ -7,9 +7,7 @@ the pairing fraction and area gain — showing the result is robust across
 the utilisations a production floorplan would use (60–80 %).
 """
 
-import pytest
 
-from repro.core.evaluate import PAPER_COSTS, evaluate_system
 from repro.core.flow import FlowConfig, run_system_flow
 
 

@@ -8,7 +8,6 @@ the pulse below the mean switching time fails catastrophically —
 exactly why the paper keeps the write paths per-bit and untouched.
 """
 
-import pytest
 
 from repro.mtj.write_error import WriteErrorModel
 

@@ -7,7 +7,6 @@ states in prose: the proposed design needs "five additional transistors"
 over one standard latch and six fewer than two.
 """
 
-import pytest
 
 from repro.analysis.blockdiagrams import (
     audit_proposed_latch,

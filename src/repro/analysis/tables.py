@@ -18,29 +18,17 @@ from repro.cells.characterize import (
     characterize_standard,
 )
 from repro.cells.sizing import DEFAULT_SIZING, LatchSizing
-from repro.core.evaluate import (
-    NVCellCosts,
-    PAPER_COSTS,
-    SystemResult,
-    evaluate_benchmarks,
-)
+from repro.core.evaluate import SystemResult, evaluate_benchmarks
 from repro.core.flow import FlowConfig
 from repro.errors import AnalysisError
 from repro.mtj.parameters import MTJParameters, PAPER_TABLE_I
 from repro.physd.benchmarks import BENCHMARKS
-from repro.spice.corners import (
-    CORNER_ORDER,
-    CORNERS,
-    SimulationCorner,
-    _sweep_corners,
-)
+from repro.spice.corners import CORNER_ORDER, SimulationCorner, _sweep_corners
 from repro.units import (
     MICRO,
     to_femtojoules,
     to_kiloohms,
     to_microamps,
-    to_picoseconds,
-    to_picowatts,
     to_square_microns,
 )
 

@@ -49,13 +49,13 @@ CACHE_FORMAT = 1
 #: different package version or cache format never collide with ours.
 CACHE_SALT = f"repro/{repro.__version__}/cache-v{CACHE_FORMAT}"
 
-_MOSFET_MODEL_FIELDS = (
+_MOSFET_MODEL_FIELDS = (  # devlint: fingerprint-fields MOSFETModel
     "polarity", "vth0", "slope_factor", "kp", "lambda_clm",
     "cox_per_area", "overlap_cap_per_width", "junction_cap_per_width",
     "temperature",
 )
 
-_MTJ_PARAM_FIELDS = (
+_MTJ_PARAM_FIELDS = (  # devlint: fingerprint-fields MTJParameters
     "radius", "free_layer_thickness", "oxide_thickness",
     "resistance_area_product", "tmr_zero_bias", "critical_current",
     "switching_current", "resistance_p", "tmr_half_bias_voltage",
@@ -63,6 +63,7 @@ _MTJ_PARAM_FIELDS = (
 )
 
 
+# devlint: fingerprint-branches
 def _waveform_fingerprint(waveform: Waveform) -> Dict[str, Any]:
     if type(waveform) is DC:
         return {"kind": "dc", "level": waveform.level}
@@ -93,6 +94,7 @@ def _rebuild_waveform(data: Dict[str, Any]) -> Waveform:
     raise CacheError(f"unknown waveform kind {kind!r} in cache request")
 
 
+# devlint: fingerprint-branches
 def _device_fingerprint(device: Any) -> Dict[str, Any]:
     if type(device) is Resistor:
         return {"type": "resistor", "name": device.name,

@@ -23,7 +23,7 @@ within 20 % of the programmed rail, for every bit pattern simulated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.cells.control import (
     proposed_restore_schedule,

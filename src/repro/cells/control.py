@@ -94,7 +94,8 @@ class ControlSchedule:
         try:
             return self.signals[name]
         except KeyError:
-            raise AnalysisError(f"schedule {self.name!r} has no signal {name!r}")
+            raise AnalysisError(
+                f"schedule {self.name!r} has no signal {name!r}") from None
 
 
 def _waveforms_from_phases(

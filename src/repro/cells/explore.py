@@ -12,7 +12,7 @@ so sweeps are explicit, coarse and cached by the caller.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.cells.characterize import (
     _proposed_read,

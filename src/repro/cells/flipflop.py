@@ -11,10 +11,9 @@ power-gating examples.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.errors import DeviceModelError
-from repro.layout.design_rules import DesignRules, RULES_40NM
+from repro.layout.design_rules import RULES_40NM
 from repro.units import MICRO
 
 

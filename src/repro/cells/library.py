@@ -50,7 +50,7 @@ class CellLibrary:
         try:
             return self._cells[name]
         except KeyError:
-            raise LayoutError(f"no cell named {name!r} in library")
+            raise LayoutError(f"no cell named {name!r} in library") from None
 
     def __contains__(self, name: str) -> bool:
         return name in self._cells

@@ -23,7 +23,7 @@ restore, ``out`` carries the stored bit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.cells.control import ControlSchedule
 from repro.cells.primitives import add_transmission_gate, add_tristate_inverter
@@ -31,7 +31,6 @@ from repro.cells.sizing import DEFAULT_SIZING, LatchSizing
 from repro.mtj.device import MTJState
 from repro.mtj.parameters import MTJParameters, PAPER_TABLE_I
 from repro.spice.corners import CORNERS, SimulationCorner
-from repro.spice.devices.mosfet import MOSFETModel
 from repro.spice.devices.mtj_element import MTJElement
 from repro.spice.netlist import GROUND, Circuit
 from repro.spice.waveforms import DC, Waveform

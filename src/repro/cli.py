@@ -25,6 +25,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -190,6 +191,57 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         for report in reports:
             print(report.render_text(min_severity=min_severity))
     return 1 if any(report.has_errors for report in reports) else 0
+
+
+def _cmd_devlint(args: argparse.Namespace) -> int:
+    from repro.devlint import all_rules, lint_paths
+    from repro.devlint.selftest import run_self_test
+    from repro.lint.diagnostics import Severity, render_reports_json
+
+    if args.self_test:
+        ok, lines = run_self_test()
+        print("\n".join(lines))
+        return 0 if ok else 1
+
+    if args.list_rules:
+        for dev_rule in all_rules():
+            print(f"{dev_rule.rule_id:36s} {dev_rule.severity}: "
+                  f"{dev_rule.description}")
+        return 0
+
+    paths = list(args.paths)
+    root = os.getcwd()
+    if not paths:
+        in_tree = os.path.join(root, "src", "repro")
+        if os.path.isdir(in_tree):
+            paths = [in_tree]
+        else:
+            import repro
+
+            pkg = os.path.dirname(os.path.abspath(repro.__file__))
+            paths = [pkg]
+            root = os.path.dirname(pkg)
+
+    if args.update_schema_manifest:
+        from repro.devlint.model import load_project
+        from repro.devlint.rules_serialization import (
+            compute_manifest,
+            write_manifest,
+        )
+
+        manifest = compute_manifest(load_project(paths, root=root))
+        written = write_manifest(manifest)
+        print(f"schema manifest updated: {written} "
+              f"({len(manifest)} schema(s))")
+        return 0
+
+    report = lint_paths(paths, target="src", root=root)
+    if args.json:
+        print(render_reports_json([report]))
+    else:
+        print(report.render_text(
+            min_severity=Severity.parse(args.min_severity)))
+    return 1 if report.has_errors else 0
 
 
 def _faults_specs(args: argparse.Namespace):
@@ -459,6 +511,29 @@ def build_parser() -> argparse.ArgumentParser:
     pn.add_argument("--list-rules", action="store_true",
                     help="list the registered rules and exit")
     pn.set_defaults(func=_cmd_lint)
+
+    pd = sub.add_parser(
+        "devlint",
+        help="AST-based correctness analysis of the repro source itself "
+             "(determinism, cache-key completeness, schema hygiene)")
+    pd.add_argument(
+        "paths", nargs="*",
+        help="files or directories to analyze (default: the repro "
+             "package source)")
+    pd.add_argument("--json", action="store_true",
+                    help="machine-readable JSON output")
+    pd.add_argument("--min-severity", default="warn",
+                    choices=["info", "warn", "error"],
+                    help="lowest severity shown in text output")
+    pd.add_argument("--self-test", action="store_true",
+                    help="run every rule against the built-in corpus of "
+                         "broken Python fixtures")
+    pd.add_argument("--list-rules", action="store_true",
+                    help="list the registered rules and exit")
+    pd.add_argument("--update-schema-manifest", action="store_true",
+                    help="re-derive devlint/schema_manifest.json from the "
+                         "analyzed tree (bump SCHEMA_VERSION first)")
+    pd.set_defaults(func=_cmd_devlint)
 
     pq = sub.add_parser(
         "faults",

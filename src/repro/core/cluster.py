@@ -12,14 +12,14 @@ the paper's no-timing-penalty guarantee for every member of the group.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 from scipy.spatial import cKDTree
 
 from repro.core.merge import MergeConfig, _rect_distance
-from repro.core.multibit import KBitCostModel, plan_kbit
+from repro.core.multibit import KBitCostModel
 from repro.errors import MergeError
 from repro.physd.placement.result import Placement
 

@@ -17,7 +17,7 @@ b19 design comfortably.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -26,7 +26,6 @@ from scipy.spatial import cKDTree
 from repro.errors import MergeError
 from repro.layout.cell_layout import plan_standard_1bit
 from repro.layout.design_rules import DesignRules, RULES_40NM
-from repro.layout.geometry import Point
 from repro.physd.def_io import DefDesign
 from repro.physd.placement.result import Placement
 from repro.physd.timing import WireDelayModel

@@ -10,7 +10,7 @@ and applied to a netlist + placement in place.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.cells.library import NV_1BIT_CELL, NV_2BIT_CELL
 from repro.core.merge import MergeResult

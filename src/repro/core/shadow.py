@@ -11,11 +11,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.cells.flipflop import DFlipFlop
 from repro.errors import AnalysisError
-from repro.mtj.device import MTJDevice, MTJState
+from repro.mtj.device import MTJDevice
 
 
 class PowerState(enum.Enum):

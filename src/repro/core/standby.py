@@ -28,7 +28,6 @@ against always-on leakage follows analytically.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.errors import AnalysisError
 

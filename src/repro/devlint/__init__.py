@@ -1,0 +1,65 @@
+"""Devlint: AST-based correctness analyzer for the repro codebase itself.
+
+Where ``repro lint`` checks *circuits* (ERC, netlist and MTJ rules),
+``repro devlint`` checks the *Python source* for the project-specific
+hazards no generic linter knows about:
+
+* determinism — unseeded RNG streams, wall-clock reads on cache-keyed
+  paths, unsorted iteration feeding canonical digests;
+* cache-key completeness — every device/parameter field and engine
+  constant cross-referenced against the serializers in ``cache/keys.py``;
+* serialization hygiene — Serializable protocol completeness and
+  schema-version bumps on payload drift (via a committed manifest);
+* cross-process and observability safety — picklable task callables,
+  ``with``-managed spans, ``super().__init__`` in error subclasses.
+
+Analysis is purely static (``ast`` + marker comments; linted code is
+never imported) and reports reuse the shared
+:class:`~repro.lint.diagnostics.LintReport`, so text/JSON output renders
+identically to the circuit lint.  Run it with ``repro devlint src`` or
+programmatically::
+
+    from repro.devlint import lint_paths
+    report = lint_paths(["src/repro"])
+    if report.has_errors:
+        print(report.render_text())
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.lint.diagnostics import (  # noqa: F401  (re-exported)
+    Diagnostic,
+    LintReport,
+    Severity,
+)
+
+from repro.devlint.model import (  # noqa: F401
+    DEFAULT_EXCLUDES,
+    Project,
+    PyModule,
+    load_project,
+)
+from repro.devlint.registry import (  # noqa: F401
+    DevRule,
+    all_rules,
+    get_rule,
+    rule_ids,
+    run_rules,
+)
+
+# Importing the packs registers their rules (same pattern as repro.lint).
+from repro.devlint import rules_determinism  # noqa: F401,E402
+from repro.devlint import rules_cachekey  # noqa: F401,E402
+from repro.devlint import rules_serialization  # noqa: F401,E402
+from repro.devlint import rules_obs  # noqa: F401,E402
+
+
+def lint_paths(paths: Sequence[str],
+               target: str = "src",
+               excludes: Sequence[str] = DEFAULT_EXCLUDES,
+               root: Optional[str] = None) -> LintReport:
+    """Load ``paths`` into a project and run every registered rule."""
+    project = load_project(paths, excludes=excludes, root=root)
+    return run_rules(project, target=target)

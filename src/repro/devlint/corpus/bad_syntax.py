@@ -1,0 +1,6 @@
+# devlint-expect: dev.syntax-error
+"""Corpus fixture: a file that does not parse."""
+
+
+def broken(:
+    return 1

@@ -1,0 +1,98 @@
+"""Rule registry for the devlint analyzer.
+
+Deliberately the same shape as :mod:`repro.lint.registry` (the PR-2
+circuit-ERC registry): rules self-register at import time via the
+:func:`rule` decorator, a rule is ``check(project, emit)``, and running
+the pack produces the shared :class:`~repro.lint.diagnostics.LintReport`
+— so ``repro devlint`` renders text/JSON identically to ``repro lint``.
+
+It is a *separate* registry (not a fourth ``kind`` in the lint one)
+because the two self-tests have disjoint coverage contracts: the circuit
+lint's corpus must fire every circuit rule and must not know about
+Python-source rules, and vice versa.  Sharing ``_REGISTRY`` would let
+importing one subsystem break the other's coverage gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import AnalysisError
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+
+from repro.devlint.model import Project
+
+
+@dataclass(frozen=True)
+class DevRule:
+    """One registered source-analysis rule."""
+
+    rule_id: str
+    severity: Severity
+    description: str
+    check: Callable
+
+
+_REGISTRY: Dict[str, DevRule] = {}
+
+
+def rule(rule_id: str, severity: Severity, description: str):
+    """Decorator registering a ``check(project, emit)`` as a devlint rule."""
+    if not rule_id.startswith("dev."):
+        raise AnalysisError(
+            f"devlint rule ids carry the 'dev.' prefix, got {rule_id!r}")
+
+    def decorator(check: Callable) -> Callable:
+        if rule_id in _REGISTRY:
+            raise AnalysisError(f"duplicate devlint rule id {rule_id!r}")
+        _REGISTRY[rule_id] = DevRule(rule_id, severity, description, check)
+        return check
+
+    return decorator
+
+
+def all_rules() -> List[DevRule]:
+    return list(_REGISTRY.values())
+
+
+def rule_ids() -> List[str]:
+    return [r.rule_id for r in _REGISTRY.values()]
+
+
+def get_rule(rule_id: str) -> DevRule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise AnalysisError(
+            f"no devlint rule {rule_id!r}; known: "
+            f"{sorted(_REGISTRY)}") from None
+
+
+def run_rules(project: Project, target: str = "src") -> LintReport:
+    """Run every registered rule over ``project`` into one report.
+
+    Findings are pinned to ``<relative-path>:L<line>`` locations; the
+    report's ``target`` names the scanned tree.  Suppression markers
+    (``# devlint: ignore[rule-id]``) are honoured here, in one place, so
+    individual rules stay suppression-unaware.
+    """
+    report = LintReport(target)
+    for dev_rule in _REGISTRY.values():
+        report.rules_run.append(dev_rule.rule_id)
+
+        def emit(module, lineno: int, message: str, hint: str = "",
+                 severity: Optional[Severity] = None,
+                 _rule: DevRule = dev_rule) -> None:
+            if module is not None and module.suppressed(lineno, _rule.rule_id):
+                return
+            location = (f"{module.rel}:L{lineno}" if module is not None
+                        else "<project>")
+            report.add(Diagnostic(
+                rule=_rule.rule_id,
+                severity=_rule.severity if severity is None else severity,
+                target=target, location=location, message=message, hint=hint,
+            ))
+
+        dev_rule.check(project, emit)
+    return report

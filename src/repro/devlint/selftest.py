@@ -1,0 +1,96 @@
+"""Devlint self-test: run every rule against the seeded bad-code corpus.
+
+Each file under ``devlint/corpus/`` is a deliberately defective fixture
+carrying a ``# devlint-expect: rule-id[, rule-id...]`` header naming the
+rules it must trip.  The self-test lints each fixture as its own
+single-file project and checks
+
+* every fixture fires at least its expected rules (false-negative guard),
+* the union of fired rules covers every registered rule (a new rule
+  without a fixture fails the gate), and
+* no fixture expectation names an unknown rule (typo guard).
+
+The false-positive guard is the CI step next door: ``repro devlint src``
+must exit 0 on the real tree.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import List, Set, Tuple
+
+from repro.devlint import registry
+from repro.devlint.model import load_project
+
+_EXPECT_RE = re.compile(r"#\s*devlint-expect:\s*(?P<rules>[a-z0-9.,\-\s]+)")
+
+
+def corpus_dir() -> str:
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)), "corpus")
+
+
+def corpus_files() -> List[str]:
+    root = corpus_dir()
+    if not os.path.isdir(root):
+        return []
+    return [os.path.join(root, name) for name in sorted(os.listdir(root))
+            if name.endswith(".py")]
+
+
+def expected_rules(path: str) -> Set[str]:
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    expected: Set[str] = set()
+    for match in _EXPECT_RE.finditer(text):
+        expected.update(part.strip() for part in
+                        match.group("rules").split(",") if part.strip())
+    return expected
+
+
+def run_self_test() -> Tuple[bool, List[str]]:
+    """Returns ``(ok, log_lines)`` in the same shape as the circuit
+    lint's corpus self-test."""
+    lines: List[str] = []
+    ok = True
+    fired: Set[str] = set()
+    known = set(registry.rule_ids())
+
+    files = corpus_files()
+    if not files:
+        return False, [f"FAIL corpus: no fixtures under {corpus_dir()}"]
+
+    for path in files:
+        name = os.path.basename(path)
+        expected = expected_rules(path)
+        unknown = expected - known
+        if unknown:
+            ok = False
+            lines.append(f"FAIL corpus {name}: expects unknown rules "
+                         f"{sorted(unknown)}")
+            continue
+        if not expected:
+            ok = False
+            lines.append(f"FAIL corpus {name}: no '# devlint-expect:' "
+                         f"header")
+            continue
+        project = load_project([path], excludes=(), root=corpus_dir())
+        report = registry.run_rules(project, target=name)
+        got = set(report.rule_ids())
+        fired |= got
+        missing = expected - got
+        if missing:
+            ok = False
+            lines.append(f"FAIL corpus {name}: expected {sorted(missing)} "
+                         f"to fire, got {sorted(got)}")
+        else:
+            lines.append(f"ok   corpus {name}: {sorted(expected)}")
+
+    uncovered = known - fired
+    if uncovered:
+        ok = False
+        lines.append(f"FAIL coverage: rules never fired: "
+                     f"{sorted(uncovered)}")
+    else:
+        lines.append(f"ok   coverage: all {len(known)} rules fired")
+    return ok, lines

@@ -30,7 +30,7 @@ as JSON (:meth:`~repro.faults.models.FaultSpec.to_json`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 

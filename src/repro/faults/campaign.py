@@ -42,7 +42,7 @@ import threading
 import time
 import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -343,7 +343,7 @@ def load_checkpoint(
                 break
             raise CampaignError(
                 f"checkpoint {path} is corrupt at line {lineno} (not valid "
-                f"JSON, and not the final line)")
+                f"JSON, and not the final line)") from None
         try:
             index = int(entry["index"])
             record = TaskRecord(
@@ -460,7 +460,6 @@ def run_campaign(
     run_span = _obs_span("campaign.run", category="campaign",
                          attrs={"name": name, "total": total,
                                 "workers": workers})
-    run_span.__enter__()
 
     def finish(index: int, status: str, outcome: Dict[str, Any]) -> None:
         record = TaskRecord(
@@ -488,113 +487,113 @@ def run_campaign(
     serial = workers <= 1 or len(todo) <= 1
     isolated: List[int] = []
 
-    try:
-        if not serial and todo:
-            pool_broken = False
-            while todo and not pool_broken:
-                round_items = list(todo)
-                retry_round: List[int] = []
-                try:
-                    pool = ProcessPoolExecutor(
-                        max_workers=min(workers, len(round_items)))
-                except (OSError, ImportError) as exc:
-                    # No process pools in this environment at all: run
-                    # everything serially (no attempts were consumed).
-                    reason = (f"process pool unavailable "
-                              f"({type(exc).__name__}: {exc}); running "
-                              f"serially")
-                    warnings.warn(reason, RuntimeWarning, stacklevel=2)
-                    notes.append(reason)
-                    serial = True
-                    break
-                with pool:
-                    future_to_index = {}
+    with run_span:
+        try:
+            if not serial and todo:
+                pool_broken = False
+                while todo and not pool_broken:
+                    round_items = list(todo)
+                    retry_round: List[int] = []
                     try:
-                        for index in round_items:
-                            attempts[index] += 1
-                            future = pool.submit(_execute_task, payload(index))
-                            future_to_index[future] = index
-                    except BrokenExecutor:
-                        pool_broken = True  # died while we were submitting
-                    for future in as_completed(future_to_index):
-                        index = future_to_index[future]
+                        pool = ProcessPoolExecutor(
+                            max_workers=min(workers, len(round_items)))
+                    except (OSError, ImportError) as exc:
+                        # No process pools in this environment at all: run
+                        # everything serially (no attempts were consumed).
+                        reason = (f"process pool unavailable "
+                                  f"({type(exc).__name__}: {exc}); running "
+                                  f"serially")
+                        warnings.warn(reason, RuntimeWarning, stacklevel=2)
+                        notes.append(reason)
+                        serial = True
+                        break
+                    with pool:
+                        future_to_index = {}
                         try:
-                            outcome = future.result()
-                        except BrokenExecutor as exc:
-                            # The pool is gone and cannot say which task
-                            # killed it: quarantine every unresolved task.
-                            pool_broken = True
-                            if attempts[index] >= max_attempts:
-                                finish(index, "failed", {
-                                    "result": None,
-                                    "error": f"worker process died "
-                                             f"({type(exc).__name__})"})
-                            else:
-                                isolated.append(index)
-                            continue
-                        if not settle(index, outcome):
-                            retry_round.append(index)
-                if pool_broken:
-                    # Sweep up everything from this round that has no final
-                    # record yet (includes would-be retries and tasks whose
-                    # submission the break pre-empted).
-                    isolated.extend(i for i in round_items
-                                    if i not in records and i not in isolated)
-                    notes.append(
-                        f"worker pool broke; quarantined {len(isolated)} "
-                        f"task(s) into single-worker isolation")
-                    todo = []
-                else:
-                    todo = retry_round
+                            for index in round_items:
+                                attempts[index] += 1
+                                future = pool.submit(_execute_task, payload(index))
+                                future_to_index[future] = index
+                        except BrokenExecutor:
+                            pool_broken = True  # died while we were submitting
+                        for future in as_completed(future_to_index):
+                            index = future_to_index[future]
+                            try:
+                                outcome = future.result()
+                            except BrokenExecutor as exc:
+                                # The pool is gone and cannot say which task
+                                # killed it: quarantine every unresolved task.
+                                pool_broken = True
+                                if attempts[index] >= max_attempts:
+                                    finish(index, "failed", {
+                                        "result": None,
+                                        "error": f"worker process died "
+                                                 f"({type(exc).__name__})"})
+                                else:
+                                    isolated.append(index)
+                                continue
+                            if not settle(index, outcome):
+                                retry_round.append(index)
+                    if pool_broken:
+                        # Sweep up everything from this round that has no final
+                        # record yet (includes would-be retries and tasks whose
+                        # submission the break pre-empted).
+                        isolated.extend(i for i in round_items
+                                        if i not in records and i not in isolated)
+                        notes.append(
+                            f"worker pool broke; quarantined {len(isolated)} "
+                            f"task(s) into single-worker isolation")
+                        todo = []
+                    else:
+                        todo = retry_round
 
-        for index in isolated:
-            while index not in records:
-                attempts[index] += 1
-                try:
-                    with ProcessPoolExecutor(max_workers=1) as solo:
-                        outcome = solo.submit(
-                            _execute_task, payload(index)).result()
-                except BrokenExecutor as exc:
-                    outcome = {"status": "error", "result": None,
-                               "error": f"worker process died "
-                                        f"({type(exc).__name__})"}
-                except (OSError, ImportError):
-                    outcome = _execute_task(payload(index))
-                settle(index, outcome)
-
-        if serial:
-            for index in list(todo):
+            for index in isolated:
                 while index not in records:
                     attempts[index] += 1
-                    settle(index, _execute_task(payload(index)))
-            todo = []
+                    try:
+                        with ProcessPoolExecutor(max_workers=1) as solo:
+                            outcome = solo.submit(
+                                _execute_task, payload(index)).result()
+                    except BrokenExecutor as exc:
+                        outcome = {"status": "error", "result": None,
+                                   "error": f"worker process died "
+                                            f"({type(exc).__name__})"}
+                    except (OSError, ImportError):
+                        outcome = _execute_task(payload(index))
+                    settle(index, outcome)
 
-        ordered = tuple(records[i] for i in sorted(records))
-        assert len(ordered) == total, "campaign bookkeeping lost a task"
-        report = CampaignReport(name=name, seed=seed, total=total,
-                                records=ordered, notes=tuple(notes),
-                                checkpoint=checkpoint)
-        if _obs_active():
-            run_span.annotate(completed=report.completed,
-                              failed=report.failed, skipped=report.skipped,
-                              retried=report.retried)
-            registry = _obs_metrics()
-            registry.inc("campaign.runs", 1)
-            registry.inc("campaign.tasks", total)
-            registry.inc("campaign.attempts", report.attempts_total)
-            registry.inc("campaign.completed", report.completed)
-            if report.failed:
-                registry.inc("campaign.failures", report.failed)
-            if report.retried:
-                registry.inc("campaign.retries", report.retried)
-            timeouts = sum(1 for r in report.records
-                           if r.status == "failed" and "timeout" in r.error)
-            if timeouts:
-                registry.inc("campaign.timeouts", timeouts)
-            registry.observe("campaign.task_seconds", report.elapsed_total)
-    finally:
-        if writer is not None:
-            writer.close()
-        run_span.__exit__(None, None, None)
+            if serial:
+                for index in list(todo):
+                    while index not in records:
+                        attempts[index] += 1
+                        settle(index, _execute_task(payload(index)))
+                todo = []
+
+            ordered = tuple(records[i] for i in sorted(records))
+            assert len(ordered) == total, "campaign bookkeeping lost a task"
+            report = CampaignReport(name=name, seed=seed, total=total,
+                                    records=ordered, notes=tuple(notes),
+                                    checkpoint=checkpoint)
+            if _obs_active():
+                run_span.annotate(completed=report.completed,
+                                  failed=report.failed, skipped=report.skipped,
+                                  retried=report.retried)
+                registry = _obs_metrics()
+                registry.inc("campaign.runs", 1)
+                registry.inc("campaign.tasks", total)
+                registry.inc("campaign.attempts", report.attempts_total)
+                registry.inc("campaign.completed", report.completed)
+                if report.failed:
+                    registry.inc("campaign.failures", report.failed)
+                if report.retried:
+                    registry.inc("campaign.retries", report.retried)
+                timeouts = sum(1 for r in report.records
+                               if r.status == "failed" and "timeout" in r.error)
+                if timeouts:
+                    registry.inc("campaign.timeouts", timeouts)
+                registry.observe("campaign.task_seconds", report.elapsed_total)
+        finally:
+            if writer is not None:
+                writer.close()
 
     return report

@@ -50,7 +50,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from fnmatch import fnmatchcase
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -209,7 +209,7 @@ def fault_model(name: str) -> FaultModel:
         raise FaultInjectionError(
             f"no fault model named {name!r}"
             + suggest_names(name, _REGISTRY)
-        )
+        ) from None
 
 
 def list_fault_models() -> List[FaultModel]:

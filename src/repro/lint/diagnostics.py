@@ -24,7 +24,8 @@ class Severity(enum.IntEnum):
             return cls[name.upper()]
         except KeyError:
             valid = ", ".join(s.name.lower() for s in cls)
-            raise ValueError(f"unknown severity {name!r}; expected one of {valid}")
+            raise ValueError(
+                f"unknown severity {name!r}; expected one of {valid}") from None
 
     def __str__(self) -> str:  # "error" rather than "Severity.ERROR"
         return self.name.lower()

@@ -70,7 +70,8 @@ def get_rule(rule_id: str) -> LintRule:
     try:
         return _REGISTRY[rule_id]
     except KeyError:
-        raise AnalysisError(f"no lint rule {rule_id!r}; known: {sorted(_REGISTRY)}")
+        raise AnalysisError(
+            f"no lint rule {rule_id!r}; known: {sorted(_REGISTRY)}") from None
 
 
 def run_rules(kind: str, subject, target: str) -> LintReport:

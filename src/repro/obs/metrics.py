@@ -25,7 +25,7 @@ Properties the rest of the stack relies on:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 __all__ = ["Histogram", "MetricsRegistry", "metrics"]
 

@@ -124,7 +124,7 @@ def generate_benchmark(
     except KeyError:
         raise NetlistError(
             f"unknown benchmark {name!r}; choose from {sorted(BENCHMARKS)}"
-        )
+        ) from None
     return generate_from_spec(spec, seed=seed, library=library,
                               locality_window=locality_window)
 

@@ -11,7 +11,7 @@ stack, yielding a max/average utilisation and an overflow count.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List
 
 import numpy as np
 

@@ -55,7 +55,8 @@ class DefDesign:
         try:
             return self.components[name]
         except KeyError:
-            raise DefFormatError(f"no component {name!r} in design {self.name!r}")
+            raise DefFormatError(
+                f"no component {name!r} in design {self.name!r}") from None
 
 
 def write_def(placement: Placement, design_name: Optional[str] = None) -> str:

@@ -9,7 +9,7 @@ merge flow) only need connectivity and cell geometry.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 from repro.cells.library import CellLibrary, CellType
 from repro.errors import NetlistError, suggest_names
@@ -90,7 +90,7 @@ class GateNetlist:
             raise NetlistError(
                 f"no instance {name!r} in {self.name!r}"
                 + suggest_names(name, self.instances)
-            )
+            ) from None
 
     def sequential_instances(self) -> List[Instance]:
         """All flip-flop (sequential-cell) instances, in name order."""

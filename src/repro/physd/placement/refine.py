@@ -10,7 +10,7 @@ global placer gave away.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.errors import PlacementError
 from repro.layout.design_rules import RULES_40NM

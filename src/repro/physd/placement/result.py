@@ -29,7 +29,8 @@ class Placement:
         try:
             x, y = self.positions[name]
         except KeyError:
-            raise PlacementError(f"instance {name!r} has no position")
+            raise PlacementError(
+                f"instance {name!r} has no position") from None
         return Rect.from_size(x, y, inst.cell.width, inst.cell.height)
 
     def center(self, name: str) -> Point:

@@ -23,7 +23,6 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import AnalysisError
 from repro.physd.benchmarks import CLOCK_NET
-from repro.physd.logicsim import CELL_FUNCTIONS  # reuse the levelizer set
 from repro.physd.netlist import GateNetlist
 from repro.physd.placement.result import HIGH_FANOUT_LIMIT, Placement
 

@@ -10,7 +10,7 @@ satisfy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.errors import AnalysisError
 from repro.spice.devices.base import EvalContext

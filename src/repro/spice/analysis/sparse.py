@@ -107,6 +107,7 @@ def sparse_config_fingerprint() -> Dict[str, object]:
         "min_dt_divisor": MIN_DT_DIVISOR,
         "grow_threshold": GROW_THRESHOLD,
         "mtj_window_fraction": MTJ_WINDOW_FRACTION,
+        "mtj_progress_epsilon": MTJ_PROGRESS_EPSILON,
         # Algorithm revision marker: steps land on source-waveform
         # corners instead of striding over them.
         "source_breakpoints": True,

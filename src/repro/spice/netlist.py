@@ -109,7 +109,7 @@ class Circuit:
             raise NetlistError(
                 f"no device named {name!r} in circuit {self.name!r}"
                 + suggest_names(name, self._device_index)
-            )
+            ) from None
 
     def devices_of_type(self, cls: type) -> List[Device]:
         """All devices that are instances of ``cls``."""

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cells.control import (
-    ControlSchedule,
     Phase,
     proposed_restore_schedule,
     proposed_store_schedule,

@@ -6,7 +6,6 @@ conftest.py; structural checks build the circuits directly (cheap).
 
 import pytest
 
-from repro.cells.control import proposed_restore_schedule, standard_restore_schedule
 from repro.cells.nvlatch_1bit import build_standard_latch
 from repro.cells.nvlatch_2bit import build_proposed_latch
 from repro.mtj.device import MTJState

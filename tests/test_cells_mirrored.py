@@ -7,7 +7,6 @@ from repro.cells.nvlatch_1bit_mirrored import (
     build_mirrored_latch,
     mirrored_restore_schedule,
 )
-from repro.spice.analysis.measure import integrate_supply_energy
 from repro.spice.analysis.transient import run_transient
 from repro.spice.devices.base import EvalContext
 

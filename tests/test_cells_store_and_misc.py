@@ -4,7 +4,7 @@ cells helpers (flip-flop model, library, primitives)."""
 import pytest
 
 from repro.cells.characterize import _proposed_write, _standard_write, leakage_power
-from repro.cells.flipflop import DFF_40LP, DFlipFlop, FlipFlopCell
+from repro.cells.flipflop import DFF_40LP, DFlipFlop
 from repro.cells.library import (
     NV_1BIT_CELL,
     NV_2BIT_CELL,
@@ -12,7 +12,6 @@ from repro.cells.library import (
 )
 from repro.cells.sizing import DEFAULT_SIZING, LatchSizing
 from repro.errors import DeviceModelError, LayoutError
-from repro.spice.corners import CORNERS
 
 
 class TestElectricalStore:

@@ -4,7 +4,7 @@ architecture block diagrams."""
 import numpy as np
 import pytest
 
-from repro.errors import AnalysisError, PlacementError
+from repro.errors import PlacementError
 
 
 class TestCongestion:

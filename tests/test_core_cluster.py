@@ -1,7 +1,6 @@
 """Tests for k-bit flip-flop clustering."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.core.cluster import (
     ClusterResult,

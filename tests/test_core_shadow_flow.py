@@ -2,7 +2,7 @@
 protocol, the k-bit cost model, and the end-to-end system flow."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core.flow import FlowConfig, run_system_flow
 from repro.core.multibit import KBitCostModel, kbit_transistor_count, plan_kbit

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.standby import (
-    BackupStrategy,
     MemorySaveRestoreStrategy,
     NVBackupStrategy,
     RetentionStrategy,

@@ -1,0 +1,57 @@
+"""CLI surface of ``repro devlint``: exit codes, output modes, manifest."""
+
+import json
+import os
+import textwrap
+
+from repro.cli import main
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_REPRO = os.path.join(REPO, "src", "repro")
+
+
+class TestDevlintCommand:
+    def test_list_rules(self, capsys):
+        assert main(["devlint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "dev.unseeded-rng" in out
+        assert "dev.fingerprint-missing-field" in out
+
+    def test_self_test_passes(self, capsys):
+        assert main(["devlint", "--self-test"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage: all" in out
+
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["devlint", SRC_REPRO]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_violation_exits_one_and_names_the_rule(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(textwrap.dedent("""
+            import numpy as np
+
+            def noise(n):
+                return np.random.normal(size=n)
+            """))
+        assert main(["devlint", str(bad)]) == 1
+        assert "dev.unseeded-rng" in capsys.readouterr().out
+
+    def test_json_output_shape(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        assert main(["devlint", "--json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and len(payload) == 1
+        report = payload[0]
+        assert report["errors"] >= 1
+        rules = {d["rule"] for d in report["diagnostics"]}
+        assert "dev.unseeded-rng" in rules
+
+    def test_update_schema_manifest_is_idempotent(self, capsys):
+        manifest_path = os.path.join(
+            SRC_REPRO, "devlint", "schema_manifest.json")
+        before = open(manifest_path).read()
+        assert main(["devlint", "--update-schema-manifest"]) == 0
+        assert open(manifest_path).read() == before
+        assert "schema manifest updated" in capsys.readouterr().out

@@ -13,7 +13,7 @@ import time
 import pytest
 
 from repro.errors import CampaignError
-from repro.faults import CampaignReport, load_checkpoint, run_campaign, task_rng
+from repro.faults import load_checkpoint, run_campaign, task_rng
 
 
 def _square(item, rng):

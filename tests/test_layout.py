@@ -6,7 +6,6 @@ from hypothesis import given, strategies as st
 
 from repro.errors import LayoutError
 from repro.layout.cell_layout import (
-    CellPlan,
     Column,
     ColumnKind,
     plan_proposed_2bit,

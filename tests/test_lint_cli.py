@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro import cli
 from repro.lint.corpus import broken_two_bit_cell

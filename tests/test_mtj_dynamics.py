@@ -1,9 +1,8 @@
 """Tests for repro.mtj.dynamics (STT switching)."""
 
-import math
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.errors import DeviceModelError
 from repro.mtj.device import MTJDevice, MTJState

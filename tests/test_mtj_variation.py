@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, strategies as st
 
 from repro.errors import DeviceModelError
 from repro.mtj.parameters import PAPER_TABLE_I

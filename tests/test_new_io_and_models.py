@@ -99,7 +99,7 @@ class TestSpiceExport:
 
         latch = build_standard_latch()
         deck = export_spice(latch.circuit)
-        mos_cards = [l for l in deck.splitlines() if l.startswith("M")]
+        mos_cards = [ln for ln in deck.splitlines() if ln.startswith("M")]
         assert len(mos_cards) == len(latch.circuit.devices_of_type(MOSFET))
 
     def test_waveform_cards(self):
@@ -194,7 +194,6 @@ class TestWriteErrorModel:
 
 class TestRefinePlacement:
     def test_refinement_reduces_hpwl_and_stays_legal(self):
-        import copy
 
         from repro.physd import generate_benchmark, place_design
         from repro.physd.placement.refine import refine_placement

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import AnalysisError, DefFormatError
-from repro.physd.def_io import DefDesign, parse_def, write_def
+from repro.physd.def_io import parse_def, write_def
 from repro.physd.timing import WireDelayModel
 
 

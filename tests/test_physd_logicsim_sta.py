@@ -1,7 +1,7 @@
 """Tests for the logic simulator, STA, and VCD export."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.cells.library import build_default_library
 from repro.errors import AnalysisError, NetlistError
@@ -285,7 +285,7 @@ class TestHoldAnalysis:
         assert loose < tight
 
     def test_flop_clk_to_q_protects_hold(self, placed):
-        from repro.physd.sta import GATE_TIMING, HOLD_TIME, analyze_hold
+        from repro.physd.sta import analyze_hold
 
         slack, _ = analyze_hold(placed.netlist, placed, clock_skew=0.0)
         # With zero skew, the 90 ps clk->Q alone clears the 15 ps hold.

@@ -2,14 +2,13 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.errors import PlacementError
 from repro.physd.benchmarks import BenchmarkSpec, generate_benchmark, generate_from_spec
 from repro.physd.floorplan import build_floorplan
 from repro.physd.placement import global_place, legalize, place_design
 from repro.physd.placement.global_place import _spread_axis
-from repro.physd.placement.result import Placement
 
 
 @pytest.fixture(scope="module")

@@ -5,11 +5,7 @@ import pytest
 
 from repro.core.merge import find_mergeable_pairs
 from repro.errors import PlacementError
-from repro.physd.powergrid import (
-    IRDropResult,
-    restore_rush_currents,
-    solve_ir_drop,
-)
+from repro.physd.powergrid import restore_rush_currents, solve_ir_drop
 
 
 class TestSolveIRDrop:

@@ -1,6 +1,5 @@
 """Tests for scan-chain reordering and the analog waveform renderer."""
 
-import numpy as np
 import pytest
 
 from repro.core.merge import find_mergeable_pairs

@@ -1,12 +1,10 @@
 """Tests for DC operating-point analysis."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import AnalysisError, ConvergenceError
+from repro.errors import ConvergenceError
 from repro.spice import Circuit, solve_dc
-from repro.spice.devices.mosfet import NMOS_40LP, PMOS_40LP
 
 
 class TestLinearCircuits:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import NetlistError
-from repro.spice.devices.mosfet import MOSFET, NMOS_40LP
+from repro.spice.devices.mosfet import NMOS_40LP
 from repro.spice.devices.passive import Capacitor, Resistor
 from repro.spice.netlist import GROUND, Circuit
 

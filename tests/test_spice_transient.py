@@ -6,8 +6,7 @@ import numpy as np
 import pytest
 
 from repro.errors import AnalysisError
-from repro.spice import Circuit, DC, Pulse, PWL, run_transient
-from repro.spice.analysis.measure import crossing_time
+from repro.spice import Circuit, DC, Pulse, run_transient
 
 
 def rc_circuit(tau_r=1e3, tau_c=1e-12, delay=0.1e-9):
