@@ -138,6 +138,7 @@ class TransientHandle(_Handle):
 
     def lookup(self):
         """Hydrated :class:`TransientResult` on a hit, else ``None``."""
+        from repro.recovery.health import SolverHealth
         from repro.spice.analysis.engine import SolverStats
         from repro.spice.analysis.transient import TransientResult
 
@@ -158,6 +159,9 @@ class TransientHandle(_Handle):
                 raw_trace = payload.get("dt_trace")
                 dt_trace = (_decode_array(raw_trace)
                             if raw_trace is not None else None)
+                raw_health = payload.get("health")
+                health = (SolverHealth.from_json(raw_health)
+                          if raw_health is not None else None)
                 self.circuit.finalize()
                 _restore_mtj_state(self.circuit, payload["mtj_state"])
             except Exception:  # noqa: BLE001 — broken entry reads as a miss
@@ -167,7 +171,8 @@ class TransientHandle(_Handle):
             _metrics().inc("cache.hit", 1)
             sp.annotate(outcome="hit")
             return TransientResult(self.circuit, times, voltages, currents,
-                                   stats=stats, dt_trace=dt_trace)
+                                   stats=stats, dt_trace=dt_trace,
+                                   health=health)
 
     def store(self, result) -> None:
         """Persist a freshly computed transient (with MTJ end state)."""
@@ -180,6 +185,8 @@ class TransientHandle(_Handle):
             "mtj_state": _capture_mtj_state(self.circuit),
             "dt_trace": (_encode_array(result.dt_trace)
                          if result.dt_trace is not None else None),
+            "health": (result.health.to_json()
+                       if result.health is not None else None),
         })
 
 
@@ -225,10 +232,13 @@ class DCHandle(_Handle):
 
 def transient_handle(circuit, *, stop_time, dt, integrator, initial_voltages,
                      dc_seed, max_iterations, vtol, damping, engine,
-                     adaptive=None) -> Optional[TransientHandle]:
+                     adaptive=None, recovery=None
+                     ) -> Optional[TransientHandle]:
     """A handle for this transient request, or ``None`` when caching is
     off / bypassed / the circuit is uncacheable.  ``adaptive`` is the
-    sparse engine's timestep-control config dict (or ``None``)."""
+    sparse engine's timestep-control config dict (or ``None``);
+    ``recovery`` the run's
+    :class:`~repro.recovery.policy.RecoveryPolicy` (or ``None``)."""
     cache = get_active_cache()
     if cache is None:
         return None
@@ -237,7 +247,9 @@ def transient_handle(circuit, *, stop_time, dt, integrator, initial_voltages,
             circuit, stop_time=stop_time, dt=dt, integrator=integrator,
             initial_voltages=initial_voltages, dc_seed=dc_seed,
             max_iterations=max_iterations, vtol=vtol, damping=damping,
-            engine=engine, adaptive=adaptive)
+            engine=engine, adaptive=adaptive,
+            recovery=(recovery.fingerprint()
+                      if recovery is not None else None))
         key = request_key(request)
     except CacheError:
         _metrics().inc("cache.uncacheable", 1)
@@ -246,7 +258,7 @@ def transient_handle(circuit, *, stop_time, dt, integrator, initial_voltages,
 
 
 def dc_handle(circuit, *, time, initial_guess, max_iterations, vtol,
-              damping, engine=None) -> Optional[DCHandle]:
+              damping, engine=None, recovery=None) -> Optional[DCHandle]:
     """A handle for this DC request, or ``None`` when uncacheable."""
     cache = get_active_cache()
     if cache is None:
@@ -254,7 +266,9 @@ def dc_handle(circuit, *, time, initial_guess, max_iterations, vtol,
     try:
         request = dc_request(circuit, time=time, initial_guess=initial_guess,
                              max_iterations=max_iterations, vtol=vtol,
-                             damping=damping, engine=engine)
+                             damping=damping, engine=engine,
+                             recovery=(recovery.fingerprint()
+                                       if recovery is not None else None))
         key = request_key(request)
     except CacheError:
         _metrics().inc("cache.uncacheable", 1)
@@ -275,11 +289,15 @@ def verify_entry(entry: CacheEntry) -> Dict[str, Any]:
     under :func:`bypassed` so it can neither hit the entry being checked
     nor overwrite it.
     """
+    from repro.recovery.policy import RecoveryPolicy
     from repro.spice.analysis.dc import solve_dc
     from repro.spice.analysis.transient import run_transient
 
     request = entry.request
     circuit = rebuild_circuit(request["circuit"])
+    raw_policy = request.get("recovery")
+    policy = (RecoveryPolicy.from_fingerprint(raw_policy)
+              if raw_policy is not None else None)
 
     def bits(blob: Dict[str, Any]) -> bytes:
         return np.ascontiguousarray(_decode_array(blob)).tobytes()
@@ -300,7 +318,8 @@ def verify_entry(entry: CacheEntry) -> Dict[str, Any]:
                 engine=request["engine"], lint="off",
                 adaptive=bool(adaptive_cfg.get("adaptive", False)),
                 lte_tol=adaptive_cfg.get("lte_tol"),
-                max_dt_factor=adaptive_cfg.get("max_dt_factor"))
+                max_dt_factor=adaptive_cfg.get("max_dt_factor"),
+                recovery=policy)
             checks = [
                 ("times", result.times, entry.result["times"]),
                 ("node_voltages", result.node_voltages,
@@ -316,7 +335,7 @@ def verify_entry(entry: CacheEntry) -> Dict[str, Any]:
                                else None),
                 max_iterations=request["max_iterations"],
                 vtol=request["vtol"], damping=request["damping"], lint="off",
-                engine=request.get("engine"))
+                engine=request.get("engine"), recovery=policy)
             checks = [
                 ("voltages", result.voltages, entry.result["voltages"]),
                 ("branch_currents", result.branch_currents,

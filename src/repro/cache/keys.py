@@ -243,6 +243,7 @@ def transient_request(
     damping: float,
     engine: str,
     adaptive: Optional[Dict[str, Any]] = None,
+    recovery: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """The full request record a transient key digests (also stored in
     the cache entry, so verification can replay it).
@@ -251,7 +252,13 @@ def transient_request(
     (``{"adaptive": bool, "lte_tol": float, "max_dt_factor": int}``) or
     ``None`` for the fixed-step engines; it is part of the digest so a
     fixed-step entry can never replay as an adaptive result or vice
-    versa."""
+    versa.
+
+    ``recovery`` is the
+    :meth:`~repro.recovery.policy.RecoveryPolicy.fingerprint` of the
+    run's recovery policy: two runs that differ only in how they would
+    *recover* a failing step can produce different bits, so they never
+    share an entry."""
     from repro.spice.analysis.engine import engine_config_fingerprint
 
     return {
@@ -268,6 +275,7 @@ def transient_request(
         "damping": damping,
         "engine": engine,
         "adaptive": adaptive,
+        "recovery": recovery,
         "engine_config": engine_config_fingerprint(),
     }
 
@@ -280,13 +288,15 @@ def dc_request(
     vtol: float,
     damping: float,
     engine: Optional[str] = None,
+    recovery: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Request record for a DC operating-point solve.
 
     ``engine`` is the linear-solve backend (``None``/``"dense"`` vs
     ``"sparse"``); the two can differ in final bits, so they must not
     share entries.  ``None`` is normalised to ``"dense"`` so the
-    historical default keeps its digests."""
+    historical default keeps its digests.  ``recovery`` is the recovery
+    policy fingerprint (see :func:`transient_request`)."""
     return {
         "kind": "dc",
         "salt": CACHE_SALT,
@@ -297,6 +307,7 @@ def dc_request(
         "vtol": vtol,
         "damping": damping,
         "engine": "dense" if engine is None else engine,
+        "recovery": recovery,
     }
 
 

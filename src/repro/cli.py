@@ -306,12 +306,40 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         outcome = restore_failure_rate(
             args.design, specs, samples=args.samples, seed=args.seed,
             dt=args.dt, workers=args.workers, timeout=args.timeout,
-            retries=args.retries, checkpoint=args.checkpoint)
+            retries=args.retries, checkpoint=args.checkpoint,
+            forensics_dir=args.forensics_dir)
         print(outcome.summary())
         return 1 if outcome.report.failed else 0
     except FaultInjectionError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+
+def _cmd_recovery(args: argparse.Namespace) -> int:
+    if args.action == "explain":
+        from repro.recovery.corpus import corpus_entries
+        from repro.recovery.policy import DEFAULT_POLICY
+
+        policy = DEFAULT_POLICY
+        print("recovery ladder (escalation order):")
+        for rung in policy.rungs:
+            print(f"  {rung}")
+        print("policy configuration (fingerprinted into cache keys):")
+        for key, value in sorted(policy.fingerprint().items()):
+            print(f"  {key} = {value}")
+        print("pathological corpus:")
+        for entry in corpus_entries():
+            print(f"  {entry.name}: {entry.description}")
+        return 0
+
+    # action == "smoke"
+    from repro.recovery.smoke import render_smoke_report, run_smoke
+
+    print(f"Running the recovery corpus on all engines "
+          f"(artifacts -> {args.out})...", file=sys.stderr)
+    report = run_smoke(args.out)
+    print(render_smoke_report(report))
+    return 0 if report["ok"] else 1
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -564,7 +592,23 @@ def build_parser() -> argparse.ArgumentParser:
     pq.add_argument("--checkpoint", metavar="PATH",
                     help="JSONL checkpoint file; rerun with the same path "
                          "to resume an interrupted campaign (run)")
+    pq.add_argument("--forensics-dir", metavar="DIR",
+                    help="dump solver forensics bundles of failed trials "
+                         "as task-<index>.json under DIR (run)")
     pq.set_defaults(func=_cmd_faults)
+
+    pr = sub.add_parser(
+        "recovery",
+        help="solver resilience: explain the ladder, run the corpus smoke")
+    pr.add_argument("action", choices=["explain", "smoke"],
+                    help="'explain' prints the recovery ladder, policy "
+                         "fingerprint fields and the pathological corpus; "
+                         "'smoke' runs the corpus on all engines and writes "
+                         "metrics + forensics artifacts")
+    pr.add_argument("--out", default="recovery-smoke", metavar="DIR",
+                    help="artifact directory for 'smoke' "
+                         "(default: recovery-smoke)")
+    pr.set_defaults(func=_cmd_recovery)
 
     pp = sub.add_parser(
         "profile",

@@ -59,6 +59,7 @@ KEYED_PATH_FRAGMENTS = (
     "repro/spice/waveforms.py",
     "repro/mtj/",
     "repro/cells/",
+    "repro/recovery/",
 )
 
 

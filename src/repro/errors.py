@@ -94,14 +94,22 @@ class ConvergenceError(ReproError):
     ``state`` optionally carries the last Newton iterate (the full MNA
     solution vector) so wall-clock-timeout aborts hand the caller the
     point the solver was stuck at instead of discarding it.
+
+    ``forensics`` optionally carries a
+    :class:`~repro.recovery.forensics.ForensicsBundle` when the failure
+    exhausted the recovery ladder — the rung history, last Newton state,
+    stamped-matrix digest and (when available) a minimal reproducing
+    netlist.
     """
 
     def __init__(self, message: str, iterations: int = 0,
-                 residual: float = float("nan"), state=None):
+                 residual: float = float("nan"), state=None,
+                 forensics=None):
         super().__init__(message)
         self.iterations = iterations
         self.residual = residual
         self.state = state
+        self.forensics = forensics
 
 
 class AnalysisError(ReproError):

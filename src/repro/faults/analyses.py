@@ -172,6 +172,7 @@ def _restore_failure_rate(
     timeout: Optional[float] = None,
     retries: int = 1,
     checkpoint: Optional[str] = None,
+    forensics_dir: Optional[str] = None,
 ) -> RestoreFailureResult:
     """Monte-Carlo restore-failure probability under ``specs``.
 
@@ -202,6 +203,7 @@ def _restore_failure_rate(
         _TRIALS[design], [item] * samples,
         name=f"restore-failure-{design}", seed=seed, workers=workers,
         timeout=timeout, retries=retries, checkpoint=checkpoint,
+        forensics_dir=forensics_dir,
     )
     outcomes = [r for r in report.results() if r is not None]
     failures = sum(1 for r in outcomes if not r["ok"])
@@ -224,6 +226,7 @@ def restore_failure_rate(
     timeout: Optional[float] = None,
     retries: int = 1,
     checkpoint: Optional[str] = None,
+    forensics_dir: Optional[str] = None,
 ) -> RestoreFailureResult:
     """Deprecated free-function entry point; use
     ``repro.api.Session(...).campaign(design, specs, ...)`` instead."""
@@ -236,7 +239,7 @@ def restore_failure_rate(
     return _restore_failure_rate(
         design, specs, samples=samples, seed=seed, vdd=vdd, dt=dt,
         workers=workers, timeout=timeout, retries=retries,
-        checkpoint=checkpoint)
+        checkpoint=checkpoint, forensics_dir=forensics_dir)
 
 
 # ---------------------------------------------------------------------------

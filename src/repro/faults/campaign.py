@@ -135,9 +135,16 @@ def _execute_task(payload: Tuple) -> Dict[str, Any]:
             if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                 raise
             span.annotate(status="error")
-            return {"status": "error", "result": None,
-                    "error": f"{type(exc).__name__}: {exc}",
-                    "elapsed": time.monotonic() - start}
+            outcome = {"status": "error", "result": None,
+                       "error": f"{type(exc).__name__}: {exc}",
+                       "elapsed": time.monotonic() - start}
+            # Solver exhaustion carries a ForensicsBundle (see
+            # repro.recovery.forensics); ship its JSON form across the
+            # process boundary so the runner can dump it to disk.
+            bundle = getattr(exc, "forensics", None)
+            if bundle is not None and hasattr(bundle, "to_json"):
+                outcome["forensics"] = bundle.to_json()
+            return outcome
         span.annotate(status="ok")
         return {"status": "ok", "result": result, "error": "",
                 "elapsed": time.monotonic() - start}
@@ -154,11 +161,15 @@ class TaskRecord:
     result: Any = None
     error: str = ""
     elapsed: float = 0.0
+    #: Path of the forensics-bundle dump for a failed task, when the
+    #: campaign ran with ``forensics_dir`` and the failure carried one.
+    forensics: Optional[str] = None
 
     def to_json(self) -> Dict[str, Any]:
         return {"index": self.index, "status": self.status,
                 "attempts": self.attempts, "result": self.result,
-                "error": self.error, "elapsed": self.elapsed}
+                "error": self.error, "elapsed": self.elapsed,
+                "forensics": self.forensics}
 
     @classmethod
     def from_json(cls, data: Dict[str, Any]) -> "TaskRecord":
@@ -166,7 +177,8 @@ class TaskRecord:
                    attempts=int(data["attempts"]),
                    result=data.get("result"),
                    error=str(data.get("error", "")),
-                   elapsed=float(data.get("elapsed", 0.0)))
+                   elapsed=float(data.get("elapsed", 0.0)),
+                   forensics=data.get("forensics"))
 
 
 @dataclass
@@ -351,6 +363,7 @@ def load_checkpoint(
                 attempts=int(entry["attempts"]), result=entry.get("result"),
                 error=str(entry.get("error", "")),
                 elapsed=float(entry.get("elapsed", 0.0)),
+                forensics=entry.get("forensics"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise CampaignError(
@@ -403,6 +416,7 @@ def run_campaign(
     retries: int = DEFAULT_RETRIES,
     checkpoint: Optional[str] = None,
     resume: bool = True,
+    forensics_dir: Optional[str] = None,
 ) -> CampaignReport:
     """Run ``fn(item, rng)`` over every item, resiliently.
 
@@ -415,6 +429,11 @@ def run_campaign(
     * ``checkpoint`` — JSONL path; with ``resume=True`` (default) an
       existing compatible file short-circuits its completed tasks as
       ``skipped`` and previously-failed tasks are re-run from attempt 1.
+    * ``forensics_dir`` — directory for failure forensics: when a task's
+      final attempt died on a solver exhaustion that carries a
+      :class:`~repro.recovery.forensics.ForensicsBundle`, its JSON form
+      is written to ``<forensics_dir>/task-<index>.json`` and the path
+      is recorded on the task's :class:`TaskRecord`.
 
     Never raises for task-level trouble — errors, timeouts and even
     worker-process crashes end up as ``failed`` records in the returned
@@ -461,12 +480,28 @@ def run_campaign(
                          attrs={"name": name, "total": total,
                                 "workers": workers})
 
+    def dump_forensics(index: int, outcome: Dict[str, Any]) -> Optional[str]:
+        """Write a failed task's forensics bundle; returns the path."""
+        bundle = outcome.get("forensics")
+        if bundle is None or forensics_dir is None:
+            return None
+        os.makedirs(forensics_dir, exist_ok=True)
+        path = os.path.join(forensics_dir, f"task-{index}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(bundle, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
     def finish(index: int, status: str, outcome: Dict[str, Any]) -> None:
+        forensics_path = None
+        if status == "failed":
+            forensics_path = dump_forensics(index, outcome)
         record = TaskRecord(
             index=index, status=status, attempts=attempts[index],
             result=outcome["result"] if status == "completed" else None,
             error=outcome.get("error", ""),
-            elapsed=float(outcome.get("elapsed", 0.0)))
+            elapsed=float(outcome.get("elapsed", 0.0)),
+            forensics=forensics_path)
         records[index] = record
         if writer is not None:
             writer.record(record)
@@ -571,6 +606,10 @@ def run_campaign(
 
             ordered = tuple(records[i] for i in sorted(records))
             assert len(ordered) == total, "campaign bookkeeping lost a task"
+            dumped_count = sum(1 for r in ordered if r.forensics is not None)
+            if dumped_count:
+                notes.append(f"forensics: {dumped_count} bundle(s) written "
+                             f"to {forensics_dir}")
             report = CampaignReport(name=name, seed=seed, total=total,
                                     records=ordered, notes=tuple(notes),
                                     checkpoint=checkpoint)
@@ -591,6 +630,10 @@ def run_campaign(
                                if r.status == "failed" and "timeout" in r.error)
                 if timeouts:
                     registry.inc("campaign.timeouts", timeouts)
+                dumped = sum(1 for r in report.records
+                             if r.forensics is not None)
+                if dumped:
+                    registry.inc("campaign.forensics_dumps", dumped)
                 registry.observe("campaign.task_seconds", report.elapsed_total)
         finally:
             if writer is not None:

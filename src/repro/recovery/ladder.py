@@ -1,0 +1,722 @@
+"""The recovery ladder: deterministic escalation for failed solves.
+
+One :class:`TransientStepper` owns per-step advancement for a fixed-step
+transient run.  The happy path is exactly the pre-ladder hot loop — one
+solver call, one state settle — and every escalation is a pure function
+of (policy, failing step), so recovered waveforms are bit-identical for
+any worker count and cache replay:
+
+* ``gmin``              — retry the step at each policy gmin (the
+  historical strong-gmin retry is the default single entry);
+* ``damping``           — tighter dV clamp with a larger iteration
+  budget;
+* ``timestep-cut``      — re-cover the failing interval with 2^k
+  substeps (the step re-doubles back onto the output grid by
+  construction);
+* ``integrator-switch`` — trap→BE for the offending step only;
+* ``engine-fallback``   — sparse→fast→naive, never upward.
+
+Cross-workspace rungs (cut / switch / fallback) move capacitor state
+through the devices themselves (``MNAWorkspace.flush_state`` /
+``reload_state``) and snapshot all mutable device state first, so a
+failed rung leaves no trace and a successful one leaves the primary
+workspace exactly as if it had taken the step itself.
+
+On exhaustion the step raises :class:`~repro.errors.ConvergenceError`
+carrying a :class:`~repro.recovery.forensics.ForensicsBundle`.
+
+:func:`dc_recover` is the DC analogue: staged gmin homotopy with a
+residual trajectory, then source-stepping homotopy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError, ConvergenceError
+from repro.recovery.forensics import ForensicsBundle, stamped_matrix_digest
+from repro.recovery.health import ConditionProbe, SolverHealth, guard_finite
+from repro.recovery.policy import (
+    DEFAULT_POLICY,
+    RUNG_DAMPING,
+    RUNG_ENGINE_FALLBACK,
+    RUNG_GMIN,
+    RUNG_INTEGRATOR_SWITCH,
+    RUNG_TIMESTEP_CUT,
+    RecoveryPolicy,
+)
+from repro.spice.devices.base import EvalContext
+from repro.spice.netlist import Circuit
+
+#: Wall-clock budget [s] per shrink-candidate simulation while building
+#: a forensics bundle.  Deliberately not part of any cache key: bundles
+#: are diagnostics, not results.
+SHRINK_CANDIDATE_TIMEOUT = 10.0
+
+
+def _short(exc: BaseException) -> str:
+    """First line of an exception message (rung-history friendly)."""
+    return str(exc).splitlines()[0] if str(exc) else type(exc).__name__
+
+
+def _probe_policy(policy: RecoveryPolicy) -> RecoveryPolicy:
+    """The policy shrink-oracle runs use: no rungs, no nested shrink."""
+    from dataclasses import replace
+
+    return replace(policy, enabled=False, shrink_on_failure=False)
+
+
+# ---------------------------------------------------------------------------
+# Device-state snapshot (capacitor history, MTJ magnetisation)
+# ---------------------------------------------------------------------------
+
+
+def snapshot_device_state(circuit: Circuit) -> List[Tuple[Any, str, Any]]:
+    """Capture every mutable per-device state so a failed rung attempt
+    can be rolled back exactly.
+
+    The only stateful devices in the zoo are capacitors
+    (``_prev_current``) and MTJ elements (magnetisation, switching
+    progress, event log) — the same set the result cache's MTJ-state
+    capture handles.  A new stateful device class must be added here
+    (and there) before the ladder may recover circuits containing it.
+    """
+    from repro.spice.devices.mtj_element import MTJElement
+    from repro.spice.devices.passive import Capacitor
+
+    snapshot: List[Tuple[Any, str, Any]] = []
+    for device in circuit.devices:
+        if isinstance(device, Capacitor):
+            snapshot.append((device, "cap", device._prev_current))
+        elif isinstance(device, MTJElement):
+            switching = device.switching
+            snapshot.append((device, "mtj", (
+                device.device.state,
+                None if switching is None
+                else (switching.progress, len(switching.events)))))
+    return snapshot
+
+
+def restore_device_state(snapshot: List[Tuple[Any, str, Any]]) -> None:
+    for device, kind, state in snapshot:
+        if kind == "cap":
+            device._prev_current = state
+        else:
+            mtj_state, switching_state = state
+            device.device.state = mtj_state
+            if switching_state is not None:
+                device.switching.progress = switching_state[0]
+                del device.switching.events[switching_state[1]:]
+
+
+# ---------------------------------------------------------------------------
+# Engine attempts: one uniform solve/settle interface per (engine, dt,
+# integrator) triple
+# ---------------------------------------------------------------------------
+
+
+class _WorkspaceAttempt:
+    """Fast/sparse attempt: a dedicated workspace + Newton solver."""
+
+    def __init__(self, circuit: Circuit, engine: str, dt: float,
+                 integrator: str, stats, probe: Optional[ConditionProbe]):
+        from repro.spice.analysis.engine import (
+            FastNewtonSolver,
+            MNAWorkspace,
+        )
+
+        self.workspace = MNAWorkspace(circuit, dt=dt, integrator=integrator)
+        if engine == "sparse":
+            from repro.spice.analysis.sparse import SparseNewtonSolver
+
+            self.solver: Any = SparseNewtonSolver(self.workspace, stats=stats)
+        else:
+            self.solver = FastNewtonSolver(self.workspace, stats=stats)
+        self.solver.condition_probe = probe
+
+    def solve(self, x: np.ndarray, time: float, prev_nodes: np.ndarray,
+              gmin: float, max_iterations: int, vtol: float,
+              damping: float) -> np.ndarray:
+        return self.solver.solve(x, time, prev_nodes, gmin, max_iterations,
+                                 vtol, damping)
+
+    def settle(self, x: np.ndarray, time: float,
+               prev_nodes: np.ndarray) -> None:
+        self.workspace.update_state(x)
+
+    def flush(self) -> None:
+        self.workspace.flush_state()
+
+    def reload(self) -> None:
+        self.workspace.reload_state()
+
+
+class _NaiveAttempt:
+    """Re-stamp-everything attempt; device state lives on the devices
+    themselves, so flush/reload are no-ops."""
+
+    def __init__(self, circuit: Circuit, dt: float, integrator: str,
+                 stats, probe: Optional[ConditionProbe]):
+        circuit.finalize()
+        self.circuit = circuit
+        self.dt = dt
+        self.integrator = integrator
+        self.stats = stats
+        self.probe = probe
+        self.num_nodes = circuit.num_nodes
+
+    def solve(self, x: np.ndarray, time: float, prev_nodes: np.ndarray,
+              gmin: float, max_iterations: int, vtol: float,
+              damping: float) -> np.ndarray:
+        from repro.spice.analysis.dc import newton_step
+
+        return newton_step(
+            self.circuit, x, time, prev_nodes, self.dt,
+            integrator=self.integrator, max_iterations=max_iterations,
+            vtol=vtol, damping=damping, gmin=gmin, stats=self.stats,
+            probe=self.probe,
+        )
+
+    def settle(self, x: np.ndarray, time: float,
+               prev_nodes: np.ndarray) -> None:
+        ctx = EvalContext(
+            voltages=x[:self.num_nodes], prev_voltages=prev_nodes,
+            time=time, dt=self.dt, integrator=self.integrator,
+        )
+        for device in self.circuit.devices:
+            device.update_state(ctx)
+
+    def flush(self) -> None:
+        pass
+
+    def reload(self) -> None:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Transient stepper
+# ---------------------------------------------------------------------------
+
+
+class TransientStepper:
+    """Per-run step driver: primary solve plus ladder escalation.
+
+    ``advance`` both solves and settles the step — the caller's loop
+    never needs to know whether the step went through the primary
+    solver or a recovery rung.
+    """
+
+    def __init__(self, circuit: Circuit, engine: str, dt: float,
+                 integrator: str, max_iterations: int, vtol: float,
+                 damping: float, stats, floor_gmin: float,
+                 policy: Optional[RecoveryPolicy] = None):
+        if engine not in ("fast", "naive", "sparse"):
+            raise AnalysisError(f"unknown engine {engine!r}")
+        self.circuit = circuit
+        self.engine = engine
+        self.dt = dt
+        self.integrator = integrator
+        self.max_iterations = max_iterations
+        self.vtol = vtol
+        self.damping = damping
+        self.stats = stats
+        self.floor_gmin = floor_gmin
+        self.policy = DEFAULT_POLICY if policy is None else policy
+        self.health = SolverHealth()
+        self.probe = ConditionProbe(self.health, self.policy)
+        self.num_nodes = 0  # set by the primary attempt below
+        self._primary = self._build_attempt(engine, dt, integrator)
+        self.num_nodes = circuit.num_nodes
+        self._alternates: Dict[Tuple[str, int, str], Any] = {}
+
+    def _build_attempt(self, engine: str, dt: float, integrator: str):
+        if engine in ("fast", "sparse"):
+            return _WorkspaceAttempt(self.circuit, engine, dt, integrator,
+                                     self.stats, self.probe)
+        return _NaiveAttempt(self.circuit, dt, integrator, self.stats,
+                             self.probe)
+
+    def _alternate(self, engine: str, pieces: int, integrator: str):
+        key = (engine, pieces, integrator)
+        attempt = self._alternates.get(key)
+        if attempt is None:
+            attempt = self._build_attempt(engine, self.dt / pieces,
+                                          integrator)
+            self._alternates[key] = attempt
+        return attempt
+
+    # -- public driver interface ------------------------------------------
+
+    def advance(self, x: np.ndarray, time: float,
+                prev_nodes: np.ndarray) -> np.ndarray:
+        """Solve and settle one step; escalates through the ladder on
+        failure.  Returns the accepted solution vector."""
+        try:
+            x_new = self._primary.solve(x, time, prev_nodes,
+                                        self.floor_gmin,
+                                        self.max_iterations, self.vtol,
+                                        self.damping)
+            guard_finite(x_new, f"engine={self.engine} t={time:g} s",
+                         self.health)
+        except ConvergenceError as failure:
+            return self._recover(failure, x, time, prev_nodes)
+        self._primary.settle(x_new, time, prev_nodes)
+        return x_new
+
+    # -- rung machinery ----------------------------------------------------
+
+    def _recover(self, failure: ConvergenceError, x0: np.ndarray,
+                 time: float, prev_nodes: np.ndarray) -> np.ndarray:
+        history: List[Dict[str, str]] = []
+        rungs = self.policy.rungs if self.policy.enabled else ()
+        for rung in rungs:
+            for detail, attempt in self._rung_attempts(rung, x0, time,
+                                                       prev_nodes):
+                self.health.note_rung_attempt(rung)
+                try:
+                    x_new = attempt()
+                except ConvergenceError as exc:
+                    history.append({"rung": rung, "detail": detail,
+                                    "outcome": f"failed: {_short(exc)}"})
+                    failure = exc
+                    continue
+                history.append({"rung": rung, "detail": detail,
+                                "outcome": "recovered"})
+                self.health.note_rung_success(rung)
+                self.health.note_recovered_step()
+                self.stats.recovered_steps += 1
+                return x_new
+        self._raise_exhausted(failure, history, x0, time, prev_nodes)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _rung_attempts(self, rung: str, x0: np.ndarray, time: float,
+                       prev_nodes: np.ndarray):
+        """Yield ``(detail, thunk)`` sub-attempts for one rung, in
+        deterministic policy order."""
+        policy = self.policy
+        if rung == RUNG_GMIN:
+            for gmin in policy.gmin_ladder:
+                yield (f"gmin={gmin:g}",
+                       lambda g=gmin: self._gmin_attempt(g, x0, time,
+                                                         prev_nodes))
+        elif rung == RUNG_DAMPING:
+            damping = self.damping * policy.damping_scale
+            iterations = self.max_iterations * policy.iteration_scale
+            yield (f"damping={damping:g} iters={iterations}",
+                   lambda: self._primary_attempt(
+                       x0, time, prev_nodes, gmin=self.floor_gmin,
+                       damping=damping, max_iterations=iterations))
+        elif rung == RUNG_TIMESTEP_CUT:
+            for cuts in range(1, policy.max_timestep_cuts + 1):
+                pieces = 2 ** cuts
+                yield (f"dt/{pieces}",
+                       lambda p=pieces: self._alternate_attempt(
+                           self.engine, self.integrator, p, x0, time,
+                           prev_nodes))
+        elif rung == RUNG_INTEGRATOR_SWITCH:
+            if self.integrator == "trap":
+                yield ("trap->be",
+                       lambda: self._alternate_attempt(
+                           self.engine, "be", 1, x0, time, prev_nodes))
+        elif rung == RUNG_ENGINE_FALLBACK:
+            for engine in policy.fallback_engines(self.engine):
+                yield (f"engine={engine}",
+                       lambda e=engine: self._alternate_attempt(
+                           e, self.integrator, 1, x0, time, prev_nodes))
+
+    def _gmin_attempt(self, gmin: float, x0: np.ndarray, time: float,
+                      prev_nodes: np.ndarray) -> np.ndarray:
+        # Counted exactly like the historical hard-coded retry, so the
+        # obs counter keeps its meaning across the refactor.
+        self.stats.gmin_retries += 1
+        return self._primary_attempt(x0, time, prev_nodes, gmin=gmin)
+
+    def _primary_attempt(self, x0: np.ndarray, time: float,
+                         prev_nodes: np.ndarray, gmin: float,
+                         damping: Optional[float] = None,
+                         max_iterations: Optional[int] = None) -> np.ndarray:
+        x = self._primary.solve(
+            x0, time, prev_nodes, gmin,
+            self.max_iterations if max_iterations is None else max_iterations,
+            self.vtol, self.damping if damping is None else damping)
+        guard_finite(x, f"engine={self.engine} t={time:g} s", self.health)
+        self._primary.settle(x, time, prev_nodes)
+        return x
+
+    def _alternate_attempt(self, engine: str, integrator: str, pieces: int,
+                           x0: np.ndarray, time: float,
+                           prev_nodes: np.ndarray) -> np.ndarray:
+        """Re-cover [time − dt, time] with ``pieces`` substeps on an
+        alternate (engine, dt, integrator) attempt, committing device
+        state only if the whole interval succeeds."""
+        attempt = self._alternate(engine, pieces, integrator)
+        self._primary.flush()
+        snapshot = snapshot_device_state(self.circuit)
+        try:
+            attempt.reload()
+            sub_dt = self.dt / pieces
+            t_start = time - self.dt
+            x = x0
+            prev = prev_nodes
+            for k in range(1, pieces + 1):
+                # Land the last substep exactly on the grid point.
+                t_k = time if k == pieces else t_start + k * sub_dt
+                x = self._solve_with_gmins(attempt, x, t_k, prev)
+                attempt.settle(x, t_k, prev)
+                prev = x[:self.num_nodes].copy()
+            attempt.flush()
+            self._primary.reload()
+            return x
+        except ConvergenceError:
+            restore_device_state(snapshot)
+            self._primary.reload()
+            raise
+
+    def _solve_with_gmins(self, attempt, x: np.ndarray, time: float,
+                          prev: np.ndarray) -> np.ndarray:
+        """One substep solve, with the policy gmin ladder folded in so
+        the cut/switch/fallback rungs compose with gmin stepping.
+
+        Alternate attempts run with the scaled iteration budget (as the
+        damping rung does): a fallback engine may need more iterations
+        than the primary for the same step — the fast engine's Jacobian
+        reuse, for instance, trades per-iteration progress for speed —
+        and a recovery attempt should not fail on that margin.
+        """
+        iterations = self.max_iterations * self.policy.iteration_scale
+        last: Optional[ConvergenceError] = None
+        for gmin in (self.floor_gmin,) + self.policy.gmin_ladder:
+            try:
+                x_new = attempt.solve(x, time, prev, gmin,
+                                      iterations, self.vtol,
+                                      self.damping)
+                return guard_finite(x_new, f"substep t={time:g} s",
+                                    self.health)
+            except ConvergenceError as exc:
+                last = exc
+        assert last is not None
+        raise last
+
+    # -- exhaustion --------------------------------------------------------
+
+    def _raise_exhausted(self, failure: ConvergenceError,
+                         history: List[Dict[str, str]], x0: np.ndarray,
+                         time: float, prev_nodes: np.ndarray) -> None:
+        last_state = failure.state if failure.state is not None else x0
+        bundle = ForensicsBundle(
+            analysis="transient",
+            circuit_name=self.circuit.name,
+            engine=self.engine,
+            time=time,
+            message=_short(failure),
+            last_state=[float(v) for v in np.asarray(last_state).ravel()],
+            health=self.health.to_json(),
+        )
+        for entry in history:
+            bundle.note_rung(entry["rung"], entry["detail"],
+                             entry["outcome"])
+        try:
+            matrix = _stamped_matrix(self.circuit, np.asarray(last_state),
+                                     time, prev_nodes, self.dt,
+                                     self.integrator, self.floor_gmin)
+            bundle.matrix_digest = stamped_matrix_digest(matrix)
+        except Exception:
+            bundle.matrix_digest = None
+        self._attach_circuit(bundle, time)
+        tried = ", ".join(f"{e['rung']}({e['detail']})" for e in history)
+        raise ConvergenceError(
+            f"recovery ladder exhausted at t={time:g} s of "
+            f"{self.circuit.name!r} (engine={self.engine}): "
+            f"{_short(failure)}"
+            + (f"; rungs tried: {tried}" if tried else "; no rungs enabled"),
+            iterations=failure.iterations, residual=failure.residual,
+            state=np.asarray(last_state).copy(), forensics=bundle,
+        ) from failure
+
+    def _attach_circuit(self, bundle: ForensicsBundle,
+                        fail_time: float) -> None:
+        from repro.errors import CacheError
+
+        try:
+            from repro.cache.keys import circuit_fingerprint
+
+            bundle.circuit = circuit_fingerprint(self.circuit)
+        except CacheError:
+            return
+        bundle.devices_before = len(self.circuit.devices)
+        bundle.devices_after = bundle.devices_before
+        if not self.policy.shrink_on_failure:
+            return
+        probe_policy = _probe_policy(self.policy)
+
+        def still_fails(candidate: Circuit) -> bool:
+            from repro.cache.analysis import bypassed
+            from repro.spice.analysis.transient import run_transient
+
+            try:
+                with bypassed():
+                    run_transient(
+                        candidate, stop_time=fail_time, dt=self.dt,
+                        integrator=self.integrator,
+                        max_iterations=self.max_iterations, vtol=self.vtol,
+                        damping=self.damping, engine=self.engine,
+                        lint="off", timeout=SHRINK_CANDIDATE_TIMEOUT,
+                        recovery=probe_policy)
+            except ConvergenceError:
+                return True
+            except Exception:
+                return False
+            return False
+
+        try:
+            from repro.recovery.shrink import shrink_failing_circuit
+
+            minimal_fp, minimal = shrink_failing_circuit(
+                self.circuit, still_fails, budget=self.policy.shrink_budget)
+            bundle.minimal_circuit = minimal_fp
+            bundle.devices_after = len(minimal.devices)
+        except Exception:
+            bundle.minimal_circuit = None
+
+
+def _stamped_matrix(circuit: Circuit, x: np.ndarray, time: float,
+                    prev_nodes: Optional[np.ndarray], dt: Optional[float],
+                    integrator: str, gmin: float) -> np.ndarray:
+    """Dense re-stamp of the MNA system at an iterate (the forensics
+    matrix digest: engine-independent by construction)."""
+    from repro.spice.analysis.mna import MNAStamper
+
+    circuit.finalize()
+    num_nodes = circuit.num_nodes
+    ctx = EvalContext(voltages=x[:num_nodes], prev_voltages=prev_nodes,
+                      time=time, dt=dt, gmin=gmin, integrator=integrator)
+    stamper = MNAStamper(num_nodes, circuit.num_branches)
+    for device in circuit.devices:
+        device.stamp(stamper, ctx)
+    stamper.apply_gmin(gmin)
+    return stamper.matrix
+
+
+# ---------------------------------------------------------------------------
+# Shared gmin-rung helper (adaptive driver, batched ensembles)
+# ---------------------------------------------------------------------------
+
+
+def gmin_ladder_retry(attempt: Callable[[float], np.ndarray],
+                      policy: RecoveryPolicy, stats,
+                      health: Optional[SolverHealth] = None,
+                      failure: Optional[ConvergenceError] = None
+                      ) -> np.ndarray:
+    """Run ``attempt(gmin)`` through the policy's gmin ladder after a
+    floor-gmin failure (drivers with their own step control — the
+    adaptive transient — use this instead of a full stepper)."""
+    last = failure
+    for gmin in policy.gmin_ladder:
+        stats.gmin_retries += 1
+        try:
+            x = attempt(gmin)
+        except ConvergenceError as exc:
+            last = exc
+            continue
+        if health is not None:
+            health.note_rung_attempt(RUNG_GMIN)
+            health.note_rung_success(RUNG_GMIN)
+            health.note_recovered_step()
+        stats.recovered_steps += 1
+        return x
+    if last is None:
+        last = ConvergenceError("gmin ladder is empty")
+    raise last
+
+
+# ---------------------------------------------------------------------------
+# DC recovery: staged gmin homotopy + source stepping
+# ---------------------------------------------------------------------------
+
+
+def dc_recover(
+    circuit: Circuit,
+    newton: Callable[..., Tuple[np.ndarray, int]],
+    x0: np.ndarray,
+    time: float,
+    max_iterations: int,
+    vtol: float,
+    damping: float,
+    floor_gmin: float,
+    first_failure: ConvergenceError,
+    policy: Optional[RecoveryPolicy] = None,
+    linear_solve=None,
+    deadline: Optional[float] = None,
+    engine_label: str = "dense",
+) -> Tuple[np.ndarray, int, SolverHealth, List[str]]:
+    """Recover a failed plain-Newton DC solve.
+
+    Stage 1 — gmin homotopy: strong conductance to ground, reduced one
+    decade at a time, warm-starting each stage (bit-identical to the
+    historical ``solve_dc`` ladder under the default policy).  Stage 2 —
+    source stepping: when the homotopy stalls, ramp every independent
+    source from a fraction of its value to full scale, warm-starting
+    along the way.  ``newton`` is the DC module's ``_newton`` (injected
+    to keep the import graph acyclic).
+
+    Returns ``(x, total_iterations, health, trajectory)`` where
+    ``trajectory`` names every stage and its outcome — the residual
+    norm trajectory the failure message reports.  Raises
+    :class:`ConvergenceError` with a :class:`ForensicsBundle` when both
+    homotopies are exhausted.
+    """
+    policy = DEFAULT_POLICY if policy is None else policy
+    health = SolverHealth()
+    trajectory: List[str] = [
+        f"plain newton: {_short(first_failure)} "
+        f"(max dV={first_failure.residual:g} V)"]
+
+    x = x0
+    total_iterations = 0
+    gmin = policy.dc_gmin_start
+    gmin_failure: Optional[ConvergenceError] = None
+    failed_gmin = 0.0
+    while gmin >= floor_gmin:
+        try:
+            x, iterations = newton(
+                circuit, x, time, gmin, max_iterations, vtol, damping,
+                deadline=deadline, linear_solve=linear_solve,
+            )
+        except ConvergenceError as exc:
+            gmin_failure = exc
+            failed_gmin = gmin
+            trajectory.append(
+                f"gmin {gmin:g}: stalled after {exc.iterations} iterations "
+                f"(max dV={exc.residual:g} V)")
+            break
+        total_iterations += iterations
+        health.dc_gmin_stages += 1
+        trajectory.append(f"gmin {gmin:g}: converged in {iterations} "
+                          f"iterations")
+        gmin /= policy.dc_gmin_reduction
+    else:
+        return x, total_iterations, health, trajectory
+
+    assert gmin_failure is not None
+    total_iterations += gmin_failure.iterations
+    timed_out = _timed_out(deadline)
+    source_steps = (policy.dc_source_steps
+                    if policy.enabled and not timed_out else ())
+    source_failure: Optional[ConvergenceError] = None
+    if source_steps:
+        x = x0
+        for scale in source_steps:
+            try:
+                x, iterations = newton(
+                    circuit, x, time, floor_gmin, max_iterations, vtol,
+                    damping, deadline=deadline, linear_solve=linear_solve,
+                    source_scale=scale,
+                )
+            except ConvergenceError as exc:
+                source_failure = exc
+                trajectory.append(
+                    f"source step {scale:g}: stalled after "
+                    f"{exc.iterations} iterations "
+                    f"(max dV={exc.residual:g} V)")
+                total_iterations += exc.iterations
+                break
+            total_iterations += iterations
+            health.dc_source_steps += 1
+            health.note_rung_success("dc-source-stepping")
+            trajectory.append(f"source step {scale:g}: converged in "
+                              f"{iterations} iterations")
+        else:
+            return x, total_iterations, health, trajectory
+
+    final = source_failure if source_failure is not None else gmin_failure
+    timed_out = _timed_out(deadline)
+    if source_failure is not None:
+        stage = "source stepping stalled"
+    else:
+        stage = f"gmin stepping stalled at gmin={failed_gmin:g}"
+    reason = ("exceeded its wall-clock timeout during homotopy"
+              if timed_out else stage)
+    bundle = _dc_bundle(circuit, engine_label, final, trajectory, health,
+                        policy, time, max_iterations, vtol, damping,
+                        shrink=not timed_out)
+    raise ConvergenceError(
+        f"{reason}: {_short(final)}; residual trajectory: "
+        + " | ".join(trajectory),
+        iterations=total_iterations,
+        residual=final.residual, state=final.state, forensics=bundle,
+    ) from first_failure
+
+
+def _timed_out(deadline: Optional[float]) -> bool:
+    if deadline is None:
+        return False
+    import time as _time
+
+    return _time.monotonic() > deadline
+
+
+def _dc_bundle(circuit: Circuit, engine_label: str,
+               failure: ConvergenceError, trajectory: List[str],
+               health: SolverHealth, policy: RecoveryPolicy, time: float,
+               max_iterations: int, vtol: float, damping: float,
+               shrink: bool) -> ForensicsBundle:
+    from repro.errors import CacheError
+
+    bundle = ForensicsBundle(
+        analysis="dc", circuit_name=circuit.name, engine=engine_label,
+        time=time, message=_short(failure),
+        last_state=(None if failure.state is None
+                    else [float(v) for v in np.asarray(failure.state)]),
+        health=health.to_json(),
+    )
+    for line in trajectory:
+        stage, _, outcome = line.partition(": ")
+        bundle.note_rung("dc-homotopy", stage, outcome or line)
+    if failure.state is not None:
+        try:
+            matrix = _stamped_matrix(circuit, np.asarray(failure.state),
+                                     time, None, None, "be", 0.0)
+            bundle.matrix_digest = stamped_matrix_digest(matrix)
+        except Exception:
+            bundle.matrix_digest = None
+    try:
+        from repro.cache.keys import circuit_fingerprint
+
+        bundle.circuit = circuit_fingerprint(circuit)
+    except CacheError:
+        return bundle
+    bundle.devices_before = len(circuit.devices)
+    bundle.devices_after = bundle.devices_before
+    if not (shrink and policy.shrink_on_failure):
+        return bundle
+    probe_policy = _probe_policy(policy)
+
+    def still_fails(candidate: Circuit) -> bool:
+        from repro.cache.analysis import bypassed
+        from repro.spice.analysis.dc import solve_dc
+
+        try:
+            with bypassed():
+                solve_dc(candidate, time=time,
+                         max_iterations=max_iterations, vtol=vtol,
+                         damping=damping, lint="off",
+                         timeout=SHRINK_CANDIDATE_TIMEOUT,
+                         recovery=probe_policy)
+        except ConvergenceError:
+            return True
+        except Exception:
+            return False
+        return False
+
+    try:
+        from repro.recovery.shrink import shrink_failing_circuit
+
+        minimal_fp, minimal = shrink_failing_circuit(
+            circuit, still_fails, budget=policy.shrink_budget)
+        bundle.minimal_circuit = minimal_fp
+        bundle.devices_after = len(minimal.devices)
+    except Exception:
+        bundle.minimal_circuit = None
+    return bundle

@@ -1,0 +1,113 @@
+"""Greedy netlist shrinking: reduce a failing circuit to a locally
+minimal reproducer.
+
+Promoted out of ``tests/test_engine_differential.py`` so both the
+differential harness (spec-level shrinking) and the failure forensics
+(circuit-level shrinking on ladder exhaustion) share one engine.
+
+Shrinking is sound only when candidates are *well-formed by
+construction*: the differential harness gets that from spec-as-data
+(drop a section, rebuild), while circuit-level shrinking gets it from
+the constructive cache fingerprint
+(:func:`repro.cache.keys.circuit_fingerprint` /
+:func:`~repro.cache.keys.rebuild_circuit`) plus an ERC lint gate —
+candidates whose removal leaves a structurally broken circuit
+(floating nodes, dangling branches) are skipped, so the failing oracle
+can never over-shrink to a degenerate netlist that fails for an
+unrelated reason.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.spice.netlist import Circuit
+
+
+def greedy_shrink(items: Sequence[Any],
+                  still_fails: Callable[[List[Any]], bool],
+                  min_items: int = 1,
+                  budget: Optional[int] = None) -> List[Any]:
+    """Greedy one-at-a-time removal to a locally minimal failing list.
+
+    ``still_fails(candidate)`` is the oracle: True when the failure
+    still reproduces with ``candidate`` (a sublist of ``items``).  Each
+    successful removal restarts the scan, so the result is 1-minimal
+    with respect to the oracle (removing any single remaining item no
+    longer fails).  ``budget`` caps the number of oracle evaluations —
+    when it runs out, the best reduction found so far is returned.
+    """
+    current = list(items)
+    evaluations = 0
+    improved = True
+    while improved and len(current) > min_items:
+        improved = False
+        for i in range(len(current)):
+            if budget is not None and evaluations >= budget:
+                return current
+            candidate = current[:i] + current[i + 1:]
+            if len(candidate) < min_items:
+                continue
+            evaluations += 1
+            if still_fails(candidate):
+                current = candidate
+                improved = True
+                break
+    return current
+
+
+def _structurally_sound(circuit: Circuit) -> bool:
+    """ERC gate for shrink candidates: a candidate that no longer lints
+    clean would fail for a *structural* reason, not the one under
+    investigation."""
+    from repro.errors import ReproError
+    from repro.lint import preflight
+
+    try:
+        preflight(circuit, "error")
+    except ReproError:
+        return False
+    return True
+
+
+def shrink_failing_circuit(
+    circuit: Circuit,
+    still_fails: Callable[[Circuit], bool],
+    budget: Optional[int] = None,
+) -> Tuple[Dict[str, Any], Circuit]:
+    """Reduce ``circuit`` to a locally minimal one that still fails.
+
+    ``still_fails(candidate)`` re-runs the failing analysis on a
+    rebuilt candidate circuit and reports whether the failure
+    reproduces; exceptions it does not catch count as "does not
+    reproduce" is the *caller's* contract — this function only skips
+    candidates the ERC lint rejects.
+
+    Returns ``(fingerprint, circuit)`` of the minimal reproducer (the
+    fingerprint uses the cache's constructive schema, so it can be
+    stored in a forensics bundle and rebuilt anywhere).  Raises
+    :class:`~repro.errors.CacheError` when the input circuit contains a
+    device the constructive fingerprint cannot describe.
+    """
+    from repro.cache.keys import circuit_fingerprint, rebuild_circuit
+
+    fingerprint = circuit_fingerprint(circuit)
+
+    def rebuild(device_records: List[Dict[str, Any]]
+                ) -> Tuple[Dict[str, Any], Circuit]:
+        candidate_fp = {
+            "name": fingerprint["name"],
+            "nodes": list(fingerprint["nodes"]),
+            "devices": list(device_records),
+        }
+        return candidate_fp, rebuild_circuit(candidate_fp)
+
+    def oracle(device_records: List[Dict[str, Any]]) -> bool:
+        _fp, candidate = rebuild(device_records)
+        if not _structurally_sound(candidate):
+            return False
+        return bool(still_fails(candidate))
+
+    minimal_records = greedy_shrink(fingerprint["devices"], oracle,
+                                    budget=budget)
+    return rebuild(minimal_records)

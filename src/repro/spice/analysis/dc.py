@@ -86,6 +86,8 @@ def _newton(
     integrator: str = "be",
     deadline: Optional[float] = None,
     linear_solve=None,
+    source_scale: float = 1.0,
+    probe=None,
 ) -> tuple:
     """One Newton solve; returns ``(x, iterations)`` or raises.
 
@@ -94,6 +96,11 @@ def _newton(
     the last iterate attached as ``state`` — pathological (e.g.
     fault-injected) circuits abort on the wall clock instead of grinding
     through every remaining iteration and gmin stage.
+
+    ``source_scale`` scales every independent source (the recovery
+    ladder's source-stepping homotopy); ``probe`` is an optional
+    :class:`~repro.recovery.health.ConditionProbe` sampling the stamped
+    system's conditioning.
     """
     num_nodes = circuit.num_nodes
     x = x0.copy()
@@ -111,6 +118,7 @@ def _newton(
             dt=dt,
             gmin=gmin,
             integrator=integrator,
+            source_scale=source_scale,
         )
         stamper = MNAStamper(num_nodes, circuit.num_branches)
         for device in circuit.devices:
@@ -126,6 +134,8 @@ def _newton(
                 f"singular MNA matrix at gmin={gmin:g} (iteration {iteration})",
                 iterations=iteration,
             ) from exc
+        if probe is not None:
+            probe.estimate_dense(stamper.matrix)
 
         delta = x_new - x
         dv = delta[:num_nodes]
@@ -143,6 +153,7 @@ def _newton(
         f"(gmin={gmin:g}, last max dV={max_dv:g})",
         iterations=max_iterations,
         residual=max_dv,
+        state=x.copy(),
     )
 
 
@@ -158,14 +169,17 @@ def newton_step(
     damping: float = DEFAULT_DAMPING,
     gmin: float = FLOOR_GMIN,
     stats=None,
+    probe=None,
 ) -> np.ndarray:
     """Newton solve for one transient timepoint (used by the transient
     driver).  ``stats`` — optional
     :class:`~repro.spice.analysis.engine.SolverStats` accumulating the
-    naive engine's iteration counts for observability."""
+    naive engine's iteration counts for observability; ``probe`` — an
+    optional :class:`~repro.recovery.health.ConditionProbe`."""
     x, iterations = _newton(
         circuit, x0, time, gmin, max_iterations, vtol, damping,
         prev_voltages=prev_voltages, dt=dt, integrator=integrator,
+        probe=probe,
     )
     if stats is not None:
         stats.iterations += iterations
@@ -184,8 +198,15 @@ def solve_dc(
     lint: str = "error",
     timeout: Optional[float] = None,
     engine: Optional[str] = None,
+    recovery=None,
 ) -> DCResult:
     """Find the DC operating point with source values evaluated at ``time``.
+
+    ``recovery`` — optional
+    :class:`~repro.recovery.policy.RecoveryPolicy` configuring the DC
+    recovery ladder (gmin homotopy staging, source-stepping homotopy,
+    forensics shrinking).  The policy fingerprint is part of the cache
+    key.
 
     ``engine`` — ``None``/``"dense"`` solves each Newton iteration's
     linear system densely (the historical path); ``"sparse"`` routes it
@@ -231,9 +252,13 @@ def solve_dc(
     # not part of the solution, so it is deliberately absent from the key.
     from repro.cache.analysis import dc_handle
 
+    from repro.recovery.policy import DEFAULT_POLICY
+
+    policy = DEFAULT_POLICY if recovery is None else recovery
+
     cache_handle = dc_handle(circuit, time=time, initial_guess=initial_guess,
                              max_iterations=max_iterations, vtol=vtol,
-                             damping=damping, engine=engine)
+                             damping=damping, engine=engine, recovery=policy)
     if cache_handle is not None:
         cached = cache_handle.lookup()
         if cached is not None:
@@ -273,30 +298,20 @@ def solve_dc(
                     state=exc.state,
                 ) from exc
 
-        x = x0
-        total_iterations = 0
-        gmin_stages = 0
-        gmin = 1e-2
-        while gmin >= FLOOR_GMIN:
-            try:
-                x, iterations = _newton(
-                    circuit, x, time, gmin, max_iterations, vtol, damping,
-                    deadline=deadline, linear_solve=linear_solve,
-                )
-                total_iterations += iterations
-                gmin_stages += 1
-            except ConvergenceError as exc:
-                timed_out = (deadline is not None
-                             and _time.monotonic() > deadline)
-                reason = ("exceeded its wall-clock timeout during gmin "
-                          "stepping" if timed_out else "gmin stepping stalled")
-                raise ConvergenceError(
-                    f"{reason} at gmin={gmin:g}: {exc}",
-                    iterations=total_iterations + exc.iterations,
-                    residual=exc.residual, state=exc.state,
-                ) from last_error
-            gmin /= 10.0
-        _flush_dc_metrics(sp, total_iterations, gmin_stages)
+        # Recovery ladder: staged gmin homotopy, then source stepping.
+        # (Deliberately outside the except handler above so the devlint
+        # dev.bare-convergence-retry rule holds: all retry policy lives
+        # in repro.recovery.)
+        from repro.recovery.ladder import dc_recover
+
+        x, total_iterations, health, _trajectory = dc_recover(
+            circuit, _newton, x0, time, max_iterations, vtol, damping,
+            FLOOR_GMIN, last_error, policy=policy,
+            linear_solve=linear_solve, deadline=deadline,
+            engine_label="sparse" if linear_solve is not None else "dense",
+        )
+        _flush_dc_metrics(sp, total_iterations, health.dc_gmin_stages,
+                          health=health)
         result = DCResult(circuit, x[: circuit.num_nodes],
                           x[circuit.num_nodes:], total_iterations, FLOOR_GMIN)
         if cache_handle is not None:
@@ -304,7 +319,8 @@ def solve_dc(
         return result
 
 
-def _flush_dc_metrics(sp, iterations: int, gmin_stages: int) -> None:
+def _flush_dc_metrics(sp, iterations: int, gmin_stages: int,
+                      health=None) -> None:
     """Record a finished DC solve in the metrics registry (no-op while
     observability is off) and annotate the enclosing span."""
     if not _obs_active():
@@ -315,3 +331,5 @@ def _flush_dc_metrics(sp, iterations: int, gmin_stages: int) -> None:
     registry.inc("engine.newton_iterations", iterations)
     if gmin_stages:
         registry.inc("engine.gmin_stepping_stages", gmin_stages)
+    if health is not None:
+        health.flush_to(registry)

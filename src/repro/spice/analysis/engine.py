@@ -97,6 +97,10 @@ class SolverStats:
     pattern_reuses: int = 0
     #: Adaptive timestep control: steps rejected by the LTE estimator.
     lte_rejects: int = 0
+    #: Timesteps completed only via the recovery ladder (any rung); the
+    #: detailed per-rung breakdown lives on
+    #: :class:`~repro.recovery.health.SolverHealth`.
+    recovered_steps: int = 0
     stamp_seconds: Dict[str, float] = field(default_factory=dict)
 
     def flush_to(self, registry) -> None:
@@ -117,6 +121,8 @@ class SolverStats:
             registry.inc("engine.sparse_pattern_reuses", self.pattern_reuses)
         if self.lte_rejects:
             registry.inc("engine.lte_rejects", self.lte_rejects)
+        if self.recovered_steps:
+            registry.inc("engine.recovered_steps", self.recovered_steps)
         for device_class in sorted(self.stamp_seconds):
             registry.inc(f"engine.stamp_seconds.{device_class}",
                          self.stamp_seconds[device_class])
@@ -134,6 +140,7 @@ class SolverStats:
             "pattern_builds": self.pattern_builds,
             "pattern_reuses": self.pattern_reuses,
             "lte_rejects": self.lte_rejects,
+            "recovered_steps": self.recovered_steps,
         }
 
     def to_json(self) -> Dict[str, object]:
@@ -150,6 +157,7 @@ class SolverStats:
             "pattern_builds": self.pattern_builds,
             "pattern_reuses": self.pattern_reuses,
             "lte_rejects": self.lte_rejects,
+            "recovered_steps": self.recovered_steps,
             "stamp_seconds": dict(self.stamp_seconds),
         }
 
@@ -166,6 +174,7 @@ class SolverStats:
             pattern_builds=int(data.get("pattern_builds", 0)),
             pattern_reuses=int(data.get("pattern_reuses", 0)),
             lte_rejects=int(data.get("lte_rejects", 0)),
+            recovered_steps=int(data.get("recovered_steps", 0)),
             stamp_seconds={str(k): float(v)
                            for k, v in dict(
                                data.get("stamp_seconds", {})).items()},
@@ -476,6 +485,17 @@ class _CapacitorGroup:
         v_now = self._gather_pos(voltages) - self._gather_neg(voltages)
         self.i_prev = self.g * v_now - self._ieq
 
+    def flush_to_devices(self) -> None:
+        """Write the group's companion-current history back onto the
+        devices (so another workspace — a recovery-ladder alternate at a
+        different dt or engine — can pick the state up)."""
+        for cap, current in zip(self.caps, self.i_prev):
+            cap._prev_current = float(current)
+
+    def reload_from_devices(self) -> None:
+        """Re-read companion-current history from the devices."""
+        self.i_prev = np.array([c._prev_current for c in self.caps])
+
 
 class _RHSView(MNAStamper):
     """Stamper view that only exposes the RHS — used for ``stamp_step`` so
@@ -659,6 +679,22 @@ class MNAWorkspace:
         for device in self._linear_devices:
             device.update_state(ctx)
 
+    # -- recovery-ladder state exchange -----------------------------------
+
+    def flush_state(self) -> None:
+        """Push workspace-held device state (capacitor companion
+        currents) back onto the devices, making this workspace's view of
+        the circuit visible to other workspaces.  MTJ and iterate-device
+        state already lives on the devices themselves."""
+        self.cap_group.flush_to_devices()
+
+    def reload_state(self) -> None:
+        """Re-read device state after another workspace advanced it (the
+        inverse of :meth:`flush_state`)."""
+        self.cap_group.reload_from_devices()
+        if self.mtj_group is not None:
+            self.mtj_group.invalidate_states()
+
 
 class FastNewtonSolver:
     """Damped modified Newton over an :class:`MNAWorkspace`.
@@ -678,6 +714,10 @@ class FastNewtonSolver:
         #: Work counters, shared with the caller when one is passed in
         #: (``run_transient`` aggregates them across every timestep).
         self.stats = stats if stats is not None else SolverStats()
+        #: Optional :class:`~repro.recovery.health.ConditionProbe`
+        #: (duck-typed — this module never imports the recovery package);
+        #: probed on fresh factorisations, interval-gated by the probe.
+        self.condition_probe = None
 
     def _factorize(self) -> None:
         # Raw LAPACK getrf: skips the scipy wrapper overhead (asarray +
@@ -688,6 +728,14 @@ class FastNewtonSolver:
             raise np.linalg.LinAlgError(
                 f"LU factorisation failed (getrf info={info})")
         self._lu = (lu, piv)
+        if self.condition_probe is not None:
+            matrix = self.workspace.matrix
+            self.condition_probe.after_factorization(
+                lambda b: _getrs(lu, piv, b)[0],
+                lambda b: _getrs(lu, piv, b, trans=1)[0],
+                lambda: (float(np.abs(matrix).sum(axis=0).max())
+                         if matrix.size else 0.0),
+                self.workspace.size)
 
     def _delta(self, x: np.ndarray, fresh: bool) -> np.ndarray:
         """Newton update −A₀⁻¹·F(x) from the workspace's assembled system."""
@@ -766,4 +814,5 @@ class FastNewtonSolver:
             f"(gmin={gmin:g}, last max dV={max_dv:g})",
             iterations=max_iterations,
             residual=max_dv,
+            state=x.copy(),
         )

@@ -83,6 +83,14 @@ class EnsembleFallback(Exception):
     affected samples through the scalar engine."""
 
 
+def _recovery_gmin_ladder() -> tuple:
+    """Gmin retry conductances shared with the scalar engines' recovery
+    ladder (:data:`repro.recovery.policy.DEFAULT_POLICY`)."""
+    from repro.recovery.policy import DEFAULT_POLICY
+
+    return DEFAULT_POLICY.gmin_ladder
+
+
 def _gather2(voltages: np.ndarray, clipped: np.ndarray,
              mask: np.ndarray) -> np.ndarray:
     """Per-sample node gather: ``voltages`` is (N, s); returns (N, M)
@@ -751,15 +759,23 @@ def run_ensemble_transient(
                     x, time, prev, FLOOR_GMIN, max_iterations, vtol,
                     damping)
                 if failed.any():
-                    # Scalar drivers' policy: one strong-gmin retry, but
-                    # adopted only for the samples that actually failed.
-                    gmin_retries[failed] += 1
-                    x_retry, still = solver.solve(
-                        x, time, prev, 1e-9, max_iterations, vtol, damping)
-                    x_new[failed] = x_retry[failed]
-                    if (failed & still).any():
+                    # Scalar drivers' gmin rung, adopted only for the
+                    # samples that actually failed.  The ladder values
+                    # come from the shared recovery policy so batched
+                    # and scalar runs retry at identical conductances.
+                    still = failed
+                    for retry_gmin in _recovery_gmin_ladder():
+                        gmin_retries[still] += 1
+                        x_retry, unconverged = solver.solve(
+                            x, time, prev, retry_gmin, max_iterations,
+                            vtol, damping)
+                        x_new[still] = x_retry[still]
+                        still = still & unconverged
+                        if not still.any():
+                            break
+                    if still.any():
                         raise EnsembleFallback(
-                            f"{int((failed & still).sum())} samples "
+                            f"{int(still.sum())} samples "
                             f"unconverged at t={time:g}")
                 x = x_new
                 workspace.update_state(x)

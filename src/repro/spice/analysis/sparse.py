@@ -283,6 +283,17 @@ def clear_pattern_cache() -> None:
 # ---------------------------------------------------------------------------
 
 
+def _csc_norm1(csc) -> float:
+    """‖A‖₁ (max absolute column sum) of a CSC matrix — columns are
+    contiguous runs of ``data``, delimited by ``indptr``."""
+    if csc.data.size == 0:
+        return 0.0
+    columns = np.repeat(np.arange(csc.shape[1], dtype=np.intp),
+                        np.diff(csc.indptr))
+    return float(np.bincount(columns, weights=np.abs(csc.data),
+                             minlength=csc.shape[1]).max())
+
+
 class SparseNewtonSolver:
     """Damped modified Newton with SuperLU factorisations.
 
@@ -308,6 +319,9 @@ class SparseNewtonSolver:
              self.pattern.indptr),
             shape=(workspace.size, workspace.size))
         self._lu = None
+        #: Optional :class:`~repro.recovery.health.ConditionProbe`
+        #: (duck-typed, as on :class:`FastNewtonSolver`).
+        self.condition_probe = None
         # Pure-CSC assembly: when every nonlinear device is covered by a
         # vectorised group, each Newton iteration scatters straight into
         # the CSC data array — the O(n²) dense static-matrix copy and
@@ -352,6 +366,14 @@ class SparseNewtonSolver:
             self._lu = splu(self._csc, permc_spec=PERMC_SPEC)
         except RuntimeError as exc:  # "Factor is exactly singular"
             raise np.linalg.LinAlgError(str(exc)) from exc
+        if self.condition_probe is not None:
+            lu = self._lu
+            csc = self._csc
+            self.condition_probe.after_factorization(
+                lambda b: lu.solve(b),
+                lambda b: lu.solve(b, trans="T"),
+                lambda: _csc_norm1(csc),
+                self.workspace.size)
 
     def _delta(self, x: np.ndarray, fresh: bool) -> np.ndarray:
         if fresh or self._lu is None:
@@ -428,6 +450,7 @@ class SparseNewtonSolver:
             f"(gmin={gmin:g}, last max dV={max_dv:g})",
             iterations=max_iterations,
             residual=max_dv,
+            state=x.copy(),
         )
 
 
@@ -506,14 +529,22 @@ def run_adaptive_transient(
     deadline: Optional[float] = None,
     timeout: Optional[float] = None,
     on_step: Optional[Callable[[float, np.ndarray], None]] = None,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    policy=None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, "object"]:
     """LTE-controlled sparse transient from an initial solution ``x0``.
 
-    Returns ``(times, node_voltages, branch_currents, dt_trace)`` with
-    the waveforms resampled onto the fixed grid ``k · dt_base`` the
-    fixed-step engines produce, and ``dt_trace`` the sequence of accepted
+    Returns ``(times, node_voltages, branch_currents, dt_trace, health)``
+    with the waveforms resampled onto the fixed grid ``k · dt_base`` the
+    fixed-step engines produce, ``dt_trace`` the sequence of accepted
     internal step sizes (the review-visible record of step selection —
-    pinned by ``tests/golden/dt_trace_sparse.json``).
+    pinned by ``tests/golden/dt_trace_sparse.json``), and ``health`` the
+    run's :class:`~repro.recovery.health.SolverHealth` record.
+
+    ``policy`` — optional
+    :class:`~repro.recovery.policy.RecoveryPolicy`.  The adaptive driver
+    already owns step-size control, so only the ladder's gmin rung (and
+    the finiteness guard / condition probes) applies here; LTE rejection
+    covers the timestep-cut role.
 
     The dt ladder is ``dt_base · 2^k`` with
     ``k ∈ [-log2(MIN_DT_DIVISOR), log2(max_dt_factor)]``; each rung owns
@@ -550,25 +581,43 @@ def run_adaptive_transient(
             corner_set.update(device.waveform.breakpoints(t_end))
     corners = np.asarray(sorted(b for b in corner_set if 0.0 < b < t_end))
 
+    from repro.recovery.health import ConditionProbe, SolverHealth, \
+        guard_finite
+    from repro.recovery.ladder import gmin_ladder_retry
+    from repro.recovery.policy import DEFAULT_POLICY
+
+    policy = DEFAULT_POLICY if policy is None else policy
+    health = SolverHealth()
+    probe = ConditionProbe(health, policy)
+
     rungs: Dict[float, Tuple[MNAWorkspace, SparseNewtonSolver]] = {}
 
     def rung(dt: float) -> Tuple[MNAWorkspace, SparseNewtonSolver]:
         pair = rungs.get(dt)
         if pair is None:
             workspace = MNAWorkspace(circuit, dt=dt, integrator=integrator)
-            pair = (workspace, SparseNewtonSolver(workspace, stats=stats))
+            solver = SparseNewtonSolver(workspace, stats=stats)
+            solver.condition_probe = probe
+            pair = (workspace, solver)
             rungs[dt] = pair
         return pair
 
     def advance(solver: SparseNewtonSolver, x: np.ndarray, time: float,
                 prev_nodes: np.ndarray) -> np.ndarray:
+        def attempt(gmin: float) -> np.ndarray:
+            return guard_finite(
+                solver.solve(x, time, prev_nodes, gmin, max_iterations,
+                             vtol, damping),
+                f"adaptive t={time:g} s", health)
+
         try:
-            return solver.solve(x, time, prev_nodes, floor_gmin,
-                                max_iterations, vtol, damping)
-        except ConvergenceError:
-            stats.gmin_retries += 1
-            return solver.solve(x, time, prev_nodes, 1e-9,
-                                max_iterations, vtol, damping)
+            return attempt(floor_gmin)
+        except ConvergenceError as exc:
+            failure = exc
+        if not policy.enabled:
+            raise failure
+        return gmin_ladder_retry(attempt, policy, stats, health=health,
+                                 failure=failure)
 
     acc_times: List[float] = [0.0]
     acc_states: List[np.ndarray] = [x0.copy()]
@@ -641,4 +690,4 @@ def run_adaptive_transient(
     grid = np.arange(steps + 1) * dt_base
     resampled = _interp_to_grid(times_acc, states_acc, grid)
     return (grid, resampled[:, :num_nodes], resampled[:, num_nodes:],
-            np.asarray(dt_trace))
+            np.asarray(dt_trace), health)

@@ -42,19 +42,18 @@ from repro.errors import AnalysisError, ConvergenceError, suggest_names
 from repro.obs import is_active as _obs_active
 from repro.obs import metrics as _obs_metrics
 from repro.obs import span as _obs_span
-from repro.spice.devices.base import EvalContext
 from repro.spice.devices.sources import VoltageSource
 from repro.spice.analysis.dc import (
     DEFAULT_DAMPING,
     DEFAULT_MAX_ITERATIONS,
     DEFAULT_VTOL,
     FLOOR_GMIN,
-    newton_step,
     solve_dc,
 )
 from repro.spice.netlist import Circuit
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.recovery.health import SolverHealth
     from repro.spice.analysis.engine import SolverStats
 
 #: Engines accepted by :func:`run_transient`.
@@ -97,6 +96,11 @@ class TransientResult:
     #: [s] (``None`` for fixed-step runs).  Pinned by the dt-trace golden
     #: file so step-selection changes are visible in review.
     dt_trace: Optional[np.ndarray] = None
+    #: Resilience record for this run (recovery-ladder rungs climbed,
+    #: condition-probe results, guard trips); ``health.clean`` is True
+    #: for a run that never needed the ladder.  Round-tripped through
+    #: the result cache.
+    health: Optional["SolverHealth"] = None
 
     def voltage(self, node_name: str) -> np.ndarray:
         """Waveform of a node voltage [V].
@@ -154,6 +158,7 @@ def run_transient(
     adaptive: bool = False,
     lte_tol: Optional[float] = None,
     max_dt_factor: Optional[int] = None,
+    recovery=None,
 ) -> TransientResult:
     """Simulate from 0 to ``stop_time`` with step ``dt``.
 
@@ -178,6 +183,13 @@ def run_transient(
       accepted solution vector as ``state`` and the simulated time
       reached, so fault-injected pathological circuits abort promptly
       instead of grinding through every remaining Newton iteration.
+    * ``recovery`` — optional
+      :class:`~repro.recovery.policy.RecoveryPolicy` configuring the
+      solver-resilience ladder (gmin / damping / timestep-cut /
+      integrator-switch / engine-fallback escalation on failed steps,
+      condition probes, forensics).  The policy fingerprint is part of
+      the cache key; recovered results are bit-identical across worker
+      counts and cache replays.
     """
     if stop_time <= 0.0 or dt <= 0.0:
         raise AnalysisError("stop_time and dt must be positive")
@@ -216,6 +228,10 @@ def run_transient(
 
     preflight(circuit, lint)
 
+    from repro.recovery.policy import DEFAULT_POLICY
+
+    policy = DEFAULT_POLICY if recovery is None else recovery
+
     # Content-addressed result cache (repro.cache): when active, a
     # byte-identical prior run is returned directly — waveforms, stats
     # and MTJ end state — without entering the Newton loop.  An on_step
@@ -231,7 +247,8 @@ def run_transient(
             engine=engine,
             adaptive={"adaptive": adaptive, "lte_tol": lte_tol,
                       "max_dt_factor": max_dt_factor}
-            if engine == "sparse" else None)
+            if engine == "sparse" else None,
+            recovery=policy)
         if cache_handle is not None:
             cached = cache_handle.lookup()
             if cached is not None:
@@ -264,23 +281,26 @@ def run_transient(
             dc = solve_dc(circuit, time=0.0, initial_guess=dc_seed,
                           max_iterations=max_iterations, vtol=vtol,
                           damping=damping, lint="off",  # already pre-flighted
-                          timeout=remaining)
+                          timeout=remaining, recovery=policy)
             x = np.concatenate([dc.voltages, dc.branch_currents])
 
         if adaptive:
             from repro.spice.analysis.sparse import run_adaptive_transient
 
-            times, voltages, currents, dt_trace = run_adaptive_transient(
-                circuit, x, stop_time, dt, integrator, max_iterations,
-                vtol, damping, FLOOR_GMIN, stats, lte_tol=lte_tol,
-                max_dt_factor=max_dt_factor, deadline=deadline,
-                timeout=timeout, on_step=on_step)
+            times, voltages, currents, dt_trace, health = \
+                run_adaptive_transient(
+                    circuit, x, stop_time, dt, integrator, max_iterations,
+                    vtol, damping, FLOOR_GMIN, stats, lte_tol=lte_tol,
+                    max_dt_factor=max_dt_factor, deadline=deadline,
+                    timeout=timeout, on_step=on_step, policy=policy)
             if _obs_active():
                 stats.flush_to(_obs_metrics())
+                health.flush_to(_obs_metrics())
                 _obs_metrics().inc("analysis.transients", 1)
                 run_span.annotate(**stats.as_attrs())
             result = TransientResult(circuit, times, voltages, currents,
-                                     stats=stats, dt_trace=dt_trace)
+                                     stats=stats, dt_trace=dt_trace,
+                                     health=health)
             if cache_handle is not None:
                 cache_handle.store(result)
             return result
@@ -294,68 +314,18 @@ def run_transient(
         voltages[0] = x[:num_nodes]
         currents[0] = x[num_nodes:]
 
-        if engine in ("fast", "sparse"):
-            from repro.spice.analysis.engine import (
-                FastNewtonSolver,
-                MNAWorkspace,
-            )
+        # Per-step advancement (solve + settle) including the recovery
+        # ladder lives in the stepper; the loop below only records.  The
+        # stepper's gmin rung replaces the strong-gmin retry that used to
+        # be duplicated (hard-coded 1e-9) across the engine branches.
+        from repro.recovery.ladder import TransientStepper
 
-            with _obs_span("engine.workspace_build", category="engine",
-                           attrs={"circuit": circuit.name,
-                                  "engine": engine}):
-                workspace = MNAWorkspace(circuit, dt=dt,
-                                         integrator=integrator)
-                if engine == "sparse":
-                    from repro.spice.analysis.sparse import (
-                        SparseNewtonSolver,
-                    )
-
-                    solver = SparseNewtonSolver(workspace, stats=stats)
-                else:
-                    solver = FastNewtonSolver(workspace, stats=stats)
-
-            def advance(x: np.ndarray, time: float,
-                        prev_nodes: np.ndarray) -> np.ndarray:
-                try:
-                    return solver.solve(x, time, prev_nodes, FLOOR_GMIN,
-                                        max_iterations, vtol, damping)
-                except ConvergenceError:
-                    # One retry with a strong gmin: tides over razor-edge
-                    # metastable points of the regenerative sense amplifier.
-                    stats.gmin_retries += 1
-                    return solver.solve(x, time, prev_nodes, 1e-9,
-                                        max_iterations, vtol, damping)
-
-            def settle(x: np.ndarray, time: float,
-                       prev_nodes: np.ndarray) -> None:
-                workspace.update_state(x)
-        else:
-            def advance(x: np.ndarray, time: float,
-                        prev_nodes: np.ndarray) -> np.ndarray:
-                try:
-                    return newton_step(
-                        circuit, x, time, prev_nodes, dt,
-                        integrator=integrator, max_iterations=max_iterations,
-                        vtol=vtol, damping=damping, gmin=FLOOR_GMIN,
-                        stats=stats,
-                    )
-                except ConvergenceError:
-                    stats.gmin_retries += 1
-                    return newton_step(
-                        circuit, x, time, prev_nodes, dt,
-                        integrator=integrator, max_iterations=max_iterations,
-                        vtol=vtol, damping=damping, gmin=1e-9,
-                        stats=stats,
-                    )
-
-            def settle(x: np.ndarray, time: float,
-                       prev_nodes: np.ndarray) -> None:
-                ctx = EvalContext(
-                    voltages=x[:num_nodes], prev_voltages=prev_nodes,
-                    time=time, dt=dt, integrator=integrator,
-                )
-                for device in circuit.devices:
-                    device.update_state(ctx)
+        with _obs_span("engine.workspace_build", category="engine",
+                       attrs={"circuit": circuit.name,
+                              "engine": engine}):
+            stepper = TransientStepper(
+                circuit, engine, dt, integrator, max_iterations, vtol,
+                damping, stats, FLOOR_GMIN, policy=policy)
 
         loop_span = _obs_span("engine.timestep_loop", category="engine",
                               attrs={"engine": engine, "steps": steps})
@@ -370,8 +340,7 @@ def run_transient(
                         f"s (step {step - 1}/{steps})",
                         iterations=step - 1, state=x.copy(),
                     )
-                x = advance(x, time, prev_nodes)
-                settle(x, time, prev_nodes)
+                x = stepper.advance(x, time, prev_nodes)
                 stats.timesteps += 1
 
                 times[step] = time
@@ -385,11 +354,12 @@ def run_transient(
 
         if _obs_active():
             stats.flush_to(_obs_metrics())
+            stepper.health.flush_to(_obs_metrics())
             _obs_metrics().inc("analysis.transients", 1)
             run_span.annotate(**stats.as_attrs())
 
         result = TransientResult(circuit, times, voltages, currents,
-                                 stats=stats)
+                                 stats=stats, health=stepper.health)
         if cache_handle is not None:
             cache_handle.store(result)
         return result

@@ -43,7 +43,10 @@ class VoltageSource(TwoTerminal):
         )
 
     def stamp_step(self, stamper: "MNAStamper", ctx: EvalContext) -> None:
-        stamper.rhs[stamper.branch_row(self.branch_index)] += self.voltage_at(ctx.time)
+        # ctx.source_scale is 1.0 outside source-stepping homotopy; the
+        # multiply is bit-exact there.
+        stamper.rhs[stamper.branch_row(self.branch_index)] += (
+            self.voltage_at(ctx.time) * ctx.source_scale)
 
     def stamp(self, stamper: "MNAStamper", ctx: EvalContext) -> None:
         self.stamp_static(stamper, ctx)
@@ -67,7 +70,7 @@ class CurrentSource(TwoTerminal):
         return self.waveform.value(time)
 
     def stamp_step(self, stamper: "MNAStamper", ctx: EvalContext) -> None:
-        value = self.current_at(ctx.time)
+        value = self.current_at(ctx.time) * ctx.source_scale
         stamper.add_current(self.positive, value)
         stamper.add_current(self.negative, -value)
 

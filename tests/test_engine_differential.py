@@ -111,23 +111,21 @@ def max_disagreement(spec):
 
 
 def shrink(spec):
-    """Greedy section removal to a locally-minimal failing spec."""
-    current = spec
-    improved = True
-    while improved:
-        improved = False
-        for i in range(len(current["sections"])):
-            candidate = dict(current)
-            candidate["sections"] = (current["sections"][:i]
-                                     + current["sections"][i + 1:])
-            if not candidate["sections"]:
-                continue
-            diff = max_disagreement(candidate)
-            if diff is not None and diff > WAVEFORM_TOL:
-                current = candidate
-                improved = True
-                break
-    return current
+    """Greedy section removal to a locally-minimal failing spec,
+    delegating to the shared shrinker in :mod:`repro.recovery.shrink`."""
+    from repro.recovery.shrink import greedy_shrink
+
+    def still_fails(sections):
+        candidate = dict(spec)
+        candidate["sections"] = list(sections)
+        # Resolve the oracle through the module namespace at call time
+        # so tests can swap in a fake disagreement function.
+        diff = globals()["max_disagreement"](candidate)
+        return diff is not None and diff > WAVEFORM_TOL
+
+    minimal = dict(spec)
+    minimal["sections"] = greedy_shrink(spec["sections"], still_fails)
+    return minimal
 
 
 def format_netlist(spec) -> str:

@@ -1,0 +1,470 @@
+"""Solver-resilience subsystem: policy, health guards, recovery ladder,
+forensics, and the pathological-circuit corpus.
+
+The headline contracts: pathological corpus entries hard-fail without
+recovery and complete deterministically with it (same rungs, recovered
+waveforms within 1 µV across all three engines); a recovered run is
+bit-identical across worker counts and cache warm/cold; an exhausted
+ladder produces a forensics bundle with a rebuildable minimal
+reproducer; and the recovery policy is part of the cache key.
+"""
+
+import hashlib
+import json
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.cache import store as cache_store
+from repro.errors import AnalysisError, ConvergenceError
+from repro.recovery.corpus import RAZOR_POLICY, corpus_entries, corpus_entry
+from repro.recovery.forensics import ForensicsBundle, stamped_matrix_digest
+from repro.recovery.health import (CONDITION_CAP, SolverHealth, guard_finite,
+                                   hager_inverse_norm1)
+from repro.recovery.ladder import dc_recover
+from repro.recovery.policy import (DEFAULT_POLICY, KNOWN_RUNGS,
+                                   RecoveryPolicy)
+from repro.recovery.shrink import greedy_shrink
+from repro.spice.analysis.transient import run_transient
+from repro.spice.netlist import Circuit
+
+WAVEFORM_TOL = 1e-6
+ENGINES = ("naive", "fast", "sparse")
+
+
+# ---------------------------------------------------------------------------
+# RecoveryPolicy
+# ---------------------------------------------------------------------------
+
+
+class TestRecoveryPolicy:
+    def test_fingerprint_round_trips_exactly(self):
+        policy = RecoveryPolicy(gmin_ladder=(1e-9, 1e-8),
+                                damping_scale=0.5, shrink_budget=7)
+        record = policy.fingerprint()
+        assert RecoveryPolicy.from_fingerprint(record) == policy
+        # The record must be canonical-JSON material (tuples flattened).
+        json.dumps(record, sort_keys=True)
+        assert record["gmin_ladder"] == [1e-9, 1e-8]
+
+    def test_every_field_is_fingerprinted(self):
+        record = DEFAULT_POLICY.fingerprint()
+        from dataclasses import fields
+        assert set(record) == {f.name for f in fields(RecoveryPolicy)}
+
+    def test_unknown_rung_is_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown recovery rung"):
+            RecoveryPolicy(rungs=("gmin", "prayer"))
+
+    def test_validation_rejects_bad_knobs(self):
+        with pytest.raises(AnalysisError):
+            RecoveryPolicy(damping_scale=1.5)
+        with pytest.raises(AnalysisError):
+            RecoveryPolicy(gmin_ladder=(0.0,))
+        with pytest.raises(AnalysisError):
+            RecoveryPolicy(dc_source_steps=(0.25, 0.5))  # must end at 1.0
+
+    def test_from_fingerprint_rejects_unknown_fields(self):
+        record = DEFAULT_POLICY.fingerprint()
+        record["vibes"] = True
+        with pytest.raises(AnalysisError, match="unknown recovery-policy"):
+            RecoveryPolicy.from_fingerprint(record)
+
+    def test_fallback_engines_never_fall_upward(self):
+        policy = DEFAULT_POLICY  # order: sparse -> fast -> naive
+        assert policy.fallback_engines("sparse") == ("fast", "naive")
+        assert policy.fallback_engines("fast") == ("naive",)
+        assert policy.fallback_engines("naive") == ()
+        assert policy.fallback_engines("exotic") == policy.engine_order
+
+    def test_default_rungs_are_all_known(self):
+        assert set(DEFAULT_POLICY.rungs) <= set(KNOWN_RUNGS)
+
+
+# ---------------------------------------------------------------------------
+# SolverHealth and the guards
+# ---------------------------------------------------------------------------
+
+
+class TestSolverHealth:
+    def test_json_round_trip(self):
+        health = SolverHealth()
+        health.note_rung_attempt("gmin")
+        health.note_rung_success("gmin")
+        health.note_recovered_step()
+        health.note_condition(1e14, warn_threshold=1e13)
+        clone = SolverHealth.from_json(health.to_json())
+        assert clone.to_json() == health.to_json()
+        assert clone.rung_counts == {"gmin": 1}
+        assert clone.condition_warnings == 1
+        assert clone.worst_condition == 1e14
+
+    def test_merge_accumulates(self):
+        a, b = SolverHealth(), SolverHealth()
+        a.note_rung_success("gmin")
+        b.note_rung_success("gmin")
+        b.note_rung_success("damping")
+        b.note_condition(1e10, warn_threshold=1e13)
+        a.merge(b)
+        assert a.rung_counts == {"gmin": 2, "damping": 1}
+        assert a.condition_checks == 1
+        assert a.worst_condition == 1e10
+
+    def test_clean_flips_on_any_event(self):
+        health = SolverHealth()
+        assert health.clean
+        health.note_condition(1e9, warn_threshold=1e13)  # probe, no warn
+        assert health.clean
+        health.note_rung_success("gmin")
+        assert not health.clean
+
+    def test_condition_estimates_are_capped(self):
+        health = SolverHealth()
+        health.note_condition(float("inf"), warn_threshold=1e13)
+        assert health.worst_condition == CONDITION_CAP
+        json.dumps(health.to_json())  # no IEEE infinities in payloads
+
+    def test_guard_finite_passes_finite_and_trips_on_nan(self):
+        health = SolverHealth()
+        x = np.array([1.0, 2.0])
+        assert guard_finite(x, "test", health) is x
+        bad = np.array([1.0, np.nan, np.inf])
+        with pytest.raises(ConvergenceError, match="non-finite"):
+            guard_finite(bad, "test", health)
+        assert health.nonfinite_trips == 1
+
+    def test_hager_estimate_tracks_the_true_inverse_norm(self):
+        # Fixed ill-scaled system: the estimate is a lower bound on
+        # ||A^-1||_1 and, for matrices this small, nearly exact.
+        A = np.array([[2.0, -1.0, 0.0],
+                      [-1.0, 2.0, -1.0],
+                      [0.0, -1.0, 1e-6]])
+        est = hager_inverse_norm1(lambda b: np.linalg.solve(A, b),
+                                  lambda b: np.linalg.solve(A.T, b),
+                                  A.shape[0])
+        true = float(np.abs(np.linalg.inv(A)).sum(axis=0).max())
+        assert 0.3 * true <= est <= true * (1.0 + 1e-9)
+
+    def test_stamped_matrix_digest_is_shape_tagged(self):
+        flat = np.arange(8.0)
+        assert (stamped_matrix_digest(flat.reshape(2, 4))
+                != stamped_matrix_digest(flat.reshape(4, 2)))
+
+
+# ---------------------------------------------------------------------------
+# Greedy shrinker
+# ---------------------------------------------------------------------------
+
+
+class TestGreedyShrink:
+    def test_reduces_to_the_failing_core(self):
+        def still_fails(candidate):
+            return {2, 5} <= set(candidate)
+
+        assert greedy_shrink([1, 2, 3, 4, 5, 6], still_fails) == [2, 5]
+
+    def test_budget_caps_oracle_evaluations(self):
+        calls = []
+
+        def still_fails(candidate):
+            calls.append(list(candidate))
+            return True
+
+        result = greedy_shrink(list(range(10)), still_fails, budget=3)
+        assert len(calls) <= 3
+        assert len(result) >= 7  # at most one removal per evaluation
+
+    def test_min_items_floor_is_respected(self):
+        result = greedy_shrink([1, 2, 3], lambda c: True, min_items=2)
+        assert len(result) == 2
+
+
+# ---------------------------------------------------------------------------
+# Healthy circuits stay off the ladder
+# ---------------------------------------------------------------------------
+
+
+def _healthy_rc() -> Circuit:
+    from repro.spice.waveforms import Pulse
+
+    c = Circuit("healthy-rc")
+    c.add_vsource("vin", "in", "0",
+                  Pulse(0.0, 1.0, delay=1e-9, rise=1e-9, width=10e-9))
+    c.add_resistor("r1", "in", "out", 1e3)
+    c.add_capacitor("c1", "out", "0", 1e-12)
+    return c
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_healthy_circuit_has_clean_health(engine):
+    result = run_transient(_healthy_rc(), stop_time=5e-9, dt=0.5e-9,
+                           engine=engine, lint="off")
+    assert result.health is not None
+    assert result.health.clean
+    assert result.health.rung_counts == {}
+    assert result.health.recovered_steps == 0
+
+
+# ---------------------------------------------------------------------------
+# Pathological corpus across all three engines (shared smoke run)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def smoke(tmp_path_factory):
+    from repro.recovery.smoke import run_smoke
+
+    return run_smoke(str(tmp_path_factory.mktemp("recovery-smoke")))
+
+
+def test_corpus_smoke_has_no_problems(smoke):
+    assert smoke["problems"] == []
+    assert smoke["ok"]
+
+
+def test_corpus_entries_behave_as_tuned(smoke):
+    by_name = {entry["name"]: entry["engines"] for entry in smoke["entries"]}
+    for engine in ENGINES:
+        assert by_name["razor-sense"][engine]["rung_counts"]["gmin"] > 0
+        assert (by_name["sharp-edge"][engine]["rung_counts"]["timestep-cut"]
+                > 0)
+        divider = by_name["near-singular-divider"][engine]
+        assert divider["condition_warnings"] > 0
+        assert divider["worst_condition"] >= 1e13
+        exhausted = by_name["ladder-exhaustion"][engine]
+        assert exhausted["status"] == "failed"
+
+
+def test_ladder_counters_reach_the_metrics_registry(smoke):
+    counters = smoke["ladder_counters"]
+    assert counters.get("recovery.rung.gmin", 0) > 0
+    assert counters.get("recovery.rung.timestep-cut", 0) > 0
+    assert counters.get("recovery.recovered_steps", 0) > 0
+    assert counters.get("recovery.condition_warnings", 0) > 0
+
+
+def test_exhaustion_forensics_bundle_rebuilds(smoke):
+    from repro.cache.keys import rebuild_circuit
+
+    assert smoke["forensics_path"] is not None
+    with open(smoke["forensics_path"], encoding="utf-8") as handle:
+        bundle = ForensicsBundle.from_json(json.load(handle))
+    assert bundle.analysis == "transient"
+    assert bundle.rung_history, "exhaustion must record the climbed rungs"
+    climbed = {entry["rung"] for entry in bundle.rung_history}
+    assert "gmin" in climbed
+    assert bundle.matrix_digest is not None
+    assert bundle.last_state is not None
+    assert bundle.minimal_circuit is not None
+    assert 0 < bundle.devices_after < bundle.devices_before
+    rebuilt = rebuild_circuit(bundle.minimal_circuit)
+    assert len(rebuilt.devices) == bundle.devices_after
+    # The bundle digest is a pure function of its content.
+    assert bundle.digest() == ForensicsBundle.from_json(
+        bundle.to_json()).digest()
+
+
+def test_exhaustion_raises_with_forensics_attached():
+    entry = corpus_entry("ladder-exhaustion")
+    with pytest.raises(ConvergenceError) as excinfo:
+        entry.run(engine="naive")
+    bundle = excinfo.value.forensics
+    assert bundle is not None
+    assert bundle.circuit_name == "instant-edge"
+    assert {e["rung"] for e in bundle.rung_history} <= (
+        set(KNOWN_RUNGS) | {"dc-homotopy"})
+
+
+def test_corpus_lookup():
+    names = [entry.name for entry in corpus_entries()]
+    assert names == sorted(set(names), key=names.index)  # unique
+    assert corpus_entry("razor-sense").expect_rungs == ("gmin",)
+    with pytest.raises(KeyError):
+        corpus_entry("no-such-entry")
+
+
+# ---------------------------------------------------------------------------
+# Determinism: worker counts and cache warm/cold
+# ---------------------------------------------------------------------------
+
+
+def _recovered_digest(name: str) -> str:
+    """Digest of a recovered corpus run (module-level: must pickle)."""
+    entry = corpus_entry(name)
+    result = entry.run(engine="naive")
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(result.node_voltages).tobytes())
+    h.update(json.dumps(result.health.to_json(), sort_keys=True).encode())
+    return h.hexdigest()
+
+
+def test_recovered_runs_are_bit_identical_across_worker_counts():
+    from repro.parallel import parallel_map
+
+    names = ["razor-sense", "sharp-edge"]
+    with warnings.catch_warnings():
+        # Sandboxed environments may degrade the pool to the serial
+        # path with a RuntimeWarning; the digests must match either way.
+        warnings.simplefilter("ignore", RuntimeWarning)
+        serial = parallel_map(_recovered_digest, names, workers=1)
+        pooled = parallel_map(_recovered_digest, names, workers=2)
+    assert serial == pooled
+
+
+class TestRecoveredRunsAndTheCache:
+    @pytest.fixture()
+    def active_cache(self, tmp_path):
+        cache = cache_store.enable(str(tmp_path / "cache"))
+        yield cache
+        cache_store.disable()
+
+    @staticmethod
+    def _counters():
+        from repro.obs import metrics
+
+        counters = metrics().snapshot()["counters"]
+        return {name: counters.get(name, 0)
+                for name in ("cache.hit", "cache.miss", "cache.store")}
+
+    def test_warm_hit_is_bit_identical_and_keeps_health(self, active_cache):
+        entry = corpus_entry("razor-sense")
+        before = self._counters()
+        cold = entry.run(engine="naive")
+        mid = self._counters()
+        warm = entry.run(engine="naive")
+        after = self._counters()
+        assert mid["cache.store"] > before["cache.store"]
+        assert after["cache.hit"] > mid["cache.hit"]
+        assert (warm.node_voltages.tobytes()
+                == cold.node_voltages.tobytes())
+        assert warm.branch_currents.tobytes() == cold.branch_currents.tobytes()
+        # The resilience record survives the cache round trip: a warm
+        # recovered run is still distinguishable from a clean one.
+        assert warm.health is not None
+        assert warm.health.to_json() == cold.health.to_json()
+        assert warm.health.rung_counts.get("gmin", 0) > 0
+
+    def test_different_policy_is_a_different_cache_key(self, active_cache):
+        entry = corpus_entry("razor-sense")
+        entry.run(engine="naive")
+        mid = self._counters()
+        # Same circuit and run options, different (unexercised) policy
+        # knob: must miss, not hit.
+        widened = RecoveryPolicy(gmin_ladder=RAZOR_POLICY.gmin_ladder,
+                                 shrink_budget=DEFAULT_POLICY.shrink_budget
+                                 + 1)
+        entry.run(engine="naive", recovery=widened)
+        after = self._counters()
+        assert after["cache.hit"] == mid["cache.hit"]
+        assert after["cache.miss"] > mid["cache.miss"]
+
+    def test_policy_fingerprint_enters_the_request_key(self):
+        from repro.cache.keys import request_key, transient_request
+
+        def key_for(policy):
+            return request_key(transient_request(
+                _healthy_rc(), stop_time=1e-9, dt=1e-10, integrator="be",
+                initial_voltages=None, dc_seed=None, max_iterations=50,
+                vtol=1e-6, damping=0.4, engine="naive", adaptive=None,
+                recovery=policy.fingerprint()))
+
+        assert (key_for(DEFAULT_POLICY)
+                != key_for(RecoveryPolicy(damping_scale=0.125)))
+        assert key_for(DEFAULT_POLICY) == key_for(RecoveryPolicy())
+
+
+# ---------------------------------------------------------------------------
+# DC recovery: failure reporting
+# ---------------------------------------------------------------------------
+
+
+class TestDCRecoveryReporting:
+    @staticmethod
+    def _divider():
+        c = Circuit("dc-divider")
+        c.add_vsource("v1", "a", "0", 1.0)
+        c.add_resistor("r1", "a", "b", 1e3)
+        c.add_resistor("r2", "b", "0", 1e3)
+        return c
+
+    @staticmethod
+    def _stuck_newton(circuit, x, time, gmin, max_iterations, vtol,
+                      damping, **kwargs):
+        raise ConvergenceError("stuck at the same iterate",
+                               iterations=max_iterations, residual=0.125,
+                               state=np.zeros(2))
+
+    def test_exhausted_dc_reports_stage_and_residual_trajectory(self):
+        first = ConvergenceError("no convergence", iterations=50,
+                                 residual=0.5, state=np.zeros(2))
+        with pytest.raises(ConvergenceError) as excinfo:
+            dc_recover(self._divider(), self._stuck_newton, np.zeros(2),
+                       time=0.0, max_iterations=50, vtol=1e-6, damping=0.4,
+                       floor_gmin=1e-12, first_failure=first)
+        message = str(excinfo.value)
+        # The failed homotopy stage and the full residual trajectory are
+        # part of the message, not just "did not converge".
+        assert "source stepping stalled" in message
+        assert "residual trajectory" in message
+        assert "gmin 0.01: stalled" in message
+        assert "source step 0.25: stalled" in message
+        assert "max dV=0.125" in message
+        bundle = excinfo.value.forensics
+        assert bundle is not None
+        assert bundle.analysis == "dc"
+        assert all(e["rung"] == "dc-homotopy" for e in bundle.rung_history)
+
+    def test_gmin_homotopy_rescue_reports_its_stages(self):
+        attempts = []
+
+        def newton(circuit, x, time, gmin, max_iterations, vtol, damping,
+                   **kwargs):
+            attempts.append(gmin)
+            if gmin < 1e-3:  # only the strong-gmin stages converge...
+                raise ConvergenceError("stalled", iterations=max_iterations,
+                                       residual=0.25, state=np.zeros(2))
+            return np.ones(2), 3
+
+        first = ConvergenceError("no convergence", iterations=50,
+                                 residual=0.5, state=np.zeros(2))
+        with pytest.raises(ConvergenceError) as excinfo:
+            dc_recover(self._divider(), newton, np.zeros(2), time=0.0,
+                       max_iterations=50, vtol=1e-6, damping=0.4,
+                       floor_gmin=1e-12, first_failure=first,
+                       policy=RecoveryPolicy(dc_source_steps=()))
+        message = str(excinfo.value)
+        assert "gmin stepping stalled at gmin=0.0001" in message
+        assert "gmin 0.01: converged in 3 iterations" in message
+        assert excinfo.value.forensics.health["dc_gmin_stages"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Campaign forensics dumping
+# ---------------------------------------------------------------------------
+
+
+def _exhausting_task(item, rng):
+    """Campaign task that dies on a ladder exhaustion (module-level so
+    the campaign machinery can treat it like any real task)."""
+    return corpus_entry("ladder-exhaustion").run(engine="naive")
+
+
+def test_campaign_dumps_forensics_bundles(tmp_path):
+    from repro.faults.campaign import run_campaign
+
+    forensics_dir = str(tmp_path / "forensics")
+    report = run_campaign(_exhausting_task, ["only"], name="forensics-test",
+                          workers=1, retries=0,
+                          forensics_dir=forensics_dir)
+    record = report.records[0]
+    assert record.status == "failed"
+    assert record.forensics is not None
+    assert record.forensics == os.path.join(forensics_dir, "task-0.json")
+    with open(record.forensics, encoding="utf-8") as handle:
+        bundle = ForensicsBundle.from_json(json.load(handle))
+    assert bundle.circuit_name == "instant-edge"
+    assert bundle.rung_history
+    assert any("forensics: 1 bundle(s) written" in note
+               for note in report.notes)
