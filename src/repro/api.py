@@ -60,36 +60,48 @@ class Session:
 
         self.workers = workers
         self._closed = False
-
         self._cache = None
         self._owns_cache = False
-        if cache is not None:
-            import os
-
-            already = cache_store.get_active_cache()
-            self._cache = cache_store.enable(os.path.expanduser(str(cache)))
-            # Only deactivate on close if caching was off before us (or
-            # pointed elsewhere) — an outer session keeps its cache.
-            self._owns_cache = (already is None
-                                or already.root != self._cache.root)
-        else:
-            self._cache = cache_store.get_active_cache()
-
         self._previous_engine: Optional[str] = None
-        if engine is not None:
-            from repro.spice.analysis.transient import set_default_engine
-
-            self._previous_engine = set_default_engine(engine)
-
         self._tracer = None
-        if obs:
-            from repro.obs import enable_tracing, is_active
 
-            if is_active():
-                raise AnalysisError(
-                    "a tracing session is already active; "
-                    "Session(obs=True) cannot own a second one")
-            self._tracer = enable_tracing(fresh=True)
+        # Settings apply incrementally; if a later step raises (e.g.
+        # obs=True while another tracing session is active), roll back
+        # whatever was already applied so a failed constructor leaves no
+        # global state behind.
+        try:
+            if cache is not None:
+                import os
+
+                already = cache_store.get_active_cache()
+                self._cache = cache_store.enable(
+                    os.path.expanduser(str(cache)))
+                # Only deactivate on close if caching was off before us
+                # (or pointed elsewhere) — an outer session keeps its
+                # cache.
+                self._owns_cache = (already is None
+                                    or already.root != self._cache.root)
+            else:
+                self._cache = cache_store.get_active_cache()
+
+            if engine is not None:
+                from repro.spice.analysis.transient import (
+                    set_default_engine,
+                )
+
+                self._previous_engine = set_default_engine(engine)
+
+            if obs:
+                from repro.obs import enable_tracing, is_active
+
+                if is_active():
+                    raise AnalysisError(
+                        "a tracing session is already active; "
+                        "Session(obs=True) cannot own a second one")
+                self._tracer = enable_tracing(fresh=True)
+        except BaseException:
+            self.close()
+            raise
 
     # -- lifecycle ---------------------------------------------------------
 

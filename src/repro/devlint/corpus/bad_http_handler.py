@@ -1,0 +1,44 @@
+# devlint-expect: dev.http-handler-broad-except
+"""Corpus fixture: HTTP handlers that swallow failures silently.
+
+The three shapes the rule must catch: ``except Exception: pass``, a
+bare ``except:`` that just returns, and an ``...``-bodied tuple catch.
+The final handler reports before returning and must *not* fire.
+"""
+
+import json
+from http.server import BaseHTTPRequestHandler
+
+
+class SwallowingHandler(BaseHTTPRequestHandler):
+    def do_GET(self):
+        try:
+            self._route()
+        except Exception:
+            # BAD: the client sees a hung connection, nothing is logged.
+            pass
+
+    def do_POST(self):
+        try:
+            self._route()
+        except:  # noqa: E722
+            # BAD: bare catch, silent return.
+            return
+
+    def do_DELETE(self):
+        try:
+            self._route()
+        except (ValueError, Exception):
+            ...
+
+    def do_PUT(self):
+        try:
+            self._route()
+        except Exception as exc:
+            # OK: broad, but the failure leaves as a structured payload.
+            body = json.dumps({"error": {"type": type(exc).__name__,
+                                         "message": str(exc)}})
+            self.wfile.write(body.encode("utf-8"))
+
+    def _route(self):
+        raise ValueError("boom")

@@ -1,0 +1,107 @@
+"""Service-tier hygiene: HTTP handlers must never swallow silently.
+
+The service front-end (:mod:`repro.service.http`) promises that *every*
+failure reaching a handler leaves the process as a structured JSON error
+payload — a ``{"error": {"type", "message"}}`` body with a meaningful
+status code.  A ``try/except Exception: pass`` (or a bare ``except``
+that just returns) breaks that contract invisibly: the client sees a
+hung or empty response, the job store records nothing, and the obs
+counters never move.  Worse, in a ``ThreadingHTTPServer`` the swallowed
+exception dies with its connection thread, so nothing ever surfaces it.
+
+The rule flags any *broad* handler (``except Exception``, ``except
+BaseException``, or a bare ``except:``) whose body does nothing —
+only ``pass`` / ``...`` / ``continue`` / a bare ``return`` — inside a
+service-tier module.  A module is service-tier when its path lies under
+``repro/service/`` or when it imports :mod:`http.server` (so handler
+subclasses outside the package are held to the same contract).  Broad
+catches that *report* (send a response, log, re-raise, record the
+error) are fine; it is the silent swallow that is banned.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.diagnostics import Severity
+
+from repro.devlint.model import PyModule, Project
+from repro.devlint.registry import rule
+
+#: Exception names whose catch is "broad" enough to hide real faults.
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+#: The module tree that is always held to the handler contract.
+_SERVICE_PATH_FRAGMENT = "repro/service/"
+
+
+def _imports_http_server(module: PyModule) -> bool:
+    if module.tree is None:
+        return False
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if (alias.name == "http.server"
+                        or alias.name.startswith("http.server.")):
+                    return True
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and (node.module == "http.server"
+                                or node.module.startswith("http.server.")):
+                return True
+    return False
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    caught = handler.type
+    if caught is None:  # bare `except:`
+        return True
+    nodes = caught.elts if isinstance(caught, ast.Tuple) else [caught]
+    for node in nodes:
+        name = node.id if isinstance(node, ast.Name) else (
+            node.attr if isinstance(node, ast.Attribute) else "")
+        if name in _BROAD_NAMES:
+            return True
+    return False
+
+
+def _is_silent(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing observable."""
+    for stmt in handler.body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)):
+            continue  # `...` or a stray docstring
+        if isinstance(stmt, ast.Return) and (
+                stmt.value is None
+                or (isinstance(stmt.value, ast.Constant)
+                    and stmt.value.value is None)):
+            continue
+        return False
+    return True
+
+
+@rule("dev.http-handler-broad-except", Severity.ERROR,
+      "a service-tier handler catches Exception (or everything) and "
+      "silently swallows it instead of reporting a structured error")
+def check_http_handler_broad_except(project: Project, emit) -> None:
+    for module in project:
+        if module.tree is None:
+            continue
+        in_scope = (_SERVICE_PATH_FRAGMENT in module.rel
+                    or _imports_http_server(module))
+        if not in_scope:
+            continue
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_broad(node) and _is_silent(node):
+                what = ("a bare 'except:'" if node.type is None
+                        else "'except Exception'")
+                emit(module, node.lineno,
+                     f"{what} swallows the failure silently — the "
+                     f"client gets no structured error and the job "
+                     f"store records nothing",
+                     hint="send a JSON error body (see "
+                          "repro.service.http._dispatch), record the "
+                          "failure on the job record, or re-raise")

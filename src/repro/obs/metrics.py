@@ -24,6 +24,7 @@ Properties the rest of the stack relies on:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Dict
 
@@ -78,66 +79,82 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named counters, gauges and histograms."""
+    """Named counters, gauges and histograms.
+
+    Thread-safe: recording and aggregation hold an internal lock, so
+    concurrent callers (service worker threads, HTTP handler threads,
+    threaded ``dedup_map`` users) never lose an increment to the
+    read-modify-write race.  The lock is re-entrant because
+    :meth:`merge` folds through :meth:`inc`/:meth:`set_gauge`.
+    """
 
     def __init__(self) -> None:
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
         self.histograms: Dict[str, Histogram] = {}
+        self._lock = threading.RLock()
 
     # -- recording ---------------------------------------------------------
 
     def inc(self, name: str, value: float = 1) -> None:
         """Add ``value`` to counter ``name`` (created at 0)."""
-        self.counters[name] = self.counters.get(name, 0) + value
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
 
     def set_gauge(self, name: str, value: float) -> None:
         """Record the most recent value of gauge ``name``."""
-        self.gauges[name] = float(value)
+        with self._lock:
+            self.gauges[name] = float(value)
 
     def observe(self, name: str, value: float) -> None:
         """Feed one observation into histogram ``name``."""
-        hist = self.histograms.get(name)
-        if hist is None:
-            hist = self.histograms[name] = Histogram()
-        hist.observe(value)
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+            hist.observe(value)
 
     def counter(self, name: str) -> float:
         """Current value of a counter (0 when never incremented)."""
-        return self.counters.get(name, 0)
+        with self._lock:
+            return self.counters.get(name, 0)
 
     # -- lifecycle ---------------------------------------------------------
 
     def reset(self) -> None:
         """Clear everything (worker per-task delta collection)."""
-        self.counters.clear()
-        self.gauges.clear()
-        self.histograms.clear()
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()
 
     def snapshot(self) -> Dict[str, Any]:
         """Plain-JSON dict of the current state, keys sorted."""
-        return {
-            "counters": {k: self.counters[k] for k in sorted(self.counters)},
-            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
-            "histograms": {k: self.histograms[k].to_json()
-                           for k in sorted(self.histograms)},
-        }
+        with self._lock:
+            return {
+                "counters": {k: self.counters[k]
+                             for k in sorted(self.counters)},
+                "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+                "histograms": {k: self.histograms[k].to_json()
+                               for k in sorted(self.histograms)},
+            }
 
     def merge(self, snapshot: Dict[str, Any]) -> None:
         """Fold a :meth:`snapshot` (e.g. from a worker process) back in:
         counters add, histograms merge moments, gauges take the incoming
         value (last write wins)."""
-        for name, value in snapshot.get("counters", {}).items():
-            self.inc(name, value)
-        for name, value in snapshot.get("gauges", {}).items():
-            self.set_gauge(name, value)
-        for name, data in snapshot.get("histograms", {}).items():
-            incoming = Histogram.from_json(data)
-            hist = self.histograms.get(name)
-            if hist is None:
-                self.histograms[name] = incoming
-            else:
-                hist.merge(incoming)
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self.inc(name, value)
+            for name, value in snapshot.get("gauges", {}).items():
+                self.set_gauge(name, value)
+            for name, data in snapshot.get("histograms", {}).items():
+                incoming = Histogram.from_json(data)
+                hist = self.histograms.get(name)
+                if hist is None:
+                    self.histograms[name] = incoming
+                else:
+                    hist.merge(incoming)
 
 
 #: The process-global registry.  Hot paths gate their flushes on

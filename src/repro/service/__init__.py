@@ -1,0 +1,80 @@
+"""Simulation-as-a-service: job queue, persistent store, HTTP API.
+
+The service tier turns the :class:`repro.api.Session` facade into a
+long-running, network-reachable system:
+
+* :mod:`repro.service.jobs` — async job manager: submit / status /
+  result / cancel, priority queue, per-tenant quotas, worker threads
+  that execute every job through a ``Session`` (so the result cache,
+  observability and the recovery ladder all apply);
+* :mod:`repro.service.store` — persistent SQLite (WAL) job database;
+  queued and running jobs survive a process kill and resume
+  deterministically;
+* :mod:`repro.service.coalesce` — single-flight request coalescing:
+  the submission key is computed up front and concurrent identical
+  submissions share one in-flight execution;
+* :mod:`repro.service.http` — stdlib ``ThreadingHTTPServer`` JSON
+  front-end (``POST /jobs``, ``GET /jobs/<id>``, ``GET
+  /jobs/<id>/result``, ``DELETE /jobs/<id>``, ``GET /healthz``, ``GET
+  /metrics``);
+* :mod:`repro.service.client` — thin stdlib HTTP client mirroring the
+  manager API.
+
+Quick start::
+
+    from repro.service import JobManager, ServiceConfig, ServiceServer
+
+    manager = JobManager("jobs.sqlite",
+                         ServiceConfig(cache="~/.cache/repro"))
+    server = ServiceServer(manager, port=8040)
+    server.start()
+    # ... curl -X POST localhost:8040/jobs -d '{"flow": "table2", ...}'
+    server.stop()
+
+or from the command line: ``repro serve --db jobs.sqlite --port 8040``.
+"""
+
+from __future__ import annotations
+
+from repro.service.coalesce import (  # noqa: F401
+    Coalescer,
+    submission_fingerprint,
+    submission_key,
+)
+from repro.service.jobs import (  # noqa: F401
+    FLOWS,
+    JobManager,
+    JobRecord,
+    JobRequest,
+    ServiceConfig,
+    flow_runner,
+)
+from repro.service.store import JobStore  # noqa: F401
+
+__all__ = [
+    "Coalescer",
+    "FLOWS",
+    "JobManager",
+    "JobRecord",
+    "JobRequest",
+    "JobStore",
+    "ServiceConfig",
+    "ServiceServer",
+    "ServiceClient",
+    "flow_runner",
+    "submission_fingerprint",
+    "submission_key",
+]
+
+
+def __getattr__(name: str):
+    # http/client import lazily: they are only needed by the network
+    # tier, and keeping them out of the eager import path keeps
+    # `import repro.service` cheap for store-only consumers.
+    if name == "ServiceServer":
+        from repro.service.http import ServiceServer
+        return ServiceServer
+    if name == "ServiceClient":
+        from repro.service.client import ServiceClient
+        return ServiceClient
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,119 @@
+"""Thin Python client for the service HTTP API (stdlib ``urllib``).
+
+Mirrors the :class:`~repro.service.jobs.JobManager` surface over the
+wire::
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8040")
+    job = client.submit("table2", {"corners": ["typical"], "dt": 4e-12,
+                                   "include_write": False})
+    record = client.result(job["job_id"], wait=True, timeout=120)
+    print(record["result"]["standard"]["typical"]["read_energy"])
+
+Server-side failures raise :class:`~repro.errors.ServiceError` (or
+:class:`~repro.errors.QuotaError` for 429) carrying the server's
+structured error message, so callers handle service errors exactly like
+local library errors.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+from urllib.parse import quote, urlencode
+
+from repro.errors import QuotaError, ServiceError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """HTTP client bound to one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 300.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None,
+                 timeout: Optional[float] = None) -> Dict[str, Any]:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout if timeout is None
+                    else timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            payload = self._error_payload(exc)
+            message = payload.get("message", str(exc))
+            if exc.code == 429:
+                raise QuotaError(message) from exc
+            raise ServiceError(
+                f"{method} {path} failed ({exc.code}): {message}") from exc
+        except (urllib.error.URLError, socket.timeout, OSError) as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url!r}: {exc}") from exc
+
+    @staticmethod
+    def _error_payload(exc: urllib.error.HTTPError) -> Dict[str, Any]:
+        try:
+            body = json.loads(exc.read().decode("utf-8"))
+            error = body.get("error")
+            return error if isinstance(error, dict) else {}
+        except (ValueError, UnicodeDecodeError, OSError):
+            return {}
+
+    # -- API ---------------------------------------------------------------
+
+    def submit(self, flow: str, params: Optional[Dict[str, Any]] = None,
+               tenant: str = "default", priority: int = 0) -> Dict[str, Any]:
+        """Submit a job; returns the created record (state ``queued``
+        or ``coalesced``)."""
+        return self._request("POST", "/jobs", body={
+            "flow": flow, "params": params or {}, "tenant": tenant,
+            "priority": priority})
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{quote(job_id)}")
+
+    def result(self, job_id: str, wait: bool = False,
+               timeout: Optional[float] = None) -> Dict[str, Any]:
+        """The resolved record incl. ``result``; ``wait=True`` long-polls
+        until the job is terminal (or ``timeout`` seconds pass)."""
+        query: Dict[str, Any] = {}
+        if wait:
+            query["wait"] = 1
+        if timeout is not None:
+            query["timeout"] = timeout
+        path = f"/jobs/{quote(job_id)}/result"
+        if query:
+            path += "?" + urlencode(query)
+        http_timeout = None if timeout is None else timeout + 30.0
+        return self._request("GET", path, timeout=http_timeout)
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/jobs/{quote(job_id)}")
+
+    def jobs(self, state: Optional[str] = None,
+             tenant: Optional[str] = None) -> List[Dict[str, Any]]:
+        query = {k: v for k, v in (("state", state), ("tenant", tenant))
+                 if v is not None}
+        path = "/jobs" + ("?" + urlencode(query) if query else "")
+        return self._request("GET", path)["jobs"]
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        """The server's obs metrics snapshot (counters/gauges/
+        histograms)."""
+        return self._request("GET", "/metrics")

@@ -1,0 +1,110 @@
+"""Request coalescing: one in-flight job per distinct submission.
+
+:func:`repro.cache.scheduler.dedup_map` gives single-flight semantics
+*within one batch*: duplicates never reach the worker pool.  The service
+extends the same idea to *concurrent submitters*: every submission's
+content key is computed **up front** (before any queueing), and while a
+job with that key is queued or running, every further identical
+submission becomes a *follower* of the in-flight *leader* instead of a
+second solve.  A million users hitting the same Table II corner cost one
+execution — and once the leader lands its results in the
+content-addressed cache, even later non-coalesced resubmissions replay
+from disk.
+
+The key deliberately digests only what determines the result — the flow
+name and its canonical parameters — never the tenant, priority or
+submission time.  Two tenants asking the same question share one
+answer.
+
+Thread-safety: the :class:`Coalescer` is shared by every HTTP handler
+thread and every worker; all state transitions happen under one lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+from repro.errors import SerializationError, ServiceError
+from repro.serialize import canonical_json, stable_digest
+
+
+def submission_fingerprint(flow: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """The canonical record a submission key digests.
+
+    Raises :class:`~repro.errors.ServiceError` when ``params`` is not
+    canonically serialisable (sets, numpy scalars, objects...) — the
+    service only accepts plain-JSON parameters, so a submission's key is
+    stable across clients and restarts.
+    """
+    try:
+        canonical_json(params)
+    except SerializationError as exc:
+        raise ServiceError(
+            f"submission parameters are not canonically serialisable: "
+            f"{exc}") from exc
+    return {"flow": str(flow), "params": params}
+
+
+def submission_key(flow: str, params: Dict[str, Any]) -> str:
+    """SHA-256 digest of a submission's canonical fingerprint."""
+    return stable_digest(submission_fingerprint(flow, params))
+
+
+class Coalescer:
+    """Single-flight ledger mapping submission keys to in-flight leaders.
+
+    ``lease`` either installs ``job_id`` as the leader for ``key`` (and
+    returns ``None``) or returns the current leader's id — the caller
+    then records the new job as a *follower* of that leader (follower
+    records live in the job store, so they survive restarts; the ledger
+    itself holds only the in-flight leaders and is rebuilt from the
+    store's pending jobs on startup).  ``release`` retires the
+    leadership when the leader reaches a terminal state; ``replace``
+    hands it to a named successor (a queued leader was cancelled but its
+    followers still want the answer).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._leaders: Dict[str, str] = {}
+
+    def lease(self, key: str, job_id: str) -> Optional[str]:
+        """Install ``job_id`` as leader of ``key``, or return the
+        existing leader's id."""
+        with self._lock:
+            leader = self._leaders.get(key)
+            if leader is None:
+                self._leaders[key] = job_id
+                return None
+            return leader
+
+    def release(self, key: str, job_id: str) -> bool:
+        """Retire ``job_id``'s leadership of ``key``.  A no-op (returns
+        ``False``) when ``job_id`` is not the current leader — a
+        promoted successor took over."""
+        with self._lock:
+            if self._leaders.get(key) != job_id:
+                return False
+            del self._leaders[key]
+            return True
+
+    def replace(self, key: str, old_leader: str, new_leader: str) -> None:
+        """Hand ``key``'s leadership from ``old_leader`` to
+        ``new_leader``."""
+        with self._lock:
+            if self._leaders.get(key) != old_leader:
+                raise ServiceError(
+                    f"cannot promote {new_leader!r}: {old_leader!r} is not "
+                    f"the leader of {key[:12]}...")
+            self._leaders[key] = new_leader
+
+    def leader_of(self, key: str) -> Optional[str]:
+        """Current leader job id for ``key`` (``None`` when idle)."""
+        with self._lock:
+            return self._leaders.get(key)
+
+    def in_flight(self) -> int:
+        """Number of distinct submission keys currently leased."""
+        with self._lock:
+            return len(self._leaders)

@@ -1,0 +1,244 @@
+"""HTTP/JSON front-end over the job manager (stdlib only).
+
+Routes::
+
+    POST   /jobs               submit {"flow", "params", "tenant", "priority"}
+    GET    /jobs               list records (filters: ?state=&tenant=)
+    GET    /jobs/<id>          one record (no result payload)
+    GET    /jobs/<id>/result   resolved record incl. result
+                               (?wait=1&timeout=30 long-polls)
+    DELETE /jobs/<id>          cancel a queued job / coalesced follower
+    GET    /healthz            liveness + queue state counts
+    GET    /metrics            obs counters/gauges snapshot (service.*,
+                               cache.*, scheduler.*, ...)
+
+Every response is JSON.  Every failure is a *structured* error payload
+``{"error": {"type", "message"}}`` with a meaningful status code —
+:class:`~repro.errors.QuotaError` → 429, unknown job/route → 404, bad
+submissions → 400, anything unexpected → 500 with the exception type
+named.  The devlint rule ``dev.http-handler-broad-except`` holds this
+module to that: a handler may catch broadly, but never swallow
+silently.
+
+The server is a :class:`~http.server.ThreadingHTTPServer`: one thread
+per connection, all funneling into the shared (locked) manager.  Job
+*execution* concurrency is the manager's ``worker_threads``, not the
+connection count.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import QuotaError, ServiceError
+from repro.service.jobs import JobManager
+
+__all__ = ["ServiceServer"]
+
+#: Largest accepted request body; a submission is a small JSON object.
+MAX_BODY_BYTES = 1 << 20
+
+
+def _error_body(exc: BaseException) -> Dict[str, Any]:
+    return {"error": {"type": type(exc).__name__, "message": str(exc)}}
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    server_version = "repro-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def manager(self) -> JobManager:
+        return self.server.manager  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, body: Dict[str, Any]) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"request body is not JSON: {exc}") from exc
+        if not isinstance(body, dict):
+            raise ServiceError(
+                f"request body must be a JSON object, got "
+                f"{type(body).__name__}")
+        return body
+
+    def _dispatch(self, method: str) -> None:
+        """Route one request; translate failures into structured JSON
+        error payloads (never a silent swallow, never a stack trace on
+        the wire)."""
+        try:
+            handled = self._route(method)
+        except QuotaError as exc:
+            self._send_json(429, _error_body(exc))
+            return
+        except ServiceError as exc:
+            status = 404 if "unknown job" in str(exc) else 400
+            self._send_json(status, _error_body(exc))
+            return
+        except Exception as exc:  # defensive: report, don't swallow
+            self._send_json(500, _error_body(exc))
+            return
+        if not handled:
+            self._send_json(
+                404, {"error": {"type": "ServiceError",
+                                "message": f"no route for {method} "
+                                           f"{self.path}"}})
+
+    # -- routing -----------------------------------------------------------
+
+    def _route(self, method: str) -> bool:
+        parsed = urlparse(self.path)
+        parts = [p for p in parsed.path.split("/") if p]
+        query = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
+
+        if method == "GET" and parts == ["healthz"]:
+            body = self.manager.health()
+            body["journal_mode"] = self.manager.store.journal_mode()
+            self._send_json(200, body)
+            return True
+
+        if method == "GET" and parts == ["metrics"]:
+            from repro.obs import metrics
+
+            self._send_json(200, metrics().snapshot())
+            return True
+
+        if parts and parts[0] == "jobs":
+            return self._route_jobs(method, parts[1:], query)
+        return False
+
+    def _route_jobs(self, method: str, rest: Any,
+                    query: Dict[str, str]) -> bool:
+        if method == "POST" and not rest:
+            body = self._read_json()
+            if "flow" not in body:
+                raise ServiceError('a submission needs a "flow" field')
+            record = self.manager.submit(
+                flow=str(body["flow"]),
+                params=body.get("params") or {},
+                tenant=str(body.get("tenant", "default")),
+                priority=int(body.get("priority", 0)))
+            status = 200 if record.state == "coalesced" else 202
+            self._send_json(status, record.public_json())
+            return True
+
+        if method == "GET" and not rest:
+            records = self.manager.jobs(state=query.get("state"),
+                                        tenant=query.get("tenant"))
+            self._send_json(200, {
+                "jobs": [r.public_json() for r in records],
+                "counts": self.manager.counts()})
+            return True
+
+        if method == "GET" and len(rest) == 1:
+            record = self.manager.status(rest[0])
+            self._send_json(200, record.public_json())
+            return True
+
+        if method == "GET" and len(rest) == 2 and rest[1] == "result":
+            wait = query.get("wait", "0") not in ("0", "false", "")
+            timeout = float(query["timeout"]) if "timeout" in query else None
+            record = self.manager.result(rest[0], wait=wait,
+                                         timeout=timeout)
+            status = 200 if record.terminal() else 202
+            self._send_json(status, record.public_json(include_result=True))
+            return True
+
+        if method == "DELETE" and len(rest) == 1:
+            record = self.manager.cancel(rest[0])
+            self._send_json(200, record.public_json())
+            return True
+        return False
+
+    # -- verb entry points -------------------------------------------------
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:
+        self._dispatch("DELETE")
+
+
+class ServiceServer:
+    """Owns a :class:`ThreadingHTTPServer` bound to the manager.
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    ``server.port`` (or ``server.url``).
+    """
+
+    def __init__(self, manager: JobManager, host: str = "127.0.0.1",
+                 port: int = 0, verbose: bool = False):
+        self.manager = manager
+        self._httpd = ThreadingHTTPServer((host, port), _ServiceHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.manager = manager          # type: ignore[attr-defined]
+        self._httpd.verbose = verbose          # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def port(self) -> int:
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServiceServer":
+        """Serve in a background thread (idempotent); returns self."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-service-http", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self, close_manager: bool = True) -> None:
+        """Stop serving; by default also stops the manager's workers
+        and closes the job store."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        if close_manager:
+            self.manager.close()
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

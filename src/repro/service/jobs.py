@@ -1,0 +1,590 @@
+"""Async job manager: submit / status / result / cancel over ``Session``.
+
+The manager owns a priority queue of :class:`JobRecord`\\ s, a pool of
+worker *threads* (the flows themselves fan out to worker *processes*
+through ``repro.parallel``, so threads are the right grain here — they
+spend their life waiting on solves), and the persistent
+:class:`~repro.service.store.JobStore`.  Every job executes through a
+fresh :class:`repro.api.Session` built from the manager's
+:class:`ServiceConfig`, so the content-addressed result cache, obs
+instrumentation and the recovery ladder all apply to service traffic
+exactly as they do to CLI runs.
+
+Queue lifecycle (each arrow is one persisted transition, each with an
+obs counter)::
+
+    submit ──► queued ──► running ──► done
+       │          │           └─────► failed   (error + forensics payload)
+       │          └─────────────────► cancelled
+       └─► coalesced ─(leader done)─► resolved through the leader
+
+* ``service.submit`` — every accepted submission;
+* ``service.coalesced`` — submissions attached to an in-flight leader;
+* ``service.job.run`` / ``service.job.done`` / ``service.job.failed`` /
+  ``service.cancelled`` / ``service.resumed`` — the matching
+  transitions; ``service.job.run`` also opens a tracer span while an
+  observability session is active.
+
+Failures keep their evidence: a :class:`~repro.errors.ReproError` lands
+in the job record with its span stack, lint diagnostics and — for
+solver deaths that exhausted the recovery ladder — the full PR-8
+:class:`~repro.recovery.forensics.ForensicsBundle` JSON, so a failed
+job is debuggable from the HTTP API alone.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Optional
+
+from repro.errors import QuotaError, ReproError, ServiceError, suggest_names
+from repro.serialize import Serializable, stable_digest
+from repro.service.coalesce import Coalescer, submission_fingerprint
+from repro.service.store import JobStore
+
+__all__ = [
+    "FLOWS",
+    "JobManager",
+    "JobRecord",
+    "JobRequest",
+    "ServiceConfig",
+    "flow_runner",
+]
+
+#: Terminal job states (a terminal record never transitions again).
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: All job states, for validation and docs.
+JOB_STATES = ("queued", "running", "coalesced") + TERMINAL_STATES
+
+
+# ---------------------------------------------------------------------------
+# Flow registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _Flow:
+    name: str
+    runner: Callable[[Any, Dict[str, Any]], Dict[str, Any]]
+    allowed_params: FrozenSet[str]
+
+
+FLOWS: Dict[str, _Flow] = {}
+
+
+def flow_runner(name: str, allowed_params: Any = (),
+                replace: bool = False) -> Callable:
+    """Decorator registering ``fn(session, params) -> payload`` as a
+    submittable flow.  ``payload`` must be canonically serialisable —
+    it becomes the job's ``result`` and its ``result_digest``."""
+
+    def decorator(fn: Callable) -> Callable:
+        if name in FLOWS and not replace:
+            raise ServiceError(f"duplicate flow {name!r}")
+        FLOWS[name] = _Flow(name, fn, frozenset(allowed_params))
+        return fn
+
+    return decorator
+
+
+def validate_submission(flow: str, params: Dict[str, Any]) -> None:
+    """Reject unknown flows and unknown parameter names *at submit
+    time* — a queued job must not be discovered malformed hours later
+    by a worker."""
+    spec = FLOWS.get(flow)
+    if spec is None:
+        raise ServiceError(f"unknown flow {flow!r}"
+                           f"{suggest_names(flow, FLOWS)}")
+    unknown = sorted(set(params) - set(spec.allowed_params))
+    if unknown:
+        raise ServiceError(
+            f"flow {flow!r} does not accept parameter(s) {unknown}; "
+            f"allowed: {sorted(spec.allowed_params)}")
+
+
+def _metrics_payload(metrics: Any) -> Dict[str, Any]:
+    import dataclasses
+
+    out = dataclasses.asdict(metrics)
+    out["per_bit_delays"] = list(out["per_bit_delays"])
+    return out
+
+
+@flow_runner("table2", allowed_params=("corners", "dt", "include_write"))
+def _run_table2(session: Any, params: Dict[str, Any]) -> Dict[str, Any]:
+    data = session.table2(**params)
+    return {
+        "flow": "table2",
+        "standard": {c: _metrics_payload(m)
+                     for c, m in sorted(data.standard.items())},
+        "proposed": {c: _metrics_payload(m)
+                     for c, m in sorted(data.proposed.items())},
+    }
+
+
+@flow_runner("table3", allowed_params=("benchmarks",))
+def _run_table3(session: Any, params: Dict[str, Any]) -> Dict[str, Any]:
+    rows = session.table3(**params)
+    return {
+        "flow": "table3",
+        "rows": [{"result": result.to_json(), "paper_pairs": pairs}
+                 for result, pairs in rows],
+    }
+
+
+@flow_runner("campaign", allowed_params=(
+    "design", "specs", "samples", "seed", "vdd", "dt", "timeout", "retries"))
+def _run_campaign(session: Any, params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.faults import FaultSpec
+
+    params = dict(params)
+    design = params.pop("design", "standard")
+    specs = [FaultSpec.from_json(s) for s in params.pop("specs", [])]
+    outcome = session.campaign(design, specs, **params)
+    return {
+        "flow": "campaign",
+        "design": outcome.design,
+        "samples": outcome.samples,
+        "failure_rate": outcome.failure_rate,
+        "mean_margin": outcome.mean_margin,
+        "report": outcome.report.to_json(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Records
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class JobRequest(Serializable):
+    """What a client asked for: a flow, its canonical parameters, and
+    the scheduling envelope (tenant, priority) that does **not** enter
+    the submission key."""
+
+    SCHEMA_NAME = "JobRequest"
+    SCHEMA_VERSION = 1
+
+    flow: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    tenant: str = "default"
+    priority: int = 0
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """The result-determining record the submission key digests
+        (flow + params only — tenant and priority cannot change the
+        answer, so they must not split the single flight)."""
+        return submission_fingerprint(self.flow, self.params)
+
+    def key(self) -> str:
+        return stable_digest(self.fingerprint())
+
+    def payload(self) -> Dict[str, Any]:
+        return {"flow": self.flow, "params": self.params,
+                "tenant": self.tenant, "priority": self.priority}
+
+    @classmethod
+    def from_payload(cls, data: Dict[str, Any]) -> "JobRequest":
+        return cls(flow=str(data["flow"]), params=dict(data["params"]),
+                   tenant=str(data.get("tenant", "default")),
+                   priority=int(data.get("priority", 0)))
+
+
+@dataclass
+class JobRecord(Serializable):
+    """One job's full lifecycle state — the unit the store persists."""
+
+    SCHEMA_NAME = "JobRecord"
+    SCHEMA_VERSION = 1
+
+    job_id: str
+    request: JobRequest
+    job_key: str
+    seq: int = 0
+    state: str = "queued"
+    submitted: float = 0.0
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    attempts: int = 0
+    #: Leader job id for followers in state ``"coalesced"``.
+    leader: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+    result_digest: Optional[str] = None
+    error: Optional[Dict[str, Any]] = None
+
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id, "request": self.request.to_json(),
+            "job_key": self.job_key, "seq": self.seq, "state": self.state,
+            "submitted": self.submitted, "started": self.started,
+            "finished": self.finished, "attempts": self.attempts,
+            "leader": self.leader, "result": self.result,
+            "result_digest": self.result_digest, "error": self.error,
+        }
+
+    @classmethod
+    def from_payload(cls, data: Dict[str, Any]) -> "JobRecord":
+        state = str(data["state"])
+        if state not in JOB_STATES:
+            raise ServiceError(f"unknown job state {state!r}")
+        return cls(
+            job_id=str(data["job_id"]),
+            request=JobRequest.from_json(data["request"]),
+            job_key=str(data["job_key"]), seq=int(data.get("seq", 0)),
+            state=state, submitted=float(data.get("submitted", 0.0)),
+            started=data.get("started"), finished=data.get("finished"),
+            attempts=int(data.get("attempts", 0)),
+            leader=data.get("leader"), result=data.get("result"),
+            result_digest=data.get("result_digest"),
+            error=data.get("error"),
+        )
+
+    def public_json(self, include_result: bool = False) -> Dict[str, Any]:
+        """The HTTP-facing view: the full record, minus the (possibly
+        large) result payload unless asked for."""
+        out = self.to_json()
+        if not include_result:
+            out.pop("result", None)
+        return out
+
+
+def _error_payload(exc: BaseException) -> Dict[str, Any]:
+    """Structured error record for a failed job; carries the PR-8
+    forensics bundle and observability context when the exception has
+    them."""
+    out: Dict[str, Any] = {"type": type(exc).__name__, "message": str(exc)}
+    if isinstance(exc, ReproError):
+        if exc.span_stack:
+            out["span_stack"] = list(exc.span_stack)
+        if exc.diagnostics:
+            out["diagnostics"] = [
+                {"rule": d.rule, "severity": str(d.severity),
+                 "message": d.message} for d in exc.diagnostics]
+    forensics = getattr(exc, "forensics", None)
+    if forensics is not None:
+        out["forensics"] = forensics.to_json()
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Manager
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Manager-wide execution settings — every job's ``Session`` is
+    built from these, so all concurrent sessions are identical and the
+    process-global engine/cache settings never thrash."""
+
+    #: Result-cache directory for job sessions (``None`` = uncached).
+    cache: Optional[str] = None
+    #: Solver engine for job sessions (``None`` = session default).
+    engine: Optional[str] = None
+    #: ``workers=`` of each job's Session (process-level parallelism
+    #: *inside* one job).
+    session_workers: Optional[int] = 1
+    #: Concurrent job-executing threads.
+    worker_threads: int = 1
+    #: Max queued+running jobs per tenant; ``0`` disables the quota.
+    quota: int = 16
+
+
+class JobManager:
+    """Priority job queue + worker threads + persistent store."""
+
+    def __init__(self, store: Any, config: Optional[ServiceConfig] = None,
+                 autostart: bool = True):
+        self.store = store if isinstance(store, JobStore) else JobStore(store)
+        self.config = config or ServiceConfig()
+        if self.config.worker_threads < 1:
+            raise ServiceError(
+                f"worker_threads must be >= 1, got "
+                f"{self.config.worker_threads}")
+        self._cv = threading.Condition()
+        self._heap: List[Any] = []
+        self._coalescer = Coalescer()
+        self._threads: List[threading.Thread] = []
+        self._stopping = False
+        self._paused = False
+        self._recover()
+        if autostart:
+            self.start()
+
+    # -- startup recovery --------------------------------------------------
+
+    def _recover(self) -> None:
+        """Re-enqueue the jobs a previous process left queued or
+        running (a mid-flight job produced no durable result, so it
+        simply runs again — deterministically)."""
+        from repro.obs import metrics
+
+        for record in self.store.pending():
+            if record.state == "running":
+                record.state = "queued"
+                record.started = None
+                self.store.save(record)
+            self._coalescer.lease(record.job_key, record.job_id)
+            heapq.heappush(self._heap, (-record.request.priority,
+                                        record.seq, record.job_id))
+            metrics().inc("service.resumed")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the worker threads (idempotent)."""
+        with self._cv:
+            if self._threads or self._stopping:
+                return
+            for index in range(self.config.worker_threads):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"repro-service-worker-{index}", daemon=True)
+                self._threads.append(thread)
+                thread.start()
+
+    def stop(self, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) join the workers.  Jobs
+        left queued stay ``queued`` in the store — a later manager on
+        the same database resumes them."""
+        with self._cv:
+            self._stopping = True
+            self._cv.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=60.0)
+        self._threads = []
+
+    def close(self) -> None:
+        """Stop workers and close the job store."""
+        self.stop(wait=True)
+        self.store.close()
+
+    def pause(self) -> None:
+        """Hold queued jobs (running ones finish).  Tests and drain-
+        style maintenance use this to make queue states deterministic."""
+        with self._cv:
+            self._paused = True
+
+    def resume(self) -> None:
+        with self._cv:
+            self._paused = False
+            self._cv.notify_all()
+
+    # -- client API --------------------------------------------------------
+
+    def submit(self, flow: str, params: Optional[Dict[str, Any]] = None,
+               tenant: str = "default", priority: int = 0) -> JobRecord:
+        """Accept one submission; returns its (already persisted)
+        record — state ``"queued"``, or ``"coalesced"`` when an
+        identical submission is already in flight."""
+        from repro.obs import metrics
+
+        request = JobRequest(flow=flow, params=dict(params or {}),
+                             tenant=str(tenant), priority=int(priority))
+        validate_submission(request.flow, request.params)
+        key = request.key()          # up front: also canonicality check
+        registry = metrics()
+        with self._cv:
+            if self._stopping:
+                raise ServiceError("the job manager is shutting down")
+            # Followers ride an existing flight and hold no worker, so
+            # the quota only applies to submissions that actually queue.
+            leader = self._coalescer.leader_of(key)
+            quota = self.config.quota
+            if (leader is None and quota > 0
+                    and self.store.active_count(tenant) >= quota):
+                raise QuotaError(
+                    f"tenant {tenant!r} has {quota} active job(s) — quota "
+                    f"exhausted; retry after some finish")
+            seq = self.store.next_seq()
+            record = JobRecord(job_id=f"j{seq:06d}-{key[:8]}",
+                               request=request, job_key=key, seq=seq,
+                               submitted=time.time())
+            registry.inc("service.submit")
+            if leader is None:
+                leader = self._coalescer.lease(key, record.job_id)
+            if leader is not None:
+                record.state = "coalesced"
+                record.leader = leader
+                self.store.save(record)
+                registry.inc("service.coalesced")
+                return record
+            self.store.save(record)
+            heapq.heappush(self._heap, (-record.request.priority,
+                                        record.seq, record.job_id))
+            self._cv.notify_all()
+            return record
+
+    def status(self, job_id: str) -> JobRecord:
+        record = self.store.load(job_id)
+        if record is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        return record
+
+    def resolve(self, job_id: str) -> JobRecord:
+        """The record whose result answers ``job_id`` — follows the
+        coalesced-follower chain to its leader."""
+        record = self.status(job_id)
+        seen = {record.job_id}
+        while record.state == "coalesced" and record.leader is not None:
+            record = self.status(record.leader)
+            if record.job_id in seen:        # corrupt store; refuse to spin
+                raise ServiceError(
+                    f"coalescing cycle at job {record.job_id!r}")
+            seen.add(record.job_id)
+        return record
+
+    def result(self, job_id: str, wait: bool = False,
+               timeout: Optional[float] = None) -> JobRecord:
+        """The resolved record for ``job_id``; with ``wait=True`` blocks
+        until it is terminal (or ``timeout`` seconds elapse)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cv:
+            while True:
+                record = self.resolve(job_id)
+                if record.terminal() or not wait:
+                    return record
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    return record
+                self._cv.wait(0.5 if remaining is None
+                              else min(0.5, remaining))
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel a queued job or a coalesced follower.  Cancelling a
+        queued leader promotes its first follower to a queued job of its
+        own; running and terminal jobs cannot be cancelled."""
+        from repro.obs import metrics
+
+        with self._cv:
+            record = self.status(job_id)
+            if record.state == "queued":
+                self._promote_followers(record)
+                record.state = "cancelled"
+                record.finished = time.time()
+                self.store.save(record)
+                metrics().inc("service.cancelled")
+                self._cv.notify_all()
+                return record
+            if record.state == "coalesced":
+                record.state = "cancelled"
+                record.finished = time.time()
+                self.store.save(record)
+                metrics().inc("service.cancelled")
+                self._cv.notify_all()
+                return record
+            raise ServiceError(
+                f"job {job_id!r} is {record.state}; only queued or "
+                f"coalesced jobs can be cancelled")
+
+    def _promote_followers(self, leader: JobRecord) -> None:
+        """Called under the lock when a queued leader is cancelled:
+        its first live follower becomes a queued job (and the new
+        leader); the rest re-point at it."""
+        followers = [r for r in self.store.list(state="coalesced")
+                     if r.leader == leader.job_id]
+        if not followers:
+            self._coalescer.release(leader.job_key, leader.job_id)
+            return
+        successor = followers[0]
+        successor.state = "queued"
+        successor.leader = None
+        self.store.save(successor)
+        self._coalescer.replace(leader.job_key, leader.job_id,
+                                successor.job_id)
+        for follower in followers[1:]:
+            follower.leader = successor.job_id
+            self.store.save(follower)
+        heapq.heappush(self._heap, (-successor.request.priority,
+                                    successor.seq, successor.job_id))
+
+    # -- introspection -----------------------------------------------------
+
+    def jobs(self, state: Optional[str] = None,
+             tenant: Optional[str] = None) -> List[JobRecord]:
+        return self.store.list(state=state, tenant=tenant)
+
+    def counts(self) -> Dict[str, int]:
+        return self.store.counts()
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "paused": self._paused,
+            "stopping": self._stopping,
+            "worker_threads": self.config.worker_threads,
+            "in_flight_keys": self._coalescer.in_flight(),
+            "states": self.counts(),
+        }
+
+    # -- execution ---------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            record = self._claim_next()
+            if record is None:
+                return
+            self._execute(record)
+
+    def _claim_next(self) -> Optional[JobRecord]:
+        """Pop the highest-priority queued job and transition it to
+        ``running`` under the lock (so a concurrent ``cancel`` can never
+        interleave between claim and transition); ``None`` on
+        shutdown."""
+        from repro.obs import metrics
+
+        with self._cv:
+            while True:
+                if self._stopping:
+                    return None
+                if self._paused or not self._heap:
+                    self._cv.wait(0.2)
+                    continue
+                _, _, job_id = heapq.heappop(self._heap)
+                record = self.store.load(job_id)
+                if record is None or record.state != "queued":
+                    continue                  # cancelled while queued
+                record.state = "running"
+                record.started = time.time()
+                record.attempts += 1
+                self.store.save(record)
+                metrics().inc("service.job.run")
+                return record
+
+    def _execute(self, record: JobRecord) -> None:
+        from repro.api import Session
+        from repro.obs import metrics, span
+
+        registry = metrics()
+        config = self.config
+        try:
+            with span("service.job.run", category="service"):
+                session = Session(cache=config.cache, engine=config.engine,
+                                  workers=config.session_workers)
+                try:
+                    runner = FLOWS[record.request.flow].runner
+                    payload = runner(session, dict(record.request.params))
+                finally:
+                    session.close()
+            record.result = payload
+            record.result_digest = stable_digest(payload)
+            record.state = "done"
+            registry.inc("service.job.done")
+        except Exception as exc:  # a flow bug must not kill the worker
+            record.error = _error_payload(exc)
+            record.state = "failed"
+            registry.inc("service.job.failed")
+        finally:
+            record.finished = time.time()
+            self.store.save(record)
+            self._coalescer.release(record.job_key, record.job_id)
+            with self._cv:
+                self._cv.notify_all()

@@ -1,0 +1,196 @@
+"""Persistent job database: SQLite (stdlib), WAL mode.
+
+Every job the service has ever accepted lives here as one row holding a
+versioned :class:`~repro.serialize.Serializable` payload (the full
+:class:`~repro.service.jobs.JobRecord` JSON) plus the columns queries
+filter on (state, tenant, priority, arrival sequence).  The payload is
+the source of truth; the columns are a denormalised index kept in step
+by :meth:`JobStore.save`.
+
+Durability model:
+
+* WAL journal mode — readers (status polls) never block the writer
+  (queue transitions), and a killed process leaves a consistent
+  database.
+* Every state transition is one ``INSERT OR REPLACE`` committed
+  immediately; there is no in-memory buffering, so the store always
+  reflects the last completed transition.
+* On startup :meth:`JobStore.pending` returns the jobs a previous
+  process left ``queued`` *or* ``running`` (a job that was mid-flight
+  when the server died produced no result, so it re-queues), in arrival
+  order — the manager re-enqueues them and execution resumes
+  deterministically: job payloads carry everything needed to re-run,
+  and results come out bit-identical because the flows themselves are
+  deterministic (and cache-backed when a result cache is configured).
+
+Thread-safety: one connection guarded by an :class:`~threading.RLock`
+(``check_same_thread=False``); SQLite serialises writers anyway, the
+lock just keeps cursor use single-threaded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ServiceError
+
+__all__ = ["JobStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id   TEXT PRIMARY KEY,
+    job_key  TEXT NOT NULL,
+    tenant   TEXT NOT NULL,
+    state    TEXT NOT NULL,
+    priority INTEGER NOT NULL,
+    seq      INTEGER NOT NULL,
+    payload  TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS jobs_state  ON jobs (state);
+CREATE INDEX IF NOT EXISTS jobs_tenant ON jobs (tenant, state);
+CREATE INDEX IF NOT EXISTS jobs_key    ON jobs (job_key);
+"""
+
+#: States that count against a tenant's quota and re-enqueue on restart.
+ACTIVE_STATES = ("queued", "running")
+
+
+class JobStore:
+    """SQLite-backed persistent job table."""
+
+    def __init__(self, path: str):
+        self.path = os.path.abspath(str(path))
+        try:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._conn = sqlite3.connect(self.path,
+                                         check_same_thread=False)
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+        except (sqlite3.Error, OSError) as exc:
+            raise ServiceError(
+                f"cannot open job database {self.path!r}: {exc}") from exc
+        self._lock = threading.RLock()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- writes ------------------------------------------------------------
+
+    def next_seq(self) -> int:
+        """The next arrival sequence number (1-based, monotonic across
+        restarts — it comes from the table, not process memory)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COALESCE(MAX(seq), 0) FROM jobs").fetchone()
+            return int(row[0]) + 1
+
+    def save(self, record: Any) -> None:
+        """Insert or update one job row from a ``JobRecord`` (committed
+        immediately — this *is* the durability point of every queue
+        transition)."""
+        payload = json.dumps(record.to_json())
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO jobs "
+                "(job_id, job_key, tenant, state, priority, seq, payload) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (record.job_id, record.job_key, record.request.tenant,
+                 record.state, record.request.priority, record.seq,
+                 payload))
+            self._conn.commit()
+
+    def delete(self, job_id: str) -> bool:
+        with self._lock:
+            cursor = self._conn.execute(
+                "DELETE FROM jobs WHERE job_id = ?", (job_id,))
+            self._conn.commit()
+            return cursor.rowcount > 0
+
+    # -- reads -------------------------------------------------------------
+
+    def _record(self, payload: str):
+        from repro.service.jobs import JobRecord
+
+        try:
+            return JobRecord.from_json(json.loads(payload))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ServiceError(
+                f"corrupt job payload in {self.path!r}: {exc}") from exc
+
+    def load(self, job_id: str):
+        """The :class:`JobRecord` for ``job_id``, or ``None``."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM jobs WHERE job_id = ?",
+                (job_id,)).fetchone()
+        return None if row is None else self._record(row[0])
+
+    def list(self, state: Optional[str] = None,
+             tenant: Optional[str] = None) -> List[Any]:
+        """Records in arrival order, optionally filtered."""
+        query = "SELECT payload FROM jobs"
+        clauses, args = [], []
+        if state is not None:
+            clauses.append("state = ?")
+            args.append(state)
+        if tenant is not None:
+            clauses.append("tenant = ?")
+            args.append(tenant)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY seq"
+        with self._lock:
+            rows = self._conn.execute(query, args).fetchall()
+        return [self._record(row[0]) for row in rows]
+
+    def pending(self) -> List[Any]:
+        """Jobs a previous process left queued or running, arrival
+        order — the restart-recovery work list."""
+        placeholders = ",".join("?" for _ in ACTIVE_STATES)
+        with self._lock:
+            rows = self._conn.execute(
+                f"SELECT payload FROM jobs WHERE state IN ({placeholders}) "
+                f"ORDER BY seq", ACTIVE_STATES).fetchall()
+        return [self._record(row[0]) for row in rows]
+
+    def active_count(self, tenant: str) -> int:
+        """Queued + running jobs of one tenant (the quota denominator)."""
+        placeholders = ",".join("?" for _ in ACTIVE_STATES)
+        with self._lock:
+            row = self._conn.execute(
+                f"SELECT COUNT(*) FROM jobs WHERE tenant = ? "
+                f"AND state IN ({placeholders})",
+                (tenant, *ACTIVE_STATES)).fetchone()
+        return int(row[0])
+
+    def counts(self) -> Dict[str, int]:
+        """``{state: row count}`` over the whole table."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) FROM jobs GROUP BY state "
+                "ORDER BY state").fetchall()
+        return {state: int(count) for state, count in rows}
+
+    def journal_mode(self) -> str:
+        """The active SQLite journal mode (``"wal"`` on any real
+        filesystem; some exotic mounts fall back to ``"delete"``)."""
+        with self._lock:
+            return str(self._conn.execute(
+                "PRAGMA journal_mode").fetchone()[0])

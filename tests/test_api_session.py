@@ -70,6 +70,27 @@ class TestSessionLifecycle:
                 Session(obs=True)
         assert not is_active()
 
+    def test_double_close_and_exit_after_close_are_noops(self, tmp_path):
+        previous = get_default_engine()
+        session = Session(cache=str(tmp_path / "c"), engine="naive")
+        session.close()
+        session.close()
+        session.__exit__(None, None, None)  # with-block after manual close
+        assert get_default_engine() == previous
+        assert cache_store.get_active_cache() is None
+
+    def test_failed_init_rolls_back_engine_and_cache(self, tmp_path):
+        """A constructor that raises part-way (obs=True while tracing is
+        already active) must not leak the engine/cache it already set."""
+        previous = get_default_engine()
+        assert previous != "naive"
+        with Session(obs=True):
+            with pytest.raises(AnalysisError, match="already active"):
+                Session(cache=str(tmp_path / "c"), engine="naive",
+                        obs=True)
+            assert get_default_engine() == previous
+            assert cache_store.get_active_cache() is None
+
     def test_uncached_session_reports_no_stats(self):
         with Session() as session:
             assert session.cache_stats() is None

@@ -286,6 +286,44 @@ class TestDedupScheduler:
         assert dedup_map(_double, [], workers=2) == []
 
 
+class TestDedupSchedulerConcurrentCallers:
+    """dedup_map called from many threads at once (the service tier's
+    worker threads do exactly this): every caller must get the right
+    result order and the shared scheduler counters must account for
+    every call exactly — no lost increments."""
+
+    THREADS = 8
+    BATCH = [3, 5, 3, 3, 5, 8]
+
+    def test_threaded_callers_get_exact_results_and_counters(self):
+        import threading
+
+        before = _counters()
+        barrier = threading.Barrier(self.THREADS)
+        results = [None] * self.THREADS
+        errors = []
+
+        def call(slot):
+            try:
+                barrier.wait(timeout=10)
+                results[slot] = dedup_map(_double, self.BATCH, workers=1)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=call, args=(i,))
+                   for i in range(self.THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert all(r == [6, 10, 6, 6, 10, 16] for r in results)
+        delta = _delta(before, _counters())
+        assert delta["scheduler.requests"] == self.THREADS * len(self.BATCH)
+        assert delta["scheduler.unique"] == self.THREADS * 3
+        assert delta["scheduler.deduped"] == self.THREADS * 3
+
+
 class TestVerifyEntry:
     def test_stored_entries_replay_bit_exactly(self, active_cache):
         from repro.cache.analysis import verify_entry

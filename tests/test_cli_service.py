@@ -1,0 +1,222 @@
+"""The ``repro serve`` / ``repro submit`` / ``repro jobs`` subcommands.
+
+Mirrors the ``test_lint_cli.py`` pattern: drive :func:`repro.cli.main`
+in-process and assert exit codes and JSON shapes.  One real server runs
+for the whole module in a background thread via ``serve --run-seconds``
++ ``--ready-file`` (the CI smoke uses the same hooks), executing the
+cheap ``echo`` flow.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import cli
+from repro.service.jobs import FLOWS, flow_runner
+
+
+def run_cli(capsys, *argv):
+    code = cli.main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """A live ``repro serve`` in a background thread; yields its URL."""
+
+    @flow_runner("echo", allowed_params=("value", "boom"), replace=True)
+    def _echo(session, params):
+        if params.get("boom"):
+            raise ValueError("boom")
+        return {"flow": "echo", "value": params.get("value")}
+
+    tmp = tmp_path_factory.mktemp("service-cli")
+    ready = tmp / "ready.json"
+    thread = threading.Thread(
+        target=cli.main,
+        args=(["serve", "--port", "0", "--db", str(tmp / "jobs.sqlite"),
+               "--run-seconds", "120", "--ready-file", str(ready)],),
+        daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 15
+    while not ready.exists() and time.monotonic() < deadline:
+        time.sleep(0.02)
+    assert ready.exists(), "serve never wrote its ready file"
+    yield json.loads(ready.read_text())["url"]
+    FLOWS.pop("echo", None)
+    # The daemonised serve thread expires with --run-seconds.
+
+
+class TestHelp:
+    @pytest.mark.parametrize("command", ["serve", "submit", "jobs"])
+    def test_help_exits_zero(self, capsys, command):
+        with pytest.raises(SystemExit) as info:
+            cli.main([command, "--help"])
+        assert info.value.code == 0
+        out = capsys.readouterr().out
+        assert "--url" in out or "--port" in out
+
+    def test_serve_help_names_the_knobs(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["serve", "--help"])
+        out = capsys.readouterr().out
+        for flag in ("--db", "--worker-threads", "--quota",
+                     "--run-seconds", "--ready-file"):
+            assert flag in out
+
+
+class TestServe:
+    def test_ready_file_announces_bound_port(self, served):
+        assert served.startswith("http://127.0.0.1:")
+
+    def test_startup_info_shape(self, tmp_path, capsys):
+        code, out, _err = run_cli(
+            capsys, "serve", "--port", "0",
+            "--db", str(tmp_path / "j.sqlite"), "--run-seconds", "0.2")
+        assert code == 0
+        info = json.loads(out.splitlines()[0])
+        assert {"url", "db", "journal_mode", "worker_threads", "quota",
+                "states"} <= set(info)
+        assert info["journal_mode"] == "wal"
+
+    def test_unopenable_db_exits_2(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where a directory must go")
+        code, _out, err = run_cli(
+            capsys, "serve", "--port", "0",
+            "--db", str(blocker / "jobs.sqlite"),
+            "--run-seconds", "0.1")
+        assert code == 2
+        assert "error:" in err and "cannot open job database" in err
+
+
+class TestSubmit:
+    def test_submit_and_wait_round_trip(self, served, capsys):
+        code, out, _err = run_cli(
+            capsys, "submit", "echo", "--url", served,
+            "--param", "value=41", "--wait", "--timeout", "30")
+        assert code == 0
+        record = json.loads(out)
+        assert record["state"] == "done"
+        assert record["result"] == {"flow": "echo", "value": 41}
+
+    def test_submit_without_wait_prints_accepted_record(self, served,
+                                                        capsys):
+        code, out, _err = run_cli(
+            capsys, "submit", "echo", "--url", served,
+            "--params", '{"value": "fire-and-forget"}')
+        assert code == 0
+        record = json.loads(out)
+        assert record["state"] in ("queued", "running", "coalesced",
+                                   "done")
+        assert record["job_id"].startswith("j")
+
+    def test_param_values_parse_as_json_else_string(self, served,
+                                                    capsys):
+        code, out, _err = run_cli(
+            capsys, "submit", "echo", "--url", served,
+            "--param", "value=plain-string", "--wait",
+            "--timeout", "30")
+        assert code == 0
+        assert json.loads(out)["result"]["value"] == "plain-string"
+
+    def test_failed_job_with_wait_exits_1(self, served, capsys):
+        code, out, _err = run_cli(
+            capsys, "submit", "echo", "--url", served,
+            "--param", "boom=true", "--wait", "--timeout", "30")
+        assert code == 1
+        record = json.loads(out)
+        assert record["state"] == "failed"
+        assert record["error"]["type"] == "ValueError"
+
+    def test_unknown_flow_exits_2(self, served, capsys):
+        code, _out, err = run_cli(
+            capsys, "submit", "nope", "--url", served)
+        assert code == 2
+        assert "unknown flow" in err
+
+    def test_bad_params_json_exits_2(self, served, capsys):
+        code, _out, err = run_cli(
+            capsys, "submit", "echo", "--url", served,
+            "--params", "{nope")
+        assert code == 2
+        assert "--params is not JSON" in err
+
+    def test_bad_param_shape_exits_2(self, served, capsys):
+        code, _out, err = run_cli(
+            capsys, "submit", "echo", "--url", served,
+            "--param", "no-equals-sign")
+        assert code == 2
+        assert "KEY=VALUE" in err
+
+    def test_unreachable_url_exits_2(self, capsys):
+        code, _out, err = run_cli(
+            capsys, "submit", "table2", "--url", "http://127.0.0.1:9")
+        assert code == 2
+        assert "cannot reach service" in err
+
+
+class TestJobs:
+    def test_list_show_result_cancel_cycle(self, served, capsys):
+        code, out, _err = run_cli(
+            capsys, "submit", "echo", "--url", served,
+            "--param", "value=7", "--wait", "--timeout", "30")
+        assert code == 0
+        job_id = json.loads(out)["job_id"]
+
+        code, out, _err = run_cli(capsys, "jobs", "list", "--url", served)
+        assert code == 0
+        listing = json.loads(out)
+        assert any(r["job_id"] == job_id for r in listing["jobs"])
+
+        code, out, _err = run_cli(capsys, "jobs", "show", job_id,
+                                  "--url", served)
+        assert code == 0
+        assert json.loads(out)["job_id"] == job_id
+
+        code, out, _err = run_cli(capsys, "jobs", "result", job_id,
+                                  "--url", served)
+        assert code == 0
+        assert json.loads(out)["result"]["value"] == 7
+
+        # Terminal jobs cannot be cancelled — the server says so, 2.
+        code, _out, err = run_cli(capsys, "jobs", "cancel", job_id,
+                                  "--url", served)
+        assert code == 2
+        assert "only queued or coalesced" in err
+
+    def test_list_state_filter(self, served, capsys):
+        code, out, _err = run_cli(
+            capsys, "jobs", "list", "--url", served, "--state", "failed")
+        assert code == 0
+        listing = json.loads(out)
+        assert all(r["state"] == "failed" for r in listing["jobs"])
+
+    def test_result_of_failed_job_exits_1(self, served, capsys):
+        code, out, _err = run_cli(
+            capsys, "submit", "echo", "--url", served,
+            "--param", "boom=1")
+        job_id = json.loads(out)["job_id"]
+        code, out, _err = run_cli(
+            capsys, "jobs", "result", job_id, "--url", served,
+            "--wait", "--timeout", "30")
+        assert code == 1
+        assert json.loads(out)["state"] == "failed"
+
+    def test_missing_job_id_exits_2(self, served, capsys):
+        for action in ("show", "result", "cancel"):
+            code, _out, err = run_cli(capsys, "jobs", action,
+                                      "--url", served)
+            assert code == 2
+            assert "needs a job id" in err
+
+    def test_unknown_job_exits_2(self, served, capsys):
+        code, _out, err = run_cli(capsys, "jobs", "show", "missing",
+                                  "--url", served)
+        assert code == 2
+        assert "unknown job" in err

@@ -157,3 +157,29 @@ def test_merge_order_independent_for_counters_and_histograms():
 def test_global_registry_is_shared():
     metrics().inc("probe")
     assert metrics().counter("probe") == 1
+
+
+def test_concurrent_increments_are_not_lost():
+    """inc()/observe() are read-modify-write; under threaded callers
+    (service workers, HTTP handlers) the registry lock must make the
+    totals exact."""
+    import threading
+
+    registry = MetricsRegistry()
+    threads_n, per_thread = 8, 2000
+    barrier = threading.Barrier(threads_n)
+
+    def hammer():
+        barrier.wait(timeout=10)
+        for _ in range(per_thread):
+            registry.inc("hits")
+            registry.observe("latency", 1.0)
+
+    threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert registry.counter("hits") == threads_n * per_thread
+    assert registry.histograms["latency"].count == threads_n * per_thread
+    assert registry.histograms["latency"].total == threads_n * per_thread

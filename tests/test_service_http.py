@@ -1,0 +1,336 @@
+"""The HTTP/JSON front-end and client: routes, errors, and the paper
+end-to-end.
+
+Route/error mechanics run on the cheap ``echo`` flow; the end-to-end
+class drives the real Table II flow through concurrent HTTP clients and
+checks the service's three core promises — single-flight coalescing,
+restart-safe durability, and bit-identical results versus a direct
+:class:`repro.api.Session` run.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.errors import QuotaError, ServiceError
+from repro.obs import metrics
+from repro.serialize import canonical_json
+from repro.service import JobManager, ServiceConfig
+from repro.service.client import ServiceClient
+from repro.service.http import ServiceServer
+from repro.service.jobs import FLOWS, flow_runner
+
+#: Coarse typical-corner-only Table II settings (seconds, not minutes).
+FAST_TABLE2 = {"corners": ["typical"], "dt": 4e-12, "include_write": False}
+
+
+def _counters():
+    return dict(metrics().counters)
+
+
+def _delta(before, after):
+    return {k: v - before.get(k, 0)
+            for k, v in after.items() if v != before.get(k, 0)}
+
+
+@pytest.fixture()
+def echo_flow():
+    calls = []
+
+    @flow_runner("echo", allowed_params=("value", "boom"), replace=True)
+    def _echo(session, params):
+        calls.append(dict(params))
+        if params.get("boom"):
+            raise ValueError("boom")
+        return {"flow": "echo", "value": params.get("value")}
+
+    yield calls
+    FLOWS.pop("echo", None)
+
+
+@pytest.fixture()
+def service(tmp_path, echo_flow):
+    manager = JobManager(str(tmp_path / "jobs.sqlite"),
+                         ServiceConfig(worker_threads=1))
+    server = ServiceServer(manager).start()
+    client = ServiceClient(server.url, timeout=30)
+    yield manager, server, client
+    server.stop()
+
+
+def _raw(url, method="GET", body=None):
+    """(status, parsed JSON body) without the client's error mapping."""
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(url, data=data, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestRoutes:
+    def test_submit_status_result_round_trip(self, service):
+        manager, server, client = service
+        record = client.submit("echo", {"value": 11})
+        assert record["state"] in ("queued", "running", "done")
+        assert record["request"]["flow"] == "echo"
+        done = client.result(record["job_id"], wait=True, timeout=30)
+        assert done["state"] == "done"
+        assert done["result"] == {"flow": "echo", "value": 11}
+        status = client.status(record["job_id"])
+        assert "result" not in status        # status view omits payloads
+        assert status["result_digest"] == done["result_digest"]
+
+    def test_submit_status_codes_distinguish_coalesced(self, service):
+        manager, server, client = service
+        manager.pause()
+        body = {"flow": "echo", "params": {"value": 1}}
+        code_leader, leader = _raw(server.url + "/jobs", "POST", body)
+        code_follower, follower = _raw(server.url + "/jobs", "POST", body)
+        assert (code_leader, leader["state"]) == (202, "queued")
+        assert (code_follower, follower["state"]) == (200, "coalesced")
+        assert follower["leader"] == leader["job_id"]
+
+    def test_jobs_listing_filters_and_counts(self, service):
+        manager, server, client = service
+        manager.pause()
+        client.submit("echo", {"value": 1})
+        client.submit("echo", {"value": 2}, tenant="acme")
+        listed = client.jobs(tenant="acme")
+        assert [r["request"]["tenant"] for r in listed] == ["acme"]
+        _, body = _raw(server.url + "/jobs")
+        assert body["counts"] == {"queued": 2}
+
+    def test_result_before_terminal_is_202(self, service):
+        manager, server, client = service
+        manager.pause()
+        record = client.submit("echo", {"value": 4})
+        code, body = _raw(
+            server.url + f"/jobs/{record['job_id']}/result")
+        assert code == 202 and body["state"] == "queued"
+
+    def test_cancel_route(self, service):
+        manager, server, client = service
+        manager.pause()
+        record = client.submit("echo", {"value": 9})
+        assert client.cancel(record["job_id"])["state"] == "cancelled"
+
+    def test_healthz_reports_wal_and_states(self, service):
+        manager, server, client = service
+        health = client.healthz()
+        assert health["ok"] is True
+        assert health["journal_mode"] == "wal"
+        assert "states" in health
+
+    def test_metrics_snapshot_exposes_service_counters(self, service):
+        manager, server, client = service
+        client.submit("echo", {"value": 1})
+        snapshot = client.metrics()
+        assert snapshot["counters"]["service.submit"] >= 1
+
+    def test_failed_job_serves_structured_error(self, service):
+        manager, server, client = service
+        record = client.submit("echo", {"boom": True})
+        done = client.result(record["job_id"], wait=True, timeout=30)
+        assert done["state"] == "failed"
+        assert done["error"]["type"] == "ValueError"
+
+
+class TestErrors:
+    def test_unknown_flow_is_400(self, service):
+        _, server, client = service
+        with pytest.raises(ServiceError, match=r"\(400\).*unknown flow"):
+            client.submit("nope", {})
+
+    def test_unknown_job_is_404(self, service):
+        _, server, client = service
+        with pytest.raises(ServiceError, match=r"\(404\).*unknown job"):
+            client.status("missing")
+
+    def test_unknown_route_is_404(self, service):
+        _, server, client = service
+        code, body = _raw(server.url + "/teapot")
+        assert code == 404 and "no route" in body["error"]["message"]
+
+    def test_malformed_json_body_is_400(self, service):
+        _, server, client = service
+        request = urllib.request.Request(
+            server.url + "/jobs", data=b"{nope", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=30)
+        assert info.value.code == 400
+
+    def test_non_object_body_is_400(self, service):
+        _, server, client = service
+        code, body = _raw(server.url + "/jobs", "POST", [1, 2])
+        assert code == 400 and "JSON object" in body["error"]["message"]
+
+    def test_missing_flow_field_is_400(self, service):
+        _, server, client = service
+        code, body = _raw(server.url + "/jobs", "POST", {"params": {}})
+        assert code == 400 and '"flow"' in body["error"]["message"]
+
+    def test_oversized_body_is_rejected(self, service):
+        _, server, client = service
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            conn.putrequest("POST", "/jobs")
+            conn.putheader("Content-Type", "application/json")
+            conn.putheader("Content-Length", str((1 << 20) + 1))
+            conn.endheaders()
+            response = conn.getresponse()
+            assert response.status == 400
+            assert b"exceeds" in response.read()
+        finally:
+            conn.close()
+
+    def test_quota_exhaustion_maps_to_429(self, tmp_path, echo_flow):
+        manager = JobManager(str(tmp_path / "q.sqlite"),
+                             ServiceConfig(worker_threads=1, quota=1))
+        with ServiceServer(manager) as server:
+            client = ServiceClient(server.url, timeout=30)
+            manager.pause()
+            client.submit("echo", {"value": 1})
+            with pytest.raises(QuotaError, match="quota exhausted"):
+                client.submit("echo", {"value": 2})
+
+    def test_unreachable_service_raises_service_error(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout=0.5)
+        with pytest.raises(ServiceError, match="cannot reach service"):
+            client.healthz()
+
+
+class TestEndToEndTable2:
+    """The ISSUE acceptance flow: concurrent identical Table II
+    submissions over HTTP collapse to exactly one solve, survive a
+    kill-and-restart mid-queue, and come out bit-identical to a direct
+    ``Session.table2()`` run."""
+
+    def test_single_flight_restart_and_bit_identical_results(
+            self, tmp_path):
+        db = str(tmp_path / "jobs.sqlite")
+        config = ServiceConfig(cache=str(tmp_path / "cache-service"),
+                               worker_threads=1)
+
+        # Phase 1: N concurrent HTTP submissions while the queue is
+        # held — exactly one leader, N-1 coalesced followers.
+        before = _counters()
+        manager = JobManager(db, config)
+        manager.pause()
+        server = ServiceServer(manager).start()
+        client = ServiceClient(server.url, timeout=60)
+        n = 4
+        barrier = threading.Barrier(n)
+        records, errors = [None] * n, []
+
+        def submit(slot):
+            try:
+                barrier.wait(timeout=10)
+                records[slot] = client.submit("table2", FAST_TABLE2)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=submit, args=(i,))
+                   for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        states = sorted(r["state"] for r in records)
+        assert states == ["coalesced"] * (n - 1) + ["queued"]
+        delta = _delta(before, _counters())
+        assert delta["service.submit"] == n
+        assert delta["service.coalesced"] == n - 1
+        assert "service.job.run" not in delta   # still held
+
+        # Phase 2: kill the server mid-queue (nothing has run); a new
+        # manager on the same database resumes the pending leader.
+        server.stop(close_manager=True)
+        before_restart = _counters()
+        manager2 = JobManager(db, config)
+        server2 = ServiceServer(manager2).start()
+        client2 = ServiceClient(server2.url, timeout=120)
+        try:
+            assert _delta(before_restart,
+                          _counters())["service.resumed"] == 1
+
+            resolved = [client2.result(r["job_id"], wait=True, timeout=300)
+                        for r in records]
+            after = _counters()
+            assert {r["state"] for r in resolved} == {"done"}
+
+            # Exactly one solve: one run/done transition, the cache got
+            # populated exactly once per characterisation call.
+            run_delta = _delta(before, after)
+            assert run_delta["service.job.run"] == 1
+            assert run_delta["service.job.done"] == 1
+            assert run_delta.get("cache.store", 0) > 0
+
+            # Every client sees the same bits.
+            digests = {r["result_digest"] for r in resolved}
+            payloads = {canonical_json(r["result"]) for r in resolved}
+            assert len(digests) == 1 and len(payloads) == 1
+
+            # ... and they are the bits a direct Session run produces
+            # (fresh cache directory: nothing shared with the service).
+            from repro.api import Session
+            from repro.service.jobs import _run_table2
+
+            with Session(cache=str(tmp_path / "cache-direct"),
+                         workers=1) as session:
+                direct = _run_table2(session, dict(FAST_TABLE2))
+            assert canonical_json(direct) == payloads.pop()
+
+            # A later identical submission is a *new* flight (the old
+            # one retired) and replays from the warm cache.
+            again = client2.submit("table2", FAST_TABLE2)
+            assert again["state"] == "queued"
+            replay = client2.result(again["job_id"], wait=True,
+                                    timeout=300)
+            assert replay["result_digest"] == digests.pop()
+        finally:
+            server2.stop()
+
+
+class TestServerLifecycle:
+    def test_context_manager_and_ephemeral_port(self, tmp_path,
+                                                echo_flow):
+        manager = JobManager(str(tmp_path / "jobs.sqlite"),
+                             ServiceConfig(worker_threads=1))
+        with ServiceServer(manager) as server:
+            assert server.port > 0
+            assert server.url.startswith("http://127.0.0.1:")
+            client = ServiceClient(server.url, timeout=30)
+            record = client.submit("echo", {"value": 2})
+            assert client.result(record["job_id"], wait=True,
+                                 timeout=30)["state"] == "done"
+        # stop() closed the manager: the store rejects further use.
+        with pytest.raises(Exception):
+            manager.store.next_seq()
+
+    def test_start_is_idempotent(self, tmp_path, echo_flow):
+        manager = JobManager(str(tmp_path / "jobs.sqlite"),
+                             ServiceConfig(worker_threads=1))
+        server = ServiceServer(manager)
+        try:
+            assert server.start() is server.start()
+        finally:
+            server.stop()
+
+
+def test_wait_without_timeout_returns_after_completion(service):
+    manager, server, client = service
+    record = client.submit("echo", {"value": 6})
+    t0 = time.monotonic()
+    done = client.result(record["job_id"], wait=True)
+    assert done["state"] == "done"
+    assert time.monotonic() - t0 < 30

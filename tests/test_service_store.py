@@ -1,0 +1,147 @@
+"""The persistent SQLite job store: durability, filters, recovery list.
+
+The store is the service's source of truth — every queue transition is
+one committed ``INSERT OR REPLACE`` — so these tests exercise it
+directly: round-trips, arrival ordering, the pending/active views the
+manager's restart recovery and quota checks are built on, and the
+corruption guard.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.serialize import canonical_json
+from repro.service.jobs import JobRecord, JobRequest
+from repro.service.store import JobStore
+
+
+def make_record(seq, flow="table2", state="queued", tenant="default",
+                priority=0, **overrides):
+    request = JobRequest(flow=flow, params={"dt": 4e-12}, tenant=tenant,
+                         priority=priority)
+    record = JobRecord(job_id=f"j{seq:06d}-test", request=request,
+                       job_key=request.key(), seq=seq, state=state,
+                       submitted=1000.0 + seq)
+    for name, value in overrides.items():
+        setattr(record, name, value)
+    return record
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with JobStore(str(tmp_path / "jobs.sqlite")) as store:
+        yield store
+
+
+class TestRoundTrip:
+    def test_save_load_is_exact(self, store):
+        record = make_record(1, state="done",
+                             result={"flow": "table2", "value": 0.25},
+                             result_digest="d" * 64, attempts=2,
+                             started=1001.0, finished=1002.5)
+        store.save(record)
+        loaded = store.load(record.job_id)
+        assert canonical_json(loaded.to_json()) == canonical_json(
+            record.to_json())
+
+    def test_load_unknown_returns_none(self, store):
+        assert store.load("j999999-nope") is None
+
+    def test_save_is_upsert(self, store):
+        record = make_record(1)
+        store.save(record)
+        record.state = "running"
+        record.attempts = 1
+        store.save(record)
+        assert store.load(record.job_id).state == "running"
+        assert store.counts() == {"running": 1}
+
+    def test_failed_record_keeps_error_payload(self, store):
+        error = {"type": "ConvergenceError", "message": "died",
+                 "forensics": {"rungs": [1, 2]}}
+        store.save(make_record(1, state="failed", error=error))
+        assert store.load("j000001-test").error == error
+
+    def test_corrupt_payload_raises_service_error(self, store):
+        store.save(make_record(1))
+        store._conn.execute("UPDATE jobs SET payload = '{\"nope\": 1}'")
+        store._conn.commit()
+        with pytest.raises(ServiceError, match="corrupt job payload"):
+            store.load("j000001-test")
+
+    def test_unknown_state_rejected_on_load(self, store):
+        record = make_record(1)
+        record.state = "exploded"
+        with pytest.raises(ServiceError, match="unknown job state"):
+            JobRecord.from_json(record.to_json())
+
+
+class TestQueries:
+    def test_list_is_arrival_ordered_and_filterable(self, store):
+        store.save(make_record(2, state="done"))
+        store.save(make_record(1))
+        store.save(make_record(3, tenant="acme"))
+        assert [r.seq for r in store.list()] == [1, 2, 3]
+        assert [r.seq for r in store.list(state="queued")] == [1, 3]
+        assert [r.seq for r in store.list(tenant="acme")] == [3]
+        assert store.list(state="queued", tenant="acme")[0].seq == 3
+
+    def test_pending_is_queued_plus_running_only(self, store):
+        for seq, state in enumerate(
+                ("queued", "running", "done", "failed", "cancelled",
+                 "coalesced"), start=1):
+            store.save(make_record(seq, state=state))
+        assert [r.state for r in store.pending()] == ["queued", "running"]
+
+    def test_active_count_per_tenant(self, store):
+        store.save(make_record(1, tenant="a"))
+        store.save(make_record(2, tenant="a", state="running"))
+        store.save(make_record(3, tenant="a", state="done"))
+        store.save(make_record(4, tenant="b"))
+        assert store.active_count("a") == 2
+        assert store.active_count("b") == 1
+        assert store.active_count("c") == 0
+
+    def test_counts_groups_by_state(self, store):
+        store.save(make_record(1))
+        store.save(make_record(2))
+        store.save(make_record(3, state="done"))
+        assert store.counts() == {"done": 1, "queued": 2}
+
+    def test_delete(self, store):
+        store.save(make_record(1))
+        assert store.delete("j000001-test") is True
+        assert store.delete("j000001-test") is False
+        assert store.load("j000001-test") is None
+
+
+class TestDurability:
+    def test_journal_mode_is_wal(self, store):
+        assert store.journal_mode() == "wal"
+
+    def test_next_seq_is_monotonic_across_restarts(self, tmp_path):
+        path = str(tmp_path / "jobs.sqlite")
+        with JobStore(path) as store:
+            assert store.next_seq() == 1
+            store.save(make_record(store.next_seq()))
+            store.save(make_record(store.next_seq()))
+        with JobStore(path) as store:
+            assert store.next_seq() == 3
+
+    def test_rows_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "jobs.sqlite")
+        record = make_record(1, state="done", result={"x": 1})
+        with JobStore(path) as store:
+            store.save(record)
+        with JobStore(path) as store:
+            loaded = store.load(record.job_id)
+            assert loaded.result == {"x": 1}
+            assert loaded.state == "done"
+
+    def test_unopenable_path_raises_service_error(self, tmp_path):
+        target = tmp_path / "not-a-dir"
+        target.write_text("file, not directory")
+        with pytest.raises(ServiceError, match="cannot open job database"):
+            JobStore(str(target / "jobs.sqlite"))
