@@ -27,14 +27,16 @@ def out_dir() -> pathlib.Path:
 def table2_data():
     """Full Table II characterisation at all three process corners
     (several minutes of transient simulation)."""
-    from repro.analysis.tables import build_table2
+    from repro.api import Session
 
-    return build_table2(dt=1e-12, include_write=True)
+    with Session() as session:
+        return session.table2(dt=1e-12, include_write=True)
 
 
 @pytest.fixture(scope="session")
 def table3_results():
     """The 13-benchmark system sweep (placement + merge per circuit)."""
-    from repro.analysis.tables import build_table3
+    from repro.api import Session
 
-    return build_table3()
+    with Session() as session:
+        return session.table3()

@@ -17,9 +17,9 @@ Run:  python examples/reliability_campaign.py
 import os
 import tempfile
 
+from repro.api import Session
 from repro.faults import (
     FaultSpec,
-    restore_failure_rate,
     sense_margin_degradation,
     margin_slopes,
     write_path_isolation,
@@ -30,18 +30,18 @@ def main() -> None:
     offset = FaultSpec("sa.offset", 0.04)  # 40 mV input-referred offset
 
     print("=== Restore-failure campaign (checkpointed) ===")
-    with tempfile.TemporaryDirectory() as tmp:
+    with tempfile.TemporaryDirectory() as tmp, Session() as session:
         checkpoint = os.path.join(tmp, "campaign.jsonl")
-        outcome = restore_failure_rate("proposed", [offset], samples=4,
-                                       checkpoint=checkpoint, retries=1)
+        outcome = session.campaign("proposed", [offset], samples=4,
+                                   checkpoint=checkpoint, retries=1)
         print(outcome.summary())
 
         # Emulate a kill after two tasks, then resume from the file.
         lines = open(checkpoint).read().splitlines()
         with open(checkpoint, "w") as handle:
             handle.write("\n".join(lines[:3]) + "\n")
-        resumed = restore_failure_rate("proposed", [offset], samples=4,
-                                       checkpoint=checkpoint, retries=1)
+        resumed = session.campaign("proposed", [offset], samples=4,
+                                   checkpoint=checkpoint, retries=1)
         same = resumed.failure_rate == outcome.failure_rate
         print(f"resumed: {resumed.report.skipped} task(s) from checkpoint, "
               f"aggregates bit-identical: {same}")

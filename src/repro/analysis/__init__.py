@@ -1,14 +1,17 @@
 """Reporting: table renderers (paper Tables I–III) and figure generators
 (paper Figs 6–9)."""
 
+from repro.analysis.compare import (
+    BackendComparison,
+    CompareReport,
+    build_compare,
+)
 from repro.analysis.tables import (
     render_text_table,
     table1_rows,
     render_table1,
     Table2Data,
-    build_table2,
     render_table2,
-    build_table3,
     render_table3,
 )
 from repro.analysis.blockdiagrams import (
@@ -25,13 +28,14 @@ from repro.analysis.figures import (
 )
 
 __all__ = [
+    "BackendComparison",
+    "CompareReport",
+    "build_compare",
     "render_text_table",
     "table1_rows",
     "render_table1",
     "Table2Data",
-    "build_table2",
     "render_table2",
-    "build_table3",
     "render_table3",
     "render_control_sequence",
     "render_layout_ascii",

@@ -1,0 +1,241 @@
+"""Cross-technology comparison pipeline (``repro compare``).
+
+Runs the paper's characterisation stack once per registered NV backend —
+Table II latch metrics, Table III system accounting with the backend's
+own cell costs, a restore-failure campaign, and the store write-error
+analysis — and collects the results into one :class:`CompareReport`:
+a table with one column per technology and one row per figure of merit
+(backup energy/latency, restore margin, WER, read energy/delay,
+leakage, system-level improvements).
+
+The MTJ column reproduces the paper's numbers; the NAND-SPIN column
+(arXiv:1912.06986's shared-heavy-metal, erase-before-program array cell)
+quantifies what the flip-flop gains from SOT-assisted backup: a longer
+fixed erase+program backup, but a far stronger single-junction STT
+program drive and hence a much lower write-error rate at equal pulse
+width.
+
+``quick=True`` (the CI ``compare-smoke`` configuration) restricts the
+sweep to the typical corner, the coarse fault-analysis timestep, a small
+benchmark subset and a handful of campaign samples — enough to exercise
+every backend code path end-to-end in minutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import AnalysisError
+from repro.serialize import Serializable
+
+#: Quick-mode knobs (CI smoke).
+QUICK_CORNERS = ("typical",)
+QUICK_DT = 4e-12
+QUICK_SAMPLES = 4
+QUICK_BENCHMARKS = ("s344",)
+
+#: Full-run knobs (the paper-grade sweep).
+FULL_DT = 1e-12
+FULL_SAMPLES = 50
+
+
+@dataclass
+class BackendComparison(Serializable):
+    """One technology's column of the comparison table (SI units)."""
+
+    SCHEMA_NAME = "BackendComparison"
+    SCHEMA_VERSION = 1
+
+    backend: str
+    #: Proposed 2-bit cell, typical corner.
+    read_energy: float
+    read_delay: float
+    leakage: float
+    #: Backup (store) of the proposed cell: energy and latency of the
+    #: full sequence — for NAND-SPIN that includes the SOT bulk erase.
+    backup_energy: float
+    backup_latency: float
+    #: Mean signed restore margin (fraction of VDD) and wrong-read rate
+    #: from the fault-free restore campaign of the standard cell.
+    restore_margin: float
+    restore_failure_rate: float
+    #: Store write-error rate of the standard cell's bit.
+    write_error_rate: float
+    #: Table III averages (fractional) under this backend's cell costs.
+    area_improvement: float
+    energy_improvement: float
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "read_energy": self.read_energy,
+            "read_delay": self.read_delay,
+            "leakage": self.leakage,
+            "backup_energy": self.backup_energy,
+            "backup_latency": self.backup_latency,
+            "restore_margin": self.restore_margin,
+            "restore_failure_rate": self.restore_failure_rate,
+            "write_error_rate": self.write_error_rate,
+            "area_improvement": self.area_improvement,
+            "energy_improvement": self.energy_improvement,
+        }
+
+    @classmethod
+    def from_payload(cls, data: Dict[str, Any]) -> "BackendComparison":
+        try:
+            return cls(
+                backend=str(data["backend"]),
+                read_energy=float(data["read_energy"]),
+                read_delay=float(data["read_delay"]),
+                leakage=float(data["leakage"]),
+                backup_energy=float(data["backup_energy"]),
+                backup_latency=float(data["backup_latency"]),
+                restore_margin=float(data["restore_margin"]),
+                restore_failure_rate=float(data["restore_failure_rate"]),
+                write_error_rate=float(data["write_error_rate"]),
+                area_improvement=float(data["area_improvement"]),
+                energy_improvement=float(data["energy_improvement"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise AnalysisError(
+                f"malformed BackendComparison record {data!r}: {exc}"
+            ) from exc
+
+
+@dataclass
+class CompareReport(Serializable):
+    """The full cross-technology comparison."""
+
+    SCHEMA_NAME = "CompareReport"
+    SCHEMA_VERSION = 1
+
+    rows: List[BackendComparison]
+    quick: bool = False
+
+    def payload(self) -> Dict[str, Any]:
+        return {"quick": self.quick,
+                "rows": [row.to_json() for row in self.rows]}
+
+    @classmethod
+    def from_payload(cls, data: Dict[str, Any]) -> "CompareReport":
+        try:
+            return cls(
+                rows=[BackendComparison.from_json(r) for r in data["rows"]],
+                quick=bool(data.get("quick", False)),
+            )
+        except (KeyError, TypeError) as exc:
+            raise AnalysisError(
+                f"malformed CompareReport record {data!r}: {exc}") from exc
+
+    def row(self, backend: str) -> BackendComparison:
+        for row in self.rows:
+            if row.backend == backend:
+                return row
+        raise AnalysisError(
+            f"no comparison row for backend {backend!r}; have "
+            f"{[r.backend for r in self.rows]}")
+
+    def render(self) -> str:
+        """Text table: one column per technology."""
+        from repro.analysis.tables import render_text_table
+
+        specs = [
+            ("Read energy [fJ, 2-bit]", "read_energy", 1e15, ".3f"),
+            ("Read delay [ps]", "read_delay", 1e12, ".1f"),
+            ("Leakage [pW]", "leakage", 1e12, ".1f"),
+            ("Backup energy [fJ]", "backup_energy", 1e15, ".1f"),
+            ("Backup latency [ns]", "backup_latency", 1e9, ".3f"),
+            ("Restore margin [VDD]", "restore_margin", 1.0, "+.3f"),
+            ("Restore failure rate", "restore_failure_rate", 1.0, ".3f"),
+            ("Store WER (1-bit)", "write_error_rate", 1.0, ".3g"),
+            ("Area improvement [%]", "area_improvement", 100.0, ".2f"),
+            ("Energy improvement [%]", "energy_improvement", 100.0, ".2f"),
+        ]
+        table_rows = []
+        for label, attr, scale, fmt in specs:
+            table_rows.append(
+                (label,) + tuple(format(getattr(row, attr) * scale, fmt)
+                                 for row in self.rows))
+        mode = "quick" if self.quick else "full"
+        return render_text_table(
+            ("Metric",) + tuple(row.backend for row in self.rows),
+            table_rows,
+            title=f"Cross-technology NV backend comparison ({mode})",
+        )
+
+
+def _compare_one(
+    backend: Any,
+    quick: bool,
+    benchmarks: Optional[Sequence[str]],
+    samples: Optional[int],
+    dt: Optional[float],
+    workers: Optional[int],
+) -> BackendComparison:
+    from repro.analysis.tables import _build_table2, _build_table3
+    from repro.faults.analyses import (
+        FAULTS_DT,
+        _restore_failure_rate,
+        store_write_error_rates,
+    )
+    from repro.nv.base import get_backend
+    from repro.spice.corners import CORNER_ORDER
+
+    nv = get_backend(backend)
+    corners = QUICK_CORNERS if quick else CORNER_ORDER
+    dt = dt if dt is not None else (QUICK_DT if quick else FULL_DT)
+    samples = samples if samples is not None else (
+        QUICK_SAMPLES if quick else FULL_SAMPLES)
+    if benchmarks is None and quick:
+        benchmarks = QUICK_BENCHMARKS
+
+    table2 = _build_table2(corners=corners, dt=dt, include_write=True,
+                           workers=workers, backend=nv)
+    prop = table2.proposed["typical"]
+
+    table3 = _build_table3(benchmarks=benchmarks, workers=workers,
+                           backend=nv)
+    area_impr = (sum(r.area_improvement for r, _ in table3) / len(table3)
+                 if table3 else float("nan"))
+    energy_impr = (sum(r.energy_improvement for r, _ in table3) / len(table3)
+                   if table3 else float("nan"))
+
+    campaign = _restore_failure_rate("standard", (), samples=samples,
+                                     dt=FAULTS_DT, workers=workers,
+                                     backend=nv)
+    wer = store_write_error_rates("standard", backend=nv, dt=FAULTS_DT)
+
+    return BackendComparison(
+        backend=nv.name,
+        read_energy=prop.read_energy,
+        read_delay=prop.read_delay,
+        leakage=prop.leakage,
+        backup_energy=prop.write_energy,
+        backup_latency=prop.write_latency,
+        restore_margin=campaign.mean_margin,
+        restore_failure_rate=campaign.failure_rate,
+        write_error_rate=wer["bit"],
+        area_improvement=area_impr,
+        energy_improvement=energy_impr,
+    )
+
+
+def build_compare(
+    backends: Optional[Sequence[Any]] = None,
+    quick: bool = False,
+    benchmarks: Optional[Sequence[str]] = None,
+    samples: Optional[int] = None,
+    dt: Optional[float] = None,
+    workers: Optional[int] = None,
+) -> CompareReport:
+    """Run the comparison pipeline over ``backends`` (default: every
+    registered backend, in registration order — MTJ first)."""
+    from repro.nv.base import list_backends
+
+    names = list(backends) if backends else list_backends()
+    if not names:
+        raise AnalysisError("no NV backends registered to compare")
+    rows = [_compare_one(name, quick, benchmarks, samples, dt, workers)
+            for name in names]
+    return CompareReport(rows=rows, quick=quick)

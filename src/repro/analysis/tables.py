@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cells.characterize import (
     LatchMetrics,
@@ -110,6 +110,8 @@ class Table2Data:
 
     standard: Dict[str, LatchMetrics] = field(default_factory=dict)
     proposed: Dict[str, LatchMetrics] = field(default_factory=dict)
+    #: NV backend the characterisation ran against.
+    backend: str = "mtj"
 
     def _column(self, design: str, metric: str, how: str) -> float:
         metrics = self.standard if design == "standard" else self.proposed
@@ -136,11 +138,15 @@ def _characterize_both(
     sizing: LatchSizing,
     dt: float,
     include_write: bool,
+    backend: str = "mtj",
 ) -> Tuple[LatchMetrics, LatchMetrics]:
-    """Worker: (standard, proposed) metrics at one corner (picklable)."""
+    """Worker: (standard, proposed) metrics at one corner (picklable —
+    the backend travels by registry name)."""
     return (
-        characterize_standard(corner, sizing, dt=dt, include_write=include_write),
-        characterize_proposed(corner, sizing, dt=dt, include_write=include_write),
+        characterize_standard(corner, sizing, dt=dt,
+                              include_write=include_write, backend=backend),
+        characterize_proposed(corner, sizing, dt=dt,
+                              include_write=include_write, backend=backend),
     )
 
 
@@ -150,38 +156,25 @@ def _build_table2(
     dt: float = 1e-12,
     include_write: bool = True,
     workers: Optional[int] = None,
+    backend: Any = "mtj",
 ) -> Table2Data:
     """Characterise both designs at every process corner (runs the full
     transient simulations — the corners run in parallel through
-    :func:`repro.spice.corners._sweep_corners`)."""
+    :func:`repro.spice.corners._sweep_corners`).  ``backend`` selects the
+    NV storage technology (see :mod:`repro.nv`)."""
+    from repro.nv.base import get_backend
+
+    nv = get_backend(backend)
     both = _sweep_corners(
         partial(_characterize_both, sizing=sizing, dt=dt,
-                include_write=include_write),
+                include_write=include_write, backend=nv.name),
         corners=corners, workers=workers,
     )
-    data = Table2Data()
+    data = Table2Data(backend=nv.name)
     for corner_name, (standard, proposed) in both.items():
         data.standard[corner_name] = standard
         data.proposed[corner_name] = proposed
     return data
-
-
-def build_table2(
-    sizing: LatchSizing = DEFAULT_SIZING,
-    corners: Sequence[str] = CORNER_ORDER,
-    dt: float = 1e-12,
-    include_write: bool = True,
-    workers: Optional[int] = None,
-) -> Table2Data:
-    """Deprecated free-function entry point; use
-    ``repro.api.Session(...).table2(...)`` instead."""
-    import warnings
-
-    warnings.warn(
-        "build_table2() is deprecated; use repro.api.Session(...).table2()",
-        DeprecationWarning, stacklevel=2)
-    return _build_table2(sizing=sizing, corners=corners, dt=dt,
-                         include_write=include_write, workers=workers)
 
 
 def render_table2(data: Table2Data) -> str:
@@ -231,30 +224,25 @@ def _build_table3(
     benchmarks: Optional[Sequence[str]] = None,
     config: Optional[FlowConfig] = None,
     workers: Optional[int] = None,
+    backend: Any = "mtj",
 ) -> List[Tuple[SystemResult, int]]:
     """Run the system flow per benchmark (benchmarks in parallel through
     :func:`repro.core.evaluate.evaluate_benchmarks`); returns (our result,
-    paper pair count) tuples in benchmark order."""
+    paper pair count) tuples in benchmark order.
+
+    With no explicit ``config``, the cell-level costs come from the
+    selected backend's :meth:`~repro.nv.base.NVBackend.cell_costs`; a
+    caller-supplied ``config`` wins outright (its ``costs`` already pin
+    the technology).
+    """
+    if config is None:
+        from repro.nv.base import get_backend
+
+        config = FlowConfig(costs=get_backend(backend).cell_costs())
     names = list(benchmarks) if benchmarks else list(BENCHMARKS)
     results = evaluate_benchmarks(names, config=config, workers=workers)
     return [(result, BENCHMARKS[name].paper_merged_pairs)
             for name, result in zip(names, results)]
-
-
-def build_table3(
-    benchmarks: Optional[Sequence[str]] = None,
-    config: Optional[FlowConfig] = None,
-    workers: Optional[int] = None,
-) -> List[Tuple[SystemResult, int]]:
-    """Deprecated free-function entry point; use
-    ``repro.api.Session(...).table3(...)`` instead."""
-    import warnings
-
-    warnings.warn(
-        "build_table3() is deprecated; use repro.api.Session(...).table3()",
-        DeprecationWarning, stacklevel=2)
-    return _build_table3(benchmarks=benchmarks, config=config,
-                         workers=workers)
 
 
 def render_table3(results: Sequence[Tuple[SystemResult, int]]) -> str:

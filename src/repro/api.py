@@ -1,14 +1,7 @@
-"""Unified session facade: one object that owns the cross-cutting
-configuration every flow used to thread by hand.
+"""Unified session facade — the single documented entry point for the
+high-level reproduction flows.
 
-Before::
-
-    set_default_engine("fast")
-    data = build_table2(workers=4)                       # deprecated
-    rows = build_table3(["s344"], workers=4)             # deprecated
-    outcome = restore_failure_rate("standard", [], workers=4)  # deprecated
-
-After::
+::
 
     from repro.api import Session
 
@@ -16,12 +9,14 @@ After::
         data = session.table2()
         rows = session.table3(["s344"])
         outcome = session.campaign("standard", [])
+        report = session.compare(quick=True)     # mtj vs nandspin
 
 A :class:`Session` binds, once:
 
 * ``cache`` — a result-cache directory (:mod:`repro.cache`); analyses
   run inside the session hit the persistent store automatically.
-* ``engine`` — the solver engine (``"fast"``/``"naive"``), applied via
+* ``engine`` — the solver engine (``"fast"``/``"naive"``/``"sparse"``),
+  applied via
   :func:`~repro.spice.analysis.transient.set_default_engine` so it
   reaches every transient without threading ``engine=`` through five
   layers.
@@ -33,17 +28,38 @@ A :class:`Session` binds, once:
 Settings apply on construction and are restored by :meth:`close` (or
 leaving the ``with`` block): the previous default engine comes back, the
 cache is deactivated if this session activated it, tracing is stopped if
-this session started it.  The old free functions keep working as thin
-wrappers that emit :class:`DeprecationWarning` naming the replacement.
+this session started it.
+
+Every flow method speaks the canonical parameter vocabulary of
+:mod:`repro.flow_params` — the same ``backend=``, ``engine=``,
+``design=`` keywords the service registry and ``repro submit --param``
+accept, validated by the same code path.  A per-call ``engine=``
+overrides the session's engine for that flow only.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Sequence
+import contextlib
+from typing import Any, Dict, Iterator, Optional, Sequence
 
 from repro.errors import AnalysisError
 
 __all__ = ["Session"]
+
+
+@contextlib.contextmanager
+def _engine_override(engine: Optional[str]) -> Iterator[None]:
+    """Temporarily switch the default solver engine (no-op on None)."""
+    if engine is None:
+        yield
+        return
+    from repro.spice.analysis.transient import set_default_engine
+
+    previous = set_default_engine(engine)
+    try:
+        yield
+    finally:
+        set_default_engine(previous)
 
 
 class Session:
@@ -141,48 +157,80 @@ class Session:
 
     # -- flows -------------------------------------------------------------
 
-    def table2(self, workers: Optional[int] = None, **kwargs: Any):
+    def table2(self, workers: Optional[int] = None,
+               engine: Optional[str] = None, **kwargs: Any):
         """Paper Table II: characterise both latch designs across process
-        corners.  Accepts the keyword arguments of the underlying builder
-        (``sizing=``, ``corners=``, ``dt=``, ``include_write=``)."""
+        corners.  Canonical kwargs (:mod:`repro.flow_params`):
+        ``backend=``, ``sizing=``, ``corners=``, ``dt=``,
+        ``include_write=``."""
         from repro.analysis.tables import _build_table2
+        from repro.flow_params import validate_flow_params
 
+        validate_flow_params("table2", kwargs)
         self._check_open()
-        return _build_table2(workers=self._workers(workers), **kwargs)
+        with _engine_override(engine):
+            return _build_table2(workers=self._workers(workers), **kwargs)
 
     def table3(self, benchmarks: Optional[Sequence[str]] = None,
-               workers: Optional[int] = None, **kwargs: Any):
-        """Paper Table III: the per-benchmark system flow
-        (``config=`` forwarded to the underlying builder)."""
+               workers: Optional[int] = None,
+               engine: Optional[str] = None, **kwargs: Any):
+        """Paper Table III: the per-benchmark system flow.  Canonical
+        kwargs: ``backend=`` (selects the cell costs), ``config=``."""
         from repro.analysis.tables import _build_table3
+        from repro.flow_params import validate_flow_params
 
+        validate_flow_params("table3", kwargs)
         self._check_open()
-        return _build_table3(benchmarks=benchmarks,
-                             workers=self._workers(workers), **kwargs)
+        with _engine_override(engine):
+            return _build_table3(benchmarks=benchmarks,
+                                 workers=self._workers(workers), **kwargs)
 
     def campaign(self, design: str, specs: Sequence[Any] = (),
-                 workers: Optional[int] = None, **kwargs: Any):
+                 workers: Optional[int] = None,
+                 engine: Optional[str] = None, **kwargs: Any):
         """Monte-Carlo restore-failure campaign of one latch design under
-        a fault-spec list (``samples=``, ``seed=``, ``vdd=``, ``dt=``,
-        ``timeout=``, ``retries=``, ``checkpoint=`` forwarded)."""
+        a fault-spec list.  Canonical kwargs: ``backend=``, ``samples=``,
+        ``seed=``, ``vdd=``, ``dt=``, ``timeout=``, ``retries=``,
+        ``checkpoint=``, ``forensics_dir=``."""
         from repro.faults.analyses import _restore_failure_rate
+        from repro.flow_params import validate_flow_params
 
+        validate_flow_params("campaign", kwargs)
         self._check_open()
-        return _restore_failure_rate(design, specs,
-                                     workers=self._workers(workers),
-                                     **kwargs)
+        with _engine_override(engine):
+            return _restore_failure_rate(design, specs,
+                                         workers=self._workers(workers),
+                                         **kwargs)
 
     def sweep(self, fn: Any, corners: Optional[Sequence[str]] = None,
-              workers: Optional[int] = None) -> Dict[str, Any]:
+              workers: Optional[int] = None,
+              engine: Optional[str] = None) -> Dict[str, Any]:
         """Evaluate a picklable ``fn(corner)`` at every named process
         corner (defaults to the canonical three), deduplicating repeated
         corners."""
         from repro.spice.corners import CORNER_ORDER, _sweep_corners
 
         self._check_open()
-        return _sweep_corners(
-            fn, corners=CORNER_ORDER if corners is None else corners,
-            workers=self._workers(workers))
+        with _engine_override(engine):
+            return _sweep_corners(
+                fn, corners=CORNER_ORDER if corners is None else corners,
+                workers=self._workers(workers))
+
+    def compare(self, backends: Optional[Sequence[Any]] = None,
+                workers: Optional[int] = None,
+                engine: Optional[str] = None, **kwargs: Any):
+        """Cross-technology comparison: run the Table II/III metrics and
+        a reliability campaign per NV backend and collect them into a
+        :class:`~repro.analysis.compare.CompareReport`.  Canonical
+        kwargs: ``quick=``, ``benchmarks=``, ``samples=``, ``dt=``."""
+        from repro.analysis.compare import build_compare
+        from repro.flow_params import validate_flow_params
+
+        validate_flow_params("compare", kwargs)
+        self._check_open()
+        with _engine_override(engine):
+            return build_compare(backends=backends,
+                                 workers=self._workers(workers), **kwargs)
 
     # -- cache -------------------------------------------------------------
 

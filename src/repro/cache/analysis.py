@@ -55,49 +55,26 @@ def _metrics():
 
 
 # ---------------------------------------------------------------------------
-# MTJ end-state capture / restore
+# Storage end-state capture / restore
 # ---------------------------------------------------------------------------
 
 
 def _capture_mtj_state(circuit) -> List[Dict[str, Any]]:
-    """Per-MTJ end state after a transient, in netlist order."""
-    from repro.spice.devices.mtj_element import MTJElement
+    """Per-storage-device end state after a transient, in netlist order.
 
-    records: List[Dict[str, Any]] = []
-    for device in circuit.devices:
-        if not isinstance(device, MTJElement):
-            continue
-        record: Dict[str, Any] = {
-            "name": device.name,
-            "state": device.device.state.value,
-        }
-        if device.switching is not None:
-            record["progress"] = device.switching.progress
-            record["events"] = [
-                {"time": e.time, "state": e.new_state.value,
-                 "current": e.current}
-                for e in device.switching.events
-            ]
-        records.append(record)
-    return records
+    Delegates to the NV-backend layer, which knows every technology's
+    device state (MTJ magnetisation + STT progress/events, and the SOT
+    record for NAND-SPIN junctions)."""
+    from repro.nv.base import capture_storage_state
+
+    return capture_storage_state(circuit)
 
 
 def _restore_mtj_state(circuit, records: List[Dict[str, Any]]) -> None:
-    """Write captured MTJ end state back into the caller's circuit."""
-    from repro.mtj.device import MTJState
-    from repro.mtj.dynamics import SwitchingEvent
+    """Write captured storage end state back into the caller's circuit."""
+    from repro.nv.base import hydrate_storage_state
 
-    for record in records:
-        device = circuit.device(record["name"])
-        device.device.state = MTJState(record["state"])
-        if device.switching is not None:
-            device.switching.progress = float(record.get("progress", 0.0))
-            device.switching.events = [
-                SwitchingEvent(time=float(e["time"]),
-                               new_state=MTJState(e["state"]),
-                               current=float(e["current"]))
-                for e in record.get("events", [])
-            ]
+    hydrate_storage_state(circuit, records)
 
 
 # ---------------------------------------------------------------------------

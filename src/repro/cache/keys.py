@@ -34,9 +34,11 @@ from repro.errors import CacheError
 from repro.mtj.device import MTJDevice, MTJState
 from repro.mtj.dynamics import SwitchingModel
 from repro.mtj.parameters import MTJParameters
+from repro.mtj.sot import SOTSwitchingModel
 from repro.serialize import stable_digest
 from repro.spice.devices.mosfet import MOSFET, MOSFETModel
 from repro.spice.devices.mtj_element import MTJElement
+from repro.spice.devices.sot_element import NandSpinJunction
 from repro.spice.devices.passive import Capacitor, Resistor
 from repro.spice.devices.sources import CurrentSource, VoltageSource
 from repro.spice.netlist import Circuit
@@ -135,6 +137,28 @@ def _device_fingerprint(device: Any) -> Dict[str, Any]:
             fp["switching"] = {
                 "dynamic_charge": device.switching.dynamic_charge}
         return fp
+    if type(device) is NandSpinJunction:
+        fp = {
+            "type": "nandspin", "name": device.name,
+            "nodes": [device.free, device.ref],
+            "hm_nodes": [device.hm_left, device.hm_right],
+            "hm_conductance": device.hm_conductance,
+            "initial_state": device._initial_state.value,
+            "params": {f: getattr(device.device.params, f)
+                       for f in _MTJ_PARAM_FIELDS},
+        }
+        if device.switching is None:
+            fp["switching"] = None
+        else:
+            fp["switching"] = {
+                "dynamic_charge": device.switching.dynamic_charge}
+        if device.sot is None:
+            fp["sot"] = None
+        else:
+            fp["sot"] = {
+                "critical_current": device.sot.critical_current,
+                "dynamic_charge": device.sot.dynamic_charge}
+        return fp
     raise CacheError(
         f"device type {type(device).__name__} has no cache fingerprint")
 
@@ -149,6 +173,9 @@ def circuit_fingerprint(circuit: Circuit) -> Dict[str, Any]:
     return {
         "name": circuit.name,
         "nodes": circuit.node_names,
+        # NV-backend identity (set by the latch builders): two backends —
+        # or two parameterisations of one — never share cache entries.
+        "nv_backend": getattr(circuit, "nv_backend_fingerprint", None),
         "devices": [_device_fingerprint(d) for d in circuit.devices],
     }
 
@@ -209,10 +236,34 @@ def rebuild_circuit(fingerprint: Dict[str, Any]) -> Circuit:
                         dynamic_charge=float(
                             fp["switching"]["dynamic_charge"]))
                 device = element
+            elif kind == "nandspin":
+                params = MTJParameters(**{f: fp["params"][f]
+                                          for f in _MTJ_PARAM_FIELDS})
+                mtj_device = MTJDevice(
+                    params=params,
+                    state=MTJState(fp["initial_state"]))
+                hm_nodes = [int(n) for n in fp["hm_nodes"]]
+                junction = NandSpinJunction(
+                    free=nodes[0], ref=nodes[1], device=mtj_device,
+                    name=name, hm_left=hm_nodes[0], hm_right=hm_nodes[1],
+                    hm_conductance=float(fp["hm_conductance"]))
+                if fp["switching"] is not None:
+                    junction.switching = SwitchingModel(
+                        device=mtj_device,
+                        dynamic_charge=float(
+                            fp["switching"]["dynamic_charge"]))
+                if fp["sot"] is not None:
+                    junction.sot = SOTSwitchingModel(
+                        device=mtj_device,
+                        dynamic_charge=float(fp["sot"]["dynamic_charge"]),
+                        critical_current=float(
+                            fp["sot"]["critical_current"]))
+                device = junction
             else:
                 raise CacheError(f"unknown device kind {kind!r} in cache "
                                  f"request")
             circuit._register(device, name)
+        circuit.nv_backend_fingerprint = fingerprint.get("nv_backend")
         circuit.finalize()
         return circuit
     except CacheError:

@@ -23,18 +23,14 @@ within 20 % of the programmed rail, for every bit pattern simulated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
-from repro.cells.control import (
-    proposed_restore_schedule,
-    proposed_store_schedule,
-    standard_restore_schedule,
-    standard_store_schedule,
-)
+from repro.cells.control import proposed_restore_schedule
 from repro.cells.nvlatch_1bit import StandardNVLatch, build_standard_latch
 from repro.cells.nvlatch_2bit import ProposedNVLatch, build_proposed_latch
 from repro.cells.sizing import DEFAULT_SIZING, LatchSizing
 from repro.errors import AnalysisError
+from repro.nv.base import get_backend, storage_events
 from repro.obs import span as _obs_span
 from repro.spice.analysis.dc import solve_dc
 from repro.spice.analysis.measure import crossing_time, integrate_supply_energy
@@ -116,6 +112,7 @@ def leakage_power(
     sizing: LatchSizing = DEFAULT_SIZING,
     vdd: float = 1.1,
     build=None,
+    backend: Any = "mtj",
 ) -> float:
     """Idle DC supply power [W] of one latch (controls at idle levels).
 
@@ -127,17 +124,18 @@ def leakage_power(
     one for ``design``) — the hook used by fault injection
     (:func:`repro.faults.inject.faulty_builder`).
     """
+    nv = get_backend(backend)
     with _obs_span("characterize.leakage", category="characterize",
                    attrs={"design": design, "corner": corner.name}):
         if design == "standard":
             latch = (build or build_standard_latch)(None, corner, sizing,
-                                                    vdd=vdd)
+                                                    vdd=vdd, backend=nv)
             seed = {"vdd": vdd, latch.out: vdd, latch.outb: vdd}
             dc = solve_dc(latch.circuit, initial_guess=seed)
             return dc.supply_power(latch.vdd_source)
         if design == "proposed":
             latch2 = (build or build_proposed_latch)(None, corner, sizing,
-                                                     vdd=vdd)
+                                                     vdd=vdd, backend=nv)
             dc = solve_dc(latch2.circuit, initial_guess={"vdd": vdd})
             return dc.supply_power(latch2.vdd_source)
         raise AnalysisError(f"unknown design {design!r}")
@@ -150,10 +148,13 @@ def leakage_power(
 
 def _standard_read(
     bit: int, corner: SimulationCorner, sizing: LatchSizing, vdd: float,
-    dt: float, build=build_standard_latch,
+    dt: float, build=build_standard_latch, backend: Any = "mtj",
 ) -> Tuple[float, float, bool, StandardNVLatch, TransientResult]:
-    schedule = standard_restore_schedule(bit=bit, vdd=vdd, cycles=READ_CYCLES)
-    latch = build(schedule, corner, sizing, stored_bit=bit, vdd=vdd)
+    nv = get_backend(backend)
+    schedule = nv.restore_schedule("standard", bit=bit, vdd=vdd,
+                                   cycles=READ_CYCLES)
+    latch = build(schedule, corner, sizing, stored_bit=bit, vdd=vdd,
+                  backend=nv)
     with _obs_span("characterize.read", category="characterize",
                    attrs={"design": "standard", "bit": bit,
                           "corner": corner.name}):
@@ -172,11 +173,13 @@ def _standard_read(
 
 def _standard_write(
     bit: int, corner: SimulationCorner, sizing: LatchSizing, vdd: float,
-    dt: float, build=build_standard_latch,
+    dt: float, build=build_standard_latch, backend: Any = "mtj",
 ) -> Tuple[float, float, bool]:
-    schedule = standard_store_schedule(bit=bit, vdd=vdd)
+    nv = get_backend(backend)
+    schedule = nv.store_schedule("standard", bit=bit, vdd=vdd)
     # Start from the opposite data so both junctions must actually switch.
-    latch = build(schedule, corner, sizing, stored_bit=1 - bit, vdd=vdd)
+    latch = build(schedule, corner, sizing, stored_bit=1 - bit, vdd=vdd,
+                  backend=nv)
     with _obs_span("characterize.write", category="characterize",
                    attrs={"design": "standard", "bit": bit,
                           "corner": corner.name}):
@@ -187,8 +190,7 @@ def _standard_write(
                                      schedule.markers["energy_window_end"])
     events = []
     for mtj in (latch.mtj1, latch.mtj2):
-        if mtj.switching is not None:
-            events.extend(mtj.switching.events)
+        events.extend(storage_events(mtj))
     stored = latch.stored_bit()
     ok = stored == bit and len(events) >= 2
     write_start = schedule.markers["write_start"]
@@ -204,36 +206,40 @@ def characterize_standard(
     bits: Sequence[int] = (0, 1),
     include_write: bool = True,
     build=build_standard_latch,
+    backend: Any = "mtj",
 ) -> LatchMetrics:
     """Characterise one standard 1-bit latch (both data polarities).
 
     ``build`` substitutes the cell builder (same signature as
     :func:`~repro.cells.nvlatch_1bit.build_standard_latch`) — the hook
     fault injection uses to characterise a faulty cell with the exact
-    same measurement flow as the nominal one.
+    same measurement flow as the nominal one.  ``backend`` selects the
+    NV storage technology and its store/restore sequencing.
     """
+    nv = get_backend(backend)
     with _obs_span("characterize.standard", category="characterize",
-                   attrs={"corner": corner.name,
+                   attrs={"corner": corner.name, "backend": nv.name,
                           "include_write": include_write}):
         energies: List[float] = []
         delays: List[float] = []
         all_ok = True
         for bit in bits:
             energy, delay, ok, _latch, _res = _standard_read(
-                bit, corner, sizing, vdd, dt, build=build)
+                bit, corner, sizing, vdd, dt, build=build, backend=nv)
             energies.append(energy)
             delays.append(delay)
             all_ok = all_ok and ok
 
         if include_write:
             write_energy, write_latency, write_ok = _standard_write(
-                1, corner, sizing, vdd, dt, build=build)
+                1, corner, sizing, vdd, dt, build=build, backend=nv)
             all_ok = all_ok and write_ok
         else:
             write_energy, write_latency = float("nan"), float("nan")
 
-        leak = leakage_power("standard", corner, sizing, vdd, build=build)
-        probe = build(None, corner, sizing, vdd=vdd)
+        leak = leakage_power("standard", corner, sizing, vdd, build=build,
+                             backend=nv)
+        probe = build(None, corner, sizing, vdd=vdd, backend=nv)
         return LatchMetrics(
             design="standard-1bit",
             corner=corner.name,
@@ -256,11 +262,14 @@ def characterize_standard(
 def _proposed_read(
     bits: Tuple[int, int], corner: SimulationCorner, sizing: LatchSizing,
     vdd: float, dt: float, simplified: bool = True,
-    build=build_proposed_latch,
+    build=build_proposed_latch, backend: Any = "mtj",
 ) -> Tuple[float, Tuple[float, float], bool, ProposedNVLatch, TransientResult]:
-    schedule = proposed_restore_schedule(bits=bits, simplified=simplified,
-                                         vdd=vdd, cycles=READ_CYCLES)
-    latch = build(schedule, corner, sizing, stored_bits=bits, vdd=vdd)
+    nv = get_backend(backend)
+    schedule = nv.restore_schedule("proposed", bits=bits,
+                                   simplified=simplified, vdd=vdd,
+                                   cycles=READ_CYCLES)
+    latch = build(schedule, corner, sizing, stored_bits=bits, vdd=vdd,
+                  backend=nv)
     with _obs_span("characterize.read", category="characterize",
                    attrs={"design": "proposed", "bits": list(bits),
                           "corner": corner.name}):
@@ -283,11 +292,13 @@ def _proposed_read(
 
 def _proposed_write(
     bits: Tuple[int, int], corner: SimulationCorner, sizing: LatchSizing,
-    vdd: float, dt: float, build=build_proposed_latch,
+    vdd: float, dt: float, build=build_proposed_latch, backend: Any = "mtj",
 ) -> Tuple[float, float, bool]:
-    schedule = proposed_store_schedule(bits=bits, vdd=vdd)
+    nv = get_backend(backend)
+    schedule = nv.store_schedule("proposed", bits=bits, vdd=vdd)
     opposite = (1 - bits[0], 1 - bits[1])
-    latch = build(schedule, corner, sizing, stored_bits=opposite, vdd=vdd)
+    latch = build(schedule, corner, sizing, stored_bits=opposite, vdd=vdd,
+                  backend=nv)
     with _obs_span("characterize.write", category="characterize",
                    attrs={"design": "proposed", "bits": list(bits),
                           "corner": corner.name}):
@@ -298,8 +309,7 @@ def _proposed_write(
                                      schedule.markers["energy_window_end"])
     events = []
     for mtj in (latch.mtj1, latch.mtj2, latch.mtj3, latch.mtj4):
-        if mtj.switching is not None:
-            events.extend(mtj.switching.events)
+        events.extend(storage_events(mtj))
     ok = latch.stored_bits() == bits and len(events) >= 4
     latency = max((e.time for e in events), default=float("nan")) \
         - schedule.markers["write_start"]
@@ -315,15 +325,17 @@ def characterize_proposed(
     include_write: bool = True,
     simplified_control: bool = True,
     build=build_proposed_latch,
+    backend: Any = "mtj",
 ) -> LatchMetrics:
     """Characterise the proposed 2-bit latch over the given bit patterns.
 
     ``build`` substitutes the cell builder (same signature as
     :func:`~repro.cells.nvlatch_2bit.build_proposed_latch`) — the fault
-    -injection hook.
+    -injection hook.  ``backend`` selects the NV storage technology.
     """
+    nv = get_backend(backend)
     with _obs_span("characterize.proposed", category="characterize",
-                   attrs={"corner": corner.name,
+                   attrs={"corner": corner.name, "backend": nv.name,
                           "include_write": include_write}):
         energies: List[float] = []
         totals: List[float] = []
@@ -331,7 +343,8 @@ def characterize_proposed(
         all_ok = True
         for bits in bit_patterns:
             energy, (d_low, d_high), ok, _latch, _res = _proposed_read(
-                bits, corner, sizing, vdd, dt, simplified_control, build=build)
+                bits, corner, sizing, vdd, dt, simplified_control,
+                build=build, backend=nv)
             energies.append(energy)
             totals.append(d_low + d_high)
             per_bit.extend((d_low, d_high))
@@ -339,13 +352,14 @@ def characterize_proposed(
 
         if include_write:
             write_energy, write_latency, write_ok = _proposed_write(
-                (1, 0), corner, sizing, vdd, dt, build=build)
+                (1, 0), corner, sizing, vdd, dt, build=build, backend=nv)
             all_ok = all_ok and write_ok
         else:
             write_energy, write_latency = float("nan"), float("nan")
 
-        leak = leakage_power("proposed", corner, sizing, vdd, build=build)
-        probe = build(None, corner, sizing, vdd=vdd)
+        leak = leakage_power("proposed", corner, sizing, vdd, build=build,
+                             backend=nv)
+        probe = build(None, corner, sizing, vdd=vdd, backend=nv)
         return LatchMetrics(
             design="proposed-2bit",
             corner=corner.name,

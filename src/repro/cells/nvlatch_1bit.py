@@ -23,13 +23,14 @@ restore, ``out`` carries the stored bit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.cells.control import ControlSchedule
-from repro.cells.primitives import add_transmission_gate, add_tristate_inverter
+from repro.cells.primitives import add_transmission_gate
 from repro.cells.sizing import DEFAULT_SIZING, LatchSizing
 from repro.mtj.device import MTJState
 from repro.mtj.parameters import MTJParameters, PAPER_TABLE_I
+from repro.nv.base import CellContext, NVBackend, PairSpec, get_backend
 from repro.spice.corners import CORNERS, SimulationCorner
 from repro.spice.devices.mtj_element import MTJElement
 from repro.spice.netlist import GROUND, Circuit
@@ -51,6 +52,8 @@ class StandardNVLatch:
     mtj1: MTJElement
     mtj2: MTJElement
     schedule: Optional[ControlSchedule]
+    #: NV technology the storage devices belong to.
+    backend: Optional[NVBackend] = None
 
     def program(self, bit: int) -> None:
         """Force the stored bit directly into the MTJ pair (the electrical
@@ -86,13 +89,19 @@ def build_standard_latch(
     vdd: float = 1.1,
     vdd_waveform: Optional["Waveform"] = None,
     name: str = "std1b",
+    backend: Any = "mtj",
 ) -> StandardNVLatch:
     """Build the standard 1-bit NV latch.
 
     ``schedule`` supplies the control waveforms (see
     :mod:`repro.cells.control`); without one, all controls sit at their
     idle levels — the configuration used for leakage analysis.
+
+    ``backend`` selects the NV storage technology (a registered name or
+    an :class:`~repro.nv.NVBackend` instance); the sense amplifier and
+    read path are technology-agnostic.
     """
+    nv = get_backend(backend)
     nmos = corner.nmos_model()
     pmos = corner.pmos_model()
     params = corner.mtj_params(mtj_params or PAPER_TABLE_I)
@@ -105,6 +114,7 @@ def build_standard_latch(
         "pc_b": vdd, "ren": 0.0, "tg": vdd, "tg_b": 0.0,
         "wen": 0.0, "wen_b": vdd, "d": 0.0, "d_b": vdd,
     }
+    signal_idle.update(nv.control_signals(vdd))
     for sig, idle_level in signal_idle.items():
         waveform = schedule.signal(sig) if schedule is not None else DC(idle_level)
         c.add_vsource(f"src_{sig}", sig, GROUND, waveform)
@@ -129,24 +139,26 @@ def build_standard_latch(
     add_transmission_gate(c, "tg2", "br2", "w2", "tg", "tg_b", "vdd",
                           nmos, pmos, sizing.tgate_width, sizing.length)
 
-    # Storage devices: bit b → MTJ1 = AP iff b = 1, MTJ2 complementary.
-    # Both free layers face the write drivers (w1/w2), so a series write
-    # current always stores complementary states.
+    # Storage devices: bit b → device 1 = AP iff b = 1, device 2
+    # complementary.  The backend owns the devices and their write/backup
+    # drive circuit; the slot geometry (rails, common tap, polarity) is
+    # fixed by the latch.
+    ctx = CellContext(circuit=c, nmos=nmos, pmos=pmos, sizing=sizing,
+                      params=params, vdd=vdd)
     state1 = MTJState.from_bit(stored_bit)
-    mtj1 = c.add_mtj("mtj1", "w1", "com", params, state1)
-    mtj2 = c.add_mtj("mtj2", "w2", "com", params, state1.flipped())
+    pair = PairSpec(
+        name_a="mtj1", name_b="mtj2", side_a="w1", side_b="w2",
+        common="com", state_a=state1, state_b=state1.flipped(),
+        data="d", data_b="d_b", driver_a="wr.i1", driver_b="wr.i2",
+    )
+    mtj1, mtj2 = nv.attach_storage(ctx, pair)
 
     # Read-enable foot transistor (current-limiting long channel).
     c.add_nmos("nfoot", "com", "ren", GROUND, nmos, sizing.enable_width,
                sizing.enable_length)
 
-    # Write drivers: I1 input = D̄ (drives w1 to D), I2 input = D.
-    add_tristate_inverter(c, "wr.i1", "d_b", "w1", "wen", "wen_b", "vdd",
-                          nmos, pmos, sizing.write_nmos_width,
-                          sizing.write_pmos_width, sizing.length)
-    add_tristate_inverter(c, "wr.i2", "d", "w2", "wen", "wen_b", "vdd",
-                          nmos, pmos, sizing.write_nmos_width,
-                          sizing.write_pmos_width, sizing.length)
+    # Write/backup drivers (tristate, off outside the store window).
+    nv.attach_write_drivers(ctx, pair)
 
     # Output loading: restore buffers + local wiring.
     c.add_capacitor("cload_out", "out", GROUND, sizing.output_load)
@@ -158,7 +170,8 @@ def build_standard_latch(
     from repro.lint import assert_lint_clean
 
     assert_lint_clean(c)
+    c.nv_backend_fingerprint = nv.fingerprint()
     return StandardNVLatch(
         circuit=c, vdd_source="vdd", out="out", outb="outb",
-        mtj1=mtj1, mtj2=mtj2, schedule=schedule,
+        mtj1=mtj1, mtj2=mtj2, schedule=schedule, backend=nv,
     )

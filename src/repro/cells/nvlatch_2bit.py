@@ -29,13 +29,14 @@ bit being read (D0 during the lower phase, D1 during the upper phase).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.cells.control import ControlSchedule
-from repro.cells.primitives import add_transmission_gate, add_tristate_inverter
+from repro.cells.primitives import add_transmission_gate
 from repro.cells.sizing import DEFAULT_SIZING, LatchSizing
 from repro.mtj.device import MTJState
 from repro.mtj.parameters import MTJParameters, PAPER_TABLE_I
+from repro.nv.base import CellContext, NVBackend, PairSpec, get_backend
 from repro.spice.corners import CORNERS, SimulationCorner
 from repro.spice.devices.mtj_element import MTJElement
 from repro.spice.netlist import GROUND, Circuit
@@ -59,6 +60,8 @@ class ProposedNVLatch:
     mtj3: MTJElement
     mtj4: MTJElement
     schedule: Optional[ControlSchedule]
+    #: NV technology the storage devices belong to.
+    backend: Optional[NVBackend] = None
 
     def program(self, bits: Tuple[int, int]) -> None:
         """Force (D0, D1) into the MTJ pairs."""
@@ -99,12 +102,17 @@ def build_proposed_latch(
     vdd: float = 1.1,
     vdd_waveform: Optional["Waveform"] = None,
     name: str = "prop2b",
+    backend: Any = "mtj",
 ) -> ProposedNVLatch:
     """Build the proposed 2-bit NV latch.
 
     ``stored_bits`` = (D0, D1) pre-programs the MTJ pairs; the electrical
     write path (store schedules) can overwrite them during simulation.
+
+    ``backend`` selects the NV storage technology (see
+    :mod:`repro.nv`); both bit slots use the same backend.
     """
+    nv = get_backend(backend)
     nmos = corner.nmos_model()
     pmos = corner.pmos_model()
     params = corner.mtj_params(mtj_params or PAPER_TABLE_I)
@@ -120,6 +128,7 @@ def build_proposed_latch(
         "wen": 0.0, "wen_b": vdd,
         "d0": 0.0, "d0_b": vdd, "d1": 0.0, "d1_b": vdd,
     }
+    signal_idle.update(nv.control_signals(vdd))
     for sig, idle_level in signal_idle.items():
         waveform = schedule.signal(sig) if schedule is not None else DC(idle_level)
         c.add_vsource(f"src_{sig}", sig, GROUND, waveform)
@@ -155,37 +164,38 @@ def build_proposed_latch(
     add_transmission_gate(c, "t2", "ps2", "su2", "tg", "tg_b", "vdd",
                           nmos, pmos, sizing.tgate_width, sizing.length)
 
-    # Upper MTJ pair (bit D1), free layers facing the write rails su1/su2.
-    # D1 = 1 → MTJ1 = P, MTJ2 = AP.
+    ctx = CellContext(circuit=c, nmos=nmos, pmos=pmos, sizing=sizing,
+                      params=params, vdd=vdd)
+
+    # Upper pair (bit D1), free layers facing the write rails su1/su2.
+    # D1 = 1 → device 1 = P, device 2 = AP (inverted polarity).
     state_d1 = MTJState.from_bit(d1)
-    mtj1 = c.add_mtj("mtj1", "su1", "uc", params, state_d1.flipped())
-    mtj2 = c.add_mtj("mtj2", "su2", "uc", params, state_d1)
+    upper = PairSpec(
+        name_a="mtj1", name_b="mtj2", side_a="su1", side_b="su2",
+        common="uc", state_a=state_d1.flipped(), state_b=state_d1,
+        data="d1", data_b="d1_b", driver_a="wr.i1", driver_b="wr.i2",
+        inverted=True,
+    )
+    mtj1, mtj2 = nv.attach_storage(ctx, upper)
     c.add_pmos("p3", "uc", "p3_b", "vdd", "vdd", pmos, sizing.enable_pmos_width,
                sizing.enable_length)
 
-    # Lower MTJ pair (bit D0), free layers facing sl1/sl2.
-    # D0 = 1 → MTJ3 = AP, MTJ4 = P.
+    # Lower pair (bit D0), free layers facing sl1/sl2.
+    # D0 = 1 → device 3 = AP, device 4 = P.
     state_d0 = MTJState.from_bit(d0)
-    mtj3 = c.add_mtj("mtj3", "sl1", "lc", params, state_d0)
-    mtj4 = c.add_mtj("mtj4", "sl2", "lc", params, state_d0.flipped())
+    lower = PairSpec(
+        name_a="mtj3", name_b="mtj4", side_a="sl1", side_b="sl2",
+        common="lc", state_a=state_d0, state_b=state_d0.flipped(),
+        data="d0", data_b="d0_b", driver_a="wr.i3", driver_b="wr.i4",
+    )
+    mtj3, mtj4 = nv.attach_storage(ctx, lower)
     c.add_nmos("n3", "lc", "n3", GROUND, nmos, sizing.enable_width,
                sizing.enable_length)
 
-    # Write drivers.  Lower bit (D0): I3 (input D̄0) at sl1, I4 (input D0)
-    # at sl2 — matching the paper's store-phase description.  Upper bit
-    # (D1): I1 (input D1) at su1, I2 (input D̄1) at su2.
-    add_tristate_inverter(c, "wr.i3", "d0_b", "sl1", "wen", "wen_b", "vdd",
-                          nmos, pmos, sizing.write_nmos_width,
-                          sizing.write_pmos_width, sizing.length)
-    add_tristate_inverter(c, "wr.i4", "d0", "sl2", "wen", "wen_b", "vdd",
-                          nmos, pmos, sizing.write_nmos_width,
-                          sizing.write_pmos_width, sizing.length)
-    add_tristate_inverter(c, "wr.i1", "d1", "su1", "wen", "wen_b", "vdd",
-                          nmos, pmos, sizing.write_nmos_width,
-                          sizing.write_pmos_width, sizing.length)
-    add_tristate_inverter(c, "wr.i2", "d1_b", "su2", "wen", "wen_b", "vdd",
-                          nmos, pmos, sizing.write_nmos_width,
-                          sizing.write_pmos_width, sizing.length)
+    # Write/backup drivers, lower bit first (matching the paper's
+    # store-phase description and the pre-refactor build order).
+    nv.attach_write_drivers(ctx, lower)
+    nv.attach_write_drivers(ctx, upper)
 
     # Output loading: restore buffers for both flip-flops + local wiring.
     c.add_capacitor("cload_out", "out", GROUND, sizing.output_load)
@@ -196,7 +206,9 @@ def build_proposed_latch(
     from repro.lint import assert_lint_clean
 
     assert_lint_clean(c)
+    c.nv_backend_fingerprint = nv.fingerprint()
     return ProposedNVLatch(
         circuit=c, vdd_source="vdd", out="out", outb="outb",
         mtj1=mtj1, mtj2=mtj2, mtj3=mtj3, mtj4=mtj4, schedule=schedule,
+        backend=nv,
     )

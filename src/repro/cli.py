@@ -6,6 +6,15 @@ Commands:
 * ``table2`` — characterise both latches across corners (paper Table II;
   minutes of simulation — ``--corner typical`` for a quick look),
 * ``table3`` — run the system flow over benchmarks (paper Table III),
+* ``compare`` — cross-technology NV backend comparison: Table II/III
+  metrics and a reliability campaign per backend, one column each
+  (``--quick`` for the CI smoke shape, ``--json`` for an artifact),
+
+Every flow subcommand accepts the same ``--engine``/``--workers``/
+``--backend`` options — the canonical vocabulary of
+:mod:`repro.flow_params`, shared with ``Session`` methods and
+``repro submit --param``.
+
 * ``flow <benchmark>`` — one benchmark in detail, optional DEF/SVG output,
 * ``layout`` — the NV cell layouts (paper Fig 8),
 * ``standby`` — power-gating break-even comparison,
@@ -42,23 +51,50 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
-    from repro.analysis.tables import build_table2, render_table2
+    from repro.analysis.tables import render_table2
+    from repro.api import Session
     from repro.spice.corners import CORNER_ORDER
 
     corners = [args.corner] if args.corner else list(CORNER_ORDER)
     print(f"Simulating both latch designs at corners {corners} "
           f"(this runs full transients)...", file=sys.stderr)
-    data = build_table2(corners=corners, dt=args.dt,
-                        include_write=not args.no_write)
+    with Session(engine=args.engine, workers=args.workers) as session:
+        data = session.table2(corners=corners, dt=args.dt,
+                              include_write=not args.no_write,
+                              backend=args.backend)
     print(render_table2(data))
     return 0
 
 
 def _cmd_table3(args: argparse.Namespace) -> int:
-    from repro.analysis.tables import build_table3, render_table3
+    from repro.analysis.tables import render_table3
+    from repro.api import Session
 
-    results = build_table3(args.benchmarks or None)
+    with Session(engine=args.engine, workers=args.workers) as session:
+        results = session.table3(args.benchmarks or None,
+                                 backend=args.backend)
     print(render_table3(results))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.api import Session
+
+    mode = "quick" if args.quick else "full"
+    print(f"Comparing NV backends ({mode} mode; this runs the Table II/III "
+          f"and reliability flows once per backend)...", file=sys.stderr)
+    with Session(engine=args.engine, workers=args.workers) as session:
+        report = session.compare(
+            backends=args.backend or None, quick=args.quick,
+            benchmarks=args.benchmarks or None,
+            samples=args.samples, dt=args.dt)
+    print(report.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            _json.dump(report.to_json(), handle, indent=2)
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -270,7 +306,7 @@ def _faults_specs(args: argparse.Namespace):
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
-    from repro.errors import FaultInjectionError
+    from repro.errors import AnalysisError, FaultInjectionError
 
     try:
         if args.action == "list":
@@ -280,12 +316,15 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             return 0
 
         if args.action == "isolation":
+            from repro.api import Session
             from repro.faults import write_path_isolation
 
             print(f"Injecting a {args.magnitude:g} sigma outlier into the "
                   f"D0 write drivers of the 2-bit cell "
                   f"(this runs store transients)...", file=sys.stderr)
-            iso = write_path_isolation(magnitude=args.magnitude, dt=args.dt)
+            with Session(engine=args.engine):
+                iso = write_path_isolation(magnitude=args.magnitude,
+                                           dt=args.dt, backend=args.backend)
             print("store write-error rates with a D0 write-path outlier:")
             print(f"  standard 1-bit cell     {iso['standard_bit']:.3e}")
             print(f"  2-bit baseline  d0={iso['baseline']['d0']:.3e}  "
@@ -298,7 +337,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             return 0
 
         # action == "run": a resilient restore-failure campaign.
-        from repro.faults import restore_failure_rate
+        from repro.api import Session
 
         specs = _faults_specs(args)
         if not specs:
@@ -307,14 +346,15 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         print(f"Running {args.samples} restore trials on the "
               f"{args.design} cell "
               f"({len(specs)} fault spec(s))...", file=sys.stderr)
-        outcome = restore_failure_rate(
-            args.design, specs, samples=args.samples, seed=args.seed,
-            dt=args.dt, workers=args.workers, timeout=args.timeout,
-            retries=args.retries, checkpoint=args.checkpoint,
-            forensics_dir=args.forensics_dir)
+        with Session(engine=args.engine, workers=args.workers) as session:
+            outcome = session.campaign(
+                args.design, specs, samples=args.samples, seed=args.seed,
+                dt=args.dt, timeout=args.timeout, retries=args.retries,
+                checkpoint=args.checkpoint, forensics_dir=args.forensics_dir,
+                backend=args.backend)
         print(outcome.summary())
         return 1 if outcome.report.failed else 0
-    except FaultInjectionError as exc:
+    except (AnalysisError, FaultInjectionError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -614,6 +654,24 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_flow_options(parser: argparse.ArgumentParser,
+                      backend: bool = True,
+                      workers: bool = True) -> None:
+    """The unified per-flow options — every subcommand that runs a flow
+    accepts the same ``--engine`` / ``--workers`` / ``--backend`` spelling
+    (the canonical vocabulary of :mod:`repro.flow_params`)."""
+    parser.add_argument("--engine", choices=["naive", "fast", "sparse"],
+                        help="solver engine for this run "
+                             "(default: session default)")
+    if workers:
+        parser.add_argument("--workers", type=int, default=None,
+                            help="worker processes (default: auto)")
+    if backend:
+        parser.add_argument("--backend", default=None, metavar="NAME",
+                            help="NV storage backend: mtj (default) or "
+                                 "nandspin")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -631,12 +689,36 @@ def build_parser() -> argparse.ArgumentParser:
                     help="transient timestep [s]")
     p2.add_argument("--no-write", action="store_true",
                     help="skip the store-phase simulations")
+    _add_flow_options(p2)
     p2.set_defaults(func=_cmd_table2)
 
     p3 = sub.add_parser("table3", help="system-level benchmark sweep")
     p3.add_argument("benchmarks", nargs="*",
                     help="benchmark names (default: all 13)")
+    _add_flow_options(p3)
     p3.set_defaults(func=_cmd_table3)
+
+    px = sub.add_parser(
+        "compare",
+        help="cross-technology NV backend comparison: Table II/III "
+             "metrics + reliability campaign per backend")
+    px.add_argument("--backend", action="append", metavar="NAME",
+                    help="backend to include, repeatable "
+                         "(default: every registered backend)")
+    px.add_argument("--quick", action="store_true",
+                    help="CI smoke shape: typical corner, coarse dt, one "
+                         "benchmark, few campaign samples")
+    px.add_argument("--benchmarks", nargs="*", metavar="NAME",
+                    help="Table III benchmark subset "
+                         "(default: all, or s344 with --quick)")
+    px.add_argument("--samples", type=int, default=None,
+                    help="restore-campaign trials per backend")
+    px.add_argument("--dt", type=float, default=None,
+                    help="Table II transient timestep [s]")
+    px.add_argument("--json", metavar="PATH",
+                    help="also write the CompareReport JSON to PATH")
+    _add_flow_options(px, backend=False)
+    px.set_defaults(func=_cmd_compare)
 
     pf = sub.add_parser("flow", help="run one benchmark in detail")
     pf.add_argument("benchmark")
@@ -720,8 +802,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="outlier magnitude in sigma (isolation)")
     pq.add_argument("--dt", type=float, default=4e-12,
                     help="transient timestep [s]")
-    pq.add_argument("--workers", type=int, default=None,
-                    help="worker processes (default: auto)")
+    _add_flow_options(pq)
     pq.add_argument("--timeout", type=float, default=None,
                     help="per-trial wall-clock timeout [s]")
     pq.add_argument("--retries", type=int, default=1,
@@ -823,7 +904,7 @@ def build_parser() -> argparse.ArgumentParser:
         "submit",
         help="submit a job to a running service and print its record")
     pu.add_argument("flow",
-                    help="flow name (table2, table3, campaign)")
+                    help="flow name (table2, table3, campaign, compare)")
     pu.add_argument("--url", default="http://127.0.0.1:8040",
                     help="service base URL")
     pu.add_argument("--params", metavar="JSON",

@@ -206,7 +206,7 @@ def evaluate_benchmarks(
     setting.  A benchmark listed twice is evaluated once and its row
     shared (:func:`repro.cache.scheduler.dedup_map` — the flow is a pure
     function of the benchmark name and config).  This is the engine
-    behind :func:`repro.analysis.tables.build_table3`.
+    behind :meth:`repro.api.Session.table3`.
     """
     from repro.cache.scheduler import dedup_map
 

@@ -19,7 +19,6 @@ CLI: ``repro faults list|run|isolation`` (see :mod:`repro.cli`).
 
 from repro.faults.analyses import (
     RestoreFailureResult,
-    restore_failure_rate,
     sense_margin_degradation,
     margin_slopes,
     store_write_error_rates,
@@ -44,6 +43,7 @@ from repro.faults.inject import (
 from repro.faults.models import (
     FaultModel,
     FaultSpec,
+    check_backend_support,
     fault_model,
     list_fault_models,
     register_fault_model,
@@ -60,6 +60,7 @@ __all__ = [
     "apply_kwarg_faults",
     "build_faulty_proposed",
     "build_faulty_standard",
+    "check_backend_support",
     "fault_model",
     "faulty_builder",
     "inject",
@@ -68,7 +69,6 @@ __all__ = [
     "margin_slopes",
     "register_fault_model",
     "render_model_list",
-    "restore_failure_rate",
     "run_campaign",
     "sense_margin_degradation",
     "split_specs",

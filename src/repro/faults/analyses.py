@@ -5,9 +5,10 @@ the same full-circuit simulation flow as the Table II characterisation
 (via the ``build=`` hooks of :mod:`repro.cells.characterize` idiom —
 nominal and faulty cells share every line of measurement code):
 
-* :func:`restore_failure_rate` — Monte-Carlo probability that a restore
-  read returns the wrong data under a fault-spec list, executed as a
-  resilient :func:`~repro.faults.campaign.run_campaign`;
+* :meth:`repro.api.Session.campaign` (backed by
+  :func:`_restore_failure_rate`) — Monte-Carlo probability that a
+  restore read returns the wrong data under a fault-spec list, executed
+  as a resilient :func:`~repro.faults.campaign.run_campaign`;
 * :func:`sense_margin_degradation` — sense margin of both cell variants
   versus injected sense-amp offset, quantifying the paper's architectural
   trade-off: the proposed 2-bit cell shares one sense amplifier between
@@ -40,10 +41,11 @@ from repro.faults.inject import (
     build_faulty_proposed,
     build_faulty_standard,
 )
-from repro.faults.models import FaultSpec, fault_model
+from repro.faults.models import FaultSpec, check_backend_support, fault_model
 from repro.mtj.device import MTJDevice
 from repro.mtj.variation import DEFAULT_SEED
 from repro.mtj.write_error import WriteErrorModel
+from repro.nv.base import get_backend
 from repro.spice.analysis.transient import TransientResult, run_transient
 
 #: Default transient timestep for fault analyses [s] — coarser than the
@@ -80,19 +82,19 @@ def standard_restore_trial(item: Mapping[str, Any],
     """One injected restore of the standard 1-bit latch.
 
     ``item``: ``{"specs": [spec dicts], "vdd": float, "dt": float,
-    "sim_timeout": float|None}``.  The stored bit is drawn from ``rng``
-    (so a campaign samples both polarities) before the fault coin flips.
+    "sim_timeout": float|None, "backend": str}``.  The stored bit is
+    drawn from ``rng`` (so a campaign samples both polarities) before the
+    fault coin flips.
     """
-    from repro.cells.control import standard_restore_schedule
-
     specs = [FaultSpec.from_json(s) for s in item["specs"]]
     vdd = float(item.get("vdd", 1.1))
     dt = float(item.get("dt", FAULTS_DT))
+    nv = get_backend(item.get("backend"))
     bit = int(rng.integers(0, 2))
-    schedule = standard_restore_schedule(bit=bit, vdd=vdd,
-                                         cycles=FAULTS_READ_CYCLES)
+    schedule = nv.restore_schedule("standard", bit=bit, vdd=vdd,
+                                   cycles=FAULTS_READ_CYCLES)
     latch = build_faulty_standard(specs, rng, schedule=schedule,
-                                  stored_bit=bit, vdd=vdd)
+                                  stored_bit=bit, vdd=vdd, backend=nv)
     result = run_transient(latch.circuit, schedule.stop_time, dt,
                            initial_voltages={"vdd": vdd},
                            timeout=item.get("sim_timeout"))
@@ -110,16 +112,15 @@ def proposed_restore_trial(item: Mapping[str, Any],
                            rng: np.random.Generator) -> Dict[str, Any]:
     """One injected restore of the proposed 2-bit latch (both sequential
     bit reads are checked; the trial fails if either bit reads wrong)."""
-    from repro.cells.control import proposed_restore_schedule
-
     specs = [FaultSpec.from_json(s) for s in item["specs"]]
     vdd = float(item.get("vdd", 1.1))
     dt = float(item.get("dt", FAULTS_DT))
+    nv = get_backend(item.get("backend"))
     bits = (int(rng.integers(0, 2)), int(rng.integers(0, 2)))
-    schedule = proposed_restore_schedule(bits=bits, vdd=vdd,
-                                         cycles=FAULTS_READ_CYCLES)
+    schedule = nv.restore_schedule("proposed", bits=bits, vdd=vdd,
+                                   cycles=FAULTS_READ_CYCLES)
     latch = build_faulty_proposed(specs, rng, schedule=schedule,
-                                  stored_bits=bits, vdd=vdd)
+                                  stored_bits=bits, vdd=vdd, backend=nv)
     result = run_transient(latch.circuit, schedule.stop_time, dt,
                            initial_voltages={"vdd": vdd},
                            timeout=item.get("sim_timeout"))
@@ -153,9 +154,11 @@ class RestoreFailureResult:
     #: Mean signed margin of the successful-simulation samples.
     mean_margin: float
     report: CampaignReport
+    #: NV backend the campaign ran against.
+    backend: str = "mtj"
 
     def summary(self) -> str:
-        return (f"{self.design}: failure rate "
+        return (f"{self.design}[{self.backend}]: failure rate "
                 f"{self.failure_rate:.3f} over {self.samples} sample(s) "
                 f"(mean margin {self.mean_margin:+.3f} VDD); "
                 f"{self.report.failed} simulation(s) failed")
@@ -173,6 +176,7 @@ def _restore_failure_rate(
     retries: int = 1,
     checkpoint: Optional[str] = None,
     forensics_dir: Optional[str] = None,
+    backend: Any = "mtj",
 ) -> RestoreFailureResult:
     """Monte-Carlo restore-failure probability under ``specs``.
 
@@ -184,26 +188,33 @@ def _restore_failure_rate(
     outright are reported separately in ``report`` — conflating "the
     injected circuit read wrong data" with "the solver gave up" would
     bias the estimate.
+
+    ``backend`` selects the NV technology; every spec's model must
+    support it (``mtj.*`` models cover both junction technologies,
+    ``nandspin.*`` only NAND-SPIN).
     """
     if design not in _TRIALS:
         raise AnalysisError(
             f"unknown design {design!r}; expected one of {sorted(_TRIALS)}")
     if samples <= 0:
         raise AnalysisError(f"samples must be positive, got {samples}")
+    nv = get_backend(backend)
     for spec in specs:
         fault_model(spec.model)  # fail fast on a typo, not per worker
+    check_backend_support(specs, nv.name)
     item = {
         "specs": [spec.to_json() for spec in specs],
         "vdd": vdd, "dt": dt,
+        "backend": nv.name,
         # Leave the simulator a margin below the worker alarm so the
         # ConvergenceError (with its diagnostic state) wins the race.
         "sim_timeout": None if timeout is None else 0.9 * timeout,
     }
     report = run_campaign(
         _TRIALS[design], [item] * samples,
-        name=f"restore-failure-{design}", seed=seed, workers=workers,
-        timeout=timeout, retries=retries, checkpoint=checkpoint,
-        forensics_dir=forensics_dir,
+        name=f"restore-failure-{design}-{nv.name}", seed=seed,
+        workers=workers, timeout=timeout, retries=retries,
+        checkpoint=checkpoint, forensics_dir=forensics_dir,
     )
     outcomes = [r for r in report.results() if r is not None]
     failures = sum(1 for r in outcomes if not r["ok"])
@@ -212,34 +223,7 @@ def _restore_failure_rate(
                    if outcomes else float("nan"))
     return RestoreFailureResult(design=design, samples=samples,
                                 failure_rate=rate, mean_margin=mean_margin,
-                                report=report)
-
-
-def restore_failure_rate(
-    design: str,
-    specs: Sequence[FaultSpec],
-    samples: int = 50,
-    seed: int = DEFAULT_SEED,
-    vdd: float = 1.1,
-    dt: float = FAULTS_DT,
-    workers: Optional[int] = None,
-    timeout: Optional[float] = None,
-    retries: int = 1,
-    checkpoint: Optional[str] = None,
-    forensics_dir: Optional[str] = None,
-) -> RestoreFailureResult:
-    """Deprecated free-function entry point; use
-    ``repro.api.Session(...).campaign(design, specs, ...)`` instead."""
-    import warnings
-
-    warnings.warn(
-        "restore_failure_rate() is deprecated; use "
-        "repro.api.Session(...).campaign(design, specs, ...)",
-        DeprecationWarning, stacklevel=2)
-    return _restore_failure_rate(
-        design, specs, samples=samples, seed=seed, vdd=vdd, dt=dt,
-        workers=workers, timeout=timeout, retries=retries,
-        checkpoint=checkpoint, forensics_dir=forensics_dir)
+                                report=report, backend=nv.name)
 
 
 # ---------------------------------------------------------------------------
@@ -248,36 +232,33 @@ def restore_failure_rate(
 
 
 def _margin_at_offset(design: str, offset: float, vdd: float,
-                      dt: float) -> float:
+                      dt: float, backend: Any = "mtj") -> float:
     """Worst-bit sense margin of one cell at one injected SA offset.
 
     Deterministic (``sa.offset`` needs no RNG), read with the data
     polarity the offset fights hardest: polarity +1 weakens the ``out``
     pull-down ``n1``, so a stored 0 (out must fall) is the worst case.
     """
+    nv = get_backend(backend)
     specs = ([] if offset == 0.0
              else [FaultSpec("sa.offset", offset)])
     if design == "standard":
-        from repro.cells.control import standard_restore_schedule
-
         bit = 0
-        schedule = standard_restore_schedule(bit=bit, vdd=vdd,
-                                             cycles=FAULTS_READ_CYCLES)
+        schedule = nv.restore_schedule("standard", bit=bit, vdd=vdd,
+                                       cycles=FAULTS_READ_CYCLES)
         latch = build_faulty_standard(specs, None, schedule=schedule,
-                                      stored_bit=bit, vdd=vdd)
+                                      stored_bit=bit, vdd=vdd, backend=nv)
         result = run_transient(latch.circuit, schedule.stop_time, dt,
                                initial_voltages={"vdd": vdd})
         t_eval = schedule.markers["eval_end"]
         return _signed_margin(result.sample(latch.out, t_eval),
                               result.sample(latch.outb, t_eval), bit, vdd)
     if design == "proposed":
-        from repro.cells.control import proposed_restore_schedule
-
         bits = (0, 0)
-        schedule = proposed_restore_schedule(bits=bits, vdd=vdd,
-                                             cycles=FAULTS_READ_CYCLES)
+        schedule = nv.restore_schedule("proposed", bits=bits, vdd=vdd,
+                                       cycles=FAULTS_READ_CYCLES)
         latch = build_faulty_proposed(specs, None, schedule=schedule,
-                                      stored_bits=bits, vdd=vdd)
+                                      stored_bits=bits, vdd=vdd, backend=nv)
         result = run_transient(latch.circuit, schedule.stop_time, dt,
                                initial_voltages={"vdd": vdd})
         margins = []
@@ -296,6 +277,7 @@ def sense_margin_degradation(
     designs: Sequence[str] = ("standard", "proposed"),
     vdd: float = 1.1,
     dt: float = FAULTS_DT,
+    backend: Any = "mtj",
 ) -> Dict[str, List[Dict[str, float]]]:
     """Worst-bit sense margin versus injected SA input offset.
 
@@ -313,7 +295,8 @@ def sense_margin_degradation(
     for design in designs:
         curves[design] = [
             {"offset": float(offset),
-             "margin": _margin_at_offset(design, float(offset), vdd, dt)}
+             "margin": _margin_at_offset(design, float(offset), vdd, dt,
+                                         backend=backend)}
             for offset in offsets
         ]
     return curves
@@ -339,16 +322,13 @@ def margin_slopes(curves: Mapping[str, Sequence[Mapping[str, float]]]
 # ---------------------------------------------------------------------------
 
 
-def _pair_wer(result: TransientResult, mtj, t0: float, t1: float) -> float:
-    """WER of one junction during the store window.
+def _store_window_current(result: TransientResult, mtj,
+                          t0: float, t1: float) -> float:
+    """Average |write current| through one junction over the store window.
 
-    The write current is reconstructed from the simulated voltage across
-    the junction and its *pre-switch* conductance (initial state, bias
-    -dependent), averaged up to the switching event when one occurred;
-    the average current and the pulse width then enter the
-    :class:`~repro.mtj.write_error.WriteErrorModel` closed form.  A
-    current that never clears the critical current cannot switch the
-    junction thermally within a nanosecond pulse — WER 1.
+    Reconstructed from the simulated voltage across the junction and its
+    *pre-switch* conductance (initial state, bias-dependent), averaged up
+    to the switching event when one occurred.
     """
     times = result.times
     v_free = (result.node_voltages[:, mtj.free] if mtj.free >= 0
@@ -368,12 +348,49 @@ def _pair_wer(result: TransientResult, mtj, t0: float, t1: float) -> float:
     bias = (v_free - v_ref)[mask]
     probe = MTJDevice(params=mtj.device.params, state=mtj._initial_state)
     current = np.array([probe.conductance(abs(v)) * v for v in bias])
-    average = float(np.mean(np.abs(current)))
+    return float(np.mean(np.abs(current)))
+
+
+def _pair_wer(result: TransientResult, mtj, t0: float, t1: float) -> float:
+    """STT WER of one junction during the store window.
+
+    The reconstructed average current and the pulse width enter the
+    :class:`~repro.mtj.write_error.WriteErrorModel` closed form.  A
+    current that never clears the critical current cannot switch the
+    junction thermally within a nanosecond pulse — WER 1.
+    """
+    average = _store_window_current(result, mtj, t0, t1)
     try:
         return WriteErrorModel(mtj.device.params).write_error_rate(
             average, t1 - t0)
     except DeviceModelError:
         return 1.0  # sub-critical drive: the write cannot complete
+
+
+def _junction_store_wer(result: TransientResult, mtj,
+                        t0: float, t1: float) -> float:
+    """Store WER of one junction, technology-aware.
+
+    An MTJ-backend junction always carries an STT program pulse, so the
+    closed-form STT WER applies.  A NAND-SPIN junction whose target is
+    the erased AP state sees *no* program pulse (the preceding SOT bulk
+    erase set it); scoring the missing pulse with the STT closed form
+    would read as WER 1.  Such an undriven junction is scored by the
+    erase outcome instead — the SOT drive is far above critical, so in
+    this model the erase is deterministic: 0 when the junction ends AP,
+    1 when the erase failed to reach it.
+    """
+    from repro.mtj.device import MTJState
+
+    if getattr(mtj, "sot", None) is not None:
+        average = _store_window_current(result, mtj, t0, t1)
+        # Residual strip/return current through an unprogrammed junction
+        # is a few µA; a real program pulse is several× critical.  Half
+        # the critical current separates the two regimes decisively.
+        if average < 0.5 * mtj.device.params.critical_current:
+            return (0.0 if mtj.device.state is MTJState.ANTIPARALLEL
+                    else 1.0)
+    return _pair_wer(result, mtj, t0, t1)
 
 
 #: Default store-pulse width for WER analyses [s].  Deliberately longer
@@ -392,6 +409,7 @@ def store_write_error_rates(
     dt: float = FAULTS_DT,
     write_width: float = WER_PULSE_WIDTH,
     rng: Optional[np.random.Generator] = None,
+    backend: Any = "mtj",
 ) -> Dict[str, float]:
     """Per-bit store WER of one cell, optionally fault-injected.
 
@@ -401,25 +419,28 @@ def store_write_error_rates(
     rate; a bit fails if *either* junction of its pair fails, so
     ``WER_bit = 1 − (1 − w_a)(1 − w_b)``.
 
+    The WER window is the STT program pulse: for the MTJ backend that is
+    the whole store window, for NAND-SPIN it starts at the ``erase_end``
+    marker (the SOT bulk erase preceding it is not an STT write and has
+    its own deterministic dynamics).
+
     Returns ``{"bit": ...}`` for the standard cell and ``{"d0": ...,
     "d1": ...}`` for the proposed cell.
     """
     specs = list(specs)
+    nv = get_backend(backend)
+    check_backend_support(specs, nv.name)
     if design == "standard":
-        from repro.cells.control import standard_store_schedule
-
-        schedule = standard_store_schedule(bit=1, vdd=vdd,
-                                           write_width=write_width)
+        schedule = nv.store_schedule("standard", bit=1, vdd=vdd,
+                                     write_width=write_width)
         latch = build_faulty_standard(specs, rng, schedule=schedule,
-                                      stored_bit=0, vdd=vdd)
+                                      stored_bit=0, vdd=vdd, backend=nv)
         pairs = {"bit": (latch.mtj1, latch.mtj2)}
     elif design == "proposed":
-        from repro.cells.control import proposed_store_schedule
-
-        schedule = proposed_store_schedule(bits=(1, 0), vdd=vdd,
-                                           write_width=write_width)
+        schedule = nv.store_schedule("proposed", bits=(1, 0), vdd=vdd,
+                                     write_width=write_width)
         latch = build_faulty_proposed(specs, rng, schedule=schedule,
-                                      stored_bits=(0, 1), vdd=vdd)
+                                      stored_bits=(0, 1), vdd=vdd, backend=nv)
         pairs = {"d0": (latch.mtj3, latch.mtj4),
                  "d1": (latch.mtj1, latch.mtj2)}
     else:
@@ -427,12 +448,12 @@ def store_write_error_rates(
 
     result = run_transient(latch.circuit, schedule.stop_time, dt,
                            initial_voltages={"vdd": vdd})
-    t0 = schedule.markers["write_start"]
+    t0 = schedule.markers.get("erase_end", schedule.markers["write_start"])
     t1 = schedule.markers["write_end"]
     rates: Dict[str, float] = {}
     for label, (mtj_a, mtj_b) in pairs.items():
-        w_a = _pair_wer(result, mtj_a, t0, t1)
-        w_b = _pair_wer(result, mtj_b, t0, t1)
+        w_a = _junction_store_wer(result, mtj_a, t0, t1)
+        w_b = _junction_store_wer(result, mtj_b, t0, t1)
         rates[label] = 1.0 - (1.0 - w_a) * (1.0 - w_b)
     return rates
 
@@ -443,6 +464,7 @@ def write_path_isolation(
     vdd: float = 1.1,
     dt: float = FAULTS_DT,
     write_width: float = WER_PULSE_WIDTH,
+    backend: Any = "mtj",
 ) -> Dict[str, Any]:
     """The separate-write-path claim, quantified.
 
@@ -457,11 +479,14 @@ def write_path_isolation(
     spec = FaultSpec("mos.outlier", magnitude, target=target,
                      params={"polarity": 1.0})
     baseline = store_write_error_rates("proposed", vdd=vdd, dt=dt,
-                                       write_width=write_width)
+                                       write_width=write_width,
+                                       backend=backend)
     faulty = store_write_error_rates("proposed", [spec], vdd=vdd, dt=dt,
-                                     write_width=write_width)
+                                     write_width=write_width,
+                                     backend=backend)
     standard = store_write_error_rates("standard", vdd=vdd, dt=dt,
-                                       write_width=write_width)
+                                       write_width=write_width,
+                                       backend=backend)
     return {
         "standard_bit": standard["bit"],
         "baseline": baseline,

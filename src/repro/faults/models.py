@@ -42,7 +42,20 @@ name                  level    magnitude semantics
                                shifts V_th and scales W/L of the target
                                transistor(s)
 ``cell.vdd-droop``    kwargs   relative supply droop (vdd ← vdd·(1 − m))
+``nandspin.sot-weak`` circuit  per-unit SOT erase degradation: raises the
+                               SOT critical current (weak spin-Hall strip)
+                               and optionally the heavy-metal resistance
 ====================  =======  ==============================================
+
+Models are **backend-scoped**: each declares the NV backends (see
+:mod:`repro.nv`) it applies to via :attr:`FaultModel.backends` — an
+empty tuple means technology-agnostic (sense-amp and transistor faults
+compose with any backend).  The ``mtj.*`` junction models apply to both
+``mtj`` and ``nandspin`` (a NAND-SPIN junction *is* an MTJ with an extra
+SOT write port); ``nandspin.sot-weak`` only to ``nandspin``.  Campaign
+entry points reject a spec whose model does not support the selected
+backend — a ``nandspin.sot-weak`` sweep of the two-terminal MTJ cell
+would silently inject nothing.
 """
 
 from __future__ import annotations
@@ -50,7 +63,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from fnmatch import fnmatchcase
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -60,6 +73,7 @@ from repro.mtj.dynamics import SwitchingModel
 from repro.mtj.write_error import WriteErrorModel
 from repro.spice.devices.mosfet import MOSFET
 from repro.spice.devices.mtj_element import MTJElement
+from repro.spice.devices.sot_element import NandSpinJunction
 from repro.spice.netlist import Circuit
 
 #: Injection levels a model can operate at.
@@ -122,6 +136,12 @@ class FaultModel:
     device_type: type = object
     #: Target pattern used when the spec leaves ``target`` empty.
     default_target: str = ""
+    #: NV backends the model applies to; empty = technology-agnostic.
+    backends: Tuple[str, ...] = ()
+
+    def supports_backend(self, backend_name: str) -> bool:
+        """Whether this model composes with the named NV backend."""
+        return not self.backends or backend_name in self.backends
 
     def resolve_targets(self, circuit: Circuit, spec: FaultSpec) -> List[Any]:
         """Devices of ``circuit`` addressed by ``spec`` (circuit level).
@@ -236,6 +256,7 @@ class MTJStuckFault(FaultModel):
     level = "circuit"
     device_type = MTJElement
     default_target = "mtj*"
+    backends = ("mtj", "nandspin")
 
     def apply(self, circuit: Circuit, spec: FaultSpec,
               rng: Optional[np.random.Generator] = None) -> None:
@@ -246,6 +267,8 @@ class MTJStuckFault(FaultModel):
             if self._bernoulli(spec.magnitude, rng,
                                f"stuck-at on {element.name!r}"):
                 element.switching = None
+                if getattr(element, "sot", None) is not None:
+                    element.sot = None  # NAND-SPIN: SOT erase cannot recover it
                 element.set_initial_state(state)
 
 
@@ -269,6 +292,7 @@ class MTJDriftFault(FaultModel):
     level = "circuit"  # also supports kwargs, see transform_kwargs
     device_type = MTJElement
     default_target = "mtj*"
+    backends = ("mtj", "nandspin")
 
     @staticmethod
     def _scales(spec: FaultSpec):
@@ -333,6 +357,7 @@ class ReadDisturbFault(FaultModel):
     level = "circuit"
     device_type = MTJElement
     default_target = "mtj*"
+    backends = ("mtj", "nandspin")
 
     @staticmethod
     def flip_probability(params, read_current: float, read_pulse: float,
@@ -482,9 +507,60 @@ class VddDroopFault(FaultModel):
         return out
 
 
+# ---------------------------------------------------------------------------
+# NAND-SPIN SOT erase degradation
+# ---------------------------------------------------------------------------
+
+
+class NandSpinSOTWeakFault(FaultModel):
+    """Degraded SOT erase of a NAND-SPIN junction.
+
+    ``magnitude`` is the per-unit weakening of the spin-orbit torque: the
+    SOT critical current scales by ``1 + magnitude`` (a weak spin-Hall
+    strip needs proportionally more charge current for the same torque).
+    ``params["hm"]`` (default 1.0) adds a per-unit heavy-metal
+    resistivity increase along with it — conductance divides by
+    ``1 + magnitude·hm`` — modelling the common physical cause (a thin or
+    damaged strip is both more resistive *and* a worse spin injector).
+    Only meaningful for the ``nandspin`` backend; campaign entry points
+    reject it elsewhere.
+    """
+
+    name = "nandspin.sot-weak"
+    description = "weak SOT erase: higher critical current, resistive strip"
+    level = "circuit"
+    device_type = NandSpinJunction
+    default_target = "mtj*"
+    backends = ("nandspin",)
+
+    def apply(self, circuit: Circuit, spec: FaultSpec,
+              rng: Optional[np.random.Generator] = None) -> None:
+        if spec.magnitude == 0.0:
+            return
+        d_hm = float(spec.params.get("hm", 1.0))
+        for element in self.resolve_targets(circuit, spec):
+            if element.sot is not None:
+                element.sot.critical_current *= 1.0 + spec.magnitude
+            element.hm_conductance /= 1.0 + spec.magnitude * d_hm
+
+
+def check_backend_support(specs, backend_name: str) -> None:
+    """Raise when any spec's model does not apply to the chosen backend.
+
+    Campaign entry points call this up front — injecting a
+    backend-foreign fault would silently measure the nominal cell.
+    """
+    for spec in specs:
+        model = fault_model(spec.model)
+        if not model.supports_backend(backend_name):
+            raise FaultInjectionError(
+                f"fault model {model.name!r} does not apply to NV backend "
+                f"{backend_name!r} (supports: {', '.join(model.backends)})")
+
+
 for _model in (MTJStuckFault(), MTJDriftFault(), ReadDisturbFault(),
                SenseAmpOffsetFault(), TransistorOutlierFault(),
-               VddDroopFault()):
+               VddDroopFault(), NandSpinSOTWeakFault()):
     register_fault_model(_model)
 
 
@@ -495,4 +571,6 @@ def render_model_list() -> str:
         lines.append(f"{model.name:18s} [{model.level:7s}] {model.description}")
         if model.default_target:
             lines.append(f"{'':18s}  default target: {model.default_target!r}")
+        if model.backends:
+            lines.append(f"{'':18s}  backends: {', '.join(model.backends)}")
     return "\n".join(lines)

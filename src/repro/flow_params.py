@@ -1,0 +1,75 @@
+"""Canonical flow parameters — one vocabulary, one validation path.
+
+Every surface that launches a flow — :class:`repro.api.Session` methods,
+the service's ``@flow_runner`` registry (``repro serve`` / ``repro
+submit``), and the CLI subcommands — accepts the *same* canonical
+keyword arguments, declared here once per flow:
+
+* ``backend=`` — the NV storage technology (:mod:`repro.nv`);
+* ``engine=`` — the solver engine (``"naive"``/``"fast"``/``"sparse"``);
+* ``design=`` — the latch design (``"standard"``/``"proposed"``);
+* plus the flow's own knobs (``corners=``, ``benchmarks=``,
+  ``samples=``, ...).
+
+:func:`validate_flow_params` is the single gate: unknown flows and
+unknown parameter names are rejected with difflib suggestions, so a
+typo fails identically whether it arrives as a Python kwarg, an HTTP
+submission, or ``repro submit --param``.  The service layer additionally
+restricts each flow to the JSON-safe subset (:data:`SERVICE_PARAMS`) —
+object-valued knobs like ``sizing=`` or a custom ``config=`` cannot
+travel through a job queue.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.errors import AnalysisError, suggest_names
+
+__all__ = [
+    "FLOW_PARAMS",
+    "SERVICE_PARAMS",
+    "validate_flow_params",
+]
+
+#: Canonical parameter names per flow (the Python-level surface:
+#: ``Session.table2(**params)`` etc.).  ``workers`` is accepted
+#: everywhere a flow fans out.
+FLOW_PARAMS: Dict[str, Tuple[str, ...]] = {
+    "table2": ("backend", "engine", "workers",
+               "sizing", "corners", "dt", "include_write"),
+    "table3": ("backend", "engine", "workers",
+               "benchmarks", "config"),
+    "campaign": ("backend", "engine", "workers",
+                 "design", "specs", "samples", "seed", "vdd", "dt",
+                 "timeout", "retries", "checkpoint", "forensics_dir"),
+    "sweep": ("engine", "workers", "corners"),
+    "compare": ("backends", "engine", "workers",
+                "quick", "benchmarks", "samples", "dt"),
+}
+
+#: JSON-safe subset per flow — what a service submission may carry.
+SERVICE_PARAMS: Dict[str, Tuple[str, ...]] = {
+    "table2": ("backend", "engine", "corners", "dt", "include_write"),
+    "table3": ("backend", "engine", "benchmarks"),
+    "campaign": ("backend", "engine", "design", "specs", "samples", "seed",
+                 "vdd", "dt", "timeout", "retries"),
+    "compare": ("backends", "engine", "quick", "benchmarks", "samples",
+                "dt"),
+}
+
+
+def validate_flow_params(flow: str, params: Mapping[str, Any]) -> None:
+    """Reject an unknown flow or unknown parameter names, with
+    suggestions.  Values are not checked here — each flow's builder owns
+    its own value validation (designs, backends, corner names, ...)."""
+    allowed = FLOW_PARAMS.get(flow)
+    if allowed is None:
+        raise AnalysisError(
+            f"unknown flow {flow!r}" + suggest_names(flow, FLOW_PARAMS))
+    for key in params:
+        if key not in allowed:
+            raise AnalysisError(
+                f"flow {flow!r} does not accept parameter {key!r}"
+                + suggest_names(str(key), allowed)
+                + f"; allowed: {', '.join(sorted(allowed))}")

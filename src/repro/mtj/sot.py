@@ -1,0 +1,75 @@
+"""Spin-orbit-torque switching dynamics (NAND-SPIN erase path).
+
+NAND-SPIN junctions (Wang et al., arXiv:1912.06986) sit on a shared
+heavy-metal strip: a current pulse *along the strip* exerts spin-orbit
+torque on every free layer above it, switching all junctions to the
+antiparallel state at once (the "erase"), after which a conventional
+per-junction STT current programs selected junctions back to parallel.
+
+The compact model reuses the pulse-integrating mechanics of
+:class:`~repro.mtj.dynamics.SwitchingModel` — progress accumulates as
+``dt / t_sw(I)`` and the state flips at 1 — with two differences:
+
+* the drive current is the **heavy-metal strip current** under the
+  junction, not the junction current, so the critical current is an
+  independent parameter (SOT efficiency differs from STT efficiency; the
+  strip current never tunnels through the barrier);
+* the sign convention is anchored to the erase direction: positive strip
+  current (the direction the erase drivers impose) switches toward
+  **antiparallel**, matching :func:`~repro.mtj.dynamics._target_state`.
+
+Sub-critical strip currents — the fraction of a read or program current
+that returns through the strip — fall into the same thermally-activated
+regime as STT read disturb and are equally negligible, which is what
+makes the shared write path safe for reads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import DeviceModelError
+
+from repro.mtj.dynamics import SwitchingModel
+
+#: Default SOT critical strip current [A].  Chosen so the erase drivers'
+#: simulated strip current (≈ 2–3× this) switches within the erase
+#: window while read-path strip currents (≤ 25 µA) stay deep in the
+#: thermally-activated regime.
+SOT_CRITICAL_CURRENT = 100e-6
+#: Default SOT dynamic charge [C]: t_sw = Q / (I − I_c), picked so the
+#: nominal erase overdrive completes within the 2 ns erase pulse.
+SOT_DYNAMIC_CHARGE = 100e-15
+
+
+@dataclass
+class SOTSwitchingModel(SwitchingModel):
+    """Pulse-integrating SOT switching model driven by the strip current.
+
+    Inherits the progress/relaxation/event mechanics of the STT model but
+    thresholds on its own ``critical_current`` — the strip current needed
+    for spin-orbit torque to overcome the energy barrier, unrelated to
+    the junction's STT critical current.
+    """
+
+    critical_current: float = field(default=SOT_CRITICAL_CURRENT)
+
+    def __post_init__(self) -> None:
+        if self.critical_current <= 0.0:
+            raise DeviceModelError(
+                f"SOT critical current must be positive, "
+                f"got {self.critical_current!r}")
+        if self.dynamic_charge <= 0.0:
+            self.dynamic_charge = SOT_DYNAMIC_CHARGE
+
+    def mean_switching_time(self, current: float) -> float:
+        """Mean time [s] to reverse at constant strip current."""
+        magnitude = abs(current)
+        if magnitude > self.critical_current:
+            return self.dynamic_charge / (magnitude - self.critical_current)
+        params = self.device.params
+        exponent = params.thermal_stability * (
+            1.0 - magnitude / self.critical_current)
+        exponent = min(exponent, 700.0)
+        return params.attempt_time * math.exp(exponent)

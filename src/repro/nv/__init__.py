@@ -1,0 +1,38 @@
+"""Pluggable NV-backend layer: MTJ pair baseline + NAND-SPIN alternative.
+
+Importing this package registers the built-in backends; third-party
+technologies subclass :class:`NVBackend` and call
+:func:`register_backend` (see ARCHITECTURE.md, "NV backend protocol").
+"""
+
+from repro.nv.base import (
+    BACKEND_ORDER,
+    CellContext,
+    NVBackend,
+    PairSpec,
+    capture_storage_state,
+    get_backend,
+    hydrate_storage_state,
+    list_backends,
+    register_backend,
+    storage_events,
+)
+from repro.nv.mtj_backend import MTJ_BACKEND, MTJBackend
+from repro.nv.nandspin import NANDSPIN_BACKEND, NandSpinBackend
+
+__all__ = [
+    "BACKEND_ORDER",
+    "CellContext",
+    "MTJBackend",
+    "MTJ_BACKEND",
+    "NVBackend",
+    "NandSpinBackend",
+    "NANDSPIN_BACKEND",
+    "PairSpec",
+    "capture_storage_state",
+    "get_backend",
+    "hydrate_storage_state",
+    "list_backends",
+    "register_backend",
+    "storage_events",
+]

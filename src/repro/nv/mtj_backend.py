@@ -1,0 +1,69 @@
+"""Baseline backend: the paper's STT-MTJ pair behind the sense amp.
+
+This is a *port*, not a redesign — the device insertion and write-driver
+calls are verbatim what the latch builders did before the NV-backend
+split, in the same order, so circuits built with ``backend="mtj"`` are
+bit-identical to the pre-refactor netlists (pinned by the Table II
+goldens).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.cells.primitives import add_tristate_inverter
+from repro.errors import AnalysisError
+from repro.nv.base import CellContext, NVBackend, PairSpec, register_backend
+from repro.spice.devices.mtj_element import MTJElement
+
+
+class MTJBackend(NVBackend):
+    """Complementary STT-MTJ pair with a series write path (paper §II)."""
+
+    name = "mtj"
+
+    def fingerprint(self) -> Dict[str, Any]:
+        return {"nv": "mtj", "version": 1}
+
+    def attach_storage(
+        self, ctx: CellContext, spec: PairSpec,
+    ) -> Tuple[MTJElement, MTJElement]:
+        c = ctx.circuit
+        a = c.add_mtj(spec.name_a, spec.side_a, spec.common, ctx.params,
+                      spec.state_a)
+        b = c.add_mtj(spec.name_b, spec.side_b, spec.common, ctx.params,
+                      spec.state_b)
+        return a, b
+
+    def attach_write_drivers(self, ctx: CellContext, spec: PairSpec) -> None:
+        # Series write path: driver A gets the complement input so the pair
+        # stores complementary states; the proposed latch's upper pair
+        # uses the opposite polarity (spec.inverted).
+        if spec.inverted:
+            input_a, input_b = spec.data, spec.data_b
+        else:
+            input_a, input_b = spec.data_b, spec.data
+        sizing = ctx.sizing
+        add_tristate_inverter(ctx.circuit, spec.driver_a, input_a, spec.side_a,
+                              "wen", "wen_b", "vdd", ctx.nmos, ctx.pmos,
+                              sizing.write_nmos_width, sizing.write_pmos_width,
+                              sizing.length)
+        add_tristate_inverter(ctx.circuit, spec.driver_b, input_b, spec.side_b,
+                              "wen", "wen_b", "vdd", ctx.nmos, ctx.pmos,
+                              sizing.write_nmos_width, sizing.write_pmos_width,
+                              sizing.length)
+
+    def store_schedule(self, design: str, **kwargs: Any):
+        from repro.cells.control import (
+            proposed_store_schedule,
+            standard_store_schedule,
+        )
+
+        if design == "standard":
+            return standard_store_schedule(**kwargs)
+        if design == "proposed":
+            return proposed_store_schedule(**kwargs)
+        raise AnalysisError(f"unknown design {design!r}")
+
+
+MTJ_BACKEND = register_backend(MTJBackend())

@@ -1,0 +1,382 @@
+"""NAND-SPIN backend (Wang et al., arXiv:1912.06986).
+
+Each bit slot's two junctions sit on a private heavy-metal strip that is
+tapped at its midpoint by the latch's common node (so the stock
+differential read path works unchanged, with one ~150 Ω segment added in
+series with each ~10 kΩ pillar):
+
+::
+
+    e1 ──R── ma ──R── common ──R── mb ──R── e2      (heavy-metal strip)
+              │                    │
+           pillar A             pillar B
+              │                    │
+           side_a (w-rail)      side_b (w-rail)
+
+The backup is **erase-before-program** through a shared write path:
+
+* *erase* — the strip drivers push a large current along the strip
+  (``e1`` at VDD, ``e2`` at GND); spin-orbit torque flips **both**
+  junctions to antiparallel at once.  The data rails are held low, so
+  the small pillar return currents also point in the AP direction.
+* *program* — both strip rails drop to GND and act as sinks; the data
+  drivers raise exactly one w-rail, sending an STT current through that
+  single pillar (≈2× the series-path current of the MTJ backend, since
+  one junction replaces two in series) to program it parallel.
+
+Three control signals orchestrate this (all idle-low / disabled):
+
+=========  =============================================================
+``een``    strip-driver enable (high through erase *and* program); also
+           the right driver's data input, so ``e2`` sinks whenever on
+``een_b``  its complement
+``eprog``  left driver's input: low → ``e1`` = VDD (erase source),
+           high → ``e1`` = GND (program sink)
+=========  =============================================================
+
+Erase polarity is fixed by construction: strip current flows
+``e1 → e2``, i.e. positive through every junction's observed segment,
+which is the SOT model's antiparallel direction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.cells.primitives import add_tristate_inverter
+from repro.errors import AnalysisError
+from repro.mtj.dynamics import SwitchingModel
+from repro.mtj.sot import (
+    SOT_CRITICAL_CURRENT,
+    SOT_DYNAMIC_CHARGE,
+    SOTSwitchingModel,
+)
+from repro.mtj.device import MTJDevice
+from repro.nv.base import CellContext, NVBackend, PairSpec, register_backend
+from repro.spice.devices.sot_element import NandSpinJunction
+
+#: Resistance [Ω] of one quarter of a bit slot's heavy-metal strip.
+HM_SEGMENT_RESISTANCE = 150.0
+#: Erase drivers are widened vs the data drivers: they face a ~600 Ω
+#: strip instead of a ~10 kΩ pillar and must clear the SOT critical
+#: current with margin at the slow corner.
+ERASE_DRIVER_SCALE = 2.0
+#: Default erase/program pulse widths [s].
+ERASE_WIDTH = 2.0e-9
+PROGRAM_WIDTH = 3.0e-9
+
+
+class NandSpinBackend(NVBackend):
+    """Shared heavy-metal write path with erase-before-program backup."""
+
+    name = "nandspin"
+
+    def __init__(
+        self,
+        hm_segment_resistance: float = HM_SEGMENT_RESISTANCE,
+        sot_critical_current: float = SOT_CRITICAL_CURRENT,
+        sot_dynamic_charge: float = SOT_DYNAMIC_CHARGE,
+        erase_driver_scale: float = ERASE_DRIVER_SCALE,
+    ) -> None:
+        if hm_segment_resistance <= 0.0:
+            raise AnalysisError("heavy-metal segment resistance must be > 0")
+        self.hm_segment_resistance = hm_segment_resistance
+        self.sot_critical_current = sot_critical_current
+        self.sot_dynamic_charge = sot_dynamic_charge
+        self.erase_driver_scale = erase_driver_scale
+
+    def fingerprint(self) -> Dict[str, Any]:
+        return {
+            "nv": "nandspin",
+            "version": 1,
+            "hm_segment_resistance": self.hm_segment_resistance,
+            "sot_critical_current": self.sot_critical_current,
+            "sot_dynamic_charge": self.sot_dynamic_charge,
+            "erase_driver_scale": self.erase_driver_scale,
+        }
+
+    def control_signals(self, vdd: float) -> Dict[str, float]:
+        return {"een": 0.0, "een_b": vdd, "eprog": 0.0}
+
+    # -- netlist construction ----------------------------------------------
+
+    def _strip_nodes(self, spec: PairSpec) -> Tuple[str, str, str, str]:
+        base = spec.common
+        return (f"{base}.e1", f"{base}.ma", f"{base}.mb", f"{base}.e2")
+
+    def attach_storage(
+        self, ctx: CellContext, spec: PairSpec,
+    ) -> Tuple[NandSpinJunction, NandSpinJunction]:
+        c = ctx.circuit
+        e1, ma, mb, e2 = self._strip_nodes(spec)
+        r = self.hm_segment_resistance
+        c.add_resistor(f"hm.{spec.common}.1", e1, ma, r)
+        c.add_resistor(f"hm.{spec.common}.2", ma, spec.common, r)
+        c.add_resistor(f"hm.{spec.common}.3", spec.common, mb, r)
+        c.add_resistor(f"hm.{spec.common}.4", mb, e2, r)
+
+        def junction(name: str, strip: str, rail: str, state,
+                     upstream: str, downstream: str) -> NandSpinJunction:
+            device = MTJDevice(params=ctx.params, state=state)
+            element = NandSpinJunction(
+                free=c.node(strip), ref=c.node(rail),
+                device=device,
+                switching=SwitchingModel(device=device),
+                hm_left=c.node(upstream), hm_right=c.node(downstream),
+                hm_conductance=1.0 / r,
+                sot=SOTSwitchingModel(
+                    device=device,
+                    dynamic_charge=self.sot_dynamic_charge,
+                    critical_current=self.sot_critical_current),
+            )
+            c._register(element, name)
+            return element
+
+        # Free layers face the strip; erase current e1 → e2 is positive
+        # through both observed segments (ma→common, common→mb).
+        a = junction(spec.name_a, ma, spec.side_a, spec.state_a, ma, spec.common)
+        b = junction(spec.name_b, mb, spec.side_b, spec.state_b, spec.common, mb)
+        return a, b
+
+    def attach_write_drivers(self, ctx: CellContext, spec: PairSpec) -> None:
+        # Programming pulls a rail HIGH to write that junction parallel,
+        # the opposite rail polarity of the MTJ backend's series path —
+        # hence the swapped data inputs (and swapped again for the
+        # proposed latch's inverted upper pair).
+        if spec.inverted:
+            input_a, input_b = spec.data_b, spec.data
+        else:
+            input_a, input_b = spec.data, spec.data_b
+        sizing = ctx.sizing
+        c = ctx.circuit
+        add_tristate_inverter(c, spec.driver_a, input_a, spec.side_a,
+                              "wen", "wen_b", "vdd", ctx.nmos, ctx.pmos,
+                              sizing.write_nmos_width, sizing.write_pmos_width,
+                              sizing.length)
+        add_tristate_inverter(c, spec.driver_b, input_b, spec.side_b,
+                              "wen", "wen_b", "vdd", ctx.nmos, ctx.pmos,
+                              sizing.write_nmos_width, sizing.write_pmos_width,
+                              sizing.length)
+
+        e1, _, _, e2 = self._strip_nodes(spec)
+        scale = self.erase_driver_scale
+        add_tristate_inverter(c, f"wr.{spec.common}.el", "eprog", e1,
+                              "een", "een_b", "vdd", ctx.nmos, ctx.pmos,
+                              sizing.write_nmos_width * scale,
+                              sizing.write_pmos_width * scale, sizing.length)
+        add_tristate_inverter(c, f"wr.{spec.common}.er", "een", e2,
+                              "een", "een_b", "vdd", ctx.nmos, ctx.pmos,
+                              sizing.write_nmos_width * scale,
+                              sizing.write_pmos_width * scale, sizing.length)
+
+    # -- sequencing --------------------------------------------------------
+
+    def store_schedule(self, design: str, **kwargs: Any):
+        if design == "standard":
+            return self._standard_store(**kwargs)
+        if design == "proposed":
+            return self._proposed_store(**kwargs)
+        raise AnalysisError(f"unknown design {design!r}")
+
+    @staticmethod
+    def _extras(een: bool, eprog: bool) -> Dict[str, bool]:
+        return {"een": een, "een_b": not een, "eprog": eprog}
+
+    def _standard_store(
+        self,
+        bit: int,
+        write_start: float = 0.10e-9,
+        erase_width: float = ERASE_WIDTH,
+        write_width: float = PROGRAM_WIDTH,
+        tail: float = 0.40e-9,
+        vdd: float = None,
+        slew: float = None,
+    ):
+        from repro.cells.control import (
+            _STANDARD_SIGNALS,
+            _standard_levels,
+            _waveforms_from_phases,
+            ControlSchedule,
+            DEFAULT_SLEW,
+            Phase,
+            VDD_NOMINAL,
+        )
+
+        vdd = VDD_NOMINAL if vdd is None else vdd
+        slew = DEFAULT_SLEW if slew is None else slew
+        d = bool(bit)
+        t_erase_end = write_start + erase_width
+        t_end = t_erase_end + write_width
+        stop = t_end + tail
+
+        idle = {**_standard_levels(pc=False, ren=False, wen=False, d=d),
+                **self._extras(een=False, eprog=False)}
+        # Erase: strip current e1→e2; data drivers hold both w-rails low
+        # (d = d̄ = 1) so pillar return currents also point toward AP.
+        erase = {**_standard_levels(pc=False, ren=False, wen=True, d=d),
+                 "d": True, "d_b": True,
+                 **self._extras(een=True, eprog=False)}
+        program = {**_standard_levels(pc=False, ren=False, wen=True, d=d),
+                   **self._extras(een=True, eprog=True)}
+
+        phases = [
+            Phase("idle", 0.0, write_start, idle),
+            Phase("erase", write_start, t_erase_end, erase),
+            Phase("program", t_erase_end, t_end, program),
+            Phase("post", t_end, stop, idle),
+        ]
+        signals = _waveforms_from_phases(
+            phases, _STANDARD_SIGNALS + ("een", "een_b", "eprog"), vdd, slew)
+        markers = {
+            "write_start": write_start,
+            "erase_end": t_erase_end,
+            "write_end": t_end,
+            "energy_window_start": write_start,
+            "energy_window_end": t_end,
+        }
+        return ControlSchedule("nandspin-standard-store", phases, signals,
+                               stop, markers, vdd)
+
+    def _proposed_store(
+        self,
+        bits: Tuple[int, int],
+        write_start: float = 0.10e-9,
+        erase_width: float = ERASE_WIDTH,
+        write_width: float = PROGRAM_WIDTH,
+        tail: float = 0.40e-9,
+        vdd: float = None,
+        slew: float = None,
+    ):
+        from repro.cells.control import (
+            _PROPOSED_SIGNALS,
+            _proposed_levels_simplified,
+            _waveforms_from_phases,
+            ControlSchedule,
+            DEFAULT_SLEW,
+            Phase,
+            VDD_NOMINAL,
+        )
+
+        vdd = VDD_NOMINAL if vdd is None else vdd
+        slew = DEFAULT_SLEW if slew is None else slew
+        d0, d1 = bool(bits[0]), bool(bits[1])
+        t_erase_end = write_start + erase_width
+        t_end = t_erase_end + write_width
+        stop = t_end + tail
+
+        def lv(wen: bool) -> Dict[str, bool]:
+            return _proposed_levels_simplified(pc=False, ren=False, wen=wen,
+                                               d0=d0, d1=d1)
+
+        idle = {**lv(False), **self._extras(een=False, eprog=False)}
+        erase = {**lv(True),
+                 "d0": True, "d0_b": True, "d1": True, "d1_b": True,
+                 **self._extras(een=True, eprog=False)}
+        program = {**lv(True), **self._extras(een=True, eprog=True)}
+
+        phases = [
+            Phase("idle", 0.0, write_start, idle),
+            Phase("erase", write_start, t_erase_end, erase),
+            Phase("program", t_erase_end, t_end, program),
+            Phase("post", t_end, stop, idle),
+        ]
+        signals = _waveforms_from_phases(
+            phases, _PROPOSED_SIGNALS + ("een", "een_b", "eprog"), vdd, slew)
+        markers = {
+            "write_start": write_start,
+            "erase_end": t_erase_end,
+            "write_end": t_end,
+            "energy_window_start": write_start,
+            "energy_window_end": t_end,
+        }
+        return ControlSchedule("nandspin-proposed-store", phases, signals,
+                               stop, markers, vdd)
+
+    def power_cycle(self, design: str, **kwargs: Any):
+        """Store → power-off → restore with the erase-before-program store
+        spliced in front of the stock restore phases."""
+        from repro.cells.control import (
+            _STANDARD_SIGNALS,
+            _PROPOSED_SIGNALS,
+            _all_low_levels,
+            _shift_phases,
+            _waveforms_from_phases,
+            ControlSchedule,
+            DEFAULT_SLEW,
+            Phase,
+            PowerCycle,
+            VDD_NOMINAL,
+            proposed_restore_schedule,
+            standard_restore_schedule,
+        )
+        from repro.spice.waveforms import PWL
+
+        off_duration = kwargs.pop("off_duration", 1.0e-9)
+        supply_slew = kwargs.pop("supply_slew", 100e-12)
+        vdd = kwargs.get("vdd") or VDD_NOMINAL
+        slew = kwargs.get("slew") or DEFAULT_SLEW
+        kwargs.setdefault("vdd", vdd)
+        kwargs.setdefault("slew", slew)
+
+        if design == "standard":
+            store = self.store_schedule(design, **kwargs)
+            restore = standard_restore_schedule(
+                bit=kwargs["bit"], vdd=vdd, slew=slew)
+            base_signals = _STANDARD_SIGNALS
+        elif design == "proposed":
+            store = self.store_schedule(design, **kwargs)
+            restore = proposed_restore_schedule(
+                bits=kwargs["bits"], vdd=vdd, slew=slew)
+            base_signals = _PROPOSED_SIGNALS
+        else:
+            raise AnalysisError(f"unknown design {design!r}")
+
+        signal_names = base_signals + ("een", "een_b", "eprog")
+        t_off = store.stop_time + supply_slew
+        t_on = t_off + off_duration
+        restore_start = t_on + supply_slew
+
+        extras_idle = self._extras(een=False, eprog=False)
+        phases: List[Phase] = list(store.phases)
+        phases.append(Phase("power-off", store.stop_time, restore_start,
+                            _all_low_levels(signal_names)))
+        phases.extend(
+            Phase(p.name, p.start, p.end, {**extras_idle, **p.levels})
+            for p in _shift_phases(restore.phases, restore_start))
+
+        signals = _waveforms_from_phases(phases, signal_names, vdd, slew)
+        markers = {f"store_{k}": v for k, v in store.markers.items()}
+        markers.update({k: v + restore_start for k, v in restore.markers.items()})
+        markers["power_off"] = t_off
+        markers["power_on"] = t_on
+        schedule = ControlSchedule(f"nandspin-{design}-power-cycle", phases,
+                                   signals, restore_start + restore.stop_time,
+                                   markers, vdd)
+        vdd_wave = PWL(points=(
+            (0.0, vdd),
+            (t_off - supply_slew, vdd),
+            (t_off, 0.0),
+            (t_on, 0.0),
+            (t_on + supply_slew, vdd),
+        ))
+        return PowerCycle(schedule=schedule, vdd_waveform=vdd_wave,
+                          power_off_time=t_off, power_on_time=t_on)
+
+    # -- system accounting -------------------------------------------------
+
+    def cell_costs(self):
+        """Documented layout estimate (arXiv:1912.06986 §IV scaled to the
+        paper's 40 nm cell frame): the strip and erase drivers add ~10%
+        area, while single-junction programming roughly halves the backup
+        energy versus the series MTJ pair."""
+        from repro.core.evaluate import NVCellCosts
+
+        return NVCellCosts(
+            area_1bit=3.10e-12,
+            energy_1bit=1.70e-15,
+            area_2bit=4.10e-12,
+            energy_2bit=2.75e-15,
+        )
+
+
+NANDSPIN_BACKEND = register_backend(NandSpinBackend())

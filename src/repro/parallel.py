@@ -18,7 +18,7 @@ the Table III benchmark loop:
 
 Functions submitted to :func:`parallel_map` must be picklable: module
 level functions, optionally wrapped in :func:`functools.partial` to bind
-configuration (the idiom used by :func:`repro.spice.corners.sweep_corners`
+configuration (the idiom used by :func:`repro.spice.corners._sweep_corners`
 and :func:`repro.core.evaluate.evaluate_benchmarks`).
 """
 

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, List, Optional
 
 from repro.errors import QuotaError, ReproError, ServiceError, suggest_names
+from repro.flow_params import SERVICE_PARAMS
 from repro.serialize import Serializable, stable_digest
 from repro.service.coalesce import Coalescer, submission_fingerprint
 from repro.service.store import JobStore
@@ -93,7 +94,9 @@ def flow_runner(name: str, allowed_params: Any = (),
 def validate_submission(flow: str, params: Dict[str, Any]) -> None:
     """Reject unknown flows and unknown parameter names *at submit
     time* — a queued job must not be discovered malformed hours later
-    by a worker."""
+    by a worker.  Parameter names are the canonical vocabulary of
+    :mod:`repro.flow_params` (JSON-safe subset), so a submission is
+    validated by the same rules as a ``Session`` method call."""
     spec = FLOWS.get(flow)
     if spec is None:
         raise ServiceError(f"unknown flow {flow!r}"
@@ -101,8 +104,9 @@ def validate_submission(flow: str, params: Dict[str, Any]) -> None:
     unknown = sorted(set(params) - set(spec.allowed_params))
     if unknown:
         raise ServiceError(
-            f"flow {flow!r} does not accept parameter(s) {unknown}; "
-            f"allowed: {sorted(spec.allowed_params)}")
+            f"flow {flow!r} does not accept parameter(s) {unknown}"
+            + suggest_names(unknown[0], spec.allowed_params)
+            + f"; allowed: {sorted(spec.allowed_params)}")
 
 
 def _metrics_payload(metrics: Any) -> Dict[str, Any]:
@@ -113,11 +117,12 @@ def _metrics_payload(metrics: Any) -> Dict[str, Any]:
     return out
 
 
-@flow_runner("table2", allowed_params=("corners", "dt", "include_write"))
+@flow_runner("table2", allowed_params=SERVICE_PARAMS["table2"])
 def _run_table2(session: Any, params: Dict[str, Any]) -> Dict[str, Any]:
     data = session.table2(**params)
     return {
         "flow": "table2",
+        "backend": data.backend,
         "standard": {c: _metrics_payload(m)
                      for c, m in sorted(data.standard.items())},
         "proposed": {c: _metrics_payload(m)
@@ -125,7 +130,7 @@ def _run_table2(session: Any, params: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
-@flow_runner("table3", allowed_params=("benchmarks",))
+@flow_runner("table3", allowed_params=SERVICE_PARAMS["table3"])
 def _run_table3(session: Any, params: Dict[str, Any]) -> Dict[str, Any]:
     rows = session.table3(**params)
     return {
@@ -135,8 +140,7 @@ def _run_table3(session: Any, params: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
-@flow_runner("campaign", allowed_params=(
-    "design", "specs", "samples", "seed", "vdd", "dt", "timeout", "retries"))
+@flow_runner("campaign", allowed_params=SERVICE_PARAMS["campaign"])
 def _run_campaign(session: Any, params: Dict[str, Any]) -> Dict[str, Any]:
     from repro.faults import FaultSpec
 
@@ -147,10 +151,21 @@ def _run_campaign(session: Any, params: Dict[str, Any]) -> Dict[str, Any]:
     return {
         "flow": "campaign",
         "design": outcome.design,
+        "backend": outcome.backend,
         "samples": outcome.samples,
         "failure_rate": outcome.failure_rate,
         "mean_margin": outcome.mean_margin,
         "report": outcome.report.to_json(),
+    }
+
+
+@flow_runner("compare", allowed_params=SERVICE_PARAMS["compare"])
+def _run_compare(session: Any, params: Dict[str, Any]) -> Dict[str, Any]:
+    report = session.compare(**params)
+    return {
+        "flow": "compare",
+        "report": report.to_json(),
+        "rendered": report.render(),
     }
 
 

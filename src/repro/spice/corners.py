@@ -125,22 +125,6 @@ def _sweep_corners(
     return dict(zip(names, results))
 
 
-def sweep_corners(
-    fn: Callable[[SimulationCorner], _R],
-    corners: Sequence[str] = CORNER_ORDER,
-    workers: Optional[int] = None,
-) -> Dict[str, _R]:
-    """Deprecated free-function entry point; use
-    ``repro.api.Session(...).sweep(fn, corners=...)`` instead."""
-    import warnings
-
-    warnings.warn(
-        "sweep_corners() is deprecated; use "
-        "repro.api.Session(...).sweep(fn, corners=...)",
-        DeprecationWarning, stacklevel=2)
-    return _sweep_corners(fn, corners=corners, workers=workers)
-
-
 def sweep_corners_resilient(
     fn: Callable,
     corners: Sequence[str] = CORNER_ORDER,
@@ -149,7 +133,7 @@ def sweep_corners_resilient(
     retries: int = 2,
     checkpoint: Optional[str] = None,
 ):
-    """:func:`sweep_corners` through the resilient campaign runner.
+    """:func:`_sweep_corners` through the resilient campaign runner.
 
     ``fn(corner, rng)`` must be picklable and return a JSON-serialisable
     value; a corner whose evaluation times out, crashes its worker, or

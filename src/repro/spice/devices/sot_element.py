@@ -1,0 +1,63 @@
+"""Circuit-level NAND-SPIN junction: an MTJ pillar on a heavy-metal strip.
+
+Electrically the junction *is* an MTJ — same resistive stamp, same STT
+dynamics on the pillar current — so the element subclasses
+:class:`~repro.spice.devices.mtj_element.MTJElement` and inherits the
+solver integration (including the fast engine's vectorised MTJ group,
+whose state update dispatches per device).  On top of that it observes
+the voltage drop across its local heavy-metal segment and integrates a
+:class:`~repro.mtj.sot.SOTSwitchingModel` with the resulting strip
+current, so a NAND-SPIN erase pulse through the strip actually flips the
+stored states in simulation — the same no-shortcuts policy as the STT
+write path.
+
+The strip itself is built from ordinary resistors by the backend
+(:mod:`repro.nv.nandspin`); this element only *reads* the segment
+voltages (``hm_left`` → ``hm_right``), it does not conduct between them.
+The segment orientation is chosen so positive strip current is the erase
+direction (toward antiparallel), matching the SOT model's convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mtj.sot import SOTSwitchingModel
+from repro.spice.devices.base import EvalContext
+from repro.spice.devices.mtj_element import MTJElement
+
+
+@dataclass
+class NandSpinJunction(MTJElement):
+    """MTJ pillar with SOT erase coupling to its heavy-metal segment."""
+
+    #: Strip node on the erase-current upstream side of the pillar.
+    hm_left: int = -1
+    #: Strip node on the downstream side (toward the common tap).
+    hm_right: int = -1
+    #: Conductance [S] of the observed strip segment (1 / R_segment).
+    hm_conductance: float = 0.0
+    #: SOT erase dynamics; ``None`` freezes the SOT path (read-only use).
+    sot: Optional[SOTSwitchingModel] = None
+
+    def reset_state(self) -> None:
+        super().reset_state()
+        if self.sot is not None:
+            self.sot.progress = 0.0
+            self.sot.events.clear()
+
+    def set_initial_state(self, state) -> None:
+        super().set_initial_state(state)
+        if self.sot is not None:
+            self.sot.progress = 0.0
+
+    def hm_current(self, ctx: EvalContext) -> float:
+        """Strip current under the pillar [A], positive = erase direction."""
+        return (ctx.v(self.hm_left) - ctx.v(self.hm_right)) * self.hm_conductance
+
+    def update_state(self, ctx: EvalContext) -> None:
+        super().update_state(ctx)
+        if self.sot is None or not ctx.is_transient:
+            return
+        self.sot.step(self.hm_current(ctx), ctx.dt, now=ctx.time)

@@ -50,6 +50,9 @@ class Circuit:
         self._device_index: Dict[str, Device] = {}
         self._num_branches = 0
         self._finalized = False
+        #: NV-backend identity record (set by the latch builders); enters
+        #: the cache fingerprint so backends never share cache entries.
+        self.nv_backend_fingerprint: Optional[Dict[str, object]] = None
 
     # -- nodes -----------------------------------------------------------------
 

@@ -11,7 +11,7 @@ from repro.analysis.figures import (
 )
 from repro.analysis.report import ExperimentRecord, render_experiments_markdown
 from repro.analysis.tables import (
-    build_table3,
+    _build_table3,
     render_table1,
     render_table3,
     render_text_table,
@@ -59,14 +59,14 @@ class TestTable1:
 
 class TestTable3:
     def test_build_and_render_small(self):
-        results = build_table3(["s344"])
+        results = _build_table3(["s344"])
         text = render_table3(results)
         assert "s344" in text
         assert "AVERAGE" in text
         assert "paper 26%" in text
 
     def test_row_contains_paper_comparison(self):
-        results = build_table3(["s344"])
+        results = _build_table3(["s344"])
         text = render_table3(results)
         # our/paper columns render both values.
         assert "/ 5" in text or "/5" in text.replace(" ", "")

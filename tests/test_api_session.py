@@ -1,12 +1,11 @@
-"""The ``repro.api.Session`` facade and the deprecated free functions.
+"""The ``repro.api.Session`` facade — the single documented entry point.
 
 A Session binds cache/engine/workers/obs once, drives every high-level
-flow, and restores whatever it changed on close.  The old free functions
-keep returning the same results but must announce their replacement via
-``DeprecationWarning``.
+flow, and restores whatever it changed on close.  The PR-5 deprecated
+free functions (``build_table2``/``build_table3``/``sweep_corners``/
+``restore_failure_rate``) are gone; these tests pin their removal and
+the canonical-parameter validation shared with the service registry.
 """
-
-import warnings
 
 import pytest
 
@@ -130,44 +129,53 @@ class TestSessionFlows:
         assert outcome.report.completed == 2
 
 
-class TestDeprecatedWrappers:
-    def test_sweep_corners_warns_and_still_works(self):
-        from repro.spice.corners import sweep_corners
+class TestWrappersRemoved:
+    """The PR-5 ``DeprecationWarning`` wrappers are deleted, not kept."""
 
-        with pytest.warns(DeprecationWarning, match=r"Session\(.*\)\.sweep"):
-            result = sweep_corners(corner_name, corners=["typical"],
-                                   workers=1)
-        assert result == {"typical": "typical"}
+    def test_deprecated_free_functions_are_gone(self):
+        import repro.analysis.tables as tables
+        import repro.faults as faults
+        import repro.spice.corners as corners
 
-    def test_build_table2_warns(self):
-        from repro.analysis.tables import build_table2
+        assert not hasattr(tables, "build_table2")
+        assert not hasattr(tables, "build_table3")
+        assert not hasattr(corners, "sweep_corners")
+        assert not hasattr(faults, "restore_failure_rate")
 
-        with pytest.warns(DeprecationWarning, match=r"Session\(.*\)\.table2"):
-            data = build_table2(corners=[], workers=1)
-        assert data.standard == {}
+    def test_api_all_is_the_session_surface(self):
+        import repro.api
 
-    def test_build_table3_warns_and_matches_session(self, tmp_path):
-        from repro.analysis.tables import build_table3
-        from repro.physd.benchmarks import BENCHMARKS
+        assert repro.api.__all__ == ["Session"]
 
-        name = list(BENCHMARKS)[0]
-        with pytest.warns(DeprecationWarning, match=r"Session\(.*\)\.table3"):
-            legacy = build_table3([name], workers=1)
+
+class TestCanonicalParams:
+    """Session methods validate kwargs against ``repro.flow_params`` —
+    the same vocabulary the service registry and ``repro submit`` use."""
+
+    def test_unknown_kwarg_is_rejected_with_suggestion(self):
         with Session(workers=1) as session:
-            rows = session.table3([name])
-        assert legacy[0][0] == rows[0][0]
+            with pytest.raises(AnalysisError, match="did you mean"):
+                session.table2(backened="mtj")
 
-    def test_restore_failure_rate_warns(self):
-        from repro.faults import restore_failure_rate
+    def test_unknown_backend_is_rejected_with_suggestion(self):
+        with Session(workers=1) as session:
+            with pytest.raises(AnalysisError, match="nandspin"):
+                session.table2(backend="nand-spin", **FAST_TABLE2)
 
-        with pytest.warns(DeprecationWarning,
-                          match=r"Session\(.*\)\.campaign"):
-            outcome = restore_failure_rate("standard", [], samples=1,
-                                           dt=4e-12, workers=1)
-        assert outcome.report.total == 1
+    def test_per_call_engine_override_is_scoped(self):
+        from repro.spice.analysis.transient import get_default_engine
 
-    def test_session_methods_do_not_warn(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            with Session(workers=1) as session:
-                session.sweep(corner_name, corners=["typical"])
+        previous = get_default_engine()
+        with Session(workers=1) as session:
+            session.sweep(corner_name, corners=["typical"], engine="naive")
+            assert get_default_engine() == previous
+
+    def test_service_registry_speaks_the_same_vocabulary(self):
+        from repro.flow_params import FLOW_PARAMS, SERVICE_PARAMS
+        from repro.service.jobs import FLOWS
+
+        for flow, spec in FLOWS.items():
+            assert spec.allowed_params == frozenset(SERVICE_PARAMS[flow])
+            # The JSON-safe service subset never invents a name the
+            # Session method would reject.
+            assert set(SERVICE_PARAMS[flow]) <= set(FLOW_PARAMS[flow])

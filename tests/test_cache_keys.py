@@ -178,6 +178,39 @@ class TestSparseInvalidation:
         assert key(None) == key("dense")  # historical default preserved
 
 
+class TestBackendIdentity:
+    """Two NV backends must never share cache entries: the builders
+    stamp the backend fingerprint onto the circuit and the request key
+    digests it."""
+
+    def _latch_circuit(self, backend):
+        from repro.cells.nvlatch_1bit import build_standard_latch
+        from repro.nv.base import get_backend
+
+        nv = get_backend(backend)
+        schedule = nv.restore_schedule("standard", bit=1, vdd=1.1, cycles=1)
+        return build_standard_latch(schedule, stored_bit=1, vdd=1.1,
+                                    backend=nv).circuit
+
+    def test_mtj_and_nandspin_keys_differ(self):
+        assert (_transient_key(self._latch_circuit("mtj"))
+                != _transient_key(self._latch_circuit("nandspin")))
+
+    def test_backend_fingerprint_enters_the_circuit_fingerprint(self):
+        from repro.nv.base import get_backend
+
+        for name in ("mtj", "nandspin"):
+            fingerprint = circuit_fingerprint(self._latch_circuit(name))
+            assert fingerprint["nv_backend"] == \
+                get_backend(name).fingerprint()
+
+    def test_nandspin_fingerprint_rebuild_is_a_fixed_point(self):
+        original = self._latch_circuit("nandspin")
+        fingerprint = circuit_fingerprint(original)
+        rebuilt = rebuild_circuit(fingerprint)
+        assert circuit_fingerprint(rebuilt) == fingerprint
+
+
 class TestRebuild:
     def test_round_trip_fingerprint_is_a_fixed_point(self):
         original = _rc_circuit(with_mtj=True)

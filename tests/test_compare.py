@@ -1,0 +1,96 @@
+"""The cross-technology comparison report (``repro compare``).
+
+The end-to-end pipeline (both backends through Table II/III + a
+campaign) is minutes-scale and runs in CI's ``compare-smoke`` job; here
+we pin the report container itself — schema round-trip, row lookup,
+rendering — and the flow's canonical-parameter plumbing.
+"""
+
+import pytest
+
+from repro.analysis.compare import (
+    FULL_SAMPLES,
+    QUICK_BENCHMARKS,
+    QUICK_SAMPLES,
+    BackendComparison,
+    CompareReport,
+)
+from repro.errors import AnalysisError
+
+
+def _row(backend: str, scale: float = 1.0) -> BackendComparison:
+    return BackendComparison(
+        backend=backend,
+        read_energy=15.3e-15 * scale,
+        read_delay=780e-12,
+        leakage=33e-12,
+        backup_energy=480e-15 * scale,
+        backup_latency=1.9e-9,
+        restore_margin=0.98,
+        restore_failure_rate=0.0,
+        write_error_rate=2.4e-7,
+        area_improvement=0.27,
+        energy_improvement=0.15,
+    )
+
+
+@pytest.fixture
+def report() -> CompareReport:
+    return CompareReport(rows=[_row("mtj"), _row("nandspin", scale=2.0)],
+                         quick=True)
+
+
+class TestCompareReport:
+    def test_json_round_trip_is_exact(self, report):
+        clone = CompareReport.from_json(report.to_json())
+        assert clone == report
+        assert clone.quick is True
+
+    def test_row_lookup(self, report):
+        assert report.row("nandspin").backend == "nandspin"
+        with pytest.raises(AnalysisError, match="sttram"):
+            report.row("sttram")
+
+    def test_render_one_column_per_backend(self, report):
+        text = report.render()
+        header = text.splitlines()[1]
+        assert "mtj" in header and "nandspin" in header
+        assert "quick" in text.splitlines()[0]
+        assert "Backup energy" in text
+        assert "Store WER" in text
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(AnalysisError, match="malformed"):
+            BackendComparison.from_payload({"backend": "mtj"})
+        with pytest.raises(AnalysisError, match="malformed"):
+            CompareReport.from_payload({})
+
+
+class TestCompareFlowPlumbing:
+    def test_compare_speaks_the_canonical_vocabulary(self):
+        from repro.flow_params import FLOW_PARAMS, validate_flow_params
+
+        assert "quick" in FLOW_PARAMS["compare"]
+        validate_flow_params("compare", {"quick": True, "samples": 2})
+        with pytest.raises(AnalysisError, match="did you mean"):
+            validate_flow_params("compare", {"sample": 2})
+
+    def test_session_compare_rejects_unknown_kwargs(self):
+        from repro.api import Session
+
+        with Session() as session:
+            with pytest.raises(AnalysisError, match="did you mean"):
+                session.compare(quik=True)
+
+    def test_quick_mode_shrinks_the_sweep(self):
+        assert QUICK_SAMPLES < FULL_SAMPLES
+        assert QUICK_BENCHMARKS == ("s344",)
+
+    def test_empty_backend_list_is_rejected(self):
+        from unittest import mock
+
+        from repro.analysis.compare import build_compare
+
+        with mock.patch("repro.nv.base.list_backends", return_value=[]):
+            with pytest.raises(AnalysisError, match="no NV backends"):
+                build_compare()

@@ -16,10 +16,10 @@ These run full (coarse-step) transients, so the sweeps are kept minimal.
 import pytest
 
 from repro.core.evaluate import evaluate_benchmarks_resilient
+from repro.api import Session
 from repro.faults import (
     FaultSpec,
     margin_slopes,
-    restore_failure_rate,
     sense_margin_degradation,
     store_write_error_rates,
     write_path_isolation,
@@ -88,16 +88,18 @@ class TestRestoreFailureRate:
     def test_stuck_mtj_flips_restored_ones(self):
         # mtj1 pinned AP makes every stored-1 sample restore as 0; the
         # failure rate is the fraction of 1-bits in the sampled stream.
-        outcome = restore_failure_rate(
-            "standard", [FaultSpec("mtj.stuck", 1.0, target="mtj1")],
-            samples=4, workers=2, retries=0)
+        with Session() as session:
+            outcome = session.campaign(
+                "standard", [FaultSpec("mtj.stuck", 1.0, target="mtj1")],
+                samples=4, workers=2, retries=0)
         assert outcome.samples == 4
         assert outcome.report.failed == 0  # simulations all converged
         assert 0.0 < outcome.failure_rate <= 1.0
         assert "failure rate" in outcome.summary()
 
     def test_fault_free_cell_never_fails(self):
-        outcome = restore_failure_rate("standard", [], samples=2,
+        with Session() as session:
+            outcome = session.campaign("standard", [], samples=2,
                                        workers=1, retries=0)
         assert outcome.failure_rate == 0.0
         assert outcome.mean_margin > 0.9
@@ -106,7 +108,8 @@ class TestRestoreFailureRate:
         from repro.errors import FaultInjectionError
 
         with pytest.raises(FaultInjectionError, match="bogus.model"):
-            restore_failure_rate("standard",
+            with Session() as session:
+                session.campaign("standard",
                                  [FaultSpec("bogus.model", 1.0)], samples=1)
 
 

@@ -18,7 +18,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis.tables import build_table3
+from repro.api import Session
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "table3.json"
 #: Maximum relative drift tolerated on any frozen float metric.
@@ -42,7 +42,8 @@ def golden():
 
 @pytest.fixture(scope="module")
 def measured(golden):
-    results = build_table3(golden["benchmarks"])
+    with Session() as session:
+        results = session.table3(golden["benchmarks"])
     return {result.benchmark: result for result, _pairs in results}
 
 
@@ -79,7 +80,9 @@ def regenerate() -> None:  # pragma: no cover - maintenance helper
         "note": "Seed-state Table III flow metrics; see "
                 "tests/test_golden_table3.py.",
     }
-    for result, paper_pairs in build_table3(list(GOLDEN_BENCHMARKS)):
+    with Session() as session:
+        results = session.table3(list(GOLDEN_BENCHMARKS))
+    for result, paper_pairs in results:
         golden[result.benchmark] = {
             metric: getattr(result, metric)
             for metric in INT_METRICS + FLOAT_METRICS

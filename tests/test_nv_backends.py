@@ -1,0 +1,171 @@
+"""The pluggable NV-backend protocol (``repro.nv``).
+
+Pinned here:
+
+* the registry — registration order, name resolution, instance
+  passthrough, typo suggestions;
+* the protocol surface — fingerprints that never collide, per-backend
+  control signals, store/restore sequencing (NAND-SPIN's
+  erase-before-program markers), cell costs;
+* backend-scoped fault models — ``mtj.*`` applies to both technologies,
+  ``nandspin.sot-weak`` only to NAND-SPIN;
+* the NAND-SPIN electrical contract — the SOT erase flips both junctions
+  antiparallel and the STT program then writes exactly the addressed
+  junction parallel.
+"""
+
+import pytest
+
+from repro.errors import AnalysisError, FaultInjectionError
+from repro.nv.base import get_backend, list_backends
+from repro.nv.nandspin import NandSpinBackend
+
+
+class TestRegistry:
+    def test_both_backends_register_in_order(self):
+        assert list_backends() == ["mtj", "nandspin"]
+
+    def test_none_resolves_to_mtj(self):
+        assert get_backend(None).name == "mtj"
+        assert get_backend(None) is get_backend("mtj")
+
+    def test_instance_passes_through(self):
+        tuned = NandSpinBackend(hm_segment_resistance=200.0)
+        assert get_backend(tuned) is tuned
+
+    def test_unknown_name_suggests(self):
+        with pytest.raises(AnalysisError, match="nandspin"):
+            get_backend("nand-spin")
+
+
+class TestProtocolSurface:
+    def test_fingerprints_never_collide(self):
+        prints = [get_backend(name).fingerprint() for name in list_backends()]
+        assert len({str(sorted(p.items())) for p in prints}) == len(prints)
+
+    def test_parameterisation_changes_the_fingerprint(self):
+        stock = get_backend("nandspin").fingerprint()
+        tuned = NandSpinBackend(hm_segment_resistance=200.0).fingerprint()
+        assert stock != tuned
+
+    def test_control_signals(self):
+        assert get_backend("mtj").control_signals(1.1) == {}
+        extras = get_backend("nandspin").control_signals(1.1)
+        assert extras == {"een": 0.0, "een_b": 1.1, "eprog": 0.0}
+
+    def test_nandspin_store_is_erase_before_program(self):
+        schedule = get_backend("nandspin").store_schedule("standard", bit=1)
+        markers = schedule.markers
+        assert (markers["write_start"] < markers["erase_end"]
+                < markers["write_end"])
+        assert [p.name for p in schedule.phases] == [
+            "idle", "erase", "program", "post"]
+        assert "een" in schedule.signals and "eprog" in schedule.signals
+
+    def test_mtj_store_has_no_erase_phase(self):
+        schedule = get_backend("mtj").store_schedule("standard", bit=1)
+        assert "erase_end" not in schedule.markers
+
+    def test_restore_parks_backend_extras_at_idle(self):
+        schedule = get_backend("nandspin").restore_schedule(
+            "standard", bit=1, vdd=1.1, cycles=1)
+        for signal in ("een", "een_b", "eprog"):
+            assert signal in schedule.signals
+
+    def test_power_cycle_carries_store_markers(self):
+        cycle = get_backend("nandspin").power_cycle("standard", bit=1)
+        markers = cycle.schedule.markers
+        assert "store_erase_end" in markers
+        assert markers["power_off"] < markers["power_on"]
+
+    def test_unknown_design_rejected(self):
+        for name in list_backends():
+            with pytest.raises(AnalysisError, match="mystery"):
+                get_backend(name).store_schedule("mystery", bit=1)
+
+    def test_cell_costs(self):
+        from repro.core.evaluate import PAPER_COSTS
+
+        assert get_backend("mtj").cell_costs() == PAPER_COSTS
+        nandspin = get_backend("nandspin").cell_costs()
+        assert nandspin != PAPER_COSTS
+        assert nandspin.energy_2bit < PAPER_COSTS.energy_2bit
+
+
+class TestFaultScoping:
+    def test_mtj_models_cover_both_technologies(self):
+        from repro.faults.models import fault_model
+
+        for name in ("mtj.stuck", "mtj.drift", "mtj.read-disturb"):
+            model = fault_model(name)
+            assert model.supports_backend("mtj")
+            assert model.supports_backend("nandspin")
+
+    def test_unscoped_models_are_technology_agnostic(self):
+        from repro.faults.models import fault_model
+
+        assert fault_model("sa.offset").supports_backend("mtj")
+        assert fault_model("sa.offset").supports_backend("nandspin")
+
+    def test_sot_weak_is_nandspin_only(self):
+        from repro.faults import FaultSpec
+        from repro.faults.models import check_backend_support, fault_model
+
+        model = fault_model("nandspin.sot-weak")
+        assert model.supports_backend("nandspin")
+        assert not model.supports_backend("mtj")
+        specs = [FaultSpec("nandspin.sot-weak", 1.0)]
+        check_backend_support(specs, "nandspin")  # fine
+        with pytest.raises(FaultInjectionError, match="sot-weak"):
+            check_backend_support(specs, "mtj")
+
+
+class TestNandSpinElectrical:
+    @pytest.fixture(scope="class")
+    def stored(self):
+        """Standard latch, NAND-SPIN backend, store bit=1 transient
+        (short erase/program pulses that still capture both switching
+        events)."""
+        from repro.cells.nvlatch_1bit import build_standard_latch
+        from repro.spice.analysis.transient import run_transient
+
+        nv = get_backend("nandspin")
+        schedule = nv.store_schedule("standard", bit=1,
+                                     erase_width=1.0e-9, write_width=1.5e-9)
+        latch = build_standard_latch(schedule, stored_bit=0, vdd=1.1,
+                                     backend=nv)
+        run_transient(latch.circuit, schedule.stop_time, 4e-12,
+                      initial_voltages={"vdd": 1.1})
+        return latch
+
+    def test_store_writes_the_complementary_pair(self, stored):
+        from repro.mtj.device import MTJState
+
+        # bit=1: device A antiparallel, device B parallel — and they must
+        # end complementary (the readback contract).
+        assert stored.mtj1.device.state is MTJState.ANTIPARALLEL
+        assert stored.mtj2.device.state is MTJState.PARALLEL
+        assert stored.stored_bit() == 1
+
+    def test_erase_then_program_events(self, stored):
+        from repro.mtj.device import MTJState
+        from repro.nv.base import storage_events
+
+        # Erase-before-program, observed through the event streams: the
+        # SOT bulk erase flips the parallel junction (mtj1) antiparallel,
+        # then the STT program writes the addressed junction (mtj2)
+        # parallel — strictly later.
+        sot_events = stored.mtj1.sot.events
+        stt_events = stored.mtj2.switching.events
+        assert sot_events and stt_events
+        assert sot_events[0].new_state is MTJState.ANTIPARALLEL
+        assert stt_events[0].new_state is MTJState.PARALLEL
+        assert sot_events[0].time < stt_events[0].time
+        # storage_events merges both dynamics models per junction.
+        assert storage_events(stored.mtj2) == stt_events
+        assert storage_events(stored.mtj1) == sot_events
+
+    def test_junctions_carry_a_heavy_metal_strip(self, stored):
+        assert stored.mtj1.sot is not None
+        assert stored.mtj2.sot is not None
+        assert stored.mtj1.hm_conductance > 0.0

@@ -128,9 +128,9 @@ class TestMonteCarloDeterminism:
 
 class TestSweepAndBenchmarkRunners:
     def test_sweep_corners_order_and_content(self):
-        from repro.spice.corners import CORNER_ORDER, sweep_corners
+        from repro.spice.corners import CORNER_ORDER, _sweep_corners
 
-        out = sweep_corners(corner_name, workers=2)
+        out = _sweep_corners(corner_name, corners=CORNER_ORDER, workers=2)
         assert list(out) == list(CORNER_ORDER)
         assert all(out[name] == name for name in out)
 
